@@ -1,0 +1,550 @@
+(* Benchmark harness: regenerates every evaluation artifact of the
+   paper (see DESIGN.md's per-experiment index).
+
+     main.exe [fig1|fig4|fig4-memo|micro|ablation-m|ablation-cm|
+               ablation-mode|pqueue|all]
+
+   Environment knobs (defaults tuned for a small container; the paper
+   ran 1M ops on 40 vCPUs):
+     PROUST_OPS      total operations per cell        (default 20000)
+     PROUST_THREADS  comma-separated thread counts    (default 1,2,4,8)
+     PROUST_TRIALS   measured trials per cell         (default 2)
+     PROUST_QUICK    =1 shrinks the fig4 grid for smoke runs *)
+
+module W = Proust_workload
+module S = Proust_structures
+module B = Proust_baselines
+module V = Proust_verify
+
+let env_int name default =
+  match Sys.getenv_opt name with Some s -> int_of_string s | None -> default
+
+let env_int_list name default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some s -> String.split_on_char ',' s |> List.map int_of_string
+
+let quick = Sys.getenv_opt "PROUST_QUICK" = Some "1"
+let total_ops = env_int "PROUST_OPS" (if quick then 4_000 else 20_000)
+
+let threads_list =
+  env_int_list "PROUST_THREADS" (if quick then [ 1; 4 ] else [ 1; 2; 4; 8 ])
+
+let trials = env_int "PROUST_TRIALS" 2
+let u_list = if quick then [ 0.0; 1.0 ] else [ 0.0; 0.25; 0.5; 0.75; 1.0 ]
+let o_list = if quick then [ 1; 16 ] else [ 1; 2; 16; 256 ]
+
+let spec ~u ~o =
+  {
+    W.Workload.key_range = 1024;
+    write_fraction = u;
+    ops_per_txn = o;
+    total_ops;
+  }
+
+let run_cell (impl : W.Impls.entry) ~u ~o ~threads =
+  let r =
+    W.Runner.run ?config:impl.W.Impls.config ~trials ~warmup:1 ~threads
+      ~spec:(spec ~u ~o) impl.W.Impls.make
+  in
+  W.Report.row ~name:impl.W.Impls.name r
+
+(* ------------------------------------------------------------------ *)
+
+let fig1 () =
+  W.Report.section "FIG1: the Proust design space (Figure 1)";
+  Proust_core.Proust.pp_design_space Format.std_formatter ();
+  (* Back the static table with the machine-checked conflict
+     abstractions (Definition 3.1 / Appendix E). *)
+  let counter_model = V.Adt_model.counter ~bound:6 in
+  (match V.Ca_check.check counter_model (V.Ca_spec.counter ()) with
+  | None -> print_endline "counter conflict abstraction: verified (Def 3.1)"
+  | Some c ->
+      print_endline
+        ("counter conflict abstraction: FAILED "
+        ^ V.Ca_check.show_counterexample counter_model c));
+  match V.Ca_encode.check_counter () with
+  | V.Ca_encode.Correct ->
+      print_endline "counter conflict abstraction: verified (SAT, Appendix E)"
+  | V.Ca_encode.Counterexample { description; _ } ->
+      print_endline ("counter SAT check FAILED: " ^ description)
+
+let fig4 () =
+  W.Report.section
+    (Printf.sprintf
+       "FIG4: map throughput, %d ops, key range 1024 (paper: 1M ops, 40 vCPUs)"
+       total_ops);
+  W.Report.header ();
+  let impls = W.Impls.all () in
+  List.iter
+    (fun u ->
+      List.iter
+        (fun o ->
+          List.iter
+            (fun threads ->
+              List.iter
+                (fun (impl : W.Impls.entry) ->
+                  (* §7: pessimistic runs only at o = 1 (livelock under
+                     long transactions). *)
+                  if (not impl.W.Impls.pessimistic) || o = 1 then
+                    run_cell impl ~u ~o ~threads)
+                impls)
+            threads_list)
+        o_list)
+    u_list
+
+let fig4_memo () =
+  W.Report.section
+    "FIG4 (bottom): memoizing shadow copies, log combining on/off";
+  W.Report.header ();
+  List.iter
+    (fun o ->
+      List.iter
+        (fun u ->
+          List.iter
+            (fun threads ->
+              List.iter
+                (fun impl -> run_cell impl ~u ~o ~threads)
+                (W.Impls.memo_variants ()))
+            threads_list)
+        (if quick then [ 0.5 ] else [ 0.25; 0.5; 1.0 ]))
+    (if quick then [ 16 ] else [ 16; 64; 256 ])
+
+let ablation_m () =
+  W.Report.section
+    "ABL-M: conflict-abstraction region size M (striping width)";
+  W.Report.header ();
+  let u = 0.5 and o = 16 in
+  List.iter
+    (fun slots ->
+      List.iter
+        (fun threads ->
+          let entry : W.Impls.entry =
+            {
+              name = Printf.sprintf "lazy-memo/M=%d" slots;
+              config = None;
+              make =
+                (fun () ->
+                  S.P_lazy_hashmap.ops (S.P_lazy_hashmap.make ~slots ()));
+              pessimistic = false;
+            }
+          in
+          run_cell entry ~u ~o ~threads)
+        (List.filter (fun t -> t > 1) threads_list))
+    [ 1; 16; 64; 256; 1024; 4096 ]
+
+let ablation_cm () =
+  W.Report.section "ABL-CM: contention managers under high contention";
+  W.Report.header ();
+  let base = Stm.get_default_config () in
+  List.iter
+    (fun (cm : Proust_stm.Contention.t) ->
+      List.iter
+        (fun threads ->
+          let config = Some { base with Stm.cm } in
+          let make () = B.Predication_map.ops (B.Predication_map.make ()) in
+          let sp = { (spec ~u:1.0 ~o:4) with W.Workload.key_range = 64 } in
+          let r = W.Runner.run ?config ~trials ~warmup:1 ~threads ~spec:sp make in
+          W.Report.row
+            ~name:(Printf.sprintf "predication/%s" cm.Proust_stm.Contention.name)
+            r)
+        (List.filter (fun t -> t > 1) threads_list))
+    (Proust_stm.Contention.all ())
+
+let ablation_mode () =
+  W.Report.section "ABL-MODE: STM conflict-detection mode x Proust variant";
+  W.Report.header ();
+  let base = Stm.get_default_config () in
+  let modes = [ Stm.Lazy_lazy; Stm.Eager_lazy; Stm.Eager_eager; Stm.Serial_commit ] in
+  List.iter
+    (fun mode ->
+      let config = Some { base with Stm.mode } in
+      let entries =
+        [
+          ( Printf.sprintf "lazy-memo/%s" (Stm.mode_name mode),
+            fun () -> S.P_lazy_hashmap.ops (S.P_lazy_hashmap.make ()) );
+          ( Printf.sprintf "predication/%s" (Stm.mode_name mode),
+            fun () -> B.Predication_map.ops (B.Predication_map.make ()) );
+        ]
+        @
+        (* eager updates are unsound under a fully lazy STM (Figure 1's
+           empty quarter) — skip those cells. *)
+        (if mode = Stm.Lazy_lazy || mode = Stm.Serial_commit then []
+         else
+           [
+             ( Printf.sprintf "eager-opt/%s" (Stm.mode_name mode),
+               fun () -> S.P_hashmap.ops (S.P_hashmap.make ()) );
+           ])
+      in
+      List.iter
+        (fun (name, make) ->
+          List.iter
+            (fun threads ->
+              let r =
+                W.Runner.run ?config ~trials ~warmup:1 ~threads
+                  ~spec:(spec ~u:0.5 ~o:16) make
+              in
+              W.Report.row ~name r)
+            (List.filter (fun t -> t > 1) threads_list))
+        entries)
+    modes
+
+let pqueue_bench () =
+  W.Report.section "PQ-BENCH: priority queue, eager vs lazy-snapshot";
+  Printf.printf "%-18s %4s %10s %12s %9s %9s\n" "impl" "t" "mean(ms)" "ops/s"
+    "commits" "aborts";
+  Printf.printf "%s\n" (String.make 68 '-');
+  let eager_mode = { Stm.default_config with Stm.mode = Stm.Eager_lazy } in
+  let total = max 1_000 (total_ops / 2) in
+  let bench : type q.
+      string ->
+      ?config:Stm.config ->
+      (unit -> q) ->
+      (q -> Stm.txn -> int -> unit) ->
+      (q -> Stm.txn -> int option) ->
+      unit =
+   fun name ?config make_q insert remove_min ->
+    List.iter
+      (fun threads ->
+        let q = make_q () in
+        let enter = W.Runner.barrier threads in
+        let per = total / threads in
+        let before = Stats.read () in
+        let started = Array.make threads 0.0 in
+        let finished = Array.make threads 0.0 in
+        let body i () =
+          let rng = Random.State.make [| i |] in
+          enter ();
+          started.(i) <- Unix.gettimeofday ();
+          for j = 1 to per do
+            if j land 1 = 0 then
+              Stm.atomically ?config (fun txn ->
+                  insert q txn (Random.State.int rng 100_000))
+            else ignore (Stm.atomically ?config (fun txn -> remove_min q txn))
+          done;
+          finished.(i) <- Unix.gettimeofday ()
+        in
+        let ds = List.init threads (fun i -> Domain.spawn (body i)) in
+        List.iter Domain.join ds;
+        let dt =
+          (Array.fold_left max neg_infinity finished
+          -. Array.fold_left min infinity started)
+          *. 1000.0
+        in
+        let st = Stats.diff before (Stats.read ()) in
+        Printf.printf "%-18s %4d %10.2f %12.0f %9d %9d\n%!" name threads dt
+          (float_of_int total /. dt *. 1000.0)
+          st.Stats.commits st.Stats.aborts)
+      threads_list
+  in
+  bench "pq-eager-opt" ~config:eager_mode
+    (fun () -> S.P_pqueue.make ~cmp:Int.compare ())
+    S.P_pqueue.insert S.P_pqueue.remove_min;
+  bench "pq-eager-pess"
+    (fun () -> S.P_pqueue.make ~cmp:Int.compare ~lap:S.Map_intf.Pessimistic ())
+    S.P_pqueue.insert S.P_pqueue.remove_min;
+  bench "pq-lazy-snap"
+    (fun () -> S.P_lazy_pqueue.make ~cmp:Int.compare ())
+    S.P_lazy_pqueue.insert S.P_lazy_pqueue.remove_min
+
+let ablation_zipf () =
+  W.Report.section
+    "ABL-ZIPF: hot-key skew (Zipf 0.99) vs uniform keys, u=0.5 o=16";
+  W.Report.header ();
+  let entries =
+    [
+      ("stm-map", fun () -> B.Stm_hashmap.ops (B.Stm_hashmap.make ()));
+      ("predication", fun () -> B.Predication_map.ops (B.Predication_map.make ()));
+      ("lazy-memo", fun () -> S.P_lazy_hashmap.ops (S.P_lazy_hashmap.make ()));
+    ]
+  in
+  List.iter
+    (fun (dist_name, dist) ->
+      List.iter
+        (fun (name, make) ->
+          List.iter
+            (fun threads ->
+              let r =
+                W.Runner.run ~dist ~trials ~warmup:1 ~threads
+                  ~spec:(spec ~u:0.5 ~o:16) make
+              in
+              W.Report.row ~name:(Printf.sprintf "%s/%s" name dist_name) r)
+            (List.filter (fun t -> t > 1) threads_list))
+        entries)
+    [ ("uniform", W.Workload.Uniform); ("zipf99", W.Workload.Zipf 0.99) ]
+
+let ablation_combine () =
+  W.Report.section
+    "ABL-COMBINE: S9 log-combining extensions (undo logs, snapshot \
+     replays); small key range to force aborts";
+  W.Report.header ();
+  let entries =
+    [
+      ( "eager/undo-per-op",
+        Some W.Impls.eager_mode,
+        fun () -> S.P_hashmap.ops (S.P_hashmap.make ~combine_undo:false ()) );
+      ( "eager/undo-combined",
+        Some W.Impls.eager_mode,
+        fun () -> S.P_hashmap.ops (S.P_hashmap.make ~combine_undo:true ()) );
+      ( "lazy-snap/replay",
+        None,
+        fun () -> S.P_lazy_triemap.ops (S.P_lazy_triemap.make ~combine:false ())
+      );
+      ( "lazy-snap/root-cas",
+        None,
+        fun () -> S.P_lazy_triemap.ops (S.P_lazy_triemap.make ~combine:true ())
+      );
+    ]
+  in
+  List.iter
+    (fun (name, config, make) ->
+      List.iter
+        (fun threads ->
+          let sp = { (spec ~u:0.75 ~o:64) with W.Workload.key_range = 128 } in
+          let r = W.Runner.run ?config ~trials ~warmup:1 ~threads ~spec:sp make in
+          W.Report.row ~name r)
+        (List.filter (fun t -> t > 1) threads_list))
+    entries
+
+let structures_bench () =
+  W.Report.section "STRUCT-BENCH: fifo / stack / ordered-map wrappers";
+  Printf.printf "%-22s %4s %10s %12s %9s %9s\n" "impl" "t" "mean(ms)" "ops/s"
+    "commits" "aborts";
+  Printf.printf "%s\n" (String.make 72 '-');
+  let total = max 1_000 (total_ops / 2) in
+  let bench : type q.
+      string -> ?config:Stm.config -> (unit -> q) -> (q -> Stm.txn -> int -> unit) -> unit =
+   fun name ?config make_q step ->
+    List.iter
+      (fun threads ->
+        let q = make_q () in
+        let enter = W.Runner.barrier threads in
+        let per = total / threads in
+        let before = Stats.read () in
+        let started = Array.make threads 0.0 in
+        let finished = Array.make threads 0.0 in
+        let body i () =
+          enter ();
+          started.(i) <- Unix.gettimeofday ();
+          for j = 1 to per do
+            Stm.atomically ?config (fun txn -> step q txn j)
+          done;
+          finished.(i) <- Unix.gettimeofday ()
+        in
+        let ds = List.init threads (fun i -> Domain.spawn (body i)) in
+        List.iter Domain.join ds;
+        let dt =
+          (Array.fold_left max neg_infinity finished
+          -. Array.fold_left min infinity started)
+          *. 1000.0
+        in
+        let st = Stats.diff before (Stats.read ()) in
+        Printf.printf "%-22s %4d %10.2f %12.0f %9d %9d\n%!" name threads dt
+          (float_of_int total /. dt *. 1000.0)
+          st.Stats.commits st.Stats.aborts)
+      threads_list
+  in
+  let eager_mode = { Stm.default_config with Stm.mode = Stm.Eager_lazy } in
+  bench "fifo-eager-pess"
+    (fun () -> S.P_fifo.make ~lap:S.Map_intf.Pessimistic ())
+    (fun q txn j ->
+      if j land 1 = 0 then S.P_fifo.enqueue q txn j
+      else ignore (S.P_fifo.dequeue q txn));
+  bench "fifo-lazy-opt"
+    (fun () -> S.P_lazy_fifo.make ())
+    (fun q txn j ->
+      if j land 1 = 0 then S.P_lazy_fifo.enqueue q txn j
+      else ignore (S.P_lazy_fifo.dequeue q txn));
+  bench "stack-eager-opt" ~config:eager_mode
+    (fun () -> S.P_stack.make ())
+    (fun q txn j ->
+      if j land 1 = 0 then S.P_stack.push q txn j
+      else ignore (S.P_stack.pop q txn));
+  bench "omap-lazy-opt"
+    (fun () -> S.P_omap.make ~index:(fun k -> k / 16) ())
+    (fun q txn j ->
+      let k = j land 1023 in
+      if j land 3 = 0 then ignore (S.P_omap.range q txn ~lo:k ~hi:(k + 32))
+      else ignore (S.P_omap.put q txn k j))
+
+let compose_bench () =
+  W.Report.section
+    "COMPOSE: one transaction spanning map + priority queue + counter";
+  Printf.printf "%-22s %4s %10s %12s %9s %9s\n" "preset" "t" "mean(ms)"
+    "txn/s" "commits" "aborts";
+  Printf.printf "%s\n" (String.make 72 '-');
+  let total_txns = max 500 (total_ops / 8) in
+  let bench name ?config make_world =
+    List.iter
+      (fun threads ->
+        let step, _world = make_world () in
+        let enter = W.Runner.barrier threads in
+        let per = total_txns / threads in
+        let before = Stats.read () in
+        let started = Array.make threads 0.0 in
+        let finished = Array.make threads 0.0 in
+        let body i () =
+          let rng = Random.State.make [| i + 13 |] in
+          enter ();
+          started.(i) <- Unix.gettimeofday ();
+          for _ = 1 to per do
+            Stm.atomically ?config (fun txn -> step rng txn)
+          done;
+          finished.(i) <- Unix.gettimeofday ()
+        in
+        let ds = List.init threads (fun i -> Domain.spawn (body i)) in
+        List.iter Domain.join ds;
+        let dt =
+          (Array.fold_left max neg_infinity finished
+          -. Array.fold_left min infinity started)
+          *. 1000.0
+        in
+        let st = Stats.diff before (Stats.read ()) in
+        Printf.printf "%-22s %4d %10.2f %12.0f %9d %9d\n%!" name threads dt
+          (float_of_int total_txns /. dt *. 1000.0)
+          st.Stats.commits st.Stats.aborts)
+      threads_list
+  in
+  (* One "world": a work map, a job queue and a completion counter; a
+     step claims a job, bumps its key in the map, and counts it. *)
+  let make_world ~map ~pq ~counter_lap () =
+    let m : (int, int) Proust_structures.Map_intf.ops = map () in
+    let q : int S.Pqueue_intf.ops = pq () in
+    let c = S.P_counter.make ~lap:counter_lap ~init:1_000_000 () in
+    let step rng txn =
+      let k = Random.State.int rng 256 in
+      q.S.Pqueue_intf.insert txn k;
+      (match q.S.Pqueue_intf.remove_min txn with
+      | Some j ->
+          let v =
+            Option.value ~default:0 (m.Proust_structures.Map_intf.get txn j)
+          in
+          ignore (m.Proust_structures.Map_intf.put txn j (v + 1))
+      | None -> ());
+      S.P_counter.incr c txn
+    in
+    (step, (m, q, c))
+  in
+  bench "all-pessimistic"
+    (make_world
+       ~map:(fun () ->
+         S.P_hashmap.ops (S.P_hashmap.make ~lap:S.Map_intf.Pessimistic ()))
+       ~pq:(fun () ->
+         S.P_pqueue.ops
+           (S.P_pqueue.make ~cmp:Int.compare ~lap:S.Map_intf.Pessimistic ()))
+       ~counter_lap:S.Map_intf.Pessimistic);
+  bench "all-lazy-optimistic" ~config:W.Impls.eager_mode
+    (* counter is eager; Eager_lazy covers it, lazy structures are
+       opaque under every mode *)
+    (make_world
+       ~map:(fun () -> S.P_lazy_hashmap.ops (S.P_lazy_hashmap.make ()))
+       ~pq:(fun () -> S.P_lazy_pqueue.ops (S.P_lazy_pqueue.make ~cmp:Int.compare ()))
+       ~counter_lap:S.Map_intf.Optimistic);
+  bench "mixed" ~config:W.Impls.eager_mode
+    (make_world
+       ~map:(fun () -> S.P_lazy_triemap.ops (S.P_lazy_triemap.make ()))
+       ~pq:(fun () ->
+         S.P_pqueue.ops
+           (S.P_pqueue.make ~cmp:Int.compare ~lap:S.Map_intf.Pessimistic ()))
+       ~counter_lap:S.Map_intf.Optimistic)
+
+(* ------------------------------------------------------------------ *)
+(* TAB-MICRO: single-threaded per-operation latency (Bechamel).        *)
+
+let micro () =
+  W.Report.section "TAB-MICRO: single-thread per-op latency (Bechamel)";
+  let open Bechamel in
+  let make_test name
+      (make : unit -> (int, int) Proust_structures.Map_intf.ops) =
+    let ops = make () in
+    Stm.atomically (fun txn ->
+        for k = 0 to 1023 do
+          ignore (ops.put txn k k)
+        done);
+    let i = ref 0 in
+    [
+      Test.make
+        ~name:(name ^ "/get")
+        (Staged.stage (fun () ->
+             incr i;
+             ignore (Stm.atomically (fun txn -> ops.get txn (!i land 1023)))));
+      Test.make
+        ~name:(name ^ "/put")
+        (Staged.stage (fun () ->
+             incr i;
+             ignore (Stm.atomically (fun txn -> ops.put txn (!i land 1023) !i))));
+    ]
+  in
+  let tests =
+    List.concat
+      [
+        make_test "stm-map" (fun () -> B.Stm_hashmap.ops (B.Stm_hashmap.make ()));
+        make_test "predication" (fun () ->
+            B.Predication_map.ops (B.Predication_map.make ()));
+        make_test "eager-pess" (fun () ->
+            Proust_structures.P_hashmap.ops (Proust_structures.P_hashmap.make ~lap:Proust_structures.Map_intf.Pessimistic ()));
+        make_test "lazy-memo" (fun () ->
+            Proust_structures.P_lazy_hashmap.ops (Proust_structures.P_lazy_hashmap.make ()));
+        make_test "lazy-snap" (fun () ->
+            Proust_structures.P_lazy_triemap.ops (Proust_structures.P_lazy_triemap.make ()));
+      ]
+  in
+  let grouped = Test.make_grouped ~name:"micro" tests in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        match Analyze.OLS.estimates ols with
+        | Some [ ns ] -> (name, ns) :: acc
+        | _ -> acc)
+      results []
+    |> List.sort compare
+  in
+  Printf.printf "%-36s %12s\n%s\n" "benchmark" "ns/op" (String.make 50 '-');
+  List.iter (fun (name, ns) -> Printf.printf "%-36s %12.1f\n" name ns) rows
+
+(* ------------------------------------------------------------------ *)
+
+let usage () =
+  print_endline
+    "usage: main.exe \
+     [fig1|fig4|fig4-memo|micro|ablation-m|ablation-cm|ablation-mode|\
+     ablation-zipf|ablation-combine|pqueue|structures|compose|all]"
+
+let () =
+  let cmd = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  match cmd with
+  | "fig1" -> fig1 ()
+  | "fig4" -> fig4 ()
+  | "fig4-memo" -> fig4_memo ()
+  | "micro" -> micro ()
+  | "ablation-m" -> ablation_m ()
+  | "ablation-cm" -> ablation_cm ()
+  | "ablation-mode" -> ablation_mode ()
+  | "ablation-zipf" -> ablation_zipf ()
+  | "ablation-combine" -> ablation_combine ()
+  | "pqueue" -> pqueue_bench ()
+  | "structures" -> structures_bench ()
+  | "compose" -> compose_bench ()
+  | "all" ->
+      fig1 ();
+      micro ();
+      fig4 ();
+      fig4_memo ();
+      ablation_m ();
+      ablation_cm ();
+      ablation_mode ();
+      ablation_zipf ();
+      ablation_combine ();
+      pqueue_bench ();
+      structures_bench ();
+      compose_bench ()
+  | _ -> usage ()

@@ -1,0 +1,144 @@
+(* Command-line benchmark driver for custom parameter sweeps.
+
+     proust_bench --impl lazy-memo --threads 1,2,4 --u 0.5 --o 16 \
+                  --ops 100000 --mode eager-lazy --cm karma --csv out.csv
+
+   The `bench/main.exe` harness regenerates the paper's fixed grids;
+   this tool explores arbitrary points of the space. *)
+
+module W = Proust_workload
+module S = Proust_structures
+module B = Proust_baselines
+
+let impl_names =
+  [
+    "stm-map";
+    "predication";
+    "eager-opt";
+    "eager-pess";
+    "lazy-memo";
+    "lazy-memo-nocombine";
+    "lazy-snap";
+    "lazy-triemap";
+    "boosted";
+    "coarse";
+  ]
+
+let make_impl ~slots = function
+  | "stm-map" -> fun () -> B.Stm_hashmap.ops (B.Stm_hashmap.make ())
+  | "predication" -> fun () -> B.Predication_map.ops (B.Predication_map.make ())
+  | "eager-opt" -> fun () -> S.P_hashmap.ops (S.P_hashmap.make ~slots ())
+  | "eager-pess" ->
+      fun () ->
+        S.P_hashmap.ops (S.P_hashmap.make ~slots ~lap:S.Map_intf.Pessimistic ())
+  | "lazy-memo" -> fun () -> S.P_lazy_hashmap.ops (S.P_lazy_hashmap.make ~slots ())
+  | "lazy-memo-nocombine" ->
+      fun () ->
+        S.P_lazy_hashmap.ops (S.P_lazy_hashmap.make ~slots ~combine:false ())
+  | "lazy-snap" | "lazy-triemap" ->
+      fun () -> S.P_lazy_triemap.ops (S.P_lazy_triemap.make ~slots ())
+  | "boosted" -> fun () -> B.Boosted_map.ops (B.Boosted_map.make ~slots ())
+  | "coarse" -> fun () -> B.Coarse_map.ops (B.Coarse_map.make ())
+  | other -> invalid_arg ("unknown impl: " ^ other)
+
+let mode_of_string = function
+  | "lazy-lazy" -> Stm.Lazy_lazy
+  | "eager-lazy" -> Stm.Eager_lazy
+  | "eager-eager" -> Stm.Eager_eager
+  | "serial-commit" -> Stm.Serial_commit
+  | other -> invalid_arg ("unknown mode: " ^ other)
+
+let cm_of_string = function
+  | "passive" -> Proust_stm.Contention.passive ()
+  | "polite" -> Proust_stm.Contention.polite ()
+  | "karma" -> Proust_stm.Contention.karma ()
+  | "timestamp" -> Proust_stm.Contention.timestamp ()
+  | other -> invalid_arg ("unknown contention manager: " ^ other)
+
+let run impls threads_list u o ops key_range trials slots mode cm csv =
+  let config =
+    {
+      Stm.default_config with
+      Stm.mode = mode_of_string mode;
+      cm = cm_of_string cm;
+    }
+  in
+  (* Eager-optimistic structures require encounter-time detection. *)
+  let config_for name =
+    if name = "eager-opt" && config.Stm.mode = Stm.Lazy_lazy then
+      { config with Stm.mode = Stm.Eager_lazy }
+    else config
+  in
+  let spec =
+    { W.Workload.key_range; write_fraction = u; ops_per_txn = o; total_ops = ops }
+  in
+  let csv_oc = Option.map open_out csv in
+  Option.iter W.Report.csv_header csv_oc;
+  W.Report.header ();
+  List.iter
+    (fun name ->
+      let make = make_impl ~slots name in
+      List.iter
+        (fun threads ->
+          let r =
+            W.Runner.run ~config:(config_for name) ~trials ~warmup:1 ~threads
+              ~spec make
+          in
+          W.Report.row ~name r;
+          Option.iter (fun oc -> W.Report.csv_row oc ~name r) csv_oc)
+        threads_list)
+    impls;
+  Option.iter close_out csv_oc
+
+open Cmdliner
+
+let impls_arg =
+  let doc =
+    "Comma-separated implementations: " ^ String.concat ", " impl_names
+  in
+  Arg.(value & opt (list string) [ "lazy-memo" ] & info [ "impl" ] ~doc)
+
+let threads_arg =
+  Arg.(value & opt (list int) [ 1; 2; 4 ] & info [ "threads"; "t" ] ~doc:"Thread counts")
+
+let u_arg =
+  Arg.(value & opt float 0.5 & info [ "u" ] ~doc:"Write fraction in [0,1]")
+
+let o_arg = Arg.(value & opt int 16 & info [ "o" ] ~doc:"Operations per transaction")
+
+let ops_arg =
+  Arg.(value & opt int 50_000 & info [ "ops" ] ~doc:"Total operations per cell")
+
+let keys_arg =
+  Arg.(value & opt int 1024 & info [ "keys" ] ~doc:"Key range")
+
+let trials_arg = Arg.(value & opt int 3 & info [ "trials" ] ~doc:"Measured trials")
+
+let slots_arg =
+  Arg.(value & opt int 1024 & info [ "slots"; "M" ] ~doc:"Conflict-abstraction region size")
+
+let mode_arg =
+  Arg.(
+    value
+    & opt string "lazy-lazy"
+    & info [ "mode" ]
+        ~doc:"STM conflict detection: lazy-lazy, eager-lazy, eager-eager, serial-commit")
+
+let cm_arg =
+  Arg.(
+    value
+    & opt string "passive"
+    & info [ "cm" ] ~doc:"Contention manager: passive, polite, karma, timestamp")
+
+let csv_arg =
+  Arg.(value & opt (some string) None & info [ "csv" ] ~doc:"Also write CSV to $(docv)")
+
+let cmd =
+  let doc = "Proust map-throughput benchmark (custom sweeps)" in
+  Cmd.v
+    (Cmd.info "proust_bench" ~doc)
+    Term.(
+      const run $ impls_arg $ threads_arg $ u_arg $ o_arg $ ops_arg $ keys_arg
+      $ trials_arg $ slots_arg $ mode_arg $ cm_arg $ csv_arg)
+
+let () = exit (Cmd.eval cmd)

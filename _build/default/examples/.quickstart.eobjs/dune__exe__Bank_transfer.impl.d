@@ -1,0 +1,1 @@
+examples/bank_transfer.ml: Domain Format List Option Printf Proust_stm Proust_structures Random Stm

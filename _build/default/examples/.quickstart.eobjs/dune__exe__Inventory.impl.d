@@ -1,0 +1,1 @@
+examples/inventory.ml: Array Atomic Domain List Option Printf Proust_structures Random Stm

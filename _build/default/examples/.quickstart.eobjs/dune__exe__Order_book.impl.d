@@ -1,0 +1,1 @@
+examples/order_book.ml: Domain List Printf Proust_structures Random Stm String Tvar

@@ -1,0 +1,1 @@
+examples/task_scheduler.ml: Atomic Domain List Printf Proust_structures Random Stm Tvar

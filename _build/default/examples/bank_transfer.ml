@@ -1,0 +1,63 @@
+(* Atomic transfers across two Proustian maps under real concurrency.
+
+   Each account has a checking and a savings balance, in two separate
+   wrapped maps.  Concurrent transactions move money between random
+   accounts and between the two maps; the invariant is that the global
+   sum of money is conserved, which only holds if the maps compose
+   transactionally.
+
+   Run with: dune exec examples/bank_transfer.exe *)
+
+module S = Proust_structures
+
+let accounts = 64
+let domains = 4
+let transfers = 2_000
+let initial = 1_000
+
+let () =
+  let checking : (int, int) S.P_lazy_hashmap.t = S.P_lazy_hashmap.make () in
+  let savings : (int, int) S.P_lazy_triemap.t = S.P_lazy_triemap.make () in
+  Stm.atomically (fun txn ->
+      for a = 0 to accounts - 1 do
+        ignore (S.P_lazy_hashmap.put checking txn a initial);
+        ignore (S.P_lazy_triemap.put savings txn a initial)
+      done);
+
+  let worker d () =
+    let rng = Random.State.make [| d |] in
+    for _ = 1 to transfers do
+      let from_acct = Random.State.int rng accounts in
+      let to_acct = Random.State.int rng accounts in
+      let amount = 1 + Random.State.int rng 20 in
+      Stm.atomically (fun txn ->
+          (* Move from one account's checking to another's savings;
+             refuse (atomically observing both maps) on insufficient
+             funds. *)
+          let c = Option.get (S.P_lazy_hashmap.get checking txn from_acct) in
+          if c >= amount then begin
+            ignore (S.P_lazy_hashmap.put checking txn from_acct (c - amount));
+            let s = Option.get (S.P_lazy_triemap.get savings txn to_acct) in
+            ignore (S.P_lazy_triemap.put savings txn to_acct (s + amount))
+          end)
+    done
+  in
+  let ds = List.init domains (fun d -> Domain.spawn (worker d)) in
+  List.iter Domain.join ds;
+
+  let total =
+    Stm.atomically (fun txn ->
+        let t = ref 0 in
+        for a = 0 to accounts - 1 do
+          t := !t + Option.get (S.P_lazy_hashmap.get checking txn a);
+          t := !t + Option.get (S.P_lazy_triemap.get savings txn a)
+        done;
+        !t)
+  in
+  let expected = 2 * accounts * initial in
+  Printf.printf "%d domains x %d transfers: total=%d expected=%d -> %s\n"
+    domains transfers total expected
+    (if total = expected then "CONSERVED" else "LOST MONEY (bug!)");
+  Format.printf "STM activity: %a@." Proust_stm.Stats.pp
+    (Proust_stm.Stats.read ());
+  exit (if total = expected then 0 else 1)

@@ -1,0 +1,85 @@
+(* A warehouse built from three Proustian objects — a set of known
+   SKUs (wrapping a lock-free list), a stock-level map, and the §3
+   counter — exercised identically under two design-space points:
+
+     eager updates + pessimistic locks  (boosting's corner)
+     lazy updates + optimistic locks    (predication's corner)
+
+   The same application code runs against both; only the constructors
+   change.  That is the paper's central usability claim.
+
+   Run with: dune exec examples/inventory.exe *)
+
+module S = Proust_structures
+
+type shop = {
+  skus : string S.P_set.t;
+  stock : (string, int) S.Map_intf.ops;
+  distinct : S.P_counter.t;
+  config : Stm.config option;
+}
+
+let eager_pessimistic () =
+  {
+    skus = S.P_set.make ~lap:S.Map_intf.Pessimistic ();
+    stock = S.P_hashmap.ops (S.P_hashmap.make ~lap:S.Map_intf.Pessimistic ());
+    distinct = S.P_counter.make ~lap:S.Map_intf.Pessimistic ();
+    config = None;
+  }
+
+let lazy_optimistic () =
+  {
+    skus = S.P_set.make ~lap:S.Map_intf.Optimistic ();
+    stock = S.P_lazy_hashmap.ops (S.P_lazy_hashmap.make ());
+    distinct = S.P_counter.make ~lap:S.Map_intf.Optimistic ();
+    config =
+      (* the eager counter needs encounter-time conflict detection *)
+      Some { Stm.default_config with Stm.mode = Stm.Eager_lazy };
+  }
+
+let restock shop sku qty =
+  Stm.atomically ?config:shop.config (fun txn ->
+      if S.P_set.add shop.skus txn sku then S.P_counter.incr shop.distinct txn;
+      let current =
+        Option.value ~default:0 (shop.stock.S.Map_intf.get txn sku)
+      in
+      ignore (shop.stock.S.Map_intf.put txn sku (current + qty)))
+
+let sell shop sku qty =
+  Stm.atomically ?config:shop.config (fun txn ->
+      match shop.stock.S.Map_intf.get txn sku with
+      | Some n when n >= qty ->
+          ignore (shop.stock.S.Map_intf.put txn sku (n - qty));
+          true
+      | _ -> false)
+
+let drive name shop =
+  let skus = [| "lamp"; "chair"; "desk"; "rug" |] in
+  let workers = 4 and rounds = 250 in
+  let sold = Atomic.make 0 in
+  let ds =
+    List.init workers (fun w ->
+        Domain.spawn (fun () ->
+            let rng = Random.State.make [| w |] in
+            for _ = 1 to rounds do
+              let sku = skus.(Random.State.int rng (Array.length skus)) in
+              if Random.State.bool rng then restock shop sku 3
+              else if sell shop sku 2 then
+                ignore (Atomic.fetch_and_add sold 2)
+            done))
+  in
+  List.iter Domain.join ds;
+  let in_stock =
+    Stm.atomically ?config:shop.config (fun txn ->
+        Array.fold_left
+          (fun acc sku ->
+            acc + Option.value ~default:0 (shop.stock.S.Map_intf.get txn sku))
+          0 skus)
+  in
+  Printf.printf "%-20s distinct-skus=%d in-stock=%d sold=%d\n" name
+    (S.P_counter.peek shop.distinct)
+    in_stock (Atomic.get sold)
+
+let () =
+  drive "eager/pessimistic" (eager_pessimistic ());
+  drive "lazy/optimistic" (lazy_optimistic ())

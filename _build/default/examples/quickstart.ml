@@ -1,0 +1,44 @@
+(* Quickstart: wrap existing thread-safe structures, compose them in
+   one atomic block, pick a design-space point per structure.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module S = Proust_structures
+
+let () =
+  (* A lazy Proustian map (snapshot shadow copies over a concurrent
+     trie) and the §3 non-negative counter, wrapped eagerly.  Both use
+     optimistic lock-allocator policies, so conflicts are detected by
+     the STM through their conflict abstractions. *)
+  let inventory : (string, int) S.P_lazy_triemap.t = S.P_lazy_triemap.make () in
+  let total_items = S.P_counter.make ~observable:true () in
+
+  (* One transaction touching both objects: either the item is added
+     AND counted, or neither. *)
+  let add_item name qty =
+    Stm.atomically (fun txn ->
+        (match S.P_lazy_triemap.put inventory txn name qty with
+        | Some _ -> ()  (* restock: item already counted *)
+        | None -> S.P_counter.incr total_items txn);
+        S.P_lazy_triemap.size inventory txn)
+  in
+
+  let n = add_item "madeleine" 12 in
+  let n' = add_item "tea" 3 in
+  let _ = add_item "madeleine" 24 in
+
+  Printf.printf "sizes seen: %d then %d\n" n n';
+  Printf.printf "distinct items: %d\n" (S.P_counter.peek total_items);
+  Stm.atomically (fun txn ->
+      match S.P_lazy_triemap.get inventory txn "madeleine" with
+      | Some qty -> Printf.printf "madeleines in stock: %d\n" qty
+      | None -> print_endline "no madeleines!");
+
+  (* The same wrapper, switched to a pessimistic LAP (boosting-style
+     two-phase abstract locks) — one constructor argument. *)
+  let boosted : (string, int) S.P_hashmap.t =
+    S.P_hashmap.make ~lap:S.Map_intf.Pessimistic ()
+  in
+  Stm.atomically (fun txn -> ignore (S.P_hashmap.put boosted txn "swann" 1));
+  Printf.printf "boosted map size: %d\n"
+    (Stm.atomically (fun txn -> S.P_hashmap.size boosted txn))

@@ -1,0 +1,87 @@
+(* A job scheduler composing a Proustian priority queue with a
+   Proustian map, plus the STM's retry combinator.
+
+   Producers submit jobs with priorities; workers atomically pop the
+   highest-priority job AND mark it running in the status map — no job
+   can be observed popped-but-untracked.  Workers block on [Stm.retry]
+   when the queue is empty and wake when a producer commits.
+
+   Run with: dune exec examples/task_scheduler.exe *)
+
+module S = Proust_structures
+
+type status = Pending | Running | Done
+
+let jobs_per_producer = 50
+let producers = 2
+let workers = 2
+
+let () =
+  let queue : (int * int) S.P_lazy_pqueue.t =
+    (* jobs are (priority, id); smaller priority = more urgent *)
+    S.P_lazy_pqueue.make ~cmp:compare ()
+  in
+  let status : (int, status) S.P_lazy_hashmap.t = S.P_lazy_hashmap.make () in
+  let produced = Atomic.make 0 in
+  let processed = Atomic.make 0 in
+  let popped = Tvar.make 0 in
+  let total_jobs = producers * jobs_per_producer in
+
+  let producer p () =
+    let rng = Random.State.make [| p |] in
+    for i = 0 to jobs_per_producer - 1 do
+      let id = (p * jobs_per_producer) + i in
+      let prio = Random.State.int rng 10 in
+      Stm.atomically (fun txn ->
+          S.P_lazy_pqueue.insert queue txn (prio, id);
+          ignore (S.P_lazy_hashmap.put status txn id Pending));
+      ignore (Atomic.fetch_and_add produced 1)
+    done
+  in
+
+  let worker () =
+    let running = ref true in
+    while !running do
+      let job =
+        Stm.atomically (fun txn ->
+            match S.P_lazy_pqueue.remove_min queue txn with
+            | Some (_, id) ->
+                Stm.write txn popped (Stm.read txn popped + 1);
+                ignore (S.P_lazy_hashmap.put status txn id Running);
+                Some id
+            | None ->
+                (* Nothing to pop.  If every job has been claimed we are
+                   finished; otherwise block until either a producer
+                   commits an insert (the queue's conflict-abstraction
+                   slots change) or another worker claims the last job
+                   (the [popped] tvar changes). *)
+                if Stm.read txn popped >= total_jobs then None
+                else Stm.retry txn)
+      in
+      match job with
+      | None -> running := false
+      | Some id ->
+          (* "Execute" the job, then mark it done. *)
+          Stm.atomically (fun txn ->
+              ignore (S.P_lazy_hashmap.put status txn id Done));
+          ignore (Atomic.fetch_and_add processed 1)
+    done
+  in
+
+  let ps = List.init producers (fun p -> Domain.spawn (producer p)) in
+  let ws = List.init workers (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join ps;
+  List.iter Domain.join ws;
+
+  let done_count =
+    Stm.atomically (fun txn ->
+        let n = ref 0 in
+        for id = 0 to total_jobs - 1 do
+          if S.P_lazy_hashmap.get status txn id = Some Done then incr n
+        done;
+        !n)
+  in
+  Printf.printf "produced=%d processed=%d done=%d / %d -> %s\n"
+    (Atomic.get produced) (Atomic.get processed) done_count total_jobs
+    (if done_count = total_jobs then "ALL DONE" else "INCOMPLETE (bug!)");
+  exit (if done_count = total_jobs then 0 else 1)

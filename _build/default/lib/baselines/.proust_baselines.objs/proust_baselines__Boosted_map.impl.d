@@ -1,0 +1,1 @@
+lib/baselines/boosted_map.ml: Proust_structures

@@ -1,0 +1,1 @@
+lib/baselines/boosted_map.mli: Proust_structures Stm

@@ -1,0 +1,1 @@
+lib/baselines/coarse_map.mli: Proust_structures Stm

@@ -1,0 +1,1 @@
+lib/baselines/predication_map.ml: Committed_size Proust_concurrent Proust_structures Stm Tvar

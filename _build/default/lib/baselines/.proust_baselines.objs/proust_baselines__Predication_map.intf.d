@@ -1,0 +1,1 @@
+lib/baselines/predication_map.mli: Proust_structures Stm

@@ -1,0 +1,1 @@
+lib/baselines/stm_hashmap.ml: Array Hashtbl List Option Proust_structures Stm Tvar

@@ -1,0 +1,1 @@
+lib/baselines/stm_hashmap.mli: Proust_structures Stm

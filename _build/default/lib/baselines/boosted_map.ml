@@ -1,0 +1,18 @@
+(** Classic transactional boosting (Herlihy & Koskinen, PPoPP 2008) as
+    a named preset: pessimistic abstract locks + eager updates with
+    inverses.  In the Proust design space this is exactly the
+    pessimistic/eager point, so the preset simply instantiates the
+    eager wrapper with a pessimistic LAP. *)
+
+type ('k, 'v) t = ('k, 'v) Proust_structures.P_hashmap.t
+
+let make ?slots ?size_mode () =
+  Proust_structures.P_hashmap.make ?slots ~lap:Proust_structures.Map_intf.Pessimistic
+    ?size_mode ()
+
+let get = Proust_structures.P_hashmap.get
+let put = Proust_structures.P_hashmap.put
+let remove = Proust_structures.P_hashmap.remove
+let contains = Proust_structures.P_hashmap.contains
+let size = Proust_structures.P_hashmap.size
+let ops = Proust_structures.P_hashmap.ops

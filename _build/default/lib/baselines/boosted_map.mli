@@ -1,0 +1,15 @@
+(** Classic transactional boosting (Herlihy & Koskinen, PPoPP 2008) as
+    a named preset: the pessimistic/eager point of the Proust design
+    space, instantiated over the concurrent hash map. *)
+
+type ('k, 'v) t = ('k, 'v) Proust_structures.P_hashmap.t
+
+val make :
+  ?slots:int -> ?size_mode:[ `Counter | `Transactional ] -> unit -> ('k, 'v) t
+
+val get : ('k, 'v) t -> Stm.txn -> 'k -> 'v option
+val put : ('k, 'v) t -> Stm.txn -> 'k -> 'v -> 'v option
+val remove : ('k, 'v) t -> Stm.txn -> 'k -> 'v option
+val contains : ('k, 'v) t -> Stm.txn -> 'k -> bool
+val size : ('k, 'v) t -> Stm.txn -> int
+val ops : ('k, 'v) t -> ('k, 'v) Proust_structures.Map_intf.ops

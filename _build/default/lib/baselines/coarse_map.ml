@@ -1,0 +1,17 @@
+(** Sanity baseline: two-phase locking behind a single global
+    read/write lock — the coarse conflict abstraction with a
+    pessimistic LAP.  Every writer serializes; readers share. *)
+
+type ('k, 'v) t = ('k, 'v) Proust_structures.P_hashmap.t
+
+let make ?size_mode () =
+  let ca = Conflict_abstraction.coarse () in
+  let lap = Lock_allocator.pessimistic ~ca () in
+  Proust_structures.P_hashmap.make_custom ~lap ?size_mode ()
+
+let get = Proust_structures.P_hashmap.get
+let put = Proust_structures.P_hashmap.put
+let remove = Proust_structures.P_hashmap.remove
+let contains = Proust_structures.P_hashmap.contains
+let size = Proust_structures.P_hashmap.size
+let ops = Proust_structures.P_hashmap.ops

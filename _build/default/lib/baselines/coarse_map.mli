@@ -1,0 +1,13 @@
+(** Sanity baseline: two-phase locking behind a single global
+    read/write lock — the coarse conflict abstraction with a
+    pessimistic LAP.  Writers serialize; readers share. *)
+
+type ('k, 'v) t = ('k, 'v) Proust_structures.P_hashmap.t
+
+val make : ?size_mode:[ `Counter | `Transactional ] -> unit -> ('k, 'v) t
+val get : ('k, 'v) t -> Stm.txn -> 'k -> 'v option
+val put : ('k, 'v) t -> Stm.txn -> 'k -> 'v -> 'v option
+val remove : ('k, 'v) t -> Stm.txn -> 'k -> 'v option
+val contains : ('k, 'v) t -> Stm.txn -> 'k -> bool
+val size : ('k, 'v) t -> Stm.txn -> int
+val ops : ('k, 'v) t -> ('k, 'v) Proust_structures.Map_intf.ops

@@ -1,0 +1,61 @@
+(** Transactional predication (Bronson et al., PODC 2010) — the
+    specialised competitor the paper is consistently outperformed by on
+    raw map throughput (§7).
+
+    A non-transactional concurrent map associates each key with a
+    {e predicate}: one STM reference holding the key's value (or
+    [None]).  Map operations become single STM reads/writes of the
+    predicate, so the STM sees exactly one location per key and
+    state modification is delegated to the STM itself — unlike Proust,
+    which uses the STM only for synchronization (§2).
+
+    Predicates are allocated on demand and never reclaimed; the paper
+    sidesteps predicate GC the same way (§7). *)
+
+type ('k, 'v) t = {
+  preds : ('k, 'v option Tvar.t) Proust_concurrent.Chashmap.t;
+  csize : Committed_size.t;
+}
+
+let make ?size_mode:(mode = `Counter) () =
+  { preds = Proust_concurrent.Chashmap.create (); csize = Committed_size.create mode }
+
+let predicate t k =
+  match Proust_concurrent.Chashmap.get t.preds k with
+  | Some tv -> tv
+  | None -> (
+      let fresh = Tvar.make None in
+      match Proust_concurrent.Chashmap.put_if_absent t.preds k fresh with
+      | Some existing -> existing
+      | None -> fresh)
+
+let get t txn k = Stm.read txn (predicate t k)
+let contains t txn k = get t txn k <> None
+
+let put t txn k v =
+  let tv = predicate t k in
+  let old = Stm.read txn tv in
+  Stm.write txn tv (Some v);
+  if old = None then Committed_size.add t.csize txn 1;
+  old
+
+let remove t txn k =
+  let tv = predicate t k in
+  let old = Stm.read txn tv in
+  if old <> None then begin
+    Stm.write txn tv None;
+    Committed_size.add t.csize txn (-1)
+  end;
+  old
+
+let size t txn = Committed_size.read t.csize txn
+let committed_size t = Committed_size.peek t.csize
+
+let ops t : ('k, 'v) Proust_structures.Map_intf.ops =
+  {
+    get = get t;
+    put = put t;
+    remove = remove t;
+    contains = contains t;
+    size = size t;
+  }

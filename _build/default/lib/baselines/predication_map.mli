@@ -1,0 +1,17 @@
+(** Transactional predication (Bronson et al., PODC 2010) — the
+    specialised competitor of §7: a non-transactional concurrent map
+    associates each key with one STM reference holding its value;
+    map operations become single STM accesses of that predicate.
+    Predicates are allocated on demand and never reclaimed, as in the
+    paper's evaluation setup. *)
+
+type ('k, 'v) t
+
+val make : ?size_mode:[ `Counter | `Transactional ] -> unit -> ('k, 'v) t
+val get : ('k, 'v) t -> Stm.txn -> 'k -> 'v option
+val put : ('k, 'v) t -> Stm.txn -> 'k -> 'v -> 'v option
+val remove : ('k, 'v) t -> Stm.txn -> 'k -> 'v option
+val contains : ('k, 'v) t -> Stm.txn -> 'k -> bool
+val size : ('k, 'v) t -> Stm.txn -> int
+val committed_size : ('k, 'v) t -> int
+val ops : ('k, 'v) t -> ('k, 'v) Proust_structures.Map_intf.ops

@@ -1,0 +1,65 @@
+(** The "traditional STM" map the paper benchmarks against: the whole
+    structure lives in STM-managed memory, so conflict detection is the
+    STM's plain read-set/write-set tracking.
+
+    Buckets are tvars holding association lists: any two operations
+    that hash to the same bucket conflict even on distinct keys — the
+    false conflicts §1 attributes to read/write-set STMs.
+    [track_size] additionally keeps the size in one tvar, serializing
+    every insert/remove (off by default, as the throughput benchmark
+    never calls [size]). *)
+
+type ('k, 'v) t = {
+  buckets : ('k * 'v) list Tvar.t array;
+  hash : 'k -> int;
+  size : int Tvar.t option;
+}
+
+let make ?(buckets = 1024) ?(hash = Hashtbl.hash) ?(track_size = false) () =
+  {
+    buckets = Array.init buckets (fun _ -> Tvar.make []);
+    hash;
+    size = (if track_size then Some (Tvar.make 0) else None);
+  }
+
+let bucket t k = t.buckets.(t.hash k land max_int mod Array.length t.buckets)
+
+let bump t txn d =
+  Option.iter (fun r -> Stm.Ref.modify txn r (fun n -> n + d)) t.size
+
+let get t txn k = List.assoc_opt k (Stm.read txn (bucket t k))
+let contains t txn k = get t txn k <> None
+
+let put t txn k v =
+  let b = bucket t k in
+  let l = Stm.read txn b in
+  let old = List.assoc_opt k l in
+  Stm.write txn b ((k, v) :: List.remove_assoc k l);
+  if old = None then bump t txn 1;
+  old
+
+let remove t txn k =
+  let b = bucket t k in
+  let l = Stm.read txn b in
+  let old = List.assoc_opt k l in
+  if old <> None then begin
+    Stm.write txn b (List.remove_assoc k l);
+    bump t txn (-1)
+  end;
+  old
+
+let size t txn =
+  match t.size with
+  | Some r -> Stm.read txn r
+  | None ->
+      Array.fold_left (fun acc b -> acc + List.length (Stm.read txn b)) 0
+        t.buckets
+
+let ops t : ('k, 'v) Proust_structures.Map_intf.ops =
+  {
+    get = get t;
+    put = put t;
+    remove = remove t;
+    contains = contains t;
+    size = size t;
+  }

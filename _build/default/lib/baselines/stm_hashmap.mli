@@ -1,0 +1,21 @@
+(** The "traditional STM" map the paper benchmarks against: buckets of
+    tvars managed wholly by the STM, so conflict detection is plain
+    read/write-set tracking — including the false conflicts between
+    distinct keys sharing a bucket that motivate Proust (§1).
+    [track_size] keeps the size in one tvar, serializing every
+    insert/remove. *)
+
+type ('k, 'v) t
+
+val make :
+  ?buckets:int -> ?hash:('k -> int) -> ?track_size:bool -> unit -> ('k, 'v) t
+
+val get : ('k, 'v) t -> Stm.txn -> 'k -> 'v option
+val put : ('k, 'v) t -> Stm.txn -> 'k -> 'v -> 'v option
+val remove : ('k, 'v) t -> Stm.txn -> 'k -> 'v option
+val contains : ('k, 'v) t -> Stm.txn -> 'k -> bool
+
+(** O(buckets) scan unless [track_size] was set. *)
+val size : ('k, 'v) t -> Stm.txn -> int
+
+val ops : ('k, 'v) t -> ('k, 'v) Proust_structures.Map_intf.ops

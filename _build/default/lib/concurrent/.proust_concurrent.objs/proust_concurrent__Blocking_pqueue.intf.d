@@ -1,0 +1,1 @@
+lib/concurrent/blocking_pqueue.mli:

@@ -1,0 +1,1 @@
+lib/concurrent/chashmap.ml: Array Fun Hashtbl Mutex Striped_counter

@@ -1,0 +1,1 @@
+lib/concurrent/cow_omap.ml: Atomic Avl List Stdlib

@@ -1,0 +1,1 @@
+lib/concurrent/cow_pqueue.ml: Atomic Pheap

@@ -1,0 +1,1 @@
+lib/concurrent/cow_queue.ml: Atomic Pqueue_fifo

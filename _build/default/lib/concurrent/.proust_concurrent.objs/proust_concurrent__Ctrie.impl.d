@@ -1,0 +1,1 @@
+lib/concurrent/ctrie.ml: Atomic Hamt Hashtbl

@@ -1,0 +1,1 @@
+lib/concurrent/deque.ml: Fun List Mutex Option

@@ -1,0 +1,1 @@
+lib/concurrent/lf_list.ml: Atomic List Stdlib Striped_counter

@@ -1,0 +1,1 @@
+lib/concurrent/nn_counter.ml: Atomic

@@ -1,0 +1,1 @@
+lib/concurrent/pqueue_fifo.mli:

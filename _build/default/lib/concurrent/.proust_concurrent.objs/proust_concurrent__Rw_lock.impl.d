@@ -1,0 +1,1 @@
+lib/concurrent/rw_lock.ml: Fun Hashtbl Mutex Option Unix

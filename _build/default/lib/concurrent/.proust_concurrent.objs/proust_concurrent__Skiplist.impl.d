@@ -1,0 +1,1 @@
+lib/concurrent/skiplist.ml: Array Atomic Domain Fun List Mutex Option Stdlib Striped_counter

@@ -1,0 +1,1 @@
+lib/concurrent/striped_counter.ml: Array Atomic Domain

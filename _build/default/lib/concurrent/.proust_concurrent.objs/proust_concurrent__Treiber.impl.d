@@ -1,0 +1,1 @@
+lib/concurrent/treiber.ml: Atomic Striped_counter

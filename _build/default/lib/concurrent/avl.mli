@@ -1,0 +1,38 @@
+(** Persistent AVL tree map over ordered keys.  The immutable core of
+    {!Cow_omap}, the snapshot-able ordered map the Proustian ordered
+    map wraps.  All operations are pure. *)
+
+type ('k, 'v) t
+
+val empty : ('k, 'v) t
+val is_empty : ('k, 'v) t -> bool
+
+val find : compare:('k -> 'k -> int) -> 'k -> ('k, 'v) t -> 'v option
+
+(** Returns the updated tree and the previous binding. *)
+val add :
+  compare:('k -> 'k -> int) -> 'k -> 'v -> ('k, 'v) t -> ('k, 'v) t * 'v option
+
+val remove :
+  compare:('k -> 'k -> int) -> 'k -> ('k, 'v) t -> ('k, 'v) t * 'v option
+
+val min_binding : ('k, 'v) t -> ('k * 'v) option
+val max_binding : ('k, 'v) t -> ('k * 'v) option
+val cardinal : ('k, 'v) t -> int
+
+(** [fold_range ~compare ~lo ~hi f t acc] folds over bindings with
+    [lo <= k <= hi] in ascending key order. *)
+val fold_range :
+  compare:('k -> 'k -> int) ->
+  lo:'k ->
+  hi:'k ->
+  ('k -> 'v -> 'acc -> 'acc) ->
+  ('k, 'v) t ->
+  'acc ->
+  'acc
+
+val iter : ('k -> 'v -> unit) -> ('k, 'v) t -> unit
+val bindings : ('k, 'v) t -> ('k * 'v) list
+
+(** AVL balance + ordering invariants, for property tests. *)
+val well_formed : compare:('k -> 'k -> int) -> ('k, 'v) t -> bool

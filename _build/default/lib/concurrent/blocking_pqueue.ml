@@ -1,0 +1,145 @@
+type 'a handle = { value : 'a; mutable dead : bool }
+
+type 'a t = {
+  m : Mutex.t;
+  cmp : 'a -> 'a -> int;
+  mutable heap : 'a handle array;  (* slots [0, len) form a binary heap *)
+  mutable len : int;
+  mutable live : int;
+}
+
+let create ~cmp () =
+  { m = Mutex.create (); cmp; heap = [||]; len = 0; live = 0 }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let swap t i j =
+  let x = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- x
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.cmp t.heap.(i).value t.heap.(parent).value < 0 then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && t.cmp t.heap.(l).value t.heap.(!smallest).value < 0 then
+    smallest := l;
+  if r < t.len && t.cmp t.heap.(r).value t.heap.(!smallest).value < 0 then
+    smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let grow t =
+  let cap = max 8 (2 * Array.length t.heap) in
+  let heap = Array.make cap t.heap.(0) in
+  Array.blit t.heap 0 heap 0 t.len;
+  t.heap <- heap
+
+let push t h =
+  if t.len = Array.length t.heap then
+    if t.len = 0 then t.heap <- Array.make 8 h else grow t;
+  t.heap.(t.len) <- h;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let pop_root t =
+  let h = t.heap.(0) in
+  t.len <- t.len - 1;
+  if t.len > 0 then begin
+    t.heap.(0) <- t.heap.(t.len);
+    sift_down t 0
+  end;
+  h
+
+(* Rebuild the heap from live entries once the dead majority makes
+   every poll pay for tombstones. *)
+let compact t =
+  let lived = Array.sub t.heap 0 t.len |> Array.to_list |> List.filter (fun h -> not h.dead) in
+  t.len <- 0;
+  List.iter (fun h -> push t h) lived
+
+let add t v =
+  locked t (fun () ->
+      let h = { value = v; dead = false } in
+      push t h;
+      t.live <- t.live + 1;
+      h)
+
+let delete t h =
+  locked t (fun () ->
+      if h.dead then false
+      else begin
+        h.dead <- true;
+        t.live <- t.live - 1;
+        if t.len > 8 && t.live * 2 < t.len then compact t;
+        true
+      end)
+
+let handle_value h = h.value
+
+let remove_value t v =
+  locked t (fun () ->
+      let found = ref false in
+      for i = 0 to t.len - 1 do
+        let h = t.heap.(i) in
+        if (not !found) && (not h.dead) && t.cmp h.value v = 0 then begin
+          h.dead <- true;
+          t.live <- t.live - 1;
+          found := true
+        end
+      done;
+      if !found && t.len > 8 && t.live * 2 < t.len then compact t;
+      !found)
+
+let rec drop_dead t =
+  if t.len > 0 && t.heap.(0).dead then begin
+    ignore (pop_root t);
+    drop_dead t
+  end
+
+let peek t =
+  locked t (fun () ->
+      drop_dead t;
+      if t.len = 0 then None else Some t.heap.(0).value)
+
+let poll t =
+  locked t (fun () ->
+      drop_dead t;
+      if t.len = 0 then None
+      else begin
+        let h = pop_root t in
+        h.dead <- true;
+        t.live <- t.live - 1;
+        Some h.value
+      end)
+
+let contains t v =
+  locked t (fun () ->
+      let found = ref false in
+      for i = 0 to t.len - 1 do
+        if (not t.heap.(i).dead) && t.cmp t.heap.(i).value v = 0 then
+          found := true
+      done;
+      !found)
+
+let size t = locked t (fun () -> t.live)
+let is_empty t = size t = 0
+
+let to_sorted_list t =
+  locked t (fun () ->
+      Array.sub t.heap 0 t.len |> Array.to_list
+      |> List.filter (fun h -> not h.dead)
+      |> List.map (fun h -> h.value)
+      |> List.sort t.cmp)

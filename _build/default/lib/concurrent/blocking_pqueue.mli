@@ -1,0 +1,35 @@
+(** Mutex-guarded binary-heap priority queue with removable handles —
+    the repo's stand-in for [java.util.concurrent.PriorityBlockingQueue]
+    as used by the eager Proustian priority queue (Figure 3).
+
+    [add] returns a handle that supports the paper's lazy-deletion
+    trick: the eager wrapper registers [delete handle] as the inverse
+    of [insert].  Deleted entries are skipped by [poll]/[peek] and
+    physically compacted once they dominate the heap. *)
+
+type 'a t
+type 'a handle
+
+val create : cmp:('a -> 'a -> int) -> unit -> 'a t
+val add : 'a t -> 'a -> 'a handle
+
+(** Mark the handle's entry dead; [true] if this call killed it. *)
+val delete : 'a t -> 'a handle -> bool
+
+val handle_value : 'a handle -> 'a
+
+(** Mark one live entry comparing equal to the value dead; [true] if
+    one was found.  Supports inverses whose handle was consumed by a
+    same-transaction [poll] (see {!Proust_structures.P_pqueue}). *)
+val remove_value : 'a t -> 'a -> bool
+val peek : 'a t -> 'a option
+val poll : 'a t -> 'a option
+
+(** O(n) scan of live entries. *)
+val contains : 'a t -> 'a -> bool
+
+(** Count of live entries. *)
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+val to_sorted_list : 'a t -> 'a list

@@ -1,0 +1,72 @@
+type ('k, 'v) snapshot = {
+  tree : ('k, 'v) Avl.t;
+  count : int;
+  compare : 'k -> 'k -> int;
+}
+
+type ('k, 'v) t = { root : ('k, 'v) snapshot Atomic.t }
+
+let create ?(compare = Stdlib.compare) () =
+  { root = Atomic.make { tree = Avl.empty; count = 0; compare } }
+
+let snapshot t = Atomic.get t.root
+let get t k = (fun s -> Avl.find ~compare:s.compare k s.tree) (snapshot t)
+let contains t k = get t k <> None
+
+let rec put t k v =
+  let s = Atomic.get t.root in
+  let tree, old = Avl.add ~compare:s.compare k v s.tree in
+  let count = if old = None then s.count + 1 else s.count in
+  if Atomic.compare_and_set t.root s { s with tree; count } then old
+  else put t k v
+
+let rec remove t k =
+  let s = Atomic.get t.root in
+  let tree, old = Avl.remove ~compare:s.compare k s.tree in
+  match old with
+  | None -> None
+  | Some _ ->
+      if Atomic.compare_and_set t.root s { s with tree; count = s.count - 1 }
+      then old
+      else remove t k
+
+let min_binding t = Avl.min_binding (snapshot t).tree
+let max_binding t = Avl.max_binding (snapshot t).tree
+
+let range t ~lo ~hi =
+  let s = snapshot t in
+  Avl.fold_range ~compare:s.compare ~lo ~hi (fun k v acc -> (k, v) :: acc)
+    s.tree []
+  |> List.rev
+
+let size t = (snapshot t).count
+let is_empty t = size t = 0
+let commit t ~expected ~desired = Atomic.compare_and_set t.root expected desired
+let bindings t = Avl.bindings (snapshot t).tree
+
+module Snapshot = struct
+  type ('k, 'v) t = ('k, 'v) snapshot
+
+  let find s k = Avl.find ~compare:s.compare k s.tree
+
+  let add s k v =
+    let tree, old = Avl.add ~compare:s.compare k v s.tree in
+    let count = if old = None then s.count + 1 else s.count in
+    ({ s with tree; count }, old)
+
+  let remove s k =
+    let tree, old = Avl.remove ~compare:s.compare k s.tree in
+    let count = if old = None then s.count else s.count - 1 in
+    ({ s with tree; count }, old)
+
+  let min_binding s = Avl.min_binding s.tree
+  let max_binding s = Avl.max_binding s.tree
+
+  let range s ~lo ~hi =
+    Avl.fold_range ~compare:s.compare ~lo ~hi (fun k v acc -> (k, v) :: acc)
+      s.tree []
+    |> List.rev
+
+  let size s = s.count
+  let bindings s = Avl.bindings s.tree
+end

@@ -1,0 +1,61 @@
+type 'a snapshot = { heap : 'a Pheap.t; count : int; cmp : 'a -> 'a -> int }
+type 'a t = { root : 'a snapshot Atomic.t }
+
+let create ~cmp () =
+  { root = Atomic.make { heap = Pheap.empty; count = 0; cmp } }
+
+let snapshot t = Atomic.get t.root
+
+let rec add t x =
+  let s = Atomic.get t.root in
+  let s' = { s with heap = Pheap.insert ~cmp:s.cmp x s.heap; count = s.count + 1 } in
+  if not (Atomic.compare_and_set t.root s s') then add t x
+
+let peek t = Pheap.find_min (snapshot t).heap
+
+let rec poll t =
+  let s = Atomic.get t.root in
+  match Pheap.delete_min ~cmp:s.cmp s.heap with
+  | None -> None
+  | Some (x, heap) ->
+      if Atomic.compare_and_set t.root s { s with heap; count = s.count - 1 }
+      then Some x
+      else poll t
+
+let rec remove t x =
+  let s = Atomic.get t.root in
+  let heap, removed = Pheap.remove ~cmp:s.cmp x s.heap in
+  if not removed then false
+  else if Atomic.compare_and_set t.root s { s with heap; count = s.count - 1 }
+  then true
+  else remove t x
+
+let contains t x =
+  let s = snapshot t in
+  Pheap.mem ~cmp:s.cmp x s.heap
+
+let size t = (snapshot t).count
+let is_empty t = size t = 0
+let commit t ~expected ~desired = Atomic.compare_and_set t.root expected desired
+
+module Snapshot = struct
+  type 'a t = 'a snapshot
+
+  let peek s = Pheap.find_min s.heap
+
+  let poll s =
+    match Pheap.delete_min ~cmp:s.cmp s.heap with
+    | None -> None
+    | Some (x, heap) -> Some (x, { s with heap; count = s.count - 1 })
+
+  let add s x =
+    { s with heap = Pheap.insert ~cmp:s.cmp x s.heap; count = s.count + 1 }
+
+  let remove s x =
+    let heap, removed = Pheap.remove ~cmp:s.cmp x s.heap in
+    if removed then ({ s with heap; count = s.count - 1 }, true) else (s, false)
+
+  let contains s x = Pheap.mem ~cmp:s.cmp x s.heap
+  let size s = s.count
+  let to_sorted_list s = Pheap.to_sorted_list ~cmp:s.cmp s.heap
+end

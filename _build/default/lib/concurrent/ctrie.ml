@@ -1,0 +1,77 @@
+type ('k, 'v) snapshot = {
+  map : ('k, 'v) Hamt.t;
+  count : int;
+  hash : 'k -> int;
+  equal : 'k -> 'k -> bool;
+}
+
+type ('k, 'v) t = { root : ('k, 'v) snapshot Atomic.t }
+
+let create ?(hash = Hashtbl.hash) ?(equal = fun a b -> a = b) () =
+  { root = Atomic.make { map = Hamt.empty; count = 0; hash; equal } }
+
+let snapshot t = Atomic.get t.root
+
+let get t k =
+  let s = snapshot t in
+  Hamt.find ~hash:s.hash ~equal:s.equal k s.map
+
+let contains t k = get t k <> None
+let size t = (snapshot t).count
+let is_empty t = size t = 0
+
+let rec put t k v =
+  let s = Atomic.get t.root in
+  let map, old = Hamt.add ~hash:s.hash ~equal:s.equal k v s.map in
+  let count = if old = None then s.count + 1 else s.count in
+  if Atomic.compare_and_set t.root s { s with map; count } then old
+  else put t k v
+
+let rec put_if_absent t k v =
+  let s = Atomic.get t.root in
+  match Hamt.find ~hash:s.hash ~equal:s.equal k s.map with
+  | Some _ as old -> old
+  | None ->
+      let map, _ = Hamt.add ~hash:s.hash ~equal:s.equal k v s.map in
+      if Atomic.compare_and_set t.root s { s with map; count = s.count + 1 }
+      then None
+      else put_if_absent t k v
+
+let rec remove t k =
+  let s = Atomic.get t.root in
+  let map, old = Hamt.remove ~hash:s.hash ~equal:s.equal k s.map in
+  match old with
+  | None -> None
+  | Some _ ->
+      if Atomic.compare_and_set t.root s { s with map; count = s.count - 1 }
+      then old
+      else remove t k
+
+let iter f t = Hamt.iter f (snapshot t).map
+let fold f t init = Hamt.fold f (snapshot t).map init
+let bindings t = Hamt.bindings (snapshot t).map
+
+let compare_and_swap_root t ~expected ~desired =
+  Atomic.compare_and_set t.root expected desired
+
+module Snapshot = struct
+  type ('k, 'v) t = ('k, 'v) snapshot
+
+  let find s k = Hamt.find ~hash:s.hash ~equal:s.equal k s.map
+  let mem s k = find s k <> None
+  let size s = s.count
+
+  let add s k v =
+    let map, old = Hamt.add ~hash:s.hash ~equal:s.equal k v s.map in
+    let count = if old = None then s.count + 1 else s.count in
+    ({ s with map; count }, old)
+
+  let remove s k =
+    let map, old = Hamt.remove ~hash:s.hash ~equal:s.equal k s.map in
+    let count = if old = None then s.count else s.count - 1 in
+    ({ s with map; count }, old)
+
+  let iter f s = Hamt.iter f s.map
+  let fold f s init = Hamt.fold f s.map init
+  let bindings s = Hamt.bindings s.map
+end

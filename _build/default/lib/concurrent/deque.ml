@@ -1,0 +1,101 @@
+type 'a node = {
+  value : 'a;
+  mutable prev : 'a node option;
+  mutable next : 'a node option;
+  mutable linked : bool;
+}
+
+type 'a t = {
+  m : Mutex.t;
+  mutable front : 'a node option;
+  mutable back : 'a node option;
+  mutable count : int;
+}
+
+let create () = { m = Mutex.create (); front = None; back = None; count = 0 }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let push_front t v =
+  locked t (fun () ->
+      let n = { value = v; prev = None; next = t.front; linked = true } in
+      (match t.front with
+      | Some f -> f.prev <- Some n
+      | None -> t.back <- Some n);
+      t.front <- Some n;
+      t.count <- t.count + 1;
+      n)
+
+let push_back t v =
+  locked t (fun () ->
+      let n = { value = v; prev = t.back; next = None; linked = true } in
+      (match t.back with
+      | Some b -> b.next <- Some n
+      | None -> t.front <- Some n);
+      t.back <- Some n;
+      t.count <- t.count + 1;
+      n)
+
+(* Caller holds the mutex. *)
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.front <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.back <- n.prev);
+  n.prev <- None;
+  n.next <- None;
+  n.linked <- false;
+  t.count <- t.count - 1
+
+let pop_front t =
+  locked t (fun () ->
+      match t.front with
+      | None -> None
+      | Some n ->
+          unlink t n;
+          Some n.value)
+
+let pop_back t =
+  locked t (fun () ->
+      match t.back with
+      | None -> None
+      | Some n ->
+          unlink t n;
+          Some n.value)
+
+let peek_front t = locked t (fun () -> Option.map (fun n -> n.value) t.front)
+let peek_back t = locked t (fun () -> Option.map (fun n -> n.value) t.back)
+
+let delete t n =
+  locked t (fun () ->
+      if n.linked then begin
+        unlink t n;
+        true
+      end
+      else false)
+
+let node_value n = n.value
+
+let remove_value t v =
+  locked t (fun () ->
+      let rec go = function
+        | None -> false
+        | Some n ->
+            if n.value = v then begin
+              unlink t n;
+              true
+            end
+            else go n.next
+      in
+      go t.front)
+
+let size t = locked t (fun () -> t.count)
+let is_empty t = size t = 0
+
+let to_list t =
+  locked t (fun () ->
+      let rec go acc = function
+        | None -> List.rev acc
+        | Some n -> go (n.value :: acc) n.next
+      in
+      go [] t.front)

@@ -1,0 +1,33 @@
+(** Mutex-guarded doubly-linked deque with removable node handles —
+    the repo's stand-in for [java.util.concurrent.LinkedBlockingDeque].
+
+    The eager Proustian FIFO queue wraps this: an enqueue's inverse
+    deletes the node it created (lazy deletion by handle), and a
+    dequeue's inverse pushes the value back on the end it came from —
+    operations a lock-free Michael-Scott queue cannot support. *)
+
+type 'a t
+type 'a node
+
+val create : unit -> 'a t
+val push_front : 'a t -> 'a -> 'a node
+val push_back : 'a t -> 'a -> 'a node
+val pop_front : 'a t -> 'a option
+val pop_back : 'a t -> 'a option
+val peek_front : 'a t -> 'a option
+val peek_back : 'a t -> 'a option
+
+(** Unlink the node; [false] if it was already removed. *)
+val delete : 'a t -> 'a node -> bool
+
+val node_value : 'a node -> 'a
+
+(** Unlink the first (front-most) node whose value equals [v]; [false]
+    if none.  Supports inverses whose node handle was consumed by a
+    same-transaction [pop] (see {!Proust_structures.P_fifo}). *)
+val remove_value : 'a t -> 'a -> bool
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** Front-to-back contents. *)
+val to_list : 'a t -> 'a list

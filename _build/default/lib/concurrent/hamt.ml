@@ -1,0 +1,153 @@
+type ('k, 'v) t =
+  | Empty
+  | Leaf of int * ('k * 'v) list  (* full hash, nonempty collision bucket *)
+  | Node of int * ('k, 'v) t array  (* bitmap, compressed children *)
+
+let bits = 5
+let arity = 1 lsl bits
+let chunk_mask = arity - 1
+let empty = Empty
+let is_empty t = t = Empty
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
+  go x 0
+
+let child_pos bitmap bit = popcount (bitmap land (bit - 1))
+
+let rec find ~hash ~equal k t =
+  find_aux ~equal (hash k) 0 k t
+
+and find_aux ~equal h shift k = function
+  | Empty -> None
+  | Leaf (h2, kvs) ->
+      if h2 = h then
+        List.find_map (fun (k2, v) -> if equal k k2 then Some v else None) kvs
+      else None
+  | Node (bitmap, children) ->
+      let bit = 1 lsl ((h lsr shift) land chunk_mask) in
+      if bitmap land bit = 0 then None
+      else find_aux ~equal h (shift + bits) k children.(child_pos bitmap bit)
+
+let array_insert arr pos x =
+  let n = Array.length arr in
+  let out = Array.make (n + 1) x in
+  Array.blit arr 0 out 0 pos;
+  Array.blit arr pos out (pos + 1) (n - pos);
+  out
+
+let array_set arr pos x =
+  let out = Array.copy arr in
+  out.(pos) <- x;
+  out
+
+let array_remove arr pos =
+  let n = Array.length arr in
+  let out = Array.make (n - 1) arr.(0) in
+  Array.blit arr 0 out 0 pos;
+  Array.blit arr (pos + 1) out pos (n - 1 - pos);
+  out
+
+(* Re-home an existing leaf one level down, as a singleton node. *)
+let push_down shift h leaf =
+  Node (1 lsl ((h lsr shift) land chunk_mask), [| leaf |])
+
+let rec add ~hash ~equal k v t =
+  add_aux ~equal (hash k) 0 k v t
+
+and add_aux ~equal h shift k v t =
+  match t with
+  | Empty -> (Leaf (h, [ (k, v) ]), None)
+  | Leaf (h2, kvs) when h2 = h ->
+      let old =
+        List.find_map (fun (k2, v2) -> if equal k k2 then Some v2 else None) kvs
+      in
+      let rest = List.filter (fun (k2, _) -> not (equal k k2)) kvs in
+      (Leaf (h, (k, v) :: rest), old)
+  | Leaf (h2, _) ->
+      (* Distinct hashes collided at this level: split and retry. *)
+      add_aux ~equal h shift k v (push_down shift h2 t)
+  | Node (bitmap, children) ->
+      let bit = 1 lsl ((h lsr shift) land chunk_mask) in
+      let pos = child_pos bitmap bit in
+      if bitmap land bit = 0 then
+        (Node (bitmap lor bit, array_insert children pos (Leaf (h, [ (k, v) ]))), None)
+      else
+        let child, old = add_aux ~equal h (shift + bits) k v children.(pos) in
+        (Node (bitmap, array_set children pos child), old)
+
+let rec remove ~hash ~equal k t =
+  remove_aux ~equal (hash k) 0 k t
+
+and remove_aux ~equal h shift k t =
+  match t with
+  | Empty -> (Empty, None)
+  | Leaf (h2, kvs) ->
+      if h2 <> h then (t, None)
+      else
+        let old =
+          List.find_map (fun (k2, v2) -> if equal k k2 then Some v2 else None) kvs
+        in
+        if old = None then (t, None)
+        else begin
+          match List.filter (fun (k2, _) -> not (equal k k2)) kvs with
+          | [] -> (Empty, old)
+          | rest -> (Leaf (h, rest), old)
+        end
+  | Node (bitmap, children) -> (
+      let bit = 1 lsl ((h lsr shift) land chunk_mask) in
+      if bitmap land bit = 0 then (t, None)
+      else
+        let pos = child_pos bitmap bit in
+        let child, old = remove_aux ~equal h (shift + bits) k children.(pos) in
+        match old with
+        | None -> (t, None)
+        | Some _ ->
+            let node =
+              if child = Empty then
+                let bitmap' = bitmap land lnot bit in
+                if bitmap' = 0 then Empty
+                else Node (bitmap', array_remove children pos)
+              else Node (bitmap, array_set children pos child)
+            in
+            (node, old))
+
+let rec iter f = function
+  | Empty -> ()
+  | Leaf (_, kvs) -> List.iter (fun (k, v) -> f k v) kvs
+  | Node (_, children) -> Array.iter (iter f) children
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun k v -> acc := f k v !acc) t;
+  !acc
+
+let cardinal t = fold (fun _ _ n -> n + 1) t 0
+let bindings t = fold (fun k v acc -> (k, v) :: acc) t []
+
+let well_formed ~hash t =
+  let ok = ref true in
+  let rec go shift prefix_check = function
+    | Empty -> ()  (* only legal at the root; checked by caller context *)
+    | Leaf (h, kvs) ->
+        if kvs = [] then ok := false;
+        List.iter (fun (k, _) -> if hash k <> h then ok := false) kvs;
+        if not (prefix_check h) then ok := false
+    | Node (bitmap, children) ->
+        if popcount bitmap <> Array.length children then ok := false;
+        if Array.length children = 0 then ok := false;
+        let pos = ref 0 in
+        for idx = 0 to arity - 1 do
+          if bitmap land (1 lsl idx) <> 0 then begin
+            let child = children.(!pos) in
+            if child = Empty then ok := false;
+            go (shift + bits)
+              (fun h ->
+                (h lsr shift) land chunk_mask = idx && prefix_check h)
+              child;
+            incr pos
+          end
+        done
+  in
+  go 0 (fun _ -> true) t;
+  !ok

@@ -1,0 +1,42 @@
+(** Persistent hash-array-mapped trie.
+
+    The immutable core of {!Ctrie}: 32-way branching on successive
+    5-bit slices of the key hash, with collision buckets at exhausted
+    hashes.  All operations are pure; updates share structure with the
+    original, which is what makes Ctrie snapshots O(1).
+
+    The hash and equality functions are supplied per call so that one
+    node type serves any key type; {!Ctrie} fixes them once. *)
+
+type ('k, 'v) t
+
+val empty : ('k, 'v) t
+val is_empty : ('k, 'v) t -> bool
+val find : hash:('k -> int) -> equal:('k -> 'k -> bool) -> 'k -> ('k, 'v) t -> 'v option
+
+(** [add ~hash ~equal k v t] is the updated trie and the previous
+    binding of [k], if any. *)
+val add :
+  hash:('k -> int) ->
+  equal:('k -> 'k -> bool) ->
+  'k ->
+  'v ->
+  ('k, 'v) t ->
+  ('k, 'v) t * 'v option
+
+val remove :
+  hash:('k -> int) ->
+  equal:('k -> 'k -> bool) ->
+  'k ->
+  ('k, 'v) t ->
+  ('k, 'v) t * 'v option
+
+val cardinal : ('k, 'v) t -> int
+val iter : ('k -> 'v -> unit) -> ('k, 'v) t -> unit
+val fold : ('k -> 'v -> 'acc -> 'acc) -> ('k, 'v) t -> 'acc -> 'acc
+val bindings : ('k, 'v) t -> ('k * 'v) list
+
+(** Structural invariants for property tests: bitmap arity matches the
+    child array, no empty subtrees, leaf buckets are nonempty and
+    hash-consistent, entries sit on the path their hash dictates. *)
+val well_formed : hash:('k -> int) -> ('k, 'v) t -> bool

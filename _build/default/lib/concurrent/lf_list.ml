@@ -1,0 +1,85 @@
+type 'k state = { marked : bool; next : 'k node option }
+and 'k node = { key : 'k; state : 'k state Atomic.t }
+
+type 'k t = {
+  head : 'k state Atomic.t;  (* head sentinel: never marked *)
+  compare : 'k -> 'k -> int;
+  count : Striped_counter.t;
+}
+
+let create ?(compare = Stdlib.compare) () =
+  {
+    head = Atomic.make { marked = false; next = None };
+    compare;
+    count = Striped_counter.create ();
+  }
+
+(* [find t k] positions at the first live node with key >= k, returning
+   (prev cell, prev cell's observed state, that node or None).  Marked
+   nodes encountered on the way are physically unlinked; any CAS race
+   restarts the traversal from the head. *)
+let rec find t k =
+  let rec advance prev =
+    let ps = Atomic.get prev in
+    if ps.marked then find t k
+    else
+      match ps.next with
+      | None -> (prev, ps, None)
+      | Some curr ->
+          let cs = Atomic.get curr.state in
+          if cs.marked then
+            if Atomic.compare_and_set prev ps { ps with next = cs.next } then
+              advance prev
+            else find t k
+          else if t.compare curr.key k < 0 then advance curr.state
+          else (prev, ps, Some curr)
+  in
+  advance t.head
+
+let rec add t k =
+  let prev, ps, curr = find t k in
+  match curr with
+  | Some n when t.compare n.key k = 0 -> false
+  | _ ->
+      let node = { key = k; state = Atomic.make { marked = false; next = curr } } in
+      if Atomic.compare_and_set prev ps { ps with next = Some node } then begin
+        Striped_counter.incr t.count;
+        true
+      end
+      else add t k
+
+let rec remove t k =
+  let _, _, curr = find t k in
+  match curr with
+  | Some n when t.compare n.key k = 0 ->
+      let cs = Atomic.get n.state in
+      if cs.marked then false
+      else if Atomic.compare_and_set n.state cs { cs with marked = true } then begin
+        Striped_counter.decr t.count;
+        ignore (find t k);  (* help the physical unlink along *)
+        true
+      end
+      else remove t k
+  | _ -> false
+
+let contains t k =
+  let rec go = function
+    | None -> false
+    | Some n ->
+        let c = t.compare n.key k in
+        if c < 0 then go (Atomic.get n.state).next
+        else c = 0 && not (Atomic.get n.state).marked
+  in
+  go (Atomic.get t.head).next
+
+let size t = Striped_counter.get t.count
+let is_empty t = size t = 0
+
+let to_list t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n ->
+        let s = Atomic.get n.state in
+        go (if s.marked then acc else n.key :: acc) s.next
+  in
+  go [] (Atomic.get t.head).next

@@ -1,0 +1,26 @@
+(** Lock-free sorted linked-list set (Harris/Michael algorithm).
+
+    Logical deletion marks a node's successor state; traversals help by
+    physically unlinking marked nodes.  Included as a representative
+    lock-free base structure so the Proustian set wrapper demonstrates
+    boosting a genuinely non-blocking library object (§1). *)
+
+type 'k t
+
+val create : ?compare:('k -> 'k -> int) -> unit -> 'k t
+
+(** [add t k] inserts [k]; [false] if already present. *)
+val add : 'k t -> 'k -> bool
+
+(** [remove t k] deletes [k]; [false] if absent. *)
+val remove : 'k t -> 'k -> bool
+
+val contains : 'k t -> 'k -> bool
+
+(** Quiescently consistent count. *)
+val size : 'k t -> int
+
+val is_empty : 'k t -> bool
+
+(** Ascending live keys at traversal time. *)
+val to_list : 'k t -> 'k list

@@ -1,0 +1,14 @@
+type t = int Atomic.t
+
+let create ?(init = 0) () =
+  if init < 0 then invalid_arg "Nn_counter.create: negative";
+  Atomic.make init
+
+let get = Atomic.get
+let incr t = ignore (Atomic.fetch_and_add t 1)
+
+let rec try_decr t =
+  let v = Atomic.get t in
+  if v = 0 then false
+  else if Atomic.compare_and_set t v (v - 1) then true
+  else try_decr t

@@ -1,0 +1,12 @@
+(** Linearizable non-negative counter — the base object for the
+    paper's §3 running example.  [try_decr] refuses to go below zero,
+    returning the error flag the example's [decr] reports. *)
+
+type t
+
+val create : ?init:int -> unit -> t
+val get : t -> int
+val incr : t -> unit
+
+(** [try_decr t] decrements unless the value is 0; [true] on success. *)
+val try_decr : t -> bool

@@ -1,0 +1,78 @@
+type 'a t = E | T of 'a * 'a t list
+
+let empty = E
+let is_empty t = t = E
+
+let merge ~cmp a b =
+  match (a, b) with
+  | E, t | t, E -> t
+  | T (x, xs), T (y, ys) ->
+      if cmp x y <= 0 then T (x, b :: xs) else T (y, a :: ys)
+
+let insert ~cmp x t = merge ~cmp (T (x, [])) t
+let find_min = function E -> None | T (x, _) -> Some x
+
+let rec merge_pairs ~cmp = function
+  | [] -> E
+  | [ h ] -> h
+  | h1 :: h2 :: rest -> merge ~cmp (merge ~cmp h1 h2) (merge_pairs ~cmp rest)
+
+let delete_min ~cmp = function
+  | E -> None
+  | T (x, hs) -> Some (x, merge_pairs ~cmp hs)
+
+let rec iter f = function
+  | E -> ()
+  | T (x, hs) ->
+      f x;
+      List.iter (iter f) hs
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun x -> acc := f x !acc) t;
+  !acc
+
+let size t = fold (fun _ n -> n + 1) t 0
+
+let mem ~cmp x t =
+  let found = ref false in
+  iter (fun y -> if cmp x y = 0 then found := true) t;
+  !found
+
+let of_list ~cmp l = List.fold_left (fun h x -> insert ~cmp x h) empty l
+
+let remove ~cmp x t =
+  if not (mem ~cmp x t) then (t, false)
+  else begin
+    (* Rebuild without one occurrence; acceptable O(n) since arbitrary
+       removal is not on the hot path of any wrapped operation. *)
+    let removed = ref false in
+    let keep =
+      fold
+        (fun y acc ->
+          if (not !removed) && cmp x y = 0 then begin
+            removed := true;
+            acc
+          end
+          else y :: acc)
+        t []
+    in
+    (of_list ~cmp keep, true)
+  end
+
+let rec to_sorted_list ~cmp t =
+  match delete_min ~cmp t with
+  | None -> []
+  | Some (x, rest) -> x :: to_sorted_list ~cmp rest
+
+let well_formed ~cmp t =
+  let rec go = function
+    | E -> true
+    | T (x, hs) ->
+        List.for_all
+          (function
+            | E -> false  (* children are never empty heaps *)
+            | T (y, _) as h -> cmp x y <= 0 && go h)
+          hs
+  in
+  go t

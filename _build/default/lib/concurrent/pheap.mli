@@ -1,0 +1,30 @@
+(** Persistent (purely functional) pairing heap.
+
+    The immutable core of {!Cow_pqueue}.  All operations are pure;
+    [merge]/[insert] are O(1), [delete_min] amortized O(log n). *)
+
+type 'a t
+
+val empty : 'a t
+val is_empty : 'a t -> bool
+val insert : cmp:('a -> 'a -> int) -> 'a -> 'a t -> 'a t
+val merge : cmp:('a -> 'a -> int) -> 'a t -> 'a t -> 'a t
+val find_min : 'a t -> 'a option
+val delete_min : cmp:('a -> 'a -> int) -> 'a t -> ('a * 'a t) option
+
+(** O(n). *)
+val size : 'a t -> int
+
+(** O(n); [true] if some element is structurally equal. *)
+val mem : cmp:('a -> 'a -> int) -> 'a -> 'a t -> bool
+
+(** Remove one occurrence of an element; O(n) rebuild. *)
+val remove : cmp:('a -> 'a -> int) -> 'a -> 'a t -> ('a t * bool)
+
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+val to_sorted_list : cmp:('a -> 'a -> int) -> 'a t -> 'a list
+val iter : ('a -> unit) -> 'a t -> unit
+val fold : ('a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+
+(** Heap-order invariant check for property tests. *)
+val well_formed : cmp:('a -> 'a -> int) -> 'a t -> bool

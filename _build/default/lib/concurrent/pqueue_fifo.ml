@@ -1,0 +1,22 @@
+(* Invariant: [front] is empty only when [back] is empty. *)
+type 'a t = { front : 'a list; back : 'a list; len : int }
+
+let empty = { front = []; back = []; len = 0 }
+let is_empty t = t.len = 0
+
+let norm t =
+  match t.front with
+  | [] -> { t with front = List.rev t.back; back = [] }
+  | _ -> t
+
+let enqueue t v = norm { t with back = v :: t.back; len = t.len + 1 }
+
+let dequeue t =
+  match t.front with
+  | [] -> None
+  | v :: rest -> Some (v, norm { t with front = rest; len = t.len - 1 })
+
+let peek t = match t.front with [] -> None | v :: _ -> Some v
+let length t = t.len
+let to_list t = t.front @ List.rev t.back
+let of_list l = { front = l; back = []; len = List.length l }

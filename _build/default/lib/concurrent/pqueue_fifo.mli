@@ -1,0 +1,15 @@
+(** Persistent FIFO queue (Okasaki's two-list representation).  The
+    immutable core of {!Cow_queue}. *)
+
+type 'a t
+
+val empty : 'a t
+val is_empty : 'a t -> bool
+val enqueue : 'a t -> 'a -> 'a t
+val dequeue : 'a t -> ('a * 'a t) option
+val peek : 'a t -> 'a option
+val length : 'a t -> int
+val to_list : 'a t -> 'a list
+
+(** Front-to-back. *)
+val of_list : 'a list -> 'a t

@@ -1,0 +1,68 @@
+type t = {
+  m : Mutex.t;
+  readers : (int, int) Hashtbl.t;  (* owner -> reentrancy count *)
+  mutable writer : int option;
+  mutable writer_depth : int;
+}
+
+let create () =
+  { m = Mutex.create (); readers = Hashtbl.create 4; writer = None; writer_depth = 0 }
+
+let with_lock t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+(* Deadline-bounded acquisition polls rather than using condition
+   variables: waiters are transactions that will abort on timeout, so
+   the wait is short-lived by construction and a micro-sleep poll keeps
+   the implementation obviously deadlock-free. *)
+let poll_until ~deadline attempt =
+  let rec loop () =
+    if attempt () then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Unix.sleepf 20e-6;
+      loop ()
+    end
+  in
+  loop ()
+
+let try_acquire_read t ~owner ~deadline =
+  let attempt () =
+    with_lock t (fun () ->
+        match t.writer with
+        | Some w when w <> owner -> false
+        | _ ->
+            let n = Option.value ~default:0 (Hashtbl.find_opt t.readers owner) in
+            Hashtbl.replace t.readers owner (n + 1);
+            true)
+  in
+  poll_until ~deadline attempt
+
+let try_acquire_write t ~owner ~deadline =
+  let attempt () =
+    with_lock t (fun () ->
+        let others_reading =
+          Hashtbl.fold (fun o _ acc -> acc || o <> owner) t.readers false
+        in
+        match t.writer with
+        | Some w when w <> owner -> false
+        | _ when others_reading -> false
+        | _ ->
+            t.writer <- Some owner;
+            t.writer_depth <- t.writer_depth + 1;
+            true)
+  in
+  poll_until ~deadline attempt
+
+let release_all t ~owner =
+  with_lock t (fun () ->
+      Hashtbl.remove t.readers owner;
+      match t.writer with
+      | Some w when w = owner ->
+          t.writer <- None;
+          t.writer_depth <- 0
+      | _ -> ())
+
+let reader_count t = with_lock t (fun () -> Hashtbl.length t.readers)
+let writer t = with_lock t (fun () -> t.writer)

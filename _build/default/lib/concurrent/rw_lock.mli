@@ -1,0 +1,34 @@
+(** Reentrant read/write locks with deadline-bounded acquisition.
+
+    These are the "standard re-entrant read-write locks" a pessimistic
+    lock-allocator policy hands out (§2).  Owners are identified by an
+    integer token (the Proust layer passes the transaction id), so a
+    lock can be held across arbitrary domain scheduling and released by
+    whichever code runs the owner's commit/abort handlers.
+
+    Acquisition is deadline-bounded rather than blocking: transactional
+    two-phase locking resolves deadlock by timing out and aborting the
+    transaction, which then backs off and retries. *)
+
+type t
+
+val create : unit -> t
+
+(** [try_acquire_read t ~owner ~deadline] acquires (or re-acquires) the
+    lock in shared mode.  Succeeds immediately when [owner] already
+    holds the write lock.  Returns [false] if the deadline (absolute
+    [Unix.gettimeofday] time) passes first. *)
+val try_acquire_read : t -> owner:int -> deadline:float -> bool
+
+(** Exclusive-mode acquisition; supports upgrade when [owner] is the
+    sole reader. *)
+val try_acquire_write : t -> owner:int -> deadline:float -> bool
+
+(** Release every hold [owner] has on this lock (both modes, all
+    reentrant levels).  Safe to call when [owner] holds nothing. *)
+val release_all : t -> owner:int -> unit
+
+(** Diagnostics: number of distinct reader owners / current writer. *)
+val reader_count : t -> int
+
+val writer : t -> int option

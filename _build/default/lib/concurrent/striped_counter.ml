@@ -1,0 +1,14 @@
+type t = { cells : int Atomic.t array; mask : int }
+
+let rec next_pow2 n k = if k >= n then k else next_pow2 n (k * 2)
+
+let create ?(stripes = 16) () =
+  let n = next_pow2 stripes 1 in
+  { cells = Array.init n (fun _ -> Atomic.make 0); mask = n - 1 }
+
+let cell t = t.cells.((Domain.self () :> int) land t.mask)
+let add t n = ignore (Atomic.fetch_and_add (cell t) n)
+let incr t = add t 1
+let decr t = add t (-1)
+let get t = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 t.cells
+let reset t = Array.iter (fun c -> Atomic.set c 0) t.cells

@@ -1,0 +1,15 @@
+(** Contention-splitting counter (java.util.concurrent LongAdder
+    analog): adds hit a per-domain stripe; reads sum all stripes. *)
+
+type t
+
+val create : ?stripes:int -> unit -> t
+val add : t -> int -> unit
+val incr : t -> unit
+val decr : t -> unit
+
+(** Linearizable only in quiescence; concurrent reads may miss
+    in-flight adds, which is the standard LongAdder contract. *)
+val get : t -> int
+
+val reset : t -> unit

@@ -1,0 +1,24 @@
+type 'a t = { top : 'a list Atomic.t; count : Striped_counter.t }
+
+let create () = { top = Atomic.make []; count = Striped_counter.create () }
+
+let rec push t v =
+  let cur = Atomic.get t.top in
+  if Atomic.compare_and_set t.top cur (v :: cur) then
+    Striped_counter.incr t.count
+  else push t v
+
+let rec pop t =
+  match Atomic.get t.top with
+  | [] -> None
+  | v :: rest as cur ->
+      if Atomic.compare_and_set t.top cur rest then begin
+        Striped_counter.decr t.count;
+        Some v
+      end
+      else pop t
+
+let peek t = match Atomic.get t.top with [] -> None | v :: _ -> Some v
+let size t = Striped_counter.get t.count
+let is_empty t = Atomic.get t.top = []
+let to_list t = Atomic.get t.top

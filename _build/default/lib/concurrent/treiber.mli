@@ -1,0 +1,19 @@
+(** Treiber lock-free stack: a linearizable LIFO base structure.  The
+    Proustian stack wrapper demonstrates boosting a structure whose
+    operations barely commute (every pair of stack operations
+    conflicts, so its conflict abstraction is a single element). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val push : 'a t -> 'a -> unit
+val pop : 'a t -> 'a option
+val peek : 'a t -> 'a option
+
+(** Quiescently consistent. *)
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** Top-to-bottom contents at load time. *)
+val to_list : 'a t -> 'a list

@@ -1,0 +1,1 @@
+lib/core/abstract_lock.ml: Intent List Lock_allocator Stm Update_strategy

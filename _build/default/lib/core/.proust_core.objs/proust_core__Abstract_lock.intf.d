@@ -1,0 +1,1 @@
+lib/core/abstract_lock.mli: Intent Lock_allocator Stm Update_strategy

@@ -1,0 +1,1 @@
+lib/core/committed_size.ml: Proust_concurrent Stm Tvar

@@ -1,0 +1,1 @@
+lib/core/conflict_abstraction.mli: Intent

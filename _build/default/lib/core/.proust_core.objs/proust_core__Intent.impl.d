@@ -1,0 +1,1 @@
+lib/core/intent.ml: Format

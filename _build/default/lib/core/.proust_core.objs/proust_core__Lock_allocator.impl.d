@@ -1,0 +1,1 @@
+lib/core/lock_allocator.ml: Array Atomic Conflict_abstraction Hashtbl Intent List Proust_concurrent Stats Stm Tvar Txn_desc Unix

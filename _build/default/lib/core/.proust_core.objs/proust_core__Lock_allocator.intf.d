@@ -1,0 +1,1 @@
+lib/core/lock_allocator.mli: Conflict_abstraction Intent Stm

@@ -1,0 +1,1 @@
+lib/core/proust.ml: Format List Lock_allocator Printf Stm String Update_strategy

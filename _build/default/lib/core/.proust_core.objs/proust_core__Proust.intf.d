@@ -1,0 +1,1 @@
+lib/core/proust.mli: Format Lock_allocator Stm Update_strategy

@@ -1,0 +1,33 @@
+type 'k t = { lap : 'k Lock_allocator.t; strategy : Update_strategy.t }
+
+let make ~lap ~strategy = { lap; strategy }
+let strategy t = t.strategy
+let lap_kind t = t.lap.Lock_allocator.kind
+
+let apply t txn intents ?inverse f =
+  t.lap.Lock_allocator.acquire txn intents;
+  let z = f () in
+  (match (t.strategy, inverse) with
+  | Update_strategy.Eager, Some inv -> Stm.on_abort txn (fun () -> inv z)
+  | Update_strategy.Eager, None -> ()  (* read-only operation *)
+  | Update_strategy.Lazy, _ -> ());
+  z
+
+let covers acquired intent =
+  List.exists
+    (fun held ->
+      Intent.key held = Intent.key intent
+      && (Intent.is_write held || not (Intent.is_write intent)))
+    acquired
+
+let acquire_stable t txn compute =
+  let rec go acquired =
+    let missing =
+      List.filter (fun i -> not (covers acquired i)) (compute ())
+    in
+    if missing <> [] then begin
+      t.lap.Lock_allocator.acquire txn missing;
+      go (missing @ acquired)
+    end
+  in
+  go []

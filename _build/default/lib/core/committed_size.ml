@@ -1,0 +1,36 @@
+type t =
+  | Counter of {
+      total : Proust_concurrent.Striped_counter.t;
+      pending : int ref Stm.Local.key;
+    }
+  | Transactional of int Tvar.t
+
+let create = function
+  | `Transactional -> Transactional (Tvar.make 0)
+  | `Counter ->
+      let total = Proust_concurrent.Striped_counter.create () in
+      let pending =
+        Stm.Local.key (fun txn ->
+            let cell = ref 0 in
+            Stm.after_commit txn (fun () ->
+                Proust_concurrent.Striped_counter.add total !cell);
+            cell)
+      in
+      Counter { total; pending }
+
+let add t txn d =
+  match t with
+  | Transactional r -> Stm.Ref.modify txn r (fun n -> n + d)
+  | Counter { pending; _ } ->
+      let cell = Stm.Local.get txn pending in
+      cell := !cell + d
+
+let read t txn =
+  match t with
+  | Transactional r -> Stm.read txn r
+  | Counter { total; pending } ->
+      Proust_concurrent.Striped_counter.get total + !(Stm.Local.get txn pending)
+
+let peek = function
+  | Transactional r -> Tvar.peek r
+  | Counter { total; _ } -> Proust_concurrent.Striped_counter.get total

@@ -1,0 +1,28 @@
+(** Reified size of a wrapped structure (Listing 2: "Size has been
+    reified out of the abstract state as an optimization").
+
+    Two representations:
+
+    - [`Transactional]: a single STM ref, updated inside the
+      transaction — the literal ScalaProust code.  Faithful, but every
+      size-changing operation conflicts on the one location, so it
+      serializes inserts/removes; kept for parity and ablation.
+    - [`Counter]: a striped counter; deltas accumulate in a
+      transaction-local cell and are folded in after commit, so aborted
+      transactions leave no trace.  The default.
+
+    In both representations, a transaction reading the size sees its
+    own pending deltas, matching the transactional-ref semantics. *)
+
+type t
+
+val create : [ `Counter | `Transactional ] -> t
+
+(** Record a size delta from inside a transaction. *)
+val add : t -> Stm.txn -> int -> unit
+
+(** Size as observed by this transaction. *)
+val read : t -> Stm.txn -> int
+
+(** Committed size, non-transactionally (tests, reporting). *)
+val peek : t -> int

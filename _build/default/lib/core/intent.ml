@@ -1,0 +1,10 @@
+type 'k t = Read of 'k | Write of 'k
+
+let key = function Read k | Write k -> k
+let is_write = function Write _ -> true | Read _ -> false
+let promote = function Read k -> Write k | Write k -> Write k
+let map f = function Read k -> Read (f k) | Write k -> Write (f k)
+
+let pp ppk fmt = function
+  | Read k -> Format.fprintf fmt "Read(%a)" ppk k
+  | Write k -> Format.fprintf fmt "Write(%a)" ppk k

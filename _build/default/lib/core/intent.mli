@@ -1,0 +1,19 @@
+(** Lock intents — the paper's [LockFor] hierarchy (Listing 1).
+
+    A Proustian operation declares, per abstract-state element it
+    touches, whether it needs shared ([Read]) or exclusive ([Write])
+    access.  The abstract-state element type ['k] is chosen by the
+    wrapper: a map uses its key type; the priority queue uses the
+    two-element [PQueueMin]/[PQueueMultiSet] state (Listing 3). *)
+
+type 'k t = Read of 'k | Write of 'k
+
+val key : 'k t -> 'k
+val is_write : 'k t -> bool
+
+(** [promote i] turns a read intent into a write intent on the same
+    element (used by conservative approximations). *)
+val promote : 'k t -> 'k t
+
+val map : ('k -> 'j) -> 'k t -> 'j t
+val pp : (Format.formatter -> 'k -> unit) -> Format.formatter -> 'k t -> unit

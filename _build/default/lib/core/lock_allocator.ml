@@ -1,0 +1,84 @@
+type kind = Optimistic | Pessimistic
+
+type 'k t = {
+  kind : kind;
+  name : string;
+  acquire : Stm.txn -> 'k Intent.t list -> unit;
+}
+
+(* -------------------------------------------------------------------- *)
+(* Pessimistic: striped re-entrant read/write locks, two-phase.          *)
+
+let pessimistic ?(timeout = 5e-3) ~ca () =
+  let locks =
+    Array.init ca.Conflict_abstraction.slots (fun _ ->
+        Proust_concurrent.Rw_lock.create ())
+  in
+  (* Per-transaction set of slot indices acquired, so commit/abort can
+     release exactly once.  The key's initializer registers the release
+     hooks on first acquisition in each transaction. *)
+  let held_key =
+    Stm.Local.key (fun txn ->
+        let held : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+        let owner = (Stm.desc txn).Txn_desc.id in
+        let release () =
+          Hashtbl.iter
+            (fun slot () ->
+              Proust_concurrent.Rw_lock.release_all locks.(slot) ~owner)
+            held
+        in
+        Stm.after_commit txn release;
+        Stm.on_abort txn release;
+        held)
+  in
+  let acquire txn intents =
+    let held = Stm.Local.get txn held_key in
+    let owner = (Stm.desc txn).Txn_desc.id in
+    let accesses = Conflict_abstraction.accesses_for ca ~stripe:owner intents in
+    List.iter
+      (fun { Conflict_abstraction.slot; write } ->
+        let deadline = Unix.gettimeofday () +. timeout in
+        let lock = locks.(slot) in
+        let ok =
+          if write then
+            Proust_concurrent.Rw_lock.try_acquire_write lock ~owner ~deadline
+          else
+            Proust_concurrent.Rw_lock.try_acquire_read lock ~owner ~deadline
+        in
+        if ok then Hashtbl.replace held slot ()
+        else begin
+          (* Deadline expired: presume deadlock or livelock, abort and
+             retry under backoff (the boosting recipe). *)
+          Stats.record_lock_wait ();
+          ignore (Stm.restart txn)
+        end)
+      accesses
+  in
+  { kind = Pessimistic; name = "pessimistic"; acquire }
+
+(* -------------------------------------------------------------------- *)
+(* Optimistic: conflict-abstraction slots are STM locations.             *)
+
+let token = Atomic.make 1
+
+let optimistic ?(validate_writes = true) ~ca () =
+  let region =
+    Array.init ca.Conflict_abstraction.slots (fun _ -> Tvar.make 0)
+  in
+  let acquire txn intents =
+    let stripe = (Stm.desc txn).Txn_desc.id in
+    let accesses = Conflict_abstraction.accesses_for ca ~stripe intents in
+    List.iter
+      (fun { Conflict_abstraction.slot; write } ->
+        let tv = region.(slot) in
+        if write then begin
+          if validate_writes then ignore (Stm.read txn tv);
+          Stm.write txn tv (Atomic.fetch_and_add token 1)
+        end
+        else ignore (Stm.read txn tv))
+      accesses
+  in
+  let name =
+    if validate_writes then "optimistic" else "optimistic-unvalidated"
+  in
+  { kind = Optimistic; name; acquire }

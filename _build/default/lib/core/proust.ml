@@ -1,0 +1,70 @@
+type point = {
+  lap : Lock_allocator.kind;
+  strategy : Update_strategy.t;
+}
+
+let all_points =
+  [
+    { lap = Lock_allocator.Pessimistic; strategy = Update_strategy.Eager };
+    { lap = Lock_allocator.Pessimistic; strategy = Update_strategy.Lazy };
+    { lap = Lock_allocator.Optimistic; strategy = Update_strategy.Eager };
+    { lap = Lock_allocator.Optimistic; strategy = Update_strategy.Lazy };
+  ]
+
+let point_name p =
+  let lap =
+    match p.lap with
+    | Lock_allocator.Pessimistic -> "pessimistic"
+    | Lock_allocator.Optimistic -> "optimistic"
+  in
+  Printf.sprintf "%s/%s" lap (Update_strategy.name p.strategy)
+
+let prior_work p =
+  match (p.lap, p.strategy) with
+  | Lock_allocator.Pessimistic, Update_strategy.Eager ->
+      "transactional boosting (Herlihy & Koskinen)"
+  | Lock_allocator.Pessimistic, Update_strategy.Lazy ->
+      "(novel in Proust)"
+  | Lock_allocator.Optimistic, Update_strategy.Eager ->
+      "optimistic transactional boosting (Hassan et al.)"
+  | Lock_allocator.Optimistic, Update_strategy.Lazy ->
+      "transactional predication (Bronson et al.)"
+
+let compatible p (mode : Stm.mode) =
+  match (p.lap, p.strategy, mode) with
+  (* Pessimistic synchronization does not rely on the STM to detect
+     object conflicts at all; opaque under any mode (Theorem 5.1). *)
+  | Lock_allocator.Pessimistic, _, _ -> true
+  (* Lazy/optimistic is opaque under any mode thanks to the
+     write-CA/op/read-CA bracket around each operation (Theorem 5.3). *)
+  | Lock_allocator.Optimistic, Update_strategy.Lazy, _ -> true
+  (* Eager/optimistic mutates the shared base before commit; it is only
+     opaque when the STM surfaces both conflict classes at encounter
+     time (Theorem 5.2).  This is the figure's "empty quarter" under a
+     fully lazy STM. *)
+  | Lock_allocator.Optimistic, Update_strategy.Eager, Stm.Lazy_lazy -> false
+  | Lock_allocator.Optimistic, Update_strategy.Eager, Stm.Serial_commit ->
+      false
+  | Lock_allocator.Optimistic, Update_strategy.Eager, Stm.Eager_lazy -> true
+  | Lock_allocator.Optimistic, Update_strategy.Eager, Stm.Eager_eager -> true
+
+let verdict p mode =
+  if compatible p mode then "opaque"
+  else "unsound (needs eager conflict detection)"
+
+let pp_design_space fmt () =
+  Format.fprintf fmt "%-20s | %-42s | %-13s | %-13s | %-13s | %-13s@."
+    "design point" "closest prior work"
+    (Stm.mode_name Stm.Lazy_lazy)
+    (Stm.mode_name Stm.Eager_lazy)
+    (Stm.mode_name Stm.Eager_eager)
+    (Stm.mode_name Stm.Serial_commit);
+  Format.fprintf fmt "%s@." (String.make 128 '-');
+  List.iter
+    (fun p ->
+      let cell mode = if compatible p mode then "opaque" else "UNSOUND" in
+      Format.fprintf fmt "%-20s | %-42s | %-13s | %-13s | %-13s | %-13s@."
+        (point_name p) (prior_work p) (cell Stm.Lazy_lazy)
+        (cell Stm.Eager_lazy) (cell Stm.Eager_eager)
+        (cell Stm.Serial_commit))
+    all_points

@@ -1,0 +1,30 @@
+(** Top-level entry point: design-space configuration (Figure 1).
+
+    A {!point} names one cell of the Proust design space — which
+    lock-allocator policy synchronizes the wrapped object, and whether
+    the base structure is updated eagerly or lazily.  {!compatible}
+    encodes the figure's compatibility constraints against the
+    underlying STM's conflict-detection strategy, including the "empty
+    quarter": eager updates combined with optimistic synchronization
+    are sound only when the STM detects both read/write and write/write
+    conflicts eagerly (Theorem 5.2). *)
+
+type point = {
+  lap : Lock_allocator.kind;
+  strategy : Update_strategy.t;
+}
+
+val all_points : point list
+val point_name : point -> string
+
+(** Closest prior work occupying the point, per Figure 1. *)
+val prior_work : point -> string
+
+(** [compatible point stm_mode] — is the combination opaque? *)
+val compatible : point -> Stm.mode -> bool
+
+(** Reasoned verdict for the design-space table. *)
+val verdict : point -> Stm.mode -> string
+
+(** Render the Figure 1-style design-space matrix. *)
+val pp_design_space : Format.formatter -> unit -> unit

@@ -1,0 +1,160 @@
+module Memo = struct
+  type ('k, 'v) base = {
+    base_get : 'k -> 'v option;
+    base_put : 'k -> 'v -> unit;
+    base_remove : 'k -> unit;
+  }
+
+  type ('k, 'v) op = Put of 'k * 'v | Remove of 'k
+
+  type ('k, 'v) t = {
+    base : ('k, 'v) base;
+    combine : bool;
+    (* Transaction-local view: for every key consulted or written, the
+       value this transaction would observe.  Doubles as the synthetic
+       final state when [combine] is set. *)
+    view : ('k, 'v option) Hashtbl.t;
+    dirty : ('k, unit) Hashtbl.t;
+    mutable ops : ('k, 'v) op list;  (* newest first *)
+    mutable op_count : int;
+    mutable registered : bool;
+  }
+
+  let create ?(combine = true) ~base _txn =
+    {
+      base;
+      combine;
+      view = Hashtbl.create 16;
+      dirty = Hashtbl.create 16;
+      ops = [];
+      op_count = 0;
+      registered = false;
+    }
+
+  let get t k =
+    match Hashtbl.find_opt t.view k with
+    | Some v -> v
+    | None ->
+        let v = t.base.base_get k in
+        Hashtbl.replace t.view k v;
+        v
+
+  let replay t () =
+    if t.combine then
+      Hashtbl.iter
+        (fun k () ->
+          match Hashtbl.find_opt t.view k with
+          | Some (Some v) -> t.base.base_put k v
+          | Some None -> t.base.base_remove k
+          | None -> ())
+        t.dirty
+    else
+      List.iter
+        (function
+          | Put (k, v) -> t.base.base_put k v
+          | Remove k -> t.base.base_remove k)
+        (List.rev t.ops)
+
+  let ensure_registered t txn =
+    if not t.registered then begin
+      t.registered <- true;
+      Stm.on_commit_locked txn (replay t)
+    end
+
+  let log t txn op k =
+    ensure_registered t txn;
+    Hashtbl.replace t.dirty k ();
+    if not t.combine then begin
+      t.ops <- op :: t.ops;
+      t.op_count <- t.op_count + 1
+    end
+
+  let put t txn k v =
+    let old = get t k in
+    Hashtbl.replace t.view k (Some v);
+    log t txn (Put (k, v)) k;
+    old
+
+  let remove t txn k =
+    let old = get t k in
+    if old <> None then begin
+      Hashtbl.replace t.view k None;
+      log t txn (Remove k) k
+    end;
+    old
+
+  let size_delta t =
+    Hashtbl.fold
+      (fun k () acc ->
+        let now = Option.join (Hashtbl.find_opt t.view k) in
+        let before = t.base.base_get k in
+        match (before, now) with
+        | None, Some _ -> acc + 1
+        | Some _, None -> acc - 1
+        | _ -> acc)
+      t.dirty 0
+
+  let pending_ops t =
+    if t.combine then Hashtbl.length t.dirty else t.op_count
+end
+
+module Snapshot = struct
+  type 's t = {
+    snapshot : unit -> 's;
+    install : (expected:'s -> desired:'s -> bool) option;
+    mutable base_snapshot : 's option;  (* the state the shadow grew from *)
+    mutable shadow : 's option;
+    mutable replays : (unit -> unit) list;  (* newest first *)
+    mutable op_count : int;
+    mutable registered : bool;
+  }
+
+  let create ~snapshot ?install _txn =
+    {
+      snapshot;
+      install;
+      base_snapshot = None;
+      shadow = None;
+      replays = [];
+      op_count = 0;
+      registered = false;
+    }
+
+  let read_only t ~shadow ~direct =
+    match t.shadow with Some s -> shadow s | None -> direct ()
+
+  (* Log combining for snapshot replays (§9 future work): if the shared
+     structure has not changed since the shadow was taken, install the
+     shadow wholesale with one CAS; a failed CAS means commuting
+     transactions committed in between, so fall back to replaying the
+     per-operation log on top of their effects. *)
+  let replay t () =
+    let combined =
+      match (t.install, t.base_snapshot, t.shadow) with
+      | Some install, Some expected, Some desired ->
+          install ~expected ~desired
+      | _ -> false
+    in
+    if not combined then List.iter (fun f -> f ()) (List.rev t.replays)
+
+  let update txn t f ~replay:r =
+    let s =
+      match t.shadow with
+      | Some s -> s
+      | None ->
+          let s = t.snapshot () in
+          t.base_snapshot <- Some s;
+          s
+    in
+    let s', z = f s in
+    t.shadow <- Some s';
+    t.replays <- r :: t.replays;
+    t.op_count <- t.op_count + 1;
+    if not t.registered then begin
+      t.registered <- true;
+      Stm.on_commit_locked txn (replay t)
+    end;
+    z
+
+  let pending_ops t = t.op_count
+end

@@ -1,0 +1,85 @@
+(** Replay wrappers and shadow copies (§4).
+
+    Under the lazy update strategy, pending ADT operations are
+    channelled into a per-transaction log.  Each operation's return
+    value is computed at execution time against a {e shadow copy}; the
+    log is applied to the shared base structure atomically when the
+    transaction is known to commit (inside the STM's locked commit
+    phase, via [Stm.on_commit_locked]), or dropped on abort.
+
+    Two shadow-copy strategies are provided, matching the paper:
+
+    - {!Memo}: memoized shadow copies, for structures whose operation
+      results are computable from the initial backing state plus the
+      pending operations on the same key (sets, maps).  Supports the
+      paper's log-combining optimisation: replay only the final state
+      of each abstract-state element instead of every logged operation.
+    - {!Snapshot}: snapshot shadow copies, for structures offering
+      fast point-in-time snapshots (the Ctrie, the COW priority
+      queue). *)
+
+module Memo : sig
+  (** Accessors onto the shared base structure.  [base_get] is used to
+      fault unknown keys into the memo table; the other two replay the
+      final state at commit. *)
+  type ('k, 'v) base = {
+    base_get : 'k -> 'v option;
+    base_put : 'k -> 'v -> unit;
+    base_remove : 'k -> unit;
+  }
+
+  type ('k, 'v) t
+
+  (** One log per transaction; create inside an [Stm.Local] key
+      initializer.  [combine = false] replays every logged operation in
+      order; [true] (the default) replays one synthetic update per
+      dirty key — the optimisation evaluated at the bottom of the
+      paper's Figure 4. *)
+  val create : ?combine:bool -> base:('k, 'v) base -> Stm.txn -> ('k, 'v) t
+
+  (** Current value of [k] as seen by this transaction (pending
+      operations included), faulting from the base on a miss. *)
+  val get : ('k, 'v) t -> 'k -> 'v option
+
+  (** [put t txn k v] logs the update and returns the previous binding
+      as seen by this transaction. *)
+  val put : ('k, 'v) t -> Stm.txn -> 'k -> 'v -> 'v option
+
+  val remove : ('k, 'v) t -> Stm.txn -> 'k -> 'v option
+
+  (** Net change to the structure's cardinality from pending ops. *)
+  val size_delta : ('k, 'v) t -> int
+
+  (** Number of logged operations (diagnostics/tests). *)
+  val pending_ops : ('k, 'v) t -> int
+end
+
+module Snapshot : sig
+  (** A log over a shadow snapshot of type ['s].  The snapshot is taken
+      lazily, at the first mutating operation ("readOnly provides an
+      optimization to avoid initializing the log until it is known that
+      a replay is actually necessary", Fig. 2b). *)
+  type 's t
+
+  (** [install] enables log combining for snapshot replays (§9 future
+      work): at commit, if the shared structure still equals the state
+      the shadow was taken from, the shadow is installed wholesale
+      (e.g. one root CAS); otherwise the per-operation log replays on
+      top of the commuting updates that landed in between. *)
+  val create :
+    snapshot:(unit -> 's) ->
+    ?install:(expected:'s -> desired:'s -> bool) ->
+    Stm.txn ->
+    's t
+
+  (** [read_only t ~shadow ~direct] computes a result from the shadow
+      copy when one exists, else straight from the base structure. *)
+  val read_only : 's t -> shadow:('s -> 'z) -> direct:(unit -> 'z) -> 'z
+
+  (** [update txn t f ~replay] applies [f] to the shadow copy, logs
+      [replay] for commit-time application to the base, and returns
+      [f]'s result. *)
+  val update : Stm.txn -> 's t -> ('s -> 's * 'z) -> replay:(unit -> unit) -> 'z
+
+  val pending_ops : 's t -> int
+end

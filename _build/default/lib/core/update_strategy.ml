@@ -1,0 +1,3 @@
+type t = Eager | Lazy
+
+let name = function Eager -> "eager" | Lazy -> "lazy"

@@ -1,0 +1,13 @@
+(** The update-strategy axis of the design space (§2).
+
+    [Eager]: the base structure is modified as the transaction
+    executes; every mutating operation must declare an inverse, which
+    the abstract lock registers as a rollback handler.
+
+    [Lazy]: operations are forwarded through a replay log against a
+    shadow copy and applied to the base structure only at commit time;
+    no inverses are needed. *)
+
+type t = Eager | Lazy
+
+val name : t -> string

@@ -1,0 +1,1 @@
+lib/stm/backoff.ml: Atomic Domain Random Unix

@@ -1,0 +1,1 @@
+lib/stm/backoff.mli:

@@ -1,0 +1,1 @@
+lib/stm/clock.ml: Atomic

@@ -1,0 +1,1 @@
+lib/stm/stats.ml: Array Atomic Domain Format

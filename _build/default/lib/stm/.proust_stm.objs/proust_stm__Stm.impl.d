@@ -1,0 +1,1 @@
+lib/stm/stm.ml: Atomic Backoff Clock Contention Domain Fun Hashtbl List Obj Stats Tvar Txn_desc

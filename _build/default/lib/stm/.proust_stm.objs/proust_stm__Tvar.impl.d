@@ -1,0 +1,1 @@
+lib/stm/tvar.ml: Atomic List Txn_desc

@@ -1,0 +1,1 @@
+lib/stm/tvar.mli: Atomic Txn_desc

@@ -1,0 +1,31 @@
+let next_seed = Atomic.make 0x9e3779b9
+
+type t = {
+  mutable attempts : int;
+  ceiling : int;
+  rng : Random.State.t;
+}
+
+let create ?(ceiling = 14) () =
+  let seed =
+    (Domain.self () :> int) lxor Atomic.fetch_and_add next_seed 0x61c88647
+  in
+  { attempts = 0; ceiling; rng = Random.State.make [| seed |] }
+
+let spin n =
+  for _ = 1 to n do
+    Domain.cpu_relax ()
+  done
+
+(* When there are more runnable domains than cores, pure spinning can
+   starve whichever domain holds the contended resource, so persistent
+   contention degrades to a short OS sleep. *)
+let once t =
+  let e = min t.attempts t.ceiling in
+  let window = 1 lsl e in
+  spin (1 + Random.State.int t.rng window);
+  t.attempts <- t.attempts + 1;
+  if t.attempts > 6 then Unix.sleepf 1e-6
+
+let reset t = t.attempts <- 0
+let rounds t = t.attempts

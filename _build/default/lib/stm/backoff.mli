@@ -1,0 +1,18 @@
+(** Bounded randomized exponential backoff for contended retry loops. *)
+
+type t
+
+(** [create ()] makes a fresh backoff state.  [ceiling] bounds the
+    exponent of the spin window (default [14], i.e. at most [2^14]
+    relaxation steps per round). *)
+val create : ?ceiling:int -> unit -> t
+
+(** [once t] spins for a randomized duration that grows exponentially
+    with the number of preceding [once] calls since the last [reset]. *)
+val once : t -> unit
+
+(** Forget accumulated contention history. *)
+val reset : t -> unit
+
+(** Number of [once] calls since the last reset. *)
+val rounds : t -> int

@@ -1,0 +1,6 @@
+type t = int Atomic.t
+
+let create () = Atomic.make 0
+let now t = Atomic.get t
+let tick t = 1 + Atomic.fetch_and_add t 1
+let global = create ()

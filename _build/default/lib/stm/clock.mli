@@ -1,0 +1,20 @@
+(** Global version clock, in the style of TL2.
+
+    Every committed read-write transaction advances the clock by one and
+    stamps its write set with the new value.  Readers sample the clock at
+    transaction start and use the sample to decide whether an observed
+    location version is consistent with their snapshot. *)
+
+type t
+
+val create : unit -> t
+
+(** [now t] is the current clock value.  Monotone, starts at [0]. *)
+val now : t -> int
+
+(** [tick t] atomically advances the clock and returns the new value.
+    Each returned value is unique across all callers. *)
+val tick : t -> int
+
+(** The process-wide clock used by the default STM instance. *)
+val global : t

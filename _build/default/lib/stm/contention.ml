@@ -1,0 +1,49 @@
+type decision = Wait | Restart_self | Abort_other
+
+type t = {
+  name : string;
+  decide : self:Txn_desc.t -> other:Txn_desc.t -> attempt:int -> decision;
+}
+
+let passive ?(patience = 8) () =
+  {
+    name = "passive";
+    decide =
+      (fun ~self:_ ~other:_ ~attempt ->
+        if attempt < patience then Wait else Restart_self);
+  }
+
+let polite ?(patience = 16) () =
+  {
+    name = "polite";
+    decide =
+      (fun ~self:_ ~other:_ ~attempt ->
+        if attempt < patience then Wait else Restart_self);
+  }
+
+let karma ?(patience = 4) () =
+  {
+    name = "karma";
+    decide =
+      (fun ~self ~other ~attempt ->
+        if self.Txn_desc.priority > other.Txn_desc.priority then
+          if attempt < patience then Wait else Abort_other
+        else if attempt < patience * 2 then Wait
+        else Restart_self);
+  }
+
+let timestamp () =
+  {
+    name = "timestamp";
+    decide =
+      (fun ~self ~other ~attempt ->
+        let older =
+          self.Txn_desc.birth < other.Txn_desc.birth
+          || (self.birth = other.birth && self.id < other.id)
+        in
+        if older then if attempt < 2 then Wait else Abort_other
+        else if attempt < 8 then Wait
+        else Restart_self);
+  }
+
+let all () = [ passive (); polite (); karma (); timestamp () ]

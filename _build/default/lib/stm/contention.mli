@@ -1,0 +1,34 @@
+(** Contention managers.
+
+    When transaction [self] finds a resource held by transaction
+    [other], the contention manager arbitrates.  The paper's §7 notes
+    that exposing the STM's contention management to Proustian objects
+    matters in practice (their pessimistic runs livelocked without it);
+    every policy here is also consulted by the abstract-lock layer. *)
+
+type decision =
+  | Wait  (** back off briefly and re-attempt the acquisition *)
+  | Restart_self  (** abort this attempt and retry the atomic block *)
+  | Abort_other  (** kill [other] remotely, then re-attempt *)
+
+type t = {
+  name : string;
+  decide : self:Txn_desc.t -> other:Txn_desc.t -> attempt:int -> decision;
+}
+
+(** Always backs off, aborting itself after [patience] failed waits.
+    Simple and livelock-prone under high contention; the default. *)
+val passive : ?patience:int -> unit -> t
+
+(** Waits with exponentially increasing patience, then aborts itself. *)
+val polite : ?patience:int -> unit -> t
+
+(** Karma: the transaction that has performed more work wins; the
+    poorer transaction waits, then aborts itself; a richer transaction
+    kills the other after [patience] waits. *)
+val karma : ?patience:int -> unit -> t
+
+(** Greedy/timestamp: the older transaction wins unconditionally. *)
+val timestamp : unit -> t
+
+val all : unit -> t list

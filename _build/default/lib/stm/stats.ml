@@ -1,0 +1,88 @@
+type snapshot = {
+  starts : int;
+  commits : int;
+  aborts : int;
+  conflicts : int;
+  remote_aborts : int;
+  lock_waits : int;
+  extensions : int;
+}
+
+(* Counters are striped across a fixed number of slots to avoid making
+   the stats themselves a contention hot spot; a domain hashes to a slot. *)
+let stripes = 16
+
+type cell = {
+  starts : int Atomic.t;
+  commits : int Atomic.t;
+  aborts : int Atomic.t;
+  conflicts : int Atomic.t;
+  remote_aborts : int Atomic.t;
+  lock_waits : int Atomic.t;
+  extensions : int Atomic.t;
+}
+
+let make_cell () =
+  {
+    starts = Atomic.make 0;
+    commits = Atomic.make 0;
+    aborts = Atomic.make 0;
+    conflicts = Atomic.make 0;
+    remote_aborts = Atomic.make 0;
+    lock_waits = Atomic.make 0;
+    extensions = Atomic.make 0;
+  }
+
+let cells = Array.init stripes (fun _ -> make_cell ())
+let my_cell () = cells.((Domain.self () :> int) land (stripes - 1))
+let bump (field : cell -> int Atomic.t) = Atomic.incr (field (my_cell ()))
+let record_start () = bump (fun c -> c.starts)
+let record_commit () = bump (fun c -> c.commits)
+let record_abort () = bump (fun c -> c.aborts)
+let record_conflict () = bump (fun c -> c.conflicts)
+let record_remote_abort () = bump (fun c -> c.remote_aborts)
+let record_lock_wait () = bump (fun c -> c.lock_waits)
+let record_extension () = bump (fun c -> c.extensions)
+
+let sum (field : cell -> int Atomic.t) =
+  Array.fold_left (fun acc c -> acc + Atomic.get (field c)) 0 cells
+
+let read () : snapshot =
+  {
+    starts = sum (fun c -> c.starts);
+    commits = sum (fun c -> c.commits);
+    aborts = sum (fun c -> c.aborts);
+    conflicts = sum (fun c -> c.conflicts);
+    remote_aborts = sum (fun c -> c.remote_aborts);
+    lock_waits = sum (fun c -> c.lock_waits);
+    extensions = sum (fun c -> c.extensions);
+  }
+
+let reset () =
+  let clear (field : cell -> int Atomic.t) =
+    Array.iter (fun c -> Atomic.set (field c) 0) cells
+  in
+  clear (fun c -> c.starts);
+  clear (fun c -> c.commits);
+  clear (fun c -> c.aborts);
+  clear (fun c -> c.conflicts);
+  clear (fun c -> c.remote_aborts);
+  clear (fun c -> c.lock_waits);
+  clear (fun c -> c.extensions)
+
+let diff (a : snapshot) (b : snapshot) : snapshot =
+  {
+    starts = b.starts - a.starts;
+    commits = b.commits - a.commits;
+    aborts = b.aborts - a.aborts;
+    conflicts = b.conflicts - a.conflicts;
+    remote_aborts = b.remote_aborts - a.remote_aborts;
+    lock_waits = b.lock_waits - a.lock_waits;
+    extensions = b.extensions - a.extensions;
+  }
+
+let pp fmt (s : snapshot) =
+  Format.fprintf fmt
+    "starts=%d commits=%d aborts=%d conflicts=%d remote=%d waits=%d ext=%d"
+    s.starts s.commits s.aborts s.conflicts s.remote_aborts s.lock_waits
+    s.extensions

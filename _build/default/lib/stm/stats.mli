@@ -1,0 +1,33 @@
+(** Process-wide STM event counters.
+
+    Used by the benchmark harness to report abort/conflict behaviour
+    alongside wall-clock time, and by tests to assert that specific
+    schedules did (or did not) conflict. *)
+
+type snapshot = {
+  starts : int;  (** transaction attempts begun *)
+  commits : int;  (** attempts that committed *)
+  aborts : int;  (** attempts that aborted (any reason) *)
+  conflicts : int;  (** aborts caused by a detected conflict *)
+  remote_aborts : int;  (** transactions killed by a contention manager *)
+  lock_waits : int;  (** bounded waits on a held lock or abstract lock *)
+  extensions : int;  (** successful read-timestamp extensions *)
+}
+
+val record_start : unit -> unit
+val record_commit : unit -> unit
+val record_abort : unit -> unit
+val record_conflict : unit -> unit
+val record_remote_abort : unit -> unit
+val record_lock_wait : unit -> unit
+val record_extension : unit -> unit
+
+(** Current totals since program start or the last [reset]. *)
+val read : unit -> snapshot
+
+val reset : unit -> unit
+
+(** [diff a b] is the per-field difference [b - a]. *)
+val diff : snapshot -> snapshot -> snapshot
+
+val pp : Format.formatter -> snapshot -> unit

@@ -1,0 +1,489 @@
+type mode = Lazy_lazy | Eager_lazy | Eager_eager | Serial_commit
+
+let mode_name = function
+  | Lazy_lazy -> "lazy-lazy"
+  | Eager_lazy -> "eager-lazy"
+  | Eager_eager -> "eager-eager"
+  | Serial_commit -> "serial-commit"
+
+type config = {
+  mode : mode;
+  cm : Contention.t;
+  extend_reads : bool;
+  max_attempts : int;
+}
+
+let default_config_v =
+  ref
+    {
+      mode = Lazy_lazy;
+      cm = Contention.passive ();
+      extend_reads = false;
+      max_attempts = 100_000;
+    }
+
+let default_config = !default_config_v
+let set_default_config c = default_config_v := c
+let get_default_config () = !default_config_v
+
+(* Packed read-set and write-set entries.  The existential type is
+   re-established with [Obj.magic] in [read], justified by the global
+   uniqueness of tvar uids: equal uid implies physically the same tvar,
+   hence the same value type. *)
+type wentry = Wentry : 'a Tvar.t * 'a -> wentry
+type rentry = Rentry : 'a Tvar.t * int -> rentry
+type locked = Locked : 'a Tvar.t -> locked
+
+type txn = {
+  mutable rv : int;
+  mutable tdesc : Txn_desc.t;
+  cfg : config;
+  reads : (int, rentry) Hashtbl.t;
+  writes : (int, wentry) Hashtbl.t;
+  mutable locked : locked list;
+  mutable commit_locked_hooks : (unit -> unit) list;  (* LIFO storage *)
+  mutable after_commit_hooks : (unit -> unit) list;  (* LIFO storage *)
+  mutable abort_hooks : (unit -> unit) list;  (* LIFO storage = run order *)
+  locals : (int, exn) Hashtbl.t;
+  backoff : Backoff.t;
+  mutable finished : bool;
+}
+
+type abort_reason = Conflict | Killed | Explicit
+
+exception Abort_exn of abort_reason
+exception Retry_exn
+exception Too_many_attempts of int
+exception Not_in_transaction
+
+let desc t = t.tdesc
+let config t = t.cfg
+let read_version t = t.rv
+
+let check_open t = if t.finished then raise Not_in_transaction
+
+let check_alive t =
+  check_open t;
+  if Txn_desc.is_aborted t.tdesc then raise (Abort_exn Killed)
+
+let on_commit_locked t f =
+  check_alive t;
+  t.commit_locked_hooks <- f :: t.commit_locked_hooks
+
+let after_commit t f =
+  check_alive t;
+  t.after_commit_hooks <- f :: t.after_commit_hooks
+
+let on_abort t f =
+  check_alive t;
+  t.abort_hooks <- f :: t.abort_hooks
+
+(* ------------------------------------------------------------------ *)
+(* Conflict arbitration                                                 *)
+
+(* Arbitrate against [other]; returns when the caller should re-attempt
+   the acquisition, raises [Abort_exn] when the caller must restart. *)
+let arbitrate t ~other ~attempt =
+  check_alive t;
+  match t.cfg.cm.Contention.decide ~self:t.tdesc ~other ~attempt with
+  | Contention.Wait ->
+      Stats.record_lock_wait ();
+      Backoff.once t.backoff
+  | Contention.Restart_self -> raise (Abort_exn Conflict)
+  | Contention.Abort_other ->
+      if Txn_desc.try_abort other then Stats.record_remote_abort ();
+      (* Give the victim a beat to notice and release its locks. *)
+      Backoff.once t.backoff
+
+(* ------------------------------------------------------------------ *)
+(* Read validation and timestamp extension                              *)
+
+let entry_valid t (Rentry (tv, ver)) =
+  (Tvar.load tv).version = ver
+  &&
+  match Tvar.current_owner tv with
+  | None -> true
+  | Some d -> d == t.tdesc
+
+let reads_valid t =
+  Hashtbl.fold (fun _ e ok -> ok && entry_valid t e) t.reads true
+
+let try_extend t =
+  let now = Clock.now Clock.global in
+  if reads_valid t then begin
+    t.rv <- now;
+    Stats.record_extension ();
+    true
+  end
+  else false
+
+(* ------------------------------------------------------------------ *)
+(* Read and write                                                       *)
+
+let rec lock_for_write : type a. txn -> a Tvar.t -> attempt:int -> unit =
+ fun t tv ~attempt ->
+  match Tvar.try_lock tv t.tdesc with
+  | `Mine -> ()
+  | `Locked ->
+      t.locked <- Locked tv :: t.locked;
+      if t.cfg.mode = Eager_eager then wait_out_readers t tv ~attempt:0
+  | `Held other ->
+      arbitrate t ~other ~attempt;
+      lock_for_write t tv ~attempt:(attempt + 1)
+
+(* With visible readers, a writer that just locked [tv] must come to an
+   agreement with every active reader before proceeding; either the
+   readers finish/abort or this transaction restarts (releasing the
+   lock on its abort path). *)
+and wait_out_readers : type a. txn -> a Tvar.t -> attempt:int -> unit =
+ fun t tv ~attempt ->
+  match Tvar.active_readers tv ~except:t.tdesc with
+  | [] -> ()
+  | other :: _ ->
+      arbitrate t ~other ~attempt;
+      wait_out_readers t tv ~attempt:(attempt + 1)
+
+let write : type a. txn -> a Tvar.t -> a -> unit =
+ fun t tv v ->
+  check_alive t;
+  (match t.cfg.mode with
+  | Lazy_lazy | Serial_commit -> ()
+  | Eager_lazy | Eager_eager -> lock_for_write t tv ~attempt:0);
+  Hashtbl.replace t.writes tv.Tvar.uid (Wentry (tv, v));
+  Txn_desc.earn t.tdesc 1
+
+let rec read : type a. txn -> a Tvar.t -> a =
+ fun t tv ->
+  check_alive t;
+  match Hashtbl.find_opt t.writes tv.Tvar.uid with
+  | Some (Wentry (tv', v)) ->
+      assert (Obj.repr tv' == Obj.repr tv);
+      (* Same uid implies same tvar, hence same type parameter. *)
+      (Obj.magic v : a)
+  | None -> read_committed t tv ~attempt:0
+
+and read_committed : type a. txn -> a Tvar.t -> attempt:int -> a =
+ fun t tv ~attempt ->
+  if t.cfg.mode = Eager_eager then Tvar.register_reader tv t.tdesc;
+  match Tvar.current_owner tv with
+  | Some d when d != t.tdesc ->
+      arbitrate t ~other:d ~attempt;
+      read_committed t tv ~attempt:(attempt + 1)
+  | _ -> (
+      let s = Tvar.load tv in
+      if s.Tvar.version > t.rv && not (t.cfg.extend_reads && try_extend t)
+      then begin
+        Stats.record_conflict ();
+        raise (Abort_exn Conflict)
+      end
+      else if s.Tvar.version > t.rv then
+        (* extension succeeded; re-examine under the new timestamp *)
+        read_committed t tv ~attempt
+      else
+        match Hashtbl.find_opt t.reads tv.Tvar.uid with
+        | Some (Rentry (_, ver)) when ver <> s.Tvar.version ->
+            Stats.record_conflict ();
+            raise (Abort_exn Conflict)
+        | Some _ ->
+            Txn_desc.earn t.tdesc 1;
+            s.Tvar.value
+        | None ->
+            Hashtbl.replace t.reads tv.Tvar.uid (Rentry (tv, s.Tvar.version));
+            Txn_desc.earn t.tdesc 1;
+            s.Tvar.value)
+
+(* ------------------------------------------------------------------ *)
+(* Commit and abort                                                     *)
+
+let release_locks t =
+  List.iter (fun (Locked tv) -> Tvar.unlock tv t.tdesc) t.locked;
+  t.locked <- []
+
+let run_hooks hooks =
+  (* Run every hook even if one raises; re-raise the first failure once
+     lock hygiene is restored by the caller. *)
+  let first_exn = ref None in
+  List.iter
+    (fun f ->
+      try f ()
+      with e -> if !first_exn = None then first_exn := Some e)
+    hooks;
+  match !first_exn with None -> () | Some e -> raise e
+
+let do_abort t reason =
+  ignore (Txn_desc.try_abort t.tdesc);
+  Stats.record_abort ();
+  (match reason with
+  | Conflict -> Stats.record_conflict ()
+  | Killed | Explicit -> ());
+  (* LIFO: inverses registered after an operation run before the
+     abstract-lock releases registered when the lock was acquired. *)
+  let hooks = t.abort_hooks in
+  t.abort_hooks <- [];
+  t.finished <- true;
+  Fun.protect ~finally:(fun () -> release_locks t) (fun () -> run_hooks hooks)
+
+(* NOrec-style global commit lock for the Serial_commit mode: all
+   writing commits serialize here instead of locking their write sets
+   per location. *)
+let commit_gate = Atomic.make 0
+
+let acquire_commit_gate t =
+  let b = Backoff.create () in
+  let rec loop () =
+    check_alive t;
+    if not (Atomic.compare_and_set commit_gate 0 t.tdesc.Txn_desc.id) then begin
+      Stats.record_lock_wait ();
+      Backoff.once b;
+      loop ()
+    end
+  in
+  loop ()
+
+let release_commit_gate t =
+  if Atomic.get commit_gate = t.tdesc.Txn_desc.id then
+    Atomic.set commit_gate 0
+
+let sorted_writes t =
+  let l = Hashtbl.fold (fun _ e acc -> e :: acc) t.writes [] in
+  List.sort (fun (Wentry (a, _)) (Wentry (b, _)) -> compare a.Tvar.uid b.Tvar.uid) l
+
+let rec lock_entry t tv ~attempt =
+  match Tvar.try_lock tv t.tdesc with
+  | `Mine -> ()
+  | `Locked -> t.locked <- Locked tv :: t.locked
+  | `Held other ->
+      arbitrate t ~other ~attempt;
+      lock_entry t tv ~attempt:(attempt + 1)
+
+let do_commit t =
+  check_alive t;
+  let writes = sorted_writes t in
+  (* Phase 1: lock the write set (uid order avoids lock-order livelock;
+     eager modes already hold these locks).  The Serial_commit mode
+     instead takes the one global commit gate. *)
+  let serial = t.cfg.mode = Serial_commit in
+  if serial then begin
+    if writes <> [] then acquire_commit_gate t
+  end
+  else List.iter (fun (Wentry (tv, _)) -> lock_entry t tv ~attempt:0) writes;
+  (* Phase 2: validate the read set against the snapshot timestamp.
+     A transaction whose writes immediately follow its snapshot (rv+1 =
+     wv) cannot have missed a concurrent commit, per TL2. *)
+  let wv = if writes = [] then t.rv else Clock.tick Clock.global in
+  let fail reason =
+    if serial then release_commit_gate t;
+    raise (Abort_exn reason)
+  in
+  if writes <> [] && wv > t.rv + 1 && not (reads_valid t) then fail Conflict;
+  (* Phase 3: linearize. *)
+  if not (Txn_desc.try_commit t.tdesc) then fail Killed;
+  Stats.record_commit ();
+  (* Phase 4: locked-phase handlers (replay logs), then publish. *)
+  t.finished <- true;
+  let locked_hooks = List.rev t.commit_locked_hooks in
+  let after_hooks = List.rev t.after_commit_hooks in
+  t.commit_locked_hooks <- [];
+  t.after_commit_hooks <- [];
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun (Wentry (tv, v)) -> Tvar.publish tv v ~version:wv)
+        writes;
+      release_locks t;
+      if serial then release_commit_gate t)
+    (fun () -> run_hooks locked_hooks);
+  run_hooks after_hooks
+
+(* ------------------------------------------------------------------ *)
+(* Retry support                                                        *)
+
+let retry t =
+  check_alive t;
+  raise Retry_exn
+
+let restart t =
+  check_alive t;
+  raise (Abort_exn Explicit)
+
+(* Build watchers before the txn record is torn down, so [atomically]
+   can poll for a change after aborting. *)
+let read_watchers t =
+  Hashtbl.fold
+    (fun _ (Rentry (tv, ver)) acc ->
+      (fun () ->
+        let s = Tvar.load tv in
+        s.Tvar.version <> ver)
+      :: acc)
+    t.reads []
+
+let wait_for_change watchers =
+  if watchers = [] then
+    failwith "Stm.retry: transaction read nothing; it would block forever";
+  let b = Backoff.create () in
+  let rec loop () =
+    if List.exists (fun w -> w ()) watchers then () else (Backoff.once b; loop ())
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* or_else                                                              *)
+
+let or_else t f g =
+  check_alive t;
+  let saved_writes = Hashtbl.copy t.writes in
+  let saved_locked = t.locked in
+  let saved_commit = t.commit_locked_hooks in
+  let saved_after = t.after_commit_hooks in
+  let saved_abort = t.abort_hooks in
+  let saved_locals = Hashtbl.copy t.locals in
+  try f t
+  with Retry_exn ->
+    (* Roll back the first branch's buffered effects.  Locks taken by
+       the branch (eager modes) are released; locks predating the
+       branch are kept. *)
+    let new_locks =
+      List.filter (fun l -> not (List.memq l saved_locked)) t.locked
+    in
+    List.iter (fun (Locked tv) -> Tvar.unlock tv t.tdesc) new_locks;
+    t.locked <- saved_locked;
+    Hashtbl.reset t.writes;
+    Hashtbl.iter (fun k v -> Hashtbl.replace t.writes k v) saved_writes;
+    Hashtbl.reset t.locals;
+    Hashtbl.iter (fun k v -> Hashtbl.replace t.locals k v) saved_locals;
+    t.commit_locked_hooks <- saved_commit;
+    t.after_commit_hooks <- saved_after;
+    t.abort_hooks <- saved_abort;
+    g t
+
+let rec or_else_list t = function
+  | [] -> retry t
+  | [ f ] -> f t
+  | f :: rest -> or_else t f (fun t -> or_else_list t rest)
+
+let guard t cond = if not cond then retry t
+
+(* ------------------------------------------------------------------ *)
+(* Transaction-local storage                                            *)
+
+module Local = struct
+  type 'a key = {
+    kuid : int;
+    inject : 'a -> exn;
+    project : exn -> 'a option;
+    init : txn -> 'a;
+  }
+
+  let next_kuid = Atomic.make 1
+
+  let key (type s) (init : txn -> s) : s key =
+    let exception E of s in
+    {
+      kuid = Atomic.fetch_and_add next_kuid 1;
+      inject = (fun x -> E x);
+      project = (function E x -> Some x | _ -> None);
+      init;
+    }
+
+  let find t k =
+    check_open t;
+    match Hashtbl.find_opt t.locals k.kuid with
+    | None -> None
+    | Some e -> k.project e
+
+  let set t k v =
+    check_open t;
+    Hashtbl.replace t.locals k.kuid (k.inject v)
+
+  let get t k =
+    match find t k with
+    | Some v -> v
+    | None ->
+        let v = k.init t in
+        set t k v;
+        v
+end
+
+(* ------------------------------------------------------------------ *)
+(* The atomic-block driver                                              *)
+
+let make_txn cfg ~priority =
+  let rv = Clock.now Clock.global in
+  {
+    rv;
+    tdesc = Txn_desc.create ~priority ~birth:rv ();
+    cfg;
+    reads = Hashtbl.create 16;
+    writes = Hashtbl.create 16;
+    locked = [];
+    commit_locked_hooks = [];
+    after_commit_hooks = [];
+    abort_hooks = [];
+    locals = Hashtbl.create 8;
+    backoff = Backoff.create ();
+    finished = false;
+  }
+
+(* Nesting is flattened: a domain-local slot tracks the transaction an
+   [atomically] is currently running on this domain, and nested calls
+   join it.  The nested body's effects then commit or abort with the
+   outer transaction, which is the composition semantics Proustian
+   objects assume. *)
+let current_txn : txn option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let atomically_root cfg f =
+  let backoff = Backoff.create () in
+  let rec attempt n ~priority =
+    if n > cfg.max_attempts then raise (Too_many_attempts n);
+    Stats.record_start ();
+    let t = make_txn cfg ~priority in
+    Domain.DLS.set current_txn (Some t);
+    let retry_after_abort ?watchers reason =
+      Domain.DLS.set current_txn None;
+      do_abort t reason;
+      (match watchers with
+      | Some ws -> wait_for_change ws
+      | None -> Backoff.once backoff);
+      attempt (n + 1) ~priority:t.tdesc.Txn_desc.priority
+    in
+    match f t with
+    | result -> (
+        match do_commit t with
+        | () ->
+            Domain.DLS.set current_txn None;
+            result
+        | exception Abort_exn reason -> retry_after_abort reason)
+    | exception Abort_exn reason -> retry_after_abort reason
+    | exception Retry_exn ->
+        let watchers = read_watchers t in
+        retry_after_abort ~watchers Explicit
+    | exception e ->
+        (* A user exception observed in an inconsistent (zombie) state is
+           an artifact of late conflict detection, not a real error:
+           abort and re-run, as ScalaSTM does (§7).  In a consistent
+           state, abort and propagate. *)
+        Domain.DLS.set current_txn None;
+        let consistent = reads_valid t in
+        do_abort t Explicit;
+        if consistent then raise e
+        else begin
+          Backoff.once backoff;
+          attempt (n + 1) ~priority:t.tdesc.Txn_desc.priority
+        end
+  in
+  attempt 1 ~priority:0
+
+let atomically ?config:(cfg = !default_config_v) f =
+  match Domain.DLS.get current_txn with
+  | Some outer when not outer.finished -> f outer
+  | _ -> atomically_root cfg f
+
+module Ref = struct
+  type 'a t = 'a Tvar.t
+
+  let make = Tvar.make
+  let get = read
+  let set = write
+  let modify t r f = write t r (f (read t r))
+end

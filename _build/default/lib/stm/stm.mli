@@ -1,0 +1,126 @@
+(** A software transactional memory for OCaml 5 domains.
+
+    The design is TL2-style (global version clock, per-location
+    versioned values, commit-time validation) with a configurable
+    conflict-detection strategy, mirroring the right-hand table of the
+    paper's Figure 1:
+
+    - [Lazy_lazy]: write/write conflicts detected at commit time
+      (commit-time locking) and read/write conflicts at validation —
+      the TL2 point in the design space.
+    - [Eager_lazy]: encounter-time write locking (eager write/write),
+      lazy read/write — the TinySTM/Ennals point.
+    - [Eager_eager]: encounter-time write locking plus visible readers,
+      so both conflict classes are detected eagerly — the mode required
+      by Theorem 5.2 for eager/optimistic Proustian objects to be
+      opaque.
+
+    Transactions additionally expose three handler phases that the
+    Proust layer builds on:
+
+    - [on_commit_locked]: runs after the commit point while the write
+      set is still locked; replay logs apply shadow-copy operations to
+      base structures here, "behind the STM's native locking" (§4).
+    - [after_commit]: runs after locks are released (abstract-lock
+      release, user callbacks).
+    - [on_abort]: runs in reverse registration order on abort
+      (operation inverses, then abstract-lock release). *)
+
+type mode =
+  | Lazy_lazy
+  | Eager_lazy
+  | Eager_eager
+  | Serial_commit
+      (** NOrec-style: no per-location commit locking at all; writers
+          serialize on one global commit lock and readers validate
+          against it.  Minimal metadata, zero per-location lock
+          traffic, but write commits never overlap. *)
+
+val mode_name : mode -> string
+
+type config = {
+  mode : mode;
+  cm : Contention.t;
+  extend_reads : bool;
+      (** revalidate and extend the read timestamp instead of aborting
+          when a location is newer than the transaction's snapshot *)
+  max_attempts : int;  (** give up (raise [Too_many_attempts]) after this *)
+}
+
+val default_config : config
+val set_default_config : config -> unit
+val get_default_config : unit -> config
+
+type txn
+
+exception Too_many_attempts of int
+
+(** Raised inside an atomic block by operations that must run inside
+    one when handed a transaction whose attempt already ended. *)
+exception Not_in_transaction
+
+(** [atomically f] runs [f] in a fresh transaction, retrying on
+    conflict, and commits its effects atomically.  Nesting is
+    flattened: an [atomically] reached while this domain is already
+    running a transaction joins that transaction (its [config] is
+    ignored), and the nested effects commit or abort with the outer
+    one. *)
+val atomically : ?config:config -> (txn -> 'a) -> 'a
+
+val read : txn -> 'a Tvar.t -> 'a
+val write : txn -> 'a Tvar.t -> 'a -> unit
+
+(** Abort the current attempt and block (by backoff-polling the read
+    set) until some location read so far changes, then re-run. *)
+val retry : txn -> 'a
+
+(** [or_else txn f g] runs [f]; if [f] calls [retry], rolls back [f]'s
+    buffered effects and runs [g] instead.  If [g] also retries, the
+    whole transaction waits on the union of both read sets. *)
+val or_else : txn -> (txn -> 'a) -> (txn -> 'a) -> 'a
+
+(** First alternative that does not retry; an empty list retries
+    immediately. *)
+val or_else_list : txn -> (txn -> 'a) list -> 'a
+
+(** [guard txn cond] retries the transaction unless [cond] holds — the
+    STM-Haskell [check] idiom for building blocking operations. *)
+val guard : txn -> bool -> unit
+
+(** Abort this attempt and re-run the atomic block from scratch. *)
+val restart : txn -> 'a
+
+val desc : txn -> Txn_desc.t
+val config : txn -> config
+
+(** The transaction's current read timestamp (tests/diagnostics). *)
+val read_version : txn -> int
+
+val on_commit_locked : txn -> (unit -> unit) -> unit
+val after_commit : txn -> (unit -> unit) -> unit
+val on_abort : txn -> (unit -> unit) -> unit
+
+(** Transaction-local storage: per-transaction lazily initialized
+    values, dropped when the attempt ends.  This is the analogue of
+    ScalaSTM's [TxnLocal], used for replay logs and shadow copies. *)
+module Local : sig
+  type 'a key
+
+  (** [key init] allocates a new key; [init] runs per transaction on
+      first access. *)
+  val key : (txn -> 'a) -> 'a key
+
+  val get : txn -> 'a key -> 'a
+  val find : txn -> 'a key -> 'a option
+  val set : txn -> 'a key -> 'a -> unit
+end
+
+(** Convenience aliases for tvar access in transaction style. *)
+module Ref : sig
+  type 'a t = 'a Tvar.t
+
+  val make : 'a -> 'a t
+  val get : txn -> 'a t -> 'a
+  val set : txn -> 'a t -> 'a -> unit
+  val modify : txn -> 'a t -> ('a -> 'a) -> unit
+end

@@ -1,0 +1,60 @@
+type 'a versioned = { value : 'a; version : int }
+
+type 'a t = {
+  uid : int;
+  state : 'a versioned Atomic.t;
+  owner : Txn_desc.t option Atomic.t;
+  readers : Txn_desc.t list Atomic.t;
+}
+
+let next_uid = Atomic.make 1
+
+let make v =
+  {
+    uid = Atomic.fetch_and_add next_uid 1;
+    state = Atomic.make { value = v; version = 0 };
+    owner = Atomic.make None;
+    readers = Atomic.make [];
+  }
+
+let load t = Atomic.get t.state
+let peek t = (Atomic.get t.state).value
+let current_owner t = Atomic.get t.owner
+
+let rec try_lock t desc =
+  match Atomic.get t.owner with
+  | Some d when d == desc -> `Mine
+  | Some d -> `Held d
+  | None ->
+      if Atomic.compare_and_set t.owner None (Some desc) then `Locked
+      else try_lock t desc
+
+let unlock t desc =
+  match Atomic.get t.owner with
+  | Some d when d == desc -> Atomic.set t.owner None
+  | _ -> ()
+
+let publish t value ~version =
+  Atomic.set t.state { value; version }
+
+(* Visible readers: CAS-push, pruning dead entries once the list grows
+   past a small threshold.  Losing a prune race only leaves extra dead
+   entries, which writers skip; a registration CAS failure retries. *)
+let max_unpruned = 8
+
+let rec register_reader t desc =
+  let cur = Atomic.get t.readers in
+  if List.memq desc cur then ()
+  else
+    let live =
+      if List.length cur >= max_unpruned then
+        List.filter Txn_desc.is_active cur
+      else cur
+    in
+    if not (Atomic.compare_and_set t.readers cur (desc :: live)) then
+      register_reader t desc
+
+let active_readers t ~except =
+  List.filter
+    (fun d -> d != except && Txn_desc.is_active d)
+    (Atomic.get t.readers)

@@ -1,0 +1,50 @@
+(** Versioned transactional variables.
+
+    A tvar packs its current value and commit version into one
+    immutable pair behind an [Atomic.t], so a reader always observes a
+    consistent (value, version) snapshot with a single atomic load.
+    Uncommitted values are never published here — writers buffer them
+    in their write set and install them only at commit, while holding
+    the tvar's owner lock.
+
+    The [readers] list supports the visible-readers conflict mode
+    ([Eager_eager]): registered descriptors of transactions that have
+    read this tvar and may still be active.  Entries are pruned lazily;
+    stale (committed/aborted) entries are ignored by writers. *)
+
+type 'a versioned = { value : 'a; version : int }
+
+type 'a t = {
+  uid : int;
+  state : 'a versioned Atomic.t;
+  owner : Txn_desc.t option Atomic.t;
+  readers : Txn_desc.t list Atomic.t;
+}
+
+(** [make v] is a fresh tvar holding [v] at version 0. *)
+val make : 'a -> 'a t
+
+(** Consistent snapshot of the current committed state. *)
+val load : 'a t -> 'a versioned
+
+(** Non-transactional peek at the committed value (tests, debugging). *)
+val peek : 'a t -> 'a
+
+val current_owner : 'a t -> Txn_desc.t option
+
+(** [try_lock t desc] CASes the owner word from free to [desc].
+    Returns [`Locked] on success, [`Mine] if [desc] already owns it,
+    [`Held other] if another transaction owns it. *)
+val try_lock : 'a t -> Txn_desc.t -> [ `Locked | `Mine | `Held of Txn_desc.t ]
+
+(** Release the owner lock.  Only the owner may call this. *)
+val unlock : 'a t -> Txn_desc.t -> unit
+
+(** Publish a new committed state.  Caller must hold the owner lock. *)
+val publish : 'a t -> 'a -> version:int -> unit
+
+(** Register [desc] as a visible reader (idempotent). *)
+val register_reader : 'a t -> Txn_desc.t -> unit
+
+(** Active registered readers other than [except]. *)
+val active_readers : 'a t -> except:Txn_desc.t -> Txn_desc.t list

@@ -1,0 +1,38 @@
+(** Transaction descriptors.
+
+    A descriptor is the part of a transaction's state that other
+    transactions may inspect and act upon: its identity, age, priority
+    and — crucially — its status word, which a contention manager may
+    CAS from [Active] to [Aborted] to kill the transaction remotely.
+    The victim observes the change at its next STM operation. *)
+
+type status = Active | Committed | Aborted
+
+type t = {
+  id : int;  (** unique across all attempts in the process *)
+  birth : int;  (** global-clock value when the attempt began *)
+  status : status Atomic.t;
+  mutable priority : int;
+      (** contention-manager karma: work performed so far *)
+}
+
+(** Fresh descriptor with a unique id, [Active] status, priority
+    carried over from previous attempts of the same atomic block. *)
+val create : ?priority:int -> birth:int -> unit -> t
+
+val is_active : t -> bool
+val is_committed : t -> bool
+val is_aborted : t -> bool
+
+(** [try_commit t] linearizes the commit: CAS [Active -> Committed].
+    Returns [false] if the transaction was aborted remotely first. *)
+val try_commit : t -> bool
+
+(** [try_abort t] CASes [Active -> Aborted]; [true] if this call
+    performed the transition. *)
+val try_abort : t -> bool
+
+val earn : t -> int -> unit
+(** Increase priority by the given amount of work. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/structures/eager_map.ml: Abstract_lock Committed_size Hashtbl Intent Map_intf Option Stm Update_strategy

@@ -1,0 +1,1 @@
+lib/structures/eager_map.mli: Lock_allocator Map_intf Stm

@@ -1,0 +1,1 @@
+lib/structures/memo_map.ml: Abstract_lock Committed_size Eager_map Intent Map_intf Replay_log Stm Update_strategy

@@ -1,0 +1,1 @@
+lib/structures/memo_map.mli: Eager_map Lock_allocator Map_intf Stm

@@ -1,0 +1,1 @@
+lib/structures/p_counter.mli: Map_intf Stm

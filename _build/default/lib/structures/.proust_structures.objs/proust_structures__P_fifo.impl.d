@@ -1,0 +1,1 @@
+lib/structures/p_fifo.ml: Abstract_lock Committed_size Intent Map_intf Option Proust_concurrent Queue_intf Update_strategy

@@ -1,0 +1,1 @@
+lib/structures/p_fifo.mli: Map_intf Queue_intf Stm

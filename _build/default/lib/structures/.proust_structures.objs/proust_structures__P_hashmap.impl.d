@@ -1,0 +1,1 @@
+lib/structures/p_hashmap.ml: Conflict_abstraction Eager_map Map_intf Proust_concurrent

@@ -1,0 +1,1 @@
+lib/structures/p_hashmap.mli: Eager_map Lock_allocator Map_intf Proust_concurrent Stm

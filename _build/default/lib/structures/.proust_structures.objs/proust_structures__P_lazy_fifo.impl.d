@@ -1,0 +1,1 @@
+lib/structures/p_lazy_fifo.ml: Abstract_lock Committed_size Intent Map_intf Proust_concurrent Queue_intf Replay_log Stm Update_strategy

@@ -1,0 +1,1 @@
+lib/structures/p_lazy_hashmap.mli: Map_intf Proust_concurrent Stm

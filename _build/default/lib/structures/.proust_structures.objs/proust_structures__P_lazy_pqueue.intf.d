@@ -1,0 +1,1 @@
+lib/structures/p_lazy_pqueue.mli: Map_intf Pqueue_intf Stm

@@ -1,0 +1,1 @@
+lib/structures/p_lazy_triemap.mli: Map_intf Proust_concurrent Stm

@@ -1,0 +1,1 @@
+lib/structures/p_omap.ml: Abstract_lock Committed_size Conflict_abstraction Fun Intent List Map_intf Option Proust_concurrent Replay_log Stm Update_strategy

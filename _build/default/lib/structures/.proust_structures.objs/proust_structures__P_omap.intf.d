@@ -1,0 +1,1 @@
+lib/structures/p_omap.mli: Conflict_abstraction Map_intf Stm Update_strategy

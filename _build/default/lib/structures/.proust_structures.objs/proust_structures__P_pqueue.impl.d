@@ -1,0 +1,1 @@
+lib/structures/p_pqueue.ml: Abstract_lock Committed_size Intent Map_intf Option Pqueue_intf Proust_concurrent Update_strategy

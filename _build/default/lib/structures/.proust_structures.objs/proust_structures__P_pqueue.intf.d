@@ -1,0 +1,1 @@
+lib/structures/p_pqueue.mli: Map_intf Pqueue_intf Stm

@@ -1,0 +1,1 @@
+lib/structures/p_set.mli: Map_intf Stm

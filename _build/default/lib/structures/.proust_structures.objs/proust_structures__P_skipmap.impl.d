@@ -1,0 +1,1 @@
+lib/structures/p_skipmap.ml: Abstract_lock Committed_size Intent Map_intf Option P_omap Proust_concurrent Update_strategy

@@ -1,0 +1,1 @@
+lib/structures/p_skipmap.mli: Map_intf Stm

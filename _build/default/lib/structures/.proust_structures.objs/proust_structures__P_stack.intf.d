@@ -1,0 +1,1 @@
+lib/structures/p_stack.mli: Map_intf Stm

@@ -1,0 +1,1 @@
+lib/structures/pqueue_intf.ml: Conflict_abstraction Intent Stm

@@ -1,0 +1,1 @@
+lib/structures/queue_intf.ml: Conflict_abstraction Intent Stm

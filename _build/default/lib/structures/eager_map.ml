@@ -1,0 +1,109 @@
+(** Generic eager Proustian map (Figure 2a), parameterized by the
+    thread-safe base map it wraps.  Operations run against the base
+    immediately; each mutation registers an inverse built from its own
+    return value, exactly as the Scala [TrieMap.put] does.
+
+    [combine_undo] enables the §9 future-work extension of log
+    combining to undo logs: instead of one inverse handler per
+    operation, the wrapper keeps one entry per dirty key — the key's
+    value when the transaction first touched it — and a single abort
+    handler restores all of them.  An aborting transaction then pays
+    per unique key instead of per operation.
+
+    Soundness: with a pessimistic LAP this is transactional boosting
+    (Theorem 5.1, opaque under any STM mode).  With an optimistic LAP
+    the STM must detect conflicts on the conflict-abstraction slots at
+    encounter time ([Eager_lazy] or [Eager_eager] modes) — otherwise
+    two conflicting transactions can interleave base mutations before
+    either aborts (Theorem 5.2, and the "empty quarter" of Figure 1). *)
+
+(** Accessors onto a linearizable base map. *)
+type ('k, 'v) base = {
+  bget : 'k -> 'v option;
+  bput : 'k -> 'v -> 'v option;
+  bremove : 'k -> 'v option;
+  bcontains : 'k -> bool;
+}
+
+type ('k, 'v) t = {
+  base : ('k, 'v) base;
+  alock : 'k Abstract_lock.t;
+  csize : Committed_size.t;
+  undo_key : ('k, 'v option) Hashtbl.t Stm.Local.key option;
+      (** present when undo combining is on: first-observed value per
+          dirty key, restored wholesale on abort *)
+}
+
+let make ~base ~lap ?(size_mode = `Counter) ?(combine_undo = false) () =
+  let undo_key =
+    if not combine_undo then None
+    else
+      Some
+        (Stm.Local.key (fun txn ->
+             let firsts : ('k, 'v option) Hashtbl.t = Hashtbl.create 8 in
+             Stm.on_abort txn (fun () ->
+                 Hashtbl.iter
+                   (fun k old ->
+                     match old with
+                     | Some v -> ignore (base.bput k v)
+                     | None -> ignore (base.bremove k))
+                   firsts);
+             firsts))
+  in
+  {
+    base;
+    alock = Abstract_lock.make ~lap ~strategy:Update_strategy.Eager;
+    csize = Committed_size.create size_mode;
+    undo_key;
+  }
+
+let get t txn k =
+  Abstract_lock.apply t.alock txn [ Intent.Read k ] (fun () -> t.base.bget k)
+
+let contains t txn k =
+  Abstract_lock.apply t.alock txn [ Intent.Read k ] (fun () ->
+      t.base.bcontains k)
+
+(* Run a mutation under [Write k], undone either by a per-operation
+   inverse or by recording the key's first value in the combined undo
+   table. *)
+let mutate t txn k ~op ~inverse =
+  match t.undo_key with
+  | None -> Abstract_lock.apply t.alock txn [ Intent.Write k ] ~inverse op
+  | Some key ->
+      Abstract_lock.apply t.alock txn [ Intent.Write k ] (fun () ->
+          let firsts = Stm.Local.get txn key in
+          let old = op () in
+          if not (Hashtbl.mem firsts k) then Hashtbl.add firsts k old;
+          old)
+
+let put t txn k v =
+  mutate t txn k
+    ~op:(fun () ->
+      let old = t.base.bput k v in
+      if old = None then Committed_size.add t.csize txn 1;
+      old)
+    ~inverse:(fun old ->
+      match old with
+      | Some o -> ignore (t.base.bput k o)
+      | None -> ignore (t.base.bremove k))
+
+let remove t txn k =
+  mutate t txn k
+    ~op:(fun () ->
+      let old = t.base.bremove k in
+      if old <> None then Committed_size.add t.csize txn (-1);
+      old)
+    ~inverse:(fun old -> Option.iter (fun o -> ignore (t.base.bput k o)) old)
+
+let size t txn = Committed_size.read t.csize txn
+let committed_size t = Committed_size.peek t.csize
+
+let ops t : ('k, 'v) Map_intf.ops =
+  {
+    get = get t;
+    put = put t;
+    remove = remove t;
+    contains = contains t;
+    size = size t;
+  }

@@ -1,0 +1,39 @@
+(** The transactional map trait (Listing 2), as a first-class record so
+    benchmarks and tests can drive any implementation uniformly. *)
+
+type ('k, 'v) ops = {
+  get : Stm.txn -> 'k -> 'v option;
+  put : Stm.txn -> 'k -> 'v -> 'v option;
+      (** binds and returns the previous binding *)
+  remove : Stm.txn -> 'k -> 'v option;
+  contains : Stm.txn -> 'k -> bool;
+  size : Stm.txn -> int;
+}
+
+(** Module-style view of the same trait, for wrappers exposed as
+    modules. *)
+module type S = sig
+  type ('k, 'v) t
+
+  val get : ('k, 'v) t -> Stm.txn -> 'k -> 'v option
+  val put : ('k, 'v) t -> Stm.txn -> 'k -> 'v -> 'v option
+  val remove : ('k, 'v) t -> Stm.txn -> 'k -> 'v option
+  val contains : ('k, 'v) t -> Stm.txn -> 'k -> bool
+  val size : ('k, 'v) t -> Stm.txn -> int
+  val ops : ('k, 'v) t -> ('k, 'v) ops
+end
+
+(** Choice of lock-allocator policy used by convenience constructors.
+    [Optimistic_unvalidated] omits the read-before-write on
+    conflict-abstraction slots: the paper's plain eager/optimistic
+    construction, opaque only under eager STM conflict detection
+    (Theorem 5.2). *)
+type lap_choice = Optimistic | Optimistic_unvalidated | Pessimistic
+
+let make_lap (choice : lap_choice) ~(ca : 'k Conflict_abstraction.t) :
+    'k Lock_allocator.t =
+  match choice with
+  | Optimistic -> Lock_allocator.optimistic ~validate_writes:true ~ca ()
+  | Optimistic_unvalidated ->
+      Lock_allocator.optimistic ~validate_writes:false ~ca ()
+  | Pessimistic -> Lock_allocator.pessimistic ~ca ()

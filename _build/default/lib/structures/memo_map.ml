@@ -1,0 +1,60 @@
+(** Generic lazy Proustian map with memoized shadow copies — the
+    paper's [LazyHashMap] construction (§4).  Pending operations live
+    in a per-transaction {!Replay_log.Memo}; return values come from
+    the memo table backed by reads of the unmodified base; commit
+    applies the log behind the STM's locks; abort just drops it, so no
+    inverses are declared. *)
+
+type ('k, 'v) t = {
+  base : ('k, 'v) Eager_map.base;
+  alock : 'k Abstract_lock.t;
+  csize : Committed_size.t;
+  log_key : ('k, 'v) Replay_log.Memo.t Stm.Local.key;
+}
+
+let make ~base ~lap ?(combine = true) ?(size_mode = `Counter) () =
+  let memo_base =
+    {
+      Replay_log.Memo.base_get = base.Eager_map.bget;
+      base_put = (fun k v -> ignore (base.Eager_map.bput k v));
+      base_remove = (fun k -> ignore (base.Eager_map.bremove k));
+    }
+  in
+  {
+    base;
+    alock = Abstract_lock.make ~lap ~strategy:Update_strategy.Lazy;
+    csize = Committed_size.create size_mode;
+    log_key = Stm.Local.key (Replay_log.Memo.create ~combine ~base:memo_base);
+  }
+
+let log t txn = Stm.Local.get txn t.log_key
+
+let get t txn k =
+  Abstract_lock.apply t.alock txn [ Intent.Read k ] (fun () ->
+      Replay_log.Memo.get (log t txn) k)
+
+let contains t txn k = get t txn k <> None
+
+let put t txn k v =
+  Abstract_lock.apply t.alock txn [ Intent.Write k ] (fun () ->
+      let old = Replay_log.Memo.put (log t txn) txn k v in
+      if old = None then Committed_size.add t.csize txn 1;
+      old)
+
+let remove t txn k =
+  Abstract_lock.apply t.alock txn [ Intent.Write k ] (fun () ->
+      let old = Replay_log.Memo.remove (log t txn) txn k in
+      if old <> None then Committed_size.add t.csize txn (-1);
+      old)
+
+let size t txn = Committed_size.read t.csize txn
+let committed_size t = Committed_size.peek t.csize
+
+let ops t : ('k, 'v) Map_intf.ops =
+  {
+    get = get t;
+    put = put t;
+    remove = remove t;
+    contains = contains t;
+    size = size t;
+  }

@@ -1,0 +1,24 @@
+(** Generic lazy Proustian map with memoized shadow copies — the
+    paper's [LazyHashMap] construction (§4): pending operations live in
+    a per-transaction {!Replay_log.Memo}; return values come from the
+    memo table backed by reads of the unmodified base; commit applies
+    the log behind the STM's locks; abort drops it.  [combine] toggles
+    the log-combining optimisation of Figure 4's bottom row. *)
+
+type ('k, 'v) t
+
+val make :
+  base:('k, 'v) Eager_map.base ->
+  lap:'k Lock_allocator.t ->
+  ?combine:bool ->
+  ?size_mode:[ `Counter | `Transactional ] ->
+  unit ->
+  ('k, 'v) t
+
+val get : ('k, 'v) t -> Stm.txn -> 'k -> 'v option
+val put : ('k, 'v) t -> Stm.txn -> 'k -> 'v -> 'v option
+val remove : ('k, 'v) t -> Stm.txn -> 'k -> 'v option
+val contains : ('k, 'v) t -> Stm.txn -> 'k -> bool
+val size : ('k, 'v) t -> Stm.txn -> int
+val committed_size : ('k, 'v) t -> int
+val ops : ('k, 'v) t -> ('k, 'v) Map_intf.ops

@@ -1,0 +1,97 @@
+(** The non-negative counter of §3 — the paper's running example of a
+    conflict abstraction.
+
+    One STM slot [l0]; with threshold 2 (the paper's choice):
+    - [incr] reads [l0] whenever the counter is below the threshold;
+    - [decr] writes [l0] whenever the counter is below the threshold;
+    - above the threshold neither touches [l0], so increments and
+      decrements run conflict-free, mirroring the paper's case (1).
+
+    The intent computation consults the live counter value, so it is
+    re-checked after acquisition until it reaches a fixed point — the
+    state could shrink below the threshold between the sample and the
+    acquisition (the classic boosting race).  Under an optimistic LAP
+    the STM's read validation independently rejects such schedules; the
+    loop makes the pessimistic configuration sound too.
+
+    [observable] adds a striped observer band so that [value] can be
+    read transactionally: updates write one sub-slot (colliding with
+    each other only at 1/width rate), [value] reads the whole band.
+    Without it (the paper's exact design) only the non-transactional
+    [peek] is available. *)
+
+module Nn = Proust_concurrent.Nn_counter
+
+type element = Level | Observer
+
+type t = {
+  base : Nn.t;
+  alock : element Abstract_lock.t;
+  threshold : int;
+  observable : bool;
+  observer_width : int;
+}
+
+let make ?(threshold = 2) ?(lap = Map_intf.Optimistic) ?(observable = false)
+    ?(observer_width = 8) ?(init = 0) () =
+  let width = if observable then observer_width else 0 in
+  let ca =
+    Conflict_abstraction.exact ~slots:(1 + width) (fun ~stripe intent ->
+        match Intent.key intent with
+        | Level ->
+            [ { Conflict_abstraction.slot = 0; write = Intent.is_write intent } ]
+        | Observer ->
+            if not observable then
+              invalid_arg "P_counter: observer band disabled"
+            else Conflict_abstraction.group_accesses ~width ~base:1 ~stripe intent)
+  in
+  {
+    base = Nn.create ~init ();
+    alock = Abstract_lock.make ~lap:(Map_intf.make_lap lap ~ca)
+        ~strategy:Update_strategy.Eager;
+    threshold;
+    observable;
+    observer_width;
+  }
+
+(* Intents demanded by the current state: the §3 conflict abstraction.
+   Acquired through the stable-resampling loop, since the value may
+   drop below the threshold between sampling and acquisition. *)
+let level_intents t op () =
+  if Nn.get t.base >= t.threshold then []
+  else
+    match op with
+    | `Incr -> [ Intent.Read Level ]
+    | `Decr -> [ Intent.Write Level ]
+
+let acquire_stable t txn op =
+  Abstract_lock.acquire_stable t.alock txn (level_intents t op)
+
+let observer_intents t write =
+  if t.observable then
+    [ (if write then Intent.Write Observer else Intent.Read Observer) ]
+  else []
+
+let incr t txn =
+  acquire_stable t txn `Incr;
+  Abstract_lock.apply t.alock txn (observer_intents t true)
+    ~inverse:(fun () -> ignore (Nn.try_decr t.base))
+    (fun () -> Nn.incr t.base)
+
+(** [decr t txn] is [false] when the counter was 0 — the §3 error flag. *)
+let decr t txn =
+  acquire_stable t txn `Decr;
+  Abstract_lock.apply t.alock txn (observer_intents t true)
+    ~inverse:(fun ok -> if ok then Nn.incr t.base)
+    (fun () -> Nn.try_decr t.base)
+
+(** Transactional read; requires [observable]. *)
+let value t txn =
+  if not t.observable then
+    invalid_arg "P_counter.value: construct with ~observable:true";
+  Abstract_lock.apply t.alock txn
+    [ Intent.Read Observer ]
+    (fun () -> Nn.get t.base)
+
+(** Committed value, non-transactionally. *)
+let peek t = Nn.get t.base

@@ -1,0 +1,32 @@
+(** The non-negative counter of §3 — the paper's running example of a
+    conflict abstraction: one STM slot, read by [incr] and written by
+    [decr] whenever the value is below [threshold]; above it the
+    operations commute and touch nothing.
+
+    State-dependent intents are re-sampled to a fixed point after
+    acquisition ({!Abstract_lock.acquire_stable}).  [observable] adds a
+    striped observer band enabling the transactional [value] read. *)
+
+type t
+
+val make :
+  ?threshold:int ->
+  ?lap:Map_intf.lap_choice ->
+  ?observable:bool ->
+  ?observer_width:int ->
+  ?init:int ->
+  unit ->
+  t
+
+val incr : t -> Stm.txn -> unit
+
+(** [decr t txn] is [false] when the counter was 0 (the §3 error
+    flag); the counter never goes negative. *)
+val decr : t -> Stm.txn -> bool
+
+(** Transactional read; requires [~observable:true].
+    @raise Invalid_argument otherwise. *)
+val value : t -> Stm.txn -> int
+
+(** Committed value, non-transactionally. *)
+val peek : t -> int

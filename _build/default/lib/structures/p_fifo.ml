@@ -1,0 +1,64 @@
+(** Eager Proustian FIFO queue over the removable-node {!Deque}.
+
+    An enqueue's inverse deletes the node it created (the Fig. 3
+    lazy-deletion trick); a dequeue's inverse pushes the value back on
+    the front.  State-dependent intents follow {!Queue_intf}. *)
+
+module D = Proust_concurrent.Deque
+open Queue_intf
+
+type 'v t = {
+  base : 'v D.t;
+  alock : state Abstract_lock.t;
+  csize : Committed_size.t;
+}
+
+let make ?(lap = Map_intf.Optimistic) ?(size_mode = `Counter) () =
+  {
+    base = D.create ();
+    alock =
+      Abstract_lock.make ~lap:(Map_intf.make_lap lap ~ca:(ca ()))
+        ~strategy:Update_strategy.Eager;
+    csize = Committed_size.create size_mode;
+  }
+
+let enqueue t txn v =
+  Abstract_lock.acquire_stable t.alock txn (fun () ->
+      Intent.Write Tail
+      :: (if D.is_empty t.base then [ Intent.Write Head ] else []));
+  ignore
+    (Abstract_lock.apply t.alock txn []
+       ~inverse:(fun node ->
+         (* If this transaction itself dequeued the node, a later-run
+            inverse has pushed the value back under a fresh node; fall
+            back to removal by value (cf. P_pqueue). *)
+         if not (D.delete t.base node) then ignore (D.remove_value t.base v))
+       (fun () ->
+         let node = D.push_back t.base v in
+         Committed_size.add t.csize txn 1;
+         node))
+
+let dequeue t txn =
+  Abstract_lock.acquire_stable t.alock txn (fun () ->
+      (Intent.Write Head :: eager_dequeue_guard)
+      @ (if D.size t.base <= 1 then [ Intent.Write Tail ] else []));
+  Abstract_lock.apply t.alock txn []
+    ~inverse:(fun popped ->
+      Option.iter (fun v -> ignore (D.push_front t.base v)) popped)
+    (fun () ->
+      let popped = D.pop_front t.base in
+      if popped <> None then Committed_size.add t.csize txn (-1);
+      popped)
+
+let front t txn =
+  Abstract_lock.apply t.alock txn [ Intent.Read Head ] (fun () ->
+      D.peek_front t.base)
+
+let size t txn = Committed_size.read t.csize txn
+let committed_size t = Committed_size.peek t.csize
+
+(** Committed contents, non-transactionally (tests). *)
+let to_list t = D.to_list t.base
+
+let ops t : 'v Queue_intf.ops =
+  { enqueue = enqueue t; dequeue = dequeue t; front = front t; size = size t }

@@ -1,0 +1,26 @@
+(** Eager Proustian FIFO queue over the removable-node {!Deque}.
+
+    Abstract state per {!Queue_intf}: [Head] and [Tail], with
+    state-dependent extras (enqueue-into-empty writes [Head]; a
+    dequeue that may empty the queue writes [Tail]) acquired through
+    the stable re-sampling loop, plus the eager dequeue guard that
+    prevents consuming uncommitted enqueues — see {!Queue_intf}. *)
+
+type 'v t
+
+val make :
+  ?lap:Map_intf.lap_choice ->
+  ?size_mode:[ `Counter | `Transactional ] ->
+  unit ->
+  'v t
+
+val enqueue : 'v t -> Stm.txn -> 'v -> unit
+val dequeue : 'v t -> Stm.txn -> 'v option
+val front : 'v t -> Stm.txn -> 'v option
+val size : 'v t -> Stm.txn -> int
+val committed_size : 'v t -> int
+
+(** Committed contents front-first, non-transactionally. *)
+val to_list : 'v t -> 'v list
+
+val ops : 'v t -> 'v Queue_intf.ops

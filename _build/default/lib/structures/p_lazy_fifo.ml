@@ -1,0 +1,80 @@
+(** Lazy Proustian FIFO queue over the copy-on-write {!Cow_queue}:
+    snapshot shadow copies, commit-time replay, optional root-CAS log
+    combining.  Same conflict abstraction as {!P_fifo}. *)
+
+module Cq = Proust_concurrent.Cow_queue
+open Queue_intf
+
+type 'v t = {
+  base : 'v Cq.t;
+  alock : state Abstract_lock.t;
+  csize : Committed_size.t;
+  log_key : 'v Cq.snapshot Replay_log.Snapshot.t Stm.Local.key;
+}
+
+let make ?(lap = Map_intf.Optimistic) ?(size_mode = `Counter)
+    ?(combine = false) () =
+  let base = Cq.create () in
+  let install =
+    if combine then
+      Some (fun ~expected ~desired -> Cq.commit base ~expected ~desired)
+    else None
+  in
+  {
+    base;
+    alock =
+      Abstract_lock.make ~lap:(Map_intf.make_lap lap ~ca:(ca ()))
+        ~strategy:Update_strategy.Lazy;
+    csize = Committed_size.create size_mode;
+    log_key =
+      Stm.Local.key
+        (Replay_log.Snapshot.create ?install
+           ~snapshot:(fun () -> Cq.snapshot base));
+  }
+
+let log t txn = Stm.Local.get txn t.log_key
+
+let shadow_size t txn =
+  Replay_log.Snapshot.read_only (log t txn) ~shadow:Cq.Snapshot.size
+    ~direct:(fun () -> Cq.size t.base)
+
+let enqueue t txn v =
+  Abstract_lock.acquire_stable t.alock txn (fun () ->
+      Intent.Write Tail
+      :: (if shadow_size t txn = 0 then [ Intent.Write Head ] else []));
+  Abstract_lock.apply t.alock txn [] (fun () ->
+      Replay_log.Snapshot.update txn (log t txn)
+        (fun s -> (Cq.Snapshot.enqueue s v, ()))
+        ~replay:(fun () -> Cq.enqueue t.base v);
+      Committed_size.add t.csize txn 1)
+
+let dequeue t txn =
+  Abstract_lock.acquire_stable t.alock txn (fun () ->
+      Intent.Write Head
+      :: (if shadow_size t txn <= 1 then [ Intent.Write Tail ] else []));
+  Abstract_lock.apply t.alock txn [] (fun () ->
+      let empty = shadow_size t txn = 0 in
+      if empty then None
+      else
+        let popped =
+          Replay_log.Snapshot.update txn (log t txn)
+            (fun s ->
+              match Cq.Snapshot.dequeue s with
+              | None -> (s, None)
+              | Some (v, s') -> (s', Some v))
+            ~replay:(fun () -> ignore (Cq.dequeue t.base))
+        in
+        if popped <> None then Committed_size.add t.csize txn (-1);
+        popped)
+
+let front t txn =
+  Abstract_lock.apply t.alock txn [ Intent.Read Head ] (fun () ->
+      Replay_log.Snapshot.read_only (log t txn) ~shadow:Cq.Snapshot.peek
+        ~direct:(fun () -> Cq.peek t.base))
+
+let size t txn = Committed_size.read t.csize txn
+let committed_size t = Committed_size.peek t.csize
+let to_list t = Cq.to_list t.base
+
+let ops t : 'v Queue_intf.ops =
+  { enqueue = enqueue t; dequeue = dequeue t; front = front t; size = size t }

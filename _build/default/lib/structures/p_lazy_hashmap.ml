@@ -1,0 +1,24 @@
+(** Lazy Proustian hash map with memoized shadow copies — the paper's
+    [LazyHashMap] over ConcurrentHashMap (§4).  [combine] enables the
+    log-combining optimisation benchmarked at the bottom of Figure 4. *)
+
+type ('k, 'v) t = {
+  backing : ('k, 'v) Proust_concurrent.Chashmap.t;
+  wrapper : ('k, 'v) Memo_map.t;
+}
+
+let make ?(slots = 1024) ?(lap = Map_intf.Optimistic) ?combine ?size_mode () =
+  let backing = Proust_concurrent.Chashmap.create () in
+  let ca = Conflict_abstraction.striped ~slots () in
+  let lap = Map_intf.make_lap lap ~ca in
+  let base = P_hashmap.base_of backing in
+  { backing; wrapper = Memo_map.make ~base ~lap ?combine ?size_mode () }
+
+let get t = Memo_map.get t.wrapper
+let put t = Memo_map.put t.wrapper
+let remove t = Memo_map.remove t.wrapper
+let contains t = Memo_map.contains t.wrapper
+let size t = Memo_map.size t.wrapper
+let committed_size t = Memo_map.committed_size t.wrapper
+let ops t = Memo_map.ops t.wrapper
+let backing t = t.backing

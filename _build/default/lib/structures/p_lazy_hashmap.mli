@@ -1,0 +1,25 @@
+(** Lazy Proustian hash map with memoized shadow copies — the paper's
+    [LazyHashMap] over ConcurrentHashMap (§4).  [combine] toggles the
+    log-combining optimisation benchmarked at the bottom of Figure 4.
+    Opaque under every STM mode (Theorem 5.3). *)
+
+type ('k, 'v) t
+
+val make :
+  ?slots:int ->
+  ?lap:Map_intf.lap_choice ->
+  ?combine:bool ->
+  ?size_mode:[ `Counter | `Transactional ] ->
+  unit ->
+  ('k, 'v) t
+
+val get : ('k, 'v) t -> Stm.txn -> 'k -> 'v option
+val put : ('k, 'v) t -> Stm.txn -> 'k -> 'v -> 'v option
+val remove : ('k, 'v) t -> Stm.txn -> 'k -> 'v option
+val contains : ('k, 'v) t -> Stm.txn -> 'k -> bool
+val size : ('k, 'v) t -> Stm.txn -> int
+val committed_size : ('k, 'v) t -> int
+val ops : ('k, 'v) t -> ('k, 'v) Map_intf.ops
+
+(** The raw backing map; only committed state is ever visible here. *)
+val backing : ('k, 'v) t -> ('k, 'v) Proust_concurrent.Chashmap.t

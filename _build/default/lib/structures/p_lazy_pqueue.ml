@@ -1,0 +1,103 @@
+(** Lazy Proustian priority queue over the copy-on-write
+    {!Cow_pqueue} — the paper's [LazyPriorityQueue] (§4).
+
+    The first mutating operation snapshots the persistent heap in O(1);
+    later operations run on the shadow; commit replays onto the shared
+    queue.  A [remove_min] that finds the shadow empty registers no
+    replay — emptiness is an observation, protected by the [Write Min]
+    conflict-abstraction access. *)
+
+module Cq = Proust_concurrent.Cow_pqueue
+open Pqueue_intf
+
+type 'v t = {
+  base : 'v Cq.t;
+  alock : state Abstract_lock.t;
+  csize : Committed_size.t;
+  cmp : 'v -> 'v -> int;
+  log_key : 'v Cq.snapshot Replay_log.Snapshot.t Stm.Local.key;
+}
+
+let make ~cmp ?(stripes = 8) ?(lap = Map_intf.Optimistic)
+    ?(size_mode = `Counter) ?(combine = false) () =
+  let base = Cq.create ~cmp () in
+  let install =
+    if combine then
+      Some (fun ~expected ~desired -> Cq.commit base ~expected ~desired)
+    else None
+  in
+  {
+    base;
+    alock =
+      Abstract_lock.make
+        ~lap:(Map_intf.make_lap lap ~ca:(ca ~stripes))
+        ~strategy:Update_strategy.Lazy;
+    csize = Committed_size.create size_mode;
+    cmp;
+    log_key =
+      Stm.Local.key
+        (Replay_log.Snapshot.create ?install
+           ~snapshot:(fun () -> Cq.snapshot base));
+  }
+
+let log t txn = Stm.Local.get txn t.log_key
+
+let min t txn =
+  Abstract_lock.apply t.alock txn [ Intent.Read Min ] (fun () ->
+      Replay_log.Snapshot.read_only (log t txn) ~shadow:Cq.Snapshot.peek
+        ~direct:(fun () -> Cq.peek t.base))
+
+let insert t txn v =
+  let min_intent =
+    match min t txn with
+    | Some cur when t.cmp v cur < 0 -> Intent.Write Min
+    | Some _ -> Intent.Read Min
+    | None -> Intent.Write Min  (* new minimum; see P_pqueue.insert *)
+  in
+  Abstract_lock.apply t.alock txn
+    [ Intent.Write Multiset; min_intent ]
+    (fun () ->
+      Replay_log.Snapshot.update txn (log t txn)
+        (fun s -> (Cq.Snapshot.add s v, ()))
+        ~replay:(fun () -> Cq.add t.base v);
+      Committed_size.add t.csize txn 1)
+
+let remove_min t txn =
+  Abstract_lock.apply t.alock txn
+    [ Intent.Write Min; Intent.Write Multiset ]
+    (fun () ->
+      let shadow_min =
+        Replay_log.Snapshot.read_only (log t txn) ~shadow:Cq.Snapshot.peek
+          ~direct:(fun () -> Cq.peek t.base)
+      in
+      match shadow_min with
+      | None -> None
+      | Some _ ->
+          let popped =
+            Replay_log.Snapshot.update txn (log t txn)
+              (fun s ->
+                match Cq.Snapshot.poll s with
+                | None -> (s, None)
+                | Some (x, s') -> (s', Some x))
+              ~replay:(fun () -> ignore (Cq.poll t.base))
+          in
+          if popped <> None then Committed_size.add t.csize txn (-1);
+          popped)
+
+let contains t txn v =
+  Abstract_lock.apply t.alock txn [ Intent.Read Multiset ] (fun () ->
+      Replay_log.Snapshot.read_only (log t txn)
+        ~shadow:(fun s -> Cq.Snapshot.contains s v)
+        ~direct:(fun () -> Cq.contains t.base v))
+
+let size t txn = Committed_size.read t.csize txn
+let committed_size t = Committed_size.peek t.csize
+
+let ops t : 'v Pqueue_intf.ops =
+  {
+    insert = insert t;
+    remove_min = remove_min t;
+    min = min t;
+    contains = contains t;
+    size = size t;
+  }

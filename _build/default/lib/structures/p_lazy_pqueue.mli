@@ -1,0 +1,23 @@
+(** Lazy Proustian priority queue over the copy-on-write {!Cow_pqueue}
+    — the paper's [LazyPriorityQueue] (§4): snapshot shadow copies,
+    commit-time replay, optional root-CAS log combining ([combine]).
+    Same conflict abstraction as {!P_pqueue}. *)
+
+type 'v t
+
+val make :
+  cmp:('v -> 'v -> int) ->
+  ?stripes:int ->
+  ?lap:Map_intf.lap_choice ->
+  ?size_mode:[ `Counter | `Transactional ] ->
+  ?combine:bool ->
+  unit ->
+  'v t
+
+val insert : 'v t -> Stm.txn -> 'v -> unit
+val remove_min : 'v t -> Stm.txn -> 'v option
+val min : 'v t -> Stm.txn -> 'v option
+val contains : 'v t -> Stm.txn -> 'v -> bool
+val size : 'v t -> Stm.txn -> int
+val committed_size : 'v t -> int
+val ops : 'v t -> 'v Pqueue_intf.ops

@@ -1,0 +1,83 @@
+(** Lazy Proustian trie map with snapshot shadow copies — the paper's
+    [LazyTrieMap] (Figure 2b): the first mutating operation snapshots
+    the Ctrie in O(1); further operations run on the shadow; commit
+    replays the log onto the shared Ctrie behind the STM's locks. *)
+
+module Ctrie = Proust_concurrent.Ctrie
+
+type ('k, 'v) t = {
+  backing : ('k, 'v) Ctrie.t;
+  alock : 'k Abstract_lock.t;
+  csize : Committed_size.t;
+  log_key : ('k, 'v) Ctrie.snapshot Replay_log.Snapshot.t Stm.Local.key;
+}
+
+(** [combine] enables the snapshot-replay log-combining extension (§9
+    future work): commit installs the shadow with one root CAS when no
+    commuting transaction has slipped in, falling back to per-operation
+    replay otherwise. *)
+let make ?(slots = 1024) ?(lap = Map_intf.Optimistic) ?(size_mode = `Counter)
+    ?(combine = false) () =
+  let backing = Ctrie.create () in
+  let ca = Conflict_abstraction.striped ~slots () in
+  let lap = Map_intf.make_lap lap ~ca in
+  let install =
+    if combine then
+      Some
+        (fun ~expected ~desired ->
+          Ctrie.compare_and_swap_root backing ~expected ~desired)
+    else None
+  in
+  {
+    backing;
+    alock = Abstract_lock.make ~lap ~strategy:Update_strategy.Lazy;
+    csize = Committed_size.create size_mode;
+    log_key =
+      Stm.Local.key
+        (Replay_log.Snapshot.create ?install
+           ~snapshot:(fun () -> Ctrie.snapshot backing));
+  }
+
+let log t txn = Stm.Local.get txn t.log_key
+
+let get t txn k =
+  Abstract_lock.apply t.alock txn [ Intent.Read k ] (fun () ->
+      Replay_log.Snapshot.read_only (log t txn)
+        ~shadow:(fun s -> Ctrie.Snapshot.find s k)
+        ~direct:(fun () -> Ctrie.get t.backing k))
+
+let contains t txn k = get t txn k <> None
+
+let put t txn k v =
+  Abstract_lock.apply t.alock txn [ Intent.Write k ] (fun () ->
+      let old =
+        Replay_log.Snapshot.update txn (log t txn)
+          (fun s -> Ctrie.Snapshot.add s k v)
+          ~replay:(fun () -> ignore (Ctrie.put t.backing k v))
+      in
+      if old = None then Committed_size.add t.csize txn 1;
+      old)
+
+let remove t txn k =
+  Abstract_lock.apply t.alock txn [ Intent.Write k ] (fun () ->
+      let old =
+        Replay_log.Snapshot.update txn (log t txn)
+          (fun s -> Ctrie.Snapshot.remove s k)
+          ~replay:(fun () -> ignore (Ctrie.remove t.backing k))
+      in
+      if old <> None then Committed_size.add t.csize txn (-1);
+      old)
+
+let size t txn = Committed_size.read t.csize txn
+let committed_size t = Committed_size.peek t.csize
+
+let ops t : ('k, 'v) Map_intf.ops =
+  {
+    get = get t;
+    put = put t;
+    remove = remove t;
+    contains = contains t;
+    size = size t;
+  }
+
+let backing t = t.backing

@@ -1,0 +1,25 @@
+(** Lazy Proustian trie map with snapshot shadow copies — the paper's
+    [LazyTrieMap] (Figure 2b): the first mutating operation snapshots
+    the Ctrie in O(1); commit replays the log onto the shared trie
+    behind the STM's locks, or — with [combine] — installs the shadow
+    wholesale with one root CAS when no commuting transaction slipped
+    in (§9 future work).  Opaque under every STM mode (Theorem 5.3). *)
+
+type ('k, 'v) t
+
+val make :
+  ?slots:int ->
+  ?lap:Map_intf.lap_choice ->
+  ?size_mode:[ `Counter | `Transactional ] ->
+  ?combine:bool ->
+  unit ->
+  ('k, 'v) t
+
+val get : ('k, 'v) t -> Stm.txn -> 'k -> 'v option
+val put : ('k, 'v) t -> Stm.txn -> 'k -> 'v -> 'v option
+val remove : ('k, 'v) t -> Stm.txn -> 'k -> 'v option
+val contains : ('k, 'v) t -> Stm.txn -> 'k -> bool
+val size : ('k, 'v) t -> Stm.txn -> int
+val committed_size : ('k, 'v) t -> int
+val ops : ('k, 'v) t -> ('k, 'v) Map_intf.ops
+val backing : ('k, 'v) t -> ('k, 'v) Proust_concurrent.Ctrie.t

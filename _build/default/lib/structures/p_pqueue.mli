@@ -1,0 +1,28 @@
+(** Eager Proustian priority queue over {!Blocking_pqueue} — Figure 3.
+
+    Abstract state per Listing 3: [Min] (multi-reader/single-writer)
+    and [Multiset] (a striped band: mutually commuting inserts write
+    distinct sub-slots, observers read the whole band).  An insert's
+    inverse deletes the handle it created (the lazy-deletion trick),
+    falling back to deletion by value when the same transaction popped
+    it.  Insert takes [Write Min] when it lowers the minimum or the
+    queue is empty (repairing the literal Figure 3 — see
+    {!Proust_verify.Ca_spec.figure3_literal_pqueue}). *)
+
+type 'v t
+
+val make :
+  cmp:('v -> 'v -> int) ->
+  ?stripes:int ->
+  ?lap:Map_intf.lap_choice ->
+  ?size_mode:[ `Counter | `Transactional ] ->
+  unit ->
+  'v t
+
+val insert : 'v t -> Stm.txn -> 'v -> unit
+val remove_min : 'v t -> Stm.txn -> 'v option
+val min : 'v t -> Stm.txn -> 'v option
+val contains : 'v t -> Stm.txn -> 'v -> bool
+val size : 'v t -> Stm.txn -> int
+val committed_size : 'v t -> int
+val ops : 'v t -> 'v Pqueue_intf.ops

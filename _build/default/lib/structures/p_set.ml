@@ -1,0 +1,52 @@
+(** Eager Proustian set over the lock-free sorted list {!Lf_list} —
+    wrapping a genuinely non-blocking base structure.  Inverses come
+    from each operation's own result: an [add] that inserted is undone
+    by [remove], and vice versa. *)
+
+module Ll = Proust_concurrent.Lf_list
+
+type 'k t = {
+  base : 'k Ll.t;
+  alock : 'k Abstract_lock.t;
+  csize : Committed_size.t;
+}
+
+let make ?(slots = 1024) ?(lap = Map_intf.Optimistic) ?(size_mode = `Counter)
+    ?compare () =
+  let ca = Conflict_abstraction.striped ~slots () in
+  {
+    base = Ll.create ?compare ();
+    alock =
+      Abstract_lock.make ~lap:(Map_intf.make_lap lap ~ca)
+        ~strategy:Update_strategy.Eager;
+    csize = Committed_size.create size_mode;
+  }
+
+(** [add t txn k] inserts [k]; [false] if it was already present. *)
+let add t txn k =
+  Abstract_lock.apply t.alock txn
+    [ Intent.Write k ]
+    ~inverse:(fun added -> if added then ignore (Ll.remove t.base k))
+    (fun () ->
+      let added = Ll.add t.base k in
+      if added then Committed_size.add t.csize txn 1;
+      added)
+
+let remove t txn k =
+  Abstract_lock.apply t.alock txn
+    [ Intent.Write k ]
+    ~inverse:(fun removed -> if removed then ignore (Ll.add t.base k))
+    (fun () ->
+      let removed = Ll.remove t.base k in
+      if removed then Committed_size.add t.csize txn (-1);
+      removed)
+
+let contains t txn k =
+  Abstract_lock.apply t.alock txn [ Intent.Read k ] (fun () ->
+      Ll.contains t.base k)
+
+let size t txn = Committed_size.read t.csize txn
+let committed_size t = Committed_size.peek t.csize
+
+(** Committed contents, non-transactionally (tests). *)
+let to_list t = Ll.to_list t.base

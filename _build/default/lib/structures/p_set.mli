@@ -1,0 +1,24 @@
+(** Eager Proustian set over the lock-free sorted list {!Lf_list}:
+    boosting a genuinely non-blocking base structure.  Per-key striped
+    conflict abstraction; inverses come from each operation's result. *)
+
+type 'k t
+
+val make :
+  ?slots:int ->
+  ?lap:Map_intf.lap_choice ->
+  ?size_mode:[ `Counter | `Transactional ] ->
+  ?compare:('k -> 'k -> int) ->
+  unit ->
+  'k t
+
+(** [add t txn k] inserts [k]; [false] if already present. *)
+val add : 'k t -> Stm.txn -> 'k -> bool
+
+val remove : 'k t -> Stm.txn -> 'k -> bool
+val contains : 'k t -> Stm.txn -> 'k -> bool
+val size : 'k t -> Stm.txn -> int
+val committed_size : 'k t -> int
+
+(** Committed contents in ascending order, non-transactionally. *)
+val to_list : 'k t -> 'k list

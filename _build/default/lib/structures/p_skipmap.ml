@@ -1,0 +1,84 @@
+(** Eager Proustian ordered map over the concurrent {!Skiplist}.
+
+    The skiplist offers no snapshots, so (unlike {!P_omap} over the
+    COW tree) this wrapper must use the eager update strategy with
+    inverses — the same forced choice the paper describes for
+    structures without fast-snapshot semantics (§4).  It shares
+    {!P_omap}'s band conflict abstraction, including range reads. *)
+
+module Sl = Proust_concurrent.Skiplist
+
+type ('k, 'v) t = {
+  base : ('k, 'v) Sl.t;
+  alock : 'k P_omap.element Abstract_lock.t;
+  csize : Committed_size.t;
+}
+
+let make ?(slots = 64) ?(lap = Map_intf.Optimistic) ?(size_mode = `Counter)
+    ~index () =
+  {
+    base = Sl.create ();
+    alock =
+      Abstract_lock.make
+        ~lap:(Map_intf.make_lap lap ~ca:(P_omap.band_ca ~slots ~index))
+        ~strategy:Update_strategy.Eager;
+    csize = Committed_size.create size_mode;
+  }
+
+let get t txn k =
+  Abstract_lock.apply t.alock txn
+    [ Intent.Read (P_omap.Point k) ]
+    (fun () -> Sl.get t.base k)
+
+let contains t txn k = get t txn k <> None
+
+let put t txn k v =
+  Abstract_lock.apply t.alock txn
+    [ Intent.Write (P_omap.Point k) ]
+    ~inverse:(fun old ->
+      match old with
+      | Some o -> ignore (Sl.put t.base k o)
+      | None -> ignore (Sl.remove t.base k))
+    (fun () ->
+      let old = Sl.put t.base k v in
+      if old = None then Committed_size.add t.csize txn 1;
+      old)
+
+let remove t txn k =
+  Abstract_lock.apply t.alock txn
+    [ Intent.Write (P_omap.Point k) ]
+    ~inverse:(fun old -> Option.iter (fun o -> ignore (Sl.put t.base k o)) old)
+    (fun () ->
+      let old = Sl.remove t.base k in
+      if old <> None then Committed_size.add t.csize txn (-1);
+      old)
+
+let range t txn ~lo ~hi =
+  Abstract_lock.apply t.alock txn
+    [ Intent.Read (P_omap.Span (lo, hi)) ]
+    (fun () -> Sl.range t.base ~lo ~hi)
+
+let min_binding t txn =
+  Abstract_lock.apply t.alock txn
+    [ Intent.Read P_omap.Everything ]
+    (fun () -> Sl.min_binding t.base)
+
+let max_binding t txn =
+  Abstract_lock.apply t.alock txn
+    [ Intent.Read P_omap.Everything ]
+    (fun () -> Sl.max_binding t.base)
+
+let size t txn = Committed_size.read t.csize txn
+let committed_size t = Committed_size.peek t.csize
+
+(** Committed bindings, non-transactionally (tests). *)
+let bindings t = Sl.bindings t.base
+
+let map_ops t : ('k, 'v) Map_intf.ops =
+  {
+    get = get t;
+    put = put t;
+    remove = remove t;
+    contains = contains t;
+    size = size t;
+  }

@@ -1,0 +1,28 @@
+(** Eager Proustian ordered map over the concurrent {!Skiplist}.
+
+    The skiplist has no snapshots, so the wrapper must use the eager
+    update strategy with inverses — the forced design-space choice for
+    structures without fast-snapshot semantics (§4).  Shares
+    {!P_omap}'s band conflict abstraction, range queries included. *)
+
+type ('k, 'v) t
+
+val make :
+  ?slots:int ->
+  ?lap:Map_intf.lap_choice ->
+  ?size_mode:[ `Counter | `Transactional ] ->
+  index:('k -> int) ->
+  unit ->
+  ('k, 'v) t
+
+val get : ('k, 'v) t -> Stm.txn -> 'k -> 'v option
+val put : ('k, 'v) t -> Stm.txn -> 'k -> 'v -> 'v option
+val remove : ('k, 'v) t -> Stm.txn -> 'k -> 'v option
+val contains : ('k, 'v) t -> Stm.txn -> 'k -> bool
+val range : ('k, 'v) t -> Stm.txn -> lo:'k -> hi:'k -> ('k * 'v) list
+val min_binding : ('k, 'v) t -> Stm.txn -> ('k * 'v) option
+val max_binding : ('k, 'v) t -> Stm.txn -> ('k * 'v) option
+val size : ('k, 'v) t -> Stm.txn -> int
+val committed_size : ('k, 'v) t -> int
+val bindings : ('k, 'v) t -> ('k * 'v) list
+val map_ops : ('k, 'v) t -> ('k, 'v) Map_intf.ops

@@ -1,0 +1,54 @@
+(** Eager Proustian stack over the lock-free {!Treiber} stack.
+
+    Stack operations barely commute — any two of push/pop fail to
+    commute in some state, and pop/pop never commute on a non-empty
+    stack — so the conflict abstraction is a single [Top] element,
+    exclusively written by mutators and read by observers.  The
+    wrapper exists to show that even a poorly-commuting structure
+    wraps cleanly and composes transactionally; it simply degenerates
+    to two-phase locking on one abstract element (§1's "conservative
+    approximation"). *)
+
+module T = Proust_concurrent.Treiber
+
+type 'v t = {
+  base : 'v T.t;
+  alock : unit Abstract_lock.t;
+  csize : Committed_size.t;
+}
+
+let make ?(lap = Map_intf.Optimistic) ?(size_mode = `Counter) () =
+  {
+    base = T.create ();
+    alock =
+      Abstract_lock.make
+        ~lap:(Map_intf.make_lap lap ~ca:(Conflict_abstraction.coarse ()))
+        ~strategy:Update_strategy.Eager;
+    csize = Committed_size.create size_mode;
+  }
+
+let push t txn v =
+  Abstract_lock.apply t.alock txn
+    [ Intent.Write () ]
+    ~inverse:(fun () -> ignore (T.pop t.base))
+    (fun () ->
+      T.push t.base v;
+      Committed_size.add t.csize txn 1)
+
+let pop t txn =
+  Abstract_lock.apply t.alock txn
+    [ Intent.Write () ]
+    ~inverse:(fun popped -> Option.iter (T.push t.base) popped)
+    (fun () ->
+      let popped = T.pop t.base in
+      if popped <> None then Committed_size.add t.csize txn (-1);
+      popped)
+
+let top t txn =
+  Abstract_lock.apply t.alock txn [ Intent.Read () ] (fun () -> T.peek t.base)
+
+let size t txn = Committed_size.read t.csize txn
+let committed_size t = Committed_size.peek t.csize
+
+(** Committed contents top-first, non-transactionally (tests). *)
+let to_list t = T.to_list t.base

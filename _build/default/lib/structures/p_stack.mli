@@ -1,0 +1,23 @@
+(** Eager Proustian stack over the lock-free {!Treiber} stack.
+
+    Stack operations barely commute, so the conflict abstraction is a
+    single [Top] element: mutators write it, observers read it — the
+    conservative degenerate point of the design space (§1), still
+    composing transactionally with every other Proustian object. *)
+
+type 'v t
+
+val make :
+  ?lap:Map_intf.lap_choice ->
+  ?size_mode:[ `Counter | `Transactional ] ->
+  unit ->
+  'v t
+
+val push : 'v t -> Stm.txn -> 'v -> unit
+val pop : 'v t -> Stm.txn -> 'v option
+val top : 'v t -> Stm.txn -> 'v option
+val size : 'v t -> Stm.txn -> int
+val committed_size : 'v t -> int
+
+(** Committed contents top-first, non-transactionally. *)
+val to_list : 'v t -> 'v list

@@ -1,0 +1,43 @@
+(** Eager Proustian trie map: {!Proust_concurrent.Ctrie} wrapped by the
+    generic eager construction — the literal structure of Figure 2a. *)
+
+type ('k, 'v) t = {
+  backing : ('k, 'v) Proust_concurrent.Ctrie.t;
+  wrapper : ('k, 'v) Eager_map.t;
+}
+
+let base_of backing =
+  {
+    Eager_map.bget = Proust_concurrent.Ctrie.get backing;
+    bput = Proust_concurrent.Ctrie.put backing;
+    bremove = Proust_concurrent.Ctrie.remove backing;
+    bcontains = Proust_concurrent.Ctrie.contains backing;
+  }
+
+let make ?(slots = 1024) ?(lap = Map_intf.Optimistic) ?size_mode
+    ?combine_undo () =
+  let backing = Proust_concurrent.Ctrie.create () in
+  let ca = Conflict_abstraction.striped ~slots () in
+  let lap = Map_intf.make_lap lap ~ca in
+  {
+    backing;
+    wrapper =
+      Eager_map.make ~base:(base_of backing) ~lap ?size_mode ?combine_undo ();
+  }
+
+let make_custom ~lap ?size_mode ?combine_undo () =
+  let backing = Proust_concurrent.Ctrie.create () in
+  {
+    backing;
+    wrapper =
+      Eager_map.make ~base:(base_of backing) ~lap ?size_mode ?combine_undo ();
+  }
+
+let get t = Eager_map.get t.wrapper
+let put t = Eager_map.put t.wrapper
+let remove t = Eager_map.remove t.wrapper
+let contains t = Eager_map.contains t.wrapper
+let size t = Eager_map.size t.wrapper
+let committed_size t = Eager_map.committed_size t.wrapper
+let ops t = Eager_map.ops t.wrapper
+let backing t = t.backing

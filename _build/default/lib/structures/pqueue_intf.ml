@@ -1,0 +1,35 @@
+(** The transactional priority-queue trait (Listing 3).
+
+    The abstract state has two elements: [Min], the current minimum,
+    and [Multiset], the bag of queued values.  Commutativity is
+    expressed against these elements rather than pairwise between
+    methods — the "linear in the state space" economy the paper claims:
+
+    - [Min] admits multiple readers xor a single writer;
+    - [Multiset] admits multiple writers or multiple readers, but not
+      both at once (all inserts commute with each other).
+
+    The multiset's writers-compatible-with-writers semantics is encoded
+    in the conflict abstraction as a striped band of sub-slots
+    ({!Conflict_abstraction.group_accesses}). *)
+
+type state = Min | Multiset
+
+type 'v ops = {
+  insert : Stm.txn -> 'v -> unit;
+  remove_min : Stm.txn -> 'v option;
+  min : Stm.txn -> 'v option;
+  contains : Stm.txn -> 'v -> bool;
+  size : Stm.txn -> int;
+}
+
+(** Conflict abstraction shared by both priority-queue wrappers:
+    slot 0 is [Min]; slots 1..stripes are the [Multiset] band. *)
+let ca ~stripes : state Conflict_abstraction.t =
+  Conflict_abstraction.exact ~slots:(1 + stripes) (fun ~stripe intent ->
+      match Intent.key intent with
+      | Min ->
+          [ { Conflict_abstraction.slot = 0; write = Intent.is_write intent } ]
+      | Multiset ->
+          Conflict_abstraction.group_accesses ~width:stripes ~base:1 ~stripe
+            intent)

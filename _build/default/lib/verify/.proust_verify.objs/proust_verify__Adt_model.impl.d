@@ -1,0 +1,1 @@
+lib/verify/adt_model.ml: Fun Int List Printf String

@@ -1,0 +1,1 @@
+lib/verify/adt_model.mli:

@@ -1,0 +1,1 @@
+lib/verify/ca_check.ml: Adt_model Ca_spec Commute Fun List Printf

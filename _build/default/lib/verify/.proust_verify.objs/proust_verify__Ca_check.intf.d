@@ -1,0 +1,1 @@
+lib/verify/ca_check.mli: Adt_model Ca_spec

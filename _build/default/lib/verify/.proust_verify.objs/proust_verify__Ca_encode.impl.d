@@ -1,0 +1,1 @@
+lib/verify/ca_encode.ml: Adt_model Array Ca_spec Fd List Printf

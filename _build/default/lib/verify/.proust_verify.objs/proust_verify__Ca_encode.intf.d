@@ -1,0 +1,1 @@
+lib/verify/ca_encode.mli: Adt_model Ca_spec

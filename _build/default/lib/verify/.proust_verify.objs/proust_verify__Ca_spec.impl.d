@@ -1,0 +1,1 @@
+lib/verify/ca_spec.ml: Adt_model List Printf

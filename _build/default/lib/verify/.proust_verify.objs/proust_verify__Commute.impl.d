@@ -1,0 +1,1 @@
+lib/verify/commute.ml: Adt_model List

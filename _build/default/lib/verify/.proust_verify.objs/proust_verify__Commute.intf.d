@@ -1,0 +1,1 @@
+lib/verify/commute.mli: Adt_model

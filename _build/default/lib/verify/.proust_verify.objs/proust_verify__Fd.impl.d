@@ -1,0 +1,1 @@
+lib/verify/fd.ml: Array Fun List Sat

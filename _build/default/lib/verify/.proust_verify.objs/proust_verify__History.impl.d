@@ -1,0 +1,1 @@
+lib/verify/history.ml: List Mutex Stm Txn_desc

@@ -1,0 +1,1 @@
+lib/verify/serializability.ml: Adt_model History List

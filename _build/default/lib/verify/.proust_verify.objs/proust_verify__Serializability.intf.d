@@ -1,0 +1,1 @@
+lib/verify/serializability.mli: Adt_model History

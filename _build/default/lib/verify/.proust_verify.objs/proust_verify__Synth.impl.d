@@ -1,0 +1,1 @@
+lib/verify/synth.ml: Adt_model Array Ca_check Ca_spec Commute Fun List

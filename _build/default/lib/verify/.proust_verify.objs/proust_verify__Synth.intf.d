@@ -1,0 +1,1 @@
+lib/verify/synth.mli: Adt_model Ca_check Ca_spec

@@ -1,0 +1,103 @@
+(** Exhaustive checker for Definition 3.1.
+
+    For every state in the model's bounded space, every ordered pair of
+    operation instances, and every pair of transaction stripes: if the
+    operations do not commute in that state, their conflict-abstraction
+    accesses must overlap on some slot with at least one write.
+
+    The second operation's accesses are evaluated both at the common
+    state σ (the literal Definition 3.1) and at the post-first-op state
+    σ' — the state a concurrent transaction may consult while computing
+    its intents (the boosting re-sampling race); a correct
+    state-dependent abstraction must conflict under both readings. *)
+
+type ('s, 'o) counterexample = {
+  state : 's;
+  op_m : 'o;
+  op_n : 'o;
+  stripe_m : int;
+  stripe_n : int;
+  evaluated_at : [ `Same_state | `Post_state ];
+}
+
+let overlaps_with_write (rm, wm) (rn, wn) =
+  let mem x l = List.mem x l in
+  List.exists (fun i -> mem i wn) rm
+  || List.exists (fun i -> mem i rn) wm
+  || List.exists (fun i -> mem i wn) wm
+
+let conflicting (ca : ('s, 'o) Ca_spec.t) ~stripe_m ~stripe_n s_m s_n op_m op_n
+    =
+  let acc_m =
+    (ca.reads ~stripe:stripe_m s_m op_m, ca.writes ~stripe:stripe_m s_m op_m)
+  in
+  let acc_n =
+    (ca.reads ~stripe:stripe_n s_n op_n, ca.writes ~stripe:stripe_n s_n op_n)
+  in
+  overlaps_with_write acc_m acc_n
+
+let check (type s o r) (m : (s, o, r) Adt_model.t) (ca : (s, o) Ca_spec.t) :
+    (s, o) counterexample option =
+  let stripes = List.init ca.stripe_width Fun.id in
+  let exception Found of (s, o) counterexample in
+  try
+    List.iter
+      (fun s ->
+        List.iter
+          (fun op_m ->
+            List.iter
+              (fun op_n ->
+                if not (Commute.commutes m s op_m op_n) then
+                  let s_post, _ = m.apply s op_m in
+                  List.iter
+                    (fun stripe_m ->
+                      List.iter
+                        (fun stripe_n ->
+                          if
+                            not
+                              (conflicting ca ~stripe_m ~stripe_n s s op_m
+                                 op_n)
+                          then
+                            raise
+                              (Found
+                                 {
+                                   state = s;
+                                   op_m;
+                                   op_n;
+                                   stripe_m;
+                                   stripe_n;
+                                   evaluated_at = `Same_state;
+                                 });
+                          if
+                            not
+                              (conflicting ca ~stripe_m ~stripe_n s s_post
+                                 op_m op_n)
+                          then
+                            raise
+                              (Found
+                                 {
+                                   state = s;
+                                   op_m;
+                                   op_n;
+                                   stripe_m;
+                                   stripe_n;
+                                   evaluated_at = `Post_state;
+                                 }))
+                        stripes)
+                    stripes)
+              m.ops)
+          m.ops)
+      m.states;
+    None
+  with Found cex -> Some cex
+
+let show_counterexample (m : ('s, 'o, 'r) Adt_model.t)
+    (cex : ('s, 'o) counterexample) =
+  Printf.sprintf
+    "state=%s m=%s n=%s stripes=(%d,%d) at=%s: operations do not commute but \
+     trigger no conflicting access"
+    (m.show_state cex.state) (m.show_op cex.op_m) (m.show_op cex.op_n)
+    cex.stripe_m cex.stripe_n
+    (match cex.evaluated_at with
+    | `Same_state -> "sigma"
+    | `Post_state -> "sigma'")

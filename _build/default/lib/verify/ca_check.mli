@@ -1,0 +1,34 @@
+(** Exhaustive checker for Definition 3.1: every non-commuting pair of
+    operation instances, in every bounded state and for every stripe
+    pair, must trigger overlapping slot accesses with at least one
+    write.  The second operation's accesses are checked both at the
+    common state σ (the literal definition) and at the post-first-op
+    state σ' (the boosting re-sampling race). *)
+
+type ('s, 'o) counterexample = {
+  state : 's;
+  op_m : 'o;
+  op_n : 'o;
+  stripe_m : int;
+  stripe_n : int;
+  evaluated_at : [ `Same_state | `Post_state ];
+}
+
+(** Do the accesses of [op_m] (at state [s_m], stripe [stripe_m]) and
+    [op_n] (at [s_n], [stripe_n]) overlap with a write?  Exposed for
+    {!Synth}'s counterexample screening. *)
+val conflicting :
+  ('s, 'o) Ca_spec.t ->
+  stripe_m:int ->
+  stripe_n:int ->
+  's -> 's -> 'o -> 'o -> bool
+
+(** [check model ca] is [None] when the abstraction is correct on the
+    bounded model, or the first counterexample found. *)
+val check :
+  ('s, 'o, 'r) Adt_model.t ->
+  ('s, 'o) Ca_spec.t ->
+  ('s, 'o) counterexample option
+
+val show_counterexample :
+  ('s, 'o, 'r) Adt_model.t -> ('s, 'o) counterexample -> string

@@ -1,0 +1,29 @@
+(** SAT encodings of conflict-abstraction correctness (Appendix E),
+    discharged by the in-tree DPLL solver instead of an external SMT
+    tool.  UNSAT means every conflict-free pair commutes — the
+    abstraction is correct on the bounded domain (Theorem E.1,
+    contrapositive). *)
+
+(** {1 The hand-built counter encoding of Appendix E} *)
+
+type verdict =
+  | Correct
+  | Counterexample of {
+      op_m : Adt_model.counter_op;
+      op_n : Adt_model.counter_op;
+      c0 : int;
+      description : string;
+    }
+
+val check_counter : ?threshold:int -> ?bound:int -> unit -> verdict
+
+(** {1 Generalized encoding for any finite model}
+
+    States, operations and return values are enumerated into finite
+    domains; adequate for the small models of {!Adt_model} (the
+    exhaustive {!Ca_check} scales further). *)
+
+type generic_verdict = G_correct | G_counterexample of string
+
+val check_model :
+  ('s, 'o, 'r) Adt_model.t -> ('s, 'o) Ca_spec.t -> generic_verdict

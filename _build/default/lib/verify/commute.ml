@@ -1,0 +1,29 @@
+(** Commutativity of operation pairs (§3: "Two operations commute if
+    applying them in either order yields the same return values and the
+    same final object state"). *)
+
+let commutes (m : ('s, 'o, 'r) Adt_model.t) (s : 's) (op_a : 'o) (op_b : 'o) =
+  let s1, ra = m.apply s op_a in
+  let s2, rb = m.apply s1 op_b in
+  let s1', rb' = m.apply s op_b in
+  let s2', ra' = m.apply s1' op_a in
+  m.equal_state s2 s2' && m.equal_ret ra ra' && m.equal_ret rb rb'
+
+(** All non-commuting pairs in the model's state space (diagnostics). *)
+let non_commuting_pairs (m : ('s, 'o, 'r) Adt_model.t) =
+  List.concat_map
+    (fun s ->
+      List.concat_map
+        (fun a ->
+          List.filter_map
+            (fun b -> if commutes m s a b then None else Some (s, a, b))
+            m.ops)
+        m.ops)
+    m.states
+
+(** [commuting_states m a b] — the bounded states where [a] and [b]
+    commute: the commutativity condition of the pair, by enumeration
+    (the finite-model analogue of commutativity condition refinement,
+    which §3 suggests automating with SMT). *)
+let commuting_states (m : ('s, 'o, 'r) Adt_model.t) a b =
+  List.filter (fun s -> commutes m s a b) m.states

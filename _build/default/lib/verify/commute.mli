@@ -1,0 +1,14 @@
+(** Commutativity of operation pairs (§3: two operations commute if
+    applying them in either order yields the same return values and
+    the same final object state). *)
+
+val commutes : ('s, 'o, 'r) Adt_model.t -> 's -> 'o -> 'o -> bool
+
+(** All non-commuting (state, m, n) triples in the model's bounded
+    space (diagnostics; also printed by [proust_verify pairs]). *)
+val non_commuting_pairs : ('s, 'o, 'r) Adt_model.t -> ('s * 'o * 'o) list
+
+(** The commutativity condition of a pair, as the set of bounded
+    states where it holds (finite-model commutativity condition
+    refinement, cf. §3's SMT automation). *)
+val commuting_states : ('s, 'o, 'r) Adt_model.t -> 'o -> 'o -> 's list

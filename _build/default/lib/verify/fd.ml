@@ -1,0 +1,56 @@
+type var = { base : int; size : int }
+
+type t = {
+  mutable nvars : int;
+  mutable clauses : Sat.clause list;
+}
+
+let create () = { nvars = 0; clauses = [] }
+
+(* One-hot encoding: propositional var [base + i] means "value = i". *)
+let var t size =
+  if size < 1 then invalid_arg "Fd.var: empty domain";
+  let v = { base = t.nvars + 1; size } in
+  t.nvars <- t.nvars + size;
+  (* at least one *)
+  t.clauses <- List.init size (fun i -> v.base + i) :: t.clauses;
+  (* at most one *)
+  for i = 0 to size - 1 do
+    for j = i + 1 to size - 1 do
+      t.clauses <- [ -(v.base + i); -(v.base + j) ] :: t.clauses
+    done
+  done;
+  v
+
+let bool_var t = var t 2
+
+let rec tuples = function
+  | [] -> [ [] ]
+  | v :: rest ->
+      let tails = tuples rest in
+      List.concat_map (fun i -> List.map (fun tl -> i :: tl) tails)
+        (List.init v.size Fun.id)
+
+let assert_table t vars pred =
+  List.iter
+    (fun tuple ->
+      if not (pred tuple) then
+        t.clauses <-
+          List.map2 (fun v i -> -(v.base + i)) vars tuple :: t.clauses)
+    (tuples vars)
+
+let solve t =
+  match Sat.solve ~nvars:t.nvars t.clauses with
+  | Sat.Unsat -> None
+  | Sat.Sat assign ->
+      Some
+        (fun v ->
+          let rec find i =
+            if i >= v.size then
+              invalid_arg "Fd.solve: unassigned one-hot variable"
+            else if assign.(v.base + i) then i
+            else find (i + 1)
+          in
+          find 0)
+
+let stats t = (t.nvars, List.length t.clauses)

@@ -1,0 +1,26 @@
+(** A finite-domain constraint layer over {!Sat}.
+
+    Variables range over [0, size).  Constraints are extensional
+    ("table") constraints given as characteristic predicates, compiled
+    by blocking every disallowed tuple — adequate for the small
+    arities and domains of the Appendix E encodings. *)
+
+type t
+type var
+
+val create : unit -> t
+
+(** [var t n] is a fresh variable with domain [{0..n-1}]. *)
+val var : t -> int -> var
+
+val bool_var : t -> var
+
+(** [assert_table t vars pred] constrains the joint assignment of
+    [vars] to tuples satisfying [pred]. *)
+val assert_table : t -> var list -> (int list -> bool) -> unit
+
+(** [solve t] is a satisfying assignment, if any. *)
+val solve : t -> (var -> int) option
+
+(** Number of propositional variables/clauses generated (diagnostics). *)
+val stats : t -> int * int

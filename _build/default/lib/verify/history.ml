@@ -1,0 +1,46 @@
+(** Recording of committed transactions' abstract operations, for
+    offline serializability checking of live runs.
+
+    Tests wrap each data-structure call with {!log}; events buffer in
+    transaction-local storage and flush to the shared history only when
+    the transaction commits, so the recorded history contains exactly
+    the committed operations with their observed return values. *)
+
+type ('o, 'r) event = { op : 'o; ret : 'r }
+type ('o, 'r) record = { txn_id : int; events : ('o, 'r) event list }
+
+type ('o, 'r) t = {
+  m : Mutex.t;
+  committed : ('o, 'r) record list ref;  (* newest first *)
+  buffer_key : ('o, 'r) event list ref Stm.Local.key;
+}
+
+let make () =
+  let m = Mutex.create () in
+  let committed = ref [] in
+  let buffer_key =
+    Stm.Local.key (fun txn ->
+        let buf = ref [] in
+        let id = (Stm.desc txn).Txn_desc.id in
+        Stm.after_commit txn (fun () ->
+            Mutex.lock m;
+            committed := { txn_id = id; events = List.rev !buf } :: !committed;
+            Mutex.unlock m);
+        buf)
+  in
+  { m; committed; buffer_key }
+
+let log t txn op ret =
+  let buf = Stm.Local.get txn t.buffer_key in
+  buf := { op; ret } :: !buf
+
+let records t =
+  Mutex.lock t.m;
+  let out = List.rev !(t.committed) in
+  Mutex.unlock t.m;
+  out
+
+let clear t =
+  Mutex.lock t.m;
+  t.committed := [];
+  Mutex.unlock t.m

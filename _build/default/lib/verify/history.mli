@@ -1,0 +1,18 @@
+(** Recording of committed transactions' abstract operations, for
+    offline serializability checking of live runs.  Events buffer in
+    transaction-local storage and flush to the shared history only when
+    the transaction commits. *)
+
+type ('o, 'r) event = { op : 'o; ret : 'r }
+type ('o, 'r) record = { txn_id : int; events : ('o, 'r) event list }
+type ('o, 'r) t
+
+val make : unit -> ('o, 'r) t
+
+(** Log one operation with its observed return value. *)
+val log : ('o, 'r) t -> Stm.txn -> 'o -> 'r -> unit
+
+(** Committed records, oldest first. *)
+val records : ('o, 'r) t -> ('o, 'r) record list
+
+val clear : ('o, 'r) t -> unit

@@ -1,0 +1,75 @@
+type literal = int
+type clause = literal list
+type result = Sat of bool array | Unsat
+
+(* Assignment: 0 unassigned, 1 true, -1 false. *)
+
+let value assign lit =
+  let v = assign.(abs lit) in
+  if v = 0 then 0 else if (v > 0) = (lit > 0) then 1 else -1
+
+(* Unit propagation over the full clause list.  Returns [`Conflict] or
+   [`Ok trail] where [trail] lists the variables it assigned. *)
+let propagate clauses assign =
+  let trail = ref [] in
+  let changed = ref true in
+  let conflict = ref false in
+  while !changed && not !conflict do
+    changed := false;
+    List.iter
+      (fun clause ->
+        if not !conflict then begin
+          let unassigned = ref [] and satisfied = ref false in
+          List.iter
+            (fun lit ->
+              match value assign lit with
+              | 1 -> satisfied := true
+              | 0 -> unassigned := lit :: !unassigned
+              | _ -> ())
+            clause;
+          if not !satisfied then
+            match !unassigned with
+            | [] -> conflict := true
+            | [ lit ] ->
+                assign.(abs lit) <- (if lit > 0 then 1 else -1);
+                trail := abs lit :: !trail;
+                changed := true
+            | _ -> ()
+        end)
+      clauses
+  done;
+  if !conflict then `Conflict !trail else `Ok !trail
+
+let solve ~nvars clauses =
+  let assign = Array.make (nvars + 1) 0 in
+  let undo trail = List.iter (fun v -> assign.(v) <- 0) trail in
+  let rec pick_var v = if v > nvars then 0 else if assign.(v) = 0 then v else pick_var (v + 1) in
+  let rec go () =
+    match propagate clauses assign with
+    | `Conflict trail ->
+        undo trail;
+        false
+    | `Ok trail -> (
+        let v = pick_var 1 in
+        if v = 0 then true
+        else begin
+          let try_branch b =
+            assign.(v) <- b;
+            if go () then true
+            else begin
+              assign.(v) <- 0;
+              false
+            end
+          in
+          if try_branch 1 then true
+          else if try_branch (-1) then true
+          else begin
+            undo trail;
+            false
+          end
+        end)
+  in
+  if go () then Sat (Array.map (fun v -> v > 0) assign) else Unsat
+
+let satisfiable ~nvars clauses =
+  match solve ~nvars clauses with Sat _ -> true | Unsat -> false

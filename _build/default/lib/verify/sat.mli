@@ -1,0 +1,15 @@
+(** A small DPLL SAT solver (unit propagation + branching), sufficient
+    for the finite-domain encodings of Appendix E.
+
+    Literals are non-zero integers in DIMACS convention: variable [v]
+    is the positive literal [v], its negation [-v].  Variables are
+    numbered from 1. *)
+
+type literal = int
+type clause = literal list
+type result = Sat of bool array  (** index [v] holds variable [v] *) | Unsat
+
+val solve : nvars:int -> clause list -> result
+
+(** Convenience: satisfiability of a formula already known closed. *)
+val satisfiable : nvars:int -> clause list -> bool

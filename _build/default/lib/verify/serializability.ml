@@ -1,0 +1,38 @@
+(** Brute-force serializability checking of recorded histories.
+
+    A history of committed transactions is serializable w.r.t. an ADT
+    model if some total order of the transactions replays every
+    recorded operation with exactly the return value it observed.
+    The search is exponential; intended for the small histories the
+    stress tests record (≤ ~10 transactions per window). *)
+
+(* Replay one transaction's events from [s]; [None] if some return
+   value disagrees with the model. *)
+let replay (m : ('s, 'o, 'r) Adt_model.t) s (rec_ : ('o, 'r) History.record) =
+  let rec go s = function
+    | [] -> Some s
+    | { History.op; ret } :: rest ->
+        let s', r = m.apply s op in
+        if m.equal_ret r ret then go s' rest else None
+  in
+  go s rec_.History.events
+
+(** [witness m ~init records] is a serial order (by [txn_id]) that
+    explains the history, if one exists. *)
+let witness (m : ('s, 'o, 'r) Adt_model.t) ~init records =
+  let rec search s remaining acc =
+    match remaining with
+    | [] -> Some (List.rev acc)
+    | _ ->
+        List.find_map
+          (fun r ->
+            match replay m s r with
+            | None -> None
+            | Some s' ->
+                let rest = List.filter (fun r' -> r' != r) remaining in
+                search s' rest (r.History.txn_id :: acc))
+          remaining
+  in
+  search init records []
+
+let check m ~init records = witness m ~init records <> None

@@ -1,0 +1,14 @@
+(** Brute-force serializability checking of recorded histories: search
+    for a total order of the committed transactions that replays every
+    recorded operation with the return value it observed.  Exponential;
+    intended for the small histories the stress tests record. *)
+
+(** A witness order (by [txn_id]), if one exists. *)
+val witness :
+  ('s, 'o, 'r) Adt_model.t ->
+  init:'s ->
+  ('o, 'r) History.record list ->
+  int list option
+
+val check :
+  ('s, 'o, 'r) Adt_model.t -> init:'s -> ('o, 'r) History.record list -> bool

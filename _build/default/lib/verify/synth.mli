@@ -1,0 +1,47 @@
+(** Counterexample-guided synthesis of conflict abstractions — the
+    CEGIS direction sketched in §9 / Appendix E.  Walks a candidate
+    sequence (ordered cheapest-first) and returns the first candidate
+    satisfying Definition 3.1; counterexamples from rejected candidates
+    cheaply screen later ones before the full exhaustive check. *)
+
+type ('s, 'o) outcome = {
+  chosen : ('s, 'o) Ca_spec.t option;
+  candidates_tried : int;
+  full_checks : int;  (** candidates that reached the expensive oracle *)
+  counterexamples : ('s, 'o) Ca_check.counterexample list;
+}
+
+(** Does an accumulated counterexample already reject this candidate? *)
+val cex_rejects :
+  ('s, 'o, 'r) Adt_model.t ->
+  ('s, 'o) Ca_spec.t ->
+  ('s, 'o) Ca_check.counterexample ->
+  bool
+
+val synthesize :
+  ('s, 'o, 'r) Adt_model.t -> ('s, 'o) Ca_spec.t list -> ('s, 'o) outcome
+
+(** {1 Ready-made candidate spaces} *)
+
+(** Thresholds [0..max]: recovers the paper's threshold 2 as the
+    weakest sound choice. *)
+val counter_candidates :
+  max_threshold:int -> (int, Adt_model.counter_op) Ca_spec.t list
+
+val map_candidates :
+  max_slots:int -> ((int * int) list, Adt_model.map_op) Ca_spec.t list
+
+(** The literal Figure 3 abstraction first, then the repaired one: the
+    search rejects the former with the empty-queue counterexample. *)
+val pqueue_candidates : stripes:int -> (int list, Adt_model.pq_op) Ca_spec.t list
+
+(** {1 Fully automatic derivation}
+
+    [derive m] constructs a sound conflict abstraction for any finite
+    model with no designer input: one slot per non-commuting operation
+    pair, written by both operations in exactly the states where the
+    pair conflicts (forward-closed one step for the σ′ race; states
+    outside the bounded space conservatively write everything).
+    Certified against {!Ca_check} in the test suite; allocates O(ops²)
+    slots, so hand-written abstractions stay preferable for economy. *)
+val derive : ('s, 'o, 'r) Adt_model.t -> ('s, 'o) Ca_spec.t

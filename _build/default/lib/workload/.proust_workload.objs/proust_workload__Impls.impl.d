@@ -1,0 +1,1 @@
+lib/workload/impls.ml: Proust_baselines Proust_structures Stm

@@ -1,0 +1,1 @@
+lib/workload/report.ml: Printf Runner Stats String Workload

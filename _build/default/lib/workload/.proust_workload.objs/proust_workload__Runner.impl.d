@@ -1,0 +1,1 @@
+lib/workload/runner.ml: Array Atomic Domain Gc List Proust_structures Random Stats Stm Unix Workload

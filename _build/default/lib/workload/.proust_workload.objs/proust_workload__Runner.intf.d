@@ -1,0 +1,1 @@
+lib/workload/runner.mli: Proust_structures Stats Stm Workload

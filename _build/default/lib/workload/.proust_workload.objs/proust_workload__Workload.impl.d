@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Array Proust_structures Random

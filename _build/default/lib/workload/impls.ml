@@ -1,0 +1,75 @@
+(** The map implementations under benchmark, as named constructors
+    paired with the STM configuration each requires for soundness
+    (Figure 1's compatibility constraints). *)
+
+module S = Proust_structures
+module B = Proust_baselines
+
+type entry = {
+  name : string;
+  config : Stm.config option;  (** [None] = current default config *)
+  make : unit -> (int, int) S.Map_intf.ops;
+  pessimistic : bool;
+      (** only benchmarked at o = 1, per the §7 livelock note *)
+}
+
+let eager_mode = { Stm.default_config with mode = Stm.Eager_lazy }
+
+let all ?(slots = 1024) () =
+  [
+    {
+      name = "stm-map";
+      config = None;
+      make = (fun () -> B.Stm_hashmap.ops (B.Stm_hashmap.make ()));
+      pessimistic = false;
+    };
+    {
+      name = "predication";
+      config = None;
+      make = (fun () -> B.Predication_map.ops (B.Predication_map.make ()));
+      pessimistic = false;
+    };
+    {
+      name = "eager-opt";
+      (* eager updates need encounter-time conflict detection *)
+      config = Some eager_mode;
+      make = (fun () -> S.P_hashmap.ops (S.P_hashmap.make ~slots ()));
+      pessimistic = false;
+    };
+    {
+      name = "lazy-memo";
+      config = None;
+      make = (fun () -> S.P_lazy_hashmap.ops (S.P_lazy_hashmap.make ~slots ~combine:false ()));
+      pessimistic = false;
+    };
+    {
+      name = "lazy-snap";
+      config = None;
+      make = (fun () -> S.P_lazy_triemap.ops (S.P_lazy_triemap.make ~slots ()));
+      pessimistic = false;
+    };
+    {
+      name = "pessimistic";
+      config = None;
+      make =
+        (fun () ->
+          S.P_hashmap.ops (S.P_hashmap.make ~slots ~lap:S.Map_intf.Pessimistic ()));
+      pessimistic = true;
+    };
+  ]
+
+let memo_variants ?(slots = 1024) () =
+  [
+    {
+      name = "memo-no-combine";
+      config = None;
+      make = (fun () -> S.P_lazy_hashmap.ops (S.P_lazy_hashmap.make ~slots ~combine:false ()));
+      pessimistic = false;
+    };
+    {
+      name = "memo-combine";
+      config = None;
+      make = (fun () -> S.P_lazy_hashmap.ops (S.P_lazy_hashmap.make ~slots ~combine:true ()));
+      pessimistic = false;
+    };
+  ]

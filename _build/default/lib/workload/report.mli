@@ -1,0 +1,8 @@
+(** Table/series rendering for benchmark output, in the shape of the
+    paper's Figure 4 series. *)
+
+val header : unit -> unit
+val row : name:string -> Runner.result -> unit
+val csv_header : out_channel -> unit
+val csv_row : out_channel -> name:string -> Runner.result -> unit
+val section : string -> unit

@@ -1,0 +1,101 @@
+(** Multi-domain throughput runner for the Figure 4 experiment.
+
+    Each trial prefills the map to half the key range, splits the
+    operation stream across [threads] domains, releases them through a
+    spin barrier, and times the window from release to last join.
+    Trials are separated by a major GC ("garbage collecting in between
+    to reduce jitter", §7); the first [warmup] trials are discarded. *)
+
+type result = {
+  threads : int;
+  spec : Workload.spec;
+  mean_ms : float;
+  stddev_ms : float;
+  trials_ms : float list;
+  throughput : float;  (** committed ops per second, from the mean *)
+  stats : Stats.snapshot;  (** STM activity during the measured trials *)
+}
+
+let barrier n =
+  let c = Atomic.make 0 in
+  fun () ->
+    Atomic.incr c;
+    while Atomic.get c < n do
+      Domain.cpu_relax ()
+    done
+
+let prefill ?config (ops : (int, int) Proust_structures.Map_intf.ops) spec =
+  let rng = Random.State.make [| 0xbeef |] in
+  for _ = 1 to spec.Workload.key_range / 2 do
+    let k = Random.State.int rng spec.Workload.key_range in
+    Stm.atomically ?config (fun txn -> ignore (ops.put txn k k))
+  done
+
+let run_trial ?config ?dist ~threads ~(spec : Workload.spec) make_ops =
+  let ops = make_ops () in
+  prefill ?config ops spec;
+  let per_thread = spec.total_ops / threads in
+  let streams =
+    Array.init threads (fun i ->
+        Workload.stream ~seed:(i + 1) ?dist spec ~count:per_thread)
+  in
+  let enter = barrier threads in
+  (* Workers time themselves: first-start to last-finish.  Timing from
+     the spawning thread under-measures when there are fewer cores than
+     domains (the workers can finish before the spawner runs again). *)
+  let started = Array.make threads 0.0 in
+  let finished = Array.make threads 0.0 in
+  let body i () =
+    enter ();
+    started.(i) <- Unix.gettimeofday ();
+    let stream = streams.(i) in
+    let n = Array.length stream in
+    let o = spec.ops_per_txn in
+    let idx = ref 0 in
+    while !idx < n do
+      let stop = min n (!idx + o) in
+      let start = !idx in
+      Stm.atomically ?config (fun txn ->
+          for j = start to stop - 1 do
+            Workload.apply_op ops txn stream.(j)
+          done);
+      idx := stop
+    done;
+    finished.(i) <- Unix.gettimeofday ()
+  in
+  let domains = List.init threads (fun i -> Domain.spawn (body i)) in
+  List.iter Domain.join domains;
+  Array.fold_left max neg_infinity finished
+  -. Array.fold_left min infinity started
+
+let mean l = List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let stddev l =
+  let m = mean l in
+  sqrt (mean (List.map (fun x -> (x -. m) ** 2.0) l))
+
+(** [run ?config ~threads ~spec ~trials ~warmup make_ops] — [make_ops]
+    builds a fresh map per trial so trials are independent. *)
+let run ?config ?dist ?(trials = 3) ?(warmup = 1) ~threads ~spec make_ops =
+  for _ = 1 to warmup do
+    ignore (run_trial ?config ?dist ~threads ~spec make_ops);
+    Gc.full_major ()
+  done;
+  let before = Stats.read () in
+  let times =
+    List.init trials (fun _ ->
+        let dt = run_trial ?config ?dist ~threads ~spec make_ops in
+        Gc.full_major ();
+        dt)
+  in
+  let after = Stats.read () in
+  let ms = List.map (fun s -> s *. 1000.0) times in
+  {
+    threads;
+    spec;
+    mean_ms = mean ms;
+    stddev_ms = stddev ms;
+    trials_ms = ms;
+    throughput = float_of_int spec.total_ops /. (mean times);
+    stats = Stats.diff before after;
+  }

@@ -1,0 +1,32 @@
+(** Multi-domain throughput runner for the Figure 4 experiment: each
+    trial prefills the map to half the key range, splits the stream
+    across domains released through a spin barrier, and measures
+    first-start to last-finish inside the workers (timing from the
+    spawner under-measures when domains outnumber cores).  Trials are
+    separated by a major GC; warmup trials are discarded. *)
+
+type result = {
+  threads : int;
+  spec : Workload.spec;
+  mean_ms : float;
+  stddev_ms : float;
+  trials_ms : float list;
+  throughput : float;  (** committed ops per second, from the mean *)
+  stats : Stats.snapshot;  (** STM activity during the measured trials *)
+}
+
+(** [barrier n] returns an [enter] function that blocks until [n]
+    participants arrived. *)
+val barrier : int -> unit -> unit
+
+(** [run ?config ?dist ~threads ~spec make_ops] — [make_ops] builds a
+    fresh map per trial so trials are independent. *)
+val run :
+  ?config:Stm.config ->
+  ?dist:Workload.distribution ->
+  ?trials:int ->
+  ?warmup:int ->
+  threads:int ->
+  spec:Workload.spec ->
+  (unit -> (int, int) Proust_structures.Map_intf.ops) ->
+  result

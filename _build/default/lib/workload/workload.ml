@@ -1,0 +1,69 @@
+(** Workload generation for the §7 map-throughput experiment.
+
+    Randomly selected operations over a fixed key range: a [u] fraction
+    of operations are writes, split evenly between [put] and [remove];
+    the rest are [get] (§7).  Operations are pre-generated so RNG cost
+    stays out of the timed region. *)
+
+type op = Get of int | Put of int * int | Remove of int
+
+type spec = {
+  key_range : int;  (** keys are drawn uniformly from [0, key_range) *)
+  write_fraction : float;  (** the paper's [u] *)
+  ops_per_txn : int;  (** the paper's [o] *)
+  total_ops : int;  (** across all threads *)
+}
+
+let default_spec =
+  { key_range = 1024; write_fraction = 0.5; ops_per_txn = 1; total_ops = 20_000 }
+
+(** Key popularity: [Uniform] is the paper's setup; [Zipf s] skews
+    access towards hot keys with exponent [s] (s ~ 0.99 approximates
+    many caching workloads), raising semantic contention without
+    changing the key range. *)
+type distribution = Uniform | Zipf of float
+
+(* Inverse-CDF sampler over [0, n). *)
+let zipf_sampler ~s ~n =
+  let cdf = Array.make n 0.0 in
+  let total = ref 0.0 in
+  for i = 0 to n - 1 do
+    total := !total +. (1.0 /. (float_of_int (i + 1) ** s));
+    cdf.(i) <- !total
+  done;
+  fun rng ->
+    let u = Random.State.float rng !total in
+    (* binary search for the first index with cdf >= u *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cdf.(mid) >= u then hi := mid else lo := mid + 1
+    done;
+    !lo
+
+let key_sampler dist spec =
+  match dist with
+  | Uniform -> fun rng -> Random.State.int rng spec.key_range
+  | Zipf s -> zipf_sampler ~s ~n:spec.key_range
+
+let gen_op rng sample spec =
+  let k = sample rng in
+  if Random.State.float rng 1.0 < spec.write_fraction then
+    if Random.State.bool rng then Put (k, Random.State.int rng 1_000_000)
+    else Remove k
+  else Get k
+
+(** [stream ~seed spec ~count] pre-generates [count] operations. *)
+let stream ~seed ?(dist = Uniform) spec ~count =
+  let rng = Random.State.make [| seed; spec.key_range; spec.ops_per_txn |] in
+  let sample = key_sampler dist spec in
+  Array.init count (fun _ -> gen_op rng sample spec)
+
+(** Number of transactions a stream of [count] ops forms (the tail
+    transaction may be short). *)
+let txn_count spec ~count = (count + spec.ops_per_txn - 1) / spec.ops_per_txn
+
+let apply_op (ops : (int, int) Proust_structures.Map_intf.ops) txn = function
+  | Get k -> ignore (ops.get txn k)
+  | Put (k, v) -> ignore (ops.put txn k v)
+  | Remove k -> ignore (ops.remove txn k)

@@ -1,0 +1,28 @@
+(** Workload generation for the §7 map-throughput experiment: randomly
+    selected operations over a fixed key range, a [u] fraction of them
+    writes (split evenly between put and remove), pre-generated so RNG
+    cost stays out of the timed region. *)
+
+type op = Get of int | Put of int * int | Remove of int
+
+type spec = {
+  key_range : int;  (** keys are drawn from [0, key_range) *)
+  write_fraction : float;  (** the paper's [u] *)
+  ops_per_txn : int;  (** the paper's [o] *)
+  total_ops : int;  (** across all threads *)
+}
+
+val default_spec : spec
+
+(** Key popularity: [Uniform] is the paper's setup; [Zipf s] skews
+    access towards hot keys with exponent [s]. *)
+type distribution = Uniform | Zipf of float
+
+val stream : seed:int -> ?dist:distribution -> spec -> count:int -> op array
+
+(** Transactions formed by a stream of [count] ops (ragged tail
+    included). *)
+val txn_count : spec -> count:int -> int
+
+val apply_op :
+  (int, int) Proust_structures.Map_intf.ops -> Stm.txn -> op -> unit

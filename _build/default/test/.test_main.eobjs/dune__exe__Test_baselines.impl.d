@@ -1,0 +1,1 @@
+test/test_baselines.ml: Atomic Domain List Option Proust_baselines Proust_structures Random Stats Stm Util

@@ -1,0 +1,1 @@
+test/test_concurrent.ml: Alcotest Array Atomic Fun Hashtbl Int List Map Option Proust_concurrent QCheck2 Random Unix Util

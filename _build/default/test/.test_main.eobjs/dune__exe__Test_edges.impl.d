@@ -1,0 +1,1 @@
+test/test_edges.ml: Adt_model Array Atomic Backoff Clock Domain History List Proust_baselines Proust_concurrent Proust_core Proust_structures Proust_verify Serializability Stm Tvar Txn_desc Util

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Atomic Domain Fun Int List Map Option Proust_concurrent Proust_core Proust_structures Proust_verify Proust_workload QCheck2 Random Stm Util

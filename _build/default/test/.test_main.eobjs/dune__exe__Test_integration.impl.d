@@ -1,0 +1,1 @@
+test/test_integration.ml: Int List Map Option Printf Proust_baselines Proust_structures Proust_verify QCheck2 Random Stm Util

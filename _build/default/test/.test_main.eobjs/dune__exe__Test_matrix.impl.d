@@ -1,0 +1,1 @@
+test/test_matrix.ml: Domain List Option Printf Proust_core Proust_structures Random Stm Tvar Unix Util

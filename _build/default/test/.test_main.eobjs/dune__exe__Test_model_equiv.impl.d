@@ -1,0 +1,1 @@
+test/test_model_equiv.ml: Int List Map Proust_core Proust_structures QCheck2 Stm Util

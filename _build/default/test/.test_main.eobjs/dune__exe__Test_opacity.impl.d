@@ -1,0 +1,1 @@
+test/test_opacity.ml: Atomic Contention Domain List Option Proust_baselines Proust_concurrent Proust_structures Stats Stm Tvar Unix Util

@@ -1,0 +1,1 @@
+test/test_skiplist.ml: Fun Int List Map Option Proust_concurrent Proust_structures QCheck2 Random Stm Util

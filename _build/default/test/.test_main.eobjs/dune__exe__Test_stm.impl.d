@@ -1,0 +1,1 @@
+test/test_stm.ml: Alcotest Atomic Contention Domain List Stats Stm Tvar Txn_desc Unix Util

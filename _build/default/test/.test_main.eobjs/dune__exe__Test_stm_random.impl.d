@@ -1,0 +1,1 @@
+test/test_stm_random.ml: Array List Printf QCheck2 Stm Tvar Util

@@ -1,0 +1,1 @@
+test/test_structures.ml: Alcotest Atomic Int List Option Proust_concurrent Proust_structures Random Stm Util

@@ -1,0 +1,1 @@
+test/test_verify.ml: Alcotest Array List Printf Proust_baselines Proust_verify Random Stm String Util

@@ -1,0 +1,1 @@
+test/test_workload.ml: Array Filename List Printf Proust_baselines Proust_structures Proust_workload Stats String Sys Util

@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Domain List QCheck2 QCheck_alcotest Stm

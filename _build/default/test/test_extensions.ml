@@ -1,0 +1,668 @@
+(** Tests for the extension round: new base structures (deque, Treiber
+    stack, persistent/COW queues, AVL/COW ordered map), new Proustian
+    wrappers (FIFO, stack, ordered map with ranges), the §9 future-work
+    optimisations (undo combining, snapshot-replay root-CAS combining),
+    the generalized SAT encoding and the CEGIS synthesizer. *)
+
+open Util
+module C = Proust_concurrent
+module S = Proust_structures
+module V = Proust_verify
+
+(* ------------------------------------------------------------------ *)
+(* Deque                                                                *)
+
+let test_deque_basics () =
+  let d = C.Deque.create () in
+  check copt_i "pop empty" None (C.Deque.pop_front d);
+  let _ = C.Deque.push_back d 2 in
+  let _ = C.Deque.push_front d 1 in
+  let _ = C.Deque.push_back d 3 in
+  check clist_i "order" [ 1; 2; 3 ] (C.Deque.to_list d);
+  check copt_i "peek front" (Some 1) (C.Deque.peek_front d);
+  check copt_i "peek back" (Some 3) (C.Deque.peek_back d);
+  check copt_i "pop front" (Some 1) (C.Deque.pop_front d);
+  check copt_i "pop back" (Some 3) (C.Deque.pop_back d);
+  check ci "size" 1 (C.Deque.size d)
+
+let test_deque_delete () =
+  let d = C.Deque.create () in
+  let n1 = C.Deque.push_back d 1 in
+  let n2 = C.Deque.push_back d 2 in
+  let _ = C.Deque.push_back d 3 in
+  check cb "delete middle" true (C.Deque.delete d n2);
+  check cb "delete again" false (C.Deque.delete d n2);
+  check clist_i "after delete" [ 1; 3 ] (C.Deque.to_list d);
+  check ci "node value" 2 (C.Deque.node_value n2);
+  check cb "delete head node" true (C.Deque.delete d n1);
+  check clist_i "after head delete" [ 3 ] (C.Deque.to_list d)
+
+let test_deque_concurrent () =
+  let d = C.Deque.create () in
+  spawn_all 4 (fun i ->
+      for j = 1 to 500 do
+        if j land 1 = 0 then ignore (C.Deque.push_back d (i * j))
+        else ignore (C.Deque.pop_front d)
+      done);
+  check cb "size consistent with list" true
+    (C.Deque.size d = List.length (C.Deque.to_list d))
+
+(* ------------------------------------------------------------------ *)
+(* Treiber stack                                                        *)
+
+let test_treiber () =
+  let s = C.Treiber.create () in
+  check copt_i "pop empty" None (C.Treiber.pop s);
+  C.Treiber.push s 1;
+  C.Treiber.push s 2;
+  check copt_i "peek" (Some 2) (C.Treiber.peek s);
+  check copt_i "pop" (Some 2) (C.Treiber.pop s);
+  check clist_i "to_list" [ 1 ] (C.Treiber.to_list s);
+  check ci "size" 1 (C.Treiber.size s)
+
+let test_treiber_concurrent () =
+  let s = C.Treiber.create () in
+  let popped = Atomic.make 0 in
+  spawn_all 4 (fun i ->
+      for j = 1 to 1_000 do
+        C.Treiber.push s ((i * 1_000) + j)
+      done;
+      for _ = 1 to 500 do
+        if C.Treiber.pop s <> None then Atomic.incr popped
+      done);
+  check ci "pops all succeeded" 2_000 (Atomic.get popped);
+  check ci "remaining" 2_000 (List.length (C.Treiber.to_list s))
+
+(* ------------------------------------------------------------------ *)
+(* Persistent / COW queues                                              *)
+
+let prop_pqueue_fifo_order l =
+  let q = C.Pqueue_fifo.of_list l in
+  C.Pqueue_fifo.to_list q = l
+  && C.Pqueue_fifo.length q = List.length l
+  &&
+  let rec drain acc q =
+    match C.Pqueue_fifo.dequeue q with
+    | None -> List.rev acc
+    | Some (x, q') -> drain (x :: acc) q'
+  in
+  drain [] q = l
+
+let prop_pqueue_fifo_enqueue l =
+  let q =
+    List.fold_left C.Pqueue_fifo.enqueue C.Pqueue_fifo.empty l
+  in
+  C.Pqueue_fifo.to_list q = l
+
+let test_cow_queue () =
+  let q = C.Cow_queue.create () in
+  check copt_i "dequeue empty" None (C.Cow_queue.dequeue q);
+  C.Cow_queue.enqueue q 1;
+  C.Cow_queue.enqueue q 2;
+  let snap = C.Cow_queue.snapshot q in
+  check copt_i "peek" (Some 1) (C.Cow_queue.peek q);
+  check copt_i "dequeue" (Some 1) (C.Cow_queue.dequeue q);
+  check clist_i "snapshot unaffected" [ 1; 2 ] (C.Cow_queue.Snapshot.to_list snap);
+  check clist_i "live" [ 2 ] (C.Cow_queue.to_list q);
+  check ci "snapshot size" 2 (C.Cow_queue.Snapshot.size snap)
+
+let test_cow_queue_concurrent () =
+  let q = C.Cow_queue.create () in
+  let popped = Atomic.make 0 in
+  spawn_all 4 (fun i ->
+      for j = 1 to 500 do
+        C.Cow_queue.enqueue q ((i * 500) + j);
+        if j land 1 = 0 && C.Cow_queue.dequeue q <> None then
+          Atomic.incr popped
+      done);
+  check ci "conserved" 2_000 (Atomic.get popped + C.Cow_queue.size q)
+
+(* ------------------------------------------------------------------ *)
+(* AVL / COW ordered map                                                *)
+
+module IntMap = Map.Make (Int)
+
+let avl_ops_gen =
+  QCheck2.Gen.(
+    list
+      (pair (int_range 0 100)
+         (oneof [ return `Remove; map (fun v -> `Put v) (int_range 0 999) ])))
+
+let apply_avl ops =
+  List.fold_left
+    (fun (t, m) (k, op) ->
+      match op with
+      | `Put v -> (fst (C.Avl.add ~compare:Int.compare k v t), IntMap.add k v m)
+      | `Remove ->
+          (fst (C.Avl.remove ~compare:Int.compare k t), IntMap.remove k m))
+    (C.Avl.empty, IntMap.empty) ops
+
+let prop_avl_model ops =
+  let t, m = apply_avl ops in
+  C.Avl.bindings t = IntMap.bindings m
+  && C.Avl.cardinal t = IntMap.cardinal m
+  && IntMap.for_all (fun k v -> C.Avl.find ~compare:Int.compare k t = Some v) m
+
+let prop_avl_balanced ops =
+  let t, _ = apply_avl ops in
+  C.Avl.well_formed ~compare:Int.compare t
+
+let prop_avl_range ops =
+  let t, m = apply_avl ops in
+  let lo = 20 and hi = 60 in
+  C.Avl.fold_range ~compare:Int.compare ~lo ~hi
+    (fun k v acc -> (k, v) :: acc)
+    t []
+  |> List.rev
+  = (IntMap.bindings m |> List.filter (fun (k, _) -> k >= lo && k <= hi))
+
+let test_avl_min_max () =
+  let t, _ = apply_avl [ (5, `Put 50); (1, `Put 10); (9, `Put 90) ] in
+  check (Alcotest.option (Alcotest.pair ci ci)) "min" (Some (1, 10))
+    (C.Avl.min_binding t);
+  check (Alcotest.option (Alcotest.pair ci ci)) "max" (Some (9, 90))
+    (C.Avl.max_binding t);
+  check cb "empty min" true (C.Avl.min_binding C.Avl.empty = None)
+
+let test_cow_omap () =
+  let m = C.Cow_omap.create () in
+  check copt_i "put" None (C.Cow_omap.put m 5 50);
+  ignore (C.Cow_omap.put m 1 10);
+  ignore (C.Cow_omap.put m 9 90);
+  let snap = C.Cow_omap.snapshot m in
+  check copt_i "get" (Some 50) (C.Cow_omap.get m 5);
+  check
+    (Alcotest.list (Alcotest.pair ci ci))
+    "range" [ (1, 10); (5, 50) ]
+    (C.Cow_omap.range m ~lo:0 ~hi:5);
+  check copt_i "remove" (Some 10) (C.Cow_omap.remove m 1);
+  check ci "snapshot keeps removed" 3 (C.Cow_omap.Snapshot.size snap);
+  check ci "live size" 2 (C.Cow_omap.size m);
+  check cb "min binding moved" true (C.Cow_omap.min_binding m = Some (5, 50))
+
+let test_cow_omap_concurrent () =
+  let m = C.Cow_omap.create () in
+  spawn_all 4 (fun d ->
+      for i = 0 to 499 do
+        ignore (C.Cow_omap.put m ((i * 4) + d) i)
+      done);
+  check ci "all in" 2_000 (C.Cow_omap.size m);
+  check ci "range count" 100
+    (List.length (C.Cow_omap.range m ~lo:0 ~hi:99))
+
+(* ------------------------------------------------------------------ *)
+(* Proustian FIFO                                                      *)
+
+let fifos : (string * Stm.config option * (unit -> int S.Queue_intf.ops)) list =
+  [
+    ( "fifo-eager-opt",
+      Some eager_struct_cfg,
+      fun () -> S.P_fifo.ops (S.P_fifo.make ()) );
+    ( "fifo-eager-pess",
+      None,
+      fun () -> S.P_fifo.ops (S.P_fifo.make ~lap:S.Map_intf.Pessimistic ()) );
+    ("fifo-lazy-opt", None, fun () -> S.P_lazy_fifo.ops (S.P_lazy_fifo.make ()));
+    ( "fifo-lazy-combine",
+      None,
+      fun () -> S.P_lazy_fifo.ops (S.P_lazy_fifo.make ~combine:true ()) );
+  ]
+
+let fifo_semantics (ops : int S.Queue_intf.ops) config () =
+  let at f = Stm.atomically ?config f in
+  check copt_i "deq empty" None (at (fun txn -> ops.dequeue txn));
+  check copt_i "front empty" None (at (fun txn -> ops.front txn));
+  at (fun txn -> ops.enqueue txn 1);
+  at (fun txn -> ops.enqueue txn 2);
+  at (fun txn -> ops.enqueue txn 3);
+  check copt_i "front" (Some 1) (at (fun txn -> ops.front txn));
+  check ci "size" 3 (at (fun txn -> ops.size txn));
+  check copt_i "deq 1" (Some 1) (at (fun txn -> ops.dequeue txn));
+  check copt_i "deq 2" (Some 2) (at (fun txn -> ops.dequeue txn));
+  check copt_i "deq 3" (Some 3) (at (fun txn -> ops.dequeue txn));
+  check copt_i "drained" None (at (fun txn -> ops.dequeue txn))
+
+let fifo_abort (ops : int S.Queue_intf.ops) config () =
+  let at f = Stm.atomically ?config f in
+  at (fun txn -> ops.enqueue txn 10);
+  let tries = ref 0 in
+  at (fun txn ->
+      incr tries;
+      if !tries = 1 then begin
+        ops.enqueue txn 20;
+        ignore (ops.dequeue txn);
+        ignore (ops.dequeue txn);
+        ignore (Stm.restart txn)
+      end);
+  check copt_i "front restored" (Some 10) (at (fun txn -> ops.front txn));
+  check ci "size restored" 1 (at (fun txn -> ops.size txn))
+
+let fifo_order_preserved (ops : int S.Queue_intf.ops) config () =
+  (* One producer, one consumer; consumed sequence must be a prefix-
+     ordered subsequence (FIFO). *)
+  let consumed = ref [] in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 1 to 300 do
+          Stm.atomically ?config (fun txn -> ops.enqueue txn i)
+        done)
+  in
+  let consumer =
+    Domain.spawn (fun () ->
+        for _ = 1 to 400 do
+          match Stm.atomically ?config (fun txn -> ops.dequeue txn) with
+          | Some v -> consumed := v :: !consumed
+          | None -> ()
+        done)
+  in
+  Domain.join producer;
+  Domain.join consumer;
+  let seq = List.rev !consumed in
+  check cb "consumed in FIFO order" true (List.sort compare seq = seq)
+
+let fifo_conservation (ops : int S.Queue_intf.ops) config () =
+  let popped = Atomic.make 0 in
+  spawn_all 4 (fun d ->
+      for i = 1 to 200 do
+        if (d + i) land 1 = 0 then
+          Stm.atomically ?config (fun txn -> ops.enqueue txn i)
+        else if Stm.atomically ?config (fun txn -> ops.dequeue txn) <> None
+        then Atomic.incr popped
+      done);
+  let remaining = Stm.atomically ?config (fun txn -> ops.size txn) in
+  check ci "conserved" 400 (Atomic.get popped + remaining)
+
+let fifo_tests =
+  List.concat_map
+    (fun (name, config, make) ->
+      [
+        test (name ^ ": semantics") (fun () -> fifo_semantics (make ()) config ());
+        test (name ^ ": abort") (fun () -> fifo_abort (make ()) config ());
+        slow (name ^ ": order") (fun () -> fifo_order_preserved (make ()) config ());
+        slow (name ^ ": conservation") (fun () ->
+            fifo_conservation (make ()) config ());
+      ])
+    fifos
+
+(* ------------------------------------------------------------------ *)
+(* Proustian stack                                                     *)
+
+let stack_semantics lap config () =
+  let s = S.P_stack.make ~lap () in
+  let at f = Stm.atomically ?config f in
+  check copt_i "pop empty" None (at (fun txn -> S.P_stack.pop s txn));
+  at (fun txn -> S.P_stack.push s txn 1);
+  at (fun txn -> S.P_stack.push s txn 2);
+  check copt_i "top" (Some 2) (at (fun txn -> S.P_stack.top s txn));
+  check ci "size" 2 (at (fun txn -> S.P_stack.size s txn));
+  check copt_i "pop" (Some 2) (at (fun txn -> S.P_stack.pop s txn));
+  check clist_i "list" [ 1 ] (S.P_stack.to_list s)
+
+let test_stack_abort_unwinds () =
+  let s = S.P_stack.make ~lap:S.Map_intf.Pessimistic () in
+  Stm.atomically (fun txn -> S.P_stack.push s txn 1);
+  let tries = ref 0 in
+  Stm.atomically (fun txn ->
+      incr tries;
+      if !tries = 1 then begin
+        S.P_stack.push s txn 2;
+        ignore (S.P_stack.pop s txn);
+        ignore (S.P_stack.pop s txn);
+        S.P_stack.push s txn 9;
+        ignore (Stm.restart txn)
+      end);
+  check clist_i "unwound exactly" [ 1 ] (S.P_stack.to_list s)
+
+let test_stack_concurrent () =
+  let s = S.P_stack.make ~lap:S.Map_intf.Pessimistic () in
+  let popped = Atomic.make 0 in
+  spawn_all 4 (fun d ->
+      for i = 1 to 150 do
+        if (d + i) land 1 = 0 then
+          Stm.atomically (fun txn -> S.P_stack.push s txn i)
+        else if Stm.atomically (fun txn -> S.P_stack.pop s txn) <> None then
+          Atomic.incr popped
+      done);
+  check ci "conserved" 300
+    (Atomic.get popped + List.length (S.P_stack.to_list s))
+
+(* ------------------------------------------------------------------ *)
+(* Proustian ordered map                                               *)
+
+let omap_semantics strategy config () =
+  let m = S.P_omap.make ~slots:8 ~index:(fun k -> k / 8) ~strategy () in
+  let at f = Stm.atomically ?config f in
+  check copt_i "get empty" None (at (fun txn -> S.P_omap.get m txn 5));
+  ignore (at (fun txn -> S.P_omap.put m txn 5 50));
+  ignore (at (fun txn -> S.P_omap.put m txn 20 200));
+  ignore (at (fun txn -> S.P_omap.put m txn 40 400));
+  check copt_i "get" (Some 200) (at (fun txn -> S.P_omap.get m txn 20));
+  check
+    (Alcotest.list (Alcotest.pair ci ci))
+    "range" [ (5, 50); (20, 200) ]
+    (at (fun txn -> S.P_omap.range m txn ~lo:0 ~hi:30));
+  check cb "min" true
+    (at (fun txn -> S.P_omap.min_binding m txn) = Some (5, 50));
+  check cb "max" true
+    (at (fun txn -> S.P_omap.max_binding m txn) = Some (40, 400));
+  check ci "size" 3 (at (fun txn -> S.P_omap.size m txn));
+  check copt_i "remove" (Some 50) (at (fun txn -> S.P_omap.remove m txn 5));
+  check ci "size after" 2 (at (fun txn -> S.P_omap.size m txn))
+
+let omap_range_sees_own_writes () =
+  let m = S.P_omap.make ~slots:8 ~index:(fun k -> k / 8) () in
+  Stm.atomically (fun txn ->
+      ignore (S.P_omap.put m txn 3 30);
+      ignore (S.P_omap.put m txn 7 70);
+      check
+        (Alcotest.list (Alcotest.pair ci ci))
+        "own pending writes visible to range" [ (3, 30); (7, 70) ]
+        (S.P_omap.range m txn ~lo:0 ~hi:10));
+  check cb "committed" true (S.P_omap.bindings m = [ (3, 30); (7, 70) ])
+
+let omap_abort strategy config () =
+  let m = S.P_omap.make ~slots:8 ~index:(fun k -> k / 8) ~strategy () in
+  let at f = Stm.atomically ?config f in
+  ignore (at (fun txn -> S.P_omap.put m txn 1 10));
+  let tries = ref 0 in
+  at (fun txn ->
+      incr tries;
+      if !tries = 1 then begin
+        ignore (S.P_omap.put m txn 1 99);
+        ignore (S.P_omap.put m txn 2 20);
+        ignore (Stm.restart txn)
+      end);
+  check cb "rolled back" true (S.P_omap.bindings m = [ (1, 10) ])
+
+let omap_concurrent_transfers () =
+  let m = S.P_omap.make ~slots:16 ~index:(fun k -> k / 4) () in
+  Stm.atomically (fun txn ->
+      for k = 0 to 31 do
+        ignore (S.P_omap.put m txn k 10)
+      done);
+  spawn_all 4 (fun d ->
+      let rng = Random.State.make [| d |] in
+      for _ = 1 to 150 do
+        let a = Random.State.int rng 32 and b = Random.State.int rng 32 in
+        if a <> b then
+          Stm.atomically (fun txn ->
+              let va = Option.get (S.P_omap.get m txn a) in
+              ignore (S.P_omap.put m txn a (va - 1));
+              let vb = Option.get (S.P_omap.get m txn b) in
+              ignore (S.P_omap.put m txn b (vb + 1)))
+      done);
+  let total =
+    Stm.atomically (fun txn ->
+        List.fold_left
+          (fun acc (_, v) -> acc + v)
+          0
+          (S.P_omap.range m txn ~lo:0 ~hi:31))
+  in
+  check ci "conserved (checked by a range scan)" 320 total
+
+(* ------------------------------------------------------------------ *)
+(* S9 optimisations                                                    *)
+
+let test_undo_combining_restores () =
+  let m = S.P_hashmap.make ~lap:S.Map_intf.Pessimistic ~combine_undo:true () in
+  ignore (Stm.atomically (fun txn -> S.P_hashmap.put m txn 1 100));
+  let tries = ref 0 in
+  Stm.atomically (fun txn ->
+      incr tries;
+      if !tries = 1 then begin
+        (* many ops on few keys: combined undo restores first values *)
+        for i = 1 to 20 do
+          ignore (S.P_hashmap.put m txn 1 i);
+          ignore (S.P_hashmap.put m txn 2 i)
+        done;
+        ignore (S.P_hashmap.remove m txn 1);
+        ignore (Stm.restart txn)
+      end);
+  check copt_i "key 1 restored to first value" (Some 100)
+    (Stm.atomically (fun txn -> S.P_hashmap.get m txn 1));
+  check copt_i "key 2 never existed" None
+    (Stm.atomically (fun txn -> S.P_hashmap.get m txn 2))
+
+let test_undo_combining_conserves () =
+  let m = S.P_hashmap.make ~lap:S.Map_intf.Pessimistic ~combine_undo:true () in
+  let ops = S.P_hashmap.ops m in
+  Stm.atomically (fun txn ->
+      for k = 0 to 7 do
+        ignore (ops.S.Map_intf.put txn k 100)
+      done);
+  spawn_all 4 (fun d ->
+      let rng = Random.State.make [| d |] in
+      for _ = 1 to 200 do
+        let a = Random.State.int rng 8 and b = Random.State.int rng 8 in
+        if a <> b then
+          Stm.atomically (fun txn ->
+              let va = Option.get (ops.S.Map_intf.get txn a) in
+              ignore (ops.S.Map_intf.put txn a (va - 1));
+              let vb = Option.get (ops.S.Map_intf.get txn b) in
+              ignore (ops.S.Map_intf.put txn b (vb + 1)))
+      done);
+  let total =
+    Stm.atomically (fun txn ->
+        let t = ref 0 in
+        for k = 0 to 7 do
+          t := !t + Option.get (ops.S.Map_intf.get txn k)
+        done;
+        !t)
+  in
+  check ci "conserved with combined undo" 800 total
+
+let test_install_combining_fast_path () =
+  (* Single-threaded: the root CAS must always succeed, and committed
+     state must match exactly. *)
+  let m = S.P_lazy_triemap.make ~combine:true () in
+  Stm.atomically (fun txn ->
+      for i = 0 to 49 do
+        ignore (S.P_lazy_triemap.put m txn i (i * 2))
+      done);
+  check ci "all installed" 50
+    (Proust_concurrent.Ctrie.size (S.P_lazy_triemap.backing m));
+  check copt_i "value" (Some 84)
+    (Stm.atomically (fun txn -> S.P_lazy_triemap.get m txn 42))
+
+let test_install_combining_fallback () =
+  (* Force the fallback: commuting transactions interleave commits, so
+     some root CASes fail and replay must preserve every update. *)
+  let m = S.P_lazy_triemap.make ~combine:true () in
+  spawn_all 4 (fun d ->
+      for i = 0 to 249 do
+        Stm.atomically (fun txn ->
+            ignore (S.P_lazy_triemap.put m txn ((i * 4) + d) d))
+      done);
+  check ci "no update lost under combining" 1_000
+    (Proust_concurrent.Ctrie.size (S.P_lazy_triemap.backing m))
+
+let test_install_combining_pqueue () =
+  let q = S.P_lazy_pqueue.make ~cmp:Int.compare ~combine:true () in
+  let popped = Atomic.make 0 in
+  spawn_all 4 (fun d ->
+      let rng = Random.State.make [| d |] in
+      for i = 1 to 100 do
+        Stm.atomically (fun txn ->
+            S.P_lazy_pqueue.insert q txn (Random.State.int rng 1_000));
+        if i land 1 = 0 then
+          match Stm.atomically (fun txn -> S.P_lazy_pqueue.remove_min q txn) with
+          | Some _ -> Atomic.incr popped
+          | None -> ()
+      done);
+  let remaining = Stm.atomically (fun txn -> S.P_lazy_pqueue.size q txn) in
+  check ci "conserved" 400 (Atomic.get popped + remaining)
+
+(* ------------------------------------------------------------------ *)
+(* Verifier extensions                                                 *)
+
+let test_queue_model_and_ca () =
+  let q = V.Adt_model.small_queue () in
+  check cb "fifo CA verified" true (V.Ca_check.check q (V.Ca_spec.fifo ()) = None);
+  match V.Ca_check.check q (V.Ca_spec.broken_fifo ()) with
+  | Some cex -> check cb "broken at empty" true (cex.V.Ca_check.state = [])
+  | None -> Alcotest.fail "broken fifo should be rejected"
+
+let test_stack_model_and_ca () =
+  let st = V.Adt_model.small_stack () in
+  check cb "stack CA verified" true
+    (V.Ca_check.check st (V.Ca_spec.stack ()) = None);
+  (* pushes never commute: the model must agree *)
+  check cb "push/push non-commuting" false
+    (V.Commute.commutes st [] (V.Adt_model.StPush 0) (V.Adt_model.StPush 1))
+
+let test_omap_model_and_ca () =
+  let om = V.Adt_model.small_omap () in
+  check cb "band CA (M=2) verified" true
+    (V.Ca_check.check om (V.Ca_spec.omap_bands ~slots:2 ~index:(fun k -> k / 2) ())
+    = None);
+  check cb "band CA (M=4) verified" true
+    (V.Ca_check.check om (V.Ca_spec.omap_bands ~slots:4 ~index:Fun.id ()) = None);
+  (* a broken variant: ranges read only their low band *)
+  let broken =
+    let good = V.Ca_spec.omap_bands ~slots:4 ~index:Fun.id () in
+    {
+      good with
+      V.Ca_spec.name = "broken-omap";
+      reads =
+        (fun ~stripe s op ->
+          match op with
+          | V.Adt_model.ORange (lo, _) -> [ max 0 (min 3 lo) ]
+          | _ -> good.V.Ca_spec.reads ~stripe s op);
+    }
+  in
+  check cb "truncated range CA rejected" true
+    (V.Ca_check.check om broken <> None)
+
+let test_check_model_generalized () =
+  let c = V.Adt_model.counter ~bound:5 in
+  check cb "counter via SAT" true
+    (V.Ca_encode.check_model c (V.Ca_spec.counter ()) = V.Ca_encode.G_correct);
+  (match V.Ca_encode.check_model c (V.Ca_spec.counter ~threshold:1 ()) with
+  | V.Ca_encode.G_counterexample _ -> ()
+  | V.Ca_encode.G_correct -> Alcotest.fail "broken counter must be SAT");
+  let q = V.Adt_model.small_queue ~max_len:2 () in
+  check cb "fifo via SAT" true
+    (V.Ca_encode.check_model q (V.Ca_spec.fifo ()) = V.Ca_encode.G_correct);
+  match V.Ca_encode.check_model q (V.Ca_spec.broken_fifo ()) with
+  | V.Ca_encode.G_counterexample _ -> ()
+  | V.Ca_encode.G_correct -> Alcotest.fail "broken fifo must be SAT"
+
+let test_synth_counter () =
+  let model = V.Adt_model.counter ~bound:6 in
+  let out = V.Synth.synthesize model (V.Synth.counter_candidates ~max_threshold:4) in
+  match out.V.Synth.chosen with
+  | Some ca ->
+      check cs "weakest sound threshold is the paper's 2"
+        "counter(threshold=2)" ca.V.Ca_spec.name;
+      check cb "counterexamples guided the search" true
+        (List.length out.V.Synth.counterexamples >= 1)
+  | None -> Alcotest.fail "synthesis should succeed"
+
+let test_synth_pqueue_repairs_figure3 () =
+  let model = V.Adt_model.small_pqueue () in
+  let out = V.Synth.synthesize model (V.Synth.pqueue_candidates ~stripes:2) in
+  match out.V.Synth.chosen with
+  | Some ca ->
+      check cs "repaired abstraction chosen" "pqueue(stripes=2)"
+        ca.V.Ca_spec.name
+  | None -> Alcotest.fail "synthesis should succeed"
+
+let test_synth_unsatisfiable () =
+  (* No candidate is sound: threshold 0 and 1 only. *)
+  let model = V.Adt_model.counter ~bound:6 in
+  let out =
+    V.Synth.synthesize model
+      [ V.Ca_spec.counter ~threshold:0 (); V.Ca_spec.counter ~threshold:1 () ]
+  in
+  check cb "no candidate" true (out.V.Synth.chosen = None);
+  check ci "tried all" 2 out.V.Synth.candidates_tried
+
+let test_synth_prunes_with_cexs () =
+  (* Candidates ordered so the first counterexample screens later
+     equivalent failures without full checks. *)
+  let model = V.Adt_model.counter ~bound:6 in
+  let out =
+    V.Synth.synthesize model
+      [
+        V.Ca_spec.counter ~threshold:0 ();
+        V.Ca_spec.counter ~threshold:0 ();
+        V.Ca_spec.counter ~threshold:0 ();
+        V.Ca_spec.counter ~threshold:2 ();
+      ]
+  in
+  check cb "found" true (out.V.Synth.chosen <> None);
+  check cb "pruning avoided full checks" true
+    (out.V.Synth.full_checks < out.V.Synth.candidates_tried)
+
+(* ------------------------------------------------------------------ *)
+(* Zipf workload                                                       *)
+
+let test_zipf_skew () =
+  let spec =
+    { Proust_workload.Workload.key_range = 100; write_fraction = 0.0;
+      ops_per_txn = 1; total_ops = 0 }
+  in
+  let s =
+    Proust_workload.Workload.stream ~seed:1
+      ~dist:(Proust_workload.Workload.Zipf 1.0) spec ~count:20_000
+  in
+  let counts = Array.make 100 0 in
+  Array.iter
+    (function
+      | Proust_workload.Workload.Get k -> counts.(k) <- counts.(k) + 1
+      | _ -> ())
+    s;
+  check cb "key 0 much hotter than key 50" true (counts.(0) > 10 * counts.(50));
+  check cb "all keys in range" true
+    (Array.for_all (fun c -> c >= 0) counts)
+
+let suite =
+  [
+    test "deque basics" test_deque_basics;
+    test "deque delete" test_deque_delete;
+    slow "deque concurrent" test_deque_concurrent;
+    test "treiber basics" test_treiber;
+    slow "treiber concurrent" test_treiber_concurrent;
+    qcheck "pqueue_fifo of_list/drain" QCheck2.Gen.(list small_int)
+      prop_pqueue_fifo_order;
+    qcheck "pqueue_fifo enqueue order" QCheck2.Gen.(list small_int)
+      prop_pqueue_fifo_enqueue;
+    test "cow queue" test_cow_queue;
+    slow "cow queue concurrent" test_cow_queue_concurrent;
+    qcheck "avl matches Map" avl_ops_gen prop_avl_model;
+    qcheck "avl balanced" avl_ops_gen prop_avl_balanced;
+    qcheck "avl range" avl_ops_gen prop_avl_range;
+    test "avl min/max" test_avl_min_max;
+    test "cow omap" test_cow_omap;
+    slow "cow omap concurrent" test_cow_omap_concurrent;
+  ]
+  @ fifo_tests
+  @ [
+      test "stack semantics (pess)"
+        (stack_semantics S.Map_intf.Pessimistic None);
+      test "stack semantics (opt)"
+        (stack_semantics S.Map_intf.Optimistic (Some eager_struct_cfg));
+      test "stack abort unwinds" test_stack_abort_unwinds;
+      slow "stack concurrent" test_stack_concurrent;
+      test "omap semantics (lazy)" (omap_semantics Proust_core.Update_strategy.Lazy None);
+      test "omap semantics (eager)"
+        (omap_semantics Proust_core.Update_strategy.Eager (Some eager_struct_cfg));
+      test "omap range sees own writes" omap_range_sees_own_writes;
+      test "omap abort (lazy)" (omap_abort Proust_core.Update_strategy.Lazy None);
+      test "omap abort (eager)"
+        (omap_abort Proust_core.Update_strategy.Eager (Some eager_struct_cfg));
+      slow "omap concurrent transfers" omap_concurrent_transfers;
+      test "undo combining restores" test_undo_combining_restores;
+      slow "undo combining conserves" test_undo_combining_conserves;
+      test "install combining fast path" test_install_combining_fast_path;
+      slow "install combining fallback" test_install_combining_fallback;
+      slow "install combining pqueue" test_install_combining_pqueue;
+      test "queue model & CA" test_queue_model_and_ca;
+      test "stack model & CA" test_stack_model_and_ca;
+      test "omap model & CA" test_omap_model_and_ca;
+      slow "generalized SAT check" test_check_model_generalized;
+      test "synth: counter threshold" test_synth_counter;
+      test "synth: repairs figure 3" test_synth_pqueue_repairs_figure3;
+      test "synth: unsatisfiable" test_synth_unsatisfiable;
+      test "synth: counterexample pruning" test_synth_prunes_with_cexs;
+      test "zipf skew" test_zipf_skew;
+    ]

@@ -1,0 +1,231 @@
+(** Cross-library integration tests: live-run serializability checking,
+    model-equivalence property tests over whole transaction programs,
+    and multi-structure composition. *)
+
+open Util
+module S = Proust_structures
+module B = Proust_baselines
+module V = Proust_verify
+
+let variants : (string * Stm.config option * (unit -> (int, int) S.Map_intf.ops)) list
+    =
+  [
+    ( "eager-opt",
+      Some eager_struct_cfg,
+      fun () -> S.P_hashmap.ops (S.P_hashmap.make ()) );
+    ( "eager-pess",
+      None,
+      fun () -> S.P_hashmap.ops (S.P_hashmap.make ~lap:S.Map_intf.Pessimistic ())
+    );
+    ("lazy-memo", None, fun () -> S.P_lazy_hashmap.ops (S.P_lazy_hashmap.make ()));
+    ("lazy-snap", None, fun () -> S.P_lazy_triemap.ops (S.P_lazy_triemap.make ()));
+    ("predication", None, fun () -> B.Predication_map.ops (B.Predication_map.make ()));
+    ("stm-map", None, fun () -> B.Stm_hashmap.ops (B.Stm_hashmap.make ()));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Live-run serializability: record committed operations of a real
+   concurrent run over a tiny domain and search for a serial witness.  *)
+
+let live_serializability config (make : unit -> (int, int) S.Map_intf.ops) () =
+  let ops = make () in
+  let recorder = V.History.make () in
+  let open V.Adt_model in
+  spawn_all 3 (fun d ->
+      let rng = Random.State.make [| 100 + d |] in
+      for _ = 1 to 2 do
+        Stm.atomically ?config (fun txn ->
+            for _ = 1 to 2 do
+              let k = Random.State.int rng 3 in
+              match Random.State.int rng 3 with
+              | 0 ->
+                  let v = Random.State.int rng 2 in
+                  let old = ops.S.Map_intf.put txn k v in
+                  V.History.log recorder txn (MPut (k, v)) (MVal old)
+              | 1 ->
+                  let old = ops.S.Map_intf.remove txn k in
+                  V.History.log recorder txn (MRemove k) (MVal old)
+              | _ ->
+                  let r = ops.S.Map_intf.get txn k in
+                  V.History.log recorder txn (MGet k) (MVal r)
+            done)
+      done);
+  let records = V.History.records recorder in
+  check ci "six committed transactions" 6 (List.length records);
+  check cb "history has a serial witness" true
+    (V.Serializability.check (small_map ()) ~init:[] records)
+
+(* ------------------------------------------------------------------ *)
+(* Model equivalence over random transaction programs (single thread,
+   including aborted transactions that must leave no trace).           *)
+
+type step = SPut of int * int | SRemove of int | SGet of int
+type txn_prog = { steps : step list; abort : bool }
+
+let prog_gen =
+  QCheck2.Gen.(
+    let step =
+      oneof
+        [
+          map2 (fun k v -> SPut (k, v)) (int_range 0 7) (int_range 0 99);
+          map (fun k -> SRemove k) (int_range 0 7);
+          map (fun k -> SGet k) (int_range 0 7);
+        ]
+    in
+    list_size (int_range 1 6)
+      (map2 (fun steps abort -> { steps; abort }) (list_size (int_range 1 5) step) bool))
+
+module IntMap = Map.Make (Int)
+
+let run_program config (ops : (int, int) S.Map_intf.ops) progs =
+  (* Returns true iff every operation's result matched the pure model
+     and committed state evolves exactly like the model. *)
+  let model = ref IntMap.empty in
+  let ok = ref true in
+  List.iter
+    (fun prog ->
+      let shadow = ref !model in
+      let outcome =
+        try
+          Stm.atomically ?config (fun txn ->
+              shadow := !model;
+              List.iter
+                (fun step ->
+                  match step with
+                  | SPut (k, v) ->
+                      let expect = IntMap.find_opt k !shadow in
+                      let got = ops.S.Map_intf.put txn k v in
+                      if got <> expect then ok := false;
+                      shadow := IntMap.add k v !shadow
+                  | SRemove k ->
+                      let expect = IntMap.find_opt k !shadow in
+                      let got = ops.S.Map_intf.remove txn k in
+                      if got <> expect then ok := false;
+                      shadow := IntMap.remove k !shadow
+                  | SGet k ->
+                      if ops.S.Map_intf.get txn k <> IntMap.find_opt k !shadow
+                      then ok := false)
+                prog.steps;
+              if prog.abort then raise Exit);
+          `Committed
+        with Exit -> `Aborted
+      in
+      (match outcome with
+      | `Committed -> model := !shadow
+      | `Aborted -> ());
+      (* Committed state must match the model exactly. *)
+      let size = Stm.atomically ?config (fun txn -> ops.S.Map_intf.size txn) in
+      if size <> IntMap.cardinal !model then ok := false;
+      IntMap.iter
+        (fun k v ->
+          if Stm.atomically ?config (fun txn -> ops.S.Map_intf.get txn k) <> Some v
+          then ok := false)
+        !model)
+    progs;
+  !ok
+
+let model_equiv_tests =
+  List.map
+    (fun (name, config, make) ->
+      qcheck ~count:60
+        (Printf.sprintf "%s matches Map model (random programs)" name)
+        prog_gen
+        (fun progs -> run_program config (make ()) progs))
+    variants
+
+(* ------------------------------------------------------------------ *)
+(* Multi-structure composition                                          *)
+
+let test_cross_structure_atomicity () =
+  let m = S.P_lazy_hashmap.make () in
+  let q = S.P_lazy_pqueue.make ~cmp:Int.compare () in
+  let c = S.P_counter.make ~lap:S.Map_intf.Pessimistic () in
+  let tries = ref 0 in
+  Stm.atomically (fun txn ->
+      incr tries;
+      ignore (S.P_lazy_hashmap.put m txn 1 1);
+      S.P_lazy_pqueue.insert q txn 1;
+      S.P_counter.incr c txn;
+      if !tries = 1 then ignore (Stm.restart txn));
+  (* First attempt rolled back across all three structures. *)
+  check ci "map has exactly one entry" 1
+    (Stm.atomically (fun txn -> S.P_lazy_hashmap.size m txn));
+  check ci "queue has exactly one entry" 1
+    (Stm.atomically (fun txn -> S.P_lazy_pqueue.size q txn));
+  check ci "counter is exactly one" 1 (S.P_counter.peek c)
+
+let test_cross_structure_concurrent () =
+  (* Move tokens between a map and a queue; token count is invariant. *)
+  let m = S.P_lazy_hashmap.make () in
+  let q = S.P_lazy_pqueue.make ~cmp:Int.compare () in
+  Stm.atomically (fun txn ->
+      for i = 0 to 19 do
+        S.P_lazy_pqueue.insert q txn i
+      done);
+  spawn_all 4 (fun d ->
+      let rng = Random.State.make [| d |] in
+      for _ = 1 to 100 do
+        Stm.atomically (fun txn ->
+            if Random.State.bool rng then (
+              match S.P_lazy_pqueue.remove_min q txn with
+              | Some v -> ignore (S.P_lazy_hashmap.put m txn v v)
+              | None -> ())
+            else
+              let k = Random.State.int rng 20 in
+              match S.P_lazy_hashmap.remove m txn k with
+              | Some v -> S.P_lazy_pqueue.insert q txn v
+              | None -> ())
+      done);
+  let total =
+    Stm.atomically (fun txn ->
+        S.P_lazy_hashmap.size m txn + S.P_lazy_pqueue.size q txn)
+  in
+  check ci "tokens conserved" 20 total
+
+(* ------------------------------------------------------------------ *)
+(* Workload-driven stress for every variant, cross-checked against a
+   single-threaded replay of committed effects.                        *)
+
+let stress_conserves (name, config, make) =
+  slow (name ^ ": token conservation under workload") (fun () ->
+      let ops = make () in
+      let keys = 8 in
+      Stm.atomically ?config (fun txn ->
+          for k = 0 to keys - 1 do
+            ignore (ops.S.Map_intf.put txn k 25)
+          done);
+      spawn_all 4 (fun d ->
+          let rng = Random.State.make [| d * 31 |] in
+          for _ = 1 to 150 do
+            let a = Random.State.int rng keys in
+            let b = Random.State.int rng keys in
+            if a <> b then
+              Stm.atomically ?config (fun txn ->
+                  match ops.S.Map_intf.get txn a with
+                  | Some va when va > 0 ->
+                      ignore (ops.S.Map_intf.put txn a (va - 1));
+                      let vb = Option.get (ops.S.Map_intf.get txn b) in
+                      ignore (ops.S.Map_intf.put txn b (vb + 1))
+                  | _ -> ())
+          done);
+      let total =
+        Stm.atomically ?config (fun txn ->
+            let t = ref 0 in
+            for k = 0 to keys - 1 do
+              t := !t + Option.get (ops.S.Map_intf.get txn k)
+            done;
+            !t)
+      in
+      check ci "conserved" (keys * 25) total)
+
+let suite =
+  List.map
+    (fun (name, config, make) ->
+      slow (name ^ ": live run serializable") (live_serializability config make))
+    variants
+  @ model_equiv_tests
+  @ List.map stress_conserves variants
+  @ [
+      test "cross-structure atomicity" test_cross_structure_atomicity;
+      slow "cross-structure concurrent" test_cross_structure_concurrent;
+    ]

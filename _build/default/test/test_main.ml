@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "proust"
+    [
+      ("stm", Test_stm.suite);
+      ("concurrent", Test_concurrent.suite);
+      ("core", Test_core.suite);
+      ("structures", Test_structures.suite);
+      ("baselines", Test_baselines.suite);
+      ("verify", Test_verify.suite);
+      ("workload", Test_workload.suite);
+      ("integration", Test_integration.suite);
+      ("extensions", Test_extensions.suite);
+      ("skiplist", Test_skiplist.suite);
+      ("model-equiv", Test_model_equiv.suite);
+      ("opacity", Test_opacity.suite);
+      ("matrix", Test_matrix.suite);
+      ("stm-random", Test_stm_random.suite);
+      ("edges", Test_edges.suite);
+    ]

@@ -1,0 +1,154 @@
+(** The full design-space matrix under stress: every (design point,
+    STM mode) pairing that {!Proust.compatible} declares opaque runs a
+    concurrent token-transfer workload and must conserve the total —
+    an empirical sweep of Figure 1's left table against its right
+    table, plus extra STM API coverage ([guard], [or_else_list]). *)
+
+open Util
+module S = Proust_structures
+module P = Proust_core.Proust
+
+let modes =
+  [ Stm.Lazy_lazy; Stm.Eager_lazy; Stm.Eager_eager; Stm.Serial_commit ]
+
+(* Instantiations of each design point over the hash-map wrapper. *)
+let points :
+    (string * P.point * (unit -> (int, int) S.Map_intf.ops)) list =
+  [
+    ( "eager/pess",
+      {
+        P.lap = Proust_core.Lock_allocator.Pessimistic;
+        strategy = Proust_core.Update_strategy.Eager;
+      },
+      fun () -> S.P_hashmap.ops (S.P_hashmap.make ~lap:S.Map_intf.Pessimistic ())
+    );
+    ( "lazy/pess",
+      {
+        P.lap = Proust_core.Lock_allocator.Pessimistic;
+        strategy = Proust_core.Update_strategy.Lazy;
+      },
+      fun () ->
+        S.P_lazy_hashmap.ops (S.P_lazy_hashmap.make ~lap:S.Map_intf.Pessimistic ())
+    );
+    ( "eager/opt",
+      {
+        P.lap = Proust_core.Lock_allocator.Optimistic;
+        strategy = Proust_core.Update_strategy.Eager;
+      },
+      fun () -> S.P_hashmap.ops (S.P_hashmap.make ()) );
+    ( "lazy/opt",
+      {
+        P.lap = Proust_core.Lock_allocator.Optimistic;
+        strategy = Proust_core.Update_strategy.Lazy;
+      },
+      fun () -> S.P_lazy_hashmap.ops (S.P_lazy_hashmap.make ()) );
+    ( "lazy/opt-snap",
+      {
+        P.lap = Proust_core.Lock_allocator.Optimistic;
+        strategy = Proust_core.Update_strategy.Lazy;
+      },
+      fun () -> S.P_lazy_triemap.ops (S.P_lazy_triemap.make ()) );
+  ]
+
+let transfer_stress config (ops : (int, int) S.Map_intf.ops) () =
+  let keys = 8 in
+  Stm.atomically ~config (fun txn ->
+      for k = 0 to keys - 1 do
+        ignore (ops.S.Map_intf.put txn k 30)
+      done);
+  spawn_all 3 (fun d ->
+      let rng = Random.State.make [| (d * 7) + 1 |] in
+      for _ = 1 to 120 do
+        let a = Random.State.int rng keys and b = Random.State.int rng keys in
+        if a <> b then
+          Stm.atomically ~config (fun txn ->
+              let va = Option.get (ops.S.Map_intf.get txn a) in
+              ignore (ops.S.Map_intf.put txn a (va - 1));
+              let vb = Option.get (ops.S.Map_intf.get txn b) in
+              ignore (ops.S.Map_intf.put txn b (vb + 1)))
+      done);
+  let total =
+    Stm.atomically ~config (fun txn ->
+        let t = ref 0 in
+        for k = 0 to keys - 1 do
+          t := !t + Option.get (ops.S.Map_intf.get txn k)
+        done;
+        !t)
+  in
+  check ci "conserved" (keys * 30) total
+
+let matrix_tests =
+  List.concat_map
+    (fun (name, point, make) ->
+      List.filter_map
+        (fun mode ->
+          if P.compatible point mode then
+            let config = { Stm.default_config with Stm.mode } in
+            Some
+              (slow
+                 (Printf.sprintf "%s under %s" name (Stm.mode_name mode))
+                 (fun () -> transfer_stress config (make ()) ()))
+          else None)
+        modes)
+    points
+
+(* ------------------------------------------------------------------ *)
+(* STM API coverage: guard and or_else_list                             *)
+
+let test_guard_blocks_and_wakes () =
+  let level = Tvar.make 0 in
+  let d =
+    Domain.spawn (fun () ->
+        Stm.atomically (fun txn ->
+            Stm.guard txn (Stm.read txn level >= 3);
+            Stm.read txn level))
+  in
+  for i = 1 to 3 do
+    Unix.sleepf 0.01;
+    Stm.atomically (fun txn -> Stm.write txn level i)
+  done;
+  check ci "woke at threshold" 3 (Domain.join d)
+
+let test_or_else_list () =
+  let pick gate_a gate_b =
+    Stm.atomically (fun txn ->
+        Stm.or_else_list txn
+          [
+            (fun txn ->
+              Stm.guard txn (Stm.read txn gate_a);
+              "a");
+            (fun txn ->
+              Stm.guard txn (Stm.read txn gate_b);
+              "b");
+            (fun _ -> "fallback");
+          ])
+  in
+  let a = Tvar.make false and b = Tvar.make true in
+  check cs "second alternative" "b" (pick a b);
+  Stm.atomically (fun txn -> Stm.write txn a true);
+  check cs "first alternative wins" "a" (pick a b);
+  Stm.atomically (fun txn ->
+      Stm.write txn a false;
+      Stm.write txn b false);
+  check cs "fallback" "fallback" (pick a b)
+
+let test_or_else_list_empty_retries () =
+  let gate = Tvar.make false in
+  let d =
+    Domain.spawn (fun () ->
+        Stm.atomically (fun txn ->
+            (* read something so the retry has a watch set *)
+            if Stm.read txn gate then "done"
+            else Stm.or_else_list txn []))
+  in
+  Unix.sleepf 0.02;
+  Stm.atomically (fun txn -> Stm.write txn gate true);
+  check cs "empty alternatives retried the whole txn" "done" (Domain.join d)
+
+let suite =
+  matrix_tests
+  @ [
+      test "guard blocks and wakes" test_guard_blocks_and_wakes;
+      test "or_else_list" test_or_else_list;
+      test "or_else_list empty retries" test_or_else_list_empty_retries;
+    ]

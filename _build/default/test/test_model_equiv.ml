@@ -1,0 +1,251 @@
+(** Property tests: random transaction programs against pure models.
+
+    Each generated program is a list of transactions; each transaction
+    is a list of operations plus an abort flag.  Every operation's
+    return value must match a pure in-transaction model, and after each
+    transaction the committed structure must coincide with the model
+    state (aborted transactions must leave no trace) — for priority
+    queues, FIFO queues, stacks, and ordered maps in their various
+    design-space configurations. *)
+
+open Util
+module S = Proust_structures
+
+type 'op txn_prog = { steps : 'op list; abort : bool }
+
+let prog_gen step_gen =
+  QCheck2.Gen.(
+    list_size (int_range 1 5)
+      (map2
+         (fun steps abort -> { steps; abort })
+         (list_size (int_range 1 5) step_gen)
+         bool))
+
+(* Drive [progs] through [exec]: one transaction each, aborting at the
+   end when flagged; a per-transaction shadow model validates returns
+   and is promoted to the committed model on commit. *)
+let run_programs ?config ~initial ~exec_step ~committed_equal progs =
+  let model = ref initial in
+  let ok = ref true in
+  List.iter
+    (fun prog ->
+      let shadow = ref !model in
+      let outcome =
+        try
+          Stm.atomically ?config (fun txn ->
+              shadow := !model;
+              List.iter
+                (fun step ->
+                  let model', matched = exec_step txn !shadow step in
+                  if not matched then ok := false;
+                  shadow := model')
+                prog.steps;
+              if prog.abort then raise Exit);
+          `Committed
+        with Exit -> `Aborted
+      in
+      (match outcome with `Committed -> model := !shadow | `Aborted -> ());
+      if not (committed_equal !model) then ok := false)
+    progs;
+  !ok
+
+(* ------------------------------------------------------------------ *)
+(* Priority queues: model = sorted list                                 *)
+
+type pq_step = PqInsert of int | PqPop | PqMin | PqContains of int
+
+let pq_step_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun v -> PqInsert v) (int_range 0 20);
+        return PqPop;
+        return PqMin;
+        map (fun v -> PqContains v) (int_range 0 20);
+      ])
+
+let pq_equiv name ?config (make : unit -> int S.Pqueue_intf.ops) =
+  qcheck ~count:50 (name ^ " matches sorted-list model") (prog_gen pq_step_gen)
+    (fun progs ->
+      let ops = make () in
+      run_programs ?config ~initial:[]
+        ~exec_step:(fun txn model step ->
+          match step with
+          | PqInsert v ->
+              ops.S.Pqueue_intf.insert txn v;
+              (List.sort compare (v :: model), true)
+          | PqPop -> (
+              let got = ops.S.Pqueue_intf.remove_min txn in
+              match model with
+              | [] -> ([], got = None)
+              | m :: rest -> (rest, got = Some m))
+          | PqMin ->
+              let want = match model with [] -> None | m :: _ -> Some m in
+              (model, ops.S.Pqueue_intf.min txn = want)
+          | PqContains v ->
+              (model, ops.S.Pqueue_intf.contains txn v = List.mem v model))
+        ~committed_equal:(fun model ->
+          Stm.atomically ?config (fun txn -> ops.S.Pqueue_intf.size txn)
+          = List.length model)
+        progs)
+
+(* ------------------------------------------------------------------ *)
+(* FIFO queues: model = front-first list                                *)
+
+type q_step = QEnq of int | QDeq | QFront
+
+let q_step_gen =
+  QCheck2.Gen.(
+    oneof [ map (fun v -> QEnq v) (int_range 0 50); return QDeq; return QFront ])
+
+let fifo_equiv name ?config (make : unit -> int S.Queue_intf.ops) =
+  qcheck ~count:50 (name ^ " matches list model") (prog_gen q_step_gen)
+    (fun progs ->
+      let ops = make () in
+      run_programs ?config ~initial:[]
+        ~exec_step:(fun txn model step ->
+          match step with
+          | QEnq v ->
+              ops.S.Queue_intf.enqueue txn v;
+              (model @ [ v ], true)
+          | QDeq -> (
+              let got = ops.S.Queue_intf.dequeue txn in
+              match model with
+              | [] -> ([], got = None)
+              | x :: rest -> (rest, got = Some x))
+          | QFront ->
+              let want = match model with [] -> None | x :: _ -> Some x in
+              (model, ops.S.Queue_intf.front txn = want))
+        ~committed_equal:(fun model ->
+          Stm.atomically ?config (fun txn -> ops.S.Queue_intf.size txn)
+          = List.length model)
+        progs)
+
+(* ------------------------------------------------------------------ *)
+(* Stacks: model = top-first list                                       *)
+
+type st_step = StPush of int | StPop | StTop
+
+let st_step_gen =
+  QCheck2.Gen.(
+    oneof
+      [ map (fun v -> StPush v) (int_range 0 50); return StPop; return StTop ])
+
+let stack_equiv name ?config make =
+  qcheck ~count:50 (name ^ " matches list model") (prog_gen st_step_gen)
+    (fun progs ->
+      let st = make () in
+      run_programs ?config ~initial:[]
+        ~exec_step:(fun txn model step ->
+          match step with
+          | StPush v ->
+              S.P_stack.push st txn v;
+              (v :: model, true)
+          | StPop -> (
+              let got = S.P_stack.pop st txn in
+              match model with
+              | [] -> ([], got = None)
+              | x :: rest -> (rest, got = Some x))
+          | StTop ->
+              let want = match model with [] -> None | x :: _ -> Some x in
+              (model, S.P_stack.top st txn = want))
+        ~committed_equal:(fun model -> S.P_stack.to_list st = model)
+        progs)
+
+(* ------------------------------------------------------------------ *)
+(* Ordered maps: model = sorted association list                        *)
+
+type om_step = OmPut of int * int | OmRemove of int | OmGet of int | OmRange of int * int
+
+let om_step_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        map2 (fun k v -> OmPut (k, v)) (int_range 0 30) (int_range 0 99);
+        map (fun k -> OmRemove k) (int_range 0 30);
+        map (fun k -> OmGet k) (int_range 0 30);
+        map2
+          (fun a b -> OmRange (min a b, max a b))
+          (int_range 0 30) (int_range 0 30);
+      ])
+
+module IntMap = Map.Make (Int)
+
+let omap_equiv name ?config make =
+  qcheck ~count:50 (name ^ " matches Map model") (prog_gen om_step_gen)
+    (fun progs ->
+      let om = make () in
+      run_programs ?config ~initial:IntMap.empty
+        ~exec_step:(fun txn model step ->
+          match step with
+          | OmPut (k, v) ->
+              let got = S.P_omap.put om txn k v in
+              (IntMap.add k v model, got = IntMap.find_opt k model)
+          | OmRemove k ->
+              let got = S.P_omap.remove om txn k in
+              (IntMap.remove k model, got = IntMap.find_opt k model)
+          | OmGet k -> (model, S.P_omap.get om txn k = IntMap.find_opt k model)
+          | OmRange (lo, hi) ->
+              let want =
+                IntMap.bindings model
+                |> List.filter (fun (k, _) -> k >= lo && k <= hi)
+              in
+              (model, S.P_omap.range om txn ~lo ~hi = want))
+        ~committed_equal:(fun model -> S.P_omap.bindings om = IntMap.bindings model)
+        progs)
+
+let skipmap_equiv name ?config make =
+  qcheck ~count:50 (name ^ " matches Map model") (prog_gen om_step_gen)
+    (fun progs ->
+      let om = make () in
+      run_programs ?config ~initial:IntMap.empty
+        ~exec_step:(fun txn model step ->
+          match step with
+          | OmPut (k, v) ->
+              let got = S.P_skipmap.put om txn k v in
+              (IntMap.add k v model, got = IntMap.find_opt k model)
+          | OmRemove k ->
+              let got = S.P_skipmap.remove om txn k in
+              (IntMap.remove k model, got = IntMap.find_opt k model)
+          | OmGet k ->
+              (model, S.P_skipmap.get om txn k = IntMap.find_opt k model)
+          | OmRange (lo, hi) ->
+              let want =
+                IntMap.bindings model
+                |> List.filter (fun (k, _) -> k >= lo && k <= hi)
+              in
+              (model, S.P_skipmap.range om txn ~lo ~hi = want))
+        ~committed_equal:(fun model ->
+          S.P_skipmap.bindings om = IntMap.bindings model)
+        progs)
+
+let suite =
+  [
+    pq_equiv "pq-eager-pess" (fun () ->
+        S.P_pqueue.ops (S.P_pqueue.make ~cmp:Int.compare ~lap:S.Map_intf.Pessimistic ()));
+    pq_equiv "pq-eager-opt" ~config:eager_struct_cfg (fun () ->
+        S.P_pqueue.ops (S.P_pqueue.make ~cmp:Int.compare ()));
+    pq_equiv "pq-lazy-opt" (fun () ->
+        S.P_lazy_pqueue.ops (S.P_lazy_pqueue.make ~cmp:Int.compare ()));
+    pq_equiv "pq-lazy-combine" (fun () ->
+        S.P_lazy_pqueue.ops (S.P_lazy_pqueue.make ~cmp:Int.compare ~combine:true ()));
+    fifo_equiv "fifo-eager-pess" (fun () ->
+        S.P_fifo.ops (S.P_fifo.make ~lap:S.Map_intf.Pessimistic ()));
+    fifo_equiv "fifo-eager-opt" ~config:eager_struct_cfg (fun () ->
+        S.P_fifo.ops (S.P_fifo.make ()));
+    fifo_equiv "fifo-lazy-opt" (fun () -> S.P_lazy_fifo.ops (S.P_lazy_fifo.make ()));
+    stack_equiv "stack-eager-pess" (fun () ->
+        S.P_stack.make ~lap:S.Map_intf.Pessimistic ());
+    stack_equiv "stack-eager-opt" ~config:eager_struct_cfg (fun () ->
+        S.P_stack.make ());
+    omap_equiv "omap-lazy" (fun () ->
+        S.P_omap.make ~slots:8 ~index:(fun k -> k / 4) ());
+    omap_equiv "omap-eager" ~config:eager_struct_cfg (fun () ->
+        S.P_omap.make ~slots:8 ~index:(fun k -> k / 4)
+          ~strategy:Proust_core.Update_strategy.Eager ());
+    omap_equiv "omap-lazy-combine" (fun () ->
+        S.P_omap.make ~slots:8 ~index:(fun k -> k / 4) ~combine:true ());
+    skipmap_equiv "skipmap-pess" (fun () ->
+        S.P_skipmap.make ~slots:8 ~index:(fun k -> k / 4)
+          ~lap:S.Map_intf.Pessimistic ());
+  ]

@@ -1,0 +1,114 @@
+(** Randomized STM semantics tests: interpret random transaction
+    programs over a small set of tvars and compare against a reference
+    interpreter (an int array with roll-back-able writes), across every
+    conflict-detection mode.  Covers read-your-writes, abort/rollback,
+    or_else branch rollback, and transaction-local effects. *)
+
+open Util
+
+type step =
+  | Read of int  (* tvar index; value checked against the reference *)
+  | Write of int * int
+  | Add of int * int  (* read-modify-write *)
+  | OrElse of step list * step list * bool
+      (* first branch, second branch, whether the first retries at end *)
+
+type prog = { steps : step list; abort : bool }
+
+let step_gen =
+  QCheck2.Gen.(
+    let base =
+      oneof
+        [
+          map (fun i -> Read i) (int_range 0 3);
+          map2 (fun i v -> Write (i, v)) (int_range 0 3) (int_range 0 99);
+          map2 (fun i v -> Add (i, v)) (int_range 0 3) (int_range 1 9);
+        ]
+    in
+    oneof
+      [
+        base;
+        map3
+          (fun a b retries -> OrElse (a, b, retries))
+          (list_size (int_range 1 3) base)
+          (list_size (int_range 1 3) base)
+          bool;
+      ])
+
+let prog_gen =
+  QCheck2.Gen.(
+    list_size (int_range 1 8)
+      (map2 (fun steps abort -> { steps; abort })
+         (list_size (int_range 1 6) step_gen)
+         bool))
+
+(* Reference interpreter over a plain int array copy. *)
+let rec ref_step state ok = function
+  | Read _ -> ()
+  | Write (i, v) -> state.(i) <- v
+  | Add (i, v) -> state.(i) <- state.(i) + v
+  | OrElse (a, b, first_retries) ->
+      if first_retries then
+        (* branch effects rolled back; second branch applies *)
+        List.iter (ref_step state ok) b
+      else List.iter (ref_step state ok) a
+
+(* STM interpreter; checks every Read against the reference. *)
+let rec stm_step tvars reference ok txn = function
+  | Read i ->
+      if Stm.read txn tvars.(i) <> reference.(i) then ok := false
+  | Write (i, v) ->
+      Stm.write txn tvars.(i) v;
+      reference.(i) <- v
+  | Add (i, v) ->
+      let cur = Stm.read txn tvars.(i) in
+      if cur <> reference.(i) then ok := false;
+      Stm.write txn tvars.(i) (cur + v);
+      reference.(i) <- cur + v
+  | OrElse (a, b, first_retries) ->
+      let saved = Array.copy reference in
+      Stm.or_else txn
+        (fun txn ->
+          List.iter (stm_step tvars reference ok txn) a;
+          if first_retries then Stm.retry txn)
+        (fun txn ->
+          Array.blit saved 0 reference 0 (Array.length saved);
+          List.iter (stm_step tvars reference ok txn) b)
+
+let run_mode config progs =
+  let tvars = Array.init 4 (fun _ -> Tvar.make 0) in
+  let committed = Array.make 4 0 in
+  let ok = ref true in
+  List.iter
+    (fun prog ->
+      let reference = Array.copy committed in
+      (* Programs with a leading OrElse whose first branch retries need
+         a non-empty read set before the retry; always read tvar 0. *)
+      let outcome =
+        try
+          Stm.atomically ~config (fun txn ->
+              Array.blit committed 0 reference 0 4;
+              ignore (Stm.read txn tvars.(0));
+              List.iter (stm_step tvars reference ok txn) prog.steps;
+              if prog.abort then raise Exit)
+        with Exit -> ()
+      in
+      ignore outcome;
+      if not prog.abort then Array.blit reference 0 committed 0 4;
+      (* Committed tvar state must match the model after every txn. *)
+      for i = 0 to 3 do
+        if Tvar.peek tvars.(i) <> committed.(i) then ok := false
+      done)
+    progs;
+  !ok
+
+let suite =
+  List.map
+    (fun (name, cfg) ->
+      qcheck ~count:80
+        (Printf.sprintf "random programs match reference (%s)" name)
+        prog_gen
+        (fun progs -> run_mode cfg progs))
+    (all_modes
+    @ [ ("serial-commit", { Stm.default_config with Stm.mode = Stm.Serial_commit }) ]
+    )

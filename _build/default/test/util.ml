@@ -1,0 +1,33 @@
+(** Shared helpers for the test suites. *)
+
+let spawn_all n f =
+  List.init n (fun i -> Domain.spawn (fun () -> f i)) |> List.iter Domain.join
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+let cs = Alcotest.string
+let copt_i = Alcotest.(option int)
+let clist_i = Alcotest.(list int)
+
+let lazy_cfg = Stm.default_config
+let eager_cfg = { Stm.default_config with Stm.mode = Stm.Eager_lazy }
+let eager_eager_cfg = { Stm.default_config with Stm.mode = Stm.Eager_eager }
+
+let all_modes =
+  [
+    ("lazy-lazy", lazy_cfg);
+    ("eager-lazy", eager_cfg);
+    ("eager-eager", eager_eager_cfg);
+  ]
+
+(** Config suitable for eager-update Proustian structures with an
+    optimistic LAP (needs encounter-time detection). *)
+let eager_struct_cfg = eager_cfg
+
+let test name f = Alcotest.test_case name `Quick f
+let slow name f = Alcotest.test_case name `Slow f
+
+let qcheck ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name gen prop)
