@@ -194,7 +194,7 @@ let pqueue_bench () =
   Printf.printf "%-18s %4s %10s %12s %9s %9s\n" "impl" "t" "mean(ms)" "ops/s"
     "commits" "aborts";
   Printf.printf "%s\n" (String.make 68 '-');
-  let eager_mode = { Stm.default_config with Stm.mode = Stm.Eager_lazy } in
+  let eager_mode = { (Stm.get_default_config ()) with Stm.mode = Stm.Eager_lazy } in
   let total = max 1_000 (total_ops / 2) in
   let bench : type q.
       string ->
@@ -281,10 +281,10 @@ let ablation_combine () =
   let entries =
     [
       ( "eager/undo-per-op",
-        Some W.Impls.eager_mode,
+        Some (W.Impls.eager_mode ()),
         fun () -> S.P_hashmap.ops (S.P_hashmap.make ~combine_undo:false ()) );
       ( "eager/undo-combined",
-        Some W.Impls.eager_mode,
+        Some (W.Impls.eager_mode ()),
         fun () -> S.P_hashmap.ops (S.P_hashmap.make ~combine_undo:true ()) );
       ( "lazy-snap/replay",
         None,
@@ -344,7 +344,7 @@ let structures_bench () =
           st.Stats.commits st.Stats.aborts)
       threads_list
   in
-  let eager_mode = { Stm.default_config with Stm.mode = Stm.Eager_lazy } in
+  let eager_mode = { (Stm.get_default_config ()) with Stm.mode = Stm.Eager_lazy } in
   bench "fifo-eager-pess"
     (fun () -> S.P_fifo.make ~lap:S.Map_intf.Pessimistic ())
     (fun q txn j ->
@@ -433,14 +433,14 @@ let compose_bench () =
          S.P_pqueue.ops
            (S.P_pqueue.make ~cmp:Int.compare ~lap:S.Map_intf.Pessimistic ()))
        ~counter_lap:S.Map_intf.Pessimistic);
-  bench "all-lazy-optimistic" ~config:W.Impls.eager_mode
+  bench "all-lazy-optimistic" ~config:(W.Impls.eager_mode ())
     (* counter is eager; Eager_lazy covers it, lazy structures are
        opaque under every mode *)
     (make_world
        ~map:(fun () -> S.P_lazy_hashmap.ops (S.P_lazy_hashmap.make ()))
        ~pq:(fun () -> S.P_lazy_pqueue.ops (S.P_lazy_pqueue.make ~cmp:Int.compare ()))
        ~counter_lap:S.Map_intf.Optimistic);
-  bench "mixed" ~config:W.Impls.eager_mode
+  bench "mixed" ~config:(W.Impls.eager_mode ())
     (make_world
        ~map:(fun () -> S.P_lazy_triemap.ops (S.P_lazy_triemap.make ()))
        ~pq:(fun () ->

@@ -58,7 +58,7 @@ let cm_of_string = function
 let run impls threads_list u o ops key_range trials slots mode cm csv =
   let config =
     {
-      Stm.default_config with
+      (Stm.get_default_config ()) with
       Stm.mode = mode_of_string mode;
       cm = cm_of_string cm;
     }

@@ -34,7 +34,7 @@ let lazy_optimistic () =
     distinct = S.P_counter.make ~lap:S.Map_intf.Optimistic ();
     config =
       (* the eager counter needs encounter-time conflict detection *)
-      Some { Stm.default_config with Stm.mode = Stm.Eager_lazy };
+      Some { (Stm.get_default_config ()) with Stm.mode = Stm.Eager_lazy };
   }
 
 let restock shop sku qty =

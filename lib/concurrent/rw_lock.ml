@@ -66,3 +66,7 @@ let release_all t ~owner =
 
 let reader_count t = with_lock t (fun () -> Hashtbl.length t.readers)
 let writer t = with_lock t (fun () -> t.writer)
+
+let holds t ~owner =
+  with_lock t (fun () ->
+      t.writer = Some owner || Hashtbl.mem t.readers owner)

@@ -32,3 +32,7 @@ val release_all : t -> owner:int -> unit
 val reader_count : t -> int
 
 val writer : t -> int option
+
+(** [holds t ~owner] — does [owner] hold this lock in either mode?
+    Used by the STM leak auditor. *)
+val holds : t -> owner:int -> bool

@@ -6,6 +6,7 @@ let lap_kind t = t.lap.Lock_allocator.kind
 
 let apply t txn intents ?inverse f =
   t.lap.Lock_allocator.acquire txn intents;
+  Stm.chaos_point txn Fault.Abstract_lock_acquire;
   let z = f () in
   (match (t.strategy, inverse) with
   | Update_strategy.Eager, Some inv -> Stm.on_abort txn (fun () -> inv z)
@@ -27,6 +28,7 @@ let acquire_stable t txn compute =
     in
     if missing <> [] then begin
       t.lap.Lock_allocator.acquire txn missing;
+      Stm.chaos_point txn Fault.Abstract_lock_acquire;
       go (missing @ acquired)
     end
   in

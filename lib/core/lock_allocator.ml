@@ -14,6 +14,18 @@ let pessimistic ?(timeout = 5e-3) ~ca () =
     Array.init ca.Conflict_abstraction.slots (fun _ ->
         Proust_concurrent.Rw_lock.create ())
   in
+  (* Let the chaos harness audit this allocator's striped locks.  Only
+     registered while auditing is on, so ordinary runs never grow the
+     global checker list (each check is O(slots) per finished attempt). *)
+  if Stm.leak_audit_enabled () then
+    Stm.register_leak_check (fun ~owner ->
+        let leaked = ref None in
+        Array.iteri
+          (fun slot l ->
+            if !leaked = None && Proust_concurrent.Rw_lock.holds l ~owner then
+              leaked := Some (Printf.sprintf "pessimistic rw-lock slot %d" slot))
+          locks;
+        !leaked);
   (* Per-transaction set of slot indices acquired, so commit/abort can
      release exactly once.  The key's initializer registers the release
      hooks on first acquisition in each transaction. *)

@@ -40,6 +40,8 @@ module Memo = struct
         v
 
   let replay t () =
+    (* Chaos hook: replay runs post-linearization, so only delays. *)
+    Fault.delay_only Fault.Replay_apply;
     if t.combine then
       Hashtbl.iter
         (fun k () ->
@@ -129,6 +131,7 @@ module Snapshot = struct
      transactions committed in between, so fall back to replaying the
      per-operation log on top of their effects. *)
   let replay t () =
+    Fault.delay_only Fault.Replay_apply;
     let combined =
       match (t.install, t.base_snapshot, t.shadow) with
       | Some install, Some expected, Some desired ->

@@ -3,14 +3,16 @@ let next_seed = Atomic.make 0x9e3779b9
 type t = {
   mutable attempts : int;
   ceiling : int;
+  sleep_after : int;
+  sleep : float;
   rng : Random.State.t;
 }
 
-let create ?(ceiling = 14) () =
+let create ?(ceiling = 14) ?(sleep_after = 6) ?(sleep = 1e-6) () =
   let seed =
     (Domain.self () :> int) lxor Atomic.fetch_and_add next_seed 0x61c88647
   in
-  { attempts = 0; ceiling; rng = Random.State.make [| seed |] }
+  { attempts = 0; ceiling; sleep_after; sleep; rng = Random.State.make [| seed |] }
 
 let spin n =
   for _ = 1 to n do
@@ -25,7 +27,7 @@ let once t =
   let window = 1 lsl e in
   spin (1 + Random.State.int t.rng window);
   t.attempts <- t.attempts + 1;
-  if t.attempts > 6 then Unix.sleepf 1e-6
+  if t.attempts > t.sleep_after then Unix.sleepf t.sleep
 
 let reset t = t.attempts <- 0
 let rounds t = t.attempts

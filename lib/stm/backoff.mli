@@ -4,8 +4,11 @@ type t
 
 (** [create ()] makes a fresh backoff state.  [ceiling] bounds the
     exponent of the spin window (default [14], i.e. at most [2^14]
-    relaxation steps per round). *)
-val create : ?ceiling:int -> unit -> t
+    relaxation steps per round).  After [sleep_after] rounds (default
+    [6]) each further round additionally sleeps for [sleep] seconds
+    (default [1e-6]) so oversubscribed domains yield the core; chaos
+    tests tighten both to keep hostile schedules hot. *)
+val create : ?ceiling:int -> ?sleep_after:int -> ?sleep:float -> unit -> t
 
 (** [once t] spins for a randomized duration that grows exponentially
     with the number of preceding [once] calls since the last [reset]. *)

@@ -18,7 +18,16 @@ let polite ?(patience = 16) () =
     name = "polite";
     decide =
       (fun ~self:_ ~other:_ ~attempt ->
-        if attempt < patience then Wait else Restart_self);
+        if attempt < patience then begin
+          (* Unlike [passive], each successive wait doubles its courtesy
+             window (capped) before re-attempting, so a polite loser
+             spends exponentially longer out of the owner's way. *)
+          for _ = 1 to 1 lsl min attempt 12 do
+            Domain.cpu_relax ()
+          done;
+          Wait
+        end
+        else Restart_self);
   }
 
 let karma ?(patience = 4) () =

@@ -20,7 +20,9 @@ type t = {
     Simple and livelock-prone under high contention; the default. *)
 val passive : ?patience:int -> unit -> t
 
-(** Waits with exponentially increasing patience, then aborts itself. *)
+(** Waits with an exponentially growing courtesy window per failed
+    attempt (spinning [2^attempt] relaxation steps, capped, before each
+    [Wait]), then aborts itself after [patience] attempts. *)
 val polite : ?patience:int -> unit -> t
 
 (** Karma: the transaction that has performed more work wins; the

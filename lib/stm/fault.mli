@@ -1,0 +1,60 @@
+(** Deterministic fault injection ("chaos") for the STM substrate.
+
+    The opacity arguments for the Proust design points (Theorems
+    5.1–5.3) lean on every abort path restoring all tvar version-locks,
+    abstract locks and replay state.  Those paths are rare under benign
+    schedules, so this module lets tests force them: named injection
+    points threaded through the STM and the Proust layers can raise
+    spurious aborts, kill the running transaction mid-flight, or insert
+    delay windows that widen races.
+
+    Injection is off by default and the disabled fast path is a single
+    atomic load per injection point.  When enabled, decisions are drawn
+    from a per-domain PRNG derived from the configured seed and the
+    domain id, so a given (seed, domain) pair replays the same fault
+    schedule. *)
+
+type point =
+  | Pre_commit  (** entry of the commit protocol *)
+  | Post_lock_acquire  (** just after a tvar version-lock is taken *)
+  | Mid_write_back  (** between individual write-set publications *)
+  | Pre_validate  (** after locking, before read-set validation *)
+  | Abstract_lock_acquire  (** after a Proust abstract lock is taken *)
+  | Replay_apply  (** inside a replay-log application *)
+
+val point_name : point -> string
+val all_points : point list
+
+type action =
+  | Delay of int  (** spin for up to this many relaxation steps *)
+  | Abort  (** spurious conflict abort of the running transaction *)
+  | Kill  (** remote-style kill: CAS own descriptor to [Aborted] *)
+
+(** Per-point policy: with probability [prob], draw one of [actions]
+    uniformly. *)
+type site = { prob : float; actions : action list }
+
+(** [configure ?seed policy] replaces the active policy and enables
+    injection.  Points absent from [policy] never fire. *)
+val configure : ?seed:int -> (point * site) list -> unit
+
+(** [uniform ?seed ?prob ?actions points] is [configure] with the same
+    site at every listed point. *)
+val uniform : ?seed:int -> ?prob:float -> ?actions:action list -> point list -> unit
+
+val disable : unit -> unit
+val enabled : unit -> bool
+
+(** [check p] draws an injection decision for point [p]; [None] when
+    disabled, not configured for [p], or the dice say no.  Every
+    [Some _] is counted in {!Stats} ([injected_faults]). *)
+val check : point -> action option
+
+(** [delay_only p] is [check p] restricted to its disruption-free
+    component: any drawn action is served as a bounded spin.  Used at
+    points past the transaction's linearization point, where an abort
+    would (incorrectly) tear a committed transaction. *)
+val delay_only : point -> unit
+
+(** Busy-wait helper for serving [Delay] actions at the call site. *)
+val spin : int -> unit

@@ -6,6 +6,10 @@ type snapshot = {
   remote_aborts : int;
   lock_waits : int;
   extensions : int;
+  killed_aborts : int;
+  explicit_aborts : int;
+  fallbacks : int;
+  injected_faults : int;
 }
 
 (* Counters are striped across a fixed number of slots to avoid making
@@ -20,6 +24,10 @@ type cell = {
   remote_aborts : int Atomic.t;
   lock_waits : int Atomic.t;
   extensions : int Atomic.t;
+  killed_aborts : int Atomic.t;
+  explicit_aborts : int Atomic.t;
+  fallbacks : int Atomic.t;
+  injected_faults : int Atomic.t;
 }
 
 let make_cell () =
@@ -31,6 +39,10 @@ let make_cell () =
     remote_aborts = Atomic.make 0;
     lock_waits = Atomic.make 0;
     extensions = Atomic.make 0;
+    killed_aborts = Atomic.make 0;
+    explicit_aborts = Atomic.make 0;
+    fallbacks = Atomic.make 0;
+    injected_faults = Atomic.make 0;
   }
 
 let cells = Array.init stripes (fun _ -> make_cell ())
@@ -43,6 +55,25 @@ let record_conflict () = bump (fun c -> c.conflicts)
 let record_remote_abort () = bump (fun c -> c.remote_aborts)
 let record_lock_wait () = bump (fun c -> c.lock_waits)
 let record_extension () = bump (fun c -> c.extensions)
+let record_killed_abort () = bump (fun c -> c.killed_aborts)
+let record_explicit_abort () = bump (fun c -> c.explicit_aborts)
+let record_fallback () = bump (fun c -> c.fallbacks)
+let record_injected_fault () = bump (fun c -> c.injected_faults)
+
+let fields : (cell -> int Atomic.t) list =
+  [
+    (fun c -> c.starts);
+    (fun c -> c.commits);
+    (fun c -> c.aborts);
+    (fun c -> c.conflicts);
+    (fun c -> c.remote_aborts);
+    (fun c -> c.lock_waits);
+    (fun c -> c.extensions);
+    (fun c -> c.killed_aborts);
+    (fun c -> c.explicit_aborts);
+    (fun c -> c.fallbacks);
+    (fun c -> c.injected_faults);
+  ]
 
 let sum (field : cell -> int Atomic.t) =
   Array.fold_left (fun acc c -> acc + Atomic.get (field c)) 0 cells
@@ -56,19 +87,16 @@ let read () : snapshot =
     remote_aborts = sum (fun c -> c.remote_aborts);
     lock_waits = sum (fun c -> c.lock_waits);
     extensions = sum (fun c -> c.extensions);
+    killed_aborts = sum (fun c -> c.killed_aborts);
+    explicit_aborts = sum (fun c -> c.explicit_aborts);
+    fallbacks = sum (fun c -> c.fallbacks);
+    injected_faults = sum (fun c -> c.injected_faults);
   }
 
 let reset () =
-  let clear (field : cell -> int Atomic.t) =
-    Array.iter (fun c -> Atomic.set (field c) 0) cells
-  in
-  clear (fun c -> c.starts);
-  clear (fun c -> c.commits);
-  clear (fun c -> c.aborts);
-  clear (fun c -> c.conflicts);
-  clear (fun c -> c.remote_aborts);
-  clear (fun c -> c.lock_waits);
-  clear (fun c -> c.extensions)
+  List.iter
+    (fun field -> Array.iter (fun c -> Atomic.set (field c) 0) cells)
+    fields
 
 let diff (a : snapshot) (b : snapshot) : snapshot =
   {
@@ -79,10 +107,15 @@ let diff (a : snapshot) (b : snapshot) : snapshot =
     remote_aborts = b.remote_aborts - a.remote_aborts;
     lock_waits = b.lock_waits - a.lock_waits;
     extensions = b.extensions - a.extensions;
+    killed_aborts = b.killed_aborts - a.killed_aborts;
+    explicit_aborts = b.explicit_aborts - a.explicit_aborts;
+    fallbacks = b.fallbacks - a.fallbacks;
+    injected_faults = b.injected_faults - a.injected_faults;
   }
 
 let pp fmt (s : snapshot) =
   Format.fprintf fmt
-    "starts=%d commits=%d aborts=%d conflicts=%d remote=%d waits=%d ext=%d"
-    s.starts s.commits s.aborts s.conflicts s.remote_aborts s.lock_waits
-    s.extensions
+    "starts=%d commits=%d aborts=%d (conflict=%d killed=%d explicit=%d) \
+     remote=%d waits=%d ext=%d fallbacks=%d injected=%d"
+    s.starts s.commits s.aborts s.conflicts s.killed_aborts s.explicit_aborts
+    s.remote_aborts s.lock_waits s.extensions s.fallbacks s.injected_faults

@@ -12,6 +12,10 @@ type snapshot = {
   remote_aborts : int;  (** transactions killed by a contention manager *)
   lock_waits : int;  (** bounded waits on a held lock or abstract lock *)
   extensions : int;  (** successful read-timestamp extensions *)
+  killed_aborts : int;  (** aborts whose attempt was killed remotely *)
+  explicit_aborts : int;  (** aborts from [restart]/[retry]/user exns *)
+  fallbacks : int;  (** escalations into serial-irrevocable mode *)
+  injected_faults : int;  (** faults fired by {!Fault} *)
 }
 
 val record_start : unit -> unit
@@ -21,6 +25,10 @@ val record_conflict : unit -> unit
 val record_remote_abort : unit -> unit
 val record_lock_wait : unit -> unit
 val record_extension : unit -> unit
+val record_killed_abort : unit -> unit
+val record_explicit_abort : unit -> unit
+val record_fallback : unit -> unit
+val record_injected_fault : unit -> unit
 
 (** Current totals since program start or the last [reset]. *)
 val read : unit -> snapshot

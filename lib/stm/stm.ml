@@ -11,6 +11,11 @@ type config = {
   cm : Contention.t;
   extend_reads : bool;
   max_attempts : int;
+  abort_budget : int;
+  serial_fallback : bool;
+  fallback_after : int;
+  backoff_sleep_after : int;
+  backoff_sleep : float;
 }
 
 let default_config_v =
@@ -20,9 +25,13 @@ let default_config_v =
       cm = Contention.passive ();
       extend_reads = false;
       max_attempts = 100_000;
+      abort_budget = 16;
+      serial_fallback = true;
+      fallback_after = 64;
+      backoff_sleep_after = 6;
+      backoff_sleep = 1e-6;
     }
 
-let default_config = !default_config_v
 let set_default_config c = default_config_v := c
 let get_default_config () = !default_config_v
 
@@ -66,17 +75,50 @@ let check_alive t =
   check_open t;
   if Txn_desc.is_aborted t.tdesc then raise (Abort_exn Killed)
 
+(* Hook registration deliberately accepts zombies ([check_open], not
+   [check_alive]) on all three phases.  Commit hooks registered by a
+   remotely-killed attempt never run (the attempt cannot commit), so
+   accepting them is harmless — whereas raising mid-registration tears
+   an eager base mutation from the bookkeeping around it: e.g. a
+   [Committed_size] local whose init registers its flush via
+   [after_commit] would otherwise abort [Eager_map.put] between the
+   base insert and the inverse registration, leaking the insert. *)
 let on_commit_locked t f =
-  check_alive t;
+  check_open t;
   t.commit_locked_hooks <- f :: t.commit_locked_hooks
 
 let after_commit t f =
-  check_alive t;
+  check_open t;
   t.after_commit_hooks <- f :: t.after_commit_hooks
 
+(* NB: [check_open], not [check_alive] — a transaction killed remotely
+   between a base-structure mutation and this registration is a zombie
+   whose effects still need undoing when [do_abort] runs the hooks.
+   Raising here instead would drop the inverse on the floor and leak
+   the mutation (found by the chaos harness: a [Kill] injected inside
+   [Abstract_lock.apply]'s window broke sequential equivalence). *)
 let on_abort t f =
-  check_alive t;
+  check_open t;
   t.abort_hooks <- f :: t.abort_hooks
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                      *)
+
+(* Interpret a chaos draw for the running transaction.  Irrevocable
+   (serial-fallback) attempts only honour the delay component: the
+   whole point of the fallback is that nothing can abort it. *)
+let chaos_point t point =
+  if Fault.enabled () then
+    if t.tdesc.Txn_desc.irrevocable then Fault.delay_only point
+    else
+      match Fault.check point with
+      | None -> ()
+      | Some (Fault.Delay n) -> Fault.spin n
+      | Some Fault.Abort -> raise (Abort_exn Conflict)
+      | Some Fault.Kill ->
+          (* Simulate a remote kill: the "victim" notices at its next
+             liveness check, exactly like a contention-manager abort. *)
+          ignore (Txn_desc.try_kill t.tdesc)
 
 (* ------------------------------------------------------------------ *)
 (* Conflict arbitration                                                 *)
@@ -85,18 +127,57 @@ let on_abort t f =
    the acquisition, raises [Abort_exn] when the caller must restart. *)
 let arbitrate t ~other ~attempt =
   check_alive t;
-  match t.cfg.cm.Contention.decide ~self:t.tdesc ~other ~attempt with
-  | Contention.Wait ->
-      Stats.record_lock_wait ();
-      Backoff.once t.backoff
-  | Contention.Restart_self -> raise (Abort_exn Conflict)
-  | Contention.Abort_other ->
-      if Txn_desc.try_abort other then Stats.record_remote_abort ();
-      (* Give the victim a beat to notice and release its locks. *)
-      Backoff.once t.backoff
+  if t.tdesc.Txn_desc.irrevocable then begin
+    (* The serial-irrevocable holder always wins: kill the other party
+       (it cannot be irrevocable too — there is a single token) and
+       wait for it to notice and release. *)
+    if Txn_desc.try_kill other then Stats.record_remote_abort ();
+    Stats.record_lock_wait ();
+    Backoff.once t.backoff
+  end
+  else
+    match t.cfg.cm.Contention.decide ~self:t.tdesc ~other ~attempt with
+    | Contention.Wait ->
+        Stats.record_lock_wait ();
+        Backoff.once t.backoff
+    | Contention.Restart_self -> raise (Abort_exn Conflict)
+    | Contention.Abort_other ->
+        if Txn_desc.try_kill other then Stats.record_remote_abort ();
+        (* Give the victim a beat to notice and release its locks. *)
+        Backoff.once t.backoff
 
 (* ------------------------------------------------------------------ *)
 (* Read validation and timestamp extension                              *)
+
+(* NOrec-style global commit lock for the Serial_commit mode: all
+   writing commits serialize here instead of locking their write sets
+   per location.  Declared here because snapshot sampling (below) must
+   consult it; acquire/release live with the commit path. *)
+let commit_gate = Atomic.make 0
+
+(* In Serial_commit mode a committing writer holds no per-location
+   locks while publishing: it ticks the clock under the gate, then
+   writes values back.  A clock value sampled inside that window counts
+   a tick whose writes are not yet visible, and a transaction adopting
+   it as its snapshot can read the stale value yet still pass (or
+   fast-path skip) commit validation — a lost update.  So snapshot
+   timestamps are sampled seqlock-style against the gate: a clock read
+   only becomes a snapshot once the gate is observed free *after* it,
+   at which point every serial tick <= the sample has fully published.
+   (Non-serial writers publish under per-location version-locks, which
+   the read path and [entry_valid] already detect.) *)
+let snapshot_clock ~serial =
+  if not serial then Clock.now Clock.global
+  else
+    let rec go () =
+      let v = Clock.now Clock.global in
+      if Atomic.get commit_gate = 0 then v
+      else begin
+        Domain.cpu_relax ();
+        go ()
+      end
+    in
+    go ()
 
 let entry_valid t (Rentry (tv, ver)) =
   (Tvar.load tv).version = ver
@@ -109,7 +190,7 @@ let reads_valid t =
   Hashtbl.fold (fun _ e ok -> ok && entry_valid t e) t.reads true
 
 let try_extend t =
-  let now = Clock.now Clock.global in
+  let now = snapshot_clock ~serial:(t.cfg.mode = Serial_commit) in
   if reads_valid t then begin
     t.rv <- now;
     Stats.record_extension ();
@@ -126,6 +207,7 @@ let rec lock_for_write : type a. txn -> a Tvar.t -> attempt:int -> unit =
   | `Mine -> ()
   | `Locked ->
       t.locked <- Locked tv :: t.locked;
+      chaos_point t Fault.Post_lock_acquire;
       if t.cfg.mode = Eager_eager then wait_out_readers t tv ~attempt:0
   | `Held other ->
       arbitrate t ~other ~attempt;
@@ -215,18 +297,14 @@ let do_abort t reason =
   Stats.record_abort ();
   (match reason with
   | Conflict -> Stats.record_conflict ()
-  | Killed | Explicit -> ());
+  | Killed -> Stats.record_killed_abort ()
+  | Explicit -> Stats.record_explicit_abort ());
   (* LIFO: inverses registered after an operation run before the
      abstract-lock releases registered when the lock was acquired. *)
   let hooks = t.abort_hooks in
   t.abort_hooks <- [];
   t.finished <- true;
   Fun.protect ~finally:(fun () -> release_locks t) (fun () -> run_hooks hooks)
-
-(* NOrec-style global commit lock for the Serial_commit mode: all
-   writing commits serialize here instead of locking their write sets
-   per location. *)
-let commit_gate = Atomic.make 0
 
 let acquire_commit_gate t =
   let b = Backoff.create () in
@@ -244,6 +322,48 @@ let release_commit_gate t =
   if Atomic.get commit_gate = t.tdesc.Txn_desc.id then
     Atomic.set commit_gate 0
 
+(* ------------------------------------------------------------------ *)
+(* Serial-irrevocable quiescing                                         *)
+
+(* [quiesce] holds the token of the transaction currently running in
+   serial-irrevocable fallback mode (0 = none).  While it is set, every
+   other *writing* commit aborts itself instead of proceeding, so
+   nothing can invalidate the fallback transaction's reads or contend
+   for its write set; [writers_in_flight] lets the fallback drain the
+   writers that passed the check before the token appeared.
+
+   Ordering argument (OCaml atomics are SC): a writer increments
+   [writers_in_flight] *before* loading [quiesce]; the fallback sets
+   [quiesce] *before* loading [writers_in_flight].  If the writer's
+   load saw 0 then its increment precedes the fallback's load, so the
+   fallback waits for it; otherwise the writer aborts. *)
+let quiesce = Atomic.make 0
+let writers_in_flight = Atomic.make 0
+let fallback_token = Atomic.make 1
+
+let enter_writer_commit t =
+  Atomic.incr writers_in_flight;
+  if Atomic.get quiesce <> 0 && not t.tdesc.Txn_desc.irrevocable then begin
+    Atomic.decr writers_in_flight;
+    raise (Abort_exn Conflict)
+  end
+
+let exit_writer_commit () = Atomic.decr writers_in_flight
+
+let acquire_quiesce ~backoff =
+  let token = Atomic.fetch_and_add fallback_token 1 in
+  while not (Atomic.compare_and_set quiesce 0 token) do
+    Stats.record_lock_wait ();
+    Backoff.once backoff
+  done;
+  while Atomic.get writers_in_flight > 0 do
+    Domain.cpu_relax ()
+  done;
+  token
+
+let release_quiesce token =
+  ignore (Atomic.compare_and_set quiesce token 0)
+
 let sorted_writes t =
   let l = Hashtbl.fold (fun _ e acc -> e :: acc) t.writes [] in
   List.sort (fun (Wentry (a, _)) (Wentry (b, _)) -> compare a.Tvar.uid b.Tvar.uid) l
@@ -251,49 +371,63 @@ let sorted_writes t =
 let rec lock_entry t tv ~attempt =
   match Tvar.try_lock tv t.tdesc with
   | `Mine -> ()
-  | `Locked -> t.locked <- Locked tv :: t.locked
+  | `Locked ->
+      t.locked <- Locked tv :: t.locked;
+      chaos_point t Fault.Post_lock_acquire
   | `Held other ->
       arbitrate t ~other ~attempt;
       lock_entry t tv ~attempt:(attempt + 1)
 
 let do_commit t =
   check_alive t;
+  chaos_point t Fault.Pre_commit;
   let writes = sorted_writes t in
-  (* Phase 1: lock the write set (uid order avoids lock-order livelock;
-     eager modes already hold these locks).  The Serial_commit mode
-     instead takes the one global commit gate. *)
   let serial = t.cfg.mode = Serial_commit in
-  if serial then begin
-    if writes <> [] then acquire_commit_gate t
-  end
-  else List.iter (fun (Wentry (tv, _)) -> lock_entry t tv ~attempt:0) writes;
-  (* Phase 2: validate the read set against the snapshot timestamp.
-     A transaction whose writes immediately follow its snapshot (rv+1 =
-     wv) cannot have missed a concurrent commit, per TL2. *)
-  let wv = if writes = [] then t.rv else Clock.tick Clock.global in
-  let fail reason =
-    if serial then release_commit_gate t;
-    raise (Abort_exn reason)
-  in
-  if writes <> [] && wv > t.rv + 1 && not (reads_valid t) then fail Conflict;
-  (* Phase 3: linearize. *)
-  if not (Txn_desc.try_commit t.tdesc) then fail Killed;
-  Stats.record_commit ();
-  (* Phase 4: locked-phase handlers (replay logs), then publish. *)
-  t.finished <- true;
-  let locked_hooks = List.rev t.commit_locked_hooks in
-  let after_hooks = List.rev t.after_commit_hooks in
-  t.commit_locked_hooks <- [];
-  t.after_commit_hooks <- [];
+  (* Phase 0: writing commits announce themselves so a concurrent
+     serial-irrevocable fallback can drain or turn them away; this must
+     precede the clock tick below so that once the fallback has
+     quiesced, no other transaction can advance the clock. *)
+  if writes <> [] then enter_writer_commit t;
   Fun.protect
-    ~finally:(fun () ->
-      List.iter
-        (fun (Wentry (tv, v)) -> Tvar.publish tv v ~version:wv)
-        writes;
-      release_locks t;
-      if serial then release_commit_gate t)
-    (fun () -> run_hooks locked_hooks);
-  run_hooks after_hooks
+    ~finally:(fun () -> if writes <> [] then exit_writer_commit ())
+    (fun () ->
+      (* Phase 1: lock the write set (uid order avoids lock-order
+         livelock; eager modes already hold these locks).  The
+         Serial_commit mode instead takes the one global commit gate. *)
+      if serial then begin
+        if writes <> [] then acquire_commit_gate t
+      end
+      else List.iter (fun (Wentry (tv, _)) -> lock_entry t tv ~attempt:0) writes;
+      (* Phase 2: validate the read set against the snapshot timestamp.
+         A transaction whose writes immediately follow its snapshot
+         (rv+1 = wv) cannot have missed a concurrent commit, per TL2. *)
+      let fail reason =
+        if serial then release_commit_gate t;
+        raise (Abort_exn reason)
+      in
+      (match chaos_point t Fault.Pre_validate with
+      | () -> ()
+      | exception Abort_exn reason -> fail reason);
+      let wv = if writes = [] then t.rv else Clock.tick Clock.global in
+      if writes <> [] && wv > t.rv + 1 && not (reads_valid t) then fail Conflict;
+      (* Phase 3: linearize. *)
+      if not (Txn_desc.try_commit t.tdesc) then fail Killed;
+      Stats.record_commit ();
+      (* Phase 4: locked-phase handlers (replay logs), then publish. *)
+      t.finished <- true;
+      let locked_hooks = List.rev t.commit_locked_hooks in
+      let after_hooks = List.rev t.after_commit_hooks in
+      t.commit_locked_hooks <- [];
+      t.after_commit_hooks <- [];
+      Fun.protect
+        ~finally:(fun () ->
+          List.iter
+            (fun (Wentry (tv, v)) -> Tvar.publish tv v ~version:wv)
+            writes;
+          release_locks t;
+          if serial then release_commit_gate t)
+        (fun () -> run_hooks locked_hooks);
+      run_hooks after_hooks)
 
 (* ------------------------------------------------------------------ *)
 (* Retry support                                                        *)
@@ -405,13 +539,65 @@ module Local = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Leak auditing                                                        *)
+
+exception Lock_leak of string
+
+(* Debug-gated invariant check run after every finished attempt: a
+   transaction that has ended — committed or aborted, under any fault
+   schedule — must not still own any tvar version-lock, the commit
+   gate, or any externally registered resource (abstract locks).  Off
+   by default; the disabled fast path is one atomic load. *)
+let audit_on = Atomic.make false
+let set_leak_audit b = Atomic.set audit_on b
+let leak_audit_enabled () = Atomic.get audit_on
+let leak_checks : (owner:int -> string option) list Atomic.t = Atomic.make []
+
+let rec register_leak_check f =
+  let cur = Atomic.get leak_checks in
+  if not (Atomic.compare_and_set leak_checks cur (f :: cur)) then
+    register_leak_check f
+
+let audit_txn t =
+  let d = t.tdesc in
+  let leak fmt = Format.kasprintf (fun s -> raise (Lock_leak s)) fmt in
+  if not t.finished then leak "txn#%d audit before the attempt ended" d.Txn_desc.id;
+  let check_tvar uid (tv_owner : Txn_desc.t option) =
+    match tv_owner with
+    | Some o when o == d ->
+        leak "txn#%d still owns the version-lock of tvar#%d" d.Txn_desc.id uid
+    | _ -> ()
+  in
+  Hashtbl.iter
+    (fun uid (Rentry (tv, _)) -> check_tvar uid (Tvar.current_owner tv))
+    t.reads;
+  Hashtbl.iter
+    (fun uid (Wentry (tv, _)) -> check_tvar uid (Tvar.current_owner tv))
+    t.writes;
+  (match t.locked with
+  | [] -> ()
+  | l -> leak "txn#%d retains %d entries in its locked list" d.Txn_desc.id
+           (List.length l));
+  if Atomic.get commit_gate = d.Txn_desc.id then
+    leak "txn#%d still holds the serial commit gate" d.Txn_desc.id;
+  List.iter
+    (fun check ->
+      match check ~owner:d.Txn_desc.id with
+      | None -> ()
+      | Some what -> leak "txn#%d leaked %s" d.Txn_desc.id what)
+    (Atomic.get leak_checks)
+
+let maybe_audit t = if Atomic.get audit_on then audit_txn t
+
+(* ------------------------------------------------------------------ *)
 (* The atomic-block driver                                              *)
 
-let make_txn cfg ~priority =
-  let rv = Clock.now Clock.global in
+let make_txn cfg ~priority ?birth ?(irrevocable = false) () =
+  let rv = snapshot_clock ~serial:(cfg.mode = Serial_commit) in
+  let birth = Option.value birth ~default:rv in
   {
     rv;
-    tdesc = Txn_desc.create ~priority ~birth:rv ();
+    tdesc = Txn_desc.create ~priority ~irrevocable ~birth ();
     cfg;
     reads = Hashtbl.create 16;
     writes = Hashtbl.create 16;
@@ -420,7 +606,9 @@ let make_txn cfg ~priority =
     after_commit_hooks = [];
     abort_hooks = [];
     locals = Hashtbl.create 8;
-    backoff = Backoff.create ();
+    backoff =
+      Backoff.create ~sleep_after:cfg.backoff_sleep_after
+        ~sleep:cfg.backoff_sleep ();
     finished = false;
   }
 
@@ -432,47 +620,133 @@ let make_txn cfg ~priority =
 let current_txn : txn option Domain.DLS.key =
   Domain.DLS.new_key (fun () -> None)
 
+(* Escalation ladder (the starvation-proof commit):
+
+   1. attempts [1 .. abort_budget]: plain optimistic retries;
+   2. attempts (abort_budget ..]: each retry additionally boosts the
+      descriptor's priority, so karma-style contention managers start
+      killing our adversaries, and the first attempt's birth timestamp
+      is retained so age-based managers rank us as the elder;
+   3. attempts (fallback_after ..] (when [serial_fallback]): take the
+      global quiesce token, drain in-flight writing commits and re-run
+      irrevocably — no remote kill, contention-manager defeat or
+      injected fault can abort the attempt, so it commits and
+      [Too_many_attempts] is unreachable under the default config. *)
+let priority_boost = 1_000
+
 let atomically_root cfg f =
-  let backoff = Backoff.create () in
-  let rec attempt n ~priority =
-    if n > cfg.max_attempts then raise (Too_many_attempts n);
-    Stats.record_start ();
-    let t = make_txn cfg ~priority in
-    Domain.DLS.set current_txn (Some t);
-    let retry_after_abort ?watchers reason =
-      Domain.DLS.set current_txn None;
-      do_abort t reason;
-      (match watchers with
-      | Some ws -> wait_for_change ws
-      | None -> Backoff.once backoff);
-      attempt (n + 1) ~priority:t.tdesc.Txn_desc.priority
-    in
-    match f t with
-    | result -> (
-        match do_commit t with
-        | () ->
-            Domain.DLS.set current_txn None;
-            result
-        | exception Abort_exn reason -> retry_after_abort reason)
-    | exception Abort_exn reason -> retry_after_abort reason
-    | exception Retry_exn ->
-        let watchers = read_watchers t in
-        retry_after_abort ~watchers Explicit
-    | exception e ->
-        (* A user exception observed in an inconsistent (zombie) state is
-           an artifact of late conflict detection, not a real error:
-           abort and re-run, as ScalaSTM does (§7).  In a consistent
-           state, abort and propagate. *)
-        Domain.DLS.set current_txn None;
-        let consistent = reads_valid t in
-        do_abort t Explicit;
-        if consistent then raise e
-        else begin
-          Backoff.once backoff;
-          attempt (n + 1) ~priority:t.tdesc.Txn_desc.priority
-        end
+  let backoff =
+    Backoff.create ~sleep_after:cfg.backoff_sleep_after
+      ~sleep:cfg.backoff_sleep ()
   in
-  attempt 1 ~priority:0
+  let rec attempt n ~priority ~birth =
+    if n > cfg.max_attempts then raise (Too_many_attempts n);
+    if cfg.serial_fallback && n > cfg.fallback_after then
+      fallback_attempt n ~priority ~birth
+    else begin
+      let priority =
+        if n > cfg.abort_budget then priority + priority_boost else priority
+      in
+      Stats.record_start ();
+      let t = make_txn cfg ~priority ?birth () in
+      let birth = Some t.tdesc.Txn_desc.birth in
+      Domain.DLS.set current_txn (Some t);
+      let retry_after_abort ?watchers reason =
+        Domain.DLS.set current_txn None;
+        do_abort t reason;
+        maybe_audit t;
+        (match watchers with
+        | Some ws -> wait_for_change ws
+        | None -> Backoff.once backoff);
+        attempt (n + 1) ~priority:t.tdesc.Txn_desc.priority ~birth
+      in
+      match f t with
+      | result -> (
+          match do_commit t with
+          | () ->
+              Domain.DLS.set current_txn None;
+              maybe_audit t;
+              result
+          | exception Abort_exn reason -> retry_after_abort reason)
+      | exception Abort_exn reason -> retry_after_abort reason
+      | exception Retry_exn ->
+          let watchers = read_watchers t in
+          retry_after_abort ~watchers Explicit
+      | exception e ->
+          (* A user exception observed in an inconsistent (zombie) state is
+             an artifact of late conflict detection, not a real error:
+             abort and re-run, as ScalaSTM does (§7).  In a consistent
+             state, abort and propagate. *)
+          Domain.DLS.set current_txn None;
+          let consistent = reads_valid t in
+          do_abort t Explicit;
+          maybe_audit t;
+          if consistent then raise e
+          else begin
+            Backoff.once backoff;
+            attempt (n + 1) ~priority:t.tdesc.Txn_desc.priority ~birth
+          end
+    end
+  and fallback_attempt n ~priority ~birth =
+    let token = acquire_quiesce ~backoff in
+    Stats.record_fallback ();
+    Fun.protect
+      ~finally:(fun () ->
+        release_quiesce token;
+        if Atomic.get audit_on && Atomic.get quiesce = token then
+          raise (Lock_leak "quiesce token survived its fallback episode"))
+      (fun () ->
+        (* Retries inside the episode keep the token: an abort here can
+           only come from a bounded abstract-lock timeout against a
+           pre-quiesce holder, which must itself drain shortly. *)
+        let rec go n ~priority =
+          if n > cfg.max_attempts then raise (Too_many_attempts n);
+          Stats.record_start ();
+          let t = make_txn cfg ~priority ?birth ~irrevocable:true () in
+          Domain.DLS.set current_txn (Some t);
+          match f t with
+          | result -> (
+              match do_commit t with
+              | () ->
+                  Domain.DLS.set current_txn None;
+                  maybe_audit t;
+                  result
+              | exception Abort_exn reason ->
+                  Domain.DLS.set current_txn None;
+                  do_abort t reason;
+                  maybe_audit t;
+                  Backoff.once backoff;
+                  go (n + 1) ~priority:t.tdesc.Txn_desc.priority)
+          | exception Abort_exn reason ->
+              Domain.DLS.set current_txn None;
+              do_abort t reason;
+              maybe_audit t;
+              Backoff.once backoff;
+              go (n + 1) ~priority:t.tdesc.Txn_desc.priority
+          | exception Retry_exn ->
+              (* [retry] waits for another transaction to change the
+                 read set, which can never happen while we quiesce the
+                 writers: hand the token back, wait, and re-enter the
+                 ladder at the boosted rung. *)
+              let watchers = read_watchers t in
+              Domain.DLS.set current_txn None;
+              do_abort t Explicit;
+              maybe_audit t;
+              release_quiesce token;
+              wait_for_change watchers;
+              attempt (n + 1) ~priority:t.tdesc.Txn_desc.priority
+                ~birth:(Some (Option.value birth ~default:t.tdesc.Txn_desc.birth))
+          | exception e ->
+              (* Irrevocable reads are consistent by construction, so a
+                 user exception is a real error: abort and propagate. *)
+              Domain.DLS.set current_txn None;
+              do_abort t Explicit;
+              maybe_audit t;
+              raise e
+        in
+        go n ~priority)
+  in
+  attempt 1 ~priority:0 ~birth:None
 
 let atomically ?config:(cfg = !default_config_v) f =
   match Domain.DLS.get current_txn with

@@ -45,11 +45,27 @@ type config = {
       (** revalidate and extend the read timestamp instead of aborting
           when a location is newer than the transaction's snapshot *)
   max_attempts : int;  (** give up (raise [Too_many_attempts]) after this *)
+  abort_budget : int;
+      (** attempts beyond this boost the descriptor's priority on every
+          retry, feeding karma-style contention managers *)
+  serial_fallback : bool;
+      (** escalate to the serial-irrevocable mode instead of starving;
+          with it on (the default), [Too_many_attempts] is unreachable
+          as long as [fallback_after < max_attempts] *)
+  fallback_after : int;
+      (** attempts before a transaction takes the global quiesce token
+          and re-runs irrevocably *)
+  backoff_sleep_after : int;
+      (** backoff rounds before each further round adds an OS sleep *)
+  backoff_sleep : float;  (** seconds slept per degraded backoff round *)
 }
 
-val default_config : config
-val set_default_config : config -> unit
+(** The process-wide default configuration, read afresh at each use
+    ([atomically] without [?config] consults it per call — use
+    [set_default_config] to change it). *)
 val get_default_config : unit -> config
+
+val set_default_config : config -> unit
 
 type txn
 
@@ -98,7 +114,41 @@ val read_version : txn -> int
 
 val on_commit_locked : txn -> (unit -> unit) -> unit
 val after_commit : txn -> (unit -> unit) -> unit
+
+(** Register an abort handler.  Unlike the other registrations this is
+    permitted on a transaction that has already been killed remotely
+    (but whose attempt is still running): eager constructions register
+    operation inverses right after mutating the base structure, and a
+    kill landing in that window must not cause the inverse to be
+    dropped. *)
 val on_abort : txn -> (unit -> unit) -> unit
+
+(** {2 Fault injection and leak auditing} *)
+
+(** [chaos_point txn p] consults {!Fault} at injection point [p] on
+    behalf of [txn]: delays are served in place, a drawn [Abort] raises
+    the transaction's conflict-abort, a drawn [Kill] marks its own
+    descriptor aborted as a contention manager would.  Irrevocable
+    (serial-fallback) attempts only honour the delay component.  The
+    Proust layers call this around abstract-lock acquisition. *)
+val chaos_point : txn -> Fault.point -> unit
+
+(** Raised by the leak auditor when a finished transaction still owns a
+    tvar version-lock, the serial commit gate, the quiesce token, or an
+    externally registered resource. *)
+exception Lock_leak of string
+
+(** Enable/disable the post-attempt leak audit (off by default; the
+    disabled fast path is a single atomic load per attempt). *)
+val set_leak_audit : bool -> unit
+
+val leak_audit_enabled : unit -> bool
+
+(** [register_leak_check f] adds an external auditor: [f ~owner] should
+    report a held resource description if the finished transaction
+    descriptor with id [owner] still holds one.  Used by the
+    pessimistic lock allocator to audit its striped rw-locks. *)
+val register_leak_check : (owner:int -> string option) -> unit
 
 (** Transaction-local storage: per-transaction lazily initialized
     values, dropped when the attempt ends.  This is the analogue of

@@ -35,6 +35,10 @@ let unlock t desc =
   | _ -> ()
 
 let publish t value ~version =
+  (* Chaos hook: stretch the window between individual write-backs.
+     Disruptive actions are not allowed here — the owning transaction
+     is already past its linearization point. *)
+  Fault.delay_only Fault.Mid_write_back;
   Atomic.set t.state { value; version }
 
 (* Visible readers: CAS-push, pruning dead entries once the list grows

@@ -5,16 +5,18 @@ type t = {
   birth : int;
   status : status Atomic.t;
   mutable priority : int;
+  irrevocable : bool;
 }
 
 let next_id = Atomic.make 1
 
-let create ?(priority = 0) ~birth () =
+let create ?(priority = 0) ?(irrevocable = false) ~birth () =
   {
     id = Atomic.fetch_and_add next_id 1;
     birth;
     status = Atomic.make Active;
     priority;
+    irrevocable;
   }
 
 let is_active t = Atomic.get t.status = Active
@@ -22,6 +24,7 @@ let is_committed t = Atomic.get t.status = Committed
 let is_aborted t = Atomic.get t.status = Aborted
 let try_commit t = Atomic.compare_and_set t.status Active Committed
 let try_abort t = Atomic.compare_and_set t.status Active Aborted
+let try_kill t = (not t.irrevocable) && try_abort t
 let earn t n = t.priority <- t.priority + n
 
 let pp fmt t =

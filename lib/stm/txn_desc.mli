@@ -14,11 +14,13 @@ type t = {
   status : status Atomic.t;
   mutable priority : int;
       (** contention-manager karma: work performed so far *)
+  irrevocable : bool;
+      (** serial-fallback attempts may not be killed remotely *)
 }
 
 (** Fresh descriptor with a unique id, [Active] status, priority
     carried over from previous attempts of the same atomic block. *)
-val create : ?priority:int -> birth:int -> unit -> t
+val create : ?priority:int -> ?irrevocable:bool -> birth:int -> unit -> t
 
 val is_active : t -> bool
 val is_committed : t -> bool
@@ -31,6 +33,12 @@ val try_commit : t -> bool
 (** [try_abort t] CASes [Active -> Aborted]; [true] if this call
     performed the transition. *)
 val try_abort : t -> bool
+
+(** [try_kill t] is [try_abort t] for remote parties (contention
+    managers, fault injection): it refuses to touch an irrevocable
+    descriptor, which is what makes the serial fallback
+    starvation-proof. *)
+val try_kill : t -> bool
 
 val earn : t -> int -> unit
 (** Increase priority by the given amount of work. *)

@@ -13,7 +13,9 @@ type entry = {
       (** only benchmarked at o = 1, per the §7 livelock note *)
 }
 
-let eager_mode = { Stm.default_config with mode = Stm.Eager_lazy }
+(* A function, not a top-level value: the default config is mutable
+   process state, so capture it at entry construction time. *)
+let eager_mode () = { (Stm.get_default_config ()) with mode = Stm.Eager_lazy }
 
 let all ?(slots = 1024) () =
   [
@@ -32,7 +34,7 @@ let all ?(slots = 1024) () =
     {
       name = "eager-opt";
       (* eager updates need encounter-time conflict detection *)
-      config = Some eager_mode;
+      config = Some (eager_mode ());
       make = (fun () -> S.P_hashmap.ops (S.P_hashmap.make ~slots ()));
       pessimistic = false;
     };

@@ -4,25 +4,29 @@
     count). *)
 
 let header () =
-  Printf.printf "%-18s %5s %5s %4s %10s %9s %12s %9s %9s\n" "impl" "u" "o" "t"
-    "mean(ms)" "sd(ms)" "ops/s" "commits" "aborts";
-  Printf.printf "%s\n" (String.make 88 '-')
+  Printf.printf "%-18s %5s %5s %4s %10s %9s %12s %9s %9s %7s\n" "impl" "u" "o"
+    "t" "mean(ms)" "sd(ms)" "ops/s" "commits" "aborts" "fallbk";
+  Printf.printf "%s\n" (String.make 96 '-')
 
 let row ~name (r : Runner.result) =
-  Printf.printf "%-18s %5.2f %5d %4d %10.2f %9.2f %12.0f %9d %9d\n%!" name
+  Printf.printf "%-18s %5.2f %5d %4d %10.2f %9.2f %12.0f %9d %9d %7d\n%!" name
     r.Runner.spec.Workload.write_fraction r.Runner.spec.Workload.ops_per_txn
     r.Runner.threads r.Runner.mean_ms r.Runner.stddev_ms r.Runner.throughput
     r.Runner.stats.Stats.commits r.Runner.stats.Stats.aborts
+    r.Runner.stats.Stats.fallbacks
 
 let csv_header oc =
-  output_string oc "impl,u,o,threads,mean_ms,stddev_ms,ops_per_s,commits,aborts,conflicts\n"
+  output_string oc
+    "impl,u,o,threads,mean_ms,stddev_ms,ops_per_s,commits,aborts,conflicts,\
+     fallbacks,injected_faults\n"
 
 let csv_row oc ~name (r : Runner.result) =
-  Printf.fprintf oc "%s,%.2f,%d,%d,%.3f,%.3f,%.0f,%d,%d,%d\n" name
+  Printf.fprintf oc "%s,%.2f,%d,%d,%.3f,%.3f,%.0f,%d,%d,%d,%d,%d\n" name
     r.Runner.spec.Workload.write_fraction r.Runner.spec.Workload.ops_per_txn
     r.Runner.threads r.Runner.mean_ms r.Runner.stddev_ms r.Runner.throughput
     r.Runner.stats.Stats.commits r.Runner.stats.Stats.aborts
-    r.Runner.stats.Stats.conflicts
+    r.Runner.stats.Stats.conflicts r.Runner.stats.Stats.fallbacks
+    r.Runner.stats.Stats.injected_faults
 
 let section title =
   Printf.printf "\n=== %s ===\n%!" title

@@ -74,28 +74,45 @@ let stddev l =
   let m = mean l in
   sqrt (mean (List.map (fun x -> (x -. m) ** 2.0) l))
 
-(** [run ?config ~threads ~spec ~trials ~warmup make_ops] — [make_ops]
-    builds a fresh map per trial so trials are independent. *)
-let run ?config ?dist ?(trials = 3) ?(warmup = 1) ~threads ~spec make_ops =
+(** [run ?config ?chaos ~threads ~spec ~trials ~warmup make_ops] —
+    [make_ops] builds a fresh map per trial so trials are independent.
+    [chaos] arms {!Fault} with the given policy for the measured trials
+    (and disarms it afterwards), so a run can report STM behaviour under
+    an adversarial schedule; the returned stats then carry the injected
+    fault and serial-fallback counts. *)
+let run ?config ?chaos ?chaos_seed ?dist ?(trials = 3) ?(warmup = 1) ~threads
+    ~spec make_ops =
   for _ = 1 to warmup do
     ignore (run_trial ?config ?dist ~threads ~spec make_ops);
     Gc.full_major ()
   done;
-  let before = Stats.read () in
-  let times =
-    List.init trials (fun _ ->
-        let dt = run_trial ?config ?dist ~threads ~spec make_ops in
-        Gc.full_major ();
-        dt)
-  in
-  let after = Stats.read () in
-  let ms = List.map (fun s -> s *. 1000.0) times in
-  {
-    threads;
-    spec;
-    mean_ms = mean ms;
-    stddev_ms = stddev ms;
-    trials_ms = ms;
-    throughput = float_of_int spec.total_ops /. (mean times);
-    stats = Stats.diff before after;
-  }
+  (match chaos with
+  | None -> ()
+  | Some policy -> Fault.configure ?seed:chaos_seed policy);
+  Fun.protect
+    ~finally:(fun () -> if chaos <> None then Fault.disable ())
+    (fun () ->
+      let before = Stats.read () in
+      let times =
+        List.init trials (fun _ ->
+            let dt = run_trial ?config ?dist ~threads ~spec make_ops in
+            Gc.full_major ();
+            dt)
+      in
+      let after = Stats.read () in
+      let ms = List.map (fun s -> s *. 1000.0) times in
+      {
+        threads;
+        spec;
+        mean_ms = mean ms;
+        stddev_ms = stddev ms;
+        trials_ms = ms;
+        throughput = float_of_int spec.total_ops /. (mean times);
+        stats = Stats.diff before after;
+      })
+
+(** Share of transaction attempts that escalated to the
+    serial-irrevocable fallback during the measured trials. *)
+let fallback_rate (r : result) =
+  if r.stats.Stats.starts = 0 then 0.0
+  else float_of_int r.stats.Stats.fallbacks /. float_of_int r.stats.Stats.starts

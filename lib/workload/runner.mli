@@ -19,10 +19,15 @@ type result = {
     participants arrived. *)
 val barrier : int -> unit -> unit
 
-(** [run ?config ?dist ~threads ~spec make_ops] — [make_ops] builds a
-    fresh map per trial so trials are independent. *)
+(** [run ?config ?chaos ?dist ~threads ~spec make_ops] — [make_ops]
+    builds a fresh map per trial so trials are independent.  [chaos]
+    arms {!Fault} with the given policy for the measured trials and
+    disarms it afterwards; the result's stats then include the injected
+    fault and serial-fallback counts for fallback-rate reporting. *)
 val run :
   ?config:Stm.config ->
+  ?chaos:(Fault.point * Fault.site) list ->
+  ?chaos_seed:int ->
   ?dist:Workload.distribution ->
   ?trials:int ->
   ?warmup:int ->
@@ -30,3 +35,7 @@ val run :
   spec:Workload.spec ->
   (unit -> (int, int) Proust_structures.Map_intf.ops) ->
   result
+
+(** Share of attempts that escalated to the serial-irrevocable
+    fallback during the measured trials. *)
+val fallback_rate : result -> float

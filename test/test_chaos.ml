@@ -1,0 +1,242 @@
+(** Chaos soak: seeded fault schedules against the STM modes × the
+    compatible Proust design points.
+
+    Three guarantees are exercised: (a) the post-attempt leak auditor
+    passes under every injected-fault schedule — no tvar version-lock,
+    abstract lock, commit-gate or quiesce token survives a finished
+    attempt; (b) the committed state equals a sequential model of the
+    per-domain operation streams (increments commute, so the final map
+    contents are schedule-independent); (c) the escalation ladder makes
+    [Too_many_attempts] unreachable: a hostile single-key 100% RMW
+    workload completes in all four modes, with a nonzero fallback count
+    under forced contention. *)
+
+open Util
+module S = Proust_structures
+
+let all_modes =
+  [ Stm.Lazy_lazy; Stm.Eager_lazy; Stm.Eager_eager; Stm.Serial_commit ]
+
+let eager_modes = [ Stm.Eager_lazy; Stm.Eager_eager ]
+
+let chaos_cfg mode =
+  {
+    (Stm.get_default_config ()) with
+    Stm.mode;
+    cm = Contention.karma ();
+    abort_budget = 8;
+    fallback_after = 24;
+    (* keep hostile schedules hot: degrade to (short) sleeps sooner *)
+    backoff_sleep_after = 3;
+    backoff_sleep = 5e-7;
+  }
+
+(* The design points whose (point, mode) pairings Figure 1 declares
+   opaque, instantiated over the hash-map wrappers. *)
+let points :
+    (string * Stm.mode list * (unit -> (int, int) S.Map_intf.ops)) list =
+  [
+    ( "eager/pess",
+      all_modes,
+      fun () ->
+        S.P_hashmap.ops
+          (S.P_hashmap.make ~slots:64 ~lap:S.Map_intf.Pessimistic ()) );
+    ( "eager/opt",
+      eager_modes,
+      fun () -> S.P_hashmap.ops (S.P_hashmap.make ~slots:64 ()) );
+    ( "lazy/opt",
+      all_modes,
+      fun () -> S.P_lazy_hashmap.ops (S.P_lazy_hashmap.make ~slots:64 ()) );
+  ]
+
+let full_schedule ~seed ~prob =
+  Fault.configure ~seed
+    (List.map
+       (fun p -> (p, { Fault.prob; actions = [ Fault.Delay 150; Abort; Kill ] }))
+       Fault.all_points)
+
+(* Commutative workload: every domain walks a seeded stream of keys and
+   increments each.  The final map contents are therefore a pure
+   function of the streams — the sequential model — regardless of the
+   interleaving or of any injected fault. *)
+let soak_cell ~cfg ~make ~domains ~iters ~keys () =
+  let ops = make () in
+  let streams =
+    Array.init domains (fun d ->
+        let rng = Random.State.make [| 0xc4a05; d |] in
+        Array.init iters (fun _ -> Random.State.int rng keys))
+  in
+  let expected = Array.make keys 0 in
+  Array.iter (Array.iter (fun k -> expected.(k) <- expected.(k) + 1)) streams;
+  spawn_all domains (fun d ->
+      Array.iter
+        (fun k ->
+          Stm.atomically ~config:cfg (fun txn ->
+              let v = Option.value ~default:0 (ops.S.Map_intf.get txn k) in
+              ignore (ops.S.Map_intf.put txn k (v + 1))))
+        streams.(d));
+  let final =
+    Stm.atomically ~config:cfg (fun txn ->
+        Array.init keys (fun k ->
+            Option.value ~default:0 (ops.S.Map_intf.get txn k)))
+  in
+  Array.iteri
+    (fun k want ->
+      check ci (Printf.sprintf "key %d matches sequential model" k) want
+        final.(k))
+    expected
+
+let test_chaos_soak () =
+  let before = Stats.read () in
+  Stm.set_leak_audit true;
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.disable ();
+      Stm.set_leak_audit false)
+    (fun () ->
+      List.iteri
+        (fun i (name, modes, make) ->
+          List.iteri
+            (fun j mode ->
+              full_schedule ~seed:(0xbad5eed + (16 * i) + j) ~prob:0.2;
+              ignore name;
+              soak_cell ~cfg:(chaos_cfg mode) ~make ~domains:4 ~iters:300
+                ~keys:16 ())
+            modes)
+        points);
+  let injected = (Stats.diff before (Stats.read ())).Stats.injected_faults in
+  check cb
+    (Printf.sprintf "soak injected enough faults (got %d, want >= 10000)"
+       injected)
+    true
+    (injected >= 10_000)
+
+(* A transaction that loses every race must still commit: spurious
+   conflict aborts at every pre-commit make plain retrying hopeless, so
+   only the serial-irrevocable rung of the ladder can finish the job. *)
+let test_fallback_beats_adversary mode () =
+  let cfg =
+    {
+      (chaos_cfg mode) with
+      Stm.max_attempts = 100;
+      abort_budget = 2;
+      fallback_after = 8;
+    }
+  in
+  let r = Tvar.make 0 in
+  Fault.configure ~seed:7
+    [ (Fault.Pre_commit, { Fault.prob = 1.0; actions = [ Fault.Abort ] }) ];
+  Fun.protect ~finally:Fault.disable (fun () ->
+      let before = Stats.read () in
+      Stm.atomically ~config:cfg (fun t -> Stm.write t r (Stm.read t r + 1));
+      let d = Stats.diff before (Stats.read ()) in
+      check ci "committed despite a certain-abort schedule" 1 (Tvar.peek r);
+      check cb "escalated to the serial fallback" true (d.Stats.fallbacks >= 1))
+
+let test_ladder_off_starves mode () =
+  let cfg =
+    {
+      (chaos_cfg mode) with
+      Stm.serial_fallback = false;
+      max_attempts = 20;
+    }
+  in
+  let r = Tvar.make 0 in
+  Fault.configure ~seed:7
+    [ (Fault.Pre_commit, { Fault.prob = 1.0; actions = [ Fault.Abort ] }) ];
+  Fun.protect ~finally:Fault.disable (fun () ->
+      match Stm.atomically ~config:cfg (fun t -> Stm.write t r (Stm.read t r + 1))
+      with
+      | () -> Alcotest.fail "expected Too_many_attempts with the ladder off"
+      | exception Stm.Too_many_attempts _ -> ())
+
+(* The acceptance workload: 4 domains hammering one key with 100%
+   read-modify-write transactions, in every STM mode.  Must conserve
+   the count (zero [Too_many_attempts] — any starvation raises) and,
+   under forced contention, exercise the fallback. *)
+let test_hostile_single_key mode () =
+  let cfg =
+    {
+      (chaos_cfg mode) with
+      Stm.max_attempts = 2_000;
+      abort_budget = 4;
+      fallback_after = 12;
+    }
+  in
+  let r = Tvar.make 0 in
+  let domains = 4 and iters = 400 in
+  (* Forced contention: a coin-flip spurious abort at each commit entry
+     plus delays inside the race windows. *)
+  Fault.configure ~seed:(11 + Hashtbl.hash (Stm.mode_name mode))
+    [
+      (Fault.Pre_commit, { Fault.prob = 0.8; actions = [ Fault.Abort ] });
+      (Fault.Post_lock_acquire, { Fault.prob = 0.1; actions = [ Fault.Delay 200 ] });
+      (Fault.Mid_write_back, { Fault.prob = 0.1; actions = [ Fault.Delay 200 ] });
+    ];
+  Stm.set_leak_audit true;
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.disable ();
+      Stm.set_leak_audit false)
+    (fun () ->
+      let before = Stats.read () in
+      spawn_all domains (fun _ ->
+          for _ = 1 to iters do
+            Stm.atomically ~config:cfg (fun t -> Stm.write t r (Stm.read t r + 1))
+          done);
+      let d = Stats.diff before (Stats.read ()) in
+      check ci "every increment committed exactly once" (domains * iters)
+        (Tvar.peek r);
+      check cb "fallbacks engaged under forced contention" true
+        (d.Stats.fallbacks > 0))
+
+(* Disabled-mode fast path: no policy, no draws, no counters. *)
+let test_disabled_is_free () =
+  Fault.disable ();
+  let before = Stats.read () in
+  check cb "disabled" false (Fault.enabled ());
+  for _ = 1 to 1_000 do
+    assert (Fault.check Fault.Pre_commit = None)
+  done;
+  let d = Stats.diff before (Stats.read ()) in
+  check ci "no faults counted while disabled" 0 d.Stats.injected_faults
+
+(* Determinism: the same (seed, domain) pair must replay the same
+   schedule, which is what makes chaos failures reproducible. *)
+let test_seeded_determinism () =
+  let draw () =
+    Fault.configure ~seed:42
+      [ (Fault.Pre_commit, { Fault.prob = 0.5; actions = [ Fault.Abort ] }) ];
+    List.init 64 (fun _ -> Fault.check Fault.Pre_commit <> None)
+  in
+  Fun.protect ~finally:Fault.disable (fun () ->
+      let a = draw () and b = draw () in
+      check cb "same seed, same schedule" true (a = b))
+
+let suite =
+  [
+    test "fault injection disabled is free" test_disabled_is_free;
+    test "fault schedules are seeded and deterministic"
+      test_seeded_determinism;
+  ]
+  @ List.map
+      (fun mode ->
+        slow
+          (Printf.sprintf "fallback beats certain-abort under %s"
+             (Stm.mode_name mode))
+          (test_fallback_beats_adversary mode))
+      all_modes
+  @ List.map
+      (fun mode ->
+        test
+          (Printf.sprintf "ladder off starves under %s" (Stm.mode_name mode))
+          (test_ladder_off_starves mode))
+      all_modes
+  @ List.map
+      (fun mode ->
+        slow
+          (Printf.sprintf "hostile single key conserves under %s"
+             (Stm.mode_name mode))
+          (test_hostile_single_key mode))
+      all_modes
+  @ [ slow "chaos soak: modes x points, audited" test_chaos_soak ]

@@ -98,7 +98,7 @@ let test_pessimistic_releases_on_commit () =
   Stm.atomically (fun txn -> lap.Lock_allocator.acquire txn [ Intent.Write 1 ]);
   (* If the lock leaked, this second transaction would time out and
      eventually raise Too_many_attempts. *)
-  let cfg = { Stm.default_config with Stm.max_attempts = 3 } in
+  let cfg = { (Stm.get_default_config ()) with Stm.max_attempts = 3 } in
   Stm.atomically ~config:cfg (fun txn ->
       lap.Lock_allocator.acquire txn [ Intent.Write 1 ])
 

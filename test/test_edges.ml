@@ -117,7 +117,7 @@ let test_nested_inside_or_else () =
   check ci "nested branch write discarded" 0 (Tvar.peek a)
 
 let test_read_version_monotone_under_extension () =
-  let cfg = { Stm.default_config with Stm.extend_reads = true } in
+  let cfg = { (Stm.get_default_config ()) with Stm.extend_reads = true } in
   let a = Tvar.make 0 and b = Tvar.make 0 in
   Stm.atomically ~config:cfg (fun txn ->
       let rv0 = Stm.read_version txn in

@@ -16,4 +16,5 @@ let () =
       ("matrix", Test_matrix.suite);
       ("stm-random", Test_stm_random.suite);
       ("edges", Test_edges.suite);
+      ("chaos", Test_chaos.suite);
     ]

@@ -83,7 +83,7 @@ let matrix_tests =
       List.filter_map
         (fun mode ->
           if P.compatible point mode then
-            let config = { Stm.default_config with Stm.mode } in
+            let config = { (Stm.get_default_config ()) with Stm.mode } in
             Some
               (slow
                  (Printf.sprintf "%s under %s" name (Stm.mode_name mode))

@@ -145,7 +145,7 @@ let atomicity_cases =
       None,
       fun () -> S.P_lazy_hashmap.ops (S.P_lazy_hashmap.make ()) );
     ( "lazy-snap / serial-commit",
-      Some { Stm.default_config with Stm.mode = Stm.Serial_commit },
+      Some { (Stm.get_default_config ()) with Stm.mode = Stm.Serial_commit },
       fun () -> S.P_lazy_triemap.ops (S.P_lazy_triemap.make ()) );
     ( "eager-opt / eager-lazy",
       Some eager_cfg,
@@ -175,7 +175,7 @@ let atomicity_cases =
 
 let test_remote_abort_by_elder () =
   let config =
-    { Stm.default_config with Stm.mode = Stm.Eager_lazy; cm = Contention.timestamp () }
+    { (Stm.get_default_config ()) with Stm.mode = Stm.Eager_lazy; cm = Contention.timestamp () }
   in
   let tv = Tvar.make 0 in
   let young_holding = gate () and old_done = gate () in

@@ -237,7 +237,7 @@ let counter_stress name cfg () =
 let test_extension () =
   (* With extend_reads, a late first read after another commit succeeds
      by extending instead of aborting; semantics stay correct. *)
-  let cfg = { Stm.default_config with Stm.extend_reads = true } in
+  let cfg = { (Stm.get_default_config ()) with Stm.extend_reads = true } in
   let r = Tvar.make 0 in
   let n = 4 and per = 1_000 in
   spawn_all n (fun _ ->
@@ -248,7 +248,7 @@ let test_extension () =
   check ci "extension mode correct" (n * per) (Tvar.peek r)
 
 let cm_stress name cm () =
-  let cfg = { Stm.default_config with Stm.cm; mode = Stm.Eager_lazy } in
+  let cfg = { (Stm.get_default_config ()) with Stm.cm; mode = Stm.Eager_lazy } in
   let r = Tvar.make 0 in
   let n = 4 and per = 800 in
   spawn_all n (fun _ ->
@@ -289,7 +289,7 @@ let test_local_find_set () =
 (* Descriptors, stats, misc                                             *)
 
 let test_too_many_attempts () =
-  let cfg = { Stm.default_config with Stm.max_attempts = 3 } in
+  let cfg = { (Stm.get_default_config ()) with Stm.max_attempts = 3 } in
   let tries = ref 0 in
   (match
      Stm.atomically ~config:cfg (fun txn ->
@@ -377,7 +377,7 @@ let suite =
       (counter_stress "eager-eager" eager_eager_cfg);
     slow "counter stress serial-commit"
       (counter_stress "serial-commit"
-         { Stm.default_config with Stm.mode = Stm.Serial_commit });
+         { (Stm.get_default_config ()) with Stm.mode = Stm.Serial_commit });
     slow "timestamp extension" test_extension;
     slow "cm passive" (cm_stress "passive" (Contention.passive ()));
     slow "cm polite" (cm_stress "polite" (Contention.polite ()));

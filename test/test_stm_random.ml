@@ -110,5 +110,5 @@ let suite =
         prog_gen
         (fun progs -> run_mode cfg progs))
     (all_modes
-    @ [ ("serial-commit", { Stm.default_config with Stm.mode = Stm.Serial_commit }) ]
+    @ [ ("serial-commit", { (Stm.get_default_config ()) with Stm.mode = Stm.Serial_commit }) ]
     )

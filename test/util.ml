@@ -10,9 +10,9 @@ let cs = Alcotest.string
 let copt_i = Alcotest.(option int)
 let clist_i = Alcotest.(list int)
 
-let lazy_cfg = Stm.default_config
-let eager_cfg = { Stm.default_config with Stm.mode = Stm.Eager_lazy }
-let eager_eager_cfg = { Stm.default_config with Stm.mode = Stm.Eager_eager }
+let lazy_cfg = (Stm.get_default_config ())
+let eager_cfg = { (Stm.get_default_config ()) with Stm.mode = Stm.Eager_lazy }
+let eager_eager_cfg = { (Stm.get_default_config ()) with Stm.mode = Stm.Eager_eager }
 
 let all_modes =
   [
