@@ -224,6 +224,124 @@ let small_stack ?(values = [ 0; 1 ]) ?(max_len = 3) () :
   }
 
 (* ------------------------------------------------------------------ *)
+(* The §3 counter with an observer: adds a transactional value read    *)
+(* (P_counter's observable band), so recorded reads land in-history.   *)
+
+type obs_counter_op = CIncr | CDecr | CGet
+type obs_counter_ret = CUnit | CBool of bool | CInt of int
+
+let obs_counter ~bound : (int, obs_counter_op, obs_counter_ret) t =
+  {
+    name = "obs-counter";
+    states = List.init (bound - 1) Fun.id;
+    ops = [ CIncr; CDecr; CGet ];
+    apply =
+      (fun s op ->
+        match op with
+        | CIncr -> (s + 1, CUnit)
+        | CDecr -> if s = 0 then (0, CBool false) else (s - 1, CBool true)
+        | CGet -> (s, CInt s));
+    equal_state = Int.equal;
+    equal_ret = (fun a b -> a = b);
+    show_state = string_of_int;
+    show_op =
+      (function CIncr -> "incr" | CDecr -> "decr" | CGet -> "get");
+  }
+
+(* ------------------------------------------------------------------ *)
+(* A small set (sorted list of ints).                                  *)
+
+type set_op = SAdd of int | SRemove of int | SMem of int
+type set_ret = SBool of bool
+
+let all_subsets ~values =
+  let rec go = function
+    | [] -> [ [] ]
+    | v :: rest ->
+        let tails = go rest in
+        tails @ List.map (fun t -> v :: t) tails
+  in
+  List.sort_uniq compare (List.map (List.sort compare) (go values))
+
+let small_set ?(values = [ 0; 1; 2 ]) () : (int list, set_op, set_ret) t =
+  {
+    name = "small-set";
+    states = all_subsets ~values;
+    ops = List.concat_map (fun v -> [ SAdd v; SRemove v; SMem v ]) values;
+    apply =
+      (fun s op ->
+        match op with
+        | SAdd v ->
+            if List.mem v s then (s, SBool false)
+            else (List.sort compare (v :: s), SBool true)
+        | SRemove v ->
+            if List.mem v s then (List.filter (fun x -> x <> v) s, SBool true)
+            else (s, SBool false)
+        | SMem v -> (s, SBool (List.mem v s)));
+    equal_state = (fun a b -> a = b);
+    equal_ret = (fun a b -> a = b);
+    show_state =
+      (fun s -> "{" ^ String.concat ";" (List.map string_of_int s) ^ "}");
+    show_op =
+      (function
+      | SAdd v -> Printf.sprintf "add(%d)" v
+      | SRemove v -> Printf.sprintf "remove(%d)" v
+      | SMem v -> Printf.sprintf "mem(%d)" v);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* A small double-ended queue (front-first list).                      *)
+
+type dq_op =
+  | DPushFront of int
+  | DPushBack of int
+  | DPopFront
+  | DPopBack
+  | DPeekFront
+  | DPeekBack
+
+type dq_ret = DUnit | DVal of int option
+
+let small_deque ?(values = [ 0; 1 ]) ?(max_len = 3) () :
+    (int list, dq_op, dq_ret) t =
+  {
+    name = "small-deque";
+    states = all_lists ~values ~max_len;
+    ops =
+      [ DPopFront; DPopBack; DPeekFront; DPeekBack ]
+      @ List.concat_map (fun v -> [ DPushFront v; DPushBack v ]) values;
+    apply =
+      (fun s op ->
+        let last l = List.nth l (List.length l - 1) in
+        let drop_last l = List.filteri (fun i _ -> i < List.length l - 1) l in
+        match op with
+        | DPushFront v -> (v :: s, DUnit)
+        | DPushBack v -> (s @ [ v ], DUnit)
+        | DPopFront -> (
+            match s with
+            | [] -> ([], DVal None)
+            | x :: rest -> (rest, DVal (Some x)))
+        | DPopBack ->
+            if s = [] then ([], DVal None)
+            else (drop_last s, DVal (Some (last s)))
+        | DPeekFront ->
+            (s, DVal (match s with [] -> None | x :: _ -> Some x))
+        | DPeekBack -> (s, DVal (if s = [] then None else Some (last s))));
+    equal_state = (fun a b -> a = b);
+    equal_ret = (fun a b -> a = b);
+    show_state =
+      (fun s -> ">" ^ String.concat ";" (List.map string_of_int s) ^ "<");
+    show_op =
+      (function
+      | DPushFront v -> Printf.sprintf "pushFront(%d)" v
+      | DPushBack v -> Printf.sprintf "pushBack(%d)" v
+      | DPopFront -> "popFront"
+      | DPopBack -> "popBack"
+      | DPeekFront -> "peekFront"
+      | DPeekBack -> "peekBack");
+  }
+
+(* ------------------------------------------------------------------ *)
 (* A small ordered map with range queries.                             *)
 
 type o_op = OGet of int | OPut of int * int | ORemove of int | ORange of int * int

@@ -1,0 +1,185 @@
+(** Wing–Gong/Lowe-style linearizability checking of timed histories
+    against an {!Adt_model}.
+
+    A history is linearizable iff its completed operations admit a
+    total order that (a) respects real-time precedence
+    ({!Timed_history.precedes}) and (b) replays through the model with
+    exactly the recorded return values.  The search walks
+    configurations — a per-domain frontier position plus a model state
+    — because each domain's own operations are already totally ordered,
+    so the remaining history is always a tuple of per-domain suffixes.
+
+    Two standard accelerations keep histories of a few thousand events
+    tractable:
+
+    - {b state memoization} (Wing–Gong as refined by Lowe): a
+      configuration [(frontier, state)] that once failed to extend to a
+      full linearization is never re-explored, killing the factorial
+      blow-up of commuting operations;
+    - {b independent-subhistory partitioning} (Horn–Kroening
+      P-compositionality): when the ADT is a product of independent
+      components — per-key map cells, for instance — the history is
+      linearizable iff each component's subhistory is, so [?partition]
+      splits the history and each piece is checked alone against the
+      same (small) model. *)
+
+type ('o, 'r) violation = {
+  event : ('o, 'r) Timed_history.event;
+      (** a frontier event of the first stuck configuration *)
+  explored : int;  (** configurations explored before giving up *)
+}
+
+type ('o, 'r) outcome =
+  | Linearizable
+  | Not_linearizable of ('o, 'r) violation
+  | Too_large of int  (** gave up after exploring this many configs *)
+
+exception Search_exhausted of int
+
+(* Check one (sub)history.  [events] must be start-sorted. *)
+let check_subhistory ?(max_configs = 5_000_000)
+    (m : ('s, 'o, 'r) Adt_model.t) ~(init : 's)
+    (events : ('o, 'r) Timed_history.event list) : ('o, 'r) outcome =
+  (* Group into per-domain sequences, preserving start order. *)
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (e : ('o, 'r) Timed_history.event) ->
+      let q =
+        match Hashtbl.find_opt tbl e.Timed_history.domain with
+        | Some q -> q
+        | None ->
+            let q = Queue.create () in
+            Hashtbl.add tbl e.Timed_history.domain q;
+            q
+      in
+      Queue.add e q)
+    events;
+  let lanes =
+    Hashtbl.fold (fun _ q acc -> Array.of_seq (Queue.to_seq q) :: acc) tbl []
+    |> Array.of_list
+  in
+  let n = Array.length lanes in
+  let pos = Array.make n 0 in
+  let explored = ref 0 in
+  (* Failed configurations, keyed on the frontier vector and a stable
+     rendering of the model state ([show_state] hashes in full, unlike
+     [Hashtbl.hash] on deep structural states). *)
+  let failed = Hashtbl.create 4096 in
+  let config_key state =
+    let b = Buffer.create 64 in
+    Array.iter
+      (fun p ->
+        Buffer.add_string b (string_of_int p);
+        Buffer.add_char b ',')
+      pos;
+    Buffer.add_char b '|';
+    Buffer.add_string b (m.Adt_model.show_state state);
+    Buffer.contents b
+  in
+  let stuck : ('o, 'r) Timed_history.event option ref = ref None in
+  let rec search state =
+    let key = config_key state in
+    if Hashtbl.mem failed key then false
+    else begin
+      incr explored;
+      if !explored > max_configs then raise (Search_exhausted !explored);
+      (* Frontier: the head of each non-exhausted lane.  A head is a
+         legal next linearization iff no other remaining operation
+         responded before it was invoked; within a lane the head has
+         the minimal response tick, so comparing against the minimum
+         head response suffices. *)
+      let min_finish = ref max_int in
+      let remaining = ref 0 in
+      for d = 0 to n - 1 do
+        if pos.(d) < Array.length lanes.(d) then begin
+          incr remaining;
+          let e = lanes.(d).(pos.(d)) in
+          if e.Timed_history.finish < !min_finish then
+            min_finish := e.Timed_history.finish
+        end
+      done;
+      if !remaining = 0 then true
+      else begin
+        let ok = ref false in
+        let d = ref 0 in
+        while (not !ok) && !d < n do
+          (if pos.(!d) < Array.length lanes.(!d) then
+             let e = lanes.(!d).(pos.(!d)) in
+             if e.Timed_history.start <= !min_finish then begin
+               let state', r = m.Adt_model.apply state e.Timed_history.op in
+               if m.Adt_model.equal_ret r e.Timed_history.ret then begin
+                 pos.(!d) <- pos.(!d) + 1;
+                 if search state' then ok := true
+                 else pos.(!d) <- pos.(!d) - 1
+               end
+               else if !stuck = None then stuck := Some e
+             end);
+          incr d
+        done;
+        if not !ok then Hashtbl.replace failed key ();
+        !ok
+      end
+    end
+  in
+  match search init with
+  | true -> Linearizable
+  | false ->
+      let event =
+        match !stuck with
+        | Some e -> e
+        | None -> List.hd events (* unreachable for non-empty histories *)
+      in
+      Not_linearizable { event; explored = !explored }
+  | exception Search_exhausted n -> Too_large n
+
+let analyze ?partition ?max_configs (m : ('s, 'o, 'r) Adt_model.t)
+    ~(init : 's) (events : ('o, 'r) Timed_history.event list) :
+    ('o, 'r) outcome =
+  match events with
+  | [] -> Linearizable
+  | _ -> (
+      let groups =
+        match partition with
+        | None -> [ events ]
+        | Some key ->
+            let tbl = Hashtbl.create 16 in
+            let order = ref [] in
+            List.iter
+              (fun (e : ('o, 'r) Timed_history.event) ->
+                let k = key e.Timed_history.op in
+                match Hashtbl.find_opt tbl k with
+                | Some q -> Queue.add e q
+                | None ->
+                    let q = Queue.create () in
+                    Queue.add e q;
+                    Hashtbl.add tbl k q;
+                    order := k :: !order)
+              events;
+            List.rev_map
+              (fun k -> List.of_seq (Queue.to_seq (Hashtbl.find tbl k)))
+              !order
+      in
+      let rec go = function
+        | [] -> Linearizable
+        | g :: rest -> (
+            match check_subhistory ?max_configs m ~init g with
+            | Linearizable -> go rest
+            | bad -> bad)
+      in
+      go groups)
+
+let check ?partition ?max_configs m ~init events =
+  match analyze ?partition ?max_configs m ~init events with
+  | Linearizable -> true
+  | Not_linearizable _ | Too_large _ -> false
+
+let explain (m : ('s, 'o, 'r) Adt_model.t) = function
+  | Linearizable -> "linearizable"
+  | Too_large n -> Printf.sprintf "gave up after %d configurations" n
+  | Not_linearizable v ->
+      Printf.sprintf
+        "not linearizable: no order explains %s -> %s (domain %d, ticks \
+         [%d,%d]); %d configurations explored"
+        (m.Adt_model.show_op v.event.Timed_history.op)
+        "(recorded return)" v.event.Timed_history.domain
+        v.event.Timed_history.start v.event.Timed_history.finish v.explored

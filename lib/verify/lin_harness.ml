@@ -1,0 +1,129 @@
+(** Generic stress drivers feeding the two history checkers.
+
+    {!run} exercises a raw concurrent structure: N domains each apply a
+    stream of model operations drawn from the instance's generator,
+    every call recorded by {!Timed_history}; the merged history is then
+    checked linearizable by {!Lin_check} against the instance's
+    {!Adt_model}.
+
+    {!run_serializable} is the transactional variant for Proustian
+    wrappers: domains run short transactions of model operations,
+    {!History} records what committed, and {!Serializability} must find
+    a serial order — window by window, each window seeded with the
+    model state the previous window's witness ended in, so long runs
+    stay within the brute-force checker's reach. *)
+
+type ('s, 'o, 'r) instance = {
+  name : string;
+  model : ('s, 'o, 'r) Adt_model.t;
+  init : 's;
+  partition : ('o -> int) option;
+      (** independent-component key for {!Lin_check} (maps/sets) *)
+  gen : (Random.State.t -> domain:int -> step:int -> 'o) option;
+      (** custom op stream; default draws uniformly from [model.ops] *)
+  make : unit -> 'o -> 'r;
+      (** fresh structure, presented as an operation runner *)
+}
+
+let instance ?partition ?gen ~model ~init name make =
+  { name; model; init; partition; gen; make }
+
+let uniform_gen model =
+  let ops = Array.of_list model.Adt_model.ops in
+  fun rng ~domain:_ ~step:_ -> ops.(Random.State.int rng (Array.length ops))
+
+let run ?(domains = 4) ?(ops_per_domain = 150) ?(seed = 0) ?(post = [])
+    ?max_configs (inst : ('s, 'o, 'r) instance) : (int, string) result =
+  let runner = inst.make () in
+  let h = Timed_history.make ~domains () in
+  let gen =
+    match inst.gen with Some g -> g | None -> uniform_gen inst.model
+  in
+  (* Start barrier: without it, spawn latency lets early domains finish
+     before late ones begin, and the histories exercise no overlap. *)
+  let ready = Atomic.make 0 in
+  List.init domains (fun d ->
+      Domain.spawn (fun () ->
+          let rng = Random.State.make [| seed; d; 0x71ed |] in
+          Atomic.incr ready;
+          while Atomic.get ready < domains do
+            Domain.cpu_relax ()
+          done;
+          for step = 0 to ops_per_domain - 1 do
+            let op = gen rng ~domain:d ~step in
+            ignore (Timed_history.record h ~domain:d op (fun () -> runner op))
+          done))
+  |> List.iter Domain.join;
+  (* Quiescent coda, e.g. a final read validating unit-op streams. *)
+  List.iter
+    (fun op -> ignore (Timed_history.record h ~domain:0 op (fun () -> runner op)))
+    post;
+  let events = Timed_history.events h in
+  match
+    Lin_check.analyze ?partition:inst.partition ?max_configs inst.model
+      ~init:inst.init events
+  with
+  | Lin_check.Linearizable -> Ok (List.length events)
+  | bad ->
+      Error
+        (Printf.sprintf "%s (%d events): %s" inst.name (List.length events)
+           (Lin_check.explain inst.model bad))
+
+(* ------------------------------------------------------------------ *)
+
+type ('s, 'o, 'r) txn_instance = {
+  t_name : string;
+  t_model : ('s, 'o, 'r) Adt_model.t;
+  t_init : 's;
+  t_make : unit -> Stm.txn -> 'o -> 'r;
+}
+
+let txn_instance ~model ~init name make =
+  { t_name = name; t_model = model; t_init = init; t_make = make }
+
+let run_serializable ?(domains = 3) ?(txns_per_domain = 2) ?(windows = 3)
+    ?(max_ops_per_txn = 3) ?(seed = 0) ~config
+    (inst : ('s, 'o, 'r) txn_instance) : (int, string) result =
+  let run_op = inst.t_make () in
+  let h = History.make () in
+  let ops = Array.of_list inst.t_model.Adt_model.ops in
+  let state = ref inst.t_init in
+  let committed = ref 0 in
+  let failure = ref None in
+  (try
+     for w = 0 to windows - 1 do
+       List.init domains (fun d ->
+           Domain.spawn (fun () ->
+               let rng = Random.State.make [| seed; w; d; 0x5e81 |] in
+               for _ = 1 to txns_per_domain do
+                 let batch =
+                   List.init
+                     (1 + Random.State.int rng max_ops_per_txn)
+                     (fun _ -> ops.(Random.State.int rng (Array.length ops)))
+                 in
+                 Stm.atomically ~config (fun txn ->
+                     List.iter
+                       (fun op ->
+                         let r = run_op txn op in
+                         History.log h txn op r)
+                       batch)
+               done))
+       |> List.iter Domain.join;
+       let records = History.records h in
+       match Serializability.witness_state inst.t_model ~init:!state records with
+       | Some s' ->
+           committed := !committed + List.length records;
+           state := s';
+           History.clear h
+       | None ->
+           failure :=
+             Some
+               (Printf.sprintf
+                  "%s: window %d (%d committed txns) is not serializable \
+                   from state %s"
+                  inst.t_name w (List.length records)
+                  (inst.t_model.Adt_model.show_state !state));
+           raise Exit
+     done
+   with Exit -> ());
+  match !failure with Some msg -> Error msg | None -> Ok !committed

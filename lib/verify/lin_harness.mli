@@ -1,0 +1,75 @@
+(** Generic stress drivers feeding the two history checkers: a
+    linearizability harness for raw concurrent structures
+    ({!Timed_history} + {!Lin_check}) and a serializability harness for
+    Proustian wrappers ({!History} + {!Serializability}). *)
+
+(** What it takes to stress-check one concurrent structure: its finite
+    model, a fresh-structure constructor presented as an op runner, and
+    optionally a partition key (for map-like ADTs whose per-key
+    subhistories are independent) and a custom op-stream generator
+    (e.g. per-domain owner arguments, acquire/release alternation). *)
+type ('s, 'o, 'r) instance = {
+  name : string;
+  model : ('s, 'o, 'r) Adt_model.t;
+  init : 's;
+  partition : ('o -> int) option;
+  gen : (Random.State.t -> domain:int -> step:int -> 'o) option;
+  make : unit -> 'o -> 'r;
+}
+
+val instance :
+  ?partition:('o -> int) ->
+  ?gen:(Random.State.t -> domain:int -> step:int -> 'o) ->
+  model:('s, 'o, 'r) Adt_model.t ->
+  init:'s ->
+  string ->
+  (unit -> 'o -> 'r) ->
+  ('s, 'o, 'r) instance
+
+(** [run inst] spawns [domains] domains, each applying [ops_per_domain]
+    generated operations through the recorder, then checks the merged
+    history.  [post] operations run on one domain after the join — a
+    quiescent coda for structures (striped counters) whose reads are
+    only quiescently consistent.  [Ok n] on a linearizable history of
+    [n] events; [Error msg] with the checker's explanation otherwise. *)
+val run :
+  ?domains:int ->
+  ?ops_per_domain:int ->
+  ?seed:int ->
+  ?post:'o list ->
+  ?max_configs:int ->
+  ('s, 'o, 'r) instance ->
+  (int, string) result
+
+(** The transactional counterpart: the runner receives the enclosing
+    transaction. *)
+type ('s, 'o, 'r) txn_instance = {
+  t_name : string;
+  t_model : ('s, 'o, 'r) Adt_model.t;
+  t_init : 's;
+  t_make : unit -> Stm.txn -> 'o -> 'r;
+}
+
+val txn_instance :
+  model:('s, 'o, 'r) Adt_model.t ->
+  init:'s ->
+  string ->
+  (unit -> Stm.txn -> 'o -> 'r) ->
+  ('s, 'o, 'r) txn_instance
+
+(** [run_serializable ~config inst] runs [windows] rounds of [domains]
+    domains × [txns_per_domain] short transactions (1 to
+    [max_ops_per_txn] model ops each, logged via {!History}), checking
+    each window serializable and seeding the next window with the
+    witness's final model state.  [Ok n] after [n] committed
+    transactions all explained; [Error msg] naming the first
+    unserializable window otherwise. *)
+val run_serializable :
+  ?domains:int ->
+  ?txns_per_domain:int ->
+  ?windows:int ->
+  ?max_ops_per_txn:int ->
+  ?seed:int ->
+  config:Stm.config ->
+  ('s, 'o, 'r) txn_instance ->
+  (int, string) result

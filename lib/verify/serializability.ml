@@ -17,12 +17,12 @@ let replay (m : ('s, 'o, 'r) Adt_model.t) s (rec_ : ('o, 'r) History.record) =
   in
   go s rec_.History.events
 
-(** [witness m ~init records] is a serial order (by [txn_id]) that
-    explains the history, if one exists. *)
-let witness (m : ('s, 'o, 'r) Adt_model.t) ~init records =
+(* The search shared by [witness] and [witness_state]: a serial order
+   plus the model state it ends in. *)
+let search_order (m : ('s, 'o, 'r) Adt_model.t) ~init records =
   let rec search s remaining acc =
     match remaining with
-    | [] -> Some (List.rev acc)
+    | [] -> Some (List.rev acc, s)
     | _ ->
         List.find_map
           (fun r ->
@@ -34,5 +34,15 @@ let witness (m : ('s, 'o, 'r) Adt_model.t) ~init records =
           remaining
   in
   search init records []
+
+(** [witness m ~init records] is a serial order (by [txn_id]) that
+    explains the history, if one exists. *)
+let witness m ~init records = Option.map fst (search_order m ~init records)
+
+(** [witness_state m ~init records] additionally replays the witness,
+    returning the model state it leaves behind — the seed for checking
+    the next window of a long run incrementally. *)
+let witness_state m ~init records =
+  Option.map snd (search_order m ~init records)
 
 let check m ~init records = witness m ~init records <> None

@@ -10,5 +10,14 @@ val witness :
   ('o, 'r) History.record list ->
   int list option
 
+(** Like {!witness}, but returns the model state the witness order
+    ends in — lets long runs be checked window by window, each window
+    seeded with the previous one's final state. *)
+val witness_state :
+  ('s, 'o, 'r) Adt_model.t ->
+  init:'s ->
+  ('o, 'r) History.record list ->
+  's option
+
 val check :
   ('s, 'o, 'r) Adt_model.t -> init:'s -> ('o, 'r) History.record list -> bool

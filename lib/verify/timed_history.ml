@@ -1,0 +1,77 @@
+(** Low-overhead recorder of invocation/response intervals for
+    *non-transactional* operations, complementing the commit-time
+    {!History} used for serializability checking.
+
+    Each domain appends completed operations to a private flat buffer
+    (a doubling array, no locking on the hot path); [events] merges the
+    buffers once the run has quiesced.  Timestamps come from one global
+    monotonic tick counter ([Atomic.fetch_and_add]): the sequentially
+    consistent increments give a total order on invocation and response
+    edges that is consistent with real time across domains, which is
+    exactly the precedence relation a linearizability checker needs —
+    and, unlike wall-clock samples taken on different cores, it can
+    never invert the order of two causally related edges. *)
+
+type ('o, 'r) event = {
+  domain : int;
+  op : 'o;
+  ret : 'r;
+  start : int;  (* tick at invocation *)
+  finish : int;  (* tick at response; start < finish *)
+}
+
+type ('o, 'r) buffer = {
+  mutable items : ('o, 'r) event array;  (* flat; grown by doubling *)
+  mutable len : int;
+}
+
+type ('o, 'r) t = { clock : int Atomic.t; buffers : ('o, 'r) buffer array }
+
+let make ~domains () =
+  {
+    clock = Atomic.make 0;
+    buffers = Array.init domains (fun _ -> { items = [||]; len = 0 });
+  }
+
+let tick t = Atomic.fetch_and_add t.clock 1
+
+let push buf e =
+  let cap = Array.length buf.items in
+  if buf.len = cap then begin
+    let items = Array.make (max 256 (2 * cap)) e in
+    Array.blit buf.items 0 items 0 cap;
+    buf.items <- items
+  end;
+  buf.items.(buf.len) <- e;
+  buf.len <- buf.len + 1
+
+let record t ~domain op f =
+  let start = tick t in
+  let ret = f () in
+  let finish = tick t in
+  push t.buffers.(domain) { domain; op; ret; start; finish };
+  ret
+
+(* Not thread-safe w.r.t. concurrent [record]s; call after joining the
+   recording domains.  Per-domain buffers are already start-ordered, so
+   the merge is a k-way sorted concatenation. *)
+let events t =
+  let all =
+    Array.to_list t.buffers
+    |> List.concat_map (fun b -> Array.to_list (Array.sub b.items 0 b.len))
+  in
+  List.sort (fun a b -> compare a.start b.start) all
+
+let size t = Array.fold_left (fun acc b -> acc + b.len) 0 t.buffers
+
+let clear t =
+  Array.iter
+    (fun b ->
+      b.items <- [||];
+      b.len <- 0)
+    t.buffers
+
+(** [a] precedes [b] in real time: [a] responded before [b] was
+    invoked.  The checker may linearize overlapping events in either
+    order; ordered ones only in history order. *)
+let precedes a b = a.finish < b.start

@@ -1,0 +1,37 @@
+(** Low-overhead recorder of invocation/response intervals for
+    non-transactional operations — the raw-concurrent-layer counterpart
+    of the commit-time {!History}.  Per-domain flat buffers (no hot-path
+    locking), merged after the run; timestamps are ticks of one global
+    atomic counter, giving a cross-domain total order on
+    invocation/response edges consistent with real time. *)
+
+type ('o, 'r) event = {
+  domain : int;
+  op : 'o;
+  ret : 'r;
+  start : int;  (** tick at invocation *)
+  finish : int;  (** tick at response; [start < finish] *)
+}
+
+type ('o, 'r) t
+
+val make : domains:int -> unit -> ('o, 'r) t
+
+(** [record t ~domain op f] runs [f ()], appending a completed event
+    with its invocation/response ticks to [domain]'s buffer, and
+    returns [f ()]'s result.  Each domain index must be used by at most
+    one domain at a time. *)
+val record : ('o, 'r) t -> domain:int -> 'o -> (unit -> 'r) -> 'r
+
+(** Merged events, sorted by invocation tick.  Only call after the
+    recording domains have been joined. *)
+val events : ('o, 'r) t -> ('o, 'r) event list
+
+(** Total number of recorded events. *)
+val size : ('o, 'r) t -> int
+
+val clear : ('o, 'r) t -> unit
+
+(** [precedes a b] — [a] responded before [b] was invoked, so every
+    linearization must order [a] before [b]. *)
+val precedes : ('o, 'r) event -> ('o, 'r) event -> bool

@@ -48,6 +48,32 @@ let test_rw_upgrade () =
   check cb "upgrade blocked by other reader" false
     (C.Rw_lock.try_acquire_write l ~owner:1 ~deadline:(now_ish ()))
 
+let test_rw_holder_introspection () =
+  let l = C.Rw_lock.create () in
+  check cb "fresh lock held by nobody" false (C.Rw_lock.holds l ~owner:1);
+  check (Alcotest.option ci) "fresh lock has no writer" None (C.Rw_lock.writer l);
+  check ci "fresh lock has no readers" 0 (C.Rw_lock.reader_count l);
+  assert (C.Rw_lock.try_acquire_read l ~owner:1 ~deadline:(soon ()));
+  assert (C.Rw_lock.try_acquire_read l ~owner:2 ~deadline:(soon ()));
+  check cb "reader 1 holds" true (C.Rw_lock.holds l ~owner:1);
+  check cb "reader 2 holds" true (C.Rw_lock.holds l ~owner:2);
+  check cb "stranger does not hold" false (C.Rw_lock.holds l ~owner:3);
+  check (Alcotest.option ci) "readers are not the writer" None
+    (C.Rw_lock.writer l);
+  C.Rw_lock.release_all l ~owner:2;
+  check cb "released reader no longer holds" false (C.Rw_lock.holds l ~owner:2);
+  check cb "remaining reader still holds" true (C.Rw_lock.holds l ~owner:1);
+  (* Sole remaining reader upgrades; introspection must follow. *)
+  assert (C.Rw_lock.try_acquire_write l ~owner:1 ~deadline:(soon ()));
+  check (Alcotest.option ci) "writer identity reported" (Some 1)
+    (C.Rw_lock.writer l);
+  check cb "writer holds in either-mode query" true (C.Rw_lock.holds l ~owner:1);
+  C.Rw_lock.release_all l ~owner:1;
+  check cb "holds cleared after release_all" false (C.Rw_lock.holds l ~owner:1);
+  check (Alcotest.option ci) "writer cleared after release_all" None
+    (C.Rw_lock.writer l);
+  check ci "reader count cleared after release_all" 0 (C.Rw_lock.reader_count l)
+
 let test_rw_contention () =
   let l = C.Rw_lock.create () in
   let counter = ref 0 in
@@ -420,6 +446,7 @@ let suite =
     test "rw_lock writer excludes" test_rw_writer_excludes;
     test "rw_lock reentrant" test_rw_reentrant;
     test "rw_lock upgrade" test_rw_upgrade;
+    test "rw_lock holder introspection" test_rw_holder_introspection;
     slow "rw_lock contention" test_rw_contention;
     slow "striped counter" test_striped_counter;
     test "nn counter" test_nn_counter;

@@ -1,0 +1,734 @@
+(** One uniform entry point exercising the verification pipeline end
+    to end: {!Timed_history} records raw concurrent operations,
+    {!Lin_check} (Wing–Gong with memoization and subhistory
+    partitioning) checks them linearizable against their {!Adt_model} —
+    for {e every} module in [lib/concurrent] — and the
+    {!Lin_harness.run_serializable} variant drives {e every} Proustian
+    wrapper in [lib/structures] through {!History}/{!Serializability}
+    under all four STM modes.
+
+    A deliberately fenceless counter serves as the negative fixture:
+    the checker must reject its lost-update histories. *)
+
+open Util
+module C = Proust_concurrent
+module V = Proust_verify
+module S = Proust_structures
+module M = V.Adt_model
+
+let icmp = Int.compare
+
+(* ------------------------------------------------------------------ *)
+(* Checker unit tests on hand-built histories                          *)
+
+let ev ~domain ~start ~finish op ret =
+  { V.Timed_history.domain; op; ret; start; finish }
+
+let test_checker_accepts_sequential () =
+  let m = M.counter ~bound:8 in
+  let h =
+    [
+      ev ~domain:0 ~start:0 ~finish:1 M.Incr M.Ok_unit;
+      ev ~domain:0 ~start:2 ~finish:3 M.Decr M.Decr_ok;
+      ev ~domain:0 ~start:4 ~finish:5 M.Decr M.Decr_err;
+    ]
+  in
+  check cb "sequential history accepted" true (V.Lin_check.check m ~init:0 h)
+
+let test_checker_rejects_impossible_return () =
+  let m = M.counter ~bound:8 in
+  (* decr succeeding on an empty counter with no concurrent incr *)
+  let h = [ ev ~domain:0 ~start:0 ~finish:1 M.Decr M.Decr_ok ] in
+  check cb "impossible return rejected" false (V.Lin_check.check m ~init:0 h)
+
+let test_checker_uses_overlap () =
+  let m = M.small_queue () in
+  (* The dequeue's interval overlaps the enqueue's, so the checker may
+     linearize the enqueue first even though the dequeue was invoked
+     earlier. *)
+  let h =
+    [
+      ev ~domain:0 ~start:0 ~finish:5 M.QDeq (M.QVal (Some 1));
+      ev ~domain:1 ~start:1 ~finish:2 (M.QEnq 1) M.QUnit;
+    ]
+  in
+  check cb "overlapping ops may reorder" true (V.Lin_check.check m ~init:[] h)
+
+let test_checker_respects_precedence () =
+  let m = M.small_queue () in
+  (* Here the enqueue strictly follows the dequeue's response, so the
+     same return value has no explanation. *)
+  let h =
+    [
+      ev ~domain:0 ~start:0 ~finish:1 M.QDeq (M.QVal (Some 1));
+      ev ~domain:1 ~start:2 ~finish:3 (M.QEnq 1) M.QUnit;
+    ]
+  in
+  check cb "real-time precedence enforced" false (V.Lin_check.check m ~init:[] h)
+
+let test_checker_fifo_order () =
+  let m = M.small_queue () in
+  (* enq 0 then enq 1 sequentially; a dequeue returning 1 violates
+     FIFO no matter how it overlaps. *)
+  let h =
+    [
+      ev ~domain:0 ~start:0 ~finish:1 (M.QEnq 0) M.QUnit;
+      ev ~domain:0 ~start:2 ~finish:3 (M.QEnq 1) M.QUnit;
+      ev ~domain:1 ~start:4 ~finish:5 M.QDeq (M.QVal (Some 1));
+    ]
+  in
+  check cb "fifo violation rejected" false (V.Lin_check.check m ~init:[] h)
+
+let test_partitioning_matches_whole () =
+  let m = M.small_map () in
+  let key = function M.MGet k | M.MPut (k, _) | M.MRemove k -> k in
+  let h =
+    [
+      ev ~domain:0 ~start:0 ~finish:3 (M.MPut (0, 1)) (M.MVal None);
+      ev ~domain:1 ~start:1 ~finish:2 (M.MPut (1, 0)) (M.MVal None);
+      ev ~domain:0 ~start:4 ~finish:6 (M.MGet 1) (M.MVal (Some 0));
+      ev ~domain:1 ~start:5 ~finish:7 (M.MGet 0) (M.MVal (Some 1));
+    ]
+  in
+  check cb "whole history linearizable" true (V.Lin_check.check m ~init:[] h);
+  check cb "partitioned check agrees" true
+    (V.Lin_check.check ~partition:key m ~init:[] h)
+
+(* ------------------------------------------------------------------ *)
+(* Shared runners: model op -> structure call                          *)
+
+let expect_ok = function
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg
+
+let map_key = function M.MGet k | M.MPut (k, _) | M.MRemove k -> k
+
+let map_runner ~get ~put ~remove op =
+  match op with
+  | M.MGet k -> M.MVal (get k)
+  | M.MPut (k, v) -> M.MVal (put k v)
+  | M.MRemove k -> M.MVal (remove k)
+
+let pq_runner ~insert ~remove_min ~min ~contains op =
+  match op with
+  | M.PInsert v ->
+      insert v;
+      M.PUnit
+  | M.PRemoveMin -> M.PVal (remove_min ())
+  | M.PMin -> M.PVal (min ())
+  | M.PContains v -> M.PBool (contains v)
+
+let q_runner ~enq ~deq ~front op =
+  match op with
+  | M.QEnq v ->
+      enq v;
+      M.QUnit
+  | M.QDeq -> M.QVal (deq ())
+  | M.QFront -> M.QVal (front ())
+
+let stack_runner ~push ~pop ~top op =
+  match op with
+  | M.StPush v ->
+      push v;
+      M.StUnit
+  | M.StPop -> M.StVal (pop ())
+  | M.StTop -> M.StVal (top ())
+
+let set_runner ~add ~remove ~mem op =
+  match op with
+  | M.SAdd v -> M.SBool (add v)
+  | M.SRemove v -> M.SBool (remove v)
+  | M.SMem v -> M.SBool (mem v)
+
+let omap_runner ~get ~put ~remove ~range op =
+  match op with
+  | M.OGet k -> M.OVal (get k)
+  | M.OPut (k, v) -> M.OVal (put k v)
+  | M.ORemove k -> M.OVal (remove k)
+  | M.ORange (lo, hi) -> M.OList (range lo hi)
+
+(* CAS-retry cell turning a persistent core (Avl, Hamt, Pheap,
+   Pqueue_fifo) into a linearizable lock-free concurrent structure, the
+   way Cow_omap/Ctrie/Cow_pqueue wrap theirs. *)
+type 'st cas = {
+  update : 'r. ('st -> 'st * 'r) -> 'r;
+  view : 'r. ('st -> 'r) -> 'r;
+}
+
+let cas_cell init =
+  let root = Atomic.make init in
+  let rec update : 'r. ('st -> 'st * 'r) -> 'r =
+   fun f ->
+    let cur = Atomic.get root in
+    let next, r = f cur in
+    if Atomic.compare_and_set root cur next then r else update f
+  in
+  { update; view = (fun f -> f (Atomic.get root)) }
+
+(* ------------------------------------------------------------------ *)
+(* Linearizability instances: every module in lib/concurrent           *)
+
+let chashmap_inst =
+  V.Lin_harness.instance "chashmap" ~model:(M.small_map ()) ~init:[]
+    ~partition:map_key (fun () ->
+      let t = C.Chashmap.create () in
+      map_runner ~get:(C.Chashmap.get t)
+        ~put:(C.Chashmap.put t)
+        ~remove:(C.Chashmap.remove t))
+
+let ctrie_inst =
+  V.Lin_harness.instance "ctrie" ~model:(M.small_map ()) ~init:[]
+    ~partition:map_key (fun () ->
+      let t = C.Ctrie.create () in
+      map_runner ~get:(C.Ctrie.get t) ~put:(C.Ctrie.put t)
+        ~remove:(C.Ctrie.remove t))
+
+let skiplist_inst =
+  (* Point operations only: the skiplist's range/size are documented as
+     weakly consistent, so they are kept out of the checked history. *)
+  V.Lin_harness.instance "skiplist" ~model:(M.small_map ()) ~init:[]
+    ~partition:map_key (fun () ->
+      let t = C.Skiplist.create () in
+      map_runner ~get:(C.Skiplist.get t)
+        ~put:(C.Skiplist.put t)
+        ~remove:(C.Skiplist.remove t))
+
+let hamt_inst =
+  V.Lin_harness.instance "hamt (cas-wrapped)" ~model:(M.small_map ())
+    ~init:[] ~partition:map_key (fun () ->
+      let hash = Hashtbl.hash and equal = Int.equal in
+      let c = cas_cell C.Hamt.empty in
+      map_runner
+        ~get:(fun k -> c.view (C.Hamt.find ~hash ~equal k))
+        ~put:(fun k v -> c.update (C.Hamt.add ~hash ~equal k v))
+        ~remove:(fun k -> c.update (C.Hamt.remove ~hash ~equal k)))
+
+let avl_inst =
+  V.Lin_harness.instance "avl (cas-wrapped)" ~model:(M.small_map ())
+    ~init:[] ~partition:map_key (fun () ->
+      let c = cas_cell C.Avl.empty in
+      map_runner
+        ~get:(fun k -> c.view (C.Avl.find ~compare:icmp k))
+        ~put:(fun k v -> c.update (C.Avl.add ~compare:icmp k v))
+        ~remove:(fun k -> c.update (C.Avl.remove ~compare:icmp k)))
+
+let cow_omap_inst =
+  V.Lin_harness.instance "cow_omap"
+    ~model:(M.small_omap ~values:[ 0; 1 ] ())
+    ~init:[]
+    (fun () ->
+      let t = C.Cow_omap.create ~compare:icmp () in
+      omap_runner ~get:(C.Cow_omap.get t) ~put:(C.Cow_omap.put t)
+        ~remove:(C.Cow_omap.remove t)
+        ~range:(fun lo hi -> C.Cow_omap.range t ~lo ~hi))
+
+let cow_queue_inst =
+  V.Lin_harness.instance "cow_queue" ~model:(M.small_queue ()) ~init:[]
+    (fun () ->
+      let t = C.Cow_queue.create () in
+      q_runner ~enq:(C.Cow_queue.enqueue t)
+        ~deq:(fun () -> C.Cow_queue.dequeue t)
+        ~front:(fun () -> C.Cow_queue.peek t))
+
+let pqueue_fifo_inst =
+  V.Lin_harness.instance "pqueue_fifo (cas-wrapped)"
+    ~model:(M.small_queue ()) ~init:[] (fun () ->
+      let c = cas_cell C.Pqueue_fifo.empty in
+      q_runner
+        ~enq:(fun v -> c.update (fun q -> (C.Pqueue_fifo.enqueue q v, ())))
+        ~deq:(fun () ->
+          c.update (fun q ->
+              match C.Pqueue_fifo.dequeue q with
+              | None -> (q, None)
+              | Some (v, q') -> (q', Some v)))
+        ~front:(fun () -> c.view C.Pqueue_fifo.peek))
+
+let cow_pqueue_inst =
+  V.Lin_harness.instance "cow_pqueue" ~model:(M.small_pqueue ()) ~init:[]
+    (fun () ->
+      let t = C.Cow_pqueue.create ~cmp:icmp () in
+      pq_runner ~insert:(C.Cow_pqueue.add t)
+        ~remove_min:(fun () -> C.Cow_pqueue.poll t)
+        ~min:(fun () -> C.Cow_pqueue.peek t)
+        ~contains:(C.Cow_pqueue.contains t))
+
+let blocking_pqueue_inst =
+  V.Lin_harness.instance "blocking_pqueue" ~model:(M.small_pqueue ())
+    ~init:[] (fun () ->
+      let t = C.Blocking_pqueue.create ~cmp:icmp () in
+      pq_runner
+        ~insert:(fun v -> ignore (C.Blocking_pqueue.add t v))
+        ~remove_min:(fun () -> C.Blocking_pqueue.poll t)
+        ~min:(fun () -> C.Blocking_pqueue.peek t)
+        ~contains:(C.Blocking_pqueue.contains t))
+
+let pheap_inst =
+  V.Lin_harness.instance "pheap (cas-wrapped)" ~model:(M.small_pqueue ())
+    ~init:[] (fun () ->
+      let c = cas_cell C.Pheap.empty in
+      pq_runner
+        ~insert:(fun v ->
+          c.update (fun h -> (C.Pheap.insert ~cmp:icmp v h, ())))
+        ~remove_min:(fun () ->
+          c.update (fun h ->
+              match C.Pheap.delete_min ~cmp:icmp h with
+              | None -> (h, None)
+              | Some (v, h') -> (h', Some v)))
+        ~min:(fun () -> c.view C.Pheap.find_min)
+        ~contains:(fun v -> c.view (C.Pheap.mem ~cmp:icmp v)))
+
+let treiber_inst =
+  V.Lin_harness.instance "treiber" ~model:(M.small_stack ()) ~init:[]
+    (fun () ->
+      let t = C.Treiber.create () in
+      stack_runner ~push:(C.Treiber.push t)
+        ~pop:(fun () -> C.Treiber.pop t)
+        ~top:(fun () -> C.Treiber.peek t))
+
+let deque_inst =
+  V.Lin_harness.instance "deque" ~model:(M.small_deque ()) ~init:[]
+    (fun () ->
+      let t = C.Deque.create () in
+      fun op ->
+        match op with
+        | M.DPushFront v ->
+            ignore (C.Deque.push_front t v);
+            M.DUnit
+        | M.DPushBack v ->
+            ignore (C.Deque.push_back t v);
+            M.DUnit
+        | M.DPopFront -> M.DVal (C.Deque.pop_front t)
+        | M.DPopBack -> M.DVal (C.Deque.pop_back t)
+        | M.DPeekFront -> M.DVal (C.Deque.peek_front t)
+        | M.DPeekBack -> M.DVal (C.Deque.peek_back t))
+
+let lf_list_inst =
+  V.Lin_harness.instance "lf_list" ~model:(M.small_set ()) ~init:[]
+    (fun () ->
+      let t = C.Lf_list.create ~compare:icmp () in
+      set_runner ~add:(C.Lf_list.add t) ~remove:(C.Lf_list.remove t)
+        ~mem:(C.Lf_list.contains t))
+
+let nn_counter_inst =
+  V.Lin_harness.instance "nn_counter" ~model:(M.counter ~bound:4) ~init:0
+    (fun () ->
+      let t = C.Nn_counter.create () in
+      fun op ->
+        match op with
+        | M.Incr ->
+            C.Nn_counter.incr t;
+            M.Ok_unit
+        | M.Decr -> if C.Nn_counter.try_decr t then M.Decr_ok else M.Decr_err)
+
+(* Striped counter: adds are unit-returning and commute, reads are only
+   quiescently consistent — so the concurrent phase is adds only and a
+   single post-join read validates the sum (the LongAdder contract). *)
+type sc_op = ScAdd of int | ScRead
+type sc_ret = ScUnit | ScInt of int
+
+let sc_model : (int, sc_op, sc_ret) M.t =
+  {
+    M.name = "striped-counter";
+    states = [];
+    ops = [ ScAdd 1; ScAdd (-1); ScAdd 5 ];
+    apply =
+      (fun s op ->
+        match op with
+        | ScAdd n -> (s + n, ScUnit)
+        | ScRead -> (s, ScInt s));
+    equal_state = Int.equal;
+    equal_ret = (fun a b -> a = b);
+    show_state = string_of_int;
+    show_op =
+      (function ScAdd n -> Printf.sprintf "add(%d)" n | ScRead -> "read");
+  }
+
+let striped_counter_inst =
+  V.Lin_harness.instance "striped_counter" ~model:sc_model ~init:0 (fun () ->
+      let t = C.Striped_counter.create () in
+      fun op ->
+        match op with
+        | ScAdd n ->
+            C.Striped_counter.add t n;
+            ScUnit
+        | ScRead -> ScInt (C.Striped_counter.get t))
+
+(* Rw_lock as an ADT: acquisitions are owner-stamped, each domain
+   strictly alternates acquire/release so nothing is held across
+   operations, and generous deadlines make timeouts unobservable.  A
+   blocked acquisition's interval spans the unblocking release, so the
+   checker can linearize them in the only sound order. *)
+type lock_op = LAcqRead of int | LAcqWrite of int | LRelease of int
+type lock_ret = LBool of bool | LUnit
+
+let lock_model : (int list * int option, lock_op, lock_ret) M.t =
+  {
+    M.name = "rw-lock";
+    states = [];
+    ops = [];
+    (* supplied by the custom per-domain generator *)
+    apply =
+      (fun (readers, writer) op ->
+        let free_for d =
+          match writer with None -> true | Some w -> w = d
+        in
+        match op with
+        | LAcqRead d ->
+            if free_for d then
+              ((List.sort_uniq compare (d :: readers), writer), LBool true)
+            else ((readers, writer), LBool false)
+        | LAcqWrite d ->
+            if free_for d && List.for_all (fun r -> r = d) readers then
+              (([], Some d), LBool true)
+            else ((readers, writer), LBool false)
+        | LRelease d ->
+            ( ( List.filter (fun r -> r <> d) readers,
+                match writer with Some w when w = d -> None | w -> w ),
+              LUnit ));
+    equal_state = (fun a b -> a = b);
+    equal_ret = (fun a b -> a = b);
+    show_state =
+      (fun (rs, w) ->
+        Printf.sprintf "r{%s}/w%s"
+          (String.concat "," (List.map string_of_int rs))
+          (match w with None -> "-" | Some d -> string_of_int d));
+    show_op =
+      (function
+      | LAcqRead d -> Printf.sprintf "acqR(%d)" d
+      | LAcqWrite d -> Printf.sprintf "acqW(%d)" d
+      | LRelease d -> Printf.sprintf "rel(%d)" d);
+  }
+
+let rw_lock_inst =
+  V.Lin_harness.instance "rw_lock" ~model:lock_model ~init:([], None)
+    ~gen:(fun rng ~domain ~step ->
+      if step mod 2 = 1 then LRelease domain
+      else if Random.State.bool rng then LAcqRead domain
+      else LAcqWrite domain)
+    (fun () ->
+      let t = C.Rw_lock.create () in
+      fun op ->
+        let deadline = Unix.gettimeofday () +. 10.0 in
+        match op with
+        | LAcqRead d -> LBool (C.Rw_lock.try_acquire_read t ~owner:d ~deadline)
+        | LAcqWrite d ->
+            LBool (C.Rw_lock.try_acquire_write t ~owner:d ~deadline)
+        | LRelease d ->
+            C.Rw_lock.release_all t ~owner:d;
+            LUnit)
+
+let lin_cases =
+  let case ?(domains = 4) ?(ops = 150) ?post inst =
+    slow
+      (Printf.sprintf "linearizable: %s" inst.V.Lin_harness.name)
+      (fun () ->
+        with_seed_note (fun () ->
+            expect_ok
+              (V.Lin_harness.run ~domains ~ops_per_domain:ops
+                 ~seed:(sub_seed (Hashtbl.hash inst.V.Lin_harness.name))
+                 ?post inst)))
+  in
+  [
+    case chashmap_inst ~ops:400;
+    case ctrie_inst ~ops:400;
+    case skiplist_inst ~ops:300;
+    case hamt_inst;
+    case avl_inst;
+    case cow_omap_inst ~ops:120;
+    case cow_queue_inst;
+    case pqueue_fifo_inst;
+    case cow_pqueue_inst;
+    case blocking_pqueue_inst;
+    case pheap_inst;
+    case treiber_inst;
+    case deque_inst;
+    case lf_list_inst ~ops:250;
+    case nn_counter_inst;
+    case striped_counter_inst ~ops:300 ~post:[ ScRead ];
+    case rw_lock_inst ~ops:60;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Negative fixture: a fenceless counter must be caught                *)
+
+let racy_counter () =
+  let cell = ref 0 in
+  fun op ->
+    match op with
+    | ScAdd n ->
+        let v = !cell in
+        (* widen the read-modify-write race window *)
+        for _ = 1 to 40 do
+          Domain.cpu_relax ()
+        done;
+        cell := v + n;
+        ScUnit
+    | ScRead -> ScInt !cell
+
+let test_negative_fixture () =
+  let inst =
+    V.Lin_harness.instance "fenceless counter" ~model:sc_model ~init:0
+      racy_counter
+  in
+  (* Lost updates are overwhelmingly likely in any one run; retry a few
+     schedules so the test is deterministic in practice. *)
+  let rec caught attempt =
+    if attempt >= 10 then false
+    else
+      match
+        V.Lin_harness.run ~domains:4 ~ops_per_domain:400
+          ~seed:(sub_seed attempt) ~post:[ ScRead ] inst
+      with
+      | Error _ -> true
+      | Ok _ -> caught (attempt + 1)
+  in
+  check cb "fenceless counter rejected by Lin_check" true (caught 0)
+
+(* ------------------------------------------------------------------ *)
+(* Serializability: every Proustian structure x every STM mode         *)
+
+type ser_case =
+  | Ser : {
+      s_name : string;
+      instance : ('s, 'o, 'r) V.Lin_harness.txn_instance;
+      modes : (string * Stm.config) list;
+    }
+      -> ser_case
+
+let pess = S.Map_intf.Pessimistic
+
+let eager_modes =
+  List.filter (fun (n, _) -> n = "eager-lazy" || n = "eager-eager") all_modes
+
+let counter_txn lap =
+  V.Lin_harness.txn_instance "p_counter" ~model:(M.obs_counter ~bound:4)
+    ~init:0 (fun () ->
+      let t = S.P_counter.make ~observable:true ~lap () in
+      fun txn op ->
+        match op with
+        | M.CIncr ->
+            S.P_counter.incr t txn;
+            M.CUnit
+        | M.CDecr -> M.CBool (S.P_counter.decr t txn)
+        | M.CGet -> M.CInt (S.P_counter.value t txn))
+
+let stack_txn lap =
+  V.Lin_harness.txn_instance "p_stack" ~model:(M.small_stack ()) ~init:[]
+    (fun () ->
+      let t = S.P_stack.make ~lap () in
+      fun txn op ->
+        match op with
+        | M.StPush v ->
+            S.P_stack.push t txn v;
+            M.StUnit
+        | M.StPop -> M.StVal (S.P_stack.pop t txn)
+        | M.StTop -> M.StVal (S.P_stack.top t txn))
+
+let set_txn lap =
+  V.Lin_harness.txn_instance "p_set" ~model:(M.small_set ()) ~init:[]
+    (fun () ->
+      let t = S.P_set.make ~lap ~compare:icmp () in
+      fun txn op ->
+        match op with
+        | M.SAdd v -> M.SBool (S.P_set.add t txn v)
+        | M.SRemove v -> M.SBool (S.P_set.remove t txn v)
+        | M.SMem v -> M.SBool (S.P_set.contains t txn v))
+
+let fifo_txn name make =
+  V.Lin_harness.txn_instance name ~model:(M.small_queue ()) ~init:[]
+    (fun () ->
+      let enqueue, dequeue, front = make () in
+      fun txn op ->
+        match op with
+        | M.QEnq v ->
+            enqueue txn v;
+            M.QUnit
+        | M.QDeq -> M.QVal (dequeue txn)
+        | M.QFront -> M.QVal (front txn))
+
+let pq_txn name make =
+  V.Lin_harness.txn_instance name ~model:(M.small_pqueue ()) ~init:[]
+    (fun () ->
+      let insert, remove_min, min, contains = make () in
+      fun txn op ->
+        match op with
+        | M.PInsert v ->
+            insert txn v;
+            M.PUnit
+        | M.PRemoveMin -> M.PVal (remove_min txn)
+        | M.PMin -> M.PVal (min txn)
+        | M.PContains v -> M.PBool (contains txn v))
+
+let map_txn name (make : unit -> (int, int) S.Map_intf.ops) =
+  V.Lin_harness.txn_instance name ~model:(M.small_map ()) ~init:[]
+    (fun () ->
+      let ops = make () in
+      fun txn op ->
+        match op with
+        | M.MGet k -> M.MVal (ops.S.Map_intf.get txn k)
+        | M.MPut (k, v) -> M.MVal (ops.S.Map_intf.put txn k v)
+        | M.MRemove k -> M.MVal (ops.S.Map_intf.remove txn k))
+
+let omap_txn name make =
+  V.Lin_harness.txn_instance name
+    ~model:(M.small_omap ~values:[ 0; 1 ] ())
+    ~init:[]
+    (fun () ->
+      let get, put, remove, range = make () in
+      fun txn op ->
+        match op with
+        | M.OGet k -> M.OVal (get txn k)
+        | M.OPut (k, v) -> M.OVal (put txn k v)
+        | M.ORemove k -> M.OVal (remove txn k)
+        | M.ORange (lo, hi) -> M.OList (range txn lo hi))
+
+let ser_cases =
+  [
+    Ser { s_name = "p_counter"; instance = counter_txn pess; modes = all_modes };
+    Ser { s_name = "p_stack"; instance = stack_txn pess; modes = all_modes };
+    Ser { s_name = "p_set"; instance = set_txn pess; modes = all_modes };
+    Ser
+      {
+        s_name = "p_fifo";
+        instance =
+          fifo_txn "p_fifo" (fun () ->
+              let t = S.P_fifo.make ~lap:pess () in
+              ( S.P_fifo.enqueue t,
+                S.P_fifo.dequeue t,
+                S.P_fifo.front t ));
+        modes = all_modes;
+      };
+    Ser
+      {
+        s_name = "p_lazy_fifo";
+        instance =
+          fifo_txn "p_lazy_fifo" (fun () ->
+              let t = S.P_lazy_fifo.make () in
+              ( S.P_lazy_fifo.enqueue t,
+                S.P_lazy_fifo.dequeue t,
+                S.P_lazy_fifo.front t ));
+        modes = all_modes;
+      };
+    Ser
+      {
+        s_name = "p_pqueue";
+        instance =
+          pq_txn "p_pqueue" (fun () ->
+              let t = S.P_pqueue.make ~cmp:icmp ~lap:pess () in
+              ( S.P_pqueue.insert t,
+                S.P_pqueue.remove_min t,
+                S.P_pqueue.min t,
+                S.P_pqueue.contains t ));
+        modes = all_modes;
+      };
+    Ser
+      {
+        s_name = "p_lazy_pqueue";
+        instance =
+          pq_txn "p_lazy_pqueue" (fun () ->
+              let t = S.P_lazy_pqueue.make ~cmp:icmp () in
+              ( S.P_lazy_pqueue.insert t,
+                S.P_lazy_pqueue.remove_min t,
+                S.P_lazy_pqueue.min t,
+                S.P_lazy_pqueue.contains t ));
+        modes = all_modes;
+      };
+    Ser
+      {
+        s_name = "p_hashmap";
+        instance =
+          map_txn "p_hashmap" (fun () ->
+              S.P_hashmap.ops (S.P_hashmap.make ~lap:pess ()));
+        modes = all_modes;
+      };
+    Ser
+      {
+        s_name = "p_hashmap eager/opt";
+        instance =
+          map_txn "p_hashmap eager/opt" (fun () ->
+              S.P_hashmap.ops (S.P_hashmap.make ()));
+        (* eager/optimistic is only opaque under encounter-time
+           detection (Theorem 5.2) *)
+        modes = eager_modes;
+      };
+    Ser
+      {
+        s_name = "p_lazy_hashmap";
+        instance =
+          map_txn "p_lazy_hashmap" (fun () ->
+              S.P_lazy_hashmap.ops (S.P_lazy_hashmap.make ()));
+        modes = all_modes;
+      };
+    Ser
+      {
+        s_name = "p_triemap";
+        instance =
+          map_txn "p_triemap" (fun () ->
+              S.P_triemap.ops (S.P_triemap.make ~lap:pess ()));
+        modes = all_modes;
+      };
+    Ser
+      {
+        s_name = "p_lazy_triemap";
+        instance =
+          map_txn "p_lazy_triemap" (fun () ->
+              S.P_lazy_triemap.ops (S.P_lazy_triemap.make ()));
+        modes = all_modes;
+      };
+    Ser
+      {
+        s_name = "p_omap";
+        instance =
+          omap_txn "p_omap" (fun () ->
+              let t = S.P_omap.make ~slots:4 ~index:Fun.id () in
+              ( S.P_omap.get t,
+                S.P_omap.put t,
+                S.P_omap.remove t,
+                fun txn lo hi -> S.P_omap.range t txn ~lo ~hi ));
+        modes = all_modes;
+      };
+    Ser
+      {
+        s_name = "p_skipmap";
+        instance =
+          omap_txn "p_skipmap" (fun () ->
+              let t = S.P_skipmap.make ~slots:4 ~lap:pess ~index:Fun.id () in
+              ( S.P_skipmap.get t,
+                S.P_skipmap.put t,
+                S.P_skipmap.remove t,
+                fun txn lo hi -> S.P_skipmap.range t txn ~lo ~hi ));
+        modes = all_modes;
+      };
+  ]
+
+let ser_tests =
+  List.concat_map
+    (fun (Ser { s_name; instance; modes }) ->
+      List.map
+        (fun (mode_name, config) ->
+          slow
+            (Printf.sprintf "serializable: %s under %s" s_name mode_name)
+            (fun () ->
+              with_seed_note (fun () ->
+                  expect_ok
+                    (V.Lin_harness.run_serializable ~domains:3
+                       ~txns_per_domain:2 ~windows:2 ~config
+                       ~seed:(sub_seed (Hashtbl.hash (s_name, mode_name)))
+                       instance))))
+        modes)
+    ser_cases
+
+let suite =
+  [
+    test "checker accepts a sequential history" test_checker_accepts_sequential;
+    test "checker rejects impossible returns"
+      test_checker_rejects_impossible_return;
+    test "checker linearizes within overlap" test_checker_uses_overlap;
+    test "checker respects real-time precedence"
+      test_checker_respects_precedence;
+    test "checker rejects fifo violations" test_checker_fifo_order;
+    test "partitioned check agrees with whole-history check"
+      test_partitioning_matches_whole;
+    slow "negative fixture: fenceless counter rejected" test_negative_fixture;
+  ]
+  @ lin_cases @ ser_tests

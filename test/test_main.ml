@@ -17,4 +17,5 @@ let () =
       ("stm-random", Test_stm_random.suite);
       ("edges", Test_edges.suite);
       ("chaos", Test_chaos.suite);
+      ("lin", Test_lin.suite);
     ]

@@ -300,6 +300,63 @@ let test_too_many_attempts () =
   | _ -> Alcotest.fail "expected Too_many_attempts");
   check ci "ran max_attempts times" 3 !tries
 
+let test_polite_courtesy_window () =
+  (* Decision schedule: Wait while below patience, then Restart_self;
+     each Wait spins an exponentially growing (capped) courtesy window,
+     so late-attempt decisions take measurably longer than early ones. *)
+  let cm = Contention.polite ~patience:16 () in
+  let self = Txn_desc.create ~birth:0 () in
+  let other = Txn_desc.create ~birth:0 () in
+  let decide attempt = cm.Contention.decide ~self ~other ~attempt in
+  for a = 0 to 15 do
+    check cb "waits below patience" true (decide a = Contention.Wait)
+  done;
+  check cb "restarts self at patience" true (decide 16 = Contention.Restart_self);
+  check cb "restarts self beyond patience" true
+    (decide 40 = Contention.Restart_self);
+  let timed attempt reps =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (decide attempt)
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  ignore (timed 12 1);
+  (* window 2^1 = 2 relax steps vs capped 2^12 = 4096 — three orders of
+     magnitude apart, far beyond timer noise over 40 repetitions *)
+  let early = timed 1 40 in
+  let late = timed 12 40 in
+  check cb "courtesy window grows with attempt" true (late > early)
+
+let test_backoff_rounds_reset () =
+  let b = Backoff.create ~ceiling:4 ~sleep_after:1_000 () in
+  check ci "fresh backoff has no rounds" 0 (Backoff.rounds b);
+  for _ = 1 to 5 do
+    Backoff.once b
+  done;
+  check ci "rounds counted" 5 (Backoff.rounds b);
+  Backoff.reset b;
+  check ci "reset forgets history" 0 (Backoff.rounds b)
+
+let test_backoff_spin_to_sleep () =
+  (* ceiling 0 makes the spin phase negligible, so once [sleep_after]
+     rounds have passed, each further round is dominated by the
+     configured OS sleep. *)
+  let sleep = 2e-3 in
+  let b = Backoff.create ~ceiling:0 ~sleep_after:3 ~sleep () in
+  let timed n =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do
+      Backoff.once b
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  let spin_phase = timed 3 in
+  let sleep_phase = timed 3 in
+  check cb "no sleep before the threshold" true (spin_phase < sleep);
+  check cb "rounds past the threshold sleep" true
+    (sleep_phase >= 2.0 *. sleep)
+
 let test_stats_counters () =
   Stats.reset ();
   let r = Tvar.make 0 in
@@ -383,6 +440,9 @@ let suite =
     slow "cm polite" (cm_stress "polite" (Contention.polite ()));
     slow "cm karma" (cm_stress "karma" (Contention.karma ()));
     slow "cm timestamp" (cm_stress "timestamp" (Contention.timestamp ()));
+    test "cm polite courtesy window" test_polite_courtesy_window;
+    test "backoff rounds/reset" test_backoff_rounds_reset;
+    slow "backoff spin-to-sleep" test_backoff_spin_to_sleep;
     test "txn-local storage" test_local_storage;
     test "txn-local find/set" test_local_find_set;
     test "too many attempts" test_too_many_attempts;

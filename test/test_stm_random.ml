@@ -109,6 +109,4 @@ let suite =
         (Printf.sprintf "random programs match reference (%s)" name)
         prog_gen
         (fun progs -> run_mode cfg progs))
-    (all_modes
-    @ [ ("serial-commit", { (Stm.get_default_config ()) with Stm.mode = Stm.Serial_commit }) ]
-    )
+    all_modes

@@ -10,15 +10,47 @@ let cs = Alcotest.string
 let copt_i = Alcotest.(option int)
 let clist_i = Alcotest.(list int)
 
+(** Master seed for every randomized/stress suite.  Fixed by default so
+    runs are reproducible; override with [PROUST_SEED=<int>] to explore
+    other schedules (CI pins it explicitly). *)
+let proust_seed =
+  match Sys.getenv_opt "PROUST_SEED" with
+  | None -> 0xC0FFEE
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n -> n
+      | None ->
+          Printf.ksprintf failwith "PROUST_SEED must be an integer, got %S" s)
+
+let note_seed () =
+  Printf.eprintf "\n[proust] failing run used PROUST_SEED=%d — re-run with \
+                  PROUST_SEED=%d to reproduce\n%!"
+    proust_seed proust_seed
+
+(** [with_seed_note f] runs [f], printing the master seed if it fails,
+    so any stress failure names the seed that reproduces it. *)
+let with_seed_note f =
+  try f ()
+  with e ->
+    note_seed ();
+    raise e
+
+(** Derive a sub-seed for one component of a suite from the master
+    seed, so distinct call sites get distinct but reproducible
+    streams. *)
+let sub_seed salt = proust_seed lxor (salt * 0x9E3779B9)
+
 let lazy_cfg = (Stm.get_default_config ())
 let eager_cfg = { (Stm.get_default_config ()) with Stm.mode = Stm.Eager_lazy }
 let eager_eager_cfg = { (Stm.get_default_config ()) with Stm.mode = Stm.Eager_eager }
+let serial_cfg = { (Stm.get_default_config ()) with Stm.mode = Stm.Serial_commit }
 
 let all_modes =
   [
     ("lazy-lazy", lazy_cfg);
     ("eager-lazy", eager_cfg);
     ("eager-eager", eager_eager_cfg);
+    ("serial-commit", serial_cfg);
   ]
 
 (** Config suitable for eager-update Proustian structures with an
@@ -29,5 +61,17 @@ let test name f = Alcotest.test_case name `Quick f
 let slow name f = Alcotest.test_case name `Slow f
 
 let qcheck ?(count = 200) name gen prop =
-  QCheck_alcotest.to_alcotest
-    (QCheck2.Test.make ~count ~name gen prop)
+  (* Seed qcheck's generator from the master seed (salted per test
+     name) and report the seed alongside any counterexample. *)
+  let rand = Random.State.make [| proust_seed; Hashtbl.hash name |] in
+  let prop x =
+    match prop x with
+    | true -> true
+    | false ->
+        note_seed ();
+        false
+    | exception e ->
+        note_seed ();
+        raise e
+  in
+  QCheck_alcotest.to_alcotest ~rand (QCheck2.Test.make ~count ~name gen prop)
