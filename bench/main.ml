@@ -2,7 +2,13 @@
    paper (see DESIGN.md's per-experiment index).
 
      main.exe [fig1|fig4|fig4-memo|micro|ablation-m|ablation-cm|
-               ablation-mode|pqueue|all]
+               ablation-mode|pqueue|obs-overhead|all]
+              [--json FILE] [--trace FILE]
+
+   --json writes every measured cell as a "proust-bench/v1" report
+   (and enables the metrics layer, so cells carry latency
+   percentiles); --trace enables tracing and writes a Chrome
+   trace_event file loadable in Perfetto.
 
    Environment knobs (defaults tuned for a small container; the paper
    ran 1M ops on 40 vCPUs):
@@ -15,6 +21,7 @@ module W = Proust_workload
 module S = Proust_structures
 module B = Proust_baselines
 module V = Proust_verify
+module Obs = Proust_obs
 
 let env_int name default =
   match Sys.getenv_opt name with Some s -> int_of_string s | None -> default
@@ -42,12 +49,28 @@ let spec ~u ~o =
     total_ops;
   }
 
-let run_cell (impl : W.Impls.entry) ~u ~o ~threads =
-  let r =
-    W.Runner.run ?config:impl.W.Impls.config ~trials ~warmup:1 ~threads
-      ~spec:(spec ~u ~o) impl.W.Impls.make
+(* --json FILE / --trace FILE may appear anywhere after the command. *)
+let flag_val name =
+  let rec go = function
+    | f :: v :: _ when f = name -> Some v
+    | _ :: rest -> go rest
+    | [] -> None
   in
-  W.Report.row ~name:impl.W.Impls.name r
+  go (Array.to_list Sys.argv)
+
+let json_file = flag_val "--json"
+let trace_file = flag_val "--trace"
+let cells : Obs.Json.t list ref = ref []
+
+(* Every measured cell flows through here: printed as a table row and,
+   under --json, retained for the report written at exit. *)
+let record ~name (r : W.Runner.result) =
+  W.Report.row ~name r;
+  if json_file <> None then cells := W.Report.json_cell ~name r :: !cells
+
+let run_cell (e : W.Registry.entry) ~u ~o ~threads =
+  let r = W.Runner.run_entry ~trials ~warmup:1 ~threads ~spec:(spec ~u ~o) e in
+  record ~name:e.W.Registry.name r
 
 (* ------------------------------------------------------------------ *)
 
@@ -75,7 +98,7 @@ let fig4 () =
        "FIG4: map throughput, %d ops, key range 1024 (paper: 1M ops, 40 vCPUs)"
        total_ops);
   W.Report.header ();
-  let impls = W.Impls.all () in
+  let impls = W.Registry.maps () in
   List.iter
     (fun u ->
       List.iter
@@ -83,11 +106,11 @@ let fig4 () =
           List.iter
             (fun threads ->
               List.iter
-                (fun (impl : W.Impls.entry) ->
+                (fun (impl : W.Registry.entry) ->
                   (* §7: pessimistic runs only at o = 1 (livelock under
                      long transactions). *)
-                  if (not impl.W.Impls.pessimistic) || o = 1 then
-                    run_cell impl ~u ~o ~threads)
+                  if (not impl.W.Registry.meta.S.Trait.pessimistic) || o = 1
+                  then run_cell impl ~u ~o ~threads)
                 impls)
             threads_list)
         o_list)
@@ -97,15 +120,16 @@ let fig4_memo () =
   W.Report.section
     "FIG4 (bottom): memoizing shadow copies, log combining on/off";
   W.Report.header ();
+  let variants =
+    List.filter_map W.Registry.find [ "lazy-memo"; "lazy-memo-combine" ]
+  in
   List.iter
     (fun o ->
       List.iter
         (fun u ->
           List.iter
             (fun threads ->
-              List.iter
-                (fun impl -> run_cell impl ~u ~o ~threads)
-                (W.Impls.memo_variants ()))
+              List.iter (fun impl -> run_cell impl ~u ~o ~threads) variants)
             threads_list)
         (if quick then [ 0.5 ] else [ 0.25; 0.5; 1.0 ]))
     (if quick then [ 16 ] else [ 16; 64; 256 ])
@@ -119,17 +143,13 @@ let ablation_m () =
     (fun slots ->
       List.iter
         (fun threads ->
-          let entry : W.Impls.entry =
-            {
-              name = Printf.sprintf "lazy-memo/M=%d" slots;
-              config = None;
-              make =
-                (fun () ->
-                  S.P_lazy_hashmap.ops (S.P_lazy_hashmap.make ~slots ()));
-              pessimistic = false;
-            }
+          let name = Printf.sprintf "lazy-memo/M=%d" slots in
+          let r =
+            W.Runner.run ~label:name ~trials ~warmup:1 ~threads
+              ~spec:(spec ~u ~o) (fun () ->
+                S.P_lazy_hashmap.ops (S.P_lazy_hashmap.make ~slots ()))
           in
-          run_cell entry ~u ~o ~threads)
+          record ~name r)
         (List.filter (fun t -> t > 1) threads_list))
     [ 1; 16; 64; 256; 1024; 4096 ]
 
@@ -144,10 +164,14 @@ let ablation_cm () =
           let config = Some { base with Stm.cm } in
           let make () = B.Predication_map.ops (B.Predication_map.make ()) in
           let sp = { (spec ~u:1.0 ~o:4) with W.Workload.key_range = 64 } in
-          let r = W.Runner.run ?config ~trials ~warmup:1 ~threads ~spec:sp make in
-          W.Report.row
-            ~name:(Printf.sprintf "predication/%s" cm.Proust_stm.Contention.name)
-            r)
+          let name =
+            Printf.sprintf "predication/%s" cm.Proust_stm.Contention.name
+          in
+          let r =
+            W.Runner.run ?config ~label:name ~trials ~warmup:1 ~threads
+              ~spec:sp make
+          in
+          record ~name r)
         (List.filter (fun t -> t > 1) threads_list))
     (Proust_stm.Contention.all ())
 
@@ -181,71 +205,39 @@ let ablation_mode () =
           List.iter
             (fun threads ->
               let r =
-                W.Runner.run ?config ~trials ~warmup:1 ~threads
+                W.Runner.run ?config ~label:name ~trials ~warmup:1 ~threads
                   ~spec:(spec ~u:0.5 ~o:16) make
               in
-              W.Report.row ~name r)
+              record ~name r)
             (List.filter (fun t -> t > 1) threads_list))
         entries)
     modes
 
 let pqueue_bench () =
-  W.Report.section "PQ-BENCH: priority queue, eager vs lazy-snapshot";
-  Printf.printf "%-18s %4s %10s %12s %9s %9s\n" "impl" "t" "mean(ms)" "ops/s"
-    "commits" "aborts";
-  Printf.printf "%s\n" (String.make 68 '-');
-  let eager_mode = { (Stm.get_default_config ()) with Stm.mode = Stm.Eager_lazy } in
-  let total = max 1_000 (total_ops / 2) in
-  let bench : type q.
-      string ->
-      ?config:Stm.config ->
-      (unit -> q) ->
-      (q -> Stm.txn -> int -> unit) ->
-      (q -> Stm.txn -> int option) ->
-      unit =
-   fun name ?config make_q insert remove_min ->
-    List.iter
-      (fun threads ->
-        let q = make_q () in
-        let enter = W.Runner.barrier threads in
-        let per = total / threads in
-        let before = Stats.read () in
-        let started = Array.make threads 0.0 in
-        let finished = Array.make threads 0.0 in
-        let body i () =
-          let rng = Random.State.make [| i |] in
-          enter ();
-          started.(i) <- Unix.gettimeofday ();
-          for j = 1 to per do
-            if j land 1 = 0 then
-              Stm.atomically ?config (fun txn ->
-                  insert q txn (Random.State.int rng 100_000))
-            else ignore (Stm.atomically ?config (fun txn -> remove_min q txn))
-          done;
-          finished.(i) <- Unix.gettimeofday ()
-        in
-        let ds = List.init threads (fun i -> Domain.spawn (body i)) in
-        List.iter Domain.join ds;
-        let dt =
-          (Array.fold_left max neg_infinity finished
-          -. Array.fold_left min infinity started)
-          *. 1000.0
-        in
-        let st = Stats.diff before (Stats.read ()) in
-        Printf.printf "%-18s %4d %10.2f %12.0f %9d %9d\n%!" name threads dt
-          (float_of_int total /. dt *. 1000.0)
-          st.Stats.commits st.Stats.aborts)
-      threads_list
-  in
-  bench "pq-eager-opt" ~config:eager_mode
-    (fun () -> S.P_pqueue.make ~cmp:Int.compare ())
-    S.P_pqueue.insert S.P_pqueue.remove_min;
-  bench "pq-eager-pess"
-    (fun () -> S.P_pqueue.make ~cmp:Int.compare ~lap:S.Map_intf.Pessimistic ())
-    S.P_pqueue.insert S.P_pqueue.remove_min;
-  bench "pq-lazy-snap"
-    (fun () -> S.P_lazy_pqueue.make ~cmp:Int.compare ())
-    S.P_lazy_pqueue.insert S.P_lazy_pqueue.remove_min
+  W.Report.section "PQ-BENCH: priority queue, eager vs pessimistic vs lazy";
+  W.Report.header ();
+  let sp = { (spec ~u:0.5 ~o:1) with W.Workload.total_ops = max 1_000 (total_ops / 2) } in
+  List.iter
+    (fun (e : W.Registry.entry) ->
+      List.iter
+        (fun threads ->
+          let r = W.Runner.run_entry ~trials ~warmup:1 ~threads ~spec:sp e in
+          record ~name:e.W.Registry.name r)
+        threads_list)
+    (W.Registry.pqueues ())
+
+let queue_bench () =
+  W.Report.section "FIFO-BENCH: queue wrappers across the design space";
+  W.Report.header ();
+  let sp = { (spec ~u:0.5 ~o:1) with W.Workload.total_ops = max 1_000 (total_ops / 2) } in
+  List.iter
+    (fun (e : W.Registry.entry) ->
+      List.iter
+        (fun threads ->
+          let r = W.Runner.run_entry ~trials ~warmup:1 ~threads ~spec:sp e in
+          record ~name:e.W.Registry.name r)
+        threads_list)
+    (W.Registry.queues ())
 
 let ablation_zipf () =
   W.Report.section
@@ -264,11 +256,12 @@ let ablation_zipf () =
         (fun (name, make) ->
           List.iter
             (fun threads ->
+              let label = Printf.sprintf "%s/%s" name dist_name in
               let r =
-                W.Runner.run ~dist ~trials ~warmup:1 ~threads
+                W.Runner.run ~dist ~label ~trials ~warmup:1 ~threads
                   ~spec:(spec ~u:0.5 ~o:16) make
               in
-              W.Report.row ~name:(Printf.sprintf "%s/%s" name dist_name) r)
+              record ~name:label r)
             (List.filter (fun t -> t > 1) threads_list))
         entries)
     [ ("uniform", W.Workload.Uniform); ("zipf99", W.Workload.Zipf 0.99) ]
@@ -301,8 +294,11 @@ let ablation_combine () =
       List.iter
         (fun threads ->
           let sp = { (spec ~u:0.75 ~o:64) with W.Workload.key_range = 128 } in
-          let r = W.Runner.run ?config ~trials ~warmup:1 ~threads ~spec:sp make in
-          W.Report.row ~name r)
+          let r =
+            W.Runner.run ?config ~label:name ~trials ~warmup:1 ~threads
+              ~spec:sp make
+          in
+          record ~name r)
         (List.filter (fun t -> t > 1) threads_list))
     entries
 
@@ -346,7 +342,7 @@ let structures_bench () =
   in
   let eager_mode = { (Stm.get_default_config ()) with Stm.mode = Stm.Eager_lazy } in
   bench "fifo-eager-pess"
-    (fun () -> S.P_fifo.make ~lap:S.Map_intf.Pessimistic ())
+    (fun () -> S.P_fifo.make ~lap:S.Trait.Pessimistic ())
     (fun q txn j ->
       if j land 1 = 0 then S.P_fifo.enqueue q txn j
       else ignore (S.P_fifo.dequeue q txn));
@@ -408,18 +404,18 @@ let compose_bench () =
   (* One "world": a work map, a job queue and a completion counter; a
      step claims a job, bumps its key in the map, and counts it. *)
   let make_world ~map ~pq ~counter_lap () =
-    let m : (int, int) Proust_structures.Map_intf.ops = map () in
-    let q : int S.Pqueue_intf.ops = pq () in
+    let m : (int, int) Proust_structures.Trait.Map.ops = map () in
+    let q : int S.Trait.Pqueue.ops = pq () in
     let c = S.P_counter.make ~lap:counter_lap ~init:1_000_000 () in
     let step rng txn =
       let k = Random.State.int rng 256 in
-      q.S.Pqueue_intf.insert txn k;
-      (match q.S.Pqueue_intf.remove_min txn with
+      q.S.Trait.Pqueue.insert txn k;
+      (match q.S.Trait.Pqueue.remove_min txn with
       | Some j ->
           let v =
-            Option.value ~default:0 (m.Proust_structures.Map_intf.get txn j)
+            Option.value ~default:0 (m.Proust_structures.Trait.Map.get txn j)
           in
-          ignore (m.Proust_structures.Map_intf.put txn j (v + 1))
+          ignore (m.Proust_structures.Trait.Map.put txn j (v + 1))
       | None -> ());
       S.P_counter.incr c txn
     in
@@ -428,25 +424,25 @@ let compose_bench () =
   bench "all-pessimistic"
     (make_world
        ~map:(fun () ->
-         S.P_hashmap.ops (S.P_hashmap.make ~lap:S.Map_intf.Pessimistic ()))
+         S.P_hashmap.ops (S.P_hashmap.make ~lap:S.Trait.Pessimistic ()))
        ~pq:(fun () ->
          S.P_pqueue.ops
-           (S.P_pqueue.make ~cmp:Int.compare ~lap:S.Map_intf.Pessimistic ()))
-       ~counter_lap:S.Map_intf.Pessimistic);
+           (S.P_pqueue.make ~cmp:Int.compare ~lap:S.Trait.Pessimistic ()))
+       ~counter_lap:S.Trait.Pessimistic);
   bench "all-lazy-optimistic" ~config:(W.Impls.eager_mode ())
     (* counter is eager; Eager_lazy covers it, lazy structures are
        opaque under every mode *)
     (make_world
        ~map:(fun () -> S.P_lazy_hashmap.ops (S.P_lazy_hashmap.make ()))
        ~pq:(fun () -> S.P_lazy_pqueue.ops (S.P_lazy_pqueue.make ~cmp:Int.compare ()))
-       ~counter_lap:S.Map_intf.Optimistic);
+       ~counter_lap:S.Trait.Optimistic);
   bench "mixed" ~config:(W.Impls.eager_mode ())
     (make_world
        ~map:(fun () -> S.P_lazy_triemap.ops (S.P_lazy_triemap.make ()))
        ~pq:(fun () ->
          S.P_pqueue.ops
-           (S.P_pqueue.make ~cmp:Int.compare ~lap:S.Map_intf.Pessimistic ()))
-       ~counter_lap:S.Map_intf.Optimistic)
+           (S.P_pqueue.make ~cmp:Int.compare ~lap:S.Trait.Pessimistic ()))
+       ~counter_lap:S.Trait.Optimistic)
 
 (* ------------------------------------------------------------------ *)
 (* TAB-MICRO: single-threaded per-operation latency (Bechamel).        *)
@@ -455,7 +451,7 @@ let micro () =
   W.Report.section "TAB-MICRO: single-thread per-op latency (Bechamel)";
   let open Bechamel in
   let make_test name
-      (make : unit -> (int, int) Proust_structures.Map_intf.ops) =
+      (make : unit -> (int, int) Proust_structures.Trait.Map.ops) =
     let ops = make () in
     Stm.atomically (fun txn ->
         for k = 0 to 1023 do
@@ -482,7 +478,7 @@ let micro () =
         make_test "predication" (fun () ->
             B.Predication_map.ops (B.Predication_map.make ()));
         make_test "eager-pess" (fun () ->
-            Proust_structures.P_hashmap.ops (Proust_structures.P_hashmap.make ~lap:Proust_structures.Map_intf.Pessimistic ()));
+            Proust_structures.P_hashmap.ops (Proust_structures.P_hashmap.make ~lap:Proust_structures.Trait.Pessimistic ()));
         make_test "lazy-memo" (fun () ->
             Proust_structures.P_lazy_hashmap.ops (Proust_structures.P_lazy_hashmap.make ()));
         make_test "lazy-snap" (fun () ->
@@ -512,16 +508,84 @@ let micro () =
   List.iter (fun (name, ns) -> Printf.printf "%-36s %12.1f\n" name ns) rows
 
 (* ------------------------------------------------------------------ *)
+(* OBS-OVERHEAD: the disabled-observability budget.                     *)
+
+(* Measures a tight read/write transaction loop three ways in one
+   process: with observability never enabled (base), with tracing and
+   metrics on, and again after disabling them.  Each instrumentation
+   site must collapse back to a single atomic load once the gate
+   closes, so the third measurement has to land within tolerance of
+   the first; otherwise this exits non-zero (the CI regression
+   check).  Robustness against container noise: best-of-N. *)
+let obs_overhead () =
+  W.Report.section "OBS-OVERHEAD: disabled-tracing budget (single atomic load)";
+  let iters = env_int "PROUST_OVERHEAD_ITERS" 200_000 in
+  let tolerance =
+    float_of_int (env_int "PROUST_OVERHEAD_TOL_PCT" 5) /. 100.0
+  in
+  let r = Tvar.make 0 in
+  let once () =
+    let t0 = Unix.gettimeofday () in
+    for i = 1 to iters do
+      Stm.atomically (fun txn ->
+          ignore (Stm.read txn r);
+          Stm.write txn r i)
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int iters *. 1e9
+  in
+  let best_of n =
+    ignore (once ());
+    Gc.full_major ();
+    let best = ref infinity in
+    for _ = 1 to n do
+      best := min !best (once ())
+    done;
+    !best
+  in
+  let base = best_of 5 in
+  Obs.Trace.enable ();
+  Obs.Metrics.enable ();
+  let on = best_of 3 in
+  Obs.Trace.disable ();
+  Obs.Metrics.disable ();
+  let off = best_of 5 in
+  Printf.printf "ns/txn  never-enabled %8.1f   enabled %8.1f   re-disabled %8.1f\n"
+    base on off;
+  let limit = base *. (1.0 +. tolerance) in
+  if off > limit then begin
+    Printf.printf
+      "FAIL: re-disabled %.1f ns/txn exceeds never-enabled %.1f ns/txn by \
+       more than %.0f%%\n"
+      off base (tolerance *. 100.0);
+    exit 1
+  end
+  else
+    Printf.printf "PASS: disabled-observability overhead within %.0f%% budget\n"
+      (tolerance *. 100.0)
+
+(* ------------------------------------------------------------------ *)
 
 let usage () =
   print_endline
     "usage: main.exe \
      [fig1|fig4|fig4-memo|micro|ablation-m|ablation-cm|ablation-mode|\
-     ablation-zipf|ablation-combine|pqueue|structures|compose|all]"
+     ablation-zipf|ablation-combine|pqueue|queue|structures|compose|\
+     obs-overhead|all] [--json FILE] [--trace FILE]"
 
 let () =
-  let cmd = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
-  match cmd with
+  (* First non-flag argument is the command; --json/--trace (and their
+     values) are consumed by [flag_val]. *)
+  let cmd =
+    let rec go = function
+      | ("--json" | "--trace") :: _ :: rest -> go rest
+      | c :: _ -> c
+      | [] -> "all"
+    in
+    go (List.tl (Array.to_list Sys.argv))
+  in
+  if json_file <> None then Obs.Metrics.enable ();
+  if trace_file <> None then Obs.Trace.enable ();
+  (match cmd with
   | "fig1" -> fig1 ()
   | "fig4" -> fig4 ()
   | "fig4-memo" -> fig4_memo ()
@@ -532,8 +596,10 @@ let () =
   | "ablation-zipf" -> ablation_zipf ()
   | "ablation-combine" -> ablation_combine ()
   | "pqueue" -> pqueue_bench ()
+  | "queue" -> queue_bench ()
   | "structures" -> structures_bench ()
   | "compose" -> compose_bench ()
+  | "obs-overhead" -> obs_overhead ()
   | "all" ->
       fig1 ();
       micro ();
@@ -545,6 +611,34 @@ let () =
       ablation_zipf ();
       ablation_combine ();
       pqueue_bench ();
+      queue_bench ();
       structures_bench ();
       compose_bench ()
-  | _ -> usage ()
+  | _ -> usage ());
+  Option.iter
+    (fun file ->
+      let config =
+        [
+          ("command", Obs.Json.String cmd);
+          ("total_ops", Obs.Json.Int total_ops);
+          ( "threads",
+            Obs.Json.List (List.map (fun t -> Obs.Json.Int t) threads_list) );
+          ("trials", Obs.Json.Int trials);
+          ("quick", Obs.Json.Bool quick);
+          ( "default_mode",
+            Obs.Json.String (Stm.mode_name (Stm.get_default_config ()).Stm.mode)
+          );
+          ("ocaml", Obs.Json.String Sys.ocaml_version);
+          ("unix_time", Obs.Json.Float (Unix.gettimeofday ()));
+        ]
+      in
+      W.Report.write_json ~file ~config (List.rev !cells);
+      Printf.printf "wrote JSON report: %s (%d cells)\n%!" file
+        (List.length !cells))
+    json_file;
+  Option.iter
+    (fun file ->
+      Obs.Trace.dump_chrome_file file;
+      Printf.printf "wrote Chrome trace: %s (%d events, %d dropped)\n%!" file
+        (Obs.Trace.emitted ()) (Obs.Trace.dropped ()))
+    trace_file

@@ -1,45 +1,32 @@
 (* Command-line benchmark driver for custom parameter sweeps.
 
-     proust_bench --impl lazy-memo --threads 1,2,4 --u 0.5 --o 16 \
-                  --ops 100000 --mode eager-lazy --cm karma --csv out.csv
+     proust_bench --impl lazy-memo,fifo-lazy --threads 1,2,4 --u 0.5 \
+                  --o 16 --ops 100000 --mode eager-lazy --cm karma \
+                  --csv out.csv --json report.json --trace trace.json
 
    The `bench/main.exe` harness regenerates the paper's fixed grids;
-   this tool explores arbitrary points of the space. *)
+   this tool explores arbitrary points of the space.  Implementations
+   are enumerated from the workload registry, so maps, FIFO queues and
+   priority queues are all benchable; an entry whose trait header
+   requires encounter-time conflict detection is upgraded to
+   eager-lazy if the requested mode cannot host it (Figure 1).
+
+   --json writes a "proust-bench/v1" report (and enables metrics, so
+   cells carry commit/abort-retry/lock-wait latency percentiles);
+   --trace enables tracing and writes a Chrome trace_event file
+   loadable in Perfetto. *)
 
 module W = Proust_workload
 module S = Proust_structures
-module B = Proust_baselines
+module Obs = Proust_obs
 
-let impl_names =
-  [
-    "stm-map";
-    "predication";
-    "eager-opt";
-    "eager-pess";
-    "lazy-memo";
-    "lazy-memo-nocombine";
-    "lazy-snap";
-    "lazy-triemap";
-    "boosted";
-    "coarse";
-  ]
-
-let make_impl ~slots = function
-  | "stm-map" -> fun () -> B.Stm_hashmap.ops (B.Stm_hashmap.make ())
-  | "predication" -> fun () -> B.Predication_map.ops (B.Predication_map.make ())
-  | "eager-opt" -> fun () -> S.P_hashmap.ops (S.P_hashmap.make ~slots ())
-  | "eager-pess" ->
-      fun () ->
-        S.P_hashmap.ops (S.P_hashmap.make ~slots ~lap:S.Map_intf.Pessimistic ())
-  | "lazy-memo" -> fun () -> S.P_lazy_hashmap.ops (S.P_lazy_hashmap.make ~slots ())
-  | "lazy-memo-nocombine" ->
-      fun () ->
-        S.P_lazy_hashmap.ops (S.P_lazy_hashmap.make ~slots ~combine:false ())
-  | "lazy-snap" | "lazy-triemap" ->
-      fun () -> S.P_lazy_triemap.ops (S.P_lazy_triemap.make ~slots ())
-  | "boosted" -> fun () -> B.Boosted_map.ops (B.Boosted_map.make ~slots ())
-  | "coarse" -> fun () -> B.Coarse_map.ops (B.Coarse_map.make ())
-  | other -> invalid_arg ("unknown impl: " ^ other)
+(* Spellings accepted for entries that were renamed when the registry
+   replaced the hand-written implementation list. *)
+let canonical = function
+  | "eager-pess" -> "pessimistic"
+  | "lazy-memo-nocombine" -> "lazy-memo"
+  | "lazy-triemap" -> "lazy-snap"
+  | other -> other
 
 let mode_of_string = function
   | "lazy-lazy" -> Stm.Lazy_lazy
@@ -55,7 +42,8 @@ let cm_of_string = function
   | "timestamp" -> Proust_stm.Contention.timestamp ()
   | other -> invalid_arg ("unknown contention manager: " ^ other)
 
-let run impls threads_list u o ops key_range trials slots mode cm csv =
+let run impls threads_list u o ops key_range trials slots mode cm csv json
+    trace =
   let config =
     {
       (Stm.get_default_config ()) with
@@ -63,38 +51,91 @@ let run impls threads_list u o ops key_range trials slots mode cm csv =
       cm = cm_of_string cm;
     }
   in
-  (* Eager-optimistic structures require encounter-time detection. *)
-  let config_for name =
-    if name = "eager-opt" && config.Stm.mode = Stm.Lazy_lazy then
-      { config with Stm.mode = Stm.Eager_lazy }
-    else config
-  in
   let spec =
     { W.Workload.key_range; write_fraction = u; ops_per_txn = o; total_ops = ops }
   in
+  if json <> None then Obs.Metrics.enable ();
+  if trace <> None then Obs.Trace.enable ();
+  let cells = ref [] in
   let csv_oc = Option.map open_out csv in
   Option.iter W.Report.csv_header csv_oc;
   W.Report.header ();
   List.iter
-    (fun name ->
-      let make = make_impl ~slots name in
+    (fun raw_name ->
+      let name = canonical raw_name in
+      let e =
+        match W.Registry.find ~slots name with
+        | Some e -> e
+        | None ->
+            invalid_arg
+              (Printf.sprintf "unknown impl %s (known: %s)" raw_name
+                 (String.concat ", " (W.Registry.names ())))
+      in
+      (* Honour the requested mode unless the entry's trait header
+         rules it out (Theorem 5.2); then upgrade to eager-lazy, as
+         the registry would. *)
+      let config =
+        if S.Trait.mode_ok e.W.Registry.meta.S.Trait.mode_req config.Stm.mode
+        then config
+        else { config with Stm.mode = Stm.Eager_lazy }
+      in
       List.iter
         (fun threads ->
           let r =
-            W.Runner.run ~config:(config_for name) ~trials ~warmup:1 ~threads
-              ~spec make
+            match e.W.Registry.target with
+            | W.Registry.Map make ->
+                W.Runner.run ~config ~label:name ~trials ~warmup:1 ~threads
+                  ~spec make
+            | W.Registry.Queue make ->
+                W.Runner.run_queue ~config ~label:name ~trials ~warmup:1
+                  ~threads ~spec make
+            | W.Registry.Pqueue make ->
+                W.Runner.run_pqueue ~config ~label:name ~trials ~warmup:1
+                  ~threads ~spec make
           in
           W.Report.row ~name r;
-          Option.iter (fun oc -> W.Report.csv_row oc ~name r) csv_oc)
+          Option.iter (fun oc -> W.Report.csv_row oc ~name r) csv_oc;
+          if json <> None then cells := W.Report.json_cell ~name r :: !cells)
         threads_list)
     impls;
-  Option.iter close_out csv_oc
+  Option.iter close_out csv_oc;
+  Option.iter
+    (fun file ->
+      let jstr s = Obs.Json.String s in
+      let config_fields =
+        [
+          ("impls", Obs.Json.List (List.map jstr impls));
+          ( "threads",
+            Obs.Json.List (List.map (fun t -> Obs.Json.Int t) threads_list) );
+          ("u", Obs.Json.Float u);
+          ("o", Obs.Json.Int o);
+          ("ops", Obs.Json.Int ops);
+          ("key_range", Obs.Json.Int key_range);
+          ("trials", Obs.Json.Int trials);
+          ("slots", Obs.Json.Int slots);
+          ("mode", jstr mode);
+          ("cm", jstr cm);
+          ("ocaml", jstr Sys.ocaml_version);
+          ("unix_time", Obs.Json.Float (Unix.gettimeofday ()));
+        ]
+      in
+      W.Report.write_json ~file ~config:config_fields (List.rev !cells);
+      Printf.printf "wrote JSON report: %s (%d cells)\n%!" file
+        (List.length !cells))
+    json;
+  Option.iter
+    (fun file ->
+      Obs.Trace.dump_chrome_file file;
+      Printf.printf "wrote Chrome trace: %s (%d events, %d dropped)\n%!" file
+        (Obs.Trace.emitted ()) (Obs.Trace.dropped ()))
+    trace
 
 open Cmdliner
 
 let impls_arg =
   let doc =
-    "Comma-separated implementations: " ^ String.concat ", " impl_names
+    "Comma-separated implementations from the registry: "
+    ^ String.concat ", " (W.Registry.names ())
   in
   Arg.(value & opt (list string) [ "lazy-memo" ] & info [ "impl" ] ~doc)
 
@@ -133,12 +174,29 @@ let cm_arg =
 let csv_arg =
   Arg.(value & opt (some string) None & info [ "csv" ] ~doc:"Also write CSV to $(docv)")
 
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ]
+        ~doc:
+          "Write a proust-bench/v1 JSON report (with latency percentiles) to \
+           $(docv)")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ]
+        ~doc:"Record a Chrome trace_event file (Perfetto-loadable) to $(docv)")
+
 let cmd =
-  let doc = "Proust map-throughput benchmark (custom sweeps)" in
+  let doc = "Proust structure-throughput benchmark (custom sweeps)" in
   Cmd.v
     (Cmd.info "proust_bench" ~doc)
     Term.(
       const run $ impls_arg $ threads_arg $ u_arg $ o_arg $ ops_arg $ keys_arg
-      $ trials_arg $ slots_arg $ mode_arg $ cm_arg $ csv_arg)
+      $ trials_arg $ slots_arg $ mode_arg $ cm_arg $ csv_arg $ json_arg
+      $ trace_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -7,7 +7,7 @@
 type ('k, 'v) t = ('k, 'v) Proust_structures.P_hashmap.t
 
 let make ?slots ?size_mode () =
-  Proust_structures.P_hashmap.make ?slots ~lap:Proust_structures.Map_intf.Pessimistic
+  Proust_structures.P_hashmap.make ?slots ~lap:Proust_structures.Trait.Pessimistic
     ?size_mode ()
 
 let get = Proust_structures.P_hashmap.get
@@ -15,4 +15,10 @@ let put = Proust_structures.P_hashmap.put
 let remove = Proust_structures.P_hashmap.remove
 let contains = Proust_structures.P_hashmap.contains
 let size = Proust_structures.P_hashmap.size
-let ops = Proust_structures.P_hashmap.ops
+let ops t =
+  let o = Proust_structures.P_hashmap.ops t in
+  {
+    o with
+    Proust_structures.Trait.Map.meta =
+      { o.Proust_structures.Trait.Map.meta with name = "boosted" };
+  }

@@ -12,4 +12,4 @@ val put : ('k, 'v) t -> Stm.txn -> 'k -> 'v -> 'v option
 val remove : ('k, 'v) t -> Stm.txn -> 'k -> 'v option
 val contains : ('k, 'v) t -> Stm.txn -> 'k -> bool
 val size : ('k, 'v) t -> Stm.txn -> int
-val ops : ('k, 'v) t -> ('k, 'v) Proust_structures.Map_intf.ops
+val ops : ('k, 'v) t -> ('k, 'v) Proust_structures.Trait.Map.ops

@@ -14,4 +14,10 @@ let put = Proust_structures.P_hashmap.put
 let remove = Proust_structures.P_hashmap.remove
 let contains = Proust_structures.P_hashmap.contains
 let size = Proust_structures.P_hashmap.size
-let ops = Proust_structures.P_hashmap.ops
+let ops t =
+  let o = Proust_structures.P_hashmap.ops t in
+  {
+    o with
+    Proust_structures.Trait.Map.meta =
+      { o.Proust_structures.Trait.Map.meta with name = "coarse" };
+  }

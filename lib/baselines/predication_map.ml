@@ -51,8 +51,11 @@ let remove t txn k =
 let size t txn = Committed_size.read t.csize txn
 let committed_size t = Committed_size.peek t.csize
 
-let ops t : ('k, 'v) Proust_structures.Map_intf.ops =
+let ops t : ('k, 'v) Proust_structures.Trait.Map.ops =
   {
+    meta =
+      Proust_structures.Trait.meta ~name:"predication"
+        ~strategy:Update_strategy.Lazy ();
     get = get t;
     put = put t;
     remove = remove t;

@@ -55,8 +55,11 @@ let size t txn =
       Array.fold_left (fun acc b -> acc + List.length (Stm.read txn b)) 0
         t.buckets
 
-let ops t : ('k, 'v) Proust_structures.Map_intf.ops =
+let ops t : ('k, 'v) Proust_structures.Trait.Map.ops =
   {
+    meta =
+      Proust_structures.Trait.meta ~name:"stm-hashmap"
+        ~strategy:Update_strategy.Lazy ();
     get = get t;
     put = put t;
     remove = remove t;

@@ -18,4 +18,4 @@ val contains : ('k, 'v) t -> Stm.txn -> 'k -> bool
 (** O(buckets) scan unless [track_size] was set. *)
 val size : ('k, 'v) t -> Stm.txn -> int
 
-val ops : ('k, 'v) t -> ('k, 'v) Proust_structures.Map_intf.ops
+val ops : ('k, 'v) t -> ('k, 'v) Proust_structures.Trait.Map.ops

@@ -37,7 +37,14 @@ let pessimistic ?(timeout = 5e-3) ~ca () =
           Hashtbl.iter
             (fun slot () ->
               Proust_concurrent.Rw_lock.release_all locks.(slot) ~owner)
-            held
+            held;
+          if
+            Hashtbl.length held > 0
+            && Proust_obs.Gate.get () land Proust_obs.Gate.trace_bit <> 0
+          then
+            Proust_obs.Trace.emit
+              ~tick:(Clock.now Clock.global)
+              ~txn:owner Proust_obs.Trace.Alock_release
         in
         Stm.after_commit txn release;
         Stm.on_abort txn release;

@@ -1,3 +1,13 @@
+(* Trace tap shared by both log flavours: replay runs inside the commit
+   locked phase, so the transaction id is not in scope — 0 marks the
+   event as structural rather than attributable. *)
+let obs_replay ops =
+  if Proust_obs.Gate.get () land Proust_obs.Gate.trace_bit <> 0 then
+    Proust_obs.Trace.emit
+      ~tick:(Clock.now Clock.global)
+      ~txn:0
+      (Proust_obs.Trace.Replay_apply { ops })
+
 module Memo = struct
   type ('k, 'v) base = {
     base_get : 'k -> 'v option;
@@ -42,6 +52,7 @@ module Memo = struct
   let replay t () =
     (* Chaos hook: replay runs post-linearization, so only delays. *)
     Fault.delay_only Fault.Replay_apply;
+    obs_replay (if t.combine then Hashtbl.length t.dirty else t.op_count);
     if t.combine then
       Hashtbl.iter
         (fun k () ->
@@ -132,6 +143,7 @@ module Snapshot = struct
      per-operation log on top of their effects. *)
   let replay t () =
     Fault.delay_only Fault.Replay_apply;
+    obs_replay t.op_count;
     let combined =
       match (t.install, t.base_snapshot, t.shadow) with
       | Some install, Some expected, Some desired ->

@@ -1,0 +1,9 @@
+let trace_bit = 1
+let metrics_bit = 2
+let state = Atomic.make 0
+let get () = Atomic.get state
+
+let rec set bit ~on =
+  let cur = Atomic.get state in
+  let next = if on then cur lor bit else cur land lnot bit in
+  if not (Atomic.compare_and_set state cur next) then set bit ~on

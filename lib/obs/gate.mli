@@ -1,0 +1,17 @@
+(** The master observability gate.
+
+    Every instrumentation site in the STM and the Proust core is
+    guarded by a single load of {!get}: when the returned word is [0]
+    (nothing enabled), the site costs exactly that one atomic load and
+    touches nothing else.  {!Trace} and {!Metrics} flip their own bit
+    on enable/disable; sites test the bits they care about on the value
+    they already loaded, so enabling tracing does not tax metrics-only
+    sites and vice versa. *)
+
+val trace_bit : int
+val metrics_bit : int
+
+(** Current gate word; [0] means all observability is off. *)
+val get : unit -> int
+
+val set : int -> on:bool -> unit

@@ -1,0 +1,145 @@
+(* 16 linear sub-buckets per power of two.  Values below 16 get exact
+   unit buckets; a value v >= 16 with top bit at position [top] lands
+   in block (top - 3), sub-bucket (v >> (top - 4)) land 15.  Blocks
+   are laid out contiguously: index = block * 16 + sub. *)
+
+let sub_bits = 4
+let sub_count = 1 lsl sub_bits
+
+(* Top bit position can reach 61 on 63-bit ints we care about; block =
+   top - sub_bits + 1 <= 58, so 59 blocks of 16 plus the unit block. *)
+let n_buckets = 60 * sub_count
+
+type t = {
+  counts : int Atomic.t array;
+  maxv : int Atomic.t;
+}
+
+let create () =
+  { counts = Array.init n_buckets (fun _ -> Atomic.make 0); maxv = Atomic.make 0 }
+
+let top_bit v =
+  (* position of the most significant set bit; v > 0 *)
+  let r = ref 0 in
+  let v = ref v in
+  if !v lsr 32 <> 0 then (r := !r + 32; v := !v lsr 32);
+  if !v lsr 16 <> 0 then (r := !r + 16; v := !v lsr 16);
+  if !v lsr 8 <> 0 then (r := !r + 8; v := !v lsr 8);
+  if !v lsr 4 <> 0 then (r := !r + 4; v := !v lsr 4);
+  if !v lsr 2 <> 0 then (r := !r + 2; v := !v lsr 2);
+  if !v lsr 1 <> 0 then incr r;
+  !r
+
+let bucket_index v =
+  if v < sub_count then max v 0
+  else
+    let top = top_bit v in
+    let block = top - sub_bits + 1 in
+    let sub = (v lsr (top - sub_bits)) land (sub_count - 1) in
+    min ((block * sub_count) + sub) (n_buckets - 1)
+
+let bucket_lower idx =
+  let block = idx lsr sub_bits in
+  let sub = idx land (sub_count - 1) in
+  if block = 0 then sub else (sub_count + sub) lsl (block - 1)
+
+let record t v =
+  let v = max v 0 in
+  Atomic.incr t.counts.(bucket_index v);
+  let rec bump () =
+    let cur = Atomic.get t.maxv in
+    if v > cur && not (Atomic.compare_and_set t.maxv cur v) then bump ()
+  in
+  bump ()
+
+let count t =
+  Array.fold_left (fun acc c -> acc + Atomic.get c) 0 t.counts
+
+let max_value t = Atomic.get t.maxv
+
+let mean t =
+  let total = ref 0 and sum = ref 0.0 in
+  Array.iteri
+    (fun i c ->
+      let n = Atomic.get c in
+      if n > 0 then begin
+        total := !total + n;
+        let lo = bucket_lower i in
+        let width = if i lsr sub_bits = 0 then 0 else 1 lsl ((i lsr sub_bits) - 1) in
+        sum := !sum +. (float_of_int n *. (float_of_int lo +. (float_of_int width /. 2.0)))
+      end)
+    t.counts;
+  if !total = 0 then 0.0 else !sum /. float_of_int !total
+
+let percentile t p =
+  let total = count t in
+  if total = 0 then 0
+  else begin
+    let rank =
+      let r = int_of_float (ceil (p /. 100.0 *. float_of_int total)) in
+      min (max r 1) total
+    in
+    let seen = ref 0 in
+    let result = ref 0 in
+    (try
+       Array.iteri
+         (fun i c ->
+           seen := !seen + Atomic.get c;
+           if !seen >= rank then begin
+             result := bucket_lower i;
+             raise Exit
+           end)
+         t.counts
+     with Exit -> ());
+    !result
+  end
+
+let merge a b =
+  let t = create () in
+  Array.iteri
+    (fun i c -> Atomic.set t.counts.(i) (Atomic.get c + Atomic.get b.counts.(i)))
+    a.counts;
+  Atomic.set t.maxv (max (Atomic.get a.maxv) (Atomic.get b.maxv));
+  t
+
+let reset t =
+  Array.iter (fun c -> Atomic.set c 0) t.counts;
+  Atomic.set t.maxv 0
+
+let buckets t =
+  let acc = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    let n = Atomic.get t.counts.(i) in
+    if n > 0 then acc := (bucket_lower i, n) :: !acc
+  done;
+  !acc
+
+type summary = {
+  count : int;
+  p50 : int;
+  p90 : int;
+  p99 : int;
+  max : int;
+  mean : float;
+}
+
+let summarize t =
+  {
+    count = count t;
+    p50 = percentile t 50.0;
+    p90 = percentile t 90.0;
+    p99 = percentile t 99.0;
+    max = max_value t;
+    mean = mean t;
+  }
+
+let summary_to_json (s : summary) =
+  Json.Obj
+    [
+      ("count", Json.Int s.count);
+      ("p50", Json.Int s.p50);
+      ("p90", Json.Int s.p90);
+      ("p99", Json.Int s.p99);
+      ("max", Json.Int s.max);
+      ("mean", Json.Float s.mean);
+    ]

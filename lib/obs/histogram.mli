@@ -1,0 +1,53 @@
+(** HDR-style log-bucketed concurrent histogram.
+
+    Values (typically nanosecond durations) are bucketed by the
+    position of their most significant bit with 16 linear sub-buckets
+    per power of two, so relative error is bounded by 1/16 (~6%)
+    across the whole [0, 2^62) range while the table stays under 1000
+    atomic counters.  [record] is one atomic increment plus a handful
+    of bit operations; histograms may be recorded into from any number
+    of domains concurrently and merged pointwise afterwards. *)
+
+type t
+
+val create : unit -> t
+val record : t -> int -> unit
+
+(** Total recorded samples. *)
+val count : t -> int
+
+(** Largest value recorded, exactly (not bucket-rounded). *)
+val max_value : t -> int
+
+(** Bucket-midpoint approximation of the arithmetic mean. *)
+val mean : t -> float
+
+(** [percentile t p] for [p] in [0.0, 100.0]: the lower bound of the
+    bucket containing the p-th percentile sample (0 when empty). *)
+val percentile : t -> float -> int
+
+(** Pointwise sum; inputs are unchanged.  Merge is associative and
+    commutative (bucket counts simply add). *)
+val merge : t -> t -> t
+
+val reset : t -> unit
+
+(** Raw (bucket lower bound, count) pairs for non-empty buckets. *)
+val buckets : t -> (int * int) list
+
+type summary = {
+  count : int;
+  p50 : int;
+  p90 : int;
+  p99 : int;
+  max : int;
+  mean : float;
+}
+
+val summarize : t -> summary
+val summary_to_json : summary -> Json.t
+
+(** Exposed for tests: [bucket_index] and its inverse lower bound. *)
+val bucket_index : int -> int
+
+val bucket_lower : int -> int

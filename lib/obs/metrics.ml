@@ -1,0 +1,154 @@
+type scope = {
+  s_label : string;
+  commit_h : Histogram.t;
+  abort_retry_h : Histogram.t;
+  lock_wait_h : Histogram.t;
+}
+
+let table : (string, scope) Hashtbl.t = Hashtbl.create 8
+let table_lock = Mutex.create ()
+
+let scope_of label =
+  Mutex.lock table_lock;
+  let s =
+    match Hashtbl.find_opt table label with
+    | Some s -> s
+    | None ->
+        let s =
+          {
+            s_label = label;
+            commit_h = Histogram.create ();
+            abort_retry_h = Histogram.create ();
+            lock_wait_h = Histogram.create ();
+          }
+        in
+        Hashtbl.add table label s;
+        s
+  in
+  Mutex.unlock table_lock;
+  s
+
+(* Domain-local: current scope plus the in-flight timestamps.  The STM
+   runs one root attempt per domain at a time, so per-domain stamps
+   suffice; nested [atomically] joins the root and never re-stamps. *)
+type ctx = {
+  mutable scope : scope option;
+  mutable label : string;
+  mutable attempt_ns : int;
+  mutable abort_ns : int;
+}
+
+let ctx_key : ctx Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { scope = None; label = "main"; attempt_ns = 0; abort_ns = 0 })
+
+let my_scope ctx =
+  match ctx.scope with
+  | Some s -> s
+  | None ->
+      let s = scope_of ctx.label in
+      ctx.scope <- Some s;
+      s
+
+let enable () = Gate.set Gate.metrics_bit ~on:true
+let disable () = Gate.set Gate.metrics_bit ~on:false
+let enabled () = Gate.get () land Gate.metrics_bit <> 0
+
+let set_label label =
+  let ctx = Domain.DLS.get ctx_key in
+  ctx.label <- label;
+  ctx.scope <- None;
+  ctx.attempt_ns <- 0;
+  ctx.abort_ns <- 0
+
+let reset () =
+  Mutex.lock table_lock;
+  Hashtbl.reset table;
+  Mutex.unlock table_lock
+
+let reset_scope label =
+  Mutex.lock table_lock;
+  (match Hashtbl.find_opt table label with
+  | Some s ->
+      Histogram.reset s.commit_h;
+      Histogram.reset s.abort_retry_h;
+      Histogram.reset s.lock_wait_h
+  | None -> ());
+  Mutex.unlock table_lock
+
+type scope_summary = {
+  label : string;
+  commit : Histogram.summary;
+  abort_to_retry : Histogram.summary;
+  lock_wait : Histogram.summary;
+}
+
+let summarize (s : scope) =
+  {
+    label = s.s_label;
+    commit = Histogram.summarize s.commit_h;
+    abort_to_retry = Histogram.summarize s.abort_retry_h;
+    lock_wait = Histogram.summarize s.lock_wait_h;
+  }
+
+let read_scope label =
+  Mutex.lock table_lock;
+  let s = Hashtbl.find_opt table label in
+  Mutex.unlock table_lock;
+  Option.map summarize s
+
+let scopes () =
+  Mutex.lock table_lock;
+  let all = Hashtbl.fold (fun _ s acc -> s :: acc) table [] in
+  Mutex.unlock table_lock;
+  List.map summarize
+    (List.sort (fun a b -> compare a.s_label b.s_label) all)
+
+let scope_summary_to_json (s : scope_summary) =
+  Json.Obj
+    [
+      ("label", Json.String s.label);
+      ("commit", Histogram.summary_to_json s.commit);
+      ("abort_to_retry", Histogram.summary_to_json s.abort_to_retry);
+      ("lock_wait", Histogram.summary_to_json s.lock_wait);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* STM entry points                                                    *)
+
+(* Each entry point re-checks the gate so it is a no-op when metrics
+   are off even if called directly; the STM's sites test the gate
+   before calling, so the disabled fast path never reaches here. *)
+
+let on_attempt_start () =
+  if enabled () then begin
+    let ctx = Domain.DLS.get ctx_key in
+    let now = Trace.now_ns () in
+    if ctx.abort_ns > 0 then begin
+      Histogram.record (my_scope ctx).abort_retry_h (now - ctx.abort_ns);
+      ctx.abort_ns <- 0
+    end;
+    ctx.attempt_ns <- now
+  end
+
+let on_commit () =
+  if enabled () then begin
+    let ctx = Domain.DLS.get ctx_key in
+    if ctx.attempt_ns > 0 then begin
+      Histogram.record (my_scope ctx).commit_h
+        (Trace.now_ns () - ctx.attempt_ns);
+      ctx.attempt_ns <- 0
+    end
+  end
+
+let on_abort () =
+  if enabled () then begin
+    let ctx = Domain.DLS.get ctx_key in
+    ctx.abort_ns <- Trace.now_ns ();
+    ctx.attempt_ns <- 0
+  end
+
+let add_lock_wait ns =
+  if enabled () then
+    let ctx = Domain.DLS.get ctx_key in
+    Histogram.record (my_scope ctx).lock_wait_h ns

@@ -1,0 +1,49 @@
+(** Per-scope latency histograms.
+
+    A {e scope} is a string label — the bench harness uses
+    ["<impl>/<mode>"] — holding three log-bucketed histograms:
+
+    - [commit]: attempt-start → successful commit, nanoseconds;
+    - [abort_to_retry]: abort → next attempt start on the same domain
+      (the backoff/contention-manager stall the paper's §7 abort
+      analysis needs);
+    - [lock_wait]: time spent inside a single bounded wait on a held
+      version-lock, the serial commit gate, or the quiesce token.
+
+    The calling domain's current scope is domain-local state set with
+    {!set_label}; histograms themselves are shared across domains and
+    merged by label, so every worker benching the same implementation
+    lands in one scope.  All entry points are no-ops (beyond the
+    {!Gate} load their callers already did) while metrics are off. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val enabled : unit -> bool
+
+(** Set the calling domain's scope label (default ["main"]). *)
+val set_label : string -> unit
+
+(** Drop all scopes and their histograms. *)
+val reset : unit -> unit
+
+(** Reset one scope's histograms, keeping the scope registered. *)
+val reset_scope : string -> unit
+
+type scope_summary = {
+  label : string;
+  commit : Histogram.summary;
+  abort_to_retry : Histogram.summary;
+  lock_wait : Histogram.summary;
+}
+
+val read_scope : string -> scope_summary option
+val scopes : unit -> scope_summary list
+val scope_summary_to_json : scope_summary -> Json.t
+
+(** Instrumentation entry points (called from the STM). *)
+
+val on_attempt_start : unit -> unit
+
+val on_commit : unit -> unit
+val on_abort : unit -> unit
+val add_lock_wait : int -> unit

@@ -1,0 +1,244 @@
+type kind =
+  | Attempt_start of { attempt : int }
+  | Commit
+  | Abort of { reason : string }
+  | Lock_wait of { held_by : int }
+  | Validate of { ok : bool }
+  | Extend of { ok : bool }
+  | Alock_acquire of { intents : int }
+  | Alock_release
+  | Replay_apply of { ops : int }
+  | Cm_decide of { other : int; decision : string; manager : string }
+  | Fallback of { token : int }
+
+type event = { ns : int; tick : int; dom : int; txn : int; kind : kind }
+
+let kind_name = function
+  | Attempt_start _ -> "attempt"
+  | Commit -> "commit"
+  | Abort _ -> "abort"
+  | Lock_wait _ -> "lock-wait"
+  | Validate _ -> "validate"
+  | Extend _ -> "extend"
+  | Alock_acquire _ -> "alock-acquire"
+  | Alock_release -> "alock-release"
+  | Replay_apply _ -> "replay-apply"
+  | Cm_decide _ -> "cm-decide"
+  | Fallback _ -> "fallback"
+
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain rings                                                    *)
+
+let default_capacity = 1 lsl 16
+let capacity = Atomic.make default_capacity
+
+let dummy = { ns = 0; tick = 0; dom = -1; txn = 0; kind = Commit }
+
+type ring = {
+  r_dom : int;
+  buf : event array;
+  written : int Atomic.t;  (* monotone; the writer is the owning domain *)
+}
+
+let rings : ring list Atomic.t = Atomic.make []
+
+let rec register r =
+  let cur = Atomic.get rings in
+  if not (Atomic.compare_and_set rings cur (r :: cur)) then register r
+
+let my_ring : ring Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let r =
+        {
+          r_dom = (Domain.self () :> int);
+          buf = Array.make (Atomic.get capacity) dummy;
+          written = Atomic.make 0;
+        }
+      in
+      register r;
+      r)
+
+let enabled () = Gate.get () land Gate.trace_bit <> 0
+
+let clear () =
+  List.iter
+    (fun r ->
+      Atomic.set r.written 0;
+      Array.fill r.buf 0 (Array.length r.buf) dummy)
+    (Atomic.get rings)
+
+(* Rings allocated before a capacity change keep their old size;
+   tracing sessions normally set capacity once, up front. *)
+let enable ?capacity:(cap = default_capacity) () =
+  Atomic.set capacity cap;
+  clear ();
+  Gate.set Gate.trace_bit ~on:true
+
+let disable () = Gate.set Gate.trace_bit ~on:false
+
+(* The gate check makes [emit] safe to call unconditionally; the STM's
+   instrumentation sites still test the gate themselves so the disabled
+   path stays at one atomic load without a call. *)
+let emit ~tick ~txn kind =
+  if enabled () then begin
+    let r = Domain.DLS.get my_ring in
+    let i = Atomic.fetch_and_add r.written 1 in
+    r.buf.(i mod Array.length r.buf) <-
+      { ns = now_ns (); tick; dom = r.r_dom; txn; kind }
+  end
+
+let per_ring_retained r =
+  let w = Atomic.get r.written in
+  let cap = Array.length r.buf in
+  let n = min w cap in
+  List.init n (fun i ->
+      (* oldest-first: when wrapped, start after the write cursor *)
+      let idx = if w <= cap then i else (w + i) mod cap in
+      r.buf.(idx))
+
+let events () =
+  Atomic.get rings
+  |> List.concat_map per_ring_retained
+  |> List.filter (fun e -> e.dom >= 0)
+  |> List.stable_sort (fun a b -> compare a.ns b.ns)
+
+let emitted () =
+  List.fold_left (fun acc r -> acc + Atomic.get r.written) 0 (Atomic.get rings)
+
+let dropped () =
+  List.fold_left
+    (fun acc r -> acc + max 0 (Atomic.get r.written - Array.length r.buf))
+    0 (Atomic.get rings)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event export                                           *)
+
+let args_of = function
+  | Attempt_start { attempt } -> [ ("attempt", Json.Int attempt) ]
+  | Commit -> []
+  | Abort { reason } -> [ ("reason", Json.String reason) ]
+  | Lock_wait { held_by } -> [ ("held_by", Json.Int held_by) ]
+  | Validate { ok } -> [ ("ok", Json.Bool ok) ]
+  | Extend { ok } -> [ ("ok", Json.Bool ok) ]
+  | Alock_acquire { intents } -> [ ("intents", Json.Int intents) ]
+  | Alock_release -> []
+  | Replay_apply { ops } -> [ ("ops", Json.Int ops) ]
+  | Cm_decide { other; decision; manager } ->
+      [
+        ("other", Json.Int other);
+        ("decision", Json.String decision);
+        ("manager", Json.String manager);
+      ]
+  | Fallback { token } -> [ ("token", Json.Int token) ]
+
+let to_chrome () =
+  let evs = events () in
+  let base = match evs with [] -> 0 | e :: _ -> e.ns in
+  let us ns = Json.Float (float_of_int (ns - base) /. 1e3) in
+  let common e name ph =
+    [
+      ("name", Json.String name);
+      ("ph", Json.String ph);
+      ("ts", us e.ns);
+      ("pid", Json.Int 0);
+      ("tid", Json.Int e.dom);
+    ]
+  in
+  let full_args e =
+    ("args", Json.Obj (("txn", Json.Int e.txn) :: ("tick", Json.Int e.tick) :: args_of e.kind))
+  in
+  let out = ref [] in
+  let push j = out := j :: !out in
+  (* Metadata: name each domain's track. *)
+  let doms =
+    List.sort_uniq compare (List.map (fun e -> e.dom) evs)
+  in
+  List.iter
+    (fun d ->
+      push
+        (Json.Obj
+           [
+             ("name", Json.String "thread_name");
+             ("ph", Json.String "M");
+             ("pid", Json.Int 0);
+             ("tid", Json.Int d);
+             ("args", Json.Obj [ ("name", Json.String (Printf.sprintf "domain %d" d)) ]);
+           ]))
+    doms;
+  (* Per-domain pass: pair Attempt_start with the next Commit/Abort on
+     the same track into an "X" complete span; tie each Abort to the
+     following Attempt_start with an s/f flow edge (the retry path). *)
+  let flow_id = ref 0 in
+  List.iter
+    (fun d ->
+      let track = List.filter (fun e -> e.dom = d) evs in
+      let open_attempt = ref None in
+      let pending_flow = ref None in
+      List.iter
+        (fun e ->
+          match e.kind with
+          | Attempt_start _ ->
+              open_attempt := Some e;
+              (match !pending_flow with
+              | Some (id, _) ->
+                  push
+                    (Json.Obj
+                       (common e "retry" "f"
+                       @ [ ("id", Json.Int id); ("bp", Json.String "e") ]));
+                  pending_flow := None
+              | None -> ())
+          | Commit | Abort _ ->
+              let name, extra =
+                match e.kind with
+                | Abort { reason } -> ("attempt/" ^ reason, args_of e.kind)
+                | _ -> ("attempt/commit", [])
+              in
+              (match !open_attempt with
+              | Some s ->
+                  push
+                    (Json.Obj
+                       (common s name "X"
+                       @ [
+                           ("dur", Json.Float (float_of_int (max 1 (e.ns - s.ns)) /. 1e3));
+                           ( "args",
+                             Json.Obj
+                               (("txn", Json.Int s.txn)
+                               :: ("tick", Json.Int s.tick)
+                               :: extra) );
+                         ]));
+                  open_attempt := None
+              | None -> push (Json.Obj (common e (kind_name e.kind) "i" @ [ full_args e ])));
+              (match e.kind with
+              | Abort _ ->
+                  incr flow_id;
+                  push
+                    (Json.Obj
+                       (common e "retry" "s" @ [ ("id", Json.Int !flow_id) ]));
+                  pending_flow := Some (!flow_id, e)
+              | _ -> ())
+          | _ ->
+              push
+                (Json.Obj
+                   (common e (kind_name e.kind) "i"
+                   @ [ ("s", Json.String "t"); full_args e ])))
+        track)
+    doms;
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.rev !out));
+      ("displayTimeUnit", Json.String "ns");
+      ( "otherData",
+        Json.Obj
+          [
+            ("emitted", Json.Int (emitted ()));
+            ("dropped", Json.Int (dropped ()));
+          ] );
+    ]
+
+let dump_chrome oc = Json.output oc (to_chrome ())
+
+let dump_chrome_file path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> dump_chrome oc)

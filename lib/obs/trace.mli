@@ -1,0 +1,66 @@
+(** Low-overhead transaction tracing.
+
+    Each domain records typed events into its own ring buffer (single
+    writer, no locks, no allocation beyond the event itself); a full
+    ring overwrites its oldest events and counts them as dropped, so
+    tracing never blocks the traced workload.  Events are stamped with
+    the caller-supplied STM {!Clock} tick and monotonic nanoseconds.
+
+    When tracing is disabled the instrumentation sites throughout the
+    STM cost a single atomic load (the {!Gate} word) and nothing
+    else — the budget the overhead microbench enforces. *)
+
+type kind =
+  | Attempt_start of { attempt : int }
+  | Commit
+  | Abort of { reason : string }
+  | Lock_wait of { held_by : int }
+  | Validate of { ok : bool }
+  | Extend of { ok : bool }
+  | Alock_acquire of { intents : int }
+  | Alock_release
+  | Replay_apply of { ops : int }
+  | Cm_decide of { other : int; decision : string; manager : string }
+  | Fallback of { token : int }
+
+type event = {
+  ns : int;  (** monotonic nanoseconds *)
+  tick : int;  (** STM global-clock value at emission *)
+  dom : int;  (** recording domain *)
+  txn : int;  (** transaction id, 0 when not attributable *)
+  kind : kind;
+}
+
+val kind_name : kind -> string
+
+(** Monotonic nanosecond clock shared by tracing and metrics. *)
+val now_ns : unit -> int
+
+val enabled : unit -> bool
+
+(** [enable ()] clears previously retained events and opens the gate.
+    [capacity] is the per-domain ring size (default 65536 events). *)
+val enable : ?capacity:int -> unit -> unit
+
+val disable : unit -> unit
+val clear : unit -> unit
+
+(** Record an event on the calling domain.  No-op when disabled (but
+    callers are expected to check {!Gate.get} first). *)
+val emit : tick:int -> txn:int -> kind -> unit
+
+(** Events still retained in the rings, in timestamp order. *)
+val events : unit -> event list
+
+(** Total events emitted / overwritten-by-wraparound since [enable]. *)
+val emitted : unit -> int
+
+val dropped : unit -> int
+
+(** Chrome [trace_event] JSON: one thread track per domain, attempts
+    as complete ("X") spans, point events as instants, abort→retry
+    edges as flow events.  Loadable in Perfetto / chrome://tracing. *)
+val to_chrome : unit -> Json.t
+
+val dump_chrome : out_channel -> unit
+val dump_chrome_file : string -> unit

@@ -5,54 +5,62 @@ type t = {
   decide : self:Txn_desc.t -> other:Txn_desc.t -> attempt:int -> decision;
 }
 
+let decision_name = function
+  | Wait -> "wait"
+  | Restart_self -> "restart-self"
+  | Abort_other -> "abort-other"
+
+(* Every manager's [decide] is wrapped so arbitration outcomes show up
+   as trace events; with tracing off the wrapper adds one atomic load
+   (the obs gate) per decision. *)
+let observed name decide ~self ~other ~attempt =
+  let d = decide ~self ~other ~attempt in
+  if Proust_obs.Gate.get () land Proust_obs.Gate.trace_bit <> 0 then
+    Proust_obs.Trace.emit
+      ~tick:(Clock.now Clock.global)
+      ~txn:self.Txn_desc.id
+      (Proust_obs.Trace.Cm_decide
+         {
+           other = other.Txn_desc.id;
+           decision = decision_name d;
+           manager = name;
+         });
+  d
+
+let make name decide = { name; decide = observed name decide }
+
 let passive ?(patience = 8) () =
-  {
-    name = "passive";
-    decide =
-      (fun ~self:_ ~other:_ ~attempt ->
-        if attempt < patience then Wait else Restart_self);
-  }
+  make "passive" (fun ~self:_ ~other:_ ~attempt ->
+      if attempt < patience then Wait else Restart_self)
 
 let polite ?(patience = 16) () =
-  {
-    name = "polite";
-    decide =
-      (fun ~self:_ ~other:_ ~attempt ->
-        if attempt < patience then begin
-          (* Unlike [passive], each successive wait doubles its courtesy
-             window (capped) before re-attempting, so a polite loser
-             spends exponentially longer out of the owner's way. *)
-          for _ = 1 to 1 lsl min attempt 12 do
-            Domain.cpu_relax ()
-          done;
-          Wait
-        end
-        else Restart_self);
-  }
+  make "polite" (fun ~self:_ ~other:_ ~attempt ->
+      if attempt < patience then begin
+        (* Unlike [passive], each successive wait doubles its courtesy
+           window (capped) before re-attempting, so a polite loser
+           spends exponentially longer out of the owner's way. *)
+        for _ = 1 to 1 lsl min attempt 12 do
+          Domain.cpu_relax ()
+        done;
+        Wait
+      end
+      else Restart_self)
 
 let karma ?(patience = 4) () =
-  {
-    name = "karma";
-    decide =
-      (fun ~self ~other ~attempt ->
-        if self.Txn_desc.priority > other.Txn_desc.priority then
-          if attempt < patience then Wait else Abort_other
-        else if attempt < patience * 2 then Wait
-        else Restart_self);
-  }
+  make "karma" (fun ~self ~other ~attempt ->
+      if self.Txn_desc.priority > other.Txn_desc.priority then
+        if attempt < patience then Wait else Abort_other
+      else if attempt < patience * 2 then Wait
+      else Restart_self)
 
 let timestamp () =
-  {
-    name = "timestamp";
-    decide =
-      (fun ~self ~other ~attempt ->
-        let older =
-          self.Txn_desc.birth < other.Txn_desc.birth
-          || (self.birth = other.birth && self.id < other.id)
-        in
-        if older then if attempt < 2 then Wait else Abort_other
-        else if attempt < 8 then Wait
-        else Restart_self);
-  }
+  make "timestamp" (fun ~self ~other ~attempt ->
+      let older =
+        self.Txn_desc.birth < other.Txn_desc.birth
+        || (self.birth = other.birth && self.id < other.id)
+      in
+      if older then if attempt < 2 then Wait else Abort_other
+      else if attempt < 8 then Wait
+      else Restart_self)
 
 let all () = [ passive (); polite (); karma (); timestamp () ]

@@ -16,6 +16,8 @@ type t = {
   decide : self:Txn_desc.t -> other:Txn_desc.t -> attempt:int -> decision;
 }
 
+val decision_name : decision -> string
+
 (** Always backs off, aborting itself after [patience] failed waits.
     Simple and livelock-prone under high contention; the default. *)
 val passive : ?patience:int -> unit -> t

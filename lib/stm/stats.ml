@@ -113,6 +113,21 @@ let diff (a : snapshot) (b : snapshot) : snapshot =
     injected_faults = b.injected_faults - a.injected_faults;
   }
 
+let to_assoc (s : snapshot) =
+  [
+    ("starts", s.starts);
+    ("commits", s.commits);
+    ("aborts", s.aborts);
+    ("conflicts", s.conflicts);
+    ("remote_aborts", s.remote_aborts);
+    ("lock_waits", s.lock_waits);
+    ("extensions", s.extensions);
+    ("killed_aborts", s.killed_aborts);
+    ("explicit_aborts", s.explicit_aborts);
+    ("fallbacks", s.fallbacks);
+    ("injected_faults", s.injected_faults);
+  ]
+
 let pp fmt (s : snapshot) =
   Format.fprintf fmt
     "starts=%d commits=%d aborts=%d (conflict=%d killed=%d explicit=%d) \

@@ -38,4 +38,8 @@ val reset : unit -> unit
 (** [diff a b] is the per-field difference [b - a]. *)
 val diff : snapshot -> snapshot -> snapshot
 
+(** Field-name/value pairs in declaration order — the single source of
+    truth for CSV columns and JSON report keys. *)
+val to_assoc : snapshot -> (string * int) list
+
 val pp : Format.formatter -> snapshot -> unit

@@ -102,6 +102,79 @@ let on_abort t f =
   t.abort_hooks <- f :: t.abort_hooks
 
 (* ------------------------------------------------------------------ *)
+(* Observability taps                                                   *)
+
+(* Each site loads the obs gate word exactly once; with tracing and
+   metrics both off, nothing else happens — that single load is the
+   whole per-site budget the overhead microbench enforces.  Events are
+   stamped with the global clock tick inside the already-slow enabled
+   path. *)
+
+let reason_name = function
+  | Conflict -> "conflict"
+  | Killed -> "killed"
+  | Explicit -> "explicit"
+
+let obs_emit ~txn kind =
+  Proust_obs.Trace.emit ~tick:(Clock.now Clock.global) ~txn kind
+
+let obs_attempt_start t ~n =
+  let g = Proust_obs.Gate.get () in
+  if g <> 0 then begin
+    if g land Proust_obs.Gate.trace_bit <> 0 then
+      obs_emit ~txn:t.tdesc.Txn_desc.id
+        (Proust_obs.Trace.Attempt_start { attempt = n });
+    if g land Proust_obs.Gate.metrics_bit <> 0 then
+      Proust_obs.Metrics.on_attempt_start ()
+  end
+
+let obs_commit t =
+  let g = Proust_obs.Gate.get () in
+  if g <> 0 then begin
+    if g land Proust_obs.Gate.trace_bit <> 0 then
+      obs_emit ~txn:t.tdesc.Txn_desc.id Proust_obs.Trace.Commit;
+    if g land Proust_obs.Gate.metrics_bit <> 0 then
+      Proust_obs.Metrics.on_commit ()
+  end
+
+let obs_abort t reason =
+  let g = Proust_obs.Gate.get () in
+  if g <> 0 then begin
+    if g land Proust_obs.Gate.trace_bit <> 0 then
+      obs_emit ~txn:t.tdesc.Txn_desc.id
+        (Proust_obs.Trace.Abort { reason = reason_name reason });
+    if g land Proust_obs.Gate.metrics_bit <> 0 then
+      Proust_obs.Metrics.on_abort ()
+  end
+
+(* A bounded wait on a held resource: time the backoff step and feed
+   both the trace and the lock-wait histogram. *)
+let obs_wait ~txn ~held_by backoff =
+  let g = Proust_obs.Gate.get () in
+  if g = 0 then Backoff.once backoff
+  else begin
+    let t0 = Proust_obs.Trace.now_ns () in
+    Backoff.once backoff;
+    let dt = Proust_obs.Trace.now_ns () - t0 in
+    if g land Proust_obs.Gate.trace_bit <> 0 then
+      obs_emit ~txn (Proust_obs.Trace.Lock_wait { held_by });
+    if g land Proust_obs.Gate.metrics_bit <> 0 then
+      Proust_obs.Metrics.add_lock_wait dt
+  end
+
+let obs_validate t ~ok =
+  if Proust_obs.Gate.get () land Proust_obs.Gate.trace_bit <> 0 then
+    obs_emit ~txn:t.tdesc.Txn_desc.id (Proust_obs.Trace.Validate { ok })
+
+let obs_extend t ~ok =
+  if Proust_obs.Gate.get () land Proust_obs.Gate.trace_bit <> 0 then
+    obs_emit ~txn:t.tdesc.Txn_desc.id (Proust_obs.Trace.Extend { ok })
+
+let obs_fallback ~token =
+  if Proust_obs.Gate.get () land Proust_obs.Gate.trace_bit <> 0 then
+    obs_emit ~txn:0 (Proust_obs.Trace.Fallback { token })
+
+(* ------------------------------------------------------------------ *)
 (* Fault injection                                                      *)
 
 (* Interpret a chaos draw for the running transaction.  Irrevocable
@@ -133,13 +206,13 @@ let arbitrate t ~other ~attempt =
        wait for it to notice and release. *)
     if Txn_desc.try_kill other then Stats.record_remote_abort ();
     Stats.record_lock_wait ();
-    Backoff.once t.backoff
+    obs_wait ~txn:t.tdesc.Txn_desc.id ~held_by:other.Txn_desc.id t.backoff
   end
   else
     match t.cfg.cm.Contention.decide ~self:t.tdesc ~other ~attempt with
     | Contention.Wait ->
         Stats.record_lock_wait ();
-        Backoff.once t.backoff
+        obs_wait ~txn:t.tdesc.Txn_desc.id ~held_by:other.Txn_desc.id t.backoff
     | Contention.Restart_self -> raise (Abort_exn Conflict)
     | Contention.Abort_other ->
         if Txn_desc.try_kill other then Stats.record_remote_abort ();
@@ -191,7 +264,9 @@ let reads_valid t =
 
 let try_extend t =
   let now = snapshot_clock ~serial:(t.cfg.mode = Serial_commit) in
-  if reads_valid t then begin
+  let ok = reads_valid t in
+  obs_extend t ~ok;
+  if ok then begin
     t.rv <- now;
     Stats.record_extension ();
     true
@@ -299,6 +374,7 @@ let do_abort t reason =
   | Conflict -> Stats.record_conflict ()
   | Killed -> Stats.record_killed_abort ()
   | Explicit -> Stats.record_explicit_abort ());
+  obs_abort t reason;
   (* LIFO: inverses registered after an operation run before the
      abstract-lock releases registered when the lock was acquired. *)
   let hooks = t.abort_hooks in
@@ -312,7 +388,7 @@ let acquire_commit_gate t =
     check_alive t;
     if not (Atomic.compare_and_set commit_gate 0 t.tdesc.Txn_desc.id) then begin
       Stats.record_lock_wait ();
-      Backoff.once b;
+      obs_wait ~txn:t.tdesc.Txn_desc.id ~held_by:(Atomic.get commit_gate) b;
       loop ()
     end
   in
@@ -354,7 +430,7 @@ let acquire_quiesce ~backoff =
   let token = Atomic.fetch_and_add fallback_token 1 in
   while not (Atomic.compare_and_set quiesce 0 token) do
     Stats.record_lock_wait ();
-    Backoff.once backoff
+    obs_wait ~txn:0 ~held_by:(Atomic.get quiesce) backoff
   done;
   while Atomic.get writers_in_flight > 0 do
     Domain.cpu_relax ()
@@ -409,10 +485,15 @@ let do_commit t =
       | () -> ()
       | exception Abort_exn reason -> fail reason);
       let wv = if writes = [] then t.rv else Clock.tick Clock.global in
-      if writes <> [] && wv > t.rv + 1 && not (reads_valid t) then fail Conflict;
+      if writes <> [] && wv > t.rv + 1 then begin
+        let ok = reads_valid t in
+        obs_validate t ~ok;
+        if not ok then fail Conflict
+      end;
       (* Phase 3: linearize. *)
       if not (Txn_desc.try_commit t.tdesc) then fail Killed;
       Stats.record_commit ();
+      obs_commit t;
       (* Phase 4: locked-phase handlers (replay logs), then publish. *)
       t.finished <- true;
       let locked_hooks = List.rev t.commit_locked_hooks in
@@ -649,6 +730,7 @@ let atomically_root cfg f =
       in
       Stats.record_start ();
       let t = make_txn cfg ~priority ?birth () in
+      obs_attempt_start t ~n;
       let birth = Some t.tdesc.Txn_desc.birth in
       Domain.DLS.set current_txn (Some t);
       let retry_after_abort ?watchers reason =
@@ -690,6 +772,7 @@ let atomically_root cfg f =
   and fallback_attempt n ~priority ~birth =
     let token = acquire_quiesce ~backoff in
     Stats.record_fallback ();
+    obs_fallback ~token;
     Fun.protect
       ~finally:(fun () ->
         release_quiesce token;
@@ -703,6 +786,7 @@ let atomically_root cfg f =
           if n > cfg.max_attempts then raise (Too_many_attempts n);
           Stats.record_start ();
           let t = make_txn cfg ~priority ?birth ~irrevocable:true () in
+          obs_attempt_start t ~n;
           Domain.DLS.set current_txn (Some t);
           match f t with
           | result -> (

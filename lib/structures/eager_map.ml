@@ -26,6 +26,7 @@ type ('k, 'v) base = {
 }
 
 type ('k, 'v) t = {
+  name : string;
   base : ('k, 'v) base;
   alock : 'k Abstract_lock.t;
   csize : Committed_size.t;
@@ -34,7 +35,8 @@ type ('k, 'v) t = {
           dirty key, restored wholesale on abort *)
 }
 
-let make ~base ~lap ?(size_mode = `Counter) ?(combine_undo = false) () =
+let make ~base ~lap ?(size_mode = `Counter) ?(combine_undo = false)
+    ?(name = "eager-map") () =
   let undo_key =
     if not combine_undo then None
     else
@@ -51,6 +53,7 @@ let make ~base ~lap ?(size_mode = `Counter) ?(combine_undo = false) () =
              firsts))
   in
   {
+    name;
     base;
     alock = Abstract_lock.make ~lap ~strategy:Update_strategy.Eager;
     csize = Committed_size.create size_mode;
@@ -99,8 +102,9 @@ let remove t txn k =
 let size t txn = Committed_size.read t.csize txn
 let committed_size t = Committed_size.peek t.csize
 
-let ops t : ('k, 'v) Map_intf.ops =
+let ops t : ('k, 'v) Trait.Map.ops =
   {
+    meta = Trait.meta_of_alock ~name:t.name t.alock;
     get = get t;
     put = put t;
     remove = remove t;

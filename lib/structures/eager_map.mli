@@ -24,6 +24,7 @@ val make :
   lap:'k Lock_allocator.t ->
   ?size_mode:[ `Counter | `Transactional ] ->
   ?combine_undo:bool ->
+  ?name:string ->
   unit ->
   ('k, 'v) t
 
@@ -33,4 +34,4 @@ val remove : ('k, 'v) t -> Stm.txn -> 'k -> 'v option
 val contains : ('k, 'v) t -> Stm.txn -> 'k -> bool
 val size : ('k, 'v) t -> Stm.txn -> int
 val committed_size : ('k, 'v) t -> int
-val ops : ('k, 'v) t -> ('k, 'v) Map_intf.ops
+val ops : ('k, 'v) t -> ('k, 'v) Trait.Map.ops

@@ -1,39 +1,23 @@
-(** The transactional map trait (Listing 2), as a first-class record so
-    benchmarks and tests can drive any implementation uniformly. *)
+(** Deprecated alias module: the map trait now lives in {!Trait.Map}
+    and the lock-allocator choice in {!Trait}.  Kept for one release —
+    the record re-exports below mean existing construction sites,
+    field accesses and pattern matches keep compiling unchanged.  New
+    code should use {!Trait} directly. *)
 
-type ('k, 'v) ops = {
+type ('k, 'v) ops = ('k, 'v) Trait.Map.ops = {
+  meta : Trait.meta;
   get : Stm.txn -> 'k -> 'v option;
   put : Stm.txn -> 'k -> 'v -> 'v option;
-      (** binds and returns the previous binding *)
   remove : Stm.txn -> 'k -> 'v option;
   contains : Stm.txn -> 'k -> bool;
   size : Stm.txn -> int;
 }
 
-(** Module-style view of the same trait, for wrappers exposed as
-    modules. *)
-module type S = sig
-  type ('k, 'v) t
+module type S = Trait.MAP
 
-  val get : ('k, 'v) t -> Stm.txn -> 'k -> 'v option
-  val put : ('k, 'v) t -> Stm.txn -> 'k -> 'v -> 'v option
-  val remove : ('k, 'v) t -> Stm.txn -> 'k -> 'v option
-  val contains : ('k, 'v) t -> Stm.txn -> 'k -> bool
-  val size : ('k, 'v) t -> Stm.txn -> int
-  val ops : ('k, 'v) t -> ('k, 'v) ops
-end
+type lap_choice = Trait.lap_choice =
+  | Optimistic
+  | Optimistic_unvalidated
+  | Pessimistic
 
-(** Choice of lock-allocator policy used by convenience constructors.
-    [Optimistic_unvalidated] omits the read-before-write on
-    conflict-abstraction slots: the paper's plain eager/optimistic
-    construction, opaque only under eager STM conflict detection
-    (Theorem 5.2). *)
-type lap_choice = Optimistic | Optimistic_unvalidated | Pessimistic
-
-let make_lap (choice : lap_choice) ~(ca : 'k Conflict_abstraction.t) :
-    'k Lock_allocator.t =
-  match choice with
-  | Optimistic -> Lock_allocator.optimistic ~validate_writes:true ~ca ()
-  | Optimistic_unvalidated ->
-      Lock_allocator.optimistic ~validate_writes:false ~ca ()
-  | Pessimistic -> Lock_allocator.pessimistic ~ca ()
+let make_lap = Trait.make_lap

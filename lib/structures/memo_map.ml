@@ -6,13 +6,15 @@
     inverses are declared. *)
 
 type ('k, 'v) t = {
+  name : string;
   base : ('k, 'v) Eager_map.base;
   alock : 'k Abstract_lock.t;
   csize : Committed_size.t;
   log_key : ('k, 'v) Replay_log.Memo.t Stm.Local.key;
 }
 
-let make ~base ~lap ?(combine = true) ?(size_mode = `Counter) () =
+let make ~base ~lap ?(combine = true) ?(size_mode = `Counter)
+    ?(name = "memo-map") () =
   let memo_base =
     {
       Replay_log.Memo.base_get = base.Eager_map.bget;
@@ -21,6 +23,7 @@ let make ~base ~lap ?(combine = true) ?(size_mode = `Counter) () =
     }
   in
   {
+    name;
     base;
     alock = Abstract_lock.make ~lap ~strategy:Update_strategy.Lazy;
     csize = Committed_size.create size_mode;
@@ -50,8 +53,9 @@ let remove t txn k =
 let size t txn = Committed_size.read t.csize txn
 let committed_size t = Committed_size.peek t.csize
 
-let ops t : ('k, 'v) Map_intf.ops =
+let ops t : ('k, 'v) Trait.Map.ops =
   {
+    meta = Trait.meta_of_alock ~name:t.name t.alock;
     get = get t;
     put = put t;
     remove = remove t;

@@ -32,7 +32,7 @@ type t = {
   observer_width : int;
 }
 
-let make ?(threshold = 2) ?(lap = Map_intf.Optimistic) ?(observable = false)
+let make ?(threshold = 2) ?(lap = Trait.Optimistic) ?(observable = false)
     ?(observer_width = 8) ?(init = 0) () =
   let width = if observable then observer_width else 0 in
   let ca =
@@ -47,7 +47,7 @@ let make ?(threshold = 2) ?(lap = Map_intf.Optimistic) ?(observable = false)
   in
   {
     base = Nn.create ~init ();
-    alock = Abstract_lock.make ~lap:(Map_intf.make_lap lap ~ca)
+    alock = Abstract_lock.make ~lap:(Trait.make_lap lap ~ca)
         ~strategy:Update_strategy.Eager;
     threshold;
     observable;

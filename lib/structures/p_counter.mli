@@ -11,7 +11,7 @@ type t
 
 val make :
   ?threshold:int ->
-  ?lap:Map_intf.lap_choice ->
+  ?lap:Trait.lap_choice ->
   ?observable:bool ->
   ?observer_width:int ->
   ?init:int ->

@@ -2,10 +2,10 @@
 
     An enqueue's inverse deletes the node it created (the Fig. 3
     lazy-deletion trick); a dequeue's inverse pushes the value back on
-    the front.  State-dependent intents follow {!Queue_intf}. *)
+    the front.  State-dependent intents follow {!Trait.Queue}. *)
 
 module D = Proust_concurrent.Deque
-open Queue_intf
+open Trait.Queue
 
 type 'v t = {
   base : 'v D.t;
@@ -13,11 +13,11 @@ type 'v t = {
   csize : Committed_size.t;
 }
 
-let make ?(lap = Map_intf.Optimistic) ?(size_mode = `Counter) () =
+let make ?(lap = Trait.Optimistic) ?(size_mode = `Counter) () =
   {
     base = D.create ();
     alock =
-      Abstract_lock.make ~lap:(Map_intf.make_lap lap ~ca:(ca ()))
+      Abstract_lock.make ~lap:(Trait.make_lap lap ~ca:(ca ()))
         ~strategy:Update_strategy.Eager;
     csize = Committed_size.create size_mode;
   }
@@ -60,5 +60,11 @@ let committed_size t = Committed_size.peek t.csize
 (** Committed contents, non-transactionally (tests). *)
 let to_list t = D.to_list t.base
 
-let ops t : 'v Queue_intf.ops =
-  { enqueue = enqueue t; dequeue = dequeue t; front = front t; size = size t }
+let ops t : 'v Trait.Queue.ops =
+  {
+    meta = Trait.meta_of_alock ~name:"p-fifo" t.alock;
+    enqueue = enqueue t;
+    dequeue = dequeue t;
+    front = front t;
+    size = size t;
+  }

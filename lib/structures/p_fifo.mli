@@ -1,15 +1,15 @@
 (** Eager Proustian FIFO queue over the removable-node {!Deque}.
 
-    Abstract state per {!Queue_intf}: [Head] and [Tail], with
+    Abstract state per {!Trait.Queue}: [Head] and [Tail], with
     state-dependent extras (enqueue-into-empty writes [Head]; a
     dequeue that may empty the queue writes [Tail]) acquired through
     the stable re-sampling loop, plus the eager dequeue guard that
-    prevents consuming uncommitted enqueues — see {!Queue_intf}. *)
+    prevents consuming uncommitted enqueues — see {!Trait.Queue}. *)
 
 type 'v t
 
 val make :
-  ?lap:Map_intf.lap_choice ->
+  ?lap:Trait.lap_choice ->
   ?size_mode:[ `Counter | `Transactional ] ->
   unit ->
   'v t
@@ -23,4 +23,4 @@ val committed_size : 'v t -> int
 (** Committed contents front-first, non-transactionally. *)
 val to_list : 'v t -> 'v list
 
-val ops : 'v t -> 'v Queue_intf.ops
+val ops : 'v t -> 'v Trait.Queue.ops

@@ -14,15 +14,16 @@ let base_of backing =
     bcontains = Proust_concurrent.Chashmap.contains backing;
   }
 
-let make ?(slots = 1024) ?(lap = Map_intf.Optimistic) ?size_mode
+let make ?(slots = 1024) ?(lap = Trait.Optimistic) ?size_mode
     ?combine_undo () =
   let backing = Proust_concurrent.Chashmap.create () in
   let ca = Conflict_abstraction.striped ~slots () in
-  let lap = Map_intf.make_lap lap ~ca in
+  let lap = Trait.make_lap lap ~ca in
   {
     backing;
     wrapper =
-      Eager_map.make ~base:(base_of backing) ~lap ?size_mode ?combine_undo ();
+      Eager_map.make ~base:(base_of backing) ~lap ?size_mode ?combine_undo
+        ~name:"p-hashmap" ();
   }
 
 (** Wrap a caller-supplied lock allocator (custom conflict
@@ -32,7 +33,8 @@ let make_custom ~lap ?size_mode ?combine_undo () =
   {
     backing;
     wrapper =
-      Eager_map.make ~base:(base_of backing) ~lap ?size_mode ?combine_undo ();
+      Eager_map.make ~base:(base_of backing) ~lap ?size_mode ?combine_undo
+        ~name:"p-hashmap" ();
   }
 
 let get t = Eager_map.get t.wrapper

@@ -12,7 +12,7 @@ type ('k, 'v) t
 
 val make :
   ?slots:int ->
-  ?lap:Map_intf.lap_choice ->
+  ?lap:Trait.lap_choice ->
   ?size_mode:[ `Counter | `Transactional ] ->
   ?combine_undo:bool ->
   unit ->
@@ -48,7 +48,7 @@ val size : ('k, 'v) t -> Stm.txn -> int
 val committed_size : ('k, 'v) t -> int
 
 (** First-class view for benchmarks and generic drivers. *)
-val ops : ('k, 'v) t -> ('k, 'v) Map_intf.ops
+val ops : ('k, 'v) t -> ('k, 'v) Trait.Map.ops
 
 (** The raw backing structure (tests, diagnostics). *)
 val backing : ('k, 'v) t -> ('k, 'v) Proust_concurrent.Chashmap.t

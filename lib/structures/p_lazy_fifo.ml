@@ -3,7 +3,7 @@
     combining.  Same conflict abstraction as {!P_fifo}. *)
 
 module Cq = Proust_concurrent.Cow_queue
-open Queue_intf
+open Trait.Queue
 
 type 'v t = {
   base : 'v Cq.t;
@@ -12,7 +12,7 @@ type 'v t = {
   log_key : 'v Cq.snapshot Replay_log.Snapshot.t Stm.Local.key;
 }
 
-let make ?(lap = Map_intf.Optimistic) ?(size_mode = `Counter)
+let make ?(lap = Trait.Optimistic) ?(size_mode = `Counter)
     ?(combine = false) () =
   let base = Cq.create () in
   let install =
@@ -23,7 +23,7 @@ let make ?(lap = Map_intf.Optimistic) ?(size_mode = `Counter)
   {
     base;
     alock =
-      Abstract_lock.make ~lap:(Map_intf.make_lap lap ~ca:(ca ()))
+      Abstract_lock.make ~lap:(Trait.make_lap lap ~ca:(ca ()))
         ~strategy:Update_strategy.Lazy;
     csize = Committed_size.create size_mode;
     log_key =
@@ -76,5 +76,11 @@ let size t txn = Committed_size.read t.csize txn
 let committed_size t = Committed_size.peek t.csize
 let to_list t = Cq.to_list t.base
 
-let ops t : 'v Queue_intf.ops =
-  { enqueue = enqueue t; dequeue = dequeue t; front = front t; size = size t }
+let ops t : 'v Trait.Queue.ops =
+  {
+    meta = Trait.meta_of_alock ~name:"p-lazy-fifo" t.alock;
+    enqueue = enqueue t;
+    dequeue = dequeue t;
+    front = front t;
+    size = size t;
+  }

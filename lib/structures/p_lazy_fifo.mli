@@ -1,13 +1,13 @@
 (** Lazy Proustian FIFO queue over the copy-on-write {!Cow_queue}:
     snapshot shadow copies, commit-time replay, optional root-CAS log
-    combining.  Shares {!Queue_intf}'s conflict abstraction; the lazy
+    combining.  Shares {!Trait.Queue}'s conflict abstraction; the lazy
     strategy keeps uncommitted effects off the shared queue, so the
     eager dequeue guard is unnecessary. *)
 
 type 'v t
 
 val make :
-  ?lap:Map_intf.lap_choice ->
+  ?lap:Trait.lap_choice ->
   ?size_mode:[ `Counter | `Transactional ] ->
   ?combine:bool ->
   unit ->
@@ -19,4 +19,4 @@ val front : 'v t -> Stm.txn -> 'v option
 val size : 'v t -> Stm.txn -> int
 val committed_size : 'v t -> int
 val to_list : 'v t -> 'v list
-val ops : 'v t -> 'v Queue_intf.ops
+val ops : 'v t -> 'v Trait.Queue.ops

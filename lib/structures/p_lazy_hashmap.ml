@@ -7,12 +7,16 @@ type ('k, 'v) t = {
   wrapper : ('k, 'v) Memo_map.t;
 }
 
-let make ?(slots = 1024) ?(lap = Map_intf.Optimistic) ?combine ?size_mode () =
+let make ?(slots = 1024) ?(lap = Trait.Optimistic) ?combine ?size_mode () =
   let backing = Proust_concurrent.Chashmap.create () in
   let ca = Conflict_abstraction.striped ~slots () in
-  let lap = Map_intf.make_lap lap ~ca in
+  let lap = Trait.make_lap lap ~ca in
   let base = P_hashmap.base_of backing in
-  { backing; wrapper = Memo_map.make ~base ~lap ?combine ?size_mode () }
+  {
+    backing;
+    wrapper =
+      Memo_map.make ~base ~lap ?combine ?size_mode ~name:"p-lazy-hashmap" ();
+  }
 
 let get t = Memo_map.get t.wrapper
 let put t = Memo_map.put t.wrapper

@@ -7,7 +7,7 @@ type ('k, 'v) t
 
 val make :
   ?slots:int ->
-  ?lap:Map_intf.lap_choice ->
+  ?lap:Trait.lap_choice ->
   ?combine:bool ->
   ?size_mode:[ `Counter | `Transactional ] ->
   unit ->
@@ -19,7 +19,7 @@ val remove : ('k, 'v) t -> Stm.txn -> 'k -> 'v option
 val contains : ('k, 'v) t -> Stm.txn -> 'k -> bool
 val size : ('k, 'v) t -> Stm.txn -> int
 val committed_size : ('k, 'v) t -> int
-val ops : ('k, 'v) t -> ('k, 'v) Map_intf.ops
+val ops : ('k, 'v) t -> ('k, 'v) Trait.Map.ops
 
 (** The raw backing map; only committed state is ever visible here. *)
 val backing : ('k, 'v) t -> ('k, 'v) Proust_concurrent.Chashmap.t

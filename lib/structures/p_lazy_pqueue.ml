@@ -8,7 +8,7 @@
     conflict-abstraction access. *)
 
 module Cq = Proust_concurrent.Cow_pqueue
-open Pqueue_intf
+open Trait.Pqueue
 
 type 'v t = {
   base : 'v Cq.t;
@@ -18,7 +18,7 @@ type 'v t = {
   log_key : 'v Cq.snapshot Replay_log.Snapshot.t Stm.Local.key;
 }
 
-let make ~cmp ?(stripes = 8) ?(lap = Map_intf.Optimistic)
+let make ~cmp ?(stripes = 8) ?(lap = Trait.Optimistic)
     ?(size_mode = `Counter) ?(combine = false) () =
   let base = Cq.create ~cmp () in
   let install =
@@ -30,7 +30,7 @@ let make ~cmp ?(stripes = 8) ?(lap = Map_intf.Optimistic)
     base;
     alock =
       Abstract_lock.make
-        ~lap:(Map_intf.make_lap lap ~ca:(ca ~stripes))
+        ~lap:(Trait.make_lap lap ~ca:(ca ~stripes))
         ~strategy:Update_strategy.Lazy;
     csize = Committed_size.create size_mode;
     cmp;
@@ -93,8 +93,9 @@ let contains t txn v =
 let size t txn = Committed_size.read t.csize txn
 let committed_size t = Committed_size.peek t.csize
 
-let ops t : 'v Pqueue_intf.ops =
+let ops t : 'v Trait.Pqueue.ops =
   {
+    meta = Trait.meta_of_alock ~name:"p-lazy-pqueue" t.alock;
     insert = insert t;
     remove_min = remove_min t;
     min = min t;

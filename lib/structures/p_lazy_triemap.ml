@@ -16,11 +16,11 @@ type ('k, 'v) t = {
     future work): commit installs the shadow with one root CAS when no
     commuting transaction has slipped in, falling back to per-operation
     replay otherwise. *)
-let make ?(slots = 1024) ?(lap = Map_intf.Optimistic) ?(size_mode = `Counter)
+let make ?(slots = 1024) ?(lap = Trait.Optimistic) ?(size_mode = `Counter)
     ?(combine = false) () =
   let backing = Ctrie.create () in
   let ca = Conflict_abstraction.striped ~slots () in
-  let lap = Map_intf.make_lap lap ~ca in
+  let lap = Trait.make_lap lap ~ca in
   let install =
     if combine then
       Some
@@ -71,8 +71,9 @@ let remove t txn k =
 let size t txn = Committed_size.read t.csize txn
 let committed_size t = Committed_size.peek t.csize
 
-let ops t : ('k, 'v) Map_intf.ops =
+let ops t : ('k, 'v) Trait.Map.ops =
   {
+    meta = Trait.meta_of_alock ~name:"p-lazy-triemap" t.alock;
     get = get t;
     put = put t;
     remove = remove t;

@@ -9,7 +9,7 @@ type ('k, 'v) t
 
 val make :
   ?slots:int ->
-  ?lap:Map_intf.lap_choice ->
+  ?lap:Trait.lap_choice ->
   ?size_mode:[ `Counter | `Transactional ] ->
   ?combine:bool ->
   unit ->
@@ -21,5 +21,5 @@ val remove : ('k, 'v) t -> Stm.txn -> 'k -> 'v option
 val contains : ('k, 'v) t -> Stm.txn -> 'k -> bool
 val size : ('k, 'v) t -> Stm.txn -> int
 val committed_size : ('k, 'v) t -> int
-val ops : ('k, 'v) t -> ('k, 'v) Map_intf.ops
+val ops : ('k, 'v) t -> ('k, 'v) Trait.Map.ops
 val backing : ('k, 'v) t -> ('k, 'v) Proust_concurrent.Ctrie.t

@@ -39,7 +39,7 @@ let band_ca ~slots ~index : 'k element Conflict_abstraction.t =
         (fun slot -> { Conflict_abstraction.slot; write })
         (slots_of (Intent.key intent)))
 
-let make ?(slots = 64) ?(lap = Map_intf.Optimistic)
+let make ?(slots = 64) ?(lap = Trait.Optimistic)
     ?(strategy = Update_strategy.Lazy) ?(size_mode = `Counter)
     ?(combine = false) ~index () =
   let base = Om.create () in
@@ -52,7 +52,7 @@ let make ?(slots = 64) ?(lap = Map_intf.Optimistic)
     base;
     alock =
       Abstract_lock.make
-        ~lap:(Map_intf.make_lap lap ~ca:(band_ca ~slots ~index))
+        ~lap:(Trait.make_lap lap ~ca:(band_ca ~slots ~index))
         ~strategy;
     csize = Committed_size.create size_mode;
     strategy;
@@ -145,8 +145,9 @@ let committed_size t = Committed_size.peek t.csize
 (** Committed bindings, non-transactionally (tests). *)
 let bindings t = Om.bindings t.base
 
-let map_ops t : ('k, 'v) Map_intf.ops =
+let map_ops t : ('k, 'v) Trait.Map.ops =
   {
+    meta = Trait.meta_of_alock ~name:"p-omap" t.alock;
     get = get t;
     put = put t;
     remove = remove t;

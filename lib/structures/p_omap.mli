@@ -20,7 +20,7 @@ val band_ca :
 
 val make :
   ?slots:int ->
-  ?lap:Map_intf.lap_choice ->
+  ?lap:Trait.lap_choice ->
   ?strategy:Update_strategy.t ->
   ?size_mode:[ `Counter | `Transactional ] ->
   ?combine:bool ->
@@ -46,4 +46,4 @@ val committed_size : ('k, 'v) t -> int
 val bindings : ('k, 'v) t -> ('k * 'v) list
 
 (** Point-operation view for generic map drivers. *)
-val map_ops : ('k, 'v) t -> ('k, 'v) Map_intf.ops
+val map_ops : ('k, 'v) t -> ('k, 'v) Trait.Map.ops

@@ -8,7 +8,7 @@
     base structure's [add]. *)
 
 module Bq = Proust_concurrent.Blocking_pqueue
-open Pqueue_intf
+open Trait.Pqueue
 
 type 'v t = {
   base : 'v Bq.t;
@@ -17,13 +17,13 @@ type 'v t = {
   cmp : 'v -> 'v -> int;
 }
 
-let make ~cmp ?(stripes = 8) ?(lap = Map_intf.Optimistic)
+let make ~cmp ?(stripes = 8) ?(lap = Trait.Optimistic)
     ?(size_mode = `Counter) () =
   {
     base = Bq.create ~cmp ();
     alock =
       Abstract_lock.make
-        ~lap:(Map_intf.make_lap lap ~ca:(ca ~stripes))
+        ~lap:(Trait.make_lap lap ~ca:(ca ~stripes))
         ~strategy:Update_strategy.Eager;
     csize = Committed_size.create size_mode;
     cmp;
@@ -73,8 +73,9 @@ let contains t txn v =
 let size t txn = Committed_size.read t.csize txn
 let committed_size t = Committed_size.peek t.csize
 
-let ops t : 'v Pqueue_intf.ops =
+let ops t : 'v Trait.Pqueue.ops =
   {
+    meta = Trait.meta_of_alock ~name:"p-pqueue" t.alock;
     insert = insert t;
     remove_min = remove_min t;
     min = min t;

@@ -14,7 +14,7 @@ type 'v t
 val make :
   cmp:('v -> 'v -> int) ->
   ?stripes:int ->
-  ?lap:Map_intf.lap_choice ->
+  ?lap:Trait.lap_choice ->
   ?size_mode:[ `Counter | `Transactional ] ->
   unit ->
   'v t
@@ -25,4 +25,4 @@ val min : 'v t -> Stm.txn -> 'v option
 val contains : 'v t -> Stm.txn -> 'v -> bool
 val size : 'v t -> Stm.txn -> int
 val committed_size : 'v t -> int
-val ops : 'v t -> 'v Pqueue_intf.ops
+val ops : 'v t -> 'v Trait.Pqueue.ops

@@ -11,13 +11,13 @@ type 'k t = {
   csize : Committed_size.t;
 }
 
-let make ?(slots = 1024) ?(lap = Map_intf.Optimistic) ?(size_mode = `Counter)
+let make ?(slots = 1024) ?(lap = Trait.Optimistic) ?(size_mode = `Counter)
     ?compare () =
   let ca = Conflict_abstraction.striped ~slots () in
   {
     base = Ll.create ?compare ();
     alock =
-      Abstract_lock.make ~lap:(Map_intf.make_lap lap ~ca)
+      Abstract_lock.make ~lap:(Trait.make_lap lap ~ca)
         ~strategy:Update_strategy.Eager;
     csize = Committed_size.create size_mode;
   }

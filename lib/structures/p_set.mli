@@ -6,7 +6,7 @@ type 'k t
 
 val make :
   ?slots:int ->
-  ?lap:Map_intf.lap_choice ->
+  ?lap:Trait.lap_choice ->
   ?size_mode:[ `Counter | `Transactional ] ->
   ?compare:('k -> 'k -> int) ->
   unit ->

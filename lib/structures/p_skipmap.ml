@@ -14,13 +14,13 @@ type ('k, 'v) t = {
   csize : Committed_size.t;
 }
 
-let make ?(slots = 64) ?(lap = Map_intf.Optimistic) ?(size_mode = `Counter)
+let make ?(slots = 64) ?(lap = Trait.Optimistic) ?(size_mode = `Counter)
     ~index () =
   {
     base = Sl.create ();
     alock =
       Abstract_lock.make
-        ~lap:(Map_intf.make_lap lap ~ca:(P_omap.band_ca ~slots ~index))
+        ~lap:(Trait.make_lap lap ~ca:(P_omap.band_ca ~slots ~index))
         ~strategy:Update_strategy.Eager;
     csize = Committed_size.create size_mode;
   }
@@ -74,8 +74,9 @@ let committed_size t = Committed_size.peek t.csize
 (** Committed bindings, non-transactionally (tests). *)
 let bindings t = Sl.bindings t.base
 
-let map_ops t : ('k, 'v) Map_intf.ops =
+let map_ops t : ('k, 'v) Trait.Map.ops =
   {
+    meta = Trait.meta_of_alock ~name:"p-skipmap" t.alock;
     get = get t;
     put = put t;
     remove = remove t;

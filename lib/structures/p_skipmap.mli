@@ -9,7 +9,7 @@ type ('k, 'v) t
 
 val make :
   ?slots:int ->
-  ?lap:Map_intf.lap_choice ->
+  ?lap:Trait.lap_choice ->
   ?size_mode:[ `Counter | `Transactional ] ->
   index:('k -> int) ->
   unit ->
@@ -25,4 +25,4 @@ val max_binding : ('k, 'v) t -> Stm.txn -> ('k * 'v) option
 val size : ('k, 'v) t -> Stm.txn -> int
 val committed_size : ('k, 'v) t -> int
 val bindings : ('k, 'v) t -> ('k * 'v) list
-val map_ops : ('k, 'v) t -> ('k, 'v) Map_intf.ops
+val map_ops : ('k, 'v) t -> ('k, 'v) Trait.Map.ops

@@ -17,12 +17,12 @@ type 'v t = {
   csize : Committed_size.t;
 }
 
-let make ?(lap = Map_intf.Optimistic) ?(size_mode = `Counter) () =
+let make ?(lap = Trait.Optimistic) ?(size_mode = `Counter) () =
   {
     base = T.create ();
     alock =
       Abstract_lock.make
-        ~lap:(Map_intf.make_lap lap ~ca:(Conflict_abstraction.coarse ()))
+        ~lap:(Trait.make_lap lap ~ca:(Conflict_abstraction.coarse ()))
         ~strategy:Update_strategy.Eager;
     csize = Committed_size.create size_mode;
   }

@@ -8,7 +8,7 @@
 type 'v t
 
 val make :
-  ?lap:Map_intf.lap_choice ->
+  ?lap:Trait.lap_choice ->
   ?size_mode:[ `Counter | `Transactional ] ->
   unit ->
   'v t

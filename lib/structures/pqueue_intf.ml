@@ -1,21 +1,11 @@
-(** The transactional priority-queue trait (Listing 3).
+(** Deprecated alias module: the priority-queue trait now lives in
+    {!Trait.Pqueue} (with its abstract-state notes).  Kept for one
+    release; new code should use {!Trait} directly. *)
 
-    The abstract state has two elements: [Min], the current minimum,
-    and [Multiset], the bag of queued values.  Commutativity is
-    expressed against these elements rather than pairwise between
-    methods — the "linear in the state space" economy the paper claims:
+type state = Trait.Pqueue.state = Min | Multiset
 
-    - [Min] admits multiple readers xor a single writer;
-    - [Multiset] admits multiple writers or multiple readers, but not
-      both at once (all inserts commute with each other).
-
-    The multiset's writers-compatible-with-writers semantics is encoded
-    in the conflict abstraction as a striped band of sub-slots
-    ({!Conflict_abstraction.group_accesses}). *)
-
-type state = Min | Multiset
-
-type 'v ops = {
+type 'v ops = 'v Trait.Pqueue.ops = {
+  meta : Trait.meta;
   insert : Stm.txn -> 'v -> unit;
   remove_min : Stm.txn -> 'v option;
   min : Stm.txn -> 'v option;
@@ -23,13 +13,4 @@ type 'v ops = {
   size : Stm.txn -> int;
 }
 
-(** Conflict abstraction shared by both priority-queue wrappers:
-    slot 0 is [Min]; slots 1..stripes are the [Multiset] band. *)
-let ca ~stripes : state Conflict_abstraction.t =
-  Conflict_abstraction.exact ~slots:(1 + stripes) (fun ~stripe intent ->
-      match Intent.key intent with
-      | Min ->
-          [ { Conflict_abstraction.slot = 0; write = Intent.is_write intent } ]
-      | Multiset ->
-          Conflict_abstraction.group_accesses ~width:stripes ~base:1 ~stripe
-            intent)
+let ca = Trait.Pqueue.ca

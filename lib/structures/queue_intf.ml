@@ -1,45 +1,17 @@
-(** The transactional FIFO-queue trait, with a two-element abstract
-    state in the style of Listing 3:
+(** Deprecated alias module: the FIFO-queue trait now lives in
+    {!Trait.Queue} (where the abstract-state and commutativity notes
+    moved too).  Kept for one release; new code should use {!Trait}
+    directly. *)
 
-    - [Head]: the dequeue end.  [dequeue] and [front] operate here.
-    - [Tail]: the enqueue end.  [enqueue] operates here.
+type state = Trait.Queue.state = Head | Tail
 
-    Commutativity facts the conflict abstraction encodes:
-    - enqueues never commute with each other (they order elements), so
-      [Tail] is exclusively written;
-    - an enqueue into an {e empty} queue creates the new front, so it
-      additionally writes [Head];
-    - a dequeue that empties the queue additionally writes [Tail]
-      (freezing emptiness against concurrent enqueues that sampled the
-      queue as non-empty).
-
-    The state-dependent intents are acquired through
-    {!Abstract_lock.acquire_stable}.
-
-    Under the {e eager} update strategy, dequeue additionally reads
-    [Tail], making every dequeue conflict with every enqueue.  This is
-    not a Definition 3.1 requirement — deq and enq commute on a
-    non-empty queue — but an abort-safety one: an eager enqueue is
-    visible in the shared base before its transaction commits, and
-    without the conflict a concurrent dequeue could drain down to and
-    consume the uncommitted element (whose enqueuer may yet abort).
-    The paper's eager priority queue avoids this automatically because
-    every [removeMin] already conflicts with every [insert] through
-    [PQueueMin]; a FIFO's conflict abstraction must pay for it
-    explicitly.  Lazy wrappers keep uncommitted effects off the shared
-    structure, so they skip the extra read. *)
-
-type state = Head | Tail
-
-type 'v ops = {
+type 'v ops = 'v Trait.Queue.ops = {
+  meta : Trait.meta;
   enqueue : Stm.txn -> 'v -> unit;
   dequeue : Stm.txn -> 'v option;
   front : Stm.txn -> 'v option;
   size : Stm.txn -> int;
 }
 
-let ca () : state Conflict_abstraction.t =
-  Conflict_abstraction.indexed ~slots:2 ~index:(function Head -> 0 | Tail -> 1)
-
-(** Extra intent for eager dequeues (see above). *)
-let eager_dequeue_guard = [ Intent.Read Tail ]
+let ca = Trait.Queue.ca
+let eager_dequeue_guard = Trait.Queue.eager_dequeue_guard

@@ -1,77 +1,38 @@
-(** The map implementations under benchmark, as named constructors
-    paired with the STM configuration each requires for soundness
-    (Figure 1's compatibility constraints). *)
-
-module S = Proust_structures
-module B = Proust_baselines
+(** Deprecated facade over {!Registry}, kept for callers written
+    against the original hand-maintained map list.  New code should
+    enumerate {!Registry.maps} (or [queues]/[pqueues]) directly — the
+    registry derives each entry's required STM configuration from its
+    {!Proust_structures.Trait.meta} header instead of hard-coding
+    it. *)
 
 type entry = {
   name : string;
   config : Stm.config option;  (** [None] = current default config *)
-  make : unit -> (int, int) S.Map_intf.ops;
+  make : unit -> (int, int) Proust_structures.Trait.Map.ops;
   pessimistic : bool;
       (** only benchmarked at o = 1, per the §7 livelock note *)
 }
 
-(* A function, not a top-level value: the default config is mutable
-   process state, so capture it at entry construction time. *)
-let eager_mode () = { (Stm.get_default_config ()) with mode = Stm.Eager_lazy }
+let eager_mode = Registry.eager_mode
 
-let all ?(slots = 1024) () =
-  [
-    {
-      name = "stm-map";
-      config = None;
-      make = (fun () -> B.Stm_hashmap.ops (B.Stm_hashmap.make ()));
-      pessimistic = false;
-    };
-    {
-      name = "predication";
-      config = None;
-      make = (fun () -> B.Predication_map.ops (B.Predication_map.make ()));
-      pessimistic = false;
-    };
-    {
-      name = "eager-opt";
-      (* eager updates need encounter-time conflict detection *)
-      config = Some (eager_mode ());
-      make = (fun () -> S.P_hashmap.ops (S.P_hashmap.make ~slots ()));
-      pessimistic = false;
-    };
-    {
-      name = "lazy-memo";
-      config = None;
-      make = (fun () -> S.P_lazy_hashmap.ops (S.P_lazy_hashmap.make ~slots ~combine:false ()));
-      pessimistic = false;
-    };
-    {
-      name = "lazy-snap";
-      config = None;
-      make = (fun () -> S.P_lazy_triemap.ops (S.P_lazy_triemap.make ~slots ()));
-      pessimistic = false;
-    };
-    {
-      name = "pessimistic";
-      config = None;
-      make =
-        (fun () ->
-          S.P_hashmap.ops (S.P_hashmap.make ~slots ~lap:S.Map_intf.Pessimistic ()));
-      pessimistic = true;
-    };
-  ]
+let of_map (e : Registry.entry) =
+  match e.Registry.target with
+  | Registry.Map make ->
+      {
+        name = e.Registry.name;
+        config = e.Registry.config;
+        make;
+        pessimistic = e.Registry.meta.Proust_structures.Trait.pessimistic;
+      }
+  | Registry.Queue _ | Registry.Pqueue _ ->
+      invalid_arg "Impls.of_map: not a map entry"
 
-let memo_variants ?(slots = 1024) () =
-  [
-    {
-      name = "memo-no-combine";
-      config = None;
-      make = (fun () -> S.P_lazy_hashmap.ops (S.P_lazy_hashmap.make ~slots ~combine:false ()));
-      pessimistic = false;
-    };
-    {
-      name = "memo-combine";
-      config = None;
-      make = (fun () -> S.P_lazy_hashmap.ops (S.P_lazy_hashmap.make ~slots ~combine:true ()));
-      pessimistic = false;
-    };
-  ]
+let all ?slots () = List.map of_map (Registry.maps ?slots ())
+
+let memo_variants ?slots () =
+  let pick reg_name name =
+    match Registry.find ?slots reg_name with
+    | Some e -> { (of_map e) with name }
+    | None -> invalid_arg ("Impls.memo_variants: no registry entry " ^ reg_name)
+  in
+  [ pick "lazy-memo" "memo-no-combine"; pick "lazy-memo-combine" "memo-combine" ]

@@ -1,0 +1,116 @@
+(** The benchmarkable-implementation registry.
+
+    One entry per (structure, configuration-variant) point, covering
+    every Proustian wrapper and baseline in the repository — maps,
+    FIFO queues, and priority queues alike — keyed by the structure's
+    {!Proust_structures.Trait.meta} header.  The STM configuration an
+    entry requires is {e derived} from the header ([Encounter_time]
+    structures get an eager-mode config, per Figure 1) rather than
+    hand-maintained, so an implementation cannot be benchmarked under
+    a mode that would violate Theorem 5.2. *)
+
+module S = Proust_structures
+module B = Proust_baselines
+module T = S.Trait
+
+type target =
+  | Map of (unit -> (int, int) T.Map.ops)
+  | Queue of (unit -> int T.Queue.ops)
+  | Pqueue of (unit -> int T.Pqueue.ops)
+
+type entry = {
+  name : string;  (** registry key; also the meta/trace label *)
+  meta : T.meta;
+  config : Stm.config option;
+      (** the STM config the entry needs for soundness; [None] =
+          whatever the process default currently is *)
+  target : target;
+}
+
+(* A function, not a top-level value: the default config is mutable
+   process state, so capture it at entry-construction time. *)
+let eager_mode () = { (Stm.get_default_config ()) with mode = Stm.Eager_lazy }
+
+let config_for (meta : T.meta) =
+  match meta.T.mode_req with
+  | T.Encounter_time -> Some (eager_mode ())
+  | T.Any_mode -> None
+
+(* Registry names override the structure's intrinsic meta name (two
+   entries may wrap the same structure under different laps), and the
+   override is pushed into the ops the entry builds so metrics scopes
+   and trace labels agree with the registry key. *)
+let map_entry name make =
+  let make () =
+    let o = make () in
+    { o with T.Map.meta = { o.T.Map.meta with T.name = name } }
+  in
+  let meta = (make ()).T.Map.meta in
+  { name; meta; config = config_for meta; target = Map make }
+
+let queue_entry name make =
+  let make () =
+    let o = make () in
+    { o with T.Queue.meta = { o.T.Queue.meta with T.name = name } }
+  in
+  let meta = (make ()).T.Queue.meta in
+  { name; meta; config = config_for meta; target = Queue make }
+
+let pqueue_entry name make =
+  let make () =
+    let o = make () in
+    { o with T.Pqueue.meta = { o.T.Pqueue.meta with T.name = name } }
+  in
+  let meta = (make ()).T.Pqueue.meta in
+  { name; meta; config = config_for meta; target = Pqueue make }
+
+let all ?(slots = 1024) () =
+  [
+    (* -- maps: baselines ------------------------------------------ *)
+    map_entry "stm-map" (fun () -> B.Stm_hashmap.ops (B.Stm_hashmap.make ()));
+    map_entry "predication" (fun () ->
+        B.Predication_map.ops (B.Predication_map.make ()));
+    map_entry "boosted" (fun () -> B.Boosted_map.ops (B.Boosted_map.make ~slots ()));
+    map_entry "coarse" (fun () -> B.Coarse_map.ops (B.Coarse_map.make ()));
+    (* -- maps: Proustian design-space points ---------------------- *)
+    map_entry "eager-opt" (fun () -> S.P_hashmap.ops (S.P_hashmap.make ~slots ()));
+    map_entry "pessimistic" (fun () ->
+        S.P_hashmap.ops (S.P_hashmap.make ~slots ~lap:T.Pessimistic ()));
+    map_entry "lazy-memo" (fun () ->
+        S.P_lazy_hashmap.ops (S.P_lazy_hashmap.make ~slots ~combine:false ()));
+    map_entry "lazy-memo-combine" (fun () ->
+        S.P_lazy_hashmap.ops (S.P_lazy_hashmap.make ~slots ~combine:true ()));
+    map_entry "lazy-snap" (fun () ->
+        S.P_lazy_triemap.ops (S.P_lazy_triemap.make ~slots ()));
+    map_entry "eager-trie" (fun () -> S.P_triemap.ops (S.P_triemap.make ~slots ()));
+    (* Ordered maps expose a plain-map view for the registry; range
+       queries stay behind their own APIs. *)
+    map_entry "omap" (fun () ->
+        S.P_omap.map_ops (S.P_omap.make ~slots ~index:(fun k -> k / 16) ()));
+    map_entry "skipmap" (fun () ->
+        S.P_skipmap.map_ops (S.P_skipmap.make ~slots ~index:(fun k -> k / 16) ()));
+    (* -- FIFO queues ---------------------------------------------- *)
+    queue_entry "fifo-eager" (fun () -> S.P_fifo.ops (S.P_fifo.make ()));
+    queue_entry "fifo-pess" (fun () ->
+        S.P_fifo.ops (S.P_fifo.make ~lap:T.Pessimistic ()));
+    queue_entry "fifo-lazy" (fun () -> S.P_lazy_fifo.ops (S.P_lazy_fifo.make ()));
+    (* -- priority queues ------------------------------------------ *)
+    pqueue_entry "pq-eager" (fun () ->
+        S.P_pqueue.ops (S.P_pqueue.make ~cmp:compare ()));
+    pqueue_entry "pq-pess" (fun () ->
+        S.P_pqueue.ops (S.P_pqueue.make ~cmp:compare ~lap:T.Pessimistic ()));
+    pqueue_entry "pq-lazy" (fun () ->
+        S.P_lazy_pqueue.ops (S.P_lazy_pqueue.make ~cmp:compare ()));
+  ]
+
+let is_map e = match e.target with Map _ -> true | _ -> false
+let is_queue e = match e.target with Queue _ -> true | _ -> false
+let is_pqueue e = match e.target with Pqueue _ -> true | _ -> false
+let maps ?slots () = List.filter is_map (all ?slots ())
+let queues ?slots () = List.filter is_queue (all ?slots ())
+let pqueues ?slots () = List.filter is_pqueue (all ?slots ())
+let find ?slots name = List.find_opt (fun e -> e.name = name) (all ?slots ())
+let names ?slots () = List.map (fun e -> e.name) (all ?slots ())
+
+let kind_name e =
+  match e.target with Map _ -> "map" | Queue _ -> "queue" | Pqueue _ -> "pqueue"

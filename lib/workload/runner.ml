@@ -1,10 +1,18 @@
 (** Multi-domain throughput runner for the Figure 4 experiment.
 
-    Each trial prefills the map to half the key range, splits the
-    operation stream across [threads] domains, releases them through a
-    spin barrier, and times the window from release to last join.
-    Trials are separated by a major GC ("garbage collecting in between
-    to reduce jitter", §7); the first [warmup] trials are discarded. *)
+    Each trial prefills the structure, splits the operation stream
+    across [threads] domains, releases them through a spin barrier,
+    and times the window from release to last join.  Trials are
+    separated by a major GC ("garbage collecting in between to reduce
+    jitter", §7); the first [warmup] trials are discarded.
+
+    The core loop is generic over the operation type, so the same
+    trial machinery drives maps, FIFO queues and priority queues;
+    {!run_entry} dispatches on a {!Registry.entry}.  When a [label] is
+    given, each worker domain enters that {!Proust_obs.Metrics} scope,
+    so a run's commit/abort-retry/lock-wait latency histograms land
+    under the implementation's name; the scope is reset after warmup
+    and summarized into the result when metrics are enabled. *)
 
 type result = {
   threads : int;
@@ -14,6 +22,9 @@ type result = {
   trials_ms : float list;
   throughput : float;  (** committed ops per second, from the mean *)
   stats : Stats.snapshot;  (** STM activity during the measured trials *)
+  latency : Proust_obs.Metrics.scope_summary option;
+      (** per-scope latency histograms for the measured trials; [None]
+          unless a [label] was given and metrics were enabled *)
 }
 
 let barrier n =
@@ -24,21 +35,14 @@ let barrier n =
       Domain.cpu_relax ()
     done
 
-let prefill ?config (ops : (int, int) Proust_structures.Map_intf.ops) spec =
-  let rng = Random.State.make [| 0xbeef |] in
-  for _ = 1 to spec.Workload.key_range / 2 do
-    let k = Random.State.int rng spec.Workload.key_range in
-    Stm.atomically ?config (fun txn -> ignore (ops.put txn k k))
-  done
-
-let run_trial ?config ?dist ~threads ~(spec : Workload.spec) make_ops =
+(* One trial, generic over the structure ('ops) and operation ('op)
+   types.  [streams i] yields domain [i]'s pre-generated operations. *)
+let run_trial (type ops op) ?config ?label ~threads ~(spec : Workload.spec)
+    ~(prefill : Stm.config option -> ops -> unit) ~(streams : int -> op array)
+    ~(apply : ops -> Stm.txn -> op -> unit) (make_ops : unit -> ops) =
   let ops = make_ops () in
-  prefill ?config ops spec;
-  let per_thread = spec.total_ops / threads in
-  let streams =
-    Array.init threads (fun i ->
-        Workload.stream ~seed:(i + 1) ?dist spec ~count:per_thread)
-  in
+  prefill config ops;
+  let streams = Array.init threads streams in
   let enter = barrier threads in
   (* Workers time themselves: first-start to last-finish.  Timing from
      the spawning thread under-measures when there are fewer cores than
@@ -46,6 +50,7 @@ let run_trial ?config ?dist ~threads ~(spec : Workload.spec) make_ops =
   let started = Array.make threads 0.0 in
   let finished = Array.make threads 0.0 in
   let body i () =
+    Option.iter Proust_obs.Metrics.set_label label;
     enter ();
     started.(i) <- Unix.gettimeofday ();
     let stream = streams.(i) in
@@ -57,7 +62,7 @@ let run_trial ?config ?dist ~threads ~(spec : Workload.spec) make_ops =
       let start = !idx in
       Stm.atomically ?config (fun txn ->
           for j = start to stop - 1 do
-            Workload.apply_op ops txn stream.(j)
+            apply ops txn stream.(j)
           done);
       idx := stop
     done;
@@ -74,18 +79,21 @@ let stddev l =
   let m = mean l in
   sqrt (mean (List.map (fun x -> (x -. m) ** 2.0) l))
 
-(** [run ?config ?chaos ~threads ~spec ~trials ~warmup make_ops] —
-    [make_ops] builds a fresh map per trial so trials are independent.
-    [chaos] arms {!Fault} with the given policy for the measured trials
-    (and disarms it afterwards), so a run can report STM behaviour under
-    an adversarial schedule; the returned stats then carry the injected
-    fault and serial-fallback counts. *)
-let run ?config ?chaos ?chaos_seed ?dist ?(trials = 3) ?(warmup = 1) ~threads
-    ~spec make_ops =
+(* Generic warmup/measure harness shared by all three structure kinds.
+   [chaos] arms {!Fault} with the given policy for the measured trials
+   (and disarms it afterwards), so a run can report STM behaviour under
+   an adversarial schedule. *)
+let run_gen ?config ?chaos ?chaos_seed ?(trials = 3) ?(warmup = 1) ?label
+    ~threads ~spec ~prefill ~streams ~apply make_ops =
+  let trial () =
+    run_trial ?config ?label ~threads ~spec ~prefill ~streams ~apply make_ops
+  in
   for _ = 1 to warmup do
-    ignore (run_trial ?config ?dist ~threads ~spec make_ops);
+    ignore (trial ());
     Gc.full_major ()
   done;
+  (* Warmup latencies would pollute the measured histograms. *)
+  Option.iter Proust_obs.Metrics.reset_scope label;
   (match chaos with
   | None -> ()
   | Some policy -> Fault.configure ?seed:chaos_seed policy);
@@ -95,7 +103,7 @@ let run ?config ?chaos ?chaos_seed ?dist ?(trials = 3) ?(warmup = 1) ~threads
       let before = Stats.read () in
       let times =
         List.init trials (fun _ ->
-            let dt = run_trial ?config ?dist ~threads ~spec make_ops in
+            let dt = trial () in
             Gc.full_major ();
             dt)
       in
@@ -107,9 +115,83 @@ let run ?config ?chaos ?chaos_seed ?dist ?(trials = 3) ?(warmup = 1) ~threads
         mean_ms = mean ms;
         stddev_ms = stddev ms;
         trials_ms = ms;
-        throughput = float_of_int spec.total_ops /. (mean times);
+        throughput = float_of_int spec.Workload.total_ops /. mean times;
         stats = Stats.diff before after;
+        latency =
+          (match label with
+          | Some l when Proust_obs.Metrics.enabled () ->
+              Proust_obs.Metrics.read_scope l
+          | _ -> None);
       })
+
+(** [run ?config ?chaos ~threads ~spec make_ops] — the map benchmark.
+    [make_ops] builds a fresh map per trial so trials are independent;
+    prefill inserts [key_range / 2] random keys. *)
+let run ?config ?chaos ?chaos_seed ?dist ?trials ?warmup ?label ~threads
+    ~(spec : Workload.spec) make_ops =
+  let prefill config ops =
+    let rng = Random.State.make [| 0xbeef |] in
+    for _ = 1 to spec.Workload.key_range / 2 do
+      let k = Random.State.int rng spec.Workload.key_range in
+      Stm.atomically ?config (fun txn ->
+          ignore (ops.Proust_structures.Trait.Map.put txn k k))
+    done
+  in
+  let per_thread = spec.Workload.total_ops / threads in
+  run_gen ?config ?chaos ?chaos_seed ?trials ?warmup ?label ~threads ~spec
+    ~prefill
+    ~streams:(fun i -> Workload.stream ~seed:(i + 1) ?dist spec ~count:per_thread)
+    ~apply:Workload.apply_op make_ops
+
+(** FIFO-queue benchmark: prefill enqueues [key_range / 2] values. *)
+let run_queue ?config ?chaos ?chaos_seed ?trials ?warmup ?label ~threads
+    ~(spec : Workload.spec) make_ops =
+  let prefill config ops =
+    for v = 1 to spec.Workload.key_range / 2 do
+      Stm.atomically ?config (fun txn ->
+          ops.Proust_structures.Trait.Queue.enqueue txn v)
+    done
+  in
+  let per_thread = spec.Workload.total_ops / threads in
+  run_gen ?config ?chaos ?chaos_seed ?trials ?warmup ?label ~threads ~spec
+    ~prefill
+    ~streams:(fun i -> Workload.queue_stream ~seed:(i + 1) spec ~count:per_thread)
+    ~apply:Workload.apply_qop make_ops
+
+(** Priority-queue benchmark: prefill inserts [key_range / 2] random
+    values. *)
+let run_pqueue ?config ?chaos ?chaos_seed ?trials ?warmup ?label ~threads
+    ~(spec : Workload.spec) make_ops =
+  let prefill config ops =
+    let rng = Random.State.make [| 0xbeef |] in
+    for _ = 1 to spec.Workload.key_range / 2 do
+      let v = Random.State.int rng spec.Workload.key_range in
+      Stm.atomically ?config (fun txn ->
+          ops.Proust_structures.Trait.Pqueue.insert txn v)
+    done
+  in
+  let per_thread = spec.Workload.total_ops / threads in
+  run_gen ?config ?chaos ?chaos_seed ?trials ?warmup ?label ~threads ~spec
+    ~prefill
+    ~streams:(fun i ->
+      Workload.pqueue_stream ~seed:(i + 1) spec ~count:per_thread)
+    ~apply:Workload.apply_pqop make_ops
+
+(** Benchmark a {!Registry.entry} under the STM config its trait header
+    requires; the metrics scope defaults to the entry's name. *)
+let run_entry ?chaos ?chaos_seed ?dist ?trials ?warmup ?label ~threads ~spec
+    (e : Registry.entry) =
+  let label = Option.value label ~default:e.Registry.name in
+  match e.Registry.target with
+  | Registry.Map make ->
+      run ?config:e.Registry.config ?chaos ?chaos_seed ?dist ?trials ?warmup
+        ~label ~threads ~spec make
+  | Registry.Queue make ->
+      run_queue ?config:e.Registry.config ?chaos ?chaos_seed ?trials ?warmup
+        ~label ~threads ~spec make
+  | Registry.Pqueue make ->
+      run_pqueue ?config:e.Registry.config ?chaos ?chaos_seed ?trials ?warmup
+        ~label ~threads ~spec make
 
 (** Share of transaction attempts that escalated to the
     serial-irrevocable fallback during the measured trials. *)

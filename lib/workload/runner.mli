@@ -1,9 +1,15 @@
 (** Multi-domain throughput runner for the Figure 4 experiment: each
-    trial prefills the map to half the key range, splits the stream
-    across domains released through a spin barrier, and measures
-    first-start to last-finish inside the workers (timing from the
-    spawner under-measures when domains outnumber cores).  Trials are
-    separated by a major GC; warmup trials are discarded. *)
+    trial prefills the structure, splits the stream across domains
+    released through a spin barrier, and measures first-start to
+    last-finish inside the workers (timing from the spawner
+    under-measures when domains outnumber cores).  Trials are
+    separated by a major GC; warmup trials are discarded.
+
+    The same trial machinery drives maps, FIFO queues and priority
+    queues; {!run_entry} dispatches on a {!Registry.entry}.  A [label]
+    routes each worker into that {!Proust_obs.Metrics} scope (reset
+    after warmup), and the scope's latency summary lands in the result
+    when metrics are enabled. *)
 
 type result = {
   threads : int;
@@ -13,17 +19,20 @@ type result = {
   trials_ms : float list;
   throughput : float;  (** committed ops per second, from the mean *)
   stats : Stats.snapshot;  (** STM activity during the measured trials *)
+  latency : Proust_obs.Metrics.scope_summary option;
+      (** per-scope latency histograms for the measured trials; [None]
+          unless a [label] was given and metrics were enabled *)
 }
 
 (** [barrier n] returns an [enter] function that blocks until [n]
     participants arrived. *)
 val barrier : int -> unit -> unit
 
-(** [run ?config ?chaos ?dist ~threads ~spec make_ops] — [make_ops]
-    builds a fresh map per trial so trials are independent.  [chaos]
-    arms {!Fault} with the given policy for the measured trials and
-    disarms it afterwards; the result's stats then include the injected
-    fault and serial-fallback counts for fallback-rate reporting. *)
+(** [run ?config ?chaos ~threads ~spec make_ops] — [make_ops] builds a
+    fresh map per trial so trials are independent.  [chaos] arms
+    {!Fault} with the given policy for the measured trials and disarms
+    it afterwards; the result's stats then include the injected fault
+    and serial-fallback counts for fallback-rate reporting. *)
 val run :
   ?config:Stm.config ->
   ?chaos:(Fault.point * Fault.site) list ->
@@ -31,9 +40,51 @@ val run :
   ?dist:Workload.distribution ->
   ?trials:int ->
   ?warmup:int ->
+  ?label:string ->
   threads:int ->
   spec:Workload.spec ->
-  (unit -> (int, int) Proust_structures.Map_intf.ops) ->
+  (unit -> (int, int) Proust_structures.Trait.Map.ops) ->
+  result
+
+(** FIFO-queue variant: [spec.write_fraction] is the enqueue share. *)
+val run_queue :
+  ?config:Stm.config ->
+  ?chaos:(Fault.point * Fault.site) list ->
+  ?chaos_seed:int ->
+  ?trials:int ->
+  ?warmup:int ->
+  ?label:string ->
+  threads:int ->
+  spec:Workload.spec ->
+  (unit -> int Proust_structures.Trait.Queue.ops) ->
+  result
+
+(** Priority-queue variant: [spec.write_fraction] is the insert
+    share. *)
+val run_pqueue :
+  ?config:Stm.config ->
+  ?chaos:(Fault.point * Fault.site) list ->
+  ?chaos_seed:int ->
+  ?trials:int ->
+  ?warmup:int ->
+  ?label:string ->
+  threads:int ->
+  spec:Workload.spec ->
+  (unit -> int Proust_structures.Trait.Pqueue.ops) ->
+  result
+
+(** Benchmark a registry entry under the STM config its trait header
+    requires; the metrics scope defaults to the entry's name. *)
+val run_entry :
+  ?chaos:(Fault.point * Fault.site) list ->
+  ?chaos_seed:int ->
+  ?dist:Workload.distribution ->
+  ?trials:int ->
+  ?warmup:int ->
+  ?label:string ->
+  threads:int ->
+  spec:Workload.spec ->
+  Registry.entry ->
   result
 
 (** Share of attempts that escalated to the serial-irrevocable

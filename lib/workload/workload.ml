@@ -63,7 +63,38 @@ let stream ~seed ?(dist = Uniform) spec ~count =
     transaction may be short). *)
 let txn_count spec ~count = (count + spec.ops_per_txn - 1) / spec.ops_per_txn
 
-let apply_op (ops : (int, int) Proust_structures.Map_intf.ops) txn = function
+let apply_op (ops : (int, int) Proust_structures.Trait.Map.ops) txn = function
   | Get k -> ignore (ops.get txn k)
   | Put (k, v) -> ignore (ops.put txn k v)
   | Remove k -> ignore (ops.remove txn k)
+
+(* ------------------------------------------------------------------ *)
+(* Queue and priority-queue streams.  [write_fraction] doubles as the
+   producer fraction: a [u] share of operations insert, the rest
+   consume.  The same spec record drives all three shapes so a bench
+   cell is comparable across structure kinds. *)
+
+type qop = Enqueue of int | Dequeue
+type pqop = Insert of int | Remove_min
+
+let queue_stream ~seed (spec : spec) ~count =
+  let rng = Random.State.make [| seed; 0xf1f0; spec.ops_per_txn |] in
+  Array.init count (fun _ ->
+      if Random.State.float rng 1.0 < spec.write_fraction then
+        Enqueue (Random.State.int rng spec.key_range)
+      else Dequeue)
+
+let pqueue_stream ~seed (spec : spec) ~count =
+  let rng = Random.State.make [| seed; 0x9e9e; spec.ops_per_txn |] in
+  Array.init count (fun _ ->
+      if Random.State.float rng 1.0 < spec.write_fraction then
+        Insert (Random.State.int rng spec.key_range)
+      else Remove_min)
+
+let apply_qop (ops : int Proust_structures.Trait.Queue.ops) txn = function
+  | Enqueue v -> ops.enqueue txn v
+  | Dequeue -> ignore (ops.dequeue txn)
+
+let apply_pqop (ops : int Proust_structures.Trait.Pqueue.ops) txn = function
+  | Insert v -> ops.insert txn v
+  | Remove_min -> ignore (ops.remove_min txn)

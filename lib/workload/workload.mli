@@ -25,4 +25,17 @@ val stream : seed:int -> ?dist:distribution -> spec -> count:int -> op array
 val txn_count : spec -> count:int -> int
 
 val apply_op :
-  (int, int) Proust_structures.Map_intf.ops -> Stm.txn -> op -> unit
+  (int, int) Proust_structures.Trait.Map.ops -> Stm.txn -> op -> unit
+
+(** Queue / priority-queue streams over the same {!spec}:
+    [write_fraction] is the producer (enqueue/insert) share. *)
+
+type qop = Enqueue of int | Dequeue
+type pqop = Insert of int | Remove_min
+
+val queue_stream : seed:int -> spec -> count:int -> qop array
+val pqueue_stream : seed:int -> spec -> count:int -> pqop array
+val apply_qop : int Proust_structures.Trait.Queue.ops -> Stm.txn -> qop -> unit
+
+val apply_pqop :
+  int Proust_structures.Trait.Pqueue.ops -> Stm.txn -> pqop -> unit

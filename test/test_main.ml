@@ -18,4 +18,5 @@ let () =
       ("edges", Test_edges.suite);
       ("chaos", Test_chaos.suite);
       ("lin", Test_lin.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -1,0 +1,341 @@
+(* The observability layer: gate discipline, trace rings under
+   multi-domain load, histogram bucket math and merge laws, the Chrome
+   exporter's output shape, metrics scopes, and the Stats.to_assoc
+   contract the bench JSON/CSV columns derive from. *)
+
+open Util
+module Obs = Proust_obs
+
+let with_obs_off f =
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Trace.disable ();
+      Obs.Metrics.disable ())
+    f
+
+(* -- gate ------------------------------------------------------------ *)
+
+let test_gate_off () =
+  with_obs_off (fun () ->
+      Obs.Trace.disable ();
+      Obs.Metrics.disable ();
+      check ci "gate word is 0 when everything is off" 0 (Obs.Gate.get ());
+      Obs.Trace.enable ();
+      check cb "trace bit set"
+        true
+        (Obs.Gate.get () land Obs.Gate.trace_bit <> 0);
+      check cb "metrics bit clear"
+        true
+        (Obs.Gate.get () land Obs.Gate.metrics_bit = 0);
+      Obs.Metrics.enable ();
+      Obs.Trace.disable ();
+      check cb "metrics bit survives trace disable"
+        true
+        (Obs.Gate.get () land Obs.Gate.metrics_bit <> 0))
+
+let test_disabled_noop () =
+  with_obs_off (fun () ->
+      Obs.Trace.disable ();
+      Obs.Trace.clear ();
+      Obs.Trace.emit ~tick:0 ~txn:0 Obs.Trace.Commit;
+      check ci "emit while disabled records nothing" 0 (Obs.Trace.emitted ());
+      check ci "no retained events" 0 (List.length (Obs.Trace.events ()));
+      Obs.Metrics.disable ();
+      Obs.Metrics.reset ();
+      Obs.Metrics.set_label "off-scope";
+      Obs.Metrics.on_attempt_start ();
+      Obs.Metrics.on_commit ();
+      Obs.Metrics.add_lock_wait 123;
+      (match Obs.Metrics.read_scope "off-scope" with
+      | None -> ()
+      | Some s ->
+          check ci "no commits recorded while disabled" 0
+            s.Obs.Metrics.commit.Obs.Histogram.count);
+      Obs.Metrics.set_label "main")
+
+(* -- trace rings ----------------------------------------------------- *)
+
+let test_ring_multi_domain () =
+  with_seed_note (fun () ->
+      with_obs_off (fun () ->
+          let domains = 4 and per_domain = 2_000 in
+          (* Small rings force wraparound on every domain. *)
+          Obs.Trace.enable ~capacity:256 ();
+          spawn_all domains (fun d ->
+              for i = 1 to per_domain do
+                Obs.Trace.emit ~tick:i ~txn:d
+                  (Obs.Trace.Attempt_start { attempt = i })
+              done);
+          let emitted = Obs.Trace.emitted () in
+          let dropped = Obs.Trace.dropped () in
+          let retained = Obs.Trace.events () in
+          check ci "every emit counted" (domains * per_domain) emitted;
+          check ci "retained + dropped = emitted" emitted
+            (List.length retained + dropped);
+          (* Each domain's ring kept its newest events. *)
+          List.iter
+            (fun d ->
+              let mine =
+                List.filter (fun e -> e.Obs.Trace.txn = d) retained
+              in
+              check cb
+                (Printf.sprintf "domain %d retained its tail" d)
+                true
+                (List.for_all
+                   (fun e -> e.Obs.Trace.tick > per_domain - 512)
+                   mine
+                && mine <> []))
+            (List.init domains (fun d -> d));
+          (* events () promises timestamp order. *)
+          let rec sorted = function
+            | a :: (b :: _ as rest) ->
+                a.Obs.Trace.ns <= b.Obs.Trace.ns && sorted rest
+            | _ -> true
+          in
+          check cb "events in timestamp order" true (sorted retained)))
+
+let test_enable_clears () =
+  with_obs_off (fun () ->
+      Obs.Trace.enable ();
+      Obs.Trace.emit ~tick:1 ~txn:1 Obs.Trace.Commit;
+      check ci "one event" 1 (Obs.Trace.emitted ());
+      Obs.Trace.enable ();
+      check ci "re-enable clears counters" 0 (Obs.Trace.emitted ());
+      check ci "re-enable clears events" 0 (List.length (Obs.Trace.events ())))
+
+(* -- histograms ------------------------------------------------------ *)
+
+let test_bucket_roundtrip () =
+  (* The bucket lower bound never exceeds the value, and the relative
+     bucket width stays within the advertised ~1/16 bound. *)
+  List.iter
+    (fun v ->
+      let lo = Obs.Histogram.bucket_lower (Obs.Histogram.bucket_index v) in
+      check cb (Printf.sprintf "lower bound <= %d" v) true (lo <= v);
+      if v >= 32 then
+        check cb
+          (Printf.sprintf "relative error at %d" v)
+          true
+          (float_of_int (v - lo) /. float_of_int v <= 1.0 /. 16.0 +. 1e-9))
+    [ 0; 1; 2; 15; 16; 17; 100; 1_000; 65_535; 1_000_000; max_int / 2 ]
+
+let test_histogram_stats () =
+  let h = Obs.Histogram.create () in
+  for v = 1 to 1_000 do
+    Obs.Histogram.record h v
+  done;
+  check ci "count" 1_000 (Obs.Histogram.count h);
+  check ci "max is exact" 1_000 (Obs.Histogram.max_value h);
+  let p50 = Obs.Histogram.percentile h 50.0 in
+  check cb "p50 near 500" true (p50 >= 400 && p50 <= 512);
+  let p99 = Obs.Histogram.percentile h 99.0 in
+  check cb "p99 near 990" true (p99 >= 900 && p99 <= 1_000);
+  let s = Obs.Histogram.summarize h in
+  check ci "summary count" 1_000 s.Obs.Histogram.count;
+  check cb "mean near 500" true
+    (s.Obs.Histogram.mean > 400.0 && s.Obs.Histogram.mean < 600.0)
+
+let of_list vs =
+  let h = Obs.Histogram.create () in
+  List.iter (fun v -> Obs.Histogram.record h (abs v)) vs;
+  h
+
+let prop_merge_associative (xs, ys, zs) =
+  let a = of_list xs and b = of_list ys and c = of_list zs in
+  let l = Obs.Histogram.merge (Obs.Histogram.merge a b) c in
+  let r = Obs.Histogram.merge a (Obs.Histogram.merge b c) in
+  Obs.Histogram.buckets l = Obs.Histogram.buckets r
+  && Obs.Histogram.count l = List.length xs + List.length ys + List.length zs
+  && Obs.Histogram.max_value l = Obs.Histogram.max_value r
+
+let prop_merge_commutative (xs, ys) =
+  let a = of_list xs and b = of_list ys in
+  Obs.Histogram.buckets (Obs.Histogram.merge a b)
+  = Obs.Histogram.buckets (Obs.Histogram.merge b a)
+
+let test_histogram_concurrent () =
+  with_seed_note (fun () ->
+      let h = Obs.Histogram.create () in
+      let domains = 4 and per_domain = 10_000 in
+      spawn_all domains (fun d ->
+          let rng = Random.State.make [| sub_seed 71; d |] in
+          for _ = 1 to per_domain do
+            Obs.Histogram.record h (Random.State.int rng 1_000_000)
+          done);
+      check ci "no lost increments under contention" (domains * per_domain)
+        (Obs.Histogram.count h))
+
+(* -- chrome exporter ------------------------------------------------- *)
+
+let run_traced_workload () =
+  let r = Tvar.make 0 in
+  spawn_all 2 (fun _ ->
+      for _ = 1 to 200 do
+        Stm.atomically (fun txn -> Stm.write txn r (Stm.read txn r + 1))
+      done)
+
+let test_chrome_parses () =
+  with_obs_off (fun () ->
+      Obs.Trace.enable ();
+      run_traced_workload ();
+      (* Uncontended increments may commit without ever waiting on a
+         lock, so plant one instant-class event deterministically. *)
+      Obs.Trace.emit ~tick:0 ~txn:0 (Obs.Trace.Lock_wait { held_by = 1 });
+      let json_str = Obs.Json.to_string (Obs.Trace.to_chrome ()) in
+      Obs.Trace.disable ();
+      match Obs.Json.parse json_str with
+      | Error msg -> Alcotest.failf "chrome trace does not re-parse: %s" msg
+      | Ok j -> (
+          (match Obs.Json.member "displayTimeUnit" j with
+          | Some (Obs.Json.String _) -> ()
+          | _ -> Alcotest.fail "missing displayTimeUnit");
+          match Obs.Json.member "traceEvents" j with
+          | Some (Obs.Json.List evs) ->
+              check cb "has events" true (evs <> []);
+              let phases = Hashtbl.create 8 in
+              List.iter
+                (fun e ->
+                  (* Every event carries the Chrome-required fields. *)
+                  List.iter
+                    (fun k ->
+                      if Obs.Json.member k e = None then
+                        Alcotest.failf "event missing %s field" k)
+                    [ "ph"; "pid"; "name" ];
+                  match Obs.Json.member "ph" e with
+                  | Some (Obs.Json.String ph) ->
+                      Hashtbl.replace phases ph ()
+                  | _ -> Alcotest.fail "ph is not a string")
+                evs;
+              (* Metadata (thread names), complete spans for attempts,
+                 and instants must all be present for this workload. *)
+              List.iter
+                (fun ph ->
+                  check cb ("phase " ^ ph ^ " present") true
+                    (Hashtbl.mem phases ph))
+                [ "M"; "X"; "i" ]
+          | _ -> Alcotest.fail "traceEvents missing or not a list"))
+
+let test_chrome_file () =
+  with_obs_off (fun () ->
+      Obs.Trace.enable ();
+      Obs.Trace.emit ~tick:1 ~txn:1 (Obs.Trace.Attempt_start { attempt = 1 });
+      Obs.Trace.emit ~tick:2 ~txn:1 Obs.Trace.Commit;
+      let file = Filename.temp_file "proust_trace" ".json" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove file)
+        (fun () ->
+          Obs.Trace.dump_chrome_file file;
+          let ic = open_in_bin file in
+          let n = in_channel_length ic in
+          let s = really_input_string ic n in
+          close_in ic;
+          match Obs.Json.parse s with
+          | Ok _ -> ()
+          | Error msg -> Alcotest.failf "dumped file does not parse: %s" msg))
+
+(* -- metrics scopes -------------------------------------------------- *)
+
+let test_metrics_scopes () =
+  with_obs_off (fun () ->
+      Obs.Metrics.enable ();
+      Obs.Metrics.reset ();
+      Obs.Metrics.set_label "scope-a";
+      for _ = 1 to 50 do
+        Obs.Metrics.on_attempt_start ();
+        Obs.Metrics.on_commit ()
+      done;
+      Obs.Metrics.add_lock_wait 5_000;
+      Obs.Metrics.set_label "main";
+      match Obs.Metrics.read_scope "scope-a" with
+      | None -> Alcotest.fail "scope-a not registered"
+      | Some s ->
+          check cs "label" "scope-a" s.Obs.Metrics.label;
+          check ci "commit count" 50 s.Obs.Metrics.commit.Obs.Histogram.count;
+          check ci "lock-wait count" 1
+            s.Obs.Metrics.lock_wait.Obs.Histogram.count;
+          check cb "lock-wait magnitude" true
+            (s.Obs.Metrics.lock_wait.Obs.Histogram.max >= 4_096);
+          (* reset_scope keeps the scope but zeroes its histograms. *)
+          Obs.Metrics.reset_scope "scope-a";
+          (match Obs.Metrics.read_scope "scope-a" with
+          | Some s ->
+              check ci "reset_scope zeroes commits" 0
+                s.Obs.Metrics.commit.Obs.Histogram.count
+          | None -> Alcotest.fail "reset_scope dropped the scope");
+          (* The JSON summary carries all three sections. *)
+          let j = Obs.Metrics.scope_summary_to_json s in
+          List.iter
+            (fun k ->
+              check cb ("summary has " ^ k) true (Obs.Json.member k j <> None))
+            [ "commit"; "abort_to_retry"; "lock_wait" ])
+
+let test_metrics_from_stm () =
+  with_obs_off (fun () ->
+      Obs.Metrics.enable ();
+      Obs.Metrics.reset ();
+      Obs.Metrics.set_label "stm-smoke";
+      let r = Tvar.make 0 in
+      for _ = 1 to 25 do
+        Stm.atomically (fun txn -> Stm.write txn r (Stm.read txn r + 1))
+      done;
+      Obs.Metrics.set_label "main";
+      match Obs.Metrics.read_scope "stm-smoke" with
+      | None -> Alcotest.fail "stm instrumentation never reached metrics"
+      | Some s ->
+          check ci "one commit sample per transaction" 25
+            s.Obs.Metrics.commit.Obs.Histogram.count)
+
+(* -- Stats.to_assoc contract ---------------------------------------- *)
+
+let test_stats_to_assoc () =
+  let s = Stats.read () in
+  let assoc = Stats.to_assoc s in
+  check ci "11 counters exported" 11 (List.length assoc);
+  List.iter
+    (fun k ->
+      check cb ("counter " ^ k ^ " present") true (List.mem_assoc k assoc))
+    [
+      "starts"; "commits"; "aborts"; "conflicts"; "remote_aborts";
+      "lock_waits"; "extensions"; "killed_aborts"; "explicit_aborts";
+      "fallbacks"; "injected_faults";
+    ];
+  (* diff and to_assoc commute: to_assoc (diff a b) is the pairwise
+     difference of the exports. *)
+  let a = Stats.read () in
+  let r = Tvar.make 0 in
+  Stm.atomically (fun txn -> Stm.write txn r 1);
+  let b = Stats.read () in
+  let d = Stats.to_assoc (Stats.diff a b) in
+  List.iter2
+    (fun (ka, va) ((kb, vb), _) ->
+      check cs "same key order" ka kb;
+      check ci ("diff of " ^ ka) (vb - va) (List.assoc ka d))
+    (Stats.to_assoc a)
+    (List.combine (Stats.to_assoc b) d);
+  check cb "the txn committed" true (List.assoc "commits" d >= 1)
+
+let suite =
+  [
+    test "gate bits" test_gate_off;
+    test "disabled sites are no-ops" test_disabled_noop;
+    test "enable clears prior state" test_enable_clears;
+    slow "ring buffers: multi-domain wraparound" test_ring_multi_domain;
+    test "histogram bucket roundtrip" test_bucket_roundtrip;
+    test "histogram percentiles" test_histogram_stats;
+    qcheck ~count:100 "histogram merge associative"
+      QCheck2.Gen.(
+        triple
+          (list (int_bound 2_000_000))
+          (list (int_bound 2_000_000))
+          (list (int_bound 2_000_000)))
+      prop_merge_associative;
+    qcheck ~count:100 "histogram merge commutative"
+      QCheck2.Gen.(pair (list (int_bound 2_000_000)) (list (int_bound 2_000_000)))
+      prop_merge_commutative;
+    slow "histogram concurrent recording" test_histogram_concurrent;
+    test "chrome trace re-parses with required fields" test_chrome_parses;
+    test "chrome trace file dump" test_chrome_file;
+    test "metrics scopes and reset" test_metrics_scopes;
+    test "stm commits land in the active scope" test_metrics_from_stm;
+    test "Stats.to_assoc contract" test_stats_to_assoc;
+  ]
