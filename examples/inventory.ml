@@ -14,24 +14,24 @@ module S = Proust_structures
 
 type shop = {
   skus : string S.P_set.t;
-  stock : (string, int) S.Map_intf.ops;
+  stock : (string, int) S.Trait.Map.ops;
   distinct : S.P_counter.t;
   config : Stm.config option;
 }
 
 let eager_pessimistic () =
   {
-    skus = S.P_set.make ~lap:S.Map_intf.Pessimistic ();
-    stock = S.P_hashmap.ops (S.P_hashmap.make ~lap:S.Map_intf.Pessimistic ());
-    distinct = S.P_counter.make ~lap:S.Map_intf.Pessimistic ();
+    skus = S.P_set.make ~lap:S.Trait.Pessimistic ();
+    stock = S.P_hashmap.ops (S.P_hashmap.make ~lap:S.Trait.Pessimistic ());
+    distinct = S.P_counter.make ~lap:S.Trait.Pessimistic ();
     config = None;
   }
 
 let lazy_optimistic () =
   {
-    skus = S.P_set.make ~lap:S.Map_intf.Optimistic ();
+    skus = S.P_set.make ~lap:S.Trait.Optimistic ();
     stock = S.P_lazy_hashmap.ops (S.P_lazy_hashmap.make ());
-    distinct = S.P_counter.make ~lap:S.Map_intf.Optimistic ();
+    distinct = S.P_counter.make ~lap:S.Trait.Optimistic ();
     config =
       (* the eager counter needs encounter-time conflict detection *)
       Some { (Stm.get_default_config ()) with Stm.mode = Stm.Eager_lazy };
@@ -41,15 +41,15 @@ let restock shop sku qty =
   Stm.atomically ?config:shop.config (fun txn ->
       if S.P_set.add shop.skus txn sku then S.P_counter.incr shop.distinct txn;
       let current =
-        Option.value ~default:0 (shop.stock.S.Map_intf.get txn sku)
+        Option.value ~default:0 (shop.stock.S.Trait.Map.get txn sku)
       in
-      ignore (shop.stock.S.Map_intf.put txn sku (current + qty)))
+      ignore (shop.stock.S.Trait.Map.put txn sku (current + qty)))
 
 let sell shop sku qty =
   Stm.atomically ?config:shop.config (fun txn ->
-      match shop.stock.S.Map_intf.get txn sku with
+      match shop.stock.S.Trait.Map.get txn sku with
       | Some n when n >= qty ->
-          ignore (shop.stock.S.Map_intf.put txn sku (n - qty));
+          ignore (shop.stock.S.Trait.Map.put txn sku (n - qty));
           true
       | _ -> false)
 
@@ -73,7 +73,7 @@ let drive name shop =
     Stm.atomically ?config:shop.config (fun txn ->
         Array.fold_left
           (fun acc sku ->
-            acc + Option.value ~default:0 (shop.stock.S.Map_intf.get txn sku))
+            acc + Option.value ~default:0 (shop.stock.S.Trait.Map.get txn sku))
           0 skus)
   in
   Printf.printf "%-20s distinct-skus=%d in-stock=%d sold=%d\n" name

@@ -37,7 +37,7 @@ let () =
   (* The same wrapper, switched to a pessimistic LAP (boosting-style
      two-phase abstract locks) — one constructor argument. *)
   let boosted : (string, int) S.P_hashmap.t =
-    S.P_hashmap.make ~lap:S.Map_intf.Pessimistic ()
+    S.P_hashmap.make ~lap:S.Trait.Pessimistic ()
   in
   Stm.atomically (fun txn -> ignore (S.P_hashmap.put boosted txn "swann" 1));
   Printf.printf "boosted map size: %d\n"

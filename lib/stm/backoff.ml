@@ -2,9 +2,9 @@ let next_seed = Atomic.make 0x9e3779b9
 
 type t = {
   mutable attempts : int;
-  ceiling : int;
-  sleep_after : int;
-  sleep : float;
+  mutable ceiling : int;
+  mutable sleep_after : int;
+  mutable sleep : float;
   rng : Random.State.t;
 }
 
@@ -13,6 +13,16 @@ let create ?(ceiling = 14) ?(sleep_after = 6) ?(sleep = 1e-6) () =
     (Domain.self () :> int) lxor Atomic.fetch_and_add next_seed 0x61c88647
   in
   { attempts = 0; ceiling; sleep_after; sleep; rng = Random.State.make [| seed |] }
+
+(* Reconfiguring instead of recreating keeps the [Random.State]
+   allocation (the expensive part of [create]) out of per-transaction
+   paths: pooled backoffs are retuned to the episode's config and their
+   contention history forgotten. *)
+let reconfigure ?(ceiling = 14) ?(sleep_after = 6) ?(sleep = 1e-6) t =
+  t.attempts <- 0;
+  t.ceiling <- ceiling;
+  t.sleep_after <- sleep_after;
+  t.sleep <- sleep
 
 let spin n =
   for _ = 1 to n do

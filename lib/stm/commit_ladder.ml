@@ -1,0 +1,293 @@
+(* The attempt driver: commit/abort execution, the serial-irrevocable
+   quiesce protocol, and the starvation-proof escalation ladder that
+   [Stm.atomically] runs root transactions through. *)
+
+open Txn_state
+
+let run_hooks hooks =
+  (* Run every hook even if one raises; re-raise the first failure once
+     lock hygiene is restored by the caller. *)
+  if hooks <> [] then begin
+    let first_exn = ref None in
+    List.iter
+      (fun f -> try f () with e -> if !first_exn = None then first_exn := Some e)
+      hooks;
+    match !first_exn with None -> () | Some e -> raise e
+  end
+
+let do_abort t reason =
+  ignore (Txn_desc.try_abort t.tdesc);
+  Stats.record_abort ();
+  (match reason with
+  | Conflict -> Stats.record_conflict ()
+  | Killed -> Stats.record_killed_abort ()
+  | Explicit -> Stats.record_explicit_abort ());
+  obs_abort t reason;
+  (* LIFO: inverses registered after an operation run before the
+     abstract-lock releases registered when the lock was acquired. *)
+  let hooks = t.abort_hooks in
+  t.abort_hooks <- [];
+  t.finished <- true;
+  Fun.protect ~finally:(fun () -> release_locks t) (fun () -> run_hooks hooks)
+
+(* ------------------------------------------------------------------ *)
+(* Serial-irrevocable quiescing                                         *)
+
+(* [quiesce] holds the token of the transaction currently running in
+   serial-irrevocable fallback mode (0 = none).  While it is set, every
+   other *writing* commit aborts itself instead of proceeding, so
+   nothing can invalidate the fallback transaction's reads or contend
+   for its write set; [writers_in_flight] lets the fallback drain the
+   writers that passed the check before the token appeared.
+
+   Ordering argument (OCaml atomics are SC): a writer increments
+   [writers_in_flight] *before* loading [quiesce]; the fallback sets
+   [quiesce] *before* loading [writers_in_flight].  If the writer's
+   load saw 0 then its increment precedes the fallback's load, so the
+   fallback waits for it; otherwise the writer aborts. *)
+let quiesce = Atomic.make 0
+let writers_in_flight = Atomic.make 0
+let fallback_token = Atomic.make 1
+
+let enter_writer_commit t =
+  Atomic.incr writers_in_flight;
+  if Atomic.get quiesce <> 0 && not t.tdesc.Txn_desc.irrevocable then begin
+    Atomic.decr writers_in_flight;
+    raise (Abort_exn Conflict)
+  end
+
+let exit_writer_commit () = Atomic.decr writers_in_flight
+
+let acquire_quiesce ~backoff =
+  let token = Atomic.fetch_and_add fallback_token 1 in
+  while not (Atomic.compare_and_set quiesce 0 token) do
+    Stats.record_lock_wait ();
+    obs_wait ~txn:0 ~held_by:(Atomic.get quiesce) backoff
+  done;
+  while Atomic.get writers_in_flight > 0 do
+    Domain.cpu_relax ()
+  done;
+  token
+
+let release_quiesce token = ignore (Atomic.compare_and_set quiesce token 0)
+
+(* ------------------------------------------------------------------ *)
+(* Commit                                                               *)
+
+let do_commit t =
+  check_alive t;
+  chaos_point t Fault.Pre_commit;
+  let has_writes = not (Rwset.Wlog.is_empty t.wset) in
+  (* Phase 0: writing commits announce themselves so a concurrent
+     serial-irrevocable fallback can drain or turn them away; this must
+     precede the clock tick below so that once the fallback has
+     quiesced, no other transaction can advance the clock. *)
+  if has_writes then begin
+    Rwset.Wlog.build_plan t.wset;
+    enter_writer_commit t
+  end;
+  Fun.protect
+    ~finally:(fun () -> if has_writes then exit_writer_commit ())
+    (fun () ->
+      (* Phase 1: the protocol takes its commit locks — the plan in uid
+         order, or the one global gate (Serial_commit). *)
+      if has_writes then t.proto.p_acquire t;
+      let fail reason =
+        t.proto.p_release_fail t;
+        raise (Abort_exn reason)
+      in
+      (match chaos_point t Fault.Pre_validate with
+      | () -> ()
+      | exception Abort_exn reason -> fail reason);
+      (* Phase 2: validate the read set against the snapshot timestamp.
+         A transaction whose writes immediately follow its snapshot
+         (rv+1 = wv) cannot have missed a concurrent commit, per TL2. *)
+      let wv = if not has_writes then t.rv else Clock.tick Clock.global in
+      if has_writes && wv > t.rv + 1 then begin
+        let ok = Protocol.reads_valid t in
+        obs_validate t ~ok;
+        if not ok then fail Conflict
+      end;
+      (* Phase 3: linearize. *)
+      if not (Txn_desc.try_commit t.tdesc) then fail Killed;
+      Stats.record_commit ();
+      obs_commit t;
+      (* Phase 4: locked-phase handlers (replay logs), then publish. *)
+      t.finished <- true;
+      let locked_hooks = List.rev t.commit_locked_hooks in
+      let after_hooks = List.rev t.after_commit_hooks in
+      t.commit_locked_hooks <- [];
+      t.after_commit_hooks <- [];
+      Fun.protect
+        ~finally:(fun () ->
+          Rwset.Wlog.publish_plan t.wset ~version:wv;
+          release_locks t;
+          t.proto.p_release t)
+        (fun () -> run_hooks locked_hooks);
+      run_hooks after_hooks)
+
+(* ------------------------------------------------------------------ *)
+(* Retry blocking                                                       *)
+
+let wait_for_change watchers =
+  if watchers = [] then
+    failwith "Stm.retry: transaction read nothing; it would block forever";
+  (* A private backoff: blocking on a retry must not disturb the
+     episode backoff's escalation state (and this path can afford the
+     allocation). *)
+  let b = Backoff.create () in
+  let rec loop () =
+    if List.exists (fun w -> w ()) watchers then ()
+    else begin
+      Backoff.once b;
+      loop ()
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* The escalation ladder                                                *)
+
+(* Starvation-proof commit:
+
+   1. attempts [1 .. abort_budget]: plain optimistic retries;
+   2. attempts (abort_budget ..]: each retry additionally boosts the
+      descriptor's priority, so karma-style contention managers start
+      killing our adversaries, and the first attempt's birth timestamp
+      is retained so age-based managers rank us as the elder;
+   3. attempts (fallback_after ..] (when [serial_fallback]): take the
+      global quiesce token, drain in-flight writing commits and re-run
+      irrevocably — no remote kill, contention-manager defeat or
+      injected fault can abort the attempt, so it commits and
+      [Too_many_attempts] is unreachable under the default config. *)
+let priority_boost = 1_000
+
+let run cfg f =
+  let proto = Protocol.select cfg.mode in
+  let ep = begin_episode cfg in
+  Fun.protect ~finally:end_episode @@ fun () ->
+  let backoff = ep.ep_backoff in
+  (* End an attempt: audit external resources while the logs still
+     exist, then scrub the record for the pool. *)
+  let finish_attempt t =
+    Domain.DLS.set current_txn None;
+    maybe_audit t;
+    retire t
+  in
+  let rec attempt n ~priority ~birth =
+    if n > cfg.max_attempts then raise (Too_many_attempts n);
+    if cfg.serial_fallback && n > cfg.fallback_after then
+      fallback_attempt n ~priority ~birth
+    else begin
+      let priority =
+        if n > cfg.abort_budget then priority + priority_boost else priority
+      in
+      Stats.record_start ();
+      let t = attempt_txn ep cfg ~proto ~priority ?birth () in
+      obs_attempt_start t ~n;
+      let birth = Some t.tdesc.Txn_desc.birth in
+      Domain.DLS.set current_txn (Some t);
+      let retry_after_abort ?watchers reason =
+        Domain.DLS.set current_txn None;
+        do_abort t reason;
+        let next_priority = t.tdesc.Txn_desc.priority in
+        maybe_audit t;
+        (match watchers with
+        | Some ws -> wait_for_change ws
+        | None -> Backoff.once backoff);
+        retire t;
+        attempt (n + 1) ~priority:next_priority ~birth
+      in
+      match f t with
+      | result -> (
+          match do_commit t with
+          | () ->
+              finish_attempt t;
+              result
+          | exception Abort_exn reason -> retry_after_abort reason)
+      | exception Abort_exn reason -> retry_after_abort reason
+      | exception Retry_exn ->
+          let watchers = read_watchers t in
+          retry_after_abort ~watchers Explicit
+      | exception e ->
+          (* A user exception observed in an inconsistent (zombie) state is
+             an artifact of late conflict detection, not a real error:
+             abort and re-run, as ScalaSTM does (§7).  In a consistent
+             state, abort and propagate. *)
+          Domain.DLS.set current_txn None;
+          let consistent = Protocol.reads_valid t in
+          do_abort t Explicit;
+          let next_priority = t.tdesc.Txn_desc.priority in
+          maybe_audit t;
+          retire t;
+          if consistent then raise e
+          else begin
+            Backoff.once backoff;
+            attempt (n + 1) ~priority:next_priority ~birth
+          end
+    end
+  and fallback_attempt n ~priority ~birth =
+    let token = acquire_quiesce ~backoff in
+    Stats.record_fallback ();
+    obs_fallback ~token;
+    Fun.protect
+      ~finally:(fun () ->
+        release_quiesce token;
+        if leak_audit_enabled () && Atomic.get quiesce = token then
+          raise (Lock_leak "quiesce token survived its fallback episode"))
+      (fun () ->
+        (* Retries inside the episode keep the token: an abort here can
+           only come from a bounded abstract-lock timeout against a
+           pre-quiesce holder, which must itself drain shortly. *)
+        let rec go n ~priority =
+          if n > cfg.max_attempts then raise (Too_many_attempts n);
+          Stats.record_start ();
+          let t = attempt_txn ep cfg ~proto ~priority ?birth ~irrevocable:true () in
+          obs_attempt_start t ~n;
+          Domain.DLS.set current_txn (Some t);
+          let retry_irrevocable reason =
+            Domain.DLS.set current_txn None;
+            do_abort t reason;
+            let next_priority = t.tdesc.Txn_desc.priority in
+            maybe_audit t;
+            retire t;
+            Backoff.once backoff;
+            go (n + 1) ~priority:next_priority
+          in
+          match f t with
+          | result -> (
+              match do_commit t with
+              | () ->
+                  finish_attempt t;
+                  result
+              | exception Abort_exn reason -> retry_irrevocable reason)
+          | exception Abort_exn reason -> retry_irrevocable reason
+          | exception Retry_exn ->
+              (* [retry] waits for another transaction to change the
+                 read set, which can never happen while we quiesce the
+                 writers: hand the token back, wait, and re-enter the
+                 ladder at the boosted rung. *)
+              let watchers = read_watchers t in
+              Domain.DLS.set current_txn None;
+              do_abort t Explicit;
+              let next_priority = t.tdesc.Txn_desc.priority in
+              let fallback_birth =
+                Some (Option.value birth ~default:t.tdesc.Txn_desc.birth)
+              in
+              maybe_audit t;
+              retire t;
+              release_quiesce token;
+              wait_for_change watchers;
+              attempt (n + 1) ~priority:next_priority ~birth:fallback_birth
+          | exception e ->
+              (* Irrevocable reads are consistent by construction, so a
+                 user exception is a real error: abort and propagate. *)
+              Domain.DLS.set current_txn None;
+              do_abort t Explicit;
+              maybe_audit t;
+              retire t;
+              raise e
+        in
+        go n ~priority)
+  in
+  attempt 1 ~priority:0 ~birth:None

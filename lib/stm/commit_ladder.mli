@@ -1,0 +1,19 @@
+(** The attempt driver: commit/abort execution, the serial-irrevocable
+    quiesce protocol, and the starvation-proof escalation ladder
+    (plain retries → priority boost → serial-irrevocable fallback)
+    that {!Stm.atomically} runs root transactions through. *)
+
+(** Run one root atomic block to a committed result, retrying through
+    the ladder.  Selects the commit protocol once, pools the attempt
+    record via {!Txn_state.begin_episode}, and audits/retires every
+    attempt. *)
+val run : Txn_state.config -> (Txn_state.t -> 'a) -> 'a
+
+(** Abort the attempt: record stats, run abort hooks (LIFO), release
+    per-location locks.  Exposed for the façade's zombie-exception
+    handling. *)
+val do_abort : Txn_state.t -> Txn_state.abort_reason -> unit
+
+(** Commit the attempt (exposed for tests that drive single attempts;
+    [run] is the normal entry). *)
+val do_commit : Txn_state.t -> unit

@@ -1,0 +1,205 @@
+(* The four conflict-detection modes as first-class commit protocols.
+
+   Each mode of the paper's Figure 1 design space becomes one [proto]
+   record (acquire/validate/publish/release plus the encounter-time
+   hooks), built here and selected once per atomic block by
+   {!select} — the hot paths then dispatch through the record instead
+   of re-branching on [cfg.mode] at every read, write and commit. *)
+
+open Txn_state
+
+(* ------------------------------------------------------------------ *)
+(* Conflict arbitration                                                 *)
+
+(* Arbitrate against [other]; returns when the caller should re-attempt
+   the acquisition, raises [Abort_exn] when the caller must restart. *)
+let arbitrate t ~other ~attempt =
+  check_alive t;
+  if t.tdesc.Txn_desc.irrevocable then begin
+    (* The serial-irrevocable holder always wins: kill the other party
+       (it cannot be irrevocable too — there is a single token) and
+       wait for it to notice and release. *)
+    if Txn_desc.try_kill other then Stats.record_remote_abort ();
+    Stats.record_lock_wait ();
+    obs_wait ~txn:t.tdesc.Txn_desc.id ~held_by:other.Txn_desc.id t.backoff
+  end
+  else
+    match t.cfg.cm.Contention.decide ~self:t.tdesc ~other ~attempt with
+    | Contention.Wait ->
+        Stats.record_lock_wait ();
+        obs_wait ~txn:t.tdesc.Txn_desc.id ~held_by:other.Txn_desc.id t.backoff
+    | Contention.Restart_self -> raise (Abort_exn Conflict)
+    | Contention.Abort_other ->
+        if Txn_desc.try_kill other then Stats.record_remote_abort ();
+        (* Give the victim a beat to notice and release its locks. *)
+        Backoff.once t.backoff
+
+(* ------------------------------------------------------------------ *)
+(* Read validation and timestamp extension                              *)
+
+let reads_valid t = Rwset.Rlog.validate t.rset ~owner:t.tdesc
+
+let try_extend t =
+  let now = snapshot_clock ~serial:(t.cfg.mode = Serial_commit) in
+  let ok = reads_valid t in
+  obs_extend t ~ok;
+  if ok then begin
+    t.rv <- now;
+    Stats.record_extension ();
+    true
+  end
+  else false
+
+(* ------------------------------------------------------------------ *)
+(* Encounter-time locking (eager modes)                                 *)
+
+let rec lock_for_write :
+    type a. visible_readers:bool -> t -> a Tvar.t -> attempt:int -> unit =
+ fun ~visible_readers t tv ~attempt ->
+  match Tvar.try_lock tv t.tdesc with
+  | `Mine -> ()
+  | `Locked ->
+      t.locked <- Locked tv :: t.locked;
+      chaos_point t Fault.Post_lock_acquire;
+      if visible_readers then wait_out_readers t tv ~attempt:0
+  | `Held other ->
+      arbitrate t ~other ~attempt;
+      lock_for_write ~visible_readers t tv ~attempt:(attempt + 1)
+
+(* With visible readers, a writer that just locked [tv] must come to an
+   agreement with every active reader before proceeding; either the
+   readers finish/abort or this transaction restarts (releasing the
+   lock on its abort path). *)
+and wait_out_readers : type a. t -> a Tvar.t -> attempt:int -> unit =
+ fun t tv ~attempt ->
+  match Tvar.active_readers tv ~except:t.tdesc with
+  | [] -> ()
+  | other :: _ ->
+      arbitrate t ~other ~attempt;
+      wait_out_readers t tv ~attempt:(attempt + 1)
+
+(* ------------------------------------------------------------------ *)
+(* The committed-state read (slow path: no read-after-write hit)        *)
+
+(* TL2 discipline: a committed version newer than the snapshot either
+   extends the snapshot ([extend_reads]) or aborts.  Every successful
+   read appends to the read log; duplicate entries are fine (see
+   {!Rwset.Rlog}), which is what lets this path skip the old
+   Hashtbl-based dedup-and-recheck entirely. *)
+let rec read_slow : type a. t -> a Tvar.t -> attempt:int -> a =
+ fun t tv ~attempt ->
+  t.proto.p_pre_read t tv;
+  match Tvar.current_owner tv with
+  | Some d when d != t.tdesc ->
+      arbitrate t ~other:d ~attempt;
+      read_slow t tv ~attempt:(attempt + 1)
+  | _ ->
+      let s = Tvar.load tv in
+      if s.Tvar.version > t.rv then
+        if t.cfg.extend_reads && try_extend t then
+          (* extension succeeded; re-examine under the new timestamp *)
+          read_slow t tv ~attempt
+        else begin
+          Stats.record_conflict ();
+          raise (Abort_exn Conflict)
+        end
+      else begin
+        Rwset.Rlog.push t.rset tv s.Tvar.version;
+        Txn_desc.earn t.tdesc 1;
+        s.Tvar.value
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Commit-time lock acquisition                                         *)
+
+let rec lock_entry t tv ~attempt =
+  match Tvar.try_lock tv t.tdesc with
+  | `Mine -> ()
+  | `Locked ->
+      t.locked <- Locked tv :: t.locked;
+      chaos_point t Fault.Post_lock_acquire
+  | `Held other ->
+      arbitrate t ~other ~attempt;
+      lock_entry t tv ~attempt:(attempt + 1)
+
+(* Lock the commit plan in uid order (avoids lock-order livelock; the
+   eager modes already hold these locks and hit [`Mine]). *)
+let acquire_plan_locks t =
+  Rwset.Wlog.plan_iter_tv t.wset (fun tv -> lock_entry t tv ~attempt:0)
+
+let acquire_commit_gate t =
+  let b = t.gate_backoff in
+  Backoff.reset b;
+  let rec loop () =
+    check_alive t;
+    if not (Atomic.compare_and_set commit_gate 0 t.tdesc.Txn_desc.id) then begin
+      Stats.record_lock_wait ();
+      obs_wait ~txn:t.tdesc.Txn_desc.id ~held_by:(Atomic.get commit_gate) b;
+      loop ()
+    end
+  in
+  loop ()
+
+let release_commit_gate t =
+  if Atomic.get commit_gate = t.tdesc.Txn_desc.id then Atomic.set commit_gate 0
+
+(* ------------------------------------------------------------------ *)
+(* The four protocols                                                   *)
+
+let no_pre_read : 'a. Txn_state.t -> 'a Tvar.t -> unit = fun _ _ -> ()
+let no_pre_write : 'a. Txn_state.t -> 'a Tvar.t -> unit = fun _ _ -> ()
+let noop (_ : Txn_state.t) = ()
+
+(* TL2: both conflict classes detected lazily — writes buffer without
+   locking, the write set is locked at commit. *)
+let lazy_lazy =
+  {
+    p_pre_read = no_pre_read;
+    p_pre_write = no_pre_write;
+    p_acquire = acquire_plan_locks;
+    p_release_fail = noop;
+    p_release = noop;
+  }
+
+(* TinySTM/Ennals: encounter-time write locking, lazy read/write. *)
+let eager_lazy =
+  {
+    p_pre_read = no_pre_read;
+    p_pre_write =
+      (fun t tv -> lock_for_write ~visible_readers:false t tv ~attempt:0);
+    p_acquire = acquire_plan_locks;
+    p_release_fail = noop;
+    p_release = noop;
+  }
+
+(* Eager on both axes: encounter-time write locks plus visible readers
+   (the mode Theorem 5.2 requires for eager/optimistic Proustian
+   objects to be opaque). *)
+let eager_eager =
+  {
+    p_pre_read = (fun t tv -> Tvar.register_reader tv t.tdesc);
+    p_pre_write =
+      (fun t tv -> lock_for_write ~visible_readers:true t tv ~attempt:0);
+    p_acquire = acquire_plan_locks;
+    p_release_fail = noop;
+    p_release = noop;
+  }
+
+(* NOrec: no per-location commit locking at all; writing commits
+   serialize on the one global gate, released only after publishing
+   (failed commits release it in [p_release_fail] since the abort path
+   only knows about per-location locks). *)
+let serial_commit =
+  {
+    p_pre_read = no_pre_read;
+    p_pre_write = no_pre_write;
+    p_acquire = acquire_commit_gate;
+    p_release_fail = release_commit_gate;
+    p_release = release_commit_gate;
+  }
+
+let select = function
+  | Lazy_lazy -> lazy_lazy
+  | Eager_lazy -> eager_lazy
+  | Eager_eager -> eager_eager
+  | Serial_commit -> serial_commit

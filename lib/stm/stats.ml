@@ -10,6 +10,7 @@ type snapshot = {
   explicit_aborts : int;
   fallbacks : int;
   injected_faults : int;
+  minor_words : int;
 }
 
 (* Counters are striped across a fixed number of slots to avoid making
@@ -28,6 +29,7 @@ type cell = {
   explicit_aborts : int Atomic.t;
   fallbacks : int Atomic.t;
   injected_faults : int Atomic.t;
+  minor_words : int Atomic.t;
 }
 
 let make_cell () =
@@ -43,6 +45,7 @@ let make_cell () =
     explicit_aborts = Atomic.make 0;
     fallbacks = Atomic.make 0;
     injected_faults = Atomic.make 0;
+    minor_words = Atomic.make 0;
   }
 
 let cells = Array.init stripes (fun _ -> make_cell ())
@@ -60,6 +63,11 @@ let record_explicit_abort () = bump (fun c -> c.explicit_aborts)
 let record_fallback () = bump (fun c -> c.fallbacks)
 let record_injected_fault () = bump (fun c -> c.injected_faults)
 
+(* Unlike the event counters this one adds in bulk: workers report one
+   [Gc.minor_words] delta per measured stretch, not per allocation. *)
+let add_minor_words n =
+  if n > 0 then ignore (Atomic.fetch_and_add (my_cell ()).minor_words n)
+
 let fields : (cell -> int Atomic.t) list =
   [
     (fun c -> c.starts);
@@ -73,6 +81,7 @@ let fields : (cell -> int Atomic.t) list =
     (fun c -> c.explicit_aborts);
     (fun c -> c.fallbacks);
     (fun c -> c.injected_faults);
+    (fun c -> c.minor_words);
   ]
 
 let sum (field : cell -> int Atomic.t) =
@@ -91,6 +100,7 @@ let read () : snapshot =
     explicit_aborts = sum (fun c -> c.explicit_aborts);
     fallbacks = sum (fun c -> c.fallbacks);
     injected_faults = sum (fun c -> c.injected_faults);
+    minor_words = sum (fun c -> c.minor_words);
   }
 
 let reset () =
@@ -111,6 +121,7 @@ let diff (a : snapshot) (b : snapshot) : snapshot =
     explicit_aborts = b.explicit_aborts - a.explicit_aborts;
     fallbacks = b.fallbacks - a.fallbacks;
     injected_faults = b.injected_faults - a.injected_faults;
+    minor_words = b.minor_words - a.minor_words;
   }
 
 let to_assoc (s : snapshot) =
@@ -126,11 +137,13 @@ let to_assoc (s : snapshot) =
     ("explicit_aborts", s.explicit_aborts);
     ("fallbacks", s.fallbacks);
     ("injected_faults", s.injected_faults);
+    ("minor_words", s.minor_words);
   ]
 
 let pp fmt (s : snapshot) =
   Format.fprintf fmt
     "starts=%d commits=%d aborts=%d (conflict=%d killed=%d explicit=%d) \
-     remote=%d waits=%d ext=%d fallbacks=%d injected=%d"
+     remote=%d waits=%d ext=%d fallbacks=%d injected=%d minor_words=%d"
     s.starts s.commits s.aborts s.conflicts s.killed_aborts s.explicit_aborts
     s.remote_aborts s.lock_waits s.extensions s.fallbacks s.injected_faults
+    s.minor_words

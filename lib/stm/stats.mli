@@ -16,6 +16,11 @@ type snapshot = {
   explicit_aborts : int;  (** aborts from [restart]/[retry]/user exns *)
   fallbacks : int;  (** escalations into serial-irrevocable mode *)
   injected_faults : int;  (** faults fired by {!Fault} *)
+  minor_words : int;
+      (** minor-heap words allocated inside measured stretches, reported
+          in bulk by {!add_minor_words} (the benchmark workers record
+          one [Gc.minor_words] delta per trial); divide by [commits]
+          for the allocation-per-transaction figure *)
 }
 
 val record_start : unit -> unit
@@ -29,6 +34,10 @@ val record_killed_abort : unit -> unit
 val record_explicit_abort : unit -> unit
 val record_fallback : unit -> unit
 val record_injected_fault : unit -> unit
+
+(** [add_minor_words n] adds [n] words to the allocation counter
+    (no-op for [n <= 0]). *)
+val add_minor_words : int -> unit
 
 (** Current totals since program start or the last [reset]. *)
 val read : unit -> snapshot

@@ -1,12 +1,25 @@
-type mode = Lazy_lazy | Eager_lazy | Eager_eager | Serial_commit
+(* The public STM face.  The implementation lives in the layered
+   modules beneath it —
 
-let mode_name = function
-  | Lazy_lazy -> "lazy-lazy"
-  | Eager_lazy -> "eager-lazy"
-  | Eager_eager -> "eager-eager"
-  | Serial_commit -> "serial-commit"
+     Rwset         log-structured read/write/local sets
+     Txn_state     the pooled attempt record, audit, obs, chaos
+     Protocol      the four conflict-detection modes as data
+     Commit_ladder commit/abort drivers + the escalation ladder
 
-type config = {
+   — and this façade re-exports the stable [Stm] API on top: the
+   read/write hot paths (write-log filter probe, then the protocol's
+   slow path), [or_else] by log watermarks, transaction-locals over the
+   local log, and [atomically]'s nesting flattening. *)
+
+type mode = Txn_state.mode =
+  | Lazy_lazy
+  | Eager_lazy
+  | Eager_eager
+  | Serial_commit
+
+let mode_name = Txn_state.mode_name
+
+type config = Txn_state.config = {
   mode : mode;
   cm : Contention.t;
   extend_reads : bool;
@@ -18,558 +31,110 @@ type config = {
   backoff_sleep : float;
 }
 
-let default_config_v =
-  ref
-    {
-      mode = Lazy_lazy;
-      cm = Contention.passive ();
-      extend_reads = false;
-      max_attempts = 100_000;
-      abort_budget = 16;
-      serial_fallback = true;
-      fallback_after = 64;
-      backoff_sleep_after = 6;
-      backoff_sleep = 1e-6;
-    }
+let set_default_config = Txn_state.set_default_config
+let get_default_config = Txn_state.get_default_config
 
-let set_default_config c = default_config_v := c
-let get_default_config () = !default_config_v
+type txn = Txn_state.t
 
-(* Packed read-set and write-set entries.  The existential type is
-   re-established with [Obj.magic] in [read], justified by the global
-   uniqueness of tvar uids: equal uid implies physically the same tvar,
-   hence the same value type. *)
-type wentry = Wentry : 'a Tvar.t * 'a -> wentry
-type rentry = Rentry : 'a Tvar.t * int -> rentry
-type locked = Locked : 'a Tvar.t -> locked
+exception Too_many_attempts = Txn_state.Too_many_attempts
+exception Not_in_transaction = Txn_state.Not_in_transaction
+exception Lock_leak = Txn_state.Lock_leak
 
-type txn = {
-  mutable rv : int;
-  mutable tdesc : Txn_desc.t;
-  cfg : config;
-  reads : (int, rentry) Hashtbl.t;
-  writes : (int, wentry) Hashtbl.t;
-  mutable locked : locked list;
-  mutable commit_locked_hooks : (unit -> unit) list;  (* LIFO storage *)
-  mutable after_commit_hooks : (unit -> unit) list;  (* LIFO storage *)
-  mutable abort_hooks : (unit -> unit) list;  (* LIFO storage = run order *)
-  locals : (int, exn) Hashtbl.t;
-  backoff : Backoff.t;
-  mutable finished : bool;
-}
-
-type abort_reason = Conflict | Killed | Explicit
-
-exception Abort_exn of abort_reason
-exception Retry_exn
-exception Too_many_attempts of int
-exception Not_in_transaction
-
-let desc t = t.tdesc
-let config t = t.cfg
-let read_version t = t.rv
-
-let check_open t = if t.finished then raise Not_in_transaction
-
-let check_alive t =
-  check_open t;
-  if Txn_desc.is_aborted t.tdesc then raise (Abort_exn Killed)
-
-(* Hook registration deliberately accepts zombies ([check_open], not
-   [check_alive]) on all three phases.  Commit hooks registered by a
-   remotely-killed attempt never run (the attempt cannot commit), so
-   accepting them is harmless — whereas raising mid-registration tears
-   an eager base mutation from the bookkeeping around it: e.g. a
-   [Committed_size] local whose init registers its flush via
-   [after_commit] would otherwise abort [Eager_map.put] between the
-   base insert and the inverse registration, leaking the insert. *)
-let on_commit_locked t f =
-  check_open t;
-  t.commit_locked_hooks <- f :: t.commit_locked_hooks
-
-let after_commit t f =
-  check_open t;
-  t.after_commit_hooks <- f :: t.after_commit_hooks
-
-(* NB: [check_open], not [check_alive] — a transaction killed remotely
-   between a base-structure mutation and this registration is a zombie
-   whose effects still need undoing when [do_abort] runs the hooks.
-   Raising here instead would drop the inverse on the floor and leak
-   the mutation (found by the chaos harness: a [Kill] injected inside
-   [Abstract_lock.apply]'s window broke sequential equivalence). *)
-let on_abort t f =
-  check_open t;
-  t.abort_hooks <- f :: t.abort_hooks
-
-(* ------------------------------------------------------------------ *)
-(* Observability taps                                                   *)
-
-(* Each site loads the obs gate word exactly once; with tracing and
-   metrics both off, nothing else happens — that single load is the
-   whole per-site budget the overhead microbench enforces.  Events are
-   stamped with the global clock tick inside the already-slow enabled
-   path. *)
-
-let reason_name = function
-  | Conflict -> "conflict"
-  | Killed -> "killed"
-  | Explicit -> "explicit"
-
-let obs_emit ~txn kind =
-  Proust_obs.Trace.emit ~tick:(Clock.now Clock.global) ~txn kind
-
-let obs_attempt_start t ~n =
-  let g = Proust_obs.Gate.get () in
-  if g <> 0 then begin
-    if g land Proust_obs.Gate.trace_bit <> 0 then
-      obs_emit ~txn:t.tdesc.Txn_desc.id
-        (Proust_obs.Trace.Attempt_start { attempt = n });
-    if g land Proust_obs.Gate.metrics_bit <> 0 then
-      Proust_obs.Metrics.on_attempt_start ()
-  end
-
-let obs_commit t =
-  let g = Proust_obs.Gate.get () in
-  if g <> 0 then begin
-    if g land Proust_obs.Gate.trace_bit <> 0 then
-      obs_emit ~txn:t.tdesc.Txn_desc.id Proust_obs.Trace.Commit;
-    if g land Proust_obs.Gate.metrics_bit <> 0 then
-      Proust_obs.Metrics.on_commit ()
-  end
-
-let obs_abort t reason =
-  let g = Proust_obs.Gate.get () in
-  if g <> 0 then begin
-    if g land Proust_obs.Gate.trace_bit <> 0 then
-      obs_emit ~txn:t.tdesc.Txn_desc.id
-        (Proust_obs.Trace.Abort { reason = reason_name reason });
-    if g land Proust_obs.Gate.metrics_bit <> 0 then
-      Proust_obs.Metrics.on_abort ()
-  end
-
-(* A bounded wait on a held resource: time the backoff step and feed
-   both the trace and the lock-wait histogram. *)
-let obs_wait ~txn ~held_by backoff =
-  let g = Proust_obs.Gate.get () in
-  if g = 0 then Backoff.once backoff
-  else begin
-    let t0 = Proust_obs.Trace.now_ns () in
-    Backoff.once backoff;
-    let dt = Proust_obs.Trace.now_ns () - t0 in
-    if g land Proust_obs.Gate.trace_bit <> 0 then
-      obs_emit ~txn (Proust_obs.Trace.Lock_wait { held_by });
-    if g land Proust_obs.Gate.metrics_bit <> 0 then
-      Proust_obs.Metrics.add_lock_wait dt
-  end
-
-let obs_validate t ~ok =
-  if Proust_obs.Gate.get () land Proust_obs.Gate.trace_bit <> 0 then
-    obs_emit ~txn:t.tdesc.Txn_desc.id (Proust_obs.Trace.Validate { ok })
-
-let obs_extend t ~ok =
-  if Proust_obs.Gate.get () land Proust_obs.Gate.trace_bit <> 0 then
-    obs_emit ~txn:t.tdesc.Txn_desc.id (Proust_obs.Trace.Extend { ok })
-
-let obs_fallback ~token =
-  if Proust_obs.Gate.get () land Proust_obs.Gate.trace_bit <> 0 then
-    obs_emit ~txn:0 (Proust_obs.Trace.Fallback { token })
-
-(* ------------------------------------------------------------------ *)
-(* Fault injection                                                      *)
-
-(* Interpret a chaos draw for the running transaction.  Irrevocable
-   (serial-fallback) attempts only honour the delay component: the
-   whole point of the fallback is that nothing can abort it. *)
-let chaos_point t point =
-  if Fault.enabled () then
-    if t.tdesc.Txn_desc.irrevocable then Fault.delay_only point
-    else
-      match Fault.check point with
-      | None -> ()
-      | Some (Fault.Delay n) -> Fault.spin n
-      | Some Fault.Abort -> raise (Abort_exn Conflict)
-      | Some Fault.Kill ->
-          (* Simulate a remote kill: the "victim" notices at its next
-             liveness check, exactly like a contention-manager abort. *)
-          ignore (Txn_desc.try_kill t.tdesc)
-
-(* ------------------------------------------------------------------ *)
-(* Conflict arbitration                                                 *)
-
-(* Arbitrate against [other]; returns when the caller should re-attempt
-   the acquisition, raises [Abort_exn] when the caller must restart. *)
-let arbitrate t ~other ~attempt =
-  check_alive t;
-  if t.tdesc.Txn_desc.irrevocable then begin
-    (* The serial-irrevocable holder always wins: kill the other party
-       (it cannot be irrevocable too — there is a single token) and
-       wait for it to notice and release. *)
-    if Txn_desc.try_kill other then Stats.record_remote_abort ();
-    Stats.record_lock_wait ();
-    obs_wait ~txn:t.tdesc.Txn_desc.id ~held_by:other.Txn_desc.id t.backoff
-  end
-  else
-    match t.cfg.cm.Contention.decide ~self:t.tdesc ~other ~attempt with
-    | Contention.Wait ->
-        Stats.record_lock_wait ();
-        obs_wait ~txn:t.tdesc.Txn_desc.id ~held_by:other.Txn_desc.id t.backoff
-    | Contention.Restart_self -> raise (Abort_exn Conflict)
-    | Contention.Abort_other ->
-        if Txn_desc.try_kill other then Stats.record_remote_abort ();
-        (* Give the victim a beat to notice and release its locks. *)
-        Backoff.once t.backoff
-
-(* ------------------------------------------------------------------ *)
-(* Read validation and timestamp extension                              *)
-
-(* NOrec-style global commit lock for the Serial_commit mode: all
-   writing commits serialize here instead of locking their write sets
-   per location.  Declared here because snapshot sampling (below) must
-   consult it; acquire/release live with the commit path. *)
-let commit_gate = Atomic.make 0
-
-(* In Serial_commit mode a committing writer holds no per-location
-   locks while publishing: it ticks the clock under the gate, then
-   writes values back.  A clock value sampled inside that window counts
-   a tick whose writes are not yet visible, and a transaction adopting
-   it as its snapshot can read the stale value yet still pass (or
-   fast-path skip) commit validation — a lost update.  So snapshot
-   timestamps are sampled seqlock-style against the gate: a clock read
-   only becomes a snapshot once the gate is observed free *after* it,
-   at which point every serial tick <= the sample has fully published.
-   (Non-serial writers publish under per-location version-locks, which
-   the read path and [entry_valid] already detect.) *)
-let snapshot_clock ~serial =
-  if not serial then Clock.now Clock.global
-  else
-    let rec go () =
-      let v = Clock.now Clock.global in
-      if Atomic.get commit_gate = 0 then v
-      else begin
-        Domain.cpu_relax ();
-        go ()
-      end
-    in
-    go ()
-
-let entry_valid t (Rentry (tv, ver)) =
-  (Tvar.load tv).version = ver
-  &&
-  match Tvar.current_owner tv with
-  | None -> true
-  | Some d -> d == t.tdesc
-
-let reads_valid t =
-  Hashtbl.fold (fun _ e ok -> ok && entry_valid t e) t.reads true
-
-let try_extend t =
-  let now = snapshot_clock ~serial:(t.cfg.mode = Serial_commit) in
-  let ok = reads_valid t in
-  obs_extend t ~ok;
-  if ok then begin
-    t.rv <- now;
-    Stats.record_extension ();
-    true
-  end
-  else false
+let desc = Txn_state.desc
+let config = Txn_state.config
+let read_version = Txn_state.read_version
+let on_commit_locked = Txn_state.on_commit_locked
+let after_commit = Txn_state.after_commit
+let on_abort = Txn_state.on_abort
+let chaos_point = Txn_state.chaos_point
+let set_leak_audit = Txn_state.set_leak_audit
+let leak_audit_enabled = Txn_state.leak_audit_enabled
+let register_leak_check = Txn_state.register_leak_check
+let descriptor_pool_check = Txn_state.descriptor_pool_check
+let pool_reuses = Txn_state.pool_reuses
 
 (* ------------------------------------------------------------------ *)
 (* Read and write                                                       *)
 
-let rec lock_for_write : type a. txn -> a Tvar.t -> attempt:int -> unit =
- fun t tv ~attempt ->
-  match Tvar.try_lock tv t.tdesc with
-  | `Mine -> ()
-  | `Locked ->
-      t.locked <- Locked tv :: t.locked;
-      chaos_point t Fault.Post_lock_acquire;
-      if t.cfg.mode = Eager_eager then wait_out_readers t tv ~attempt:0
-  | `Held other ->
-      arbitrate t ~other ~attempt;
-      lock_for_write t tv ~attempt:(attempt + 1)
-
-(* With visible readers, a writer that just locked [tv] must come to an
-   agreement with every active reader before proceeding; either the
-   readers finish/abort or this transaction restarts (releasing the
-   lock on its abort path). *)
-and wait_out_readers : type a. txn -> a Tvar.t -> attempt:int -> unit =
- fun t tv ~attempt ->
-  match Tvar.active_readers tv ~except:t.tdesc with
-  | [] -> ()
-  | other :: _ ->
-      arbitrate t ~other ~attempt;
-      wait_out_readers t tv ~attempt:(attempt + 1)
+let read : type a. txn -> a Tvar.t -> a =
+ fun t tv ->
+  Txn_state.check_alive t;
+  (* Read-after-write: one summary-filter probe; almost every read of a
+     never-written tvar falls through in two loads and a [land]. *)
+  let i = Rwset.Wlog.find_idx t.Txn_state.wset tv in
+  if i >= 0 then Rwset.Wlog.value t.Txn_state.wset i
+  else Protocol.read_slow t tv ~attempt:0
 
 let write : type a. txn -> a Tvar.t -> a -> unit =
  fun t tv v ->
-  check_alive t;
-  (match t.cfg.mode with
-  | Lazy_lazy | Serial_commit -> ()
-  | Eager_lazy | Eager_eager -> lock_for_write t tv ~attempt:0);
-  Hashtbl.replace t.writes tv.Tvar.uid (Wentry (tv, v));
-  Txn_desc.earn t.tdesc 1
-
-let rec read : type a. txn -> a Tvar.t -> a =
- fun t tv ->
-  check_alive t;
-  match Hashtbl.find_opt t.writes tv.Tvar.uid with
-  | Some (Wentry (tv', v)) ->
-      assert (Obj.repr tv' == Obj.repr tv);
-      (* Same uid implies same tvar, hence same type parameter. *)
-      (Obj.magic v : a)
-  | None -> read_committed t tv ~attempt:0
-
-and read_committed : type a. txn -> a Tvar.t -> attempt:int -> a =
- fun t tv ~attempt ->
-  if t.cfg.mode = Eager_eager then Tvar.register_reader tv t.tdesc;
-  match Tvar.current_owner tv with
-  | Some d when d != t.tdesc ->
-      arbitrate t ~other:d ~attempt;
-      read_committed t tv ~attempt:(attempt + 1)
-  | _ -> (
-      let s = Tvar.load tv in
-      if s.Tvar.version > t.rv && not (t.cfg.extend_reads && try_extend t)
-      then begin
-        Stats.record_conflict ();
-        raise (Abort_exn Conflict)
-      end
-      else if s.Tvar.version > t.rv then
-        (* extension succeeded; re-examine under the new timestamp *)
-        read_committed t tv ~attempt
-      else
-        match Hashtbl.find_opt t.reads tv.Tvar.uid with
-        | Some (Rentry (_, ver)) when ver <> s.Tvar.version ->
-            Stats.record_conflict ();
-            raise (Abort_exn Conflict)
-        | Some _ ->
-            Txn_desc.earn t.tdesc 1;
-            s.Tvar.value
-        | None ->
-            Hashtbl.replace t.reads tv.Tvar.uid (Rentry (tv, s.Tvar.version));
-            Txn_desc.earn t.tdesc 1;
-            s.Tvar.value)
-
-(* ------------------------------------------------------------------ *)
-(* Commit and abort                                                     *)
-
-let release_locks t =
-  List.iter (fun (Locked tv) -> Tvar.unlock tv t.tdesc) t.locked;
-  t.locked <- []
-
-let run_hooks hooks =
-  (* Run every hook even if one raises; re-raise the first failure once
-     lock hygiene is restored by the caller. *)
-  let first_exn = ref None in
-  List.iter
-    (fun f ->
-      try f ()
-      with e -> if !first_exn = None then first_exn := Some e)
-    hooks;
-  match !first_exn with None -> () | Some e -> raise e
-
-let do_abort t reason =
-  ignore (Txn_desc.try_abort t.tdesc);
-  Stats.record_abort ();
-  (match reason with
-  | Conflict -> Stats.record_conflict ()
-  | Killed -> Stats.record_killed_abort ()
-  | Explicit -> Stats.record_explicit_abort ());
-  obs_abort t reason;
-  (* LIFO: inverses registered after an operation run before the
-     abstract-lock releases registered when the lock was acquired. *)
-  let hooks = t.abort_hooks in
-  t.abort_hooks <- [];
-  t.finished <- true;
-  Fun.protect ~finally:(fun () -> release_locks t) (fun () -> run_hooks hooks)
-
-let acquire_commit_gate t =
-  let b = Backoff.create () in
-  let rec loop () =
-    check_alive t;
-    if not (Atomic.compare_and_set commit_gate 0 t.tdesc.Txn_desc.id) then begin
-      Stats.record_lock_wait ();
-      obs_wait ~txn:t.tdesc.Txn_desc.id ~held_by:(Atomic.get commit_gate) b;
-      loop ()
-    end
-  in
-  loop ()
-
-let release_commit_gate t =
-  if Atomic.get commit_gate = t.tdesc.Txn_desc.id then
-    Atomic.set commit_gate 0
-
-(* ------------------------------------------------------------------ *)
-(* Serial-irrevocable quiescing                                         *)
-
-(* [quiesce] holds the token of the transaction currently running in
-   serial-irrevocable fallback mode (0 = none).  While it is set, every
-   other *writing* commit aborts itself instead of proceeding, so
-   nothing can invalidate the fallback transaction's reads or contend
-   for its write set; [writers_in_flight] lets the fallback drain the
-   writers that passed the check before the token appeared.
-
-   Ordering argument (OCaml atomics are SC): a writer increments
-   [writers_in_flight] *before* loading [quiesce]; the fallback sets
-   [quiesce] *before* loading [writers_in_flight].  If the writer's
-   load saw 0 then its increment precedes the fallback's load, so the
-   fallback waits for it; otherwise the writer aborts. *)
-let quiesce = Atomic.make 0
-let writers_in_flight = Atomic.make 0
-let fallback_token = Atomic.make 1
-
-let enter_writer_commit t =
-  Atomic.incr writers_in_flight;
-  if Atomic.get quiesce <> 0 && not t.tdesc.Txn_desc.irrevocable then begin
-    Atomic.decr writers_in_flight;
-    raise (Abort_exn Conflict)
-  end
-
-let exit_writer_commit () = Atomic.decr writers_in_flight
-
-let acquire_quiesce ~backoff =
-  let token = Atomic.fetch_and_add fallback_token 1 in
-  while not (Atomic.compare_and_set quiesce 0 token) do
-    Stats.record_lock_wait ();
-    obs_wait ~txn:0 ~held_by:(Atomic.get quiesce) backoff
-  done;
-  while Atomic.get writers_in_flight > 0 do
-    Domain.cpu_relax ()
-  done;
-  token
-
-let release_quiesce token =
-  ignore (Atomic.compare_and_set quiesce token 0)
-
-let sorted_writes t =
-  let l = Hashtbl.fold (fun _ e acc -> e :: acc) t.writes [] in
-  List.sort (fun (Wentry (a, _)) (Wentry (b, _)) -> compare a.Tvar.uid b.Tvar.uid) l
-
-let rec lock_entry t tv ~attempt =
-  match Tvar.try_lock tv t.tdesc with
-  | `Mine -> ()
-  | `Locked ->
-      t.locked <- Locked tv :: t.locked;
-      chaos_point t Fault.Post_lock_acquire
-  | `Held other ->
-      arbitrate t ~other ~attempt;
-      lock_entry t tv ~attempt:(attempt + 1)
-
-let do_commit t =
-  check_alive t;
-  chaos_point t Fault.Pre_commit;
-  let writes = sorted_writes t in
-  let serial = t.cfg.mode = Serial_commit in
-  (* Phase 0: writing commits announce themselves so a concurrent
-     serial-irrevocable fallback can drain or turn them away; this must
-     precede the clock tick below so that once the fallback has
-     quiesced, no other transaction can advance the clock. *)
-  if writes <> [] then enter_writer_commit t;
-  Fun.protect
-    ~finally:(fun () -> if writes <> [] then exit_writer_commit ())
-    (fun () ->
-      (* Phase 1: lock the write set (uid order avoids lock-order
-         livelock; eager modes already hold these locks).  The
-         Serial_commit mode instead takes the one global commit gate. *)
-      if serial then begin
-        if writes <> [] then acquire_commit_gate t
-      end
-      else List.iter (fun (Wentry (tv, _)) -> lock_entry t tv ~attempt:0) writes;
-      (* Phase 2: validate the read set against the snapshot timestamp.
-         A transaction whose writes immediately follow its snapshot
-         (rv+1 = wv) cannot have missed a concurrent commit, per TL2. *)
-      let fail reason =
-        if serial then release_commit_gate t;
-        raise (Abort_exn reason)
-      in
-      (match chaos_point t Fault.Pre_validate with
-      | () -> ()
-      | exception Abort_exn reason -> fail reason);
-      let wv = if writes = [] then t.rv else Clock.tick Clock.global in
-      if writes <> [] && wv > t.rv + 1 then begin
-        let ok = reads_valid t in
-        obs_validate t ~ok;
-        if not ok then fail Conflict
-      end;
-      (* Phase 3: linearize. *)
-      if not (Txn_desc.try_commit t.tdesc) then fail Killed;
-      Stats.record_commit ();
-      obs_commit t;
-      (* Phase 4: locked-phase handlers (replay logs), then publish. *)
-      t.finished <- true;
-      let locked_hooks = List.rev t.commit_locked_hooks in
-      let after_hooks = List.rev t.after_commit_hooks in
-      t.commit_locked_hooks <- [];
-      t.after_commit_hooks <- [];
-      Fun.protect
-        ~finally:(fun () ->
-          List.iter
-            (fun (Wentry (tv, v)) -> Tvar.publish tv v ~version:wv)
-            writes;
-          release_locks t;
-          if serial then release_commit_gate t)
-        (fun () -> run_hooks locked_hooks);
-      run_hooks after_hooks)
+  Txn_state.check_alive t;
+  t.Txn_state.proto.Txn_state.p_pre_write t tv;
+  Rwset.Wlog.write t.Txn_state.wset tv v;
+  Txn_desc.earn t.Txn_state.tdesc 1
 
 (* ------------------------------------------------------------------ *)
 (* Retry support                                                        *)
 
 let retry t =
-  check_alive t;
-  raise Retry_exn
+  Txn_state.check_alive t;
+  raise Txn_state.Retry_exn
 
 let restart t =
-  check_alive t;
-  raise (Abort_exn Explicit)
-
-(* Build watchers before the txn record is torn down, so [atomically]
-   can poll for a change after aborting. *)
-let read_watchers t =
-  Hashtbl.fold
-    (fun _ (Rentry (tv, ver)) acc ->
-      (fun () ->
-        let s = Tvar.load tv in
-        s.Tvar.version <> ver)
-      :: acc)
-    t.reads []
-
-let wait_for_change watchers =
-  if watchers = [] then
-    failwith "Stm.retry: transaction read nothing; it would block forever";
-  let b = Backoff.create () in
-  let rec loop () =
-    if List.exists (fun w -> w ()) watchers then () else (Backoff.once b; loop ())
-  in
-  loop ()
+  Txn_state.check_alive t;
+  raise (Txn_state.Abort_exn Txn_state.Explicit)
 
 (* ------------------------------------------------------------------ *)
 (* or_else                                                              *)
 
+(* Alternatives roll back by truncation: entering a branch records the
+   write/local log watermarks and raises the floors to them, so the
+   branch's rewrites of its *own* writes stay in place while writes
+   shadowing pre-branch entries append (see {!Rwset.Wlog}); a [retry]
+   truncates back to the watermarks — O(branch), not a Hashtbl copy of
+   the whole transaction.  Read-log entries from the first branch are
+   deliberately kept: the composed transaction waits on the union of
+   both branches' read sets, and extra entries only make validation
+   stricter. *)
 let or_else t f g =
-  check_alive t;
-  let saved_writes = Hashtbl.copy t.writes in
-  let saved_locked = t.locked in
-  let saved_commit = t.commit_locked_hooks in
-  let saved_after = t.after_commit_hooks in
-  let saved_abort = t.abort_hooks in
-  let saved_locals = Hashtbl.copy t.locals in
-  try f t
-  with Retry_exn ->
-    (* Roll back the first branch's buffered effects.  Locks taken by
-       the branch (eager modes) are released; locks predating the
-       branch are kept. *)
-    let new_locks =
-      List.filter (fun l -> not (List.memq l saved_locked)) t.locked
-    in
-    List.iter (fun (Locked tv) -> Tvar.unlock tv t.tdesc) new_locks;
-    t.locked <- saved_locked;
-    Hashtbl.reset t.writes;
-    Hashtbl.iter (fun k v -> Hashtbl.replace t.writes k v) saved_writes;
-    Hashtbl.reset t.locals;
-    Hashtbl.iter (fun k v -> Hashtbl.replace t.locals k v) saved_locals;
-    t.commit_locked_hooks <- saved_commit;
-    t.after_commit_hooks <- saved_after;
-    t.abort_hooks <- saved_abort;
-    g t
+  Txn_state.check_alive t;
+  let w = t.Txn_state.wset and l = t.Txn_state.locals in
+  let wmark = Rwset.Wlog.mark w and wfloor = Rwset.Wlog.floor w in
+  let lmark = Rwset.Llog.mark l and lfloor = Rwset.Llog.floor l in
+  Rwset.Wlog.set_floor w wmark;
+  Rwset.Llog.set_floor l lmark;
+  let saved_locked = t.Txn_state.locked in
+  let saved_commit = t.Txn_state.commit_locked_hooks in
+  let saved_after = t.Txn_state.after_commit_hooks in
+  let saved_abort = t.Txn_state.abort_hooks in
+  match f t with
+  | v ->
+      Rwset.Wlog.set_floor w wfloor;
+      Rwset.Llog.set_floor l lfloor;
+      v
+  | exception Txn_state.Retry_exn ->
+      (* Roll back the first branch's buffered effects.  Locks taken by
+         the branch (eager modes) are released; locks predating the
+         branch are kept. *)
+      let new_locks =
+        List.filter
+          (fun lk -> not (List.memq lk saved_locked))
+          t.Txn_state.locked
+      in
+      List.iter
+        (fun (Txn_state.Locked tv) -> Tvar.unlock tv t.Txn_state.tdesc)
+        new_locks;
+      t.Txn_state.locked <- saved_locked;
+      Rwset.Wlog.truncate w wmark;
+      Rwset.Wlog.set_floor w wfloor;
+      Rwset.Llog.truncate l lmark;
+      Rwset.Llog.set_floor l lfloor;
+      t.Txn_state.commit_locked_hooks <- saved_commit;
+      t.Txn_state.after_commit_hooks <- saved_after;
+      t.Txn_state.abort_hooks <- saved_abort;
+      g t
+  (* Any other exception abandons the attempt entirely (the ladder
+     aborts and retires the record, which resets the floors), so no
+     restoration is needed here. *)
 
 let rec or_else_list t = function
   | [] -> retry t
@@ -601,14 +166,14 @@ module Local = struct
     }
 
   let find t k =
-    check_open t;
-    match Hashtbl.find_opt t.locals k.kuid with
+    Txn_state.check_open t;
+    match Rwset.Llog.find t.Txn_state.locals k.kuid with
     | None -> None
     | Some e -> k.project e
 
   let set t k v =
-    check_open t;
-    Hashtbl.replace t.locals k.kuid (k.inject v)
+    Txn_state.check_open t;
+    Rwset.Llog.set t.Txn_state.locals k.kuid (k.inject v)
 
   let get t k =
     match find t k with
@@ -620,222 +185,17 @@ module Local = struct
 end
 
 (* ------------------------------------------------------------------ *)
-(* Leak auditing                                                        *)
-
-exception Lock_leak of string
-
-(* Debug-gated invariant check run after every finished attempt: a
-   transaction that has ended — committed or aborted, under any fault
-   schedule — must not still own any tvar version-lock, the commit
-   gate, or any externally registered resource (abstract locks).  Off
-   by default; the disabled fast path is one atomic load. *)
-let audit_on = Atomic.make false
-let set_leak_audit b = Atomic.set audit_on b
-let leak_audit_enabled () = Atomic.get audit_on
-let leak_checks : (owner:int -> string option) list Atomic.t = Atomic.make []
-
-let rec register_leak_check f =
-  let cur = Atomic.get leak_checks in
-  if not (Atomic.compare_and_set leak_checks cur (f :: cur)) then
-    register_leak_check f
-
-let audit_txn t =
-  let d = t.tdesc in
-  let leak fmt = Format.kasprintf (fun s -> raise (Lock_leak s)) fmt in
-  if not t.finished then leak "txn#%d audit before the attempt ended" d.Txn_desc.id;
-  let check_tvar uid (tv_owner : Txn_desc.t option) =
-    match tv_owner with
-    | Some o when o == d ->
-        leak "txn#%d still owns the version-lock of tvar#%d" d.Txn_desc.id uid
-    | _ -> ()
-  in
-  Hashtbl.iter
-    (fun uid (Rentry (tv, _)) -> check_tvar uid (Tvar.current_owner tv))
-    t.reads;
-  Hashtbl.iter
-    (fun uid (Wentry (tv, _)) -> check_tvar uid (Tvar.current_owner tv))
-    t.writes;
-  (match t.locked with
-  | [] -> ()
-  | l -> leak "txn#%d retains %d entries in its locked list" d.Txn_desc.id
-           (List.length l));
-  if Atomic.get commit_gate = d.Txn_desc.id then
-    leak "txn#%d still holds the serial commit gate" d.Txn_desc.id;
-  List.iter
-    (fun check ->
-      match check ~owner:d.Txn_desc.id with
-      | None -> ()
-      | Some what -> leak "txn#%d leaked %s" d.Txn_desc.id what)
-    (Atomic.get leak_checks)
-
-let maybe_audit t = if Atomic.get audit_on then audit_txn t
-
-(* ------------------------------------------------------------------ *)
-(* The atomic-block driver                                              *)
-
-let make_txn cfg ~priority ?birth ?(irrevocable = false) () =
-  let rv = snapshot_clock ~serial:(cfg.mode = Serial_commit) in
-  let birth = Option.value birth ~default:rv in
-  {
-    rv;
-    tdesc = Txn_desc.create ~priority ~irrevocable ~birth ();
-    cfg;
-    reads = Hashtbl.create 16;
-    writes = Hashtbl.create 16;
-    locked = [];
-    commit_locked_hooks = [];
-    after_commit_hooks = [];
-    abort_hooks = [];
-    locals = Hashtbl.create 8;
-    backoff =
-      Backoff.create ~sleep_after:cfg.backoff_sleep_after
-        ~sleep:cfg.backoff_sleep ();
-    finished = false;
-  }
+(* The atomic-block entry                                               *)
 
 (* Nesting is flattened: a domain-local slot tracks the transaction an
    [atomically] is currently running on this domain, and nested calls
    join it.  The nested body's effects then commit or abort with the
    outer transaction, which is the composition semantics Proustian
    objects assume. *)
-let current_txn : txn option Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> None)
-
-(* Escalation ladder (the starvation-proof commit):
-
-   1. attempts [1 .. abort_budget]: plain optimistic retries;
-   2. attempts (abort_budget ..]: each retry additionally boosts the
-      descriptor's priority, so karma-style contention managers start
-      killing our adversaries, and the first attempt's birth timestamp
-      is retained so age-based managers rank us as the elder;
-   3. attempts (fallback_after ..] (when [serial_fallback]): take the
-      global quiesce token, drain in-flight writing commits and re-run
-      irrevocably — no remote kill, contention-manager defeat or
-      injected fault can abort the attempt, so it commits and
-      [Too_many_attempts] is unreachable under the default config. *)
-let priority_boost = 1_000
-
-let atomically_root cfg f =
-  let backoff =
-    Backoff.create ~sleep_after:cfg.backoff_sleep_after
-      ~sleep:cfg.backoff_sleep ()
-  in
-  let rec attempt n ~priority ~birth =
-    if n > cfg.max_attempts then raise (Too_many_attempts n);
-    if cfg.serial_fallback && n > cfg.fallback_after then
-      fallback_attempt n ~priority ~birth
-    else begin
-      let priority =
-        if n > cfg.abort_budget then priority + priority_boost else priority
-      in
-      Stats.record_start ();
-      let t = make_txn cfg ~priority ?birth () in
-      obs_attempt_start t ~n;
-      let birth = Some t.tdesc.Txn_desc.birth in
-      Domain.DLS.set current_txn (Some t);
-      let retry_after_abort ?watchers reason =
-        Domain.DLS.set current_txn None;
-        do_abort t reason;
-        maybe_audit t;
-        (match watchers with
-        | Some ws -> wait_for_change ws
-        | None -> Backoff.once backoff);
-        attempt (n + 1) ~priority:t.tdesc.Txn_desc.priority ~birth
-      in
-      match f t with
-      | result -> (
-          match do_commit t with
-          | () ->
-              Domain.DLS.set current_txn None;
-              maybe_audit t;
-              result
-          | exception Abort_exn reason -> retry_after_abort reason)
-      | exception Abort_exn reason -> retry_after_abort reason
-      | exception Retry_exn ->
-          let watchers = read_watchers t in
-          retry_after_abort ~watchers Explicit
-      | exception e ->
-          (* A user exception observed in an inconsistent (zombie) state is
-             an artifact of late conflict detection, not a real error:
-             abort and re-run, as ScalaSTM does (§7).  In a consistent
-             state, abort and propagate. *)
-          Domain.DLS.set current_txn None;
-          let consistent = reads_valid t in
-          do_abort t Explicit;
-          maybe_audit t;
-          if consistent then raise e
-          else begin
-            Backoff.once backoff;
-            attempt (n + 1) ~priority:t.tdesc.Txn_desc.priority ~birth
-          end
-    end
-  and fallback_attempt n ~priority ~birth =
-    let token = acquire_quiesce ~backoff in
-    Stats.record_fallback ();
-    obs_fallback ~token;
-    Fun.protect
-      ~finally:(fun () ->
-        release_quiesce token;
-        if Atomic.get audit_on && Atomic.get quiesce = token then
-          raise (Lock_leak "quiesce token survived its fallback episode"))
-      (fun () ->
-        (* Retries inside the episode keep the token: an abort here can
-           only come from a bounded abstract-lock timeout against a
-           pre-quiesce holder, which must itself drain shortly. *)
-        let rec go n ~priority =
-          if n > cfg.max_attempts then raise (Too_many_attempts n);
-          Stats.record_start ();
-          let t = make_txn cfg ~priority ?birth ~irrevocable:true () in
-          obs_attempt_start t ~n;
-          Domain.DLS.set current_txn (Some t);
-          match f t with
-          | result -> (
-              match do_commit t with
-              | () ->
-                  Domain.DLS.set current_txn None;
-                  maybe_audit t;
-                  result
-              | exception Abort_exn reason ->
-                  Domain.DLS.set current_txn None;
-                  do_abort t reason;
-                  maybe_audit t;
-                  Backoff.once backoff;
-                  go (n + 1) ~priority:t.tdesc.Txn_desc.priority)
-          | exception Abort_exn reason ->
-              Domain.DLS.set current_txn None;
-              do_abort t reason;
-              maybe_audit t;
-              Backoff.once backoff;
-              go (n + 1) ~priority:t.tdesc.Txn_desc.priority
-          | exception Retry_exn ->
-              (* [retry] waits for another transaction to change the
-                 read set, which can never happen while we quiesce the
-                 writers: hand the token back, wait, and re-enter the
-                 ladder at the boosted rung. *)
-              let watchers = read_watchers t in
-              Domain.DLS.set current_txn None;
-              do_abort t Explicit;
-              maybe_audit t;
-              release_quiesce token;
-              wait_for_change watchers;
-              attempt (n + 1) ~priority:t.tdesc.Txn_desc.priority
-                ~birth:(Some (Option.value birth ~default:t.tdesc.Txn_desc.birth))
-          | exception e ->
-              (* Irrevocable reads are consistent by construction, so a
-                 user exception is a real error: abort and propagate. *)
-              Domain.DLS.set current_txn None;
-              do_abort t Explicit;
-              maybe_audit t;
-              raise e
-        in
-        go n ~priority)
-  in
-  attempt 1 ~priority:0 ~birth:None
-
-let atomically ?config:(cfg = !default_config_v) f =
-  match Domain.DLS.get current_txn with
-  | Some outer when not outer.finished -> f outer
-  | _ -> atomically_root cfg f
+let atomically ?config:(cfg = get_default_config ()) f =
+  match Domain.DLS.get Txn_state.current_txn with
+  | Some outer when not outer.Txn_state.finished -> f outer
+  | _ -> Commit_ladder.run cfg f
 
 module Ref = struct
   type 'a t = 'a Tvar.t

@@ -150,6 +150,24 @@ val leak_audit_enabled : unit -> bool
     pessimistic lock allocator to audit its striped rw-locks. *)
 val register_leak_check : (owner:int -> string option) -> unit
 
+(** {2 Descriptor-pool introspection}
+
+    Transaction records are pooled per domain and reset between
+    attempts (see DESIGN.md, "Descriptor reuse"); only the
+    [Txn_desc.t] identity is fresh per attempt.  These entry points
+    let tests verify the reset discipline. *)
+
+(** Audit the calling domain's idle pooled record: raises {!Lock_leak}
+    if any read/write/local log entry, locked-list entry or hook
+    survived the last attempt.  No-op while the domain is inside an
+    atomic block (the record is legitimately in use then). *)
+val descriptor_pool_check : unit -> unit
+
+(** Times the calling domain's pooled record has been handed out to an
+    attempt (monotone; > number of atomic blocks run when conflicts
+    forced retries). *)
+val pool_reuses : unit -> int
+
 (** Transaction-local storage: per-transaction lazily initialized
     values, dropped when the attempt ends.  This is the analogue of
     ScalaSTM's [TxnLocal], used for replay logs and shadow copies. *)

@@ -2,6 +2,7 @@ type 'a versioned = { value : 'a; version : int }
 
 type 'a t = {
   uid : int;
+  fbit : int;
   state : 'a versioned Atomic.t;
   owner : Txn_desc.t option Atomic.t;
   readers : Txn_desc.t list Atomic.t;
@@ -9,9 +10,20 @@ type 'a t = {
 
 let next_uid = Atomic.make 1
 
+(* One of the 62 low non-sign bits of a word, chosen by uid.  Write-set
+   summary filters OR these together so a read can rule out
+   read-after-write with one [land].  62 (not 63/64) keeps the shift
+   below the sign bit of a 63-bit OCaml int: [1 lsl 62] is [min_int]
+   (still a usable bit) but [1 lsl 63] is 0, which would make the
+   filter lose writes.  Precomputed here so the read hot path never
+   pays the division. *)
+let filter_bit uid = 1 lsl (uid mod 62)
+
 let make v =
+  let uid = Atomic.fetch_and_add next_uid 1 in
   {
-    uid = Atomic.fetch_and_add next_uid 1;
+    uid;
+    fbit = filter_bit uid;
     state = Atomic.make { value = v; version = 0 };
     owner = Atomic.make None;
     readers = Atomic.make [];

@@ -16,6 +16,9 @@ type 'a versioned = { value : 'a; version : int }
 
 type 'a t = {
   uid : int;
+  fbit : int;
+      (** precomputed write-set summary-filter bit, [1 lsl (uid mod 62)];
+          see {!Rwset.Wlog} *)
   state : 'a versioned Atomic.t;
   owner : Txn_desc.t option Atomic.t;
   readers : Txn_desc.t list Atomic.t;

@@ -1,0 +1,160 @@
+(** Transaction state: the pooled per-attempt record and everything
+    that inspects it.
+
+    Layering: {!Rwset} → [Txn_state] → {!Protocol} → {!Commit_ladder}
+    → {!Stm}.  The record type is concrete here because the three
+    layers above are the record's implementation, merely split by
+    concern; user code never sees it ([Stm.txn] is abstract). *)
+
+type mode = Lazy_lazy | Eager_lazy | Eager_eager | Serial_commit
+
+val mode_name : mode -> string
+
+type config = {
+  mode : mode;
+  cm : Contention.t;
+  extend_reads : bool;
+  max_attempts : int;
+  abort_budget : int;
+  serial_fallback : bool;
+  fallback_after : int;
+  backoff_sleep_after : int;
+  backoff_sleep : float;
+}
+
+val get_default_config : unit -> config
+val set_default_config : config -> unit
+
+type abort_reason = Conflict | Killed | Explicit
+
+exception Abort_exn of abort_reason
+exception Retry_exn
+exception Too_many_attempts of int
+exception Not_in_transaction
+
+type locked = Locked : 'a Tvar.t -> locked
+
+(** One transaction attempt.  With the per-domain pool the same record
+    (and its log buffers and backoffs) is reset and reused across
+    attempts; only [tdesc] is freshly allocated per attempt, because
+    remote parties retain references to it and CAS its status word. *)
+type t = {
+  mutable rv : int;
+  mutable tdesc : Txn_desc.t;
+  mutable cfg : config;
+  mutable proto : proto;
+  rset : Rwset.Rlog.t;
+  wset : Rwset.Wlog.t;
+  locals : Rwset.Llog.t;
+  mutable locked : locked list;
+  mutable commit_locked_hooks : (unit -> unit) list;
+  mutable after_commit_hooks : (unit -> unit) list;
+  mutable abort_hooks : (unit -> unit) list;
+  backoff : Backoff.t;
+  gate_backoff : Backoff.t;
+  mutable finished : bool;
+}
+
+(** The commit protocol as data: per-mode hot-path hooks, selected once
+    at [atomically] entry ({!Protocol.select}) instead of branching on
+    [cfg.mode] per operation. *)
+and proto = {
+  p_pre_read : 'a. t -> 'a Tvar.t -> unit;
+  p_pre_write : 'a. t -> 'a Tvar.t -> unit;
+  p_acquire : t -> unit;
+  p_release_fail : t -> unit;
+  p_release : t -> unit;
+}
+
+val null_proto : proto
+val desc : t -> Txn_desc.t
+val config : t -> config
+val read_version : t -> int
+val check_open : t -> unit
+val check_alive : t -> unit
+val on_commit_locked : t -> (unit -> unit) -> unit
+val after_commit : t -> (unit -> unit) -> unit
+val on_abort : t -> (unit -> unit) -> unit
+
+(** {2 Observability taps} — one gate load per disabled site. *)
+
+val reason_name : abort_reason -> string
+val obs_attempt_start : t -> n:int -> unit
+val obs_commit : t -> unit
+val obs_abort : t -> abort_reason -> unit
+val obs_wait : txn:int -> held_by:int -> Backoff.t -> unit
+val obs_validate : t -> ok:bool -> unit
+val obs_extend : t -> ok:bool -> unit
+val obs_fallback : token:int -> unit
+
+(** Consult {!Fault} at an injection point on behalf of the txn. *)
+val chaos_point : t -> Fault.point -> unit
+
+(** {2 Snapshot sampling} *)
+
+(** The Serial_commit global commit lock (0 = free, else holder's
+    descriptor id).  Owned here because snapshot sampling seqlocks
+    against it; acquire/release live in {!Protocol}. *)
+val commit_gate : int Atomic.t
+
+(** A clock sample valid as a snapshot: seqlocked against
+    [commit_gate] when [serial]. *)
+val snapshot_clock : serial:bool -> int
+
+val release_locks : t -> unit
+
+(** Watchers over the read log, built before the logs are torn down. *)
+val read_watchers : t -> (unit -> bool) list
+
+(** {2 Leak auditing} *)
+
+exception Lock_leak of string
+
+val set_leak_audit : bool -> unit
+val leak_audit_enabled : unit -> bool
+val register_leak_check : (owner:int -> string option) -> unit
+
+(** Post-attempt invariant check (externally visible resources). *)
+val audit_txn : t -> unit
+
+val maybe_audit : t -> unit
+
+(** Pool-bleed check: the record must be indistinguishable from fresh
+    (empty logs, no locked list, no stale hooks, attempt ended). *)
+val audit_pool_residue : t -> unit
+
+(** {2 The per-domain descriptor pool} *)
+
+(** One [atomically] root call; attempts within it share the pooled
+    record.  Nested episodes (hooks starting new roots) get fresh
+    state. *)
+type episode = { ep_txn : t option; ep_backoff : Backoff.t }
+
+val begin_episode : config -> episode
+val end_episode : unit -> unit
+
+(** Hand out the episode's record, reset for one attempt.  Runs
+    {!audit_pool_residue} first when auditing is enabled. *)
+val attempt_txn :
+  episode ->
+  config ->
+  proto:proto ->
+  priority:int ->
+  ?birth:int ->
+  ?irrevocable:bool ->
+  unit ->
+  t
+
+(** Scrub an ended attempt so the record can be handed out again. *)
+val retire : t -> unit
+
+(** Times this domain's pooled record has been handed out. *)
+val pool_reuses : unit -> int
+
+(** Audit this domain's idle pooled record ({!Lock_leak} on residue);
+    no-op while an episode is running. *)
+val descriptor_pool_check : unit -> unit
+
+(** The transaction an [atomically] is currently running on this
+    domain, for nesting flattening. *)
+val current_txn : t option Domain.DLS.key

@@ -60,7 +60,7 @@ let broken_map ?(slots = 4) () : ((int * int) list, Adt_model.map_op) t =
         match op with Adt_model.MRemove _ -> [] | _ -> good.writes ~stripe s op);
   }
 
-(** The priority-queue abstraction of Listing 3 / {!Pqueue_intf}:
+(** The priority-queue abstraction of Listing 3 / {!Trait.Pqueue}:
     slot 0 is [PQueueMin]; slots 1..width are the [PQueueMultiSet]
     band (writers write their stripe's sub-slot, readers read the whole
     band).  State-dependence mirrors Figure 3's [insert]: inserting a
@@ -121,7 +121,7 @@ let figure3_literal_pqueue ?(stripes = 2) () : (int list, Adt_model.pq_op) t =
         | _ -> fixed.writes ~stripe s op);
   }
 
-(** The FIFO-queue abstraction of {!Proust_structures.Queue_intf}:
+(** The FIFO-queue abstraction of {!Proust_structures.Trait.Queue}:
     slot 0 is [Head], slot 1 is [Tail].  Enqueue writes [Tail] (and
     [Head] when the queue is empty — it creates the new front);
     dequeue writes [Head] (and [Tail] when at most one element remains

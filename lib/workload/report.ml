@@ -56,6 +56,13 @@ let json_cell ~name (r : Runner.result) =
       ("stddev_ms", J.Float r.Runner.stddev_ms);
       ("trials_ms", J.List (List.map (fun t -> J.Float t) r.Runner.trials_ms));
       ("ops_per_s", J.Float r.Runner.throughput);
+      (* Derived allocation figure the CI regression gate keys on. *)
+      ( "minor_words_per_commit",
+        if r.Runner.stats.Stats.commits = 0 then J.Null
+        else
+          J.Float
+            (float_of_int r.Runner.stats.Stats.minor_words
+            /. float_of_int r.Runner.stats.Stats.commits) );
       ( "stats",
         J.Obj
           (List.map (fun (k, v) -> (k, J.Int v)) (Stats.to_assoc r.Runner.stats))

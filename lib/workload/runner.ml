@@ -53,6 +53,11 @@ let run_trial (type ops op) ?config ?label ~threads ~(spec : Workload.spec)
     Option.iter Proust_obs.Metrics.set_label label;
     enter ();
     started.(i) <- Unix.gettimeofday ();
+    (* [Gc.minor_words] is per-domain in OCaml 5, so each worker owns
+       its delta; the bulk-add into [Stats] makes the run's total
+       divisible by committed transactions for a words-per-commit
+       figure. *)
+    let words0 = Gc.minor_words () in
     let stream = streams.(i) in
     let n = Array.length stream in
     let o = spec.ops_per_txn in
@@ -66,6 +71,7 @@ let run_trial (type ops op) ?config ?label ~threads ~(spec : Workload.spec)
           done);
       idx := stop
     done;
+    Stats.add_minor_words (int_of_float (Gc.minor_words () -. words0));
     finished.(i) <- Unix.gettimeofday ()
   in
   let domains = List.init threads (fun i -> Domain.spawn (body i)) in

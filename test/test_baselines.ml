@@ -6,7 +6,7 @@ module B = Proust_baselines
 module S = Proust_structures
 
 let baseline_maps :
-    (string * (unit -> (int, int) S.Map_intf.ops)) list =
+    (string * (unit -> (int, int) S.Trait.Map.ops)) list =
   [
     ("stm-map", fun () -> B.Stm_hashmap.ops (B.Stm_hashmap.make ()));
     ( "stm-map-sized",
@@ -16,7 +16,7 @@ let baseline_maps :
     ("coarse", fun () -> B.Coarse_map.ops (B.Coarse_map.make ()));
   ]
 
-let semantics (ops : (int, int) S.Map_intf.ops) () =
+let semantics (ops : (int, int) S.Trait.Map.ops) () =
   let at f = Stm.atomically f in
   check copt_i "get empty" None (at (fun txn -> ops.get txn 1));
   check copt_i "put fresh" None (at (fun txn -> ops.put txn 1 10));
@@ -26,7 +26,7 @@ let semantics (ops : (int, int) S.Map_intf.ops) () =
   check copt_i "remove" (Some 11) (at (fun txn -> ops.remove txn 1));
   check ci "size after" 0 (at (fun txn -> ops.size txn))
 
-let rollback (ops : (int, int) S.Map_intf.ops) () =
+let rollback (ops : (int, int) S.Trait.Map.ops) () =
   ignore (Stm.atomically (fun txn -> ops.put txn 1 100));
   let tries = ref 0 in
   Stm.atomically (fun txn ->
@@ -40,7 +40,7 @@ let rollback (ops : (int, int) S.Map_intf.ops) () =
     (Stm.atomically (fun txn -> ops.get txn 1));
   check copt_i "no phantom" None (Stm.atomically (fun txn -> ops.get txn 2))
 
-let transfers (ops : (int, int) S.Map_intf.ops) () =
+let transfers (ops : (int, int) S.Trait.Map.ops) () =
   let keys = 10 in
   Stm.atomically (fun txn ->
       for k = 0 to keys - 1 do
@@ -87,25 +87,25 @@ let per_baseline_tests =
    commit.  If the synchronization metadata for the two (distinct!)
    keys collides, T0's first attempt must abort; if not, nothing
    aborts. *)
-let scheduled_conflict (ops : (int, int) S.Map_intf.ops) k1 k2 =
+let scheduled_conflict (ops : (int, int) S.Trait.Map.ops) k1 k2 =
   Stats.reset ();
   let t0_read = Atomic.make 0 and t1_done = Atomic.make 0 in
   let d0 =
     Domain.spawn (fun () ->
         Stm.atomically (fun txn ->
-            ignore (ops.S.Map_intf.get txn k1);
+            ignore (ops.S.Trait.Map.get txn k1);
             Atomic.incr t0_read;
             while Atomic.get t1_done = 0 do
               Domain.cpu_relax ()
             done;
-            ignore (ops.S.Map_intf.put txn k1 1)))
+            ignore (ops.S.Trait.Map.put txn k1 1)))
   in
   let d1 =
     Domain.spawn (fun () ->
         while Atomic.get t0_read = 0 do
           Domain.cpu_relax ()
         done;
-        Stm.atomically (fun txn -> ignore (ops.S.Map_intf.put txn k2 2));
+        Stm.atomically (fun txn -> ignore (ops.S.Trait.Map.put txn k2 2));
         Atomic.set t1_done 1)
   in
   Domain.join d0;
@@ -144,10 +144,10 @@ let test_stm_map_size_consistency () =
   spawn_all 4 (fun d ->
       for i = 0 to 99 do
         ignore
-          (Stm.atomically (fun txn -> ops.S.Map_intf.put txn ((d * 100) + i) i))
+          (Stm.atomically (fun txn -> ops.S.Trait.Map.put txn ((d * 100) + i) i))
       done);
   check ci "transactional size exact" 400
-    (Stm.atomically (fun txn -> ops.S.Map_intf.size txn))
+    (Stm.atomically (fun txn -> ops.S.Trait.Map.size txn))
 
 let suite =
   per_baseline_tests

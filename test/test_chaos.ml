@@ -9,7 +9,10 @@
     contents are schedule-independent); (c) the escalation ladder makes
     [Too_many_attempts] unreachable: a hostile single-key 100% RMW
     workload completes in all four modes, with a nonzero fallback count
-    under forced contention. *)
+    under forced contention.  The per-domain descriptor pool is audited
+    throughout: every worker checks {!Stm.descriptor_pool_check} after
+    its faulty schedule and that {!Stm.pool_reuses} shows the pooled
+    record was actually recycled. *)
 
 open Util
 module S = Proust_structures
@@ -34,13 +37,13 @@ let chaos_cfg mode =
 (* The design points whose (point, mode) pairings Figure 1 declares
    opaque, instantiated over the hash-map wrappers. *)
 let points :
-    (string * Stm.mode list * (unit -> (int, int) S.Map_intf.ops)) list =
+    (string * Stm.mode list * (unit -> (int, int) S.Trait.Map.ops)) list =
   [
     ( "eager/pess",
       all_modes,
       fun () ->
         S.P_hashmap.ops
-          (S.P_hashmap.make ~slots:64 ~lap:S.Map_intf.Pessimistic ()) );
+          (S.P_hashmap.make ~slots:64 ~lap:S.Trait.Pessimistic ()) );
     ( "eager/opt",
       eager_modes,
       fun () -> S.P_hashmap.ops (S.P_hashmap.make ~slots:64 ()) );
@@ -74,14 +77,20 @@ let soak_cell ~cfg ~make ~domains ~iters ~keys () =
       Array.iter
         (fun k ->
           Stm.atomically ~config:cfg (fun txn ->
-              let v = Option.value ~default:0 (ops.S.Map_intf.get txn k) in
-              ignore (ops.S.Map_intf.put txn k (v + 1))))
-        streams.(d));
+              let v = Option.value ~default:0 (ops.S.Trait.Map.get txn k) in
+              ignore (ops.S.Trait.Map.put txn k (v + 1))))
+        streams.(d);
+      (* The domain's pooled descriptor record must come back scrubbed
+         after every faulty schedule: no log entry, lock or hook may
+         bleed into the idle pool slot. *)
+      Stm.descriptor_pool_check ();
+      assert (Stm.pool_reuses () >= iters));
   let final =
     Stm.atomically ~config:cfg (fun txn ->
         Array.init keys (fun k ->
-            Option.value ~default:0 (ops.S.Map_intf.get txn k)))
+            Option.value ~default:0 (ops.S.Trait.Map.get txn k)))
   in
+  Stm.descriptor_pool_check ();
   Array.iteri
     (fun k want ->
       check ci (Printf.sprintf "key %d matches sequential model" k) want
@@ -187,12 +196,51 @@ let test_hostile_single_key mode () =
       spawn_all domains (fun _ ->
           for _ = 1 to iters do
             Stm.atomically ~config:cfg (fun t -> Stm.write t r (Stm.read t r + 1))
-          done);
+          done;
+          (* A fresh domain's pool starts cold, so the forced-contention
+             loop must both reuse the record heavily and hand it back
+             clean each time. *)
+          Stm.descriptor_pool_check ();
+          assert (Stm.pool_reuses () >= iters));
       let d = Stats.diff before (Stats.read ()) in
       check ci "every increment committed exactly once" (domains * iters)
         (Tvar.peek r);
       check cb "fallbacks engaged under forced contention" true
         (d.Stats.fallbacks > 0))
+
+(* Descriptor-pool hygiene under chaos: transactions that abort, retry,
+   register hooks, take or_else branches and write locals must still
+   retire a fully scrubbed record to the per-domain pool, and the pool
+   must actually be reused (not silently replaced by fresh records). *)
+let test_pool_reset_after_chaos () =
+  with_seed_note @@ fun () ->
+  let cfg = chaos_cfg Stm.Eager_lazy in
+  let r = Tvar.make 0 and s = Tvar.make 0 in
+  let key = Stm.Local.key (fun _ -> 0) in
+  full_schedule ~seed:(sub_seed 0xdead) ~prob:0.3;
+  Stm.set_leak_audit true;
+  let reuses0 = Stm.pool_reuses () in
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.disable ();
+      Stm.set_leak_audit false)
+    (fun () ->
+      for i = 1 to 200 do
+        Stm.atomically ~config:cfg (fun t ->
+            Stm.Local.set t key i;
+            Stm.after_commit t (fun () -> ());
+            Stm.on_abort t (fun () -> ());
+            Stm.or_else t
+              (fun t ->
+                Stm.write t r (Stm.read t r + 1);
+                if i mod 2 = 0 then Stm.retry t)
+              (fun t -> Stm.write t s (Stm.read t s + 1)));
+        (* Between atomic blocks the pooled record must be idle and
+           empty; a bleed-through trips Lock_leak right here. *)
+        Stm.descriptor_pool_check ()
+      done);
+  check cb "pool was reused across attempts" true
+    (Stm.pool_reuses () - reuses0 >= 200)
 
 (* Disabled-mode fast path: no policy, no draws, no counters. *)
 let test_disabled_is_free () =
@@ -243,4 +291,7 @@ let suite =
              (Stm.mode_name mode))
           (test_hostile_single_key mode))
       all_modes
-  @ [ slow "chaos soak: modes x points, audited" test_chaos_soak ]
+  @ [
+      test "descriptor pool resets under chaos" test_pool_reset_after_chaos;
+      slow "chaos soak: modes x points, audited" test_chaos_soak;
+    ]

@@ -142,7 +142,7 @@ let test_counter_threshold_boundary () =
     = None);
   let c =
     Proust_structures.P_counter.make ~threshold:3
-      ~lap:Proust_structures.Map_intf.Pessimistic ()
+      ~lap:Proust_structures.Trait.Pessimistic ()
   in
   let good = Atomic.make 0 in
   spawn_all 4 (fun d ->

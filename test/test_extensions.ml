@@ -193,21 +193,21 @@ let test_cow_omap_concurrent () =
 (* ------------------------------------------------------------------ *)
 (* Proustian FIFO                                                      *)
 
-let fifos : (string * Stm.config option * (unit -> int S.Queue_intf.ops)) list =
+let fifos : (string * Stm.config option * (unit -> int S.Trait.Queue.ops)) list =
   [
     ( "fifo-eager-opt",
       Some eager_struct_cfg,
       fun () -> S.P_fifo.ops (S.P_fifo.make ()) );
     ( "fifo-eager-pess",
       None,
-      fun () -> S.P_fifo.ops (S.P_fifo.make ~lap:S.Map_intf.Pessimistic ()) );
+      fun () -> S.P_fifo.ops (S.P_fifo.make ~lap:S.Trait.Pessimistic ()) );
     ("fifo-lazy-opt", None, fun () -> S.P_lazy_fifo.ops (S.P_lazy_fifo.make ()));
     ( "fifo-lazy-combine",
       None,
       fun () -> S.P_lazy_fifo.ops (S.P_lazy_fifo.make ~combine:true ()) );
   ]
 
-let fifo_semantics (ops : int S.Queue_intf.ops) config () =
+let fifo_semantics (ops : int S.Trait.Queue.ops) config () =
   let at f = Stm.atomically ?config f in
   check copt_i "deq empty" None (at (fun txn -> ops.dequeue txn));
   check copt_i "front empty" None (at (fun txn -> ops.front txn));
@@ -221,7 +221,7 @@ let fifo_semantics (ops : int S.Queue_intf.ops) config () =
   check copt_i "deq 3" (Some 3) (at (fun txn -> ops.dequeue txn));
   check copt_i "drained" None (at (fun txn -> ops.dequeue txn))
 
-let fifo_abort (ops : int S.Queue_intf.ops) config () =
+let fifo_abort (ops : int S.Trait.Queue.ops) config () =
   let at f = Stm.atomically ?config f in
   at (fun txn -> ops.enqueue txn 10);
   let tries = ref 0 in
@@ -236,7 +236,7 @@ let fifo_abort (ops : int S.Queue_intf.ops) config () =
   check copt_i "front restored" (Some 10) (at (fun txn -> ops.front txn));
   check ci "size restored" 1 (at (fun txn -> ops.size txn))
 
-let fifo_order_preserved (ops : int S.Queue_intf.ops) config () =
+let fifo_order_preserved (ops : int S.Trait.Queue.ops) config () =
   (* One producer, one consumer; consumed sequence must be a prefix-
      ordered subsequence (FIFO). *)
   let consumed = ref [] in
@@ -259,7 +259,7 @@ let fifo_order_preserved (ops : int S.Queue_intf.ops) config () =
   let seq = List.rev !consumed in
   check cb "consumed in FIFO order" true (List.sort compare seq = seq)
 
-let fifo_conservation (ops : int S.Queue_intf.ops) config () =
+let fifo_conservation (ops : int S.Trait.Queue.ops) config () =
   let popped = Atomic.make 0 in
   spawn_all 4 (fun d ->
       for i = 1 to 200 do
@@ -298,7 +298,7 @@ let stack_semantics lap config () =
   check clist_i "list" [ 1 ] (S.P_stack.to_list s)
 
 let test_stack_abort_unwinds () =
-  let s = S.P_stack.make ~lap:S.Map_intf.Pessimistic () in
+  let s = S.P_stack.make ~lap:S.Trait.Pessimistic () in
   Stm.atomically (fun txn -> S.P_stack.push s txn 1);
   let tries = ref 0 in
   Stm.atomically (fun txn ->
@@ -313,7 +313,7 @@ let test_stack_abort_unwinds () =
   check clist_i "unwound exactly" [ 1 ] (S.P_stack.to_list s)
 
 let test_stack_concurrent () =
-  let s = S.P_stack.make ~lap:S.Map_intf.Pessimistic () in
+  let s = S.P_stack.make ~lap:S.Trait.Pessimistic () in
   let popped = Atomic.make 0 in
   spawn_all 4 (fun d ->
       for i = 1 to 150 do
@@ -403,7 +403,7 @@ let omap_concurrent_transfers () =
 (* S9 optimisations                                                    *)
 
 let test_undo_combining_restores () =
-  let m = S.P_hashmap.make ~lap:S.Map_intf.Pessimistic ~combine_undo:true () in
+  let m = S.P_hashmap.make ~lap:S.Trait.Pessimistic ~combine_undo:true () in
   ignore (Stm.atomically (fun txn -> S.P_hashmap.put m txn 1 100));
   let tries = ref 0 in
   Stm.atomically (fun txn ->
@@ -423,11 +423,11 @@ let test_undo_combining_restores () =
     (Stm.atomically (fun txn -> S.P_hashmap.get m txn 2))
 
 let test_undo_combining_conserves () =
-  let m = S.P_hashmap.make ~lap:S.Map_intf.Pessimistic ~combine_undo:true () in
+  let m = S.P_hashmap.make ~lap:S.Trait.Pessimistic ~combine_undo:true () in
   let ops = S.P_hashmap.ops m in
   Stm.atomically (fun txn ->
       for k = 0 to 7 do
-        ignore (ops.S.Map_intf.put txn k 100)
+        ignore (ops.S.Trait.Map.put txn k 100)
       done);
   spawn_all 4 (fun d ->
       let rng = Random.State.make [| d |] in
@@ -435,16 +435,16 @@ let test_undo_combining_conserves () =
         let a = Random.State.int rng 8 and b = Random.State.int rng 8 in
         if a <> b then
           Stm.atomically (fun txn ->
-              let va = Option.get (ops.S.Map_intf.get txn a) in
-              ignore (ops.S.Map_intf.put txn a (va - 1));
-              let vb = Option.get (ops.S.Map_intf.get txn b) in
-              ignore (ops.S.Map_intf.put txn b (vb + 1)))
+              let va = Option.get (ops.S.Trait.Map.get txn a) in
+              ignore (ops.S.Trait.Map.put txn a (va - 1));
+              let vb = Option.get (ops.S.Trait.Map.get txn b) in
+              ignore (ops.S.Trait.Map.put txn b (vb + 1)))
       done);
   let total =
     Stm.atomically (fun txn ->
         let t = ref 0 in
         for k = 0 to 7 do
-          t := !t + Option.get (ops.S.Map_intf.get txn k)
+          t := !t + Option.get (ops.S.Trait.Map.get txn k)
         done;
         !t)
   in
@@ -638,9 +638,9 @@ let suite =
   @ fifo_tests
   @ [
       test "stack semantics (pess)"
-        (stack_semantics S.Map_intf.Pessimistic None);
+        (stack_semantics S.Trait.Pessimistic None);
       test "stack semantics (opt)"
-        (stack_semantics S.Map_intf.Optimistic (Some eager_struct_cfg));
+        (stack_semantics S.Trait.Optimistic (Some eager_struct_cfg));
       test "stack abort unwinds" test_stack_abort_unwinds;
       slow "stack concurrent" test_stack_concurrent;
       test "omap semantics (lazy)" (omap_semantics Proust_core.Update_strategy.Lazy None);

@@ -7,7 +7,7 @@ module S = Proust_structures
 module B = Proust_baselines
 module V = Proust_verify
 
-let variants : (string * Stm.config option * (unit -> (int, int) S.Map_intf.ops)) list
+let variants : (string * Stm.config option * (unit -> (int, int) S.Trait.Map.ops)) list
     =
   [
     ( "eager-opt",
@@ -15,7 +15,7 @@ let variants : (string * Stm.config option * (unit -> (int, int) S.Map_intf.ops)
       fun () -> S.P_hashmap.ops (S.P_hashmap.make ()) );
     ( "eager-pess",
       None,
-      fun () -> S.P_hashmap.ops (S.P_hashmap.make ~lap:S.Map_intf.Pessimistic ())
+      fun () -> S.P_hashmap.ops (S.P_hashmap.make ~lap:S.Trait.Pessimistic ())
     );
     ("lazy-memo", None, fun () -> S.P_lazy_hashmap.ops (S.P_lazy_hashmap.make ()));
     ("lazy-snap", None, fun () -> S.P_lazy_triemap.ops (S.P_lazy_triemap.make ()));
@@ -27,7 +27,7 @@ let variants : (string * Stm.config option * (unit -> (int, int) S.Map_intf.ops)
 (* Live-run serializability: record committed operations of a real
    concurrent run over a tiny domain and search for a serial witness.  *)
 
-let live_serializability config (make : unit -> (int, int) S.Map_intf.ops) () =
+let live_serializability config (make : unit -> (int, int) S.Trait.Map.ops) () =
   let ops = make () in
   let recorder = V.History.make () in
   let open V.Adt_model in
@@ -40,13 +40,13 @@ let live_serializability config (make : unit -> (int, int) S.Map_intf.ops) () =
               match Random.State.int rng 3 with
               | 0 ->
                   let v = Random.State.int rng 2 in
-                  let old = ops.S.Map_intf.put txn k v in
+                  let old = ops.S.Trait.Map.put txn k v in
                   V.History.log recorder txn (MPut (k, v)) (MVal old)
               | 1 ->
-                  let old = ops.S.Map_intf.remove txn k in
+                  let old = ops.S.Trait.Map.remove txn k in
                   V.History.log recorder txn (MRemove k) (MVal old)
               | _ ->
-                  let r = ops.S.Map_intf.get txn k in
+                  let r = ops.S.Trait.Map.get txn k in
                   V.History.log recorder txn (MGet k) (MVal r)
             done)
       done);
@@ -77,7 +77,7 @@ let prog_gen =
 
 module IntMap = Map.Make (Int)
 
-let run_program config (ops : (int, int) S.Map_intf.ops) progs =
+let run_program config (ops : (int, int) S.Trait.Map.ops) progs =
   (* Returns true iff every operation's result matched the pure model
      and committed state evolves exactly like the model. *)
   let model = ref IntMap.empty in
@@ -94,16 +94,16 @@ let run_program config (ops : (int, int) S.Map_intf.ops) progs =
                   match step with
                   | SPut (k, v) ->
                       let expect = IntMap.find_opt k !shadow in
-                      let got = ops.S.Map_intf.put txn k v in
+                      let got = ops.S.Trait.Map.put txn k v in
                       if got <> expect then ok := false;
                       shadow := IntMap.add k v !shadow
                   | SRemove k ->
                       let expect = IntMap.find_opt k !shadow in
-                      let got = ops.S.Map_intf.remove txn k in
+                      let got = ops.S.Trait.Map.remove txn k in
                       if got <> expect then ok := false;
                       shadow := IntMap.remove k !shadow
                   | SGet k ->
-                      if ops.S.Map_intf.get txn k <> IntMap.find_opt k !shadow
+                      if ops.S.Trait.Map.get txn k <> IntMap.find_opt k !shadow
                       then ok := false)
                 prog.steps;
               if prog.abort then raise Exit);
@@ -114,11 +114,11 @@ let run_program config (ops : (int, int) S.Map_intf.ops) progs =
       | `Committed -> model := !shadow
       | `Aborted -> ());
       (* Committed state must match the model exactly. *)
-      let size = Stm.atomically ?config (fun txn -> ops.S.Map_intf.size txn) in
+      let size = Stm.atomically ?config (fun txn -> ops.S.Trait.Map.size txn) in
       if size <> IntMap.cardinal !model then ok := false;
       IntMap.iter
         (fun k v ->
-          if Stm.atomically ?config (fun txn -> ops.S.Map_intf.get txn k) <> Some v
+          if Stm.atomically ?config (fun txn -> ops.S.Trait.Map.get txn k) <> Some v
           then ok := false)
         !model)
     progs;
@@ -139,7 +139,7 @@ let model_equiv_tests =
 let test_cross_structure_atomicity () =
   let m = S.P_lazy_hashmap.make () in
   let q = S.P_lazy_pqueue.make ~cmp:Int.compare () in
-  let c = S.P_counter.make ~lap:S.Map_intf.Pessimistic () in
+  let c = S.P_counter.make ~lap:S.Trait.Pessimistic () in
   let tries = ref 0 in
   Stm.atomically (fun txn ->
       incr tries;
@@ -192,7 +192,7 @@ let stress_conserves (name, config, make) =
       let keys = 8 in
       Stm.atomically ?config (fun txn ->
           for k = 0 to keys - 1 do
-            ignore (ops.S.Map_intf.put txn k 25)
+            ignore (ops.S.Trait.Map.put txn k 25)
           done);
       spawn_all 4 (fun d ->
           let rng = Random.State.make [| d * 31 |] in
@@ -201,18 +201,18 @@ let stress_conserves (name, config, make) =
             let b = Random.State.int rng keys in
             if a <> b then
               Stm.atomically ?config (fun txn ->
-                  match ops.S.Map_intf.get txn a with
+                  match ops.S.Trait.Map.get txn a with
                   | Some va when va > 0 ->
-                      ignore (ops.S.Map_intf.put txn a (va - 1));
-                      let vb = Option.get (ops.S.Map_intf.get txn b) in
-                      ignore (ops.S.Map_intf.put txn b (vb + 1))
+                      ignore (ops.S.Trait.Map.put txn a (va - 1));
+                      let vb = Option.get (ops.S.Trait.Map.get txn b) in
+                      ignore (ops.S.Trait.Map.put txn b (vb + 1))
                   | _ -> ())
           done);
       let total =
         Stm.atomically ?config (fun txn ->
             let t = ref 0 in
             for k = 0 to keys - 1 do
-              t := !t + Option.get (ops.S.Map_intf.get txn k)
+              t := !t + Option.get (ops.S.Trait.Map.get txn k)
             done;
             !t)
       in

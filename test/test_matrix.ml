@@ -13,14 +13,14 @@ let modes =
 
 (* Instantiations of each design point over the hash-map wrapper. *)
 let points :
-    (string * P.point * (unit -> (int, int) S.Map_intf.ops)) list =
+    (string * P.point * (unit -> (int, int) S.Trait.Map.ops)) list =
   [
     ( "eager/pess",
       {
         P.lap = Proust_core.Lock_allocator.Pessimistic;
         strategy = Proust_core.Update_strategy.Eager;
       },
-      fun () -> S.P_hashmap.ops (S.P_hashmap.make ~lap:S.Map_intf.Pessimistic ())
+      fun () -> S.P_hashmap.ops (S.P_hashmap.make ~lap:S.Trait.Pessimistic ())
     );
     ( "lazy/pess",
       {
@@ -28,7 +28,7 @@ let points :
         strategy = Proust_core.Update_strategy.Lazy;
       },
       fun () ->
-        S.P_lazy_hashmap.ops (S.P_lazy_hashmap.make ~lap:S.Map_intf.Pessimistic ())
+        S.P_lazy_hashmap.ops (S.P_lazy_hashmap.make ~lap:S.Trait.Pessimistic ())
     );
     ( "eager/opt",
       {
@@ -50,11 +50,11 @@ let points :
       fun () -> S.P_lazy_triemap.ops (S.P_lazy_triemap.make ()) );
   ]
 
-let transfer_stress config (ops : (int, int) S.Map_intf.ops) () =
+let transfer_stress config (ops : (int, int) S.Trait.Map.ops) () =
   let keys = 8 in
   Stm.atomically ~config (fun txn ->
       for k = 0 to keys - 1 do
-        ignore (ops.S.Map_intf.put txn k 30)
+        ignore (ops.S.Trait.Map.put txn k 30)
       done);
   spawn_all 3 (fun d ->
       let rng = Random.State.make [| (d * 7) + 1 |] in
@@ -62,16 +62,16 @@ let transfer_stress config (ops : (int, int) S.Map_intf.ops) () =
         let a = Random.State.int rng keys and b = Random.State.int rng keys in
         if a <> b then
           Stm.atomically ~config (fun txn ->
-              let va = Option.get (ops.S.Map_intf.get txn a) in
-              ignore (ops.S.Map_intf.put txn a (va - 1));
-              let vb = Option.get (ops.S.Map_intf.get txn b) in
-              ignore (ops.S.Map_intf.put txn b (vb + 1)))
+              let va = Option.get (ops.S.Trait.Map.get txn a) in
+              ignore (ops.S.Trait.Map.put txn a (va - 1));
+              let vb = Option.get (ops.S.Trait.Map.get txn b) in
+              ignore (ops.S.Trait.Map.put txn b (vb + 1)))
       done);
   let total =
     Stm.atomically ~config (fun txn ->
         let t = ref 0 in
         for k = 0 to keys - 1 do
-          t := !t + Option.get (ops.S.Map_intf.get txn k)
+          t := !t + Option.get (ops.S.Trait.Map.get txn k)
         done;
         !t)
   in

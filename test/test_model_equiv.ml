@@ -64,7 +64,7 @@ let pq_step_gen =
         map (fun v -> PqContains v) (int_range 0 20);
       ])
 
-let pq_equiv name ?config (make : unit -> int S.Pqueue_intf.ops) =
+let pq_equiv name ?config (make : unit -> int S.Trait.Pqueue.ops) =
   qcheck ~count:50 (name ^ " matches sorted-list model") (prog_gen pq_step_gen)
     (fun progs ->
       let ops = make () in
@@ -72,20 +72,20 @@ let pq_equiv name ?config (make : unit -> int S.Pqueue_intf.ops) =
         ~exec_step:(fun txn model step ->
           match step with
           | PqInsert v ->
-              ops.S.Pqueue_intf.insert txn v;
+              ops.S.Trait.Pqueue.insert txn v;
               (List.sort compare (v :: model), true)
           | PqPop -> (
-              let got = ops.S.Pqueue_intf.remove_min txn in
+              let got = ops.S.Trait.Pqueue.remove_min txn in
               match model with
               | [] -> ([], got = None)
               | m :: rest -> (rest, got = Some m))
           | PqMin ->
               let want = match model with [] -> None | m :: _ -> Some m in
-              (model, ops.S.Pqueue_intf.min txn = want)
+              (model, ops.S.Trait.Pqueue.min txn = want)
           | PqContains v ->
-              (model, ops.S.Pqueue_intf.contains txn v = List.mem v model))
+              (model, ops.S.Trait.Pqueue.contains txn v = List.mem v model))
         ~committed_equal:(fun model ->
-          Stm.atomically ?config (fun txn -> ops.S.Pqueue_intf.size txn)
+          Stm.atomically ?config (fun txn -> ops.S.Trait.Pqueue.size txn)
           = List.length model)
         progs)
 
@@ -98,7 +98,7 @@ let q_step_gen =
   QCheck2.Gen.(
     oneof [ map (fun v -> QEnq v) (int_range 0 50); return QDeq; return QFront ])
 
-let fifo_equiv name ?config (make : unit -> int S.Queue_intf.ops) =
+let fifo_equiv name ?config (make : unit -> int S.Trait.Queue.ops) =
   qcheck ~count:50 (name ^ " matches list model") (prog_gen q_step_gen)
     (fun progs ->
       let ops = make () in
@@ -106,18 +106,18 @@ let fifo_equiv name ?config (make : unit -> int S.Queue_intf.ops) =
         ~exec_step:(fun txn model step ->
           match step with
           | QEnq v ->
-              ops.S.Queue_intf.enqueue txn v;
+              ops.S.Trait.Queue.enqueue txn v;
               (model @ [ v ], true)
           | QDeq -> (
-              let got = ops.S.Queue_intf.dequeue txn in
+              let got = ops.S.Trait.Queue.dequeue txn in
               match model with
               | [] -> ([], got = None)
               | x :: rest -> (rest, got = Some x))
           | QFront ->
               let want = match model with [] -> None | x :: _ -> Some x in
-              (model, ops.S.Queue_intf.front txn = want))
+              (model, ops.S.Trait.Queue.front txn = want))
         ~committed_equal:(fun model ->
-          Stm.atomically ?config (fun txn -> ops.S.Queue_intf.size txn)
+          Stm.atomically ?config (fun txn -> ops.S.Trait.Queue.size txn)
           = List.length model)
         progs)
 
@@ -222,7 +222,7 @@ let skipmap_equiv name ?config make =
 let suite =
   [
     pq_equiv "pq-eager-pess" (fun () ->
-        S.P_pqueue.ops (S.P_pqueue.make ~cmp:Int.compare ~lap:S.Map_intf.Pessimistic ()));
+        S.P_pqueue.ops (S.P_pqueue.make ~cmp:Int.compare ~lap:S.Trait.Pessimistic ()));
     pq_equiv "pq-eager-opt" ~config:eager_struct_cfg (fun () ->
         S.P_pqueue.ops (S.P_pqueue.make ~cmp:Int.compare ()));
     pq_equiv "pq-lazy-opt" (fun () ->
@@ -230,12 +230,12 @@ let suite =
     pq_equiv "pq-lazy-combine" (fun () ->
         S.P_lazy_pqueue.ops (S.P_lazy_pqueue.make ~cmp:Int.compare ~combine:true ()));
     fifo_equiv "fifo-eager-pess" (fun () ->
-        S.P_fifo.ops (S.P_fifo.make ~lap:S.Map_intf.Pessimistic ()));
+        S.P_fifo.ops (S.P_fifo.make ~lap:S.Trait.Pessimistic ()));
     fifo_equiv "fifo-eager-opt" ~config:eager_struct_cfg (fun () ->
         S.P_fifo.ops (S.P_fifo.make ()));
     fifo_equiv "fifo-lazy-opt" (fun () -> S.P_lazy_fifo.ops (S.P_lazy_fifo.make ()));
     stack_equiv "stack-eager-pess" (fun () ->
-        S.P_stack.make ~lap:S.Map_intf.Pessimistic ());
+        S.P_stack.make ~lap:S.Trait.Pessimistic ());
     stack_equiv "stack-eager-opt" ~config:eager_struct_cfg (fun () ->
         S.P_stack.make ());
     omap_equiv "omap-lazy" (fun () ->
@@ -247,5 +247,5 @@ let suite =
         S.P_omap.make ~slots:8 ~index:(fun k -> k / 4) ~combine:true ());
     skipmap_equiv "skipmap-pess" (fun () ->
         S.P_skipmap.make ~slots:8 ~index:(fun k -> k / 4)
-          ~lap:S.Map_intf.Pessimistic ());
+          ~lap:S.Trait.Pessimistic ());
   ]

@@ -100,17 +100,17 @@ let test_eager_mode_prevents_anomaly () =
 (* ------------------------------------------------------------------ *)
 (* Atomicity of the scheduled conflict under every compatible pairing. *)
 
-let scheduled_atomicity name ?config (make : unit -> (int, int) S.Map_intf.ops)
+let scheduled_atomicity name ?config (make : unit -> (int, int) S.Trait.Map.ops)
     () =
   (* T1 reads k then writes k after T2 commits a write to k; a sound
      pairing must serialize them (T1 aborts and retries, or blocks). *)
   let ops = make () in
-  ignore (Stm.atomically ?config (fun txn -> ops.S.Map_intf.put txn 1 10));
+  ignore (Stm.atomically ?config (fun txn -> ops.S.Trait.Map.put txn 1 10));
   let t1_read = gate () and t2_done = gate () in
   let d1 =
     Domain.spawn (fun () ->
         Stm.atomically ?config (fun txn ->
-            let v = Option.get (ops.S.Map_intf.get txn 1) in
+            let v = Option.get (ops.S.Trait.Map.get txn 1) in
             if Atomic.get t1_read = 0 then begin
               signal t1_read;
               let deadline = Unix.gettimeofday () +. 0.5 in
@@ -119,20 +119,20 @@ let scheduled_atomicity name ?config (make : unit -> (int, int) S.Map_intf.ops)
               done
             end;
             (* increment based on the value read *)
-            ignore (ops.S.Map_intf.put txn 1 (v + 1))))
+            ignore (ops.S.Trait.Map.put txn 1 (v + 1))))
   in
   let d2 =
     Domain.spawn (fun () ->
         await t1_read 1;
         Stm.atomically ?config (fun txn ->
-            let v = Option.get (ops.S.Map_intf.get txn 1) in
-            ignore (ops.S.Map_intf.put txn 1 (v + 100)));
+            let v = Option.get (ops.S.Trait.Map.get txn 1) in
+            ignore (ops.S.Trait.Map.put txn 1 (v + 100)));
         signal t2_done)
   in
   Domain.join d1;
   Domain.join d2;
   let final =
-    Stm.atomically ?config (fun txn -> Option.get (ops.S.Map_intf.get txn 1))
+    Stm.atomically ?config (fun txn -> Option.get (ops.S.Trait.Map.get txn 1))
   in
   check ci (name ^ ": both increments applied exactly once") 111 final
 
@@ -155,12 +155,12 @@ let atomicity_cases =
       fun () -> S.P_hashmap.ops (S.P_hashmap.make ()) );
     ( "eager-pess / lazy-lazy",
       None,
-      fun () -> S.P_hashmap.ops (S.P_hashmap.make ~lap:S.Map_intf.Pessimistic ())
+      fun () -> S.P_hashmap.ops (S.P_hashmap.make ~lap:S.Trait.Pessimistic ())
     );
     ( "lazy-pess / lazy-lazy",
       None,
       fun () ->
-        S.P_lazy_hashmap.ops (S.P_lazy_hashmap.make ~lap:S.Map_intf.Pessimistic ())
+        S.P_lazy_hashmap.ops (S.P_lazy_hashmap.make ~lap:S.Trait.Pessimistic ())
     );
     ( "predication / lazy-lazy",
       None,

@@ -88,7 +88,7 @@ let test_concurrent_contended () =
 (* ------------------------------------------------------------------ *)
 (* Proustian wrapper                                                    *)
 
-let mk ?(lap = S.Map_intf.Pessimistic) () =
+let mk ?(lap = S.Trait.Pessimistic) () =
   S.P_skipmap.make ~slots:16 ~index:(fun k -> k / 8) ~lap ()
 
 let test_skipmap_semantics () =
@@ -126,7 +126,7 @@ let test_skipmap_transfers () =
   let ops = S.P_skipmap.map_ops m in
   Stm.atomically (fun txn ->
       for k = 0 to 15 do
-        ignore (ops.S.Map_intf.put txn k 50)
+        ignore (ops.S.Trait.Map.put txn k 50)
       done);
   spawn_all 4 (fun d ->
       let rng = Random.State.make [| d |] in
@@ -134,10 +134,10 @@ let test_skipmap_transfers () =
         let a = Random.State.int rng 16 and b = Random.State.int rng 16 in
         if a <> b then
           Stm.atomically (fun txn ->
-              let va = Option.get (ops.S.Map_intf.get txn a) in
-              ignore (ops.S.Map_intf.put txn a (va - 1));
-              let vb = Option.get (ops.S.Map_intf.get txn b) in
-              ignore (ops.S.Map_intf.put txn b (vb + 1)))
+              let va = Option.get (ops.S.Trait.Map.get txn a) in
+              ignore (ops.S.Trait.Map.put txn a (va - 1));
+              let vb = Option.get (ops.S.Trait.Map.get txn b) in
+              ignore (ops.S.Trait.Map.put txn b (vb + 1)))
       done);
   let total =
     Stm.atomically (fun txn ->
@@ -147,7 +147,7 @@ let test_skipmap_transfers () =
   check ci "conserved via range scan" 800 total
 
 let test_skipmap_optimistic () =
-  let m = mk ~lap:S.Map_intf.Optimistic () in
+  let m = mk ~lap:S.Trait.Optimistic () in
   let at f = Stm.atomically ~config:eager_struct_cfg f in
   ignore (at (fun txn -> S.P_skipmap.put m txn 3 30));
   check copt_i "get back" (Some 30) (at (fun txn -> S.P_skipmap.get m txn 3));

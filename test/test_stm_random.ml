@@ -102,6 +102,86 @@ let run_mode config progs =
     progs;
   !ok
 
+(* Nested or_else rollback: random trees of [or_else] with writes and
+   transaction-local updates interleaved at every nesting level.  A
+   retried branch must restore BOTH the write log and the local log
+   exactly (watermark truncation, see {!Rwset.Wlog}) — shadowed
+   pre-branch entries reappear, branch-only entries vanish.  Checked
+   in-transaction at random points against a reference model and
+   against the committed state afterwards. *)
+
+type ntree =
+  | NWrite of int * int
+  | NLocal of int * int  (* set local key i to v *)
+  | NCheck  (* compare every tvar and local against the model *)
+  | NOrElse of ntree list * ntree list * bool
+      (* first branch, second branch, whether the first retries *)
+
+let ntree_gen =
+  QCheck2.Gen.(
+    let base =
+      oneof
+        [
+          map2 (fun i v -> NWrite (i, v)) (int_range 0 3) (int_range 0 99);
+          map2 (fun i v -> NLocal (i, v)) (int_range 0 3) (int_range 0 99);
+          return NCheck;
+        ]
+    in
+    let rec tree depth =
+      if depth = 0 then base
+      else
+        oneof
+          [
+            base;
+            map3
+              (fun a b retries -> NOrElse (a, b, retries))
+              (list_size (int_range 1 4) (tree (depth - 1)))
+              (list_size (int_range 1 4) (tree (depth - 1)))
+              bool;
+          ]
+    in
+    list_size (int_range 1 6) (tree 3))
+
+let rec nstep tvars keys tref lref ok txn = function
+  | NWrite (i, v) ->
+      Stm.write txn tvars.(i) v;
+      tref.(i) <- v
+  | NLocal (i, v) ->
+      Stm.Local.set txn keys.(i) v;
+      lref.(i) <- Some v
+  | NCheck ->
+      for i = 0 to 3 do
+        if Stm.read txn tvars.(i) <> tref.(i) then ok := false;
+        if Stm.Local.find txn keys.(i) <> lref.(i) then ok := false
+      done
+  | NOrElse (a, b, first_retries) ->
+      let st = Array.copy tref and sl = Array.copy lref in
+      Stm.or_else txn
+        (fun txn ->
+          List.iter (nstep tvars keys tref lref ok txn) a;
+          if first_retries then Stm.retry txn)
+        (fun txn ->
+          Array.blit st 0 tref 0 4;
+          Array.blit sl 0 lref 0 4;
+          List.iter (nstep tvars keys tref lref ok txn) b)
+
+let run_nested cfg steps =
+  let tvars = Array.init 4 (fun _ -> Tvar.make 0) in
+  let keys = Array.init 4 (fun _ -> Stm.Local.key (fun _ -> -1)) in
+  let tref = Array.make 4 0 in
+  let lref = Array.make 4 None in
+  let ok = ref true in
+  Stm.atomically ~config:cfg (fun txn ->
+      (* A re-run attempt replays the body: reset the model with it. *)
+      Array.fill tref 0 4 0;
+      Array.fill lref 0 4 None;
+      List.iter (nstep tvars keys tref lref ok txn) steps;
+      nstep tvars keys tref lref ok txn NCheck);
+  for i = 0 to 3 do
+    if Tvar.peek tvars.(i) <> tref.(i) then ok := false
+  done;
+  !ok
+
 let suite =
   List.map
     (fun (name, cfg) ->
@@ -110,3 +190,10 @@ let suite =
         prog_gen
         (fun progs -> run_mode cfg progs))
     all_modes
+  @ List.map
+      (fun (name, cfg) ->
+        qcheck ~count:80
+          (Printf.sprintf "nested or_else restores writes+locals (%s)" name)
+          ntree_gen
+          (fun steps -> run_nested cfg steps))
+      all_modes

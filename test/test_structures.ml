@@ -6,7 +6,7 @@ open Util
 module S = Proust_structures
 
 let maps_under_test :
-    (string * Stm.config option * (unit -> (int, int) S.Map_intf.ops)) list =
+    (string * Stm.config option * (unit -> (int, int) S.Trait.Map.ops)) list =
   [
     ( "eager-opt",
       Some eager_struct_cfg,
@@ -16,11 +16,11 @@ let maps_under_test :
       fun () -> S.P_triemap.ops (S.P_triemap.make ()) );
     ( "eager-pess",
       None,
-      fun () -> S.P_hashmap.ops (S.P_hashmap.make ~lap:S.Map_intf.Pessimistic ())
+      fun () -> S.P_hashmap.ops (S.P_hashmap.make ~lap:S.Trait.Pessimistic ())
     );
     ( "eager-pess-trie",
       None,
-      fun () -> S.P_triemap.ops (S.P_triemap.make ~lap:S.Map_intf.Pessimistic ())
+      fun () -> S.P_triemap.ops (S.P_triemap.make ~lap:S.Trait.Pessimistic ())
     );
     ("lazy-memo", None, fun () -> S.P_lazy_hashmap.ops (S.P_lazy_hashmap.make ()));
     ( "lazy-memo-nocombine",
@@ -29,7 +29,7 @@ let maps_under_test :
     ( "lazy-memo-pess",
       None,
       fun () ->
-        S.P_lazy_hashmap.ops (S.P_lazy_hashmap.make ~lap:S.Map_intf.Pessimistic ())
+        S.P_lazy_hashmap.ops (S.P_lazy_hashmap.make ~lap:S.Trait.Pessimistic ())
     );
     ( "lazy-snap",
       None,
@@ -37,14 +37,14 @@ let maps_under_test :
     ( "lazy-snap-pess",
       None,
       fun () ->
-        S.P_lazy_triemap.ops (S.P_lazy_triemap.make ~lap:S.Map_intf.Pessimistic ())
+        S.P_lazy_triemap.ops (S.P_lazy_triemap.make ~lap:S.Trait.Pessimistic ())
     );
   ]
 
 (* ------------------------------------------------------------------ *)
 (* Sequential semantics, identical across every configuration          *)
 
-let map_semantics (ops : (int, int) S.Map_intf.ops) config () =
+let map_semantics (ops : (int, int) S.Trait.Map.ops) config () =
   let at f = Stm.atomically ?config f in
   check copt_i "get empty" None (at (fun txn -> ops.get txn 1));
   check copt_i "put fresh" None (at (fun txn -> ops.put txn 1 10));
@@ -57,7 +57,7 @@ let map_semantics (ops : (int, int) S.Map_intf.ops) config () =
   check copt_i "remove absent" None (at (fun txn -> ops.remove txn 1));
   check ci "size after" 0 (at (fun txn -> ops.size txn))
 
-let map_own_txn_visibility (ops : (int, int) S.Map_intf.ops) config () =
+let map_own_txn_visibility (ops : (int, int) S.Trait.Map.ops) config () =
   Stm.atomically ?config (fun txn ->
       ignore (ops.put txn 5 50);
       check copt_i "reads own put" (Some 50) (ops.get txn 5);
@@ -67,7 +67,7 @@ let map_own_txn_visibility (ops : (int, int) S.Map_intf.ops) config () =
       check copt_i "sees own remove" None (ops.get txn 5);
       check ci "size after own remove" 0 (ops.size txn))
 
-let map_abort_rollback (ops : (int, int) S.Map_intf.ops) config () =
+let map_abort_rollback (ops : (int, int) S.Trait.Map.ops) config () =
   let at f = Stm.atomically ?config f in
   ignore (at (fun txn -> ops.put txn 1 100));
   let tries = ref 0 in
@@ -83,7 +83,7 @@ let map_abort_rollback (ops : (int, int) S.Map_intf.ops) config () =
   check copt_i "key 2 never appeared" None (at (fun txn -> ops.get txn 2));
   check ci "size restored" 1 (at (fun txn -> ops.size txn))
 
-let map_txn_composition (ops : (int, int) S.Map_intf.ops) config () =
+let map_txn_composition (ops : (int, int) S.Trait.Map.ops) config () =
   (* Multi-op transaction is all-or-nothing. *)
   let at f = Stm.atomically ?config f in
   at (fun txn ->
@@ -93,7 +93,7 @@ let map_txn_composition (ops : (int, int) S.Map_intf.ops) config () =
   check ci "ten committed atomically" 10 (at (fun txn -> ops.size txn));
   check copt_i "spot check" (Some 49) (at (fun txn -> ops.get txn 7))
 
-let map_concurrent_transfers (ops : (int, int) S.Map_intf.ops) config () =
+let map_concurrent_transfers (ops : (int, int) S.Trait.Map.ops) config () =
   let keys = 12 in
   Stm.atomically ?config (fun txn ->
       for k = 0 to keys - 1 do
@@ -140,7 +140,7 @@ let per_map_tests =
 (* Eager wrapper mutates base during the transaction; lazy defers.      *)
 
 let test_eager_applies_during_txn () =
-  let m = S.P_hashmap.make ~lap:S.Map_intf.Pessimistic () in
+  let m = S.P_hashmap.make ~lap:S.Trait.Pessimistic () in
   Stm.atomically (fun txn ->
       ignore (S.P_hashmap.put m txn 1 10);
       check copt_i "base updated mid-txn" (Some 10)
@@ -178,7 +178,7 @@ let counter_semantics lap config () =
   check ci "after decr" 1 (S.P_counter.peek c)
 
 let test_counter_abort_restores () =
-  let c = S.P_counter.make ~lap:S.Map_intf.Pessimistic ~init:5 () in
+  let c = S.P_counter.make ~lap:S.Trait.Pessimistic ~init:5 () in
   let tries = ref 0 in
   Stm.atomically (fun txn ->
       incr tries;
@@ -216,7 +216,7 @@ let test_counter_observable () =
 (* ------------------------------------------------------------------ *)
 (* Priority queues                                                      *)
 
-let pqueue_semantics (ops : int S.Pqueue_intf.ops) config () =
+let pqueue_semantics (ops : int S.Trait.Pqueue.ops) config () =
   let at f = Stm.atomically ?config f in
   check copt_i "min empty" None (at (fun txn -> ops.min txn));
   check copt_i "removeMin empty" None (at (fun txn -> ops.remove_min txn));
@@ -233,7 +233,7 @@ let pqueue_semantics (ops : int S.Pqueue_intf.ops) config () =
   check copt_i "drained" None (at (fun txn -> ops.remove_min txn));
   check ci "size drained" 0 (at (fun txn -> ops.size txn))
 
-let pqueue_abort_rollback (ops : int S.Pqueue_intf.ops) config () =
+let pqueue_abort_rollback (ops : int S.Trait.Pqueue.ops) config () =
   let at f = Stm.atomically ?config f in
   at (fun txn -> ops.insert txn 10);
   let tries = ref 0 in
@@ -248,7 +248,7 @@ let pqueue_abort_rollback (ops : int S.Pqueue_intf.ops) config () =
   check copt_i "still has 10" (Some 10) (at (fun txn -> ops.min txn));
   check ci "size restored" 1 (at (fun txn -> ops.size txn))
 
-let pqueue_same_txn (ops : int S.Pqueue_intf.ops) config () =
+let pqueue_same_txn (ops : int S.Trait.Pqueue.ops) config () =
   let popped =
     Stm.atomically ?config (fun txn ->
         ops.insert txn 3;
@@ -261,7 +261,7 @@ let pqueue_same_txn (ops : int S.Pqueue_intf.ops) config () =
     Alcotest.(pair (option int) (option int))
     "pops own inserts in order" (Some 1, Some 3) popped
 
-let pqueue_concurrent (ops : int S.Pqueue_intf.ops) config () =
+let pqueue_concurrent (ops : int S.Trait.Pqueue.ops) config () =
   let popped = Atomic.make 0 in
   spawn_all 4 (fun d ->
       let rng = Random.State.make [| d |] in
@@ -277,7 +277,7 @@ let pqueue_concurrent (ops : int S.Pqueue_intf.ops) config () =
   check ci "conserved" 400 (Atomic.get popped + remaining)
 
 let pqueues_under_test :
-    (string * Stm.config option * (unit -> int S.Pqueue_intf.ops)) list =
+    (string * Stm.config option * (unit -> int S.Trait.Pqueue.ops)) list =
   [
     ( "pq-eager-opt",
       Some eager_struct_cfg,
@@ -286,7 +286,7 @@ let pqueues_under_test :
       None,
       fun () ->
         S.P_pqueue.ops
-          (S.P_pqueue.make ~cmp:Int.compare ~lap:S.Map_intf.Pessimistic ()) );
+          (S.P_pqueue.make ~cmp:Int.compare ~lap:S.Trait.Pessimistic ()) );
     ( "pq-lazy-opt",
       None,
       fun () -> S.P_lazy_pqueue.ops (S.P_lazy_pqueue.make ~cmp:Int.compare ()) );
@@ -294,7 +294,7 @@ let pqueues_under_test :
       None,
       fun () ->
         S.P_lazy_pqueue.ops
-          (S.P_lazy_pqueue.make ~cmp:Int.compare ~lap:S.Map_intf.Pessimistic ())
+          (S.P_lazy_pqueue.make ~cmp:Int.compare ~lap:S.Trait.Pessimistic ())
     );
   ]
 
@@ -328,7 +328,7 @@ let set_semantics lap config () =
   check clist_i "empty" [] (S.P_set.to_list s)
 
 let test_set_abort_rollback () =
-  let s = S.P_set.make ~lap:S.Map_intf.Pessimistic () in
+  let s = S.P_set.make ~lap:S.Trait.Pessimistic () in
   ignore (Stm.atomically (fun txn -> S.P_set.add s txn 1));
   let tries = ref 0 in
   Stm.atomically (fun txn ->
@@ -341,7 +341,7 @@ let test_set_abort_rollback () =
   check clist_i "rolled back" [ 1 ] (S.P_set.to_list s)
 
 let test_set_concurrent () =
-  let s = S.P_set.make ~lap:S.Map_intf.Pessimistic () in
+  let s = S.P_set.make ~lap:S.Trait.Pessimistic () in
   spawn_all 4 (fun d ->
       for i = 0 to 249 do
         ignore (Stm.atomically (fun txn -> S.P_set.add s txn ((i * 4) + d)))
@@ -356,19 +356,19 @@ let suite =
       test "lazy snapshot defers until commit"
         test_lazy_snapshot_defers_until_commit;
       test "counter semantics (pessimistic)"
-        (counter_semantics S.Map_intf.Pessimistic None);
+        (counter_semantics S.Trait.Pessimistic None);
       test "counter semantics (optimistic)"
-        (counter_semantics S.Map_intf.Optimistic (Some eager_struct_cfg));
+        (counter_semantics S.Trait.Optimistic (Some eager_struct_cfg));
       test "counter abort restores" test_counter_abort_restores;
       slow "counter stress (pessimistic)"
-        (counter_stress S.Map_intf.Pessimistic None);
+        (counter_stress S.Trait.Pessimistic None);
       slow "counter stress (optimistic)"
-        (counter_stress S.Map_intf.Optimistic (Some eager_struct_cfg));
+        (counter_stress S.Trait.Optimistic (Some eager_struct_cfg));
       test "counter observable band" test_counter_observable;
       test "set semantics (pessimistic)"
-        (set_semantics S.Map_intf.Pessimistic None);
+        (set_semantics S.Trait.Pessimistic None);
       test "set semantics (optimistic)"
-        (set_semantics S.Map_intf.Optimistic (Some eager_struct_cfg));
+        (set_semantics S.Trait.Optimistic (Some eager_struct_cfg));
       test "set abort rollback" test_set_abort_rollback;
       slow "set concurrent" test_set_concurrent;
     ]

@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# Formatting gate.  The project does not pin an ocamlformat version, so
+# this checks the layout invariants any formatter keeps and that the
+# tree already satisfies: no tab characters in OCaml or dune sources,
+# no trailing whitespace, and every source file ending in a newline.
+# Runs from any directory inside the repo; exits nonzero listing the
+# offending files.
+set -eu
+cd "$(dirname "$0")/.."
+
+fail=0
+files=$(git ls-files '*.ml' '*.mli' 'dune-project' 'dune' '*/dune')
+
+tab=$(printf '\t')
+for f in $files; do
+  [ -f "$f" ] || continue
+  if grep -qn "$tab" "$f"; then
+    echo "tab character: $f"
+    fail=1
+  fi
+  if grep -qn ' $' "$f"; then
+    echo "trailing whitespace: $f"
+    fail=1
+  fi
+  if [ -n "$(tail -c1 "$f")" ]; then
+    echo "missing final newline: $f"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "formatting check failed"
+  exit 1
+fi
+echo "formatting check passed ($(echo "$files" | wc -w | tr -d ' ') files)"
