@@ -2,7 +2,7 @@
    paper (see DESIGN.md's per-experiment index).
 
      main.exe [fig1|fig4|fig4-memo|micro|ablation-m|ablation-cm|
-               ablation-mode|pqueue|obs-overhead|all]
+               ablation-mode|pqueue|overload|obs-overhead|all]
               [--json FILE] [--trace FILE]
 
    --json writes every measured cell as a "proust-bench/v1" report
@@ -15,7 +15,9 @@
      PROUST_OPS      total operations per cell        (default 20000)
      PROUST_THREADS  comma-separated thread counts    (default 1,2,4,8)
      PROUST_TRIALS   measured trials per cell         (default 2)
-     PROUST_QUICK    =1 shrinks the fig4 grid for smoke runs *)
+     PROUST_QUICK    =1 shrinks the fig4 grid for smoke runs
+     PROUST_DOMAINS  base domain count for the overload sweep
+     PROUST_DEADLINE_US / PROUST_MAX_ATTEMPTS  per-op QoS bounds *)
 
 module W = Proust_workload
 module S = Proust_structures
@@ -321,11 +323,11 @@ let structures_bench () =
         let finished = Array.make threads 0.0 in
         let body i () =
           enter ();
-          started.(i) <- Unix.gettimeofday ();
+          started.(i) <- Clock.now_mono ();
           for j = 1 to per do
             Stm.atomically ?config (fun txn -> step q txn j)
           done;
-          finished.(i) <- Unix.gettimeofday ()
+          finished.(i) <- Clock.now_mono ()
         in
         let ds = List.init threads (fun i -> Domain.spawn (body i)) in
         List.iter Domain.join ds;
@@ -382,11 +384,11 @@ let compose_bench () =
         let body i () =
           let rng = Random.State.make [| i + 13 |] in
           enter ();
-          started.(i) <- Unix.gettimeofday ();
+          started.(i) <- Clock.now_mono ();
           for _ = 1 to per do
             Stm.atomically ?config (fun txn -> step rng txn)
           done;
-          finished.(i) <- Unix.gettimeofday ()
+          finished.(i) <- Clock.now_mono ()
         in
         let ds = List.init threads (fun i -> Domain.spawn (body i)) in
         List.iter Domain.join ds;
@@ -525,13 +527,13 @@ let obs_overhead () =
   in
   let r = Tvar.make 0 in
   let once () =
-    let t0 = Unix.gettimeofday () in
+    let t0 = Clock.now_mono () in
     for i = 1 to iters do
       Stm.atomically (fun txn ->
           ignore (Stm.read txn r);
           Stm.write txn r i)
     done;
-    (Unix.gettimeofday () -. t0) /. float_of_int iters *. 1e9
+    (Clock.now_mono () -. t0) /. float_of_int iters *. 1e9
   in
   let best_of n =
     ignore (once ());
@@ -564,13 +566,127 @@ let obs_overhead () =
       (tolerance *. 100.0)
 
 (* ------------------------------------------------------------------ *)
+(* OVERLOAD: QoS degradation curve under domain oversubscription.      *)
+
+(* Sweeps worker counts from 1x to 4x PROUST_DOMAINS running a
+   write-heavy eager hashmap workload where every operation is a
+   bounded [Stm.atomic ~deadline ~max_attempts] call, with the
+   shedder and the watchdog armed.  The point of the curve: past the
+   core count, throughput degrades but every worker keeps committing
+   (no starvation, no livelock) and the refused work is visible in
+   the shed / timed-out / budget columns rather than silently
+   retried forever. *)
+let overload () =
+  let base = env_int "PROUST_DOMAINS" (max 2 (min 4 (Domain.recommended_domain_count ()))) in
+  let deadline_s = float_of_int (env_int "PROUST_DEADLINE_US" 10_000) *. 1e-6 in
+  let max_attempts = env_int "PROUST_MAX_ATTEMPTS" 64 in
+  W.Report.section
+    (Printf.sprintf
+       "OVERLOAD: bounded txns at 1x-4x of %d domains (deadline %.1f ms, \
+        budget %d attempts)"
+       base (deadline_s *. 1000.0) max_attempts);
+  Printf.printf "%-14s %4s %5s %10s %12s %9s %9s %6s %6s %6s %6s\n" "impl" "t"
+    "over" "mean(ms)" "ops/s" "commits" "min/wkr" "shed" "tmout" "budg" "wkill";
+  Printf.printf "%s\n" (String.make 104 '-');
+  let key_range = 256 in
+  let config = Some (W.Impls.eager_mode ()) in
+  Qos.Shedder.enable ();
+  let wd = Qos.Watchdog.start () in
+  Fun.protect
+    ~finally:(fun () ->
+      Qos.Watchdog.stop wd;
+      Qos.Shedder.disable ())
+    (fun () ->
+      List.iter
+        (fun mult ->
+          let workers = base * mult in
+          let per = max 200 (total_ops / workers) in
+          let name = Printf.sprintf "overload/x%d" mult in
+          let m = S.P_hashmap.ops (S.P_hashmap.make ()) in
+          let committed = Array.make workers 0 in
+          let shed = Array.make workers 0 in
+          let timed_out = Array.make workers 0 in
+          let budget = Array.make workers 0 in
+          let started = Array.make workers 0.0 in
+          let finished = Array.make workers 0.0 in
+          let enter = W.Runner.barrier workers in
+          let before = Stats.read () in
+          let body i () =
+            let rng = Random.State.make [| 0x10ad; i |] in
+            enter ();
+            started.(i) <- Clock.now_mono ();
+            for j = 1 to per do
+              let k = Random.State.int rng key_range in
+              match
+                Stm.atomic ?config
+                  ~deadline:(Clock.now_mono () +. deadline_s)
+                  ~max_attempts
+                  (fun txn ->
+                    ignore (m.Proust_structures.Trait.Map.put txn k j))
+              with
+              | Stm.Outcome.Committed () -> committed.(i) <- committed.(i) + 1
+              | Stm.Outcome.Shed -> shed.(i) <- shed.(i) + 1
+              | Stm.Outcome.Timed_out -> timed_out.(i) <- timed_out.(i) + 1
+              | Stm.Outcome.Budget_exhausted -> budget.(i) <- budget.(i) + 1
+            done;
+            finished.(i) <- Clock.now_mono ()
+          in
+          let ds = List.init workers (fun i -> Domain.spawn (body i)) in
+          List.iter Domain.join ds;
+          let dt_ms =
+            (Array.fold_left max neg_infinity finished
+            -. Array.fold_left min infinity started)
+            *. 1000.0
+          in
+          let st = Stats.diff before (Stats.read ()) in
+          let sum a = Array.fold_left ( + ) 0 a in
+          let min_worker = Array.fold_left min max_int committed in
+          let total_committed = sum committed in
+          let ops_per_s = float_of_int total_committed /. dt_ms *. 1000.0 in
+          Printf.printf
+            "%-14s %4d %4dx %10.2f %12.0f %9d %9d %6d %6d %6d %6d\n%!" name
+            workers mult dt_ms ops_per_s total_committed min_worker (sum shed)
+            (sum timed_out) (sum budget) st.Stats.watchdog_kills;
+          if json_file <> None then
+            cells :=
+              Obs.Json.Obj
+                [
+                  ("impl", Obs.Json.String name);
+                  ("u", Obs.Json.Float 1.0);
+                  ("o", Obs.Json.Int 1);
+                  ("threads", Obs.Json.Int workers);
+                  ("oversubscription", Obs.Json.Int mult);
+                  ("base_domains", Obs.Json.Int base);
+                  ("key_range", Obs.Json.Int key_range);
+                  ("ops_per_worker", Obs.Json.Int per);
+                  ("deadline_s", Obs.Json.Float deadline_s);
+                  ("max_attempts", Obs.Json.Int max_attempts);
+                  ("mean_ms", Obs.Json.Float dt_ms);
+                  ("ops_per_s", Obs.Json.Float ops_per_s);
+                  ("committed_total", Obs.Json.Int total_committed);
+                  ("committed_min_worker", Obs.Json.Int min_worker);
+                  ("shed", Obs.Json.Int (sum shed));
+                  ("timed_out", Obs.Json.Int (sum timed_out));
+                  ("budget_exhausted", Obs.Json.Int (sum budget));
+                  ( "qos_state",
+                    Obs.Json.String (Qos.Hysteresis.state_name (Qos.Shedder.state ())) );
+                  ( "stats",
+                    Obs.Json.Obj
+                      (List.map
+                         (fun (k, v) -> (k, Obs.Json.Int v))
+                         (Stats.to_assoc st)) );
+                ]
+              :: !cells)
+        [ 1; 2; 3; 4 ])
+
+(* ------------------------------------------------------------------ *)
 
 let usage () =
   print_endline
     "usage: main.exe \
      [fig1|fig4|fig4-memo|micro|ablation-m|ablation-cm|ablation-mode|\
      ablation-zipf|ablation-combine|pqueue|queue|structures|compose|\
-     obs-overhead|all] [--json FILE] [--trace FILE]"
+     overload|obs-overhead|all] [--json FILE] [--trace FILE]"
 
 let () =
   (* First non-flag argument is the command; --json/--trace (and their
@@ -599,6 +715,7 @@ let () =
   | "queue" -> queue_bench ()
   | "structures" -> structures_bench ()
   | "compose" -> compose_bench ()
+  | "overload" -> overload ()
   | "obs-overhead" -> obs_overhead ()
   | "all" ->
       fig1 ();
@@ -613,7 +730,8 @@ let () =
       pqueue_bench ();
       queue_bench ();
       structures_bench ();
-      compose_bench ()
+      compose_bench ();
+      overload ()
   | _ -> usage ());
   Option.iter
     (fun file ->

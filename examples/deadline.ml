@@ -1,0 +1,44 @@
+(* Bounded transactions: [Stm.atomic ~deadline] instead of open-ended
+   retry.
+
+   A dashboard wants a consistent snapshot of a hot counter map, but
+   would rather serve slightly stale data than stall: it gives the
+   transactional read a 2 ms deadline and falls back to a lock-free
+   dirty read ([Tvar.peek]) when the STM can't deliver in time.
+
+   Run with: dune exec examples/deadline.exe *)
+
+let cells = Array.init 8 (fun _ -> Tvar.make 0)
+
+let () =
+  (* Background writers keep the cells hot. *)
+  let stop = Atomic.make false in
+  let writers =
+    List.init 2 (fun _ ->
+        Domain.spawn (fun () ->
+            while not (Atomic.get stop) do
+              Stm.atomically (fun txn ->
+                  Array.iter
+                    (fun c -> Stm.write txn c (Stm.read txn c + 1))
+                    cells)
+            done))
+  in
+  for tick = 1 to 5 do
+    let deadline = Clock.now_mono () +. 2e-3 in
+    (match
+       Stm.atomic ~deadline (fun txn ->
+           Array.map (fun c -> Stm.read txn c) cells)
+     with
+    | Stm.Outcome.Committed snap ->
+        Printf.printf "tick %d: consistent snapshot, sum=%d\n%!" tick
+          (Array.fold_left ( + ) 0 snap)
+    | Stm.Outcome.Timed_out ->
+        (* Degrade gracefully: per-cell dirty reads, no retry loop. *)
+        let dirty = Array.map Tvar.peek cells in
+        Printf.printf "tick %d: timed out, dirty sum=%d\n%!" tick
+          (Array.fold_left ( + ) 0 dirty)
+    | o -> Printf.printf "tick %d: %s\n%!" tick (Stm.Outcome.name o));
+    Unix.sleepf 1e-3
+  done;
+  Atomic.set stop true;
+  List.iter Domain.join writers

@@ -12,6 +12,11 @@ let with_lock t f =
   Mutex.lock t.m;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
 
+(* Deadlines are monotonic seconds, same time base as the STM's
+   [Clock.now_mono]: an NTP step moving the wall clock must not fire
+   (or indefinitely postpone) lock timeouts. *)
+let now_mono () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+
 (* Deadline-bounded acquisition polls rather than using condition
    variables: waiters are transactions that will abort on timeout, so
    the wait is short-lived by construction and a micro-sleep poll keeps
@@ -19,7 +24,7 @@ let with_lock t f =
 let poll_until ~deadline attempt =
   let rec loop () =
     if attempt () then true
-    else if Unix.gettimeofday () > deadline then false
+    else if now_mono () > deadline then false
     else begin
       Unix.sleepf 20e-6;
       loop ()

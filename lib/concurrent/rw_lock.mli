@@ -16,8 +16,10 @@ val create : unit -> t
 
 (** [try_acquire_read t ~owner ~deadline] acquires (or re-acquires) the
     lock in shared mode.  Succeeds immediately when [owner] already
-    holds the write lock.  Returns [false] if the deadline (absolute
-    [Unix.gettimeofday] time) passes first. *)
+    holds the write lock.  Returns [false] if the deadline — an
+    absolute {e monotonic} time in seconds, same base as the STM's
+    [Clock.now_mono] — passes first.  (Monotonic, not wall-clock: an
+    NTP step must not fire or postpone lock timeouts.) *)
 val try_acquire_read : t -> owner:int -> deadline:float -> bool
 
 (** Exclusive-mode acquisition; supports upgrade when [owner] is the

@@ -54,9 +54,19 @@ let pessimistic ?(timeout = 5e-3) ~ca () =
     let held = Stm.Local.get txn held_key in
     let owner = (Stm.desc txn).Txn_desc.id in
     let accesses = Conflict_abstraction.accesses_for ca ~stripe:owner intents in
+    (* The acquisition deadline is monotonic ([Rw_lock] polls against
+       the same base) and clamped by the episode's own QoS deadline, if
+       any: a transaction whose time is nearly up should spend what is
+       left of it failing fast, not queueing for its full [timeout]. *)
+    let episode_deadline = Stm.deadline txn in
     List.iter
       (fun { Conflict_abstraction.slot; write } ->
-        let deadline = Unix.gettimeofday () +. timeout in
+        let deadline =
+          let d = Clock.now_mono () +. timeout in
+          match episode_deadline with
+          | Some e -> Float.min d e
+          | None -> d
+        in
         let lock = locks.(slot) in
         let ok =
           if write then

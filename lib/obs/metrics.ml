@@ -114,6 +114,33 @@ let scope_summary_to_json (s : scope_summary) =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Named gauges                                                        *)
+
+(* Last-write-wins integer gauges for slowly-changing control state
+   (the QoS shedder publishes its admission state and abort-rate EWMA
+   here).  Unlike the histograms these are not gated: writers are rare
+   control-plane transitions, not hot-path STM sites. *)
+let gauge_table : (string, int) Hashtbl.t = Hashtbl.create 8
+let gauge_lock = Mutex.create ()
+
+let set_gauge name v =
+  Mutex.lock gauge_lock;
+  Hashtbl.replace gauge_table name v;
+  Mutex.unlock gauge_lock
+
+let gauge name =
+  Mutex.lock gauge_lock;
+  let v = Hashtbl.find_opt gauge_table name in
+  Mutex.unlock gauge_lock;
+  v
+
+let gauges () =
+  Mutex.lock gauge_lock;
+  let all = Hashtbl.fold (fun k v acc -> (k, v) :: acc) gauge_table [] in
+  Mutex.unlock gauge_lock;
+  List.sort compare all
+
+(* ------------------------------------------------------------------ *)
 (* STM entry points                                                    *)
 
 (* Each entry point re-checks the gate so it is a no-op when metrics

@@ -40,6 +40,19 @@ val read_scope : string -> scope_summary option
 val scopes : unit -> scope_summary list
 val scope_summary_to_json : scope_summary -> Json.t
 
+(** {2 Named gauges}
+
+    Last-write-wins integer gauges for slowly-changing control state
+    (e.g. the QoS shedder's admission state and abort-rate EWMA in
+    basis points).  Not gated by {!enabled}: writes are rare
+    control-plane transitions, never hot-path STM sites. *)
+
+val set_gauge : string -> int -> unit
+val gauge : string -> int option
+
+(** All gauges, sorted by name. *)
+val gauges : unit -> (string * int) list
+
 (** Instrumentation entry points (called from the STM). *)
 
 val on_attempt_start : unit -> unit

@@ -17,11 +17,18 @@ val create : ?ceiling:int -> ?sleep_after:int -> ?sleep:float -> unit -> t
 val reconfigure : ?ceiling:int -> ?sleep_after:int -> ?sleep:float -> t -> unit
 
 (** [once t] spins for a randomized duration that grows exponentially
-    with the number of preceding [once] calls since the last [reset]. *)
-val once : t -> unit
+    with the number of preceding [once] calls since the last [reset].
+    [until_ns], when nonzero, is an absolute {!Clock.now_mono_ns}
+    deadline: any degraded-mode OS sleep is clamped so it never runs
+    past it (a deadline already in the past sleeps not at all). *)
+val once : ?until_ns:int -> t -> unit
 
 (** Forget accumulated contention history. *)
 val reset : t -> unit
 
 (** Number of [once] calls since the last reset. *)
 val rounds : t -> int
+
+(** Total monotonic nanoseconds spent in degraded-mode sleeps since the
+    last {!reconfigure} (monotonic accounting: immune to clock steps). *)
+val slept_ns : t -> int

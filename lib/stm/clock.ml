@@ -4,3 +4,14 @@ let create () = Atomic.make 0
 let now t = Atomic.get t
 let tick t = 1 + Atomic.fetch_and_add t 1
 let global = create ()
+
+(* ------------------------------------------------------------------ *)
+(* Monotonic wall time                                                  *)
+
+(* All deadline arithmetic in the system (transaction deadlines,
+   rw-lock acquisition bounds, watchdog age checks) uses this clock,
+   never [Unix.gettimeofday]: an NTP step would otherwise fire or
+   stretch every pending deadline at once. *)
+
+let now_mono_ns () = Proust_obs.Trace.now_ns ()
+let now_mono () = float_of_int (now_mono_ns ()) *. 1e-9

@@ -18,3 +18,16 @@ val tick : t -> int
 
 (** The process-wide clock used by the default STM instance. *)
 val global : t
+
+(** {2 Monotonic wall time}
+
+    Deadlines across the system (transaction deadlines, rw-lock
+    acquisition bounds, watchdog age checks) are absolute points on
+    this clock, never [Unix.gettimeofday]: an NTP step must not fire or
+    stretch every pending deadline at once. *)
+
+(** Monotonic nanoseconds since an arbitrary epoch. *)
+val now_mono_ns : unit -> int
+
+(** [now_mono ()] is {!now_mono_ns} in seconds. *)
+val now_mono : unit -> float

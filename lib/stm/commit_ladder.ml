@@ -21,7 +21,12 @@ let do_abort t reason =
   (match reason with
   | Conflict -> Stats.record_conflict ()
   | Killed -> Stats.record_killed_abort ()
-  | Explicit -> Stats.record_explicit_abort ());
+  | Explicit -> Stats.record_explicit_abort ()
+  | Timed_out ->
+      (* The per-attempt abort is counted above; the episode-level
+         [timeouts] counter is bumped once by [Stm.atomic] when the
+         whole episode resolves to [Timed_out]. *)
+      ());
   obs_abort t reason;
   (* LIFO: inverses registered after an operation run before the
      abstract-lock releases registered when the lock was acquired. *)
@@ -99,6 +104,13 @@ let do_commit t =
       (match chaos_point t Fault.Pre_validate with
       | () -> ()
       | exception Abort_exn reason -> fail reason);
+      (* Deadline check at the head of validation: a commit that locked
+         its plan but whose deadline passed releases everything here
+         rather than paying for validation it no longer wants.
+         [check_deadline] is a no-op for irrevocable attempts. *)
+      (match check_deadline t with
+      | () -> ()
+      | exception Abort_exn reason -> fail reason);
       (* Phase 2: validate the read set against the snapshot timestamp.
          A transaction whose writes immediately follow its snapshot
          (rv+1 = wv) cannot have missed a concurrent commit, per TL2. *)
@@ -118,13 +130,24 @@ let do_commit t =
       let after_hooks = List.rev t.after_commit_hooks in
       t.commit_locked_hooks <- [];
       t.after_commit_hooks <- [];
-      Fun.protect
-        ~finally:(fun () ->
-          Rwset.Wlog.publish_plan t.wset ~version:wv;
-          release_locks t;
-          t.proto.p_release t)
-        (fun () -> run_hooks locked_hooks);
-      run_hooks after_hooks)
+      (* The attempt has linearized: whatever the locked-phase hooks
+         do, the write set publishes, the locks release, and the
+         after-commit hooks still run — structure residue cleanup
+         (e.g. pessimistic abstract-lock release) rides on the latter,
+         so a raising locked hook must not starve them.  The earliest
+         hook failure wins and re-raises once hygiene is restored. *)
+      let locked_failure =
+        match run_hooks locked_hooks with
+        | () -> None
+        | exception e -> Some e
+      in
+      Rwset.Wlog.publish_plan t.wset ~version:wv;
+      release_locks t;
+      t.proto.p_release t;
+      (match run_hooks after_hooks with
+      | () -> ()
+      | exception e -> if locked_failure = None then raise e);
+      match locked_failure with None -> () | Some e -> raise e)
 
 (* ------------------------------------------------------------------ *)
 (* Retry blocking                                                       *)
@@ -162,11 +185,25 @@ let wait_for_change watchers =
       [Too_many_attempts] is unreachable under the default config. *)
 let priority_boost = 1_000
 
-let run cfg f =
+(* QoS episode failures, raised between attempts (never mid-attempt —
+   mid-attempt deadline hits surface as [Abort_exn Timed_out], unwind
+   through the ordinary abort path, and are converted here at the next
+   attempt boundary).  [Stm.atomic] translates both into outcomes. *)
+exception Deadline_exceeded
+exception Out_of_budget
+
+let run ?(deadline_ns = 0) ?(attempt_budget = 0) cfg f =
   let proto = Protocol.select cfg.mode in
   let ep = begin_episode cfg in
   Fun.protect ~finally:end_episode @@ fun () ->
   let backoff = ep.ep_backoff in
+  (* Attempt-boundary QoS gate: fail the episode before sinking work
+     into an attempt it can no longer afford. *)
+  let check_episode n =
+    if attempt_budget > 0 && n > attempt_budget then raise Out_of_budget;
+    if deadline_ns <> 0 && Clock.now_mono_ns () >= deadline_ns then
+      raise Deadline_exceeded
+  in
   (* End an attempt: audit external resources while the logs still
      exist, then scrub the record for the pool. *)
   let finish_attempt t =
@@ -174,8 +211,34 @@ let run cfg f =
     maybe_audit t;
     retire t
   in
+  (* Abort an attempt, guarding against abort hooks that raise: the
+     locks are already released by [do_abort]'s own protect, but the
+     pooled record must still be scrubbed before the hook's exception
+     escapes the episode. *)
+  let abort_and_scrub t reason =
+    match do_abort t reason with
+    | () -> ()
+    | exception e ->
+        maybe_audit t;
+        retire t;
+        raise e
+  in
+  (* Exception firewall for non-[Abort_exn] escapes out of [do_commit]
+     (a raising commit hook, or chaos surfacing as an arbitrary
+     exception): release everything, scrub the record, re-raise.  An
+     attempt that already linearized ([t.finished]) must not run abort
+     hooks — its effects are published; only the residue is cleaned. *)
+  let commit_firewall t e =
+    Domain.DLS.set current_txn None;
+    if not t.finished then (try do_abort t Explicit with _ -> ());
+    release_locks t;
+    maybe_audit t;
+    retire t;
+    raise e
+  in
   let rec attempt n ~priority ~birth =
     if n > cfg.max_attempts then raise (Too_many_attempts n);
+    check_episode n;
     if cfg.serial_fallback && n > cfg.fallback_after then
       fallback_attempt n ~priority ~birth
     else begin
@@ -183,18 +246,18 @@ let run cfg f =
         if n > cfg.abort_budget then priority + priority_boost else priority
       in
       Stats.record_start ();
-      let t = attempt_txn ep cfg ~proto ~priority ?birth () in
+      let t = attempt_txn ep cfg ~proto ~priority ?birth ~deadline_ns () in
       obs_attempt_start t ~n;
       let birth = Some t.tdesc.Txn_desc.birth in
       Domain.DLS.set current_txn (Some t);
       let retry_after_abort ?watchers reason =
         Domain.DLS.set current_txn None;
-        do_abort t reason;
+        abort_and_scrub t reason;
         let next_priority = t.tdesc.Txn_desc.priority in
         maybe_audit t;
         (match watchers with
         | Some ws -> wait_for_change ws
-        | None -> Backoff.once backoff);
+        | None -> Backoff.once ~until_ns:deadline_ns backoff);
         retire t;
         attempt (n + 1) ~priority:next_priority ~birth
       in
@@ -204,7 +267,8 @@ let run cfg f =
           | () ->
               finish_attempt t;
               result
-          | exception Abort_exn reason -> retry_after_abort reason)
+          | exception Abort_exn reason -> retry_after_abort reason
+          | exception e -> commit_firewall t e)
       | exception Abort_exn reason -> retry_after_abort reason
       | exception Retry_exn ->
           let watchers = read_watchers t in
@@ -216,13 +280,13 @@ let run cfg f =
              state, abort and propagate. *)
           Domain.DLS.set current_txn None;
           let consistent = Protocol.reads_valid t in
-          do_abort t Explicit;
+          abort_and_scrub t Explicit;
           let next_priority = t.tdesc.Txn_desc.priority in
           maybe_audit t;
           retire t;
           if consistent then raise e
           else begin
-            Backoff.once backoff;
+            Backoff.once ~until_ns:deadline_ns backoff;
             attempt (n + 1) ~priority:next_priority ~birth
           end
     end
@@ -241,17 +305,21 @@ let run cfg f =
            pre-quiesce holder, which must itself drain shortly. *)
         let rec go n ~priority =
           if n > cfg.max_attempts then raise (Too_many_attempts n);
+          check_episode n;
           Stats.record_start ();
-          let t = attempt_txn ep cfg ~proto ~priority ?birth ~irrevocable:true () in
+          let t =
+            attempt_txn ep cfg ~proto ~priority ?birth ~irrevocable:true
+              ~deadline_ns ()
+          in
           obs_attempt_start t ~n;
           Domain.DLS.set current_txn (Some t);
           let retry_irrevocable reason =
             Domain.DLS.set current_txn None;
-            do_abort t reason;
+            abort_and_scrub t reason;
             let next_priority = t.tdesc.Txn_desc.priority in
             maybe_audit t;
             retire t;
-            Backoff.once backoff;
+            Backoff.once ~until_ns:deadline_ns backoff;
             go (n + 1) ~priority:next_priority
           in
           match f t with
@@ -260,7 +328,8 @@ let run cfg f =
               | () ->
                   finish_attempt t;
                   result
-              | exception Abort_exn reason -> retry_irrevocable reason)
+              | exception Abort_exn reason -> retry_irrevocable reason
+              | exception e -> commit_firewall t e)
           | exception Abort_exn reason -> retry_irrevocable reason
           | exception Retry_exn ->
               (* [retry] waits for another transaction to change the
@@ -269,7 +338,7 @@ let run cfg f =
                  ladder at the boosted rung. *)
               let watchers = read_watchers t in
               Domain.DLS.set current_txn None;
-              do_abort t Explicit;
+              abort_and_scrub t Explicit;
               let next_priority = t.tdesc.Txn_desc.priority in
               let fallback_birth =
                 Some (Option.value birth ~default:t.tdesc.Txn_desc.birth)
@@ -283,7 +352,7 @@ let run cfg f =
               (* Irrevocable reads are consistent by construction, so a
                  user exception is a real error: abort and propagate. *)
               Domain.DLS.set current_txn None;
-              do_abort t Explicit;
+              abort_and_scrub t Explicit;
               maybe_audit t;
               retire t;
               raise e

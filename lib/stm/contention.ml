@@ -63,4 +63,25 @@ let timestamp () =
       else if attempt < 8 then Wait
       else Restart_self)
 
-let all () = [ passive (); polite (); karma (); timestamp () ]
+let deadline_first ?(patience = 4) () =
+  make "deadline-first" (fun ~self ~other ~attempt ->
+      (* EDF arbitration: the transaction with the earlier absolute
+         deadline wins; no deadline (0) ranks latest.  Ties fall back
+         to age then id so the order is total and livelock-free. *)
+      let key (d : Txn_desc.t) =
+        if d.Txn_desc.deadline_ns = 0 then max_int else d.Txn_desc.deadline_ns
+      in
+      let sd = key self and od = key other in
+      let winner =
+        sd < od
+        || (sd = od
+           && (self.Txn_desc.birth < other.Txn_desc.birth
+              || (self.Txn_desc.birth = other.Txn_desc.birth
+                 && self.Txn_desc.id < other.Txn_desc.id)))
+      in
+      if winner then if attempt < patience then Wait else Abort_other
+      else if attempt < patience * 2 then Wait
+      else Restart_self)
+
+let all () =
+  [ passive (); polite (); karma (); timestamp (); deadline_first () ]

@@ -35,4 +35,10 @@ val karma : ?patience:int -> unit -> t
 (** Greedy/timestamp: the older transaction wins unconditionally. *)
 val timestamp : unit -> t
 
+(** Earliest-deadline-first: the transaction whose {!Txn_desc} carries
+    the earlier absolute deadline wins (no deadline ranks latest; ties
+    break by age then id).  Pairs with [Stm.atomic ~deadline] so the
+    transactions closest to timing out get the locks first. *)
+val deadline_first : ?patience:int -> unit -> t
+
 val all : unit -> t list

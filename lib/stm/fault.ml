@@ -32,7 +32,7 @@ let point_index = function
   | Abstract_lock_acquire -> 4
   | Replay_apply -> 5
 
-type action = Delay of int | Abort | Kill
+type action = Delay of int | Abort | Kill | Wedge
 type site = { prob : float; actions : action list }
 
 type policy = {
@@ -104,7 +104,8 @@ let delay_only point =
   match check point with
   | None -> ()
   | Some (Delay n) -> spin n
-  | Some (Abort | Kill) ->
+  | Some (Abort | Kill | Wedge) ->
       (* Past the linearization point an abort would tear a committed
-         transaction; serve the draw as a fixed delay instead. *)
+         transaction (and a wedge would stall it forever); serve the
+         draw as a fixed delay instead. *)
       spin 64

@@ -29,6 +29,13 @@ type action =
   | Delay of int  (** spin for up to this many relaxation steps *)
   | Abort  (** spurious conflict abort of the running transaction *)
   | Kill  (** remote-style kill: CAS own descriptor to [Aborted] *)
+  | Wedge
+      (** stall the transaction in place until some remote party kills
+          it: the victim spins watching its own descriptor and only
+          resumes (by raising its kill-abort) once the status word
+          flips.  This is the deliberately-stuck transaction the QoS
+          watchdog exists to unwedge — without a watchdog (or another
+          killer) a wedged attempt never terminates. *)
 
 (** Per-point policy: with probability [prob], draw one of [actions]
     uniformly. *)

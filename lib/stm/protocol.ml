@@ -15,6 +15,11 @@ open Txn_state
    the acquisition, raises [Abort_exn] when the caller must restart. *)
 let arbitrate t ~other ~attempt =
   check_alive t;
+  (* Lock-wait polls are where an attempt can stall unboundedly, so
+     they are a deadline checkpoint: an expired transaction stops
+     queueing behind its adversary and aborts with [Timed_out]
+     (no-op for irrevocable attempts). *)
+  check_deadline t;
   if t.tdesc.Txn_desc.irrevocable then begin
     (* The serial-irrevocable holder always wins: kill the other party
        (it cannot be irrevocable too — there is a single token) and
@@ -132,6 +137,7 @@ let acquire_commit_gate t =
   Backoff.reset b;
   let rec loop () =
     check_alive t;
+    check_deadline t;
     if not (Atomic.compare_and_set commit_gate 0 t.tdesc.Txn_desc.id) then begin
       Stats.record_lock_wait ();
       obs_wait ~txn:t.tdesc.Txn_desc.id ~held_by:(Atomic.get commit_gate) b;

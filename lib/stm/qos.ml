@@ -1,0 +1,309 @@
+(* Transaction quality-of-service: overload shedding and the
+   stuck-transaction watchdog.
+
+   Deadlines and retry budgets live in the attempt machinery itself
+   (Txn_desc carries the deadline; Commit_ladder enforces both at
+   attempt boundaries); this module holds the two control loops that
+   sit *outside* any one transaction:
+
+   - [Shedder]: an admission controller that watches the process-wide
+     abort rate and, when the system is thrashing, turns new optional
+     work away at the door instead of letting it pile onto the
+     contention that is causing the thrashing;
+   - [Watchdog]: a supervisor that scans the per-domain watch slots
+     ({!Txn_state.watch_list}) for attempts that have been running far
+     longer than the observed p99 commit latency and kills them through
+     the ordinary remote-kill path, escalating to breaking the serial
+     commit gate when the gate holder itself is the stuck party.
+
+   Both are off by default and their disabled fast paths are single
+   atomic loads, per the repo-wide observability budget. *)
+
+(* ------------------------------------------------------------------ *)
+(* Hysteresis                                                           *)
+
+(* The admission state machine, kept pure (no clocks, no atomics) so
+   qcheck can drive it through arbitrary rate sequences and assert the
+   no-flapping property directly. *)
+module Hysteresis = struct
+  type state = Normal | Degraded
+
+  let state_name = function Normal -> "normal" | Degraded -> "degraded"
+
+  (* [step] returns the successor state and whether a transition
+     happened.  The two thresholds deliberately straddle a dead band
+     ([recover_below < degrade_above]): a rate wandering inside the
+     band never flips the state, which is the anti-flapping property
+     the qcheck suite pins down. *)
+  let step ~degrade_above ~recover_below state rate =
+    match state with
+    | Normal -> if rate > degrade_above then (Degraded, true) else (Normal, false)
+    | Degraded ->
+        if rate < recover_below then (Normal, true) else (Degraded, false)
+end
+
+(* ------------------------------------------------------------------ *)
+(* The overload shedder                                                 *)
+
+module Shedder = struct
+  type config = {
+    sample_window : float;
+        (* seconds between abort-rate samples of the Stats counters *)
+    alpha : float;  (* EWMA weight of the newest window *)
+    degrade_above : float;  (* EWMA abort rate that enters Degraded *)
+    recover_below : float;  (* EWMA abort rate that re-enters Normal *)
+    min_window_attempts : int;
+        (* windows with fewer attempt starts than this are discarded:
+           a near-idle window's rate is mostly noise *)
+    bucket_capacity : float;  (* token bucket burst size *)
+    refill_per_s : float;  (* tokens per second while Degraded *)
+  }
+
+  let default_config =
+    {
+      sample_window = 0.01;
+      alpha = 0.3;
+      degrade_above = 0.7;
+      recover_below = 0.4;
+      min_window_attempts = 32;
+      bucket_capacity = 64.0;
+      refill_per_s = 2000.0;
+    }
+
+  (* Fast-path state: both words are read on every [admit] while
+     enabled, written only on control-plane transitions. *)
+  let on = Atomic.make false
+  let degraded = Atomic.make false
+
+  (* Time gate for sampling: the next [Clock.now_mono_ns] at which some
+     admitting domain should take a sample.  Claimed by CAS so exactly
+     one domain pays for each window's bookkeeping. *)
+  let next_sample_ns = Atomic.make 0
+
+  (* Control block, mutated only under [lock] by the domain that won
+     the sample CAS (or by tests via [inject_sample]). *)
+  type ctl = {
+    mutable cfg : config;
+    mutable ewma : float;
+    mutable have_ewma : bool;
+    mutable last : Stats.snapshot;
+    mutable state : Hysteresis.state;
+    mutable tokens : float;
+    mutable last_refill_ns : int;
+  }
+
+  let lock = Mutex.create ()
+
+  let ctl =
+    {
+      cfg = default_config;
+      ewma = 0.0;
+      have_ewma = false;
+      last = Stats.read ();
+      state = Hysteresis.Normal;
+      tokens = default_config.bucket_capacity;
+      last_refill_ns = 0;
+    }
+
+  let publish_gauges () =
+    Proust_obs.Metrics.set_gauge "qos_state"
+      (match ctl.state with Hysteresis.Normal -> 0 | Hysteresis.Degraded -> 1);
+    Proust_obs.Metrics.set_gauge "qos_abort_ewma_bp"
+      (int_of_float (ctl.ewma *. 10_000.0))
+
+  (* Apply one abort-rate observation to the EWMA and the hysteresis
+     machine; caller holds [lock]. *)
+  let apply_rate rate =
+    ctl.ewma <-
+      (if ctl.have_ewma then
+         (ctl.cfg.alpha *. rate) +. ((1.0 -. ctl.cfg.alpha) *. ctl.ewma)
+       else rate);
+    ctl.have_ewma <- true;
+    let state', transitioned =
+      Hysteresis.step ~degrade_above:ctl.cfg.degrade_above
+        ~recover_below:ctl.cfg.recover_below ctl.state ctl.ewma
+    in
+    if transitioned then begin
+      ctl.state <- state';
+      Atomic.set degraded (state' = Hysteresis.Degraded);
+      Stats.record_degraded_transition ()
+    end;
+    publish_gauges ()
+
+  let sample_now () =
+    Mutex.lock lock;
+    let now = Stats.read () in
+    let w = Stats.diff ctl.last now in
+    ctl.last <- now;
+    if w.Stats.starts >= ctl.cfg.min_window_attempts then
+      apply_rate (float_of_int w.Stats.aborts /. float_of_int w.Stats.starts);
+    Mutex.unlock lock
+
+  let maybe_sample () =
+    let due = Atomic.get next_sample_ns in
+    let now = Clock.now_mono_ns () in
+    if
+      now >= due
+      && Atomic.compare_and_set next_sample_ns due
+           (now + int_of_float (ctl.cfg.sample_window *. 1e9))
+    then sample_now ()
+
+  (* Token bucket, consulted only while Degraded: shaped trickle of
+     admissions so the system keeps making progress (and keeps
+     producing rate samples to recover with) instead of slamming shut. *)
+  let take_token () =
+    Mutex.lock lock;
+    let now = Clock.now_mono_ns () in
+    let dt = float_of_int (now - ctl.last_refill_ns) *. 1e-9 in
+    ctl.last_refill_ns <- now;
+    ctl.tokens <-
+      Float.min ctl.cfg.bucket_capacity
+        (ctl.tokens +. (Float.max 0.0 dt *. ctl.cfg.refill_per_s));
+    let ok = ctl.tokens >= 1.0 in
+    if ok then ctl.tokens <- ctl.tokens -. 1.0;
+    Mutex.unlock lock;
+    ok
+
+  let admit () =
+    if not (Atomic.get on) then true
+    else begin
+      maybe_sample ();
+      if not (Atomic.get degraded) then true else take_token ()
+    end
+
+  let enable ?(config = default_config) () =
+    Mutex.lock lock;
+    ctl.cfg <- config;
+    ctl.ewma <- 0.0;
+    ctl.have_ewma <- false;
+    ctl.last <- Stats.read ();
+    ctl.state <- Hysteresis.Normal;
+    ctl.tokens <- config.bucket_capacity;
+    ctl.last_refill_ns <- Clock.now_mono_ns ();
+    Atomic.set degraded false;
+    publish_gauges ();
+    Mutex.unlock lock;
+    Atomic.set next_sample_ns
+      (Clock.now_mono_ns () + int_of_float (config.sample_window *. 1e9));
+    Atomic.set on true
+
+  let disable () =
+    Atomic.set on false;
+    Atomic.set degraded false
+
+  let enabled () = Atomic.get on
+  let state () = ctl.state
+  let abort_ewma () = if ctl.have_ewma then Some ctl.ewma else None
+
+  (* Test hook: feed one observation straight into the EWMA/hysteresis
+     without waiting for a real Stats window. *)
+  let inject_sample rate =
+    Mutex.lock lock;
+    apply_rate rate;
+    Mutex.unlock lock
+end
+
+(* ------------------------------------------------------------------ *)
+(* The stuck-transaction watchdog                                       *)
+
+module Watchdog = struct
+  type config = {
+    interval : float;  (* seconds between scans *)
+    p99_multiple : float;
+        (* kill threshold as a multiple of the observed p99 commit
+           latency (max across Metrics scopes) *)
+    min_age : float;
+        (* seconds: floor under the kill threshold, and the whole
+           threshold when no commit latency has been observed yet *)
+    breaker_multiple : float;
+        (* gate-breaker threshold as a multiple of the kill threshold *)
+  }
+
+  let default_config =
+    { interval = 0.01; p99_multiple = 16.0; min_age = 0.05; breaker_multiple = 4.0 }
+
+  let kills_c = Atomic.make 0
+  let breaks_c = Atomic.make 0
+  let kills () = Atomic.get kills_c
+  let breaks () = Atomic.get breaks_c
+
+  (* The kill threshold adapts to the workload: a healthy long-running
+     analytics transaction under a slow protocol is not "stuck" if
+     commits of its ilk routinely take that long.  With metrics off (no
+     samples) the static [min_age] floor is the whole threshold. *)
+  let threshold_ns cfg =
+    let floor_ns = int_of_float (cfg.min_age *. 1e9) in
+    let p99 =
+      List.fold_left
+        (fun acc (s : Proust_obs.Metrics.scope_summary) ->
+          if s.commit.Proust_obs.Histogram.count > 0 then
+            max acc s.commit.Proust_obs.Histogram.p99
+          else acc)
+        0
+        (Proust_obs.Metrics.scopes ())
+    in
+    if p99 = 0 then floor_ns
+    else max floor_ns (int_of_float (cfg.p99_multiple *. float_of_int p99))
+
+  (* One pass over the watch slots.  Escalation ladder:
+
+     1. an attempt older than the threshold is killed through
+        [Txn_desc.try_kill] — the same CAS a contention manager uses,
+        so the victim unwinds through the ordinary abort path with all
+        its lock hygiene.  [try_kill] refuses irrevocable descriptors,
+        which is what keeps healthy serial-fallback attempts safe from
+        false kills by construction;
+     2. if the stuck attempt holds the serial commit gate and has aged
+        past [breaker_multiple] thresholds, the kill evidently did not
+        free the gate (e.g. the holder is wedged past its last liveness
+        check, or died mid-publish): break the gate by force so the
+        rest of the system stops convoying behind it.  This is a
+        last-resort availability-over-purity move and is counted
+        separately in [breaks]. *)
+  let scan_once ?(config = default_config) () =
+    let thr = threshold_ns config in
+    let brk = int_of_float (config.breaker_multiple *. float_of_int thr) in
+    let now = Clock.now_mono_ns () in
+    List.iter
+      (fun (ws : Txn_state.watch_slot) ->
+        match Atomic.get ws.Txn_state.ws_desc with
+        | None -> ()
+        | Some d ->
+            let age = now - Atomic.get ws.Txn_state.ws_start_ns in
+            if age > thr && Txn_desc.is_active d then begin
+              if Txn_desc.try_kill d then begin
+                Stats.record_watchdog_kill ();
+                Atomic.incr kills_c
+              end
+            end;
+            if
+              age > brk
+              && (not d.Txn_desc.irrevocable)
+              && Atomic.get Txn_state.commit_gate = d.Txn_desc.id
+            then
+              if Atomic.compare_and_set Txn_state.commit_gate d.Txn_desc.id 0
+              then begin
+                Stats.record_watchdog_kill ();
+                Atomic.incr breaks_c
+              end)
+      (Txn_state.watch_list ())
+
+  type t = { stop_flag : bool Atomic.t; dom : unit Domain.t }
+
+  let start ?(config = default_config) () =
+    Txn_state.set_watchdog true;
+    let stop_flag = Atomic.make false in
+    let dom =
+      Domain.spawn (fun () ->
+          while not (Atomic.get stop_flag) do
+            scan_once ~config ();
+            Unix.sleepf config.interval
+          done)
+    in
+    { stop_flag; dom }
+
+  let stop t =
+    Atomic.set t.stop_flag true;
+    Domain.join t.dom;
+    Txn_state.set_watchdog false
+end

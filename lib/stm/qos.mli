@@ -1,0 +1,108 @@
+(** Transaction quality-of-service: overload shedding and the
+    stuck-transaction watchdog.
+
+    Deadlines and retry budgets are enforced inside the attempt
+    machinery ({!Txn_desc} carries the deadline, {!Commit_ladder}
+    checks both at attempt boundaries); this module holds the control
+    loops that sit outside any one transaction.  Both are off by
+    default; their disabled fast paths are single atomic loads. *)
+
+(** The admission state machine, pure so property tests can drive it
+    through arbitrary abort-rate sequences. *)
+module Hysteresis : sig
+  type state = Normal | Degraded
+
+  val state_name : state -> string
+
+  (** [step ~degrade_above ~recover_below state rate] is the successor
+      state and whether a transition happened.  Rates inside the dead
+      band [(recover_below, degrade_above)] never flip the state. *)
+  val step :
+    degrade_above:float ->
+    recover_below:float ->
+    state ->
+    float ->
+    state * bool
+end
+
+(** Admission control: tracks the process-wide abort rate as an EWMA
+    over {!Stats} windows; past [degrade_above] the shedder enters
+    [Degraded] and {!admit} only lets a token-bucket-shaped trickle of
+    new episodes through until the rate falls below [recover_below].
+    State and EWMA are published as {!Proust_obs.Metrics} gauges
+    (["qos_state"], ["qos_abort_ewma_bp"]). *)
+module Shedder : sig
+  type config = {
+    sample_window : float;  (** seconds between abort-rate samples *)
+    alpha : float;  (** EWMA weight of the newest window *)
+    degrade_above : float;  (** EWMA abort rate entering [Degraded] *)
+    recover_below : float;  (** EWMA abort rate re-entering [Normal] *)
+    min_window_attempts : int;
+        (** discard windows with fewer attempt starts (noise) *)
+    bucket_capacity : float;  (** token-bucket burst size *)
+    refill_per_s : float;  (** admissions per second while degraded *)
+  }
+
+  val default_config : config
+  val enable : ?config:config -> unit -> unit
+  val disable : unit -> unit
+  val enabled : unit -> bool
+
+  (** Admission check for one episode; [true] when disabled.  Called by
+      {!Stm.atomic}, which turns a refusal into the [Shed] outcome. *)
+  val admit : unit -> bool
+
+  val state : unit -> Hysteresis.state
+
+  (** Current abort-rate EWMA; [None] before the first valid window. *)
+  val abort_ewma : unit -> float option
+
+  (** Test hook: feed one abort-rate observation directly into the
+      EWMA/hysteresis, bypassing the {!Stats} window sampler. *)
+  val inject_sample : float -> unit
+end
+
+(** Supervisor domain that scans {!Txn_state.watch_list} for attempts
+    running far longer than the observed p99 commit latency and kills
+    them via {!Txn_desc.try_kill} (which refuses irrevocable attempts,
+    so healthy serial-fallback work is safe by construction).  A stuck
+    serial-commit-gate holder aged past [breaker_multiple] thresholds
+    gets the gate broken by force — the last rung of the escalation
+    ladder. *)
+module Watchdog : sig
+  type config = {
+    interval : float;  (** seconds between scans *)
+    p99_multiple : float;
+        (** kill threshold as a multiple of observed p99 commit
+            latency (max over metrics scopes) *)
+    min_age : float;
+        (** threshold floor in seconds; the whole threshold when no
+            commit latency has been observed *)
+    breaker_multiple : float;
+        (** gate-breaker threshold, in kill thresholds *)
+  }
+
+  val default_config : config
+
+  (** Stuck-attempt kills performed since program start. *)
+  val kills : unit -> int
+
+  (** Serial-gate breaks performed since program start. *)
+  val breaks : unit -> int
+
+  (** The adaptive kill threshold in nanoseconds (exposed for tests). *)
+  val threshold_ns : config -> int
+
+  (** One synchronous pass over the watch slots (exposed for tests;
+      {!start} runs this in a loop).  Requires stamping to be armed
+      via {!Txn_state.set_watchdog} to observe anything. *)
+  val scan_once : ?config:config -> unit -> unit
+
+  type t
+
+  (** Arm watch-slot stamping and spawn the supervisor domain. *)
+  val start : ?config:config -> unit -> t
+
+  (** Stop and join the supervisor, disarm stamping. *)
+  val stop : t -> unit
+end

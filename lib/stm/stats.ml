@@ -10,6 +10,11 @@ type snapshot = {
   explicit_aborts : int;
   fallbacks : int;
   injected_faults : int;
+  timeouts : int;
+  budget_exhausted : int;
+  shed : int;
+  watchdog_kills : int;
+  degraded_transitions : int;
   minor_words : int;
 }
 
@@ -29,6 +34,11 @@ type cell = {
   explicit_aborts : int Atomic.t;
   fallbacks : int Atomic.t;
   injected_faults : int Atomic.t;
+  timeouts : int Atomic.t;
+  budget_exhausted : int Atomic.t;
+  shed : int Atomic.t;
+  watchdog_kills : int Atomic.t;
+  degraded_transitions : int Atomic.t;
   minor_words : int Atomic.t;
 }
 
@@ -45,6 +55,11 @@ let make_cell () =
     explicit_aborts = Atomic.make 0;
     fallbacks = Atomic.make 0;
     injected_faults = Atomic.make 0;
+    timeouts = Atomic.make 0;
+    budget_exhausted = Atomic.make 0;
+    shed = Atomic.make 0;
+    watchdog_kills = Atomic.make 0;
+    degraded_transitions = Atomic.make 0;
     minor_words = Atomic.make 0;
   }
 
@@ -62,6 +77,11 @@ let record_killed_abort () = bump (fun c -> c.killed_aborts)
 let record_explicit_abort () = bump (fun c -> c.explicit_aborts)
 let record_fallback () = bump (fun c -> c.fallbacks)
 let record_injected_fault () = bump (fun c -> c.injected_faults)
+let record_timeout () = bump (fun c -> c.timeouts)
+let record_budget_exhausted () = bump (fun c -> c.budget_exhausted)
+let record_shed () = bump (fun c -> c.shed)
+let record_watchdog_kill () = bump (fun c -> c.watchdog_kills)
+let record_degraded_transition () = bump (fun c -> c.degraded_transitions)
 
 (* Unlike the event counters this one adds in bulk: workers report one
    [Gc.minor_words] delta per measured stretch, not per allocation. *)
@@ -81,6 +101,11 @@ let fields : (cell -> int Atomic.t) list =
     (fun c -> c.explicit_aborts);
     (fun c -> c.fallbacks);
     (fun c -> c.injected_faults);
+    (fun c -> c.timeouts);
+    (fun c -> c.budget_exhausted);
+    (fun c -> c.shed);
+    (fun c -> c.watchdog_kills);
+    (fun c -> c.degraded_transitions);
     (fun c -> c.minor_words);
   ]
 
@@ -100,6 +125,11 @@ let read () : snapshot =
     explicit_aborts = sum (fun c -> c.explicit_aborts);
     fallbacks = sum (fun c -> c.fallbacks);
     injected_faults = sum (fun c -> c.injected_faults);
+    timeouts = sum (fun c -> c.timeouts);
+    budget_exhausted = sum (fun c -> c.budget_exhausted);
+    shed = sum (fun c -> c.shed);
+    watchdog_kills = sum (fun c -> c.watchdog_kills);
+    degraded_transitions = sum (fun c -> c.degraded_transitions);
     minor_words = sum (fun c -> c.minor_words);
   }
 
@@ -121,6 +151,11 @@ let diff (a : snapshot) (b : snapshot) : snapshot =
     explicit_aborts = b.explicit_aborts - a.explicit_aborts;
     fallbacks = b.fallbacks - a.fallbacks;
     injected_faults = b.injected_faults - a.injected_faults;
+    timeouts = b.timeouts - a.timeouts;
+    budget_exhausted = b.budget_exhausted - a.budget_exhausted;
+    shed = b.shed - a.shed;
+    watchdog_kills = b.watchdog_kills - a.watchdog_kills;
+    degraded_transitions = b.degraded_transitions - a.degraded_transitions;
     minor_words = b.minor_words - a.minor_words;
   }
 
@@ -137,13 +172,20 @@ let to_assoc (s : snapshot) =
     ("explicit_aborts", s.explicit_aborts);
     ("fallbacks", s.fallbacks);
     ("injected_faults", s.injected_faults);
+    ("timeouts", s.timeouts);
+    ("budget_exhausted", s.budget_exhausted);
+    ("shed", s.shed);
+    ("watchdog_kills", s.watchdog_kills);
+    ("degraded_transitions", s.degraded_transitions);
     ("minor_words", s.minor_words);
   ]
 
 let pp fmt (s : snapshot) =
   Format.fprintf fmt
     "starts=%d commits=%d aborts=%d (conflict=%d killed=%d explicit=%d) \
-     remote=%d waits=%d ext=%d fallbacks=%d injected=%d minor_words=%d"
+     remote=%d waits=%d ext=%d fallbacks=%d injected=%d timeouts=%d \
+     budget=%d shed=%d wd_kills=%d degraded=%d minor_words=%d"
     s.starts s.commits s.aborts s.conflicts s.killed_aborts s.explicit_aborts
     s.remote_aborts s.lock_waits s.extensions s.fallbacks s.injected_faults
-    s.minor_words
+    s.timeouts s.budget_exhausted s.shed s.watchdog_kills
+    s.degraded_transitions s.minor_words

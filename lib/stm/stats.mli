@@ -16,6 +16,14 @@ type snapshot = {
   explicit_aborts : int;  (** aborts from [restart]/[retry]/user exns *)
   fallbacks : int;  (** escalations into serial-irrevocable mode *)
   injected_faults : int;  (** faults fired by {!Fault} *)
+  timeouts : int;  (** QoS episodes that ended in [Timed_out] *)
+  budget_exhausted : int;
+      (** QoS episodes that ended in [Budget_exhausted] *)
+  shed : int;  (** admissions refused by the overload shedder *)
+  watchdog_kills : int;
+      (** stuck attempts killed (or gate-broken) by the QoS watchdog *)
+  degraded_transitions : int;
+      (** shedder state flips (Normal→Degraded and back) *)
   minor_words : int;
       (** minor-heap words allocated inside measured stretches, reported
           in bulk by {!add_minor_words} (the benchmark workers record
@@ -34,6 +42,11 @@ val record_killed_abort : unit -> unit
 val record_explicit_abort : unit -> unit
 val record_fallback : unit -> unit
 val record_injected_fault : unit -> unit
+val record_timeout : unit -> unit
+val record_budget_exhausted : unit -> unit
+val record_shed : unit -> unit
+val record_watchdog_kill : unit -> unit
+val record_degraded_transition : unit -> unit
 
 (** [add_minor_words n] adds [n] words to the allocation counter
     (no-op for [n <= 0]). *)

@@ -197,6 +197,53 @@ let atomically ?config:(cfg = get_default_config ()) f =
   | Some outer when not outer.Txn_state.finished -> f outer
   | _ -> Commit_ladder.run cfg f
 
+(* ------------------------------------------------------------------ *)
+(* The QoS entry: outcomes instead of open-ended retry                  *)
+
+module Outcome = struct
+  type 'a t = Committed of 'a | Timed_out | Budget_exhausted | Shed
+
+  let to_option = function Committed v -> Some v | _ -> None
+
+  let name = function
+    | Committed _ -> "committed"
+    | Timed_out -> "timed-out"
+    | Budget_exhausted -> "budget-exhausted"
+    | Shed -> "shed"
+end
+
+let deadline t =
+  let d = (Txn_state.desc t).Txn_desc.deadline_ns in
+  if d = 0 then None else Some (float_of_int d *. 1e-9)
+
+(* Episode-level QoS counters are recorded here, once per episode —
+   the ladder only counts the per-attempt events. *)
+let atomic ?config:(cfg = get_default_config ()) ?deadline ?max_attempts f =
+  match Domain.DLS.get Txn_state.current_txn with
+  | Some outer when not outer.Txn_state.finished ->
+      (* Nested: join the enclosing transaction.  Its QoS envelope
+         (deadline, budget, admission) already covers this body. *)
+      Outcome.Committed (f outer)
+  | _ ->
+      if not (Qos.Shedder.admit ()) then begin
+        Stats.record_shed ();
+        Outcome.Shed
+      end
+      else begin
+        let deadline_ns =
+          match deadline with None -> 0 | Some d -> int_of_float (d *. 1e9)
+        in
+        let attempt_budget = Option.value max_attempts ~default:0 in
+        match Commit_ladder.run ~deadline_ns ~attempt_budget cfg f with
+        | v -> Outcome.Committed v
+        | exception Commit_ladder.Deadline_exceeded ->
+            Stats.record_timeout ();
+            Outcome.Timed_out
+        | exception Commit_ladder.Out_of_budget ->
+            Stats.record_budget_exhausted ();
+            Outcome.Budget_exhausted
+      end
+
 module Ref = struct
   type 'a t = 'a Tvar.t
 

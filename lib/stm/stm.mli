@@ -83,6 +83,58 @@ exception Not_in_transaction
     one. *)
 val atomically : ?config:config -> (txn -> 'a) -> 'a
 
+(** {2 QoS: bounded atomic execution}
+
+    {!atomically} retries until it commits — the starvation-proof
+    ladder guarantees it eventually does, but says nothing about
+    {e when}.  [atomic] is the bounded variant: the caller states what
+    the episode may cost (a deadline, an attempt budget) and receives
+    an explicit outcome instead of an open-ended wait.  See DESIGN.md,
+    "Robustness & QoS". *)
+
+module Outcome : sig
+  (** The outcome lattice of a bounded episode.  Exactly one constructor
+      carries a value: everything else guarantees the transaction's
+      effects did {e not} happen (no partial writes, no leaked locks). *)
+  type 'a t =
+    | Committed of 'a  (** the body ran and its effects are visible *)
+    | Timed_out  (** the deadline passed before a commit succeeded *)
+    | Budget_exhausted  (** the attempt budget ran out *)
+    | Shed  (** admission refused by the overload shedder; the body
+                never ran *)
+
+  val to_option : 'a t -> 'a option
+  val name : 'a t -> string
+end
+
+(** [atomic ?deadline ?max_attempts f] runs [f] like {!atomically} but
+    bounded.  [deadline] is an {e absolute} {!Clock.now_mono} point in
+    seconds (e.g. [Clock.now_mono () +. 0.005]); it is checked before
+    every attempt, at commit validation, and inside lock-wait polls,
+    and backoff sleeps are clamped to it.  [max_attempts] bounds how
+    many attempts the episode may start (independent of
+    [config.max_attempts], whose [Too_many_attempts] semantics are
+    unchanged).  When the {!Qos.Shedder} is enabled, admission is
+    checked first and a refusal returns [Shed] without running [f].
+
+    Irrevocable (serial-fallback) attempts ignore the deadline
+    mid-attempt — nothing may abort them — so the episode can only time
+    out between attempts once the fallback engaged.
+
+    Nested calls join the enclosing transaction and always return
+    [Committed]: the outer episode's QoS envelope covers them. *)
+val atomic :
+  ?config:config ->
+  ?deadline:float ->
+  ?max_attempts:int ->
+  (txn -> 'a) ->
+  'a Outcome.t
+
+(** [deadline txn] is the running episode's absolute deadline in
+    {!Clock.now_mono} seconds, if one was set — lock acquisition paths
+    with their own timeouts clamp to it. *)
+val deadline : txn -> float option
+
 val read : txn -> 'a Tvar.t -> 'a
 val write : txn -> 'a Tvar.t -> 'a -> unit
 

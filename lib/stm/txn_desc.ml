@@ -6,17 +6,19 @@ type t = {
   status : status Atomic.t;
   mutable priority : int;
   irrevocable : bool;
+  deadline_ns : int;
 }
 
 let next_id = Atomic.make 1
 
-let create ?(priority = 0) ?(irrevocable = false) ~birth () =
+let create ?(priority = 0) ?(irrevocable = false) ?(deadline_ns = 0) ~birth () =
   {
     id = Atomic.fetch_and_add next_id 1;
     birth;
     status = Atomic.make Active;
     priority;
     irrevocable;
+    deadline_ns;
   }
 
 let is_active t = Atomic.get t.status = Active

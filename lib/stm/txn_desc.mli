@@ -16,11 +16,18 @@ type t = {
       (** contention-manager karma: work performed so far *)
   irrevocable : bool;
       (** serial-fallback attempts may not be killed remotely *)
+  deadline_ns : int;
+      (** absolute {!Clock.now_mono_ns} deadline the episode runs
+          under, or [0] for none.  Public so deadline-aware contention
+          managers can arbitrate earliest-deadline-first and the QoS
+          watchdog can spot attempts that outlived their own budget. *)
 }
 
 (** Fresh descriptor with a unique id, [Active] status, priority
     carried over from previous attempts of the same atomic block. *)
-val create : ?priority:int -> ?irrevocable:bool -> birth:int -> unit -> t
+val create :
+  ?priority:int -> ?irrevocable:bool -> ?deadline_ns:int -> birth:int ->
+  unit -> t
 
 val is_active : t -> bool
 val is_committed : t -> bool

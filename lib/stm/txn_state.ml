@@ -44,7 +44,7 @@ let default_config_v =
 let set_default_config c = default_config_v := c
 let get_default_config () = !default_config_v
 
-type abort_reason = Conflict | Killed | Explicit
+type abort_reason = Conflict | Killed | Explicit | Timed_out
 
 exception Abort_exn of abort_reason
 exception Retry_exn
@@ -109,6 +109,25 @@ let check_alive t =
   check_open t;
   if Txn_desc.is_aborted t.tdesc then raise (Abort_exn Killed)
 
+(* ------------------------------------------------------------------ *)
+(* Deadlines                                                            *)
+
+(* A transaction's deadline is an absolute [Clock.now_mono_ns] point
+   carried on its descriptor (0 = none).  Checks are placed where an
+   attempt can stall — attempt start (the ladder), read-set validation
+   and lock-wait polls — so an expired transaction aborts at its next
+   such point instead of retrying forever.  Irrevocable (serial
+   fallback) attempts ignore deadlines past this point: nothing may
+   abort them, so the episode times out only between attempts. *)
+
+let deadline_expired t =
+  let d = t.tdesc.Txn_desc.deadline_ns in
+  d <> 0 && Clock.now_mono_ns () >= d
+
+let check_deadline t =
+  if (not t.tdesc.Txn_desc.irrevocable) && deadline_expired t then
+    raise (Abort_exn Timed_out)
+
 (* Hook registration deliberately accepts zombies ([check_open], not
    [check_alive]) on all three phases.  Commit hooks registered by a
    remotely-killed attempt never run (the attempt cannot commit), so
@@ -148,6 +167,7 @@ let reason_name = function
   | Conflict -> "conflict"
   | Killed -> "killed"
   | Explicit -> "explicit"
+  | Timed_out -> "timed-out"
 
 let obs_emit ~txn kind =
   Proust_obs.Trace.emit ~tick:(Clock.now Clock.global) ~txn kind
@@ -226,6 +246,14 @@ let chaos_point t point =
           (* Simulate a remote kill: the "victim" notices at its next
              liveness check, exactly like a contention-manager abort. *)
           ignore (Txn_desc.try_kill t.tdesc)
+      | Some Fault.Wedge ->
+          (* Stall in place until some remote party — in practice the
+             QoS watchdog — kills this attempt, then surface the kill
+             exactly as [check_alive] would. *)
+          while not (Txn_desc.is_aborted t.tdesc) do
+            Domain.cpu_relax ()
+          done;
+          raise (Abort_exn Killed)
 
 (* ------------------------------------------------------------------ *)
 (* Snapshot sampling                                                    *)
@@ -346,6 +374,35 @@ let audit_pool_residue t =
   then leak "pooled descriptor retains stale hooks"
 
 (* ------------------------------------------------------------------ *)
+(* The watchdog registry                                                *)
+
+(* A supervisor domain cannot walk other domains' DLS, so each domain's
+   pool slot doubles as a globally visible "watch slot": when the
+   watchdog is armed, attempt hand-out stamps the slot with the new
+   descriptor and a monotonic start time, and retirement clears it.
+   The scanner reads descriptors through these slots and kills the ones
+   whose age crossed its threshold via the ordinary [Txn_desc.try_kill]
+   path.  With the watchdog disarmed the per-attempt cost is the single
+   [watchdog_on] load. *)
+type watch_slot = {
+  ws_dom : int;
+  ws_desc : Txn_desc.t option Atomic.t;
+  ws_start_ns : int Atomic.t;
+}
+
+let watchdog_on = Atomic.make false
+let set_watchdog b = Atomic.set watchdog_on b
+let watchdog_enabled () = Atomic.get watchdog_on
+let watch_slots : watch_slot list Atomic.t = Atomic.make []
+
+let rec register_watch_slot ws =
+  let cur = Atomic.get watch_slots in
+  if not (Atomic.compare_and_set watch_slots cur (ws :: cur)) then
+    register_watch_slot ws
+
+let watch_list () = Atomic.get watch_slots
+
+(* ------------------------------------------------------------------ *)
 (* The per-domain descriptor pool                                       *)
 
 (* One transaction record per domain, reset between attempts instead of
@@ -363,6 +420,7 @@ let audit_pool_residue t =
 type slot = {
   slot_txn : t;
   episode_backoff : Backoff.t;
+  slot_watch : watch_slot;
   mutable depth : int;
   mutable reuses : int;
 }
@@ -388,9 +446,18 @@ let fresh () =
 
 let pool : slot Domain.DLS.key =
   Domain.DLS.new_key (fun () ->
+      let ws =
+        {
+          ws_dom = (Domain.self () :> int);
+          ws_desc = Atomic.make None;
+          ws_start_ns = Atomic.make 0;
+        }
+      in
+      register_watch_slot ws;
       {
         slot_txn = fresh ();
         episode_backoff = Backoff.create ();
+        slot_watch = ws;
         depth = 0;
         reuses = 0;
       })
@@ -422,7 +489,8 @@ let end_episode () =
 (* Hand out the episode's record for one attempt.  When auditing is on,
    prove the reset discipline first: the record must be exactly as
    [retire] left it. *)
-let attempt_txn ep cfg ~proto ~priority ?birth ?(irrevocable = false) () =
+let attempt_txn ep cfg ~proto ~priority ?birth ?(irrevocable = false)
+    ?(deadline_ns = 0) () =
   let t =
     match ep.ep_txn with
     | Some t ->
@@ -435,12 +503,25 @@ let attempt_txn ep cfg ~proto ~priority ?birth ?(irrevocable = false) () =
   let rv = snapshot_clock ~serial:(cfg.mode = Serial_commit) in
   let birth = match birth with Some b -> b | None -> rv in
   t.rv <- rv;
-  t.tdesc <- Txn_desc.create ~priority ~irrevocable ~birth ();
+  t.tdesc <- Txn_desc.create ~priority ~irrevocable ~deadline_ns ~birth ();
   t.cfg <- cfg;
   t.proto <- proto;
   Backoff.reconfigure t.backoff ~sleep_after:cfg.backoff_sleep_after
     ~sleep:cfg.backoff_sleep;
   t.finished <- false;
+  (* Publish the attempt to the watchdog scanner.  Only the pooled
+     (root-episode) record has a slot; nested fresh records run inside a
+     root attempt that is already being watched.  Start time is stamped
+     before the descriptor so a scanner never pairs a new descriptor
+     with a stale age. *)
+  if Atomic.get watchdog_on then begin
+    match ep.ep_txn with
+    | Some _ ->
+        let s = Domain.DLS.get pool in
+        Atomic.set s.slot_watch.ws_start_ns (Clock.now_mono_ns ());
+        Atomic.set s.slot_watch.ws_desc (Some t.tdesc)
+    | None -> ()
+  end;
   t
 
 (* Scrub an ended attempt's state so the record can be handed out
@@ -454,7 +535,12 @@ let retire t =
   t.commit_locked_hooks <- [];
   t.after_commit_hooks <- [];
   t.abort_hooks <- [];
-  t.proto <- null_proto
+  t.proto <- null_proto;
+  (* Unpublish from the watchdog even if it was disarmed mid-attempt:
+     keyed on the slot's own contents, not [watchdog_on]. *)
+  let s = Domain.DLS.get pool in
+  if s.slot_txn == t && Atomic.get s.slot_watch.ws_desc <> None then
+    Atomic.set s.slot_watch.ws_desc None
 
 (* Public introspection (tests, chaos suite). *)
 let pool_reuses () = (Domain.DLS.get pool).reuses

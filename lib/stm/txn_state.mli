@@ -25,7 +25,7 @@ type config = {
 val get_default_config : unit -> config
 val set_default_config : config -> unit
 
-type abort_reason = Conflict | Killed | Explicit
+type abort_reason = Conflict | Killed | Explicit | Timed_out
 
 exception Abort_exn of abort_reason
 exception Retry_exn
@@ -72,6 +72,17 @@ val config : t -> config
 val read_version : t -> int
 val check_open : t -> unit
 val check_alive : t -> unit
+(** {2 Deadlines} *)
+
+(** Whether the attempt's absolute {!Clock.now_mono_ns} deadline (on
+    its descriptor; 0 = none) has passed. *)
+val deadline_expired : t -> bool
+
+(** Raise [Abort_exn Timed_out] if the deadline passed — unless the
+    attempt is irrevocable (nothing may abort it mid-flight; the
+    episode only times out between attempts). *)
+val check_deadline : t -> unit
+
 val on_commit_locked : t -> (unit -> unit) -> unit
 val after_commit : t -> (unit -> unit) -> unit
 val on_abort : t -> (unit -> unit) -> unit
@@ -123,6 +134,29 @@ val maybe_audit : t -> unit
     (empty logs, no locked list, no stale hooks, attempt ended). *)
 val audit_pool_residue : t -> unit
 
+(** {2 The watchdog registry}
+
+    Supervisor-visible mirror of each domain's pooled attempt: the
+    watchdog scanner cannot walk remote DLS, so armed attempt hand-out
+    stamps the domain's watch slot with the live descriptor and a
+    monotonic start time.  Only root-episode (pooled) attempts are
+    published; nested fresh records run inside a watched root. *)
+
+type watch_slot = {
+  ws_dom : int;  (** owning domain id (diagnostics) *)
+  ws_desc : Txn_desc.t option Atomic.t;  (** live attempt, if any *)
+  ws_start_ns : int Atomic.t;  (** {!Clock.now_mono_ns} at hand-out *)
+}
+
+(** Arm/disarm watch-slot stamping (disarmed cost: one atomic load per
+    attempt). *)
+val set_watchdog : bool -> unit
+
+val watchdog_enabled : unit -> bool
+
+(** All registered slots (one per domain that ran a transaction). *)
+val watch_list : unit -> watch_slot list
+
 (** {2 The per-domain descriptor pool} *)
 
 (** One [atomically] root call; attempts within it share the pooled
@@ -142,6 +176,7 @@ val attempt_txn :
   priority:int ->
   ?birth:int ->
   ?irrevocable:bool ->
+  ?deadline_ns:int ->
   unit ->
   t
 

@@ -11,16 +11,18 @@
 module J = Proust_obs.Json
 
 let header () =
-  Printf.printf "%-18s %5s %5s %4s %10s %9s %12s %9s %9s %7s\n" "impl" "u" "o"
-    "t" "mean(ms)" "sd(ms)" "ops/s" "commits" "aborts" "fallbk";
-  Printf.printf "%s\n" (String.make 96 '-')
+  Printf.printf "%-18s %5s %5s %4s %10s %9s %12s %9s %9s %7s %6s %6s\n" "impl"
+    "u" "o" "t" "mean(ms)" "sd(ms)" "ops/s" "commits" "aborts" "fallbk" "shed"
+    "tmout";
+  Printf.printf "%s\n" (String.make 110 '-')
 
 let row ~name (r : Runner.result) =
-  Printf.printf "%-18s %5.2f %5d %4d %10.2f %9.2f %12.0f %9d %9d %7d\n%!" name
-    r.Runner.spec.Workload.write_fraction r.Runner.spec.Workload.ops_per_txn
-    r.Runner.threads r.Runner.mean_ms r.Runner.stddev_ms r.Runner.throughput
-    r.Runner.stats.Stats.commits r.Runner.stats.Stats.aborts
-    r.Runner.stats.Stats.fallbacks
+  Printf.printf "%-18s %5.2f %5d %4d %10.2f %9.2f %12.0f %9d %9d %7d %6d %6d\n%!"
+    name r.Runner.spec.Workload.write_fraction
+    r.Runner.spec.Workload.ops_per_txn r.Runner.threads r.Runner.mean_ms
+    r.Runner.stddev_ms r.Runner.throughput r.Runner.stats.Stats.commits
+    r.Runner.stats.Stats.aborts r.Runner.stats.Stats.fallbacks
+    r.Runner.stats.Stats.shed r.Runner.stats.Stats.timeouts
 
 let stat_keys () = List.map fst (Stats.to_assoc (Stats.read ()))
 

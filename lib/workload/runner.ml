@@ -44,15 +44,17 @@ let run_trial (type ops op) ?config ?label ~threads ~(spec : Workload.spec)
   prefill config ops;
   let streams = Array.init threads streams in
   let enter = barrier threads in
-  (* Workers time themselves: first-start to last-finish.  Timing from
-     the spawning thread under-measures when there are fewer cores than
-     domains (the workers can finish before the spawner runs again). *)
+  (* Workers time themselves: first-start to last-finish, on the
+     monotonic clock (a wall-clock step mid-trial would corrupt the
+     window).  Timing from the spawning thread under-measures when
+     there are fewer cores than domains (the workers can finish before
+     the spawner runs again). *)
   let started = Array.make threads 0.0 in
   let finished = Array.make threads 0.0 in
   let body i () =
     Option.iter Proust_obs.Metrics.set_label label;
     enter ();
-    started.(i) <- Unix.gettimeofday ();
+    started.(i) <- Clock.now_mono ();
     (* [Gc.minor_words] is per-domain in OCaml 5, so each worker owns
        its delta; the bulk-add into [Stats] makes the run's total
        divisible by committed transactions for a words-per-commit
@@ -72,7 +74,7 @@ let run_trial (type ops op) ?config ?label ~threads ~(spec : Workload.spec)
       idx := stop
     done;
     Stats.add_minor_words (int_of_float (Gc.minor_words () -. words0));
-    finished.(i) <- Unix.gettimeofday ()
+    finished.(i) <- Clock.now_mono ()
   in
   let domains = List.init threads (fun i -> Domain.spawn (body i)) in
   List.iter Domain.join domains;

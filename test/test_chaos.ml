@@ -242,6 +242,93 @@ let test_pool_reset_after_chaos () =
   check cb "pool was reused across attempts" true
     (Stm.pool_reuses () - reuses0 >= 200)
 
+(* Exception storm: user bodies, commit hooks and abort hooks all raise
+   — on top of a live injected-fault schedule — and the exception
+   firewall must hold: every escape leaves tvar version-locks and
+   abstract locks released (leak auditor), the pooled record scrubbed
+   (descriptor_pool_check), and the committed state exactly matching
+   which episodes linearized.  Post-commit hook failures (after_commit,
+   on_commit_locked) propagate *after* publication, so their episodes
+   count as committed; body and abort-hook failures must leave no
+   trace. *)
+exception Storm of int
+
+let test_exception_storm () =
+  with_seed_note @@ fun () ->
+  Stm.set_leak_audit true;
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.disable ();
+      Stm.set_leak_audit false)
+    (fun () ->
+      List.iteri
+        (fun mi mode ->
+          full_schedule ~seed:(sub_seed (0x570a + mi)) ~prob:0.1;
+          let cfg = chaos_cfg mode in
+          let ops =
+            S.P_hashmap.ops
+              (S.P_hashmap.make ~slots:64 ~lap:S.Trait.Pessimistic ())
+          in
+          let domains = 2 and iters = 120 in
+          let committed = Array.make domains 0 in
+          let counters = Array.init domains (fun _ -> Tvar.make 0) in
+          spawn_all domains (fun d ->
+              for i = 1 to iters do
+                let flavour = i mod 4 in
+                (match
+                   Stm.atomically ~config:cfg (fun txn ->
+                       (* Hold an abstract lock while the storm hits, so
+                          a firewall hole would orphan it. *)
+                       ignore (ops.S.Trait.Map.put txn ((d * iters) + i) i);
+                       Stm.write txn counters.(d)
+                         (Stm.read txn counters.(d) + 1);
+                       match flavour with
+                       | 0 -> raise (Storm i)
+                       | 1 -> Stm.after_commit txn (fun () -> raise (Storm i))
+                       | 2 ->
+                           Stm.on_commit_locked txn (fun () -> raise (Storm i))
+                       | _ ->
+                           Stm.on_abort txn (fun () -> raise (Storm i));
+                           Stm.restart txn)
+                 with
+                | () -> committed.(d) <- committed.(d) + 1
+                | exception Storm _ ->
+                    (* Post-commit hook storms propagate after the
+                       effects published. *)
+                    if flavour = 1 || flavour = 2 then
+                      committed.(d) <- committed.(d) + 1);
+                (* The pooled record must come back scrubbed after every
+                   stormy episode, whichever path it escaped through. *)
+                Stm.descriptor_pool_check ()
+              done);
+          (* Sequential model: each domain's counter counts exactly its
+             committed episodes, and the map holds exactly the keys of
+             committed episodes. *)
+          Array.iteri
+            (fun d want ->
+              check ci
+                (Printf.sprintf "%s: domain %d counter matches commits"
+                   (Stm.mode_name mode) d)
+                want (Tvar.peek counters.(d)))
+            committed;
+          Fault.disable ();
+          for d = 0 to domains - 1 do
+            for i = 1 to iters do
+              let present =
+                Stm.atomically ~config:cfg (fun txn ->
+                    ops.S.Trait.Map.get txn ((d * iters) + i))
+                <> None
+              in
+              check cb
+                (Printf.sprintf "%s: key (%d,%d) present iff committed"
+                   (Stm.mode_name mode) d i)
+                (i mod 4 = 1 || i mod 4 = 2)
+                present
+            done
+          done;
+          Stm.descriptor_pool_check ())
+        all_modes)
+
 (* Disabled-mode fast path: no policy, no draws, no counters. *)
 let test_disabled_is_free () =
   Fault.disable ();
@@ -293,5 +380,6 @@ let suite =
       all_modes
   @ [
       test "descriptor pool resets under chaos" test_pool_reset_after_chaos;
+      slow "exception storm leaves no residue" test_exception_storm;
       slow "chaos soak: modes x points, audited" test_chaos_soak;
     ]

@@ -7,8 +7,9 @@ module C = Proust_concurrent
 (* ------------------------------------------------------------------ *)
 (* Rw_lock                                                              *)
 
-let soon () = Unix.gettimeofday () +. 0.5
-let now_ish () = Unix.gettimeofday () +. 0.02
+(* [Rw_lock] deadlines are points on the monotonic clock. *)
+let soon () = Clock.now_mono () +. 0.5
+let now_ish () = Clock.now_mono () +. 0.02
 
 let test_rw_shared_readers () =
   let l = C.Rw_lock.create () in

@@ -408,7 +408,7 @@ let rw_lock_inst =
     (fun () ->
       let t = C.Rw_lock.create () in
       fun op ->
-        let deadline = Unix.gettimeofday () +. 10.0 in
+        let deadline = Clock.now_mono () +. 10.0 in
         match op with
         | LAcqRead d -> LBool (C.Rw_lock.try_acquire_read t ~owner:d ~deadline)
         | LAcqWrite d ->

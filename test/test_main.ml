@@ -19,4 +19,5 @@ let () =
       ("chaos", Test_chaos.suite);
       ("lin", Test_lin.suite);
       ("obs", Test_obs.suite);
+      ("qos", Test_qos.suite);
     ]

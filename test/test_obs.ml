@@ -290,14 +290,15 @@ let test_metrics_from_stm () =
 let test_stats_to_assoc () =
   let s = Stats.read () in
   let assoc = Stats.to_assoc s in
-  check ci "12 counters exported" 12 (List.length assoc);
+  check ci "17 counters exported" 17 (List.length assoc);
   List.iter
     (fun k ->
       check cb ("counter " ^ k ^ " present") true (List.mem_assoc k assoc))
     [
       "starts"; "commits"; "aborts"; "conflicts"; "remote_aborts";
       "lock_waits"; "extensions"; "killed_aborts"; "explicit_aborts";
-      "fallbacks"; "injected_faults"; "minor_words";
+      "fallbacks"; "injected_faults"; "timeouts"; "budget_exhausted";
+      "shed"; "watchdog_kills"; "degraded_transitions"; "minor_words";
     ];
   (* diff and to_assoc commute: to_assoc (diff a b) is the pairwise
      difference of the exports. *)

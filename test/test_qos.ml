@@ -1,0 +1,347 @@
+(* Transaction QoS: deadlines, retry budgets, overload shedding and
+   the stuck-transaction watchdog.
+
+   Everything here runs with generous time bounds: the CI container
+   may have a single core, so a "deadline" test can only assert
+   ordering facts (timed out vs committed, effects absent vs present),
+   never tight latencies. *)
+
+open Util
+
+let spin_until_mono t_end =
+  while Clock.now_mono () < t_end do
+    Domain.cpu_relax ()
+  done
+
+(* -- Deadlines ------------------------------------------------------- *)
+
+(* The body outlives its deadline, so the attempt reaches commit
+   validation already expired: the episode must resolve to [Timed_out]
+   with no published effects, in every protocol mode. *)
+let test_deadline_expires_mid_attempt () =
+  List.iter
+    (fun (mode_name, cfg) ->
+      let r = Tvar.make 0 in
+      let before = Stats.read () in
+      let deadline = Clock.now_mono () +. 2e-3 in
+      let outcome =
+        Stm.atomic ~config:cfg ~deadline (fun txn ->
+            Stm.write txn r 1;
+            (* Overrun the deadline inside the attempt: the commit-time
+               deadline check, not the pre-attempt one, must catch it. *)
+            spin_until_mono (deadline +. 2e-3))
+      in
+      check cs (mode_name ^ ": outcome") "timed-out" (Stm.Outcome.name outcome);
+      check ci
+        (mode_name ^ ": no write published")
+        0
+        (Stm.atomically (fun txn -> Stm.read txn r));
+      let d = Stats.diff before (Stats.read ()) in
+      check cb (mode_name ^ ": episode counted once") true (d.Stats.timeouts >= 1);
+      Stm.descriptor_pool_check ())
+    all_modes
+
+let test_deadline_already_past () =
+  let r = Tvar.make 0 in
+  let ran = ref false in
+  let outcome =
+    Stm.atomic ~deadline:(Clock.now_mono () -. 1.0) (fun txn ->
+        ran := true;
+        Stm.write txn r 1)
+  in
+  check cs "outcome" "timed-out" (Stm.Outcome.name outcome);
+  check cb "body never ran" false !ran;
+  check ci "no effect" 0 (Stm.atomically (fun txn -> Stm.read txn r))
+
+(* A deadline far in the future must not disturb a normal commit. *)
+let test_deadline_roomy_commits () =
+  List.iter
+    (fun (mode_name, cfg) ->
+      let r = Tvar.make 0 in
+      let outcome =
+        Stm.atomic ~config:cfg
+          ~deadline:(Clock.now_mono () +. 60.0)
+          (fun txn ->
+            Stm.write txn r 41;
+            Stm.read txn r + 1)
+      in
+      (match outcome with
+      | Stm.Outcome.Committed v -> check ci (mode_name ^ ": result") 42 v
+      | o -> Alcotest.failf "%s: expected commit, got %s" mode_name
+               (Stm.Outcome.name o));
+      check ci (mode_name ^ ": published") 41
+        (Stm.atomically (fun txn -> Stm.read txn r)))
+    all_modes
+
+(* -- Retry budgets --------------------------------------------------- *)
+
+(* A body that restarts forever, bounded by [max_attempts]: the episode
+   returns [Budget_exhausted] cleanly after exactly that many attempts,
+   with no write-set effects and no pool residue. *)
+let test_budget_exhausted_clean () =
+  List.iter
+    (fun (mode_name, cfg) ->
+      let r = Tvar.make 0 in
+      let before = Stats.read () in
+      let outcome =
+        Stm.atomic ~config:cfg ~max_attempts:5 (fun txn ->
+            Stm.write txn r 99;
+            Stm.restart txn)
+      in
+      check cs (mode_name ^ ": outcome") "budget-exhausted"
+        (Stm.Outcome.name outcome);
+      let d = Stats.diff before (Stats.read ()) in
+      check ci (mode_name ^ ": exactly budget attempts") 5 d.Stats.starts;
+      check ci (mode_name ^ ": episode counted once") 1 d.Stats.budget_exhausted;
+      check ci
+        (mode_name ^ ": no write published")
+        0
+        (Stm.atomically (fun txn -> Stm.read txn r));
+      Stm.descriptor_pool_check ())
+    all_modes
+
+(* [config.max_attempts] ([Too_many_attempts]) is independent of the
+   QoS budget and keeps its exception semantics. *)
+let test_budget_independent_of_too_many_attempts () =
+  let cfg =
+    { (Stm.get_default_config ()) with Stm.max_attempts = 3;
+      Stm.serial_fallback = false }
+  in
+  match Stm.atomic ~config:cfg (fun txn -> Stm.restart txn) with
+  | (_ : unit Stm.Outcome.t) -> Alcotest.fail "expected Too_many_attempts"
+  | exception Stm.Too_many_attempts _ -> ()
+
+(* -- Shedding: hysteresis properties --------------------------------- *)
+
+let degrade_above = 0.7
+let recover_below = 0.4
+
+let hysteresis_tests =
+  [
+    qcheck ~count:500 "dead-band rates never flip the state"
+      QCheck2.Gen.(list_size (int_range 1 50) (float_range recover_below degrade_above))
+      (fun rates ->
+        List.for_all
+          (fun st ->
+            List.for_all
+              (fun rate ->
+                let st', transitioned =
+                  Qos.Hysteresis.step ~degrade_above ~recover_below st rate
+                in
+                st' = st && not transitioned)
+              rates)
+          [ Qos.Hysteresis.Normal; Qos.Hysteresis.Degraded ]);
+    qcheck ~count:500 "step is a pure function of (state, rate)"
+      QCheck2.Gen.(pair bool (float_range 0.0 1.0))
+      (fun (start_degraded, rate) ->
+        let st =
+          if start_degraded then Qos.Hysteresis.Degraded else Qos.Hysteresis.Normal
+        in
+        let a = Qos.Hysteresis.step ~degrade_above ~recover_below st rate in
+        let b = Qos.Hysteresis.step ~degrade_above ~recover_below st rate in
+        a = b);
+    qcheck ~count:500 "transitions only at threshold crossings"
+      QCheck2.Gen.(list_size (int_range 1 100) (float_range 0.0 1.0))
+      (fun rates ->
+        let final, transitions =
+          List.fold_left
+            (fun (st, n) rate ->
+              let st', t =
+                Qos.Hysteresis.step ~degrade_above ~recover_below st rate
+              in
+              (* A reported transition must actually change the state,
+                 and be justified by the rate. *)
+              if t then begin
+                assert (st' <> st);
+                match st' with
+                | Qos.Hysteresis.Degraded -> assert (rate > degrade_above)
+                | Qos.Hysteresis.Normal -> assert (rate < recover_below)
+              end
+              else assert (st' = st);
+              (st', n + if t then 1 else 0))
+            (Qos.Hysteresis.Normal, 0) rates
+        in
+        (* Ending Degraded requires an odd transition count, Normal even. *)
+        match final with
+        | Qos.Hysteresis.Degraded -> transitions mod 2 = 1
+        | Qos.Hysteresis.Normal -> transitions mod 2 = 0);
+  ]
+
+(* -- Shedding: admission behaviour ----------------------------------- *)
+
+let test_shed_outcome () =
+  let before = Stats.read () in
+  (* Sampling window far in the future so only [inject_sample] moves
+     the EWMA; zero refill so Degraded admits exactly the burst. *)
+  Qos.Shedder.enable
+    ~config:
+      {
+        Qos.Shedder.default_config with
+        Qos.Shedder.sample_window = 3600.0;
+        bucket_capacity = 2.0;
+        refill_per_s = 0.0;
+      }
+    ();
+  Fun.protect ~finally:Qos.Shedder.disable @@ fun () ->
+  check cs "starts Normal" "normal"
+    (Qos.Hysteresis.state_name (Qos.Shedder.state ()));
+  let r = Tvar.make 0 in
+  let go () = Stm.atomic (fun txn -> Stm.write txn r (Stm.read txn r + 1)) in
+  (match go () with
+  | Stm.Outcome.Committed () -> ()
+  | o -> Alcotest.failf "normal-state admit failed: %s" (Stm.Outcome.name o));
+  Qos.Shedder.inject_sample 0.95;
+  check cs "degraded after overload sample" "degraded"
+    (Qos.Hysteresis.state_name (Qos.Shedder.state ()));
+  (* Burst of 2 tokens, then the door closes. *)
+  let outcomes = List.init 4 (fun _ -> go ()) in
+  let sheds =
+    List.length (List.filter (fun o -> o = Stm.Outcome.Shed) outcomes)
+  in
+  check ci "admissions beyond the bucket are shed" 2 sheds;
+  (* Recovery samples drain the EWMA below the floor and reopen. *)
+  for _ = 1 to 20 do
+    Qos.Shedder.inject_sample 0.0
+  done;
+  check cs "recovered" "normal"
+    (Qos.Hysteresis.state_name (Qos.Shedder.state ()));
+  (match go () with
+  | Stm.Outcome.Committed () -> ()
+  | o -> Alcotest.failf "recovered admit failed: %s" (Stm.Outcome.name o));
+  let d = Stats.diff before (Stats.read ()) in
+  check ci "shed episodes counted" 2 d.Stats.shed;
+  check ci "two state transitions" 2 d.Stats.degraded_transitions;
+  (* Gauges published for the dashboard. *)
+  check copt_i "qos_state gauge back to normal" (Some 0)
+    (Proust_obs.Metrics.gauge "qos_state")
+
+(* [atomically] (no QoS envelope) ignores the shedder entirely. *)
+let test_shedder_never_blocks_atomically () =
+  Qos.Shedder.enable
+    ~config:
+      {
+        Qos.Shedder.default_config with
+        Qos.Shedder.sample_window = 3600.0;
+        bucket_capacity = 0.0;
+        refill_per_s = 0.0;
+      }
+    ();
+  Fun.protect ~finally:Qos.Shedder.disable @@ fun () ->
+  Qos.Shedder.inject_sample 1.0;
+  let r = Tvar.make 0 in
+  Stm.atomically (fun txn -> Stm.write txn r 7);
+  check ci "atomically committed under full shed" 7
+    (Stm.atomically (fun txn -> Stm.read txn r))
+
+(* -- Watchdog -------------------------------------------------------- *)
+
+let wd_config =
+  {
+    Qos.Watchdog.interval = 2e-3;
+    p99_multiple = 1e6;
+    (* absurdly high multiple: the [min_age] floor is the threshold, so
+       the test does not depend on histogram state left by other suites *)
+    min_age = 15e-3;
+    breaker_multiple = 4.0;
+  }
+
+(* A transaction wedged by chaos ([Fault.Wedge] spins until its own
+   descriptor is killed) can only finish if the watchdog unwedges it. *)
+let test_watchdog_kills_wedged () =
+  with_seed_note @@ fun () ->
+  let kills0 = Qos.Watchdog.kills () in
+  let before = Stats.read () in
+  let wd = Qos.Watchdog.start ~config:wd_config () in
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.disable ();
+      Qos.Watchdog.stop wd)
+    (fun () ->
+      Fault.configure ~seed:(sub_seed 71)
+        [ (Fault.Pre_commit, { Fault.prob = 1.0; actions = [ Fault.Wedge ] }) ];
+      let r = Tvar.make 0 in
+      let worker =
+        Domain.spawn (fun () ->
+            Stm.atomically (fun txn -> Stm.write txn r (Stm.read txn r + 1)))
+      in
+      (* Wait for the watchdog to kill the wedged attempt, then stop
+         re-wedging so the retry can commit. *)
+      let t_give_up = Clock.now_mono () +. 20.0 in
+      while Qos.Watchdog.kills () = kills0 && Clock.now_mono () < t_give_up do
+        Unix.sleepf 2e-3
+      done;
+      Fault.disable ();
+      Domain.join worker;
+      check cb "watchdog killed the wedged attempt" true
+        (Qos.Watchdog.kills () > kills0);
+      let d = Stats.diff before (Stats.read ()) in
+      check cb "kill surfaced in stats" true (d.Stats.watchdog_kills >= 1);
+      check ci "transaction retried and committed" 1
+        (Stm.atomically (fun txn -> Stm.read txn r)))
+
+(* A healthy irrevocable (serial-fallback) transaction may far outlive
+   the threshold: [Txn_desc.try_kill] refuses irrevocable descriptors,
+   so the watchdog must never kill it. *)
+let test_watchdog_spares_irrevocable () =
+  let kills0 = Qos.Watchdog.kills () in
+  let wd = Qos.Watchdog.start ~config:wd_config () in
+  Fun.protect
+    ~finally:(fun () -> Qos.Watchdog.stop wd)
+    (fun () ->
+      (* fallback_after = 0: the very first attempt runs irrevocably. *)
+      let cfg = { (Stm.get_default_config ()) with Stm.fallback_after = 0 } in
+      let r = Tvar.make 0 in
+      Stm.atomically ~config:cfg (fun txn ->
+          Stm.write txn r 1;
+          (* Outlive several watchdog thresholds inside the attempt. *)
+          spin_until_mono (Clock.now_mono () +. (4.0 *. wd_config.Qos.Watchdog.min_age)));
+      check ci "irrevocable attempt committed" 1
+        (Stm.atomically (fun txn -> Stm.read txn r));
+      check ci "no watchdog kill of the irrevocable attempt" kills0
+        (Qos.Watchdog.kills ()))
+
+(* Escalation rung 2: a Serial_commit gate holder stuck *after* its
+   linearization point (status Committed, so [try_kill] cannot touch
+   it) convoys the whole system on the gate.  The watchdog breaks the
+   gate by force once the holder ages past [breaker_multiple]
+   thresholds. *)
+let test_watchdog_breaks_stuck_gate () =
+  let breaks0 = Qos.Watchdog.breaks () in
+  let wd = Qos.Watchdog.start ~config:wd_config () in
+  Fun.protect
+    ~finally:(fun () -> Qos.Watchdog.stop wd)
+    (fun () ->
+      let r = Tvar.make 0 in
+      Stm.atomically ~config:serial_cfg (fun txn ->
+          Stm.write txn r 5;
+          (* Runs in the locked phase, while this commit holds the
+             serial gate: spin until some remote party frees it.  Only
+             the watchdog's breaker can. *)
+          Stm.on_commit_locked txn (fun () ->
+              let t_give_up = Clock.now_mono () +. 20.0 in
+              while
+                Atomic.get Txn_state.commit_gate <> 0
+                && Clock.now_mono () < t_give_up
+              do
+                Domain.cpu_relax ()
+              done));
+      check cb "gate was broken" true (Qos.Watchdog.breaks () > breaks0);
+      check ci "commit still published" 5
+        (Stm.atomically (fun txn -> Stm.read txn r)))
+
+let suite =
+  [
+    test "deadline expires mid-attempt (all modes)"
+      test_deadline_expires_mid_attempt;
+    test "deadline already past: body never runs" test_deadline_already_past;
+    test "roomy deadline commits normally" test_deadline_roomy_commits;
+    test "retry budget exhausts cleanly (all modes)" test_budget_exhausted_clean;
+    test "budget independent of Too_many_attempts"
+      test_budget_independent_of_too_many_attempts;
+    test "shed outcome and hysteresis recovery" test_shed_outcome;
+    test "shedder never blocks atomically" test_shedder_never_blocks_atomically;
+    slow "watchdog kills a wedged transaction" test_watchdog_kills_wedged;
+    slow "watchdog spares irrevocable attempts" test_watchdog_spares_irrevocable;
+    slow "watchdog breaks a stuck serial gate" test_watchdog_breaks_stuck_gate;
+  ]
+  @ hysteresis_tests
