@@ -2,7 +2,7 @@
    paper (see DESIGN.md's per-experiment index).
 
      main.exe [fig1|fig4|fig4-memo|micro|ablation-m|ablation-cm|
-               ablation-mode|pqueue|overload|obs-overhead|all]
+               ablation-mode|pqueue|overload|durability|obs-overhead|all]
               [--json FILE] [--trace FILE]
 
    --json writes every measured cell as a "proust-bench/v1" report
@@ -680,13 +680,140 @@ let overload () =
         [ 1; 2; 3; 4 ])
 
 (* ------------------------------------------------------------------ *)
+(* DURABILITY: redo-log encoding size and group-commit throughput.     *)
+
+module D = Proust_durable
+
+(* Two studies behind `main.exe durability`:
+
+   1. bytes/commit for value vs intent records on a lazy map and on the
+      COW pqueue — the paper-motivated claim that logging Proustian
+      intents is cheaper than logging the value write set, most
+      dramatically where the write set is the whole structure (COW).
+   2. committed txns/s against the group-commit linger window, with
+      every transaction fsync-waited: the batching knob trades commit
+      latency for fsync amortization (visible in fsync_batch_size
+      p50/p99). *)
+let durability () =
+  let commits = if quick then 300 else 1_000 in
+  W.Report.section
+    (Printf.sprintf "DURABILITY: record formats and group commit (%d commits)"
+       commits);
+  Printf.printf "%-22s %-7s %9s %9s %12s\n" "structure" "format" "commits"
+    "bytes" "bytes/commit";
+  Printf.printf "%s\n" (String.make 64 '-');
+  let bytes_cell ~structure ~fmt ~drive =
+    D.Temp.with_file (fun path ->
+        let log = D.Redo_log.create ~path () in
+        drive log;
+        let bytes = D.Redo_log.bytes_appended log in
+        let appends = D.Redo_log.appends log in
+        D.Redo_log.close log;
+        let per = float_of_int bytes /. float_of_int (max 1 appends) in
+        Printf.printf "%-22s %-7s %9d %9d %12.1f\n%!" structure
+          (D.Frame.format_name fmt) appends bytes per;
+        if json_file <> None then
+          cells :=
+            Obs.Json.Obj
+              [
+                ("kind", Obs.Json.String "durable-bytes");
+                ("structure", Obs.Json.String structure);
+                ("format", Obs.Json.String (D.Frame.format_name fmt));
+                ("commits", Obs.Json.Int appends);
+                ("bytes", Obs.Json.Int bytes);
+                ("bytes_per_commit", Obs.Json.Float per);
+              ]
+            :: !cells)
+  in
+  List.iter
+    (fun fmt ->
+      bytes_cell ~structure:"lazy-hashmap" ~fmt ~drive:(fun log ->
+          let m =
+            D.Durable_map.ops
+              (D.Durable_map.wrap ~fmt ~log
+                 (S.P_lazy_hashmap.ops (S.P_lazy_hashmap.make ())))
+          in
+          for i = 1 to commits do
+            Stm.atomically (fun txn ->
+                ignore (m.S.Trait.Map.put txn (i mod 256) i))
+          done))
+    [ D.Frame.Value; D.Frame.Intent ];
+  List.iter
+    (fun fmt ->
+      bytes_cell ~structure:"cow-pqueue" ~fmt ~drive:(fun log ->
+          let pq = D.Durable_pqueue.create ~fmt ~log ~cmp:compare () in
+          let ops = D.Durable_pqueue.ops pq in
+          for i = 1 to commits do
+            Stm.atomically (fun txn ->
+                if i mod 4 = 0 then ignore (ops.S.Trait.Pqueue.remove_min txn)
+                else ops.S.Trait.Pqueue.insert txn (i * 37 mod 1009))
+          done))
+    [ D.Frame.Value; D.Frame.Intent ];
+  (* Part 2: throughput vs the group-commit linger window. *)
+  let workers = env_int "PROUST_DOMAINS" (max 2 (min 4 (Domain.recommended_domain_count ()))) in
+  let per = max 50 (commits / workers) in
+  Printf.printf "\n%-14s %4s %10s %12s %8s %8s %8s\n" "linger" "t" "mean(ms)"
+    "commits/s" "fsyncs" "batchp50" "batchp99";
+  Printf.printf "%s\n" (String.make 70 '-');
+  List.iter
+    (fun batch_delay ->
+      D.Temp.with_file (fun path ->
+          let log = D.Redo_log.create ~batch_delay ~path () in
+          let base = S.P_lazy_hashmap.ops (S.P_lazy_hashmap.make ()) in
+          let enter = W.Runner.barrier workers in
+          let before = Stats.read () in
+          let t0 = ref 0.0 and t1 = ref 0.0 in
+          let ds =
+            List.init workers (fun d ->
+                Domain.spawn (fun () ->
+                    let m =
+                      D.Durable_map.ops (D.Durable_map.wrap ~fmt:D.Frame.Intent ~log base)
+                    in
+                    enter ();
+                    if d = 0 then t0 := Clock.now_mono ();
+                    for i = 1 to per do
+                      Stm.atomically (fun txn ->
+                          ignore (m.S.Trait.Map.put txn ((d * per) + i) i))
+                    done;
+                    if d = 0 then t1 := Clock.now_mono ()))
+          in
+          List.iter Domain.join ds;
+          D.Redo_log.close log;
+          let st = Stats.diff before (Stats.read ()) in
+          let dt_ms = (!t1 -. !t0) *. 1000.0 in
+          let total = workers * per in
+          let per_s = float_of_int total /. dt_ms *. 1000.0 in
+          let name = Printf.sprintf "linger=%gus" (batch_delay *. 1e6) in
+          Printf.printf "%-14s %4d %10.2f %12.0f %8d %8d %8d\n%!" name workers
+            dt_ms per_s st.Stats.fsync_batches st.Stats.fsync_batch_size_p50
+            st.Stats.fsync_batch_size_p99;
+          if json_file <> None then
+            cells :=
+              Obs.Json.Obj
+                [
+                  ("kind", Obs.Json.String "durable-fsync");
+                  ("batch_delay_s", Obs.Json.Float batch_delay);
+                  ("threads", Obs.Json.Int workers);
+                  ("commits", Obs.Json.Int total);
+                  ("mean_ms", Obs.Json.Float dt_ms);
+                  ("commits_per_s", Obs.Json.Float per_s);
+                  ( "stats",
+                    Obs.Json.Obj
+                      (List.map
+                         (fun (k, v) -> (k, Obs.Json.Int v))
+                         (Stats.to_assoc st)) );
+                ]
+              :: !cells))
+    (if quick then [ 0.; 0.001 ] else [ 0.; 0.0002; 0.001; 0.005 ])
+
+(* ------------------------------------------------------------------ *)
 
 let usage () =
   print_endline
     "usage: main.exe \
      [fig1|fig4|fig4-memo|micro|ablation-m|ablation-cm|ablation-mode|\
      ablation-zipf|ablation-combine|pqueue|queue|structures|compose|\
-     overload|obs-overhead|all] [--json FILE] [--trace FILE]"
+     overload|durability|obs-overhead|all] [--json FILE] [--trace FILE]"
 
 let () =
   (* First non-flag argument is the command; --json/--trace (and their
@@ -716,6 +843,7 @@ let () =
   | "structures" -> structures_bench ()
   | "compose" -> compose_bench ()
   | "overload" -> overload ()
+  | "durability" -> durability ()
   | "obs-overhead" -> obs_overhead ()
   | "all" ->
       fig1 ();
@@ -731,7 +859,8 @@ let () =
       queue_bench ();
       structures_bench ();
       compose_bench ();
-      overload ()
+      overload ();
+      durability ()
   | _ -> usage ());
   Option.iter
     (fun file ->

@@ -1,0 +1,31 @@
+(* Standard reflected CRC-32: the state is kept bit-inverted between
+   [update] calls (the usual trick), so [empty] is the final XOR of the
+   zero-length message and chaining updates composes correctly. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let empty = 0l
+
+let update crc buf ~pos ~len =
+  let t = Lazy.force table in
+  let c = ref (Int32.logxor crc 0xFFFFFFFFl) in
+  for i = pos to pos + len - 1 do
+    let idx =
+      Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code (Bytes.get buf i)))) 0xFFl)
+    in
+    c := Int32.logxor t.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.logxor !c 0xFFFFFFFFl
+
+let bytes buf ~pos ~len = update empty buf ~pos ~len
+let string s = bytes (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)

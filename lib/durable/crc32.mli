@@ -1,0 +1,14 @@
+(** CRC-32 (IEEE 802.3, reflected polynomial [0xEDB88320]) for redo-log
+    frame checksums.  Table-driven, allocation-free per byte. *)
+
+(** [update crc buf ~pos ~len] folds [len] bytes of [buf] starting at
+    [pos] into a running checksum.  Start from [empty]. *)
+val update : int32 -> Bytes.t -> pos:int -> len:int -> int32
+
+(** The checksum of zero bytes — the seed for [update] chains. *)
+val empty : int32
+
+(** [bytes buf ~pos ~len] is [update empty buf ~pos ~len]. *)
+val bytes : Bytes.t -> pos:int -> len:int -> int32
+
+val string : string -> int32

@@ -1,0 +1,114 @@
+module Trait = Proust_structures.Trait
+
+(* Intent payload: the operation sequence, Replay_log-memo style. *)
+type ('k, 'v) op = Put of 'k * 'v | Remove of 'k
+
+type ('k, 'v) buf = {
+  mutable ops : ('k, 'v) op list;  (* reverse chronological *)
+  mutable registered : bool;
+}
+
+type ('k, 'v) t = {
+  base : ('k, 'v) Trait.Map.ops;
+  log : Redo_log.t;
+  fmt : Frame.format;
+  on_commit : (lsn:int -> acked:bool -> unit) option;
+  buf_key : ('k, 'v) buf Stm.Local.key;
+}
+
+let wrap ?on_commit ~fmt ~log base =
+  {
+    base;
+    log;
+    fmt;
+    on_commit;
+    buf_key = Stm.Local.key (fun _ -> { ops = []; registered = false });
+  }
+
+(* Value payload: last write wins per key; replay order across keys is
+   immaterial because a single transaction's write set is applied
+   atomically. *)
+let net_effect ops =
+  List.fold_left
+    (fun acc op ->
+      let k, v = match op with Put (k, v) -> (k, Some v) | Remove k -> (k, None) in
+      (k, v) :: List.remove_assoc k acc)
+    [] ops
+
+let notify t ~lsn ~acked =
+  match t.on_commit with None -> () | Some f -> f ~lsn ~acked
+
+let track t txn op =
+  let b = Stm.Local.get txn t.buf_key in
+  b.ops <- op :: b.ops;
+  if not b.registered then begin
+    b.registered <- true;
+    let deadline = Stm.deadline txn in
+    Stm.on_commit_durable txn (fun lsn ->
+        let ops = List.rev b.ops in
+        let payload =
+          match t.fmt with
+          | Frame.Value -> Marshal.to_string (net_effect ops) []
+          | Frame.Intent -> Marshal.to_string ops []
+        in
+        match Redo_log.append t.log ~fmt:t.fmt ~lsn payload with
+        | None ->
+            notify t ~lsn ~acked:false;
+            None
+        | Some ticket ->
+            Some
+              (fun () ->
+                let acked = Redo_log.wait_durable ?deadline t.log ticket in
+                notify t ~lsn ~acked))
+  end
+
+let ops t =
+  let base = t.base in
+  {
+    base with
+    Trait.Map.meta =
+      {
+        base.Trait.Map.meta with
+        Trait.name =
+          base.Trait.Map.meta.Trait.name ^ "+durable-"
+          ^ Frame.format_name t.fmt;
+      };
+    put =
+      (fun txn k v ->
+        track t txn (Put (k, v));
+        base.Trait.Map.put txn k v);
+    remove =
+      (fun txn k ->
+        track t txn (Remove k);
+        base.Trait.Map.remove txn k);
+  }
+
+let apply_record (base : _ Trait.Map.ops) txn (r : Frame.record) =
+  match r.Frame.fmt with
+  | Frame.Value ->
+      List.iter
+        (fun (k, vo) ->
+          match vo with
+          | Some v -> ignore (base.Trait.Map.put txn k v)
+          | None -> ignore (base.Trait.Map.remove txn k))
+        (Marshal.from_string r.Frame.payload 0 : _ list)
+  | Frame.Intent ->
+      List.iter
+        (function
+          | Put (k, v) -> ignore (base.Trait.Map.put txn k v)
+          | Remove k -> ignore (base.Trait.Map.remove txn k))
+        (Marshal.from_string r.Frame.payload 0 : _ op list)
+
+let replay (report : Recovery.report) (base : _ Trait.Map.ops) =
+  (match report.Recovery.snapshot with
+  | None -> ()
+  | Some s ->
+      Stm.atomically (fun txn ->
+          List.iter
+            (fun (k, v) -> ignore (base.Trait.Map.put txn k v))
+            (Marshal.from_string s 0 : _ list)));
+  List.iter
+    (fun r -> Stm.atomically (fun txn -> apply_record base txn r))
+    report.Recovery.records
+
+let snapshot_payload (bindings : ('k * 'v) list) = Marshal.to_string bindings []

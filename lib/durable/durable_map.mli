@@ -1,0 +1,48 @@
+(** Durability wrapper for any {!Proust_structures.Trait.Map.ops}.
+
+    [wrap] intercepts the mutating operations: the first one in a
+    transaction registers an {!Stm.on_commit_durable} hook, which — in
+    the commit locked phase, with the commit version as LSN — encodes
+    the transaction's effect on this map and appends it to the redo
+    log, then waits (after locks are released, bounded by the
+    transaction's {!Stm.atomic} deadline) for the group-commit fsync.
+
+    Two encodings, one interface:
+    - [Frame.Value]: the net write set — the final [(key, value
+      option)] per touched key.  Works for every structure.
+    - [Frame.Intent]: the operation sequence in execution order, the
+      {!Replay_log}-style intent encoding.  For lazy Proustian
+      structures this is what the replay log already materializes, and
+      it is measurably smaller whenever an operation's effect is
+      cheaper to name than to state. *)
+
+type ('k, 'v) t
+
+(** [wrap ~fmt ~log base] layers durability over [base].  [on_commit]
+    (optional) observes every durable commit with its LSN and whether
+    the flush was acknowledged before return — the chaos harness's
+    bookkeeping tap. *)
+val wrap :
+  ?on_commit:(lsn:int -> acked:bool -> unit) ->
+  fmt:Frame.format ->
+  log:Redo_log.t ->
+  ('k, 'v) Proust_structures.Trait.Map.ops ->
+  ('k, 'v) t
+
+(** The wrapped trait record: mutating ops are logged, reads pass
+    through. *)
+val ops : ('k, 'v) t -> ('k, 'v) Proust_structures.Trait.Map.ops
+
+(** [replay report base] reloads the snapshot (if any) and applies the
+    surviving records to [base] in LSN order, one transaction per
+    record.  Safe to run on a freshly-built empty [base]; running it on
+    the result of a previous identical replay is a no-op state-wise
+    (value records overwrite, intent records re-execute to the same
+    bindings). *)
+val replay :
+  Recovery.report -> ('k, 'v) Proust_structures.Trait.Map.ops -> unit
+
+(** [snapshot_payload bindings] encodes a full-state snapshot for
+    {!Redo_log.compact} (the caller reads the bindings out under its
+    own quiesced transaction). *)
+val snapshot_payload : ('k * 'v) list -> string

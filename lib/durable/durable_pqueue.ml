@@ -1,0 +1,127 @@
+module Trait = Proust_structures.Trait
+module Update_strategy = Proust_core.Update_strategy
+
+type 'v pop = Insert of 'v | Remove_min
+
+type 'v buf = {
+  mutable pops : 'v pop list;  (* reverse chronological *)
+  mutable final : 'v list;  (* the multiset version this txn installs *)
+  mutable registered : bool;
+}
+
+type 'v t = {
+  tv : 'v list Tvar.t;
+  cmp : 'v -> 'v -> int;
+  log : Redo_log.t;
+  fmt : Frame.format;
+  on_commit : (lsn:int -> acked:bool -> unit) option;
+  buf_key : 'v buf Stm.Local.key;
+}
+
+let create ?on_commit ~fmt ~log ~cmp () =
+  {
+    tv = Tvar.make [];
+    cmp;
+    log;
+    fmt;
+    on_commit;
+    buf_key =
+      Stm.Local.key (fun _ -> { pops = []; final = []; registered = false });
+  }
+
+let notify t ~lsn ~acked =
+  match t.on_commit with None -> () | Some f -> f ~lsn ~acked
+
+let track t txn op final =
+  let b = Stm.Local.get txn t.buf_key in
+  b.pops <- op :: b.pops;
+  b.final <- final;
+  if not b.registered then begin
+    b.registered <- true;
+    let deadline = Stm.deadline txn in
+    Stm.on_commit_durable txn (fun lsn ->
+        let payload =
+          match t.fmt with
+          | Frame.Value ->
+              (* The COW write set: the whole new multiset version. *)
+              Marshal.to_string b.final []
+          | Frame.Intent -> Marshal.to_string (List.rev b.pops) []
+        in
+        match Redo_log.append t.log ~fmt:t.fmt ~lsn payload with
+        | None ->
+            notify t ~lsn ~acked:false;
+            None
+        | Some ticket ->
+            Some
+              (fun () ->
+                let acked = Redo_log.wait_durable ?deadline t.log ticket in
+                notify t ~lsn ~acked))
+  end
+
+let rec insert_sorted cmp v = function
+  | [] -> [ v ]
+  | x :: rest when cmp v x <= 0 -> v :: x :: rest
+  | x :: rest -> x :: insert_sorted cmp v rest
+
+let insert t txn v =
+  let l = Stm.read txn t.tv in
+  let nl = insert_sorted t.cmp v l in
+  Stm.write txn t.tv nl;
+  track t txn (Insert v) nl
+
+let remove_min t txn =
+  match Stm.read txn t.tv with
+  | [] -> None
+  | x :: rest ->
+      Stm.write txn t.tv rest;
+      track t txn Remove_min rest;
+      Some x
+
+let min_ t txn =
+  match Stm.read txn t.tv with [] -> None | x :: _ -> Some x
+
+let contains t txn v = List.exists (fun y -> t.cmp y v = 0) (Stm.read txn t.tv)
+let size t txn = List.length (Stm.read txn t.tv)
+
+let ops t =
+  {
+    Trait.Pqueue.meta =
+      Trait.meta
+        ~name:("durable-cow-pqueue-" ^ Frame.format_name t.fmt)
+        ~strategy:Update_strategy.Lazy ();
+    insert = (fun txn v -> insert t txn v);
+    remove_min = (fun txn -> remove_min t txn);
+    min = (fun txn -> min_ t txn);
+    contains = (fun txn v -> contains t txn v);
+    size = (fun txn -> size t txn);
+  }
+
+let to_list t = Stm.atomically (fun txn -> Stm.read txn t.tv)
+
+let apply_record t txn (r : Frame.record) =
+  match r.Frame.fmt with
+  | Frame.Value ->
+      Stm.write txn t.tv (Marshal.from_string r.Frame.payload 0 : _ list)
+  | Frame.Intent ->
+      List.iter
+        (function
+          | Insert v ->
+              Stm.write txn t.tv
+                (insert_sorted t.cmp v (Stm.read txn t.tv))
+          | Remove_min -> (
+              match Stm.read txn t.tv with
+              | [] -> ()
+              | _ :: rest -> Stm.write txn t.tv rest))
+        (Marshal.from_string r.Frame.payload 0 : _ pop list)
+
+let replay (report : Recovery.report) t =
+  (match report.Recovery.snapshot with
+  | None -> ()
+  | Some s ->
+      Stm.atomically (fun txn ->
+          Stm.write txn t.tv (Marshal.from_string s 0 : _ list)));
+  List.iter
+    (fun r -> Stm.atomically (fun txn -> apply_record t txn r))
+    report.Recovery.records
+
+let snapshot_payload t = Marshal.to_string (to_list t) []

@@ -1,0 +1,61 @@
+type format = Value | Intent
+
+let format_name = function Value -> "value" | Intent -> "intent"
+
+type record = { fmt : format; lsn : int; payload : string }
+
+let file_header = "PROUST-REDO1"
+let file_header_len = String.length file_header
+let frame_magic = "PRRC"
+let magic_len = 4
+
+(* magic(4) fmt(1) lsn(8) len(4) payload crc(4); the CRC covers
+   fmt..payload, i.e. everything after the magic and before itself. *)
+let fixed_len = magic_len + 1 + 8 + 4
+let trailer_len = 4
+
+let fmt_tag = function Value -> '\000' | Intent -> '\001'
+
+let fmt_of_tag = function
+  | '\000' -> Some Value
+  | '\001' -> Some Intent
+  | _ -> None
+
+let encode { fmt; lsn; payload } =
+  let plen = String.length payload in
+  let buf = Bytes.create (fixed_len + plen + trailer_len) in
+  Bytes.blit_string frame_magic 0 buf 0 magic_len;
+  Bytes.set buf magic_len (fmt_tag fmt);
+  Bytes.set_int64_le buf (magic_len + 1) (Int64.of_int lsn);
+  Bytes.set_int32_le buf (magic_len + 9) (Int32.of_int plen);
+  Bytes.blit_string payload 0 buf fixed_len plen;
+  let crc = Crc32.bytes buf ~pos:magic_len ~len:(1 + 8 + 4 + plen) in
+  Bytes.set_int32_le buf (fixed_len + plen) crc;
+  buf
+
+type read_result = Record of record * int | Torn | Eof
+
+let read buf ~pos =
+  let total = Bytes.length buf in
+  if pos >= total then Eof
+  else if pos + fixed_len + trailer_len > total then Torn
+  else if not (String.equal (Bytes.sub_string buf pos magic_len) frame_magic)
+  then Torn
+  else
+    match fmt_of_tag (Bytes.get buf (pos + magic_len)) with
+    | None -> Torn
+    | Some fmt ->
+        let lsn = Int64.to_int (Bytes.get_int64_le buf (pos + magic_len + 1)) in
+        let plen = Int32.to_int (Bytes.get_int32_le buf (pos + magic_len + 9)) in
+        if plen < 0 || pos + fixed_len + plen + trailer_len > total then Torn
+        else
+          let crc = Crc32.bytes buf ~pos:(pos + magic_len) ~len:(1 + 8 + 4 + plen) in
+          let stored = Bytes.get_int32_le buf (pos + fixed_len + plen) in
+          if not (Int32.equal crc stored) then Torn
+          else
+            let payload = Bytes.sub_string buf (pos + fixed_len) plen in
+            Record ({ fmt; lsn; payload }, pos + fixed_len + plen + trailer_len)
+
+let check_header buf =
+  Bytes.length buf >= file_header_len
+  && String.equal (Bytes.sub_string buf 0 file_header_len) file_header

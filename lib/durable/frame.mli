@@ -1,0 +1,47 @@
+(** On-disk framing for the redo log.
+
+    A log file is a fixed header followed by records.  Each record is
+    independently framed so recovery can detect exactly where a torn
+    write begins:
+
+    {v
+    +-------+-----+---------+---------+---------+-------+
+    | magic | fmt | lsn (8) | len (4) | payload | crc32 |
+    +-------+-----+---------+---------+---------+-------+
+    v}
+
+    The CRC covers fmt, lsn, len and the payload — everything except
+    the frame magic — so a frame whose tail was cut off by a crash
+    fails its checksum rather than decoding as garbage. *)
+
+(** Record payload encoding.  [Value] frames carry the committed write
+    set's final values; [Intent] frames carry the Proustian operation
+    sequence ({!Replay_log}-style) that produced them. *)
+type format = Value | Intent
+
+val format_name : format -> string
+
+type record = { fmt : format; lsn : int; payload : string }
+
+(** The file header every redo log starts with (magic + version). *)
+val file_header : string
+
+val file_header_len : int
+
+(** [encode r] is the complete on-disk frame for [r]. *)
+val encode : record -> Bytes.t
+
+(** One scan step over a log image. *)
+type read_result =
+  | Record of record * int  (** decoded record and the next frame's offset *)
+  | Torn  (** bytes remain but no complete, checksummed frame *)
+  | Eof  (** clean end of log *)
+
+(** [read buf ~pos] decodes the frame starting at [pos] in the full log
+    image [buf] (header included; start scanning at
+    [file_header_len]). *)
+val read : Bytes.t -> pos:int -> read_result
+
+(** [check_header buf] is true when [buf] begins with a valid redo-log
+    file header. *)
+val check_header : Bytes.t -> bool

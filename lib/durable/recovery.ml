@@ -1,0 +1,82 @@
+exception Corrupt_header of string
+
+type report = {
+  records : Frame.record list;
+  last_lsn : int;
+  truncated_tail : bool;
+  snapshot : string option;
+  snapshot_lsn : int;
+}
+
+let replayed_lsns r = List.map (fun rec_ -> rec_.Frame.lsn) r.records
+
+let read_file path =
+  if not (Sys.file_exists path) then Bytes.create 0
+  else begin
+    let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+    let size = (Unix.fstat fd).Unix.st_size in
+    let buf = Bytes.create size in
+    let rec fill off =
+      if off < size then
+        match Unix.read fd buf off (size - off) with
+        | 0 -> ()
+        | n -> fill (off + n)
+    in
+    fill 0;
+    Unix.close fd;
+    buf
+  end
+
+(* The snapshot is one CRC frame behind its own header; a torn or
+   corrupt snapshot is treated as absent (compaction renames it into
+   place atomically, so a half-written snapshot can only be a stray
+   [.tmp] that never made it). *)
+let load_snapshot log_path =
+  let buf = read_file (Redo_log.snap_path log_path) in
+  let hlen = String.length Redo_log.snap_header in
+  if
+    Bytes.length buf < hlen
+    || not (String.equal (Bytes.sub_string buf 0 hlen) Redo_log.snap_header)
+  then (None, 0)
+  else
+    match Frame.read buf ~pos:hlen with
+    | Frame.Record (r, _) -> (Some r.Frame.payload, r.Frame.lsn)
+    | Frame.Torn | Frame.Eof -> (None, 0)
+
+let run ?(truncate = true) path =
+  let buf = read_file path in
+  if Bytes.length buf > 0 && not (Frame.check_header buf) then
+    raise (Corrupt_header path);
+  let snapshot, snapshot_lsn = load_snapshot path in
+  let records = ref [] in
+  let torn = ref false in
+  let good_end = ref (min (Bytes.length buf) Frame.file_header_len) in
+  (* [buf] is now either empty (missing/fresh file) or starts with a
+     full valid header, so scanning from the header end is safe. *)
+  if Bytes.length buf >= Frame.file_header_len then begin
+    let rec go pos =
+      match Frame.read buf ~pos with
+      | Frame.Record (r, next) ->
+          records := r :: !records;
+          good_end := next;
+          go next
+      | Frame.Torn -> torn := true
+      | Frame.Eof -> ()
+    in
+    go Frame.file_header_len
+  end;
+  if !torn && truncate then begin
+    let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+    Unix.ftruncate fd !good_end;
+    Unix.close fd;
+    Stats.record_torn_tail_truncation ()
+  end;
+  Stats.record_recovery ();
+  let records =
+    List.filter (fun r -> r.Frame.lsn > snapshot_lsn) !records
+    |> List.sort (fun a b -> compare a.Frame.lsn b.Frame.lsn)
+  in
+  let last_lsn =
+    List.fold_left (fun m r -> max m r.Frame.lsn) snapshot_lsn records
+  in
+  { records; last_lsn; truncated_tail = !torn; snapshot; snapshot_lsn }

@@ -1,0 +1,37 @@
+(** Crash recovery: scan a redo log (and its snapshot sibling), truncate
+    the torn tail, and hand back the records to replay.
+
+    The contract the chaos harness checks:
+    - every record that was fsynced before the crash survives (the
+      flusher publishes acknowledgements only after the fsync, so
+      "acknowledged" implies "fsynced");
+    - a partially-written frame is never decoded — the CRC rejects it —
+      and with [truncate] (the default) it is physically cut off so a
+      second recovery sees a clean log;
+    - records at or below the snapshot's LSN are skipped, which makes
+      recovery idempotent across a crash that interrupted compaction
+      between the snapshot rename and the log rewrite;
+    - running recovery twice in a row yields the same report. *)
+
+(** The log file exists, is non-empty, and does not start with the redo
+    header — someone else's file; refuse rather than truncate it. *)
+exception Corrupt_header of string
+
+type report = {
+  records : Frame.record list;
+      (** surviving records with LSN > [snapshot_lsn], sorted by LSN *)
+  last_lsn : int;  (** highest surviving LSN, [snapshot_lsn] if none *)
+  truncated_tail : bool;  (** a torn tail was found (and cut, if asked) *)
+  snapshot : string option;  (** snapshot payload to reload first *)
+  snapshot_lsn : int;  (** fold point of the snapshot, 0 if none *)
+}
+
+(** LSNs of [records] — what the harness intersects with its
+    acknowledged set. *)
+val replayed_lsns : report -> int list
+
+(** [run path] scans the log at [path] (missing or empty file: an empty
+    report).  [truncate] (default [true]) physically truncates a torn
+    tail.  Bumps the [recoveries] (and, when a tail was torn,
+    [torn_tail_truncations]) counters in {!Stats}. *)
+val run : ?truncate:bool -> string -> report

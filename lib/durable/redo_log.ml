@@ -1,0 +1,330 @@
+(* Group-commit redo log: producers buffer framed records under a
+   mutex and signal a dedicated flusher domain, which takes the whole
+   buffer, writes it in LSN order and fsyncs once per batch.  Producer
+   waits are backoff polls on the [flushed] ticket watermark — stdlib
+   [Condition] has no timed wait, and flush waits carry transaction
+   deadlines. *)
+
+let snap_path p = Filename.remove_extension p ^ ".snap"
+let snap_header = "PROUST-SNAP1"
+
+type t = {
+  log_path : string;
+  batch_delay : float;
+  buf_lock : Mutex.t;
+  cond : Condition.t;
+  mutable pending : (int * Bytes.t * int) list;  (* ticket, frame, lsn; LIFO *)
+  mutable next_ticket : int;
+  mutable stopping : bool;
+  flushed : int Atomic.t;  (* every ticket <= this is on disk *)
+  halted_flag : bool Atomic.t;
+  io_lock : Mutex.t;  (* file writes: flusher batches vs. compaction *)
+  mutable fd : Unix.file_descr;
+  mutable flusher : unit Domain.t option;
+  bytes_acc : int Atomic.t;
+  appends_acc : int Atomic.t;
+  mutable batch_sizes : int list;  (* flusher-private percentile window *)
+}
+
+let path t = t.log_path
+let halted t = Atomic.get t.halted_flag
+let bytes_appended t = Atomic.get t.bytes_acc
+let appends t = Atomic.get t.appends_acc
+
+let halt t =
+  if not (Atomic.get t.halted_flag) then begin
+    Atomic.set t.halted_flag true;
+    Mutex.lock t.buf_lock;
+    t.pending <- [];
+    Condition.broadcast t.cond;
+    Mutex.unlock t.buf_lock
+  end
+
+let write_all fd buf pos len =
+  let off = ref pos and left = ref len in
+  while !left > 0 do
+    let n = Unix.write fd buf !off !left in
+    off := !off + n;
+    left := !left - n
+  done
+
+let percentile sorted p =
+  match Array.length sorted with
+  | 0 -> 0
+  | n -> sorted.(min (n - 1) (p * n / 100))
+
+(* One flusher round: wait for work, linger for the group-commit
+   window, take the whole buffer, write it LSN-sorted, fsync once. *)
+let rec flusher_loop t =
+  Mutex.lock t.buf_lock;
+  while t.pending = [] && not t.stopping && not (Atomic.get t.halted_flag) do
+    Condition.wait t.cond t.buf_lock
+  done;
+  let stop = (t.stopping && t.pending = []) || Atomic.get t.halted_flag in
+  Mutex.unlock t.buf_lock;
+  if not stop then begin
+    if t.batch_delay > 0. then Unix.sleepf t.batch_delay;
+    Mutex.lock t.buf_lock;
+    let batch = t.pending in
+    t.pending <- [];
+    Mutex.unlock t.buf_lock;
+    (match batch with
+    | [] -> ()
+    | batch ->
+        let batch =
+          List.sort (fun (_, _, l1) (_, _, l2) -> compare l1 l2) batch
+        in
+        let max_ticket =
+          List.fold_left (fun m (tk, _, _) -> max m tk) 0 batch
+        in
+        let image =
+          Bytes.concat Bytes.empty (List.map (fun (_, f, _) -> f) batch)
+        in
+        Mutex.lock t.io_lock;
+        let crashed =
+          match Fault.check Fault.Durable_mid_fsync with
+          | Some Fault.Crash ->
+              (* Power fails inside the batch write: a strict byte
+                 prefix reaches the file, so the last frame of the
+                 prefix is genuinely torn.  Everything already fsynced
+                 (and hence acknowledged) is untouched. *)
+              let cut = Bytes.length image - 1 in
+              if cut > 0 then write_all t.fd image 0 cut;
+              true
+          | Some (Fault.Delay n) ->
+              Fault.spin n;
+              false
+          | _ -> false
+        in
+        if crashed then begin
+          Mutex.unlock t.io_lock;
+          halt t
+        end
+        else begin
+          write_all t.fd image 0 (Bytes.length image);
+          Unix.fsync t.fd;
+          Mutex.unlock t.io_lock;
+          (* Publish after the fsync: a ticket is durable only once its
+             whole batch is on disk. *)
+          Atomic.set t.flushed max_ticket;
+          Stats.record_fsync_batch ();
+          t.batch_sizes <- List.length batch :: t.batch_sizes;
+          (match t.batch_sizes with
+          | sizes when List.length sizes > 1024 ->
+              t.batch_sizes <- List.filteri (fun i _ -> i < 1024) sizes
+          | _ -> ());
+          let sorted = Array.of_list t.batch_sizes in
+          Array.sort compare sorted;
+          Stats.set_fsync_batch_percentiles ~p50:(percentile sorted 50)
+            ~p99:(percentile sorted 99)
+        end);
+    flusher_loop t
+  end
+
+let create ?(batch_delay = 0.) ~path:log_path () =
+  let fd =
+    Unix.openfile log_path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644
+  in
+  let size = (Unix.fstat fd).Unix.st_size in
+  if size = 0 then begin
+    let h = Bytes.of_string Frame.file_header in
+    write_all fd h 0 (Bytes.length h);
+    Unix.fsync fd
+  end
+  else begin
+    let h = Bytes.create Frame.file_header_len in
+    let n = Unix.read fd h 0 Frame.file_header_len in
+    if n < Frame.file_header_len || not (Frame.check_header h) then begin
+      Unix.close fd;
+      invalid_arg (Printf.sprintf "Redo_log.create: %s is not a redo log" log_path)
+    end
+  end;
+  ignore (Unix.lseek fd 0 Unix.SEEK_END);
+  let t =
+    {
+      log_path;
+      batch_delay;
+      buf_lock = Mutex.create ();
+      cond = Condition.create ();
+      pending = [];
+      next_ticket = 1;
+      stopping = false;
+      flushed = Atomic.make 0;
+      halted_flag = Atomic.make false;
+      io_lock = Mutex.create ();
+      fd;
+      flusher = None;
+      bytes_acc = Atomic.make 0;
+      appends_acc = Atomic.make 0;
+      batch_sizes = [];
+    }
+  in
+  t.flusher <- Some (Domain.spawn (fun () -> flusher_loop t));
+  t
+
+let append t ~fmt ~lsn payload =
+  if Atomic.get t.halted_flag then None
+  else
+    match Fault.check Fault.Durable_pre_append with
+    | Some Fault.Crash ->
+        halt t;
+        None
+    | other -> (
+        (match other with Some (Fault.Delay n) -> Fault.spin n | _ -> ());
+        let frame = Frame.encode { Frame.fmt; lsn; payload } in
+        Mutex.lock t.buf_lock;
+        if Atomic.get t.halted_flag || t.stopping then begin
+          Mutex.unlock t.buf_lock;
+          None
+        end
+        else begin
+          let ticket = t.next_ticket in
+          t.next_ticket <- ticket + 1;
+          t.pending <- (ticket, frame, lsn) :: t.pending;
+          Condition.signal t.cond;
+          Mutex.unlock t.buf_lock;
+          ignore (Atomic.fetch_and_add t.bytes_acc (Bytes.length frame));
+          ignore (Atomic.fetch_and_add t.appends_acc 1);
+          Stats.record_log_append ();
+          match Fault.check Fault.Durable_post_append with
+          | Some Fault.Crash ->
+              (* The record is buffered but unflushed: halting drops it,
+                 which is exactly the appended-but-unacknowledged loss
+                 this point exists to model. *)
+              halt t;
+              None
+          | other ->
+              (match other with
+              | Some (Fault.Delay n) -> Fault.spin n
+              | _ -> ());
+              Some ticket
+        end)
+
+let wait_durable ?deadline t ticket =
+  if Atomic.get t.flushed >= ticket then true
+  else begin
+    let b = Backoff.create ~ceiling:8 () in
+    let until_ns =
+      match deadline with
+      | None -> 0
+      | Some d -> int_of_float (d *. 1e9)
+    in
+    let rec loop () =
+      if Atomic.get t.flushed >= ticket then true
+      else if Atomic.get t.halted_flag then false
+      else if
+        match deadline with
+        | Some d -> Clock.now_mono () >= d
+        | None -> false
+      then false
+      else begin
+        Backoff.once ~until_ns b;
+        loop ()
+      end
+    in
+    loop ()
+  end
+
+let flush t =
+  let target =
+    Mutex.lock t.buf_lock;
+    let tk = t.next_ticket - 1 in
+    Condition.signal t.cond;
+    Mutex.unlock t.buf_lock;
+    tk
+  in
+  if target > 0 then ignore (wait_durable t target)
+
+let close t =
+  flush t;
+  Mutex.lock t.buf_lock;
+  t.stopping <- true;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.buf_lock;
+  (match t.flusher with
+  | Some d ->
+      Domain.join d;
+      t.flusher <- None
+  | None -> ());
+  (try Unix.close t.fd with Unix.Unix_error _ -> ())
+
+(* Scan the whole on-disk log, returning the records up to the first
+   bad frame.  Compaction-private: recovery has its own scan with
+   truncation and stats. *)
+let scan_file path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  let size = (Unix.fstat fd).Unix.st_size in
+  let buf = Bytes.create size in
+  let rec fill off =
+    if off < size then
+      match Unix.read fd buf off (size - off) with
+      | 0 -> ()
+      | n -> fill (off + n)
+  in
+  fill 0;
+  Unix.close fd;
+  if not (Frame.check_header buf) then []
+  else
+    let rec go pos acc =
+      match Frame.read buf ~pos with
+      | Frame.Record (r, next) -> go next (r :: acc)
+      | Frame.Torn | Frame.Eof -> List.rev acc
+    in
+    go Frame.file_header_len []
+
+let mid_compaction_crash t =
+  match Fault.check Fault.Durable_mid_compaction with
+  | Some Fault.Crash ->
+      halt t;
+      true
+  | Some (Fault.Delay n) ->
+      Fault.spin n;
+      false
+  | _ -> false
+
+let write_file_atomic ~header ~frames path =
+  let tmp = path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let h = Bytes.of_string header in
+  write_all fd h 0 (Bytes.length h);
+  List.iter (fun f -> write_all fd f 0 (Bytes.length f)) frames;
+  Unix.fsync fd;
+  Unix.close fd;
+  Sys.rename tmp path
+
+let compact t ~snapshot ~upto_lsn =
+  flush t;
+  if not (Atomic.get t.halted_flag) then
+    if not (mid_compaction_crash t) then begin
+      (* Step 1: publish the snapshot.  Tmp-write + rename makes it
+         atomic: recovery either sees the old snapshot or the new one,
+         never a torn one.  The payload rides in an ordinary CRC frame
+         whose LSN is the fold point. *)
+      write_file_atomic ~header:snap_header
+        ~frames:[ Frame.encode { Frame.fmt = Frame.Value; lsn = upto_lsn; payload = snapshot } ]
+        (snap_path t.log_path);
+      if not (mid_compaction_crash t) then begin
+        (* Step 2: drop the folded prefix from the log.  A crash
+           between the steps leaves the new snapshot plus the full log,
+           which recovery handles by skipping records <= the snapshot
+           LSN. *)
+        (* The io lock covers the scan as well as the rewrite: a flusher
+           batch landing between the two would be dropped by the
+           rename.  Appends arriving meanwhile just buffer; the flusher
+           re-reads [t.fd] under this lock, so they drain into the
+           rewritten file. *)
+        Mutex.lock t.io_lock;
+        let keep =
+          List.filter
+            (fun r -> r.Frame.lsn > upto_lsn)
+            (scan_file t.log_path)
+        in
+        (try Unix.close t.fd with Unix.Unix_error _ -> ());
+        write_file_atomic ~header:Frame.file_header
+          ~frames:(List.map Frame.encode keep)
+          t.log_path;
+        t.fd <- Unix.openfile t.log_path [ Unix.O_RDWR ] 0o644;
+        ignore (Unix.lseek t.fd 0 Unix.SEEK_END);
+        Mutex.unlock t.io_lock
+      end
+    end

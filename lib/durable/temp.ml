@@ -1,0 +1,12 @@
+let file ?(suffix = ".redo") () = Filename.temp_file "proust" suffix
+
+let remove_if_exists p = try Sys.remove p with Sys_error _ -> ()
+
+let cleanup path =
+  let snap = Redo_log.snap_path path in
+  List.iter remove_if_exists
+    [ path; path ^ ".tmp"; snap; snap ^ ".tmp" ]
+
+let with_file ?suffix f =
+  let path = file ?suffix () in
+  Fun.protect ~finally:(fun () -> cleanup path) (fun () -> f path)

@@ -1,0 +1,19 @@
+(** The one temp-file helper for durability tests and benchmarks.
+
+    Redo logs spawn sibling files ([.snap] snapshots and [.tmp]
+    staging); ad-hoc [Filename.temp_file] calls leave those behind.
+    Every bench/test log path should come from here so cleanup removes
+    the whole family. *)
+
+(** [file ?suffix ()] is a fresh path under the system temp directory
+    (created empty, [Filename.temp_file]-style; default suffix
+    [".redo"]). *)
+val file : ?suffix:string -> unit -> string
+
+(** [cleanup path] removes [path] and its derived siblings: the
+    [.snap] snapshot and any [.tmp] staging leftovers.  Missing files
+    are ignored. *)
+val cleanup : string -> unit
+
+(** [with_file ?suffix f] runs [f path] and always cleans up after. *)
+val with_file : ?suffix:string -> (string -> 'a) -> 'a

@@ -113,8 +113,14 @@ let do_commit t =
       | exception Abort_exn reason -> fail reason);
       (* Phase 2: validate the read set against the snapshot timestamp.
          A transaction whose writes immediately follow its snapshot
-         (rv+1 = wv) cannot have missed a concurrent commit, per TL2. *)
-      let wv = if not has_writes then t.rv else Clock.tick Clock.global in
+         (rv+1 = wv) cannot have missed a concurrent commit, per TL2.
+         Durable transactions tick even without tvar writes: their
+         redo-log records need distinct LSNs (a pessimistic lazy-map op
+         can commit with an empty tvar write set yet still log). *)
+      let has_durable = t.durable_hooks <> [] in
+      let wv =
+        if has_writes || has_durable then Clock.tick Clock.global else t.rv
+      in
       if has_writes && wv > t.rv + 1 then begin
         let ok = Protocol.reads_valid t in
         obs_validate t ~ok;
@@ -128,8 +134,10 @@ let do_commit t =
       t.finished <- true;
       let locked_hooks = List.rev t.commit_locked_hooks in
       let after_hooks = List.rev t.after_commit_hooks in
+      let durable_hooks = List.rev t.durable_hooks in
       t.commit_locked_hooks <- [];
       t.after_commit_hooks <- [];
+      t.durable_hooks <- [];
       (* The attempt has linearized: whatever the locked-phase hooks
          do, the write set publishes, the locks release, and the
          after-commit hooks still run — structure residue cleanup
@@ -141,13 +149,33 @@ let do_commit t =
         | () -> None
         | exception e -> Some e
       in
+      (* Durable hooks run while the write locks are still held: the
+         redo-log append for a conflicting successor cannot be ordered
+         before ours, so append order agrees with conflict order.  Each
+         hook gets the commit version as its LSN and may hand back a
+         flush-wait thunk, deferred until every lock and gate is
+         released — group commit means the wait spans other domains'
+         appends and must not extend the locked window. *)
+      let locked_failure = ref locked_failure in
+      let waits = ref [] in
+      List.iter
+        (fun h ->
+          match h wv with
+          | None -> ()
+          | Some wait -> waits := wait :: !waits
+          | exception e ->
+              if !locked_failure = None then locked_failure := Some e)
+        durable_hooks;
       Rwset.Wlog.publish_plan t.wset ~version:wv;
       release_locks t;
       t.proto.p_release t;
       (match run_hooks after_hooks with
       | () -> ()
-      | exception e -> if locked_failure = None then raise e);
-      match locked_failure with None -> () | Some e -> raise e)
+      | exception e -> if !locked_failure = None then locked_failure := Some e);
+      (match run_hooks (List.rev !waits) with
+      | () -> ()
+      | exception e -> if !locked_failure = None then locked_failure := Some e);
+      match !locked_failure with None -> () | Some e -> raise e)
 
 (* ------------------------------------------------------------------ *)
 (* Retry blocking                                                       *)

@@ -5,6 +5,10 @@ type point =
   | Pre_validate
   | Abstract_lock_acquire
   | Replay_apply
+  | Durable_pre_append
+  | Durable_post_append
+  | Durable_mid_fsync
+  | Durable_mid_compaction
 
 let point_name = function
   | Pre_commit -> "pre-commit"
@@ -13,6 +17,10 @@ let point_name = function
   | Pre_validate -> "pre-validate"
   | Abstract_lock_acquire -> "abstract-lock-acquire"
   | Replay_apply -> "replay-apply"
+  | Durable_pre_append -> "durable-pre-append"
+  | Durable_post_append -> "durable-post-append"
+  | Durable_mid_fsync -> "durable-mid-fsync"
+  | Durable_mid_compaction -> "durable-mid-compaction"
 
 let all_points =
   [
@@ -22,6 +30,10 @@ let all_points =
     Pre_validate;
     Abstract_lock_acquire;
     Replay_apply;
+    Durable_pre_append;
+    Durable_post_append;
+    Durable_mid_fsync;
+    Durable_mid_compaction;
   ]
 
 let point_index = function
@@ -31,8 +43,14 @@ let point_index = function
   | Pre_validate -> 3
   | Abstract_lock_acquire -> 4
   | Replay_apply -> 5
+  | Durable_pre_append -> 6
+  | Durable_post_append -> 7
+  | Durable_mid_fsync -> 8
+  | Durable_mid_compaction -> 9
 
-type action = Delay of int | Abort | Kill | Wedge
+let n_points = 10
+
+type action = Delay of int | Abort | Kill | Wedge | Crash
 type site = { prob : float; actions : action list }
 
 type policy = {
@@ -41,7 +59,7 @@ type policy = {
   sites : site option array;  (* indexed by point_index *)
 }
 
-let no_policy = { generation = 0; seed = 0; sites = Array.make 6 None }
+let no_policy = { generation = 0; seed = 0; sites = Array.make n_points None }
 
 (* [on] is the disabled-mode fast path: one atomic load per injection
    point.  [policy] only changes under [configure]/[disable]. *)
@@ -49,7 +67,7 @@ let on = Atomic.make false
 let policy = Atomic.make no_policy
 
 let configure ?(seed = 0xfa017) sites =
-  let arr = Array.make 6 None in
+  let arr = Array.make n_points None in
   List.iter (fun (p, s) -> arr.(point_index p) <- Some s) sites;
   let prev = Atomic.get policy in
   Atomic.set policy { generation = prev.generation + 1; seed; sites = arr };
@@ -104,8 +122,10 @@ let delay_only point =
   match check point with
   | None -> ()
   | Some (Delay n) -> spin n
-  | Some (Abort | Kill | Wedge) ->
+  | Some (Abort | Kill | Wedge | Crash) ->
       (* Past the linearization point an abort would tear a committed
          transaction (and a wedge would stall it forever); serve the
-         draw as a fixed delay instead. *)
+         draw as a fixed delay instead.  Crash draws are only meaningful
+         at the durability points, whose code consults [check]
+         directly. *)
       spin 64

@@ -21,6 +21,18 @@ type point =
   | Pre_validate  (** after locking, before read-set validation *)
   | Abstract_lock_acquire  (** after a Proust abstract lock is taken *)
   | Replay_apply  (** inside a replay-log application *)
+  | Durable_pre_append
+      (** in {!Redo_log.append}, before the record enters the log's
+          in-memory buffer — a crash here loses the record entirely *)
+  | Durable_post_append
+      (** after the record is buffered but before the flusher has
+          written or fsynced it — a crash here loses an appended but
+          unacknowledged record *)
+  | Durable_mid_fsync
+      (** inside the flusher's batch write, between frames — a crash
+          here tears the log tail mid-frame *)
+  | Durable_mid_compaction
+      (** between the steps of snapshot+truncate compaction *)
 
 val point_name : point -> string
 val all_points : point list
@@ -36,6 +48,13 @@ type action =
           flips.  This is the deliberately-stuck transaction the QoS
           watchdog exists to unwedge — without a watchdog (or another
           killer) a wedged attempt never terminates. *)
+  | Crash
+      (** power-failure simulation at a durability point: the redo log
+          halts in place (pending appends are dropped, nothing further
+          is written or acknowledged) while the process lives on so the
+          harness can recover from the surviving file.  At non-durable
+          points {!Txn_state.chaos_point} serves a drawn [Crash] as a
+          [Kill]. *)
 
 (** Per-point policy: with probability [prob], draw one of [actions]
     uniformly. *)

@@ -16,6 +16,12 @@ type snapshot = {
   watchdog_kills : int;
   degraded_transitions : int;
   minor_words : int;
+  log_appends : int;
+  fsync_batches : int;
+  fsync_batch_size_p50 : int;
+  fsync_batch_size_p99 : int;
+  recoveries : int;
+  torn_tail_truncations : int;
 }
 
 (* Counters are striped across a fixed number of slots to avoid making
@@ -40,6 +46,10 @@ type cell = {
   watchdog_kills : int Atomic.t;
   degraded_transitions : int Atomic.t;
   minor_words : int Atomic.t;
+  log_appends : int Atomic.t;
+  fsync_batches : int Atomic.t;
+  recoveries : int Atomic.t;
+  torn_tail_truncations : int Atomic.t;
 }
 
 let make_cell () =
@@ -61,7 +71,17 @@ let make_cell () =
     watchdog_kills = Atomic.make 0;
     degraded_transitions = Atomic.make 0;
     minor_words = Atomic.make 0;
+    log_appends = Atomic.make 0;
+    fsync_batches = Atomic.make 0;
+    recoveries = Atomic.make 0;
+    torn_tail_truncations = Atomic.make 0;
   }
+
+(* Set-style gauges, not event counters: the redo-log flusher publishes
+   fresh batch-size percentiles after each batch, so the latest value is
+   the whole story and striping would only blur it. *)
+let fsync_p50 = Atomic.make 0
+let fsync_p99 = Atomic.make 0
 
 let cells = Array.init stripes (fun _ -> make_cell ())
 let my_cell () = cells.((Domain.self () :> int) land (stripes - 1))
@@ -82,6 +102,14 @@ let record_budget_exhausted () = bump (fun c -> c.budget_exhausted)
 let record_shed () = bump (fun c -> c.shed)
 let record_watchdog_kill () = bump (fun c -> c.watchdog_kills)
 let record_degraded_transition () = bump (fun c -> c.degraded_transitions)
+let record_log_append () = bump (fun c -> c.log_appends)
+let record_fsync_batch () = bump (fun c -> c.fsync_batches)
+let record_recovery () = bump (fun c -> c.recoveries)
+let record_torn_tail_truncation () = bump (fun c -> c.torn_tail_truncations)
+
+let set_fsync_batch_percentiles ~p50 ~p99 =
+  Atomic.set fsync_p50 p50;
+  Atomic.set fsync_p99 p99
 
 (* Unlike the event counters this one adds in bulk: workers report one
    [Gc.minor_words] delta per measured stretch, not per allocation. *)
@@ -107,6 +135,10 @@ let fields : (cell -> int Atomic.t) list =
     (fun c -> c.watchdog_kills);
     (fun c -> c.degraded_transitions);
     (fun c -> c.minor_words);
+    (fun c -> c.log_appends);
+    (fun c -> c.fsync_batches);
+    (fun c -> c.recoveries);
+    (fun c -> c.torn_tail_truncations);
   ]
 
 let sum (field : cell -> int Atomic.t) =
@@ -131,12 +163,20 @@ let read () : snapshot =
     watchdog_kills = sum (fun c -> c.watchdog_kills);
     degraded_transitions = sum (fun c -> c.degraded_transitions);
     minor_words = sum (fun c -> c.minor_words);
+    log_appends = sum (fun c -> c.log_appends);
+    fsync_batches = sum (fun c -> c.fsync_batches);
+    fsync_batch_size_p50 = Atomic.get fsync_p50;
+    fsync_batch_size_p99 = Atomic.get fsync_p99;
+    recoveries = sum (fun c -> c.recoveries);
+    torn_tail_truncations = sum (fun c -> c.torn_tail_truncations);
   }
 
 let reset () =
   List.iter
     (fun field -> Array.iter (fun c -> Atomic.set (field c) 0) cells)
-    fields
+    fields;
+  Atomic.set fsync_p50 0;
+  Atomic.set fsync_p99 0
 
 let diff (a : snapshot) (b : snapshot) : snapshot =
   {
@@ -157,6 +197,13 @@ let diff (a : snapshot) (b : snapshot) : snapshot =
     watchdog_kills = b.watchdog_kills - a.watchdog_kills;
     degraded_transitions = b.degraded_transitions - a.degraded_transitions;
     minor_words = b.minor_words - a.minor_words;
+    log_appends = b.log_appends - a.log_appends;
+    fsync_batches = b.fsync_batches - a.fsync_batches;
+    (* Gauges, not counters: the interval's value is the later reading. *)
+    fsync_batch_size_p50 = b.fsync_batch_size_p50;
+    fsync_batch_size_p99 = b.fsync_batch_size_p99;
+    recoveries = b.recoveries - a.recoveries;
+    torn_tail_truncations = b.torn_tail_truncations - a.torn_tail_truncations;
   }
 
 let to_assoc (s : snapshot) =
@@ -178,14 +225,24 @@ let to_assoc (s : snapshot) =
     ("watchdog_kills", s.watchdog_kills);
     ("degraded_transitions", s.degraded_transitions);
     ("minor_words", s.minor_words);
+    ("log_appends", s.log_appends);
+    ("fsync_batches", s.fsync_batches);
+    ("fsync_batch_size_p50", s.fsync_batch_size_p50);
+    ("fsync_batch_size_p99", s.fsync_batch_size_p99);
+    ("recoveries", s.recoveries);
+    ("torn_tail_truncations", s.torn_tail_truncations);
   ]
 
 let pp fmt (s : snapshot) =
   Format.fprintf fmt
     "starts=%d commits=%d aborts=%d (conflict=%d killed=%d explicit=%d) \
      remote=%d waits=%d ext=%d fallbacks=%d injected=%d timeouts=%d \
-     budget=%d shed=%d wd_kills=%d degraded=%d minor_words=%d"
+     budget=%d shed=%d wd_kills=%d degraded=%d minor_words=%d \
+     log_appends=%d fsync_batches=%d fsync_p50=%d fsync_p99=%d \
+     recoveries=%d torn_tails=%d"
     s.starts s.commits s.aborts s.conflicts s.killed_aborts s.explicit_aborts
     s.remote_aborts s.lock_waits s.extensions s.fallbacks s.injected_faults
     s.timeouts s.budget_exhausted s.shed s.watchdog_kills
-    s.degraded_transitions s.minor_words
+    s.degraded_transitions s.minor_words s.log_appends s.fsync_batches
+    s.fsync_batch_size_p50 s.fsync_batch_size_p99 s.recoveries
+    s.torn_tail_truncations

@@ -29,6 +29,17 @@ type snapshot = {
           in bulk by {!add_minor_words} (the benchmark workers record
           one [Gc.minor_words] delta per trial); divide by [commits]
           for the allocation-per-transaction figure *)
+  log_appends : int;  (** records appended to a durable redo log *)
+  fsync_batches : int;  (** group-commit fsync batches flushed *)
+  fsync_batch_size_p50 : int;
+      (** median records per fsync batch — a set-style gauge published
+          by the redo-log flusher, so [diff] carries the later reading
+          rather than a difference *)
+  fsync_batch_size_p99 : int;
+      (** 99th-percentile records per fsync batch (gauge, like p50) *)
+  recoveries : int;  (** redo-log recovery scans completed *)
+  torn_tail_truncations : int;
+      (** recoveries that truncated a torn (partially-written) tail *)
 }
 
 val record_start : unit -> unit
@@ -47,6 +58,15 @@ val record_budget_exhausted : unit -> unit
 val record_shed : unit -> unit
 val record_watchdog_kill : unit -> unit
 val record_degraded_transition : unit -> unit
+val record_log_append : unit -> unit
+val record_fsync_batch : unit -> unit
+val record_recovery : unit -> unit
+val record_torn_tail_truncation : unit -> unit
+
+(** [set_fsync_batch_percentiles ~p50 ~p99] publishes the redo-log
+    flusher's current batch-size percentiles (gauges; see the snapshot
+    field docs). *)
+val set_fsync_batch_percentiles : p50:int -> p99:int -> unit
 
 (** [add_minor_words n] adds [n] words to the allocation counter
     (no-op for [n <= 0]). *)

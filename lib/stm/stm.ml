@@ -45,6 +45,7 @@ let config = Txn_state.config
 let read_version = Txn_state.read_version
 let on_commit_locked = Txn_state.on_commit_locked
 let after_commit = Txn_state.after_commit
+let on_commit_durable = Txn_state.on_commit_durable
 let on_abort = Txn_state.on_abort
 let chaos_point = Txn_state.chaos_point
 let set_leak_audit = Txn_state.set_leak_audit
@@ -106,6 +107,7 @@ let or_else t f g =
   let saved_commit = t.Txn_state.commit_locked_hooks in
   let saved_after = t.Txn_state.after_commit_hooks in
   let saved_abort = t.Txn_state.abort_hooks in
+  let saved_durable = t.Txn_state.durable_hooks in
   match f t with
   | v ->
       Rwset.Wlog.set_floor w wfloor;
@@ -131,6 +133,7 @@ let or_else t f g =
       t.Txn_state.commit_locked_hooks <- saved_commit;
       t.Txn_state.after_commit_hooks <- saved_after;
       t.Txn_state.abort_hooks <- saved_abort;
+      t.Txn_state.durable_hooks <- saved_durable;
       g t
   (* Any other exception abandons the attempt entirely (the ladder
      aborts and retires the record, which resets the floors), so no

@@ -167,6 +167,17 @@ val read_version : txn -> int
 val on_commit_locked : txn -> (unit -> unit) -> unit
 val after_commit : txn -> (unit -> unit) -> unit
 
+(** Register a durability handler.  If the transaction commits, the
+    handler runs in the locked phase (write locks still held, so
+    redo-log append order agrees with conflict order) and receives the
+    commit version as its log sequence number; registering one forces
+    the commit to tick the clock even when the tvar write set is empty,
+    so every durable commit owns a distinct LSN.  The handler may
+    return a wait thunk — typically a group-commit flush wait — which
+    the ladder runs only after all locks and gates are released and the
+    [after_commit] handlers have run. *)
+val on_commit_durable : txn -> (int -> (unit -> unit) option) -> unit
+
 (** Register an abort handler.  Unlike the other registrations this is
     permitted on a transaction that has already been killed remotely
     (but whose attempt is still running): eager constructions register

@@ -72,6 +72,11 @@ type t = {
   mutable commit_locked_hooks : (unit -> unit) list;  (* LIFO storage *)
   mutable after_commit_hooks : (unit -> unit) list;  (* LIFO storage *)
   mutable abort_hooks : (unit -> unit) list;  (* LIFO storage = run order *)
+  mutable durable_hooks : (int -> (unit -> unit) option) list;
+      (* LIFO storage.  Run in the locked phase with the commit version
+         (LSN); each may return a wait thunk the ladder runs after all
+         locks and gates are released (group-commit flush waits must not
+         extend the locked window). *)
   backoff : Backoff.t;
   gate_backoff : Backoff.t;
   mutable finished : bool;
@@ -143,6 +148,10 @@ let on_commit_locked t f =
 let after_commit t f =
   check_open t;
   t.after_commit_hooks <- f :: t.after_commit_hooks
+
+let on_commit_durable t f =
+  check_open t;
+  t.durable_hooks <- f :: t.durable_hooks
 
 (* NB: [check_open], not [check_alive] — a transaction killed remotely
    between a base-structure mutation and this registration is a zombie
@@ -245,6 +254,12 @@ let chaos_point t point =
       | Some Fault.Kill ->
           (* Simulate a remote kill: the "victim" notices at its next
              liveness check, exactly like a contention-manager abort. *)
+          ignore (Txn_desc.try_kill t.tdesc)
+      | Some Fault.Crash ->
+          (* Crash draws only make sense inside the redo log, whose code
+             consults [Fault.check] directly; at STM-side points serve
+             the draw as a remote kill so chaos schedules that list
+             [Crash] everywhere still exercise an abort path. *)
           ignore (Txn_desc.try_kill t.tdesc)
       | Some Fault.Wedge ->
           (* Stall in place until some remote party — in practice the
@@ -371,6 +386,7 @@ let audit_pool_residue t =
     t.commit_locked_hooks <> []
     || t.after_commit_hooks <> []
     || t.abort_hooks <> []
+    || t.durable_hooks <> []
   then leak "pooled descriptor retains stale hooks"
 
 (* ------------------------------------------------------------------ *)
@@ -439,6 +455,7 @@ let fresh () =
     commit_locked_hooks = [];
     after_commit_hooks = [];
     abort_hooks = [];
+    durable_hooks = [];
     backoff = Backoff.create ();
     gate_backoff = Backoff.create ();
     finished = true;
@@ -535,6 +552,7 @@ let retire t =
   t.commit_locked_hooks <- [];
   t.after_commit_hooks <- [];
   t.abort_hooks <- [];
+  t.durable_hooks <- [];
   t.proto <- null_proto;
   (* Unpublish from the watchdog even if it was disarmed mid-attempt:
      keyed on the slot's own contents, not [watchdog_on]. *)

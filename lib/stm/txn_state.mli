@@ -50,6 +50,7 @@ type t = {
   mutable commit_locked_hooks : (unit -> unit) list;
   mutable after_commit_hooks : (unit -> unit) list;
   mutable abort_hooks : (unit -> unit) list;
+  mutable durable_hooks : (int -> (unit -> unit) option) list;
   backoff : Backoff.t;
   gate_backoff : Backoff.t;
   mutable finished : bool;
@@ -86,6 +87,12 @@ val check_deadline : t -> unit
 val on_commit_locked : t -> (unit -> unit) -> unit
 val after_commit : t -> (unit -> unit) -> unit
 val on_abort : t -> (unit -> unit) -> unit
+
+(** Register a durability handler: runs in the commit locked phase with
+    the commit version (its LSN); a returned thunk is the flush wait,
+    run by the ladder after locks, gates and [after_commit] handlers.
+    See {!Stm.on_commit_durable}. *)
+val on_commit_durable : t -> (int -> (unit -> unit) option) -> unit
 
 (** {2 Observability taps} — one gate load per disabled site. *)
 

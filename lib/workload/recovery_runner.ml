@@ -1,0 +1,217 @@
+(* The crash-point chaos harness: seeded multi-domain workloads over a
+   durable map that "crash" (halt the redo log, abandon the workers'
+   progress) at a configured durability injection point, followed by a
+   recovery whose result is checked against the committed history.
+
+   The correctness criterion, per ISSUE/ROADMAP item 5:
+
+     acked  ⊆  replayed  ⊆  committed
+
+   — no acknowledged commit may be lost, nothing that did not commit
+   may be resurrected — and the recovered structure's contents must
+   equal the {!Proust_verify.Adt_model} fold of exactly the replayed
+   records in LSN order (prefix-consistency at the structure level),
+   with a second recovery changing nothing. *)
+
+module Durable = Proust_durable
+module Adt_model = Proust_verify.Adt_model
+module Trait = Proust_structures.Trait
+
+type txn_record = {
+  lsn : int;
+  ops : Adt_model.map_op list;  (* chronological MPut/MRemove *)
+  acked : bool;
+}
+
+type config = {
+  domains : int;
+  txns_per_domain : int;
+  keys : int;
+  values : int;
+  seed : int;
+  fmt : Durable.Frame.format;
+  crash_point : Fault.point option;  (* None: run to completion *)
+  crash_prob : float;
+  batch_delay : float;
+}
+
+let default_config =
+  {
+    domains = 4;
+    txns_per_domain = 150;
+    keys = 16;
+    values = 64;
+    seed = 0xC0FFEE;
+    fmt = Durable.Frame.Value;
+    crash_point = None;
+    crash_prob = 0.02;
+    batch_delay = 0.;
+  }
+
+type result = {
+  committed : txn_record list;  (* every committed durable txn *)
+  crashed : bool;  (* the log halted mid-run *)
+  log_path : string;
+}
+
+(* Apply one model op to the durable map inside the transaction. *)
+let apply_op (m : (int, int) Trait.Map.ops) txn = function
+  | Adt_model.MPut (k, v) -> ignore (m.Trait.Map.put txn k v)
+  | Adt_model.MRemove k -> ignore (m.Trait.Map.remove txn k)
+  | Adt_model.MGet k -> ignore (m.Trait.Map.get txn k)
+
+let gen_ops rng cfg =
+  let n = 1 + Random.State.int rng 3 in
+  List.init n (fun _ ->
+      let k = Random.State.int rng cfg.keys in
+      match Random.State.int rng 4 with
+      | 0 -> Adt_model.MRemove k
+      | _ -> Adt_model.MPut (k, Random.State.int rng cfg.values))
+
+let run ~path ~(base : unit -> (int, int) Trait.Map.ops) cfg =
+  let log = Durable.Redo_log.create ~batch_delay:cfg.batch_delay ~path () in
+  (match cfg.crash_point with
+  | None -> ()
+  | Some p ->
+      Fault.configure ~seed:cfg.seed
+        [ (p, { Fault.prob = cfg.crash_prob; actions = [ Fault.Crash ] }) ]);
+  Fun.protect
+    ~finally:(fun () ->
+      if cfg.crash_point <> None then Fault.disable ();
+      Durable.Redo_log.close log)
+    (fun () ->
+      let base_ops = base () in
+      let all = Mutex.create () in
+      let committed = ref [] in
+      let workers =
+        List.init cfg.domains (fun d ->
+            Domain.spawn (fun () ->
+                let rng =
+                  Random.State.make [| cfg.seed; d; 0x5EED |]
+                in
+                (* Per-domain wrapper so the on-commit tap can pair the
+                   LSN the ladder hands out with the ops this domain's
+                   current transaction performed. *)
+                let mine = ref [] in
+                let current = ref [] in
+                let tap ~lsn ~acked =
+                  mine := { lsn; ops = !current; acked } :: !mine
+                in
+                let m =
+                  Durable.Durable_map.ops
+                    (Durable.Durable_map.wrap ~on_commit:tap ~fmt:cfg.fmt
+                       ~log base_ops)
+                in
+                (try
+                   for _ = 1 to cfg.txns_per_domain do
+                     if not (Durable.Redo_log.halted log) then begin
+                       let ops = gen_ops rng cfg in
+                       current := ops;
+                       Stm.atomically (fun txn ->
+                           List.iter (apply_op m txn) ops)
+                     end
+                   done
+                 with e ->
+                   (* A worker dying would deadlock the join; surface
+                      the exception after the run instead. *)
+                   Mutex.lock all;
+                   committed := [];
+                   Mutex.unlock all;
+                   raise e);
+                Mutex.lock all;
+                committed := !mine @ !committed;
+                Mutex.unlock all))
+      in
+      List.iter Domain.join workers;
+      let crashed = Durable.Redo_log.halted log in
+      { committed = !committed; crashed; log_path = path })
+
+(* ------------------------------------------------------------------ *)
+(* Verification                                                         *)
+
+let model = Adt_model.small_map ()
+
+let fold_model records =
+  List.fold_left
+    (fun st (r : txn_record) ->
+      List.fold_left (fun st op -> fst (model.Adt_model.apply st op)) st r.ops)
+    [] records
+
+let contents (m : (int, int) Trait.Map.ops) ~keys =
+  Stm.atomically (fun txn ->
+      List.filter_map
+        (fun k ->
+          match m.Trait.Map.get txn k with
+          | Some v -> Some (k, v)
+          | None -> None)
+        (List.init keys Fun.id))
+
+let show_state st =
+  "{"
+  ^ String.concat "; "
+      (List.map (fun (k, v) -> Printf.sprintf "%d->%d" k v) st)
+  ^ "}"
+
+(* [verify res ~base ~keys] recovers the log in [res] and checks the
+   full criterion.  [base] builds a fresh empty structure per replay;
+   [keys] bounds the keyspace scan.  Returns [Error msg] naming the
+   first violated clause. *)
+let verify (res : result) ~(base : unit -> (int, int) Trait.Map.ops) ~keys =
+  let ( let* ) r f = match r with Error _ as e -> e | Ok () -> f () in
+  let report = Durable.Recovery.run res.log_path in
+  let replayed = Durable.Recovery.replayed_lsns report in
+  let committed_lsns = List.map (fun r -> r.lsn) res.committed in
+  let acked_lsns =
+    List.filter_map (fun r -> if r.acked then Some r.lsn else None)
+      res.committed
+  in
+  let in_snapshot lsn = lsn <> 0 && lsn <= report.Durable.Recovery.snapshot_lsn in
+  let* () =
+    (* No acknowledged commit lost: an acked LSN is either replayed or
+       already folded into the snapshot. *)
+    match
+      List.find_opt
+        (fun l -> not (List.mem l replayed || in_snapshot l))
+        acked_lsns
+    with
+    | Some l -> Error (Printf.sprintf "acked lsn %d lost by recovery" l)
+    | None -> Ok ()
+  in
+  let* () =
+    (* Nothing resurrected: every replayed record came from a commit. *)
+    match
+      List.find_opt (fun l -> not (List.mem l committed_lsns)) replayed
+    with
+    | Some l -> Error (Printf.sprintf "recovery replayed unknown lsn %d" l)
+    | None -> Ok ()
+  in
+  (* Prefix-consistency of the recovered state: fold the model over the
+     durable subset of the committed history in LSN order. *)
+  let durable_records =
+    List.filter (fun r -> List.mem r.lsn replayed || in_snapshot r.lsn)
+      res.committed
+    |> List.sort (fun a b -> compare a.lsn b.lsn)
+  in
+  let want = fold_model durable_records in
+  let fresh = base () in
+  Durable.Durable_map.replay report fresh;
+  let got = contents fresh ~keys in
+  let* () =
+    if model.Adt_model.equal_state want got then Ok ()
+    else
+      Error
+        (Printf.sprintf "recovered state %s, model folds to %s"
+           (show_state got) (show_state want))
+  in
+  (* Idempotence: a second recovery sees the same (tail-truncated) log
+     and reproduces the same state. *)
+  let report2 = Durable.Recovery.run res.log_path in
+  let* () =
+    if Durable.Recovery.replayed_lsns report2 = replayed then Ok ()
+    else Error "second recovery saw a different record set"
+  in
+  let fresh2 = base () in
+  Durable.Durable_map.replay report2 fresh2;
+  let got2 = contents fresh2 ~keys in
+  if model.Adt_model.equal_state got got2 then Ok ()
+  else Error "double recovery diverged"

@@ -1,0 +1,49 @@
+(** The crash-point chaos harness: seeded multi-domain workloads over a
+    durable map that halt the redo log at a configured {!Fault}
+    durability point, then recover and check the result against the
+    committed history ([acked ⊆ replayed ⊆ committed], recovered state
+    = model fold of the replayed records, double recovery a no-op). *)
+
+type txn_record = {
+  lsn : int;  (** commit version stamped by the ladder *)
+  ops : Proust_verify.Adt_model.map_op list;  (** chronological *)
+  acked : bool;  (** the flush wait confirmed durability *)
+}
+
+type config = {
+  domains : int;
+  txns_per_domain : int;
+  keys : int;  (** keyspace [0 .. keys-1] *)
+  values : int;
+  seed : int;
+  fmt : Proust_durable.Frame.format;
+  crash_point : Fault.point option;  (** [None]: run to completion *)
+  crash_prob : float;
+  batch_delay : float;  (** group-commit linger, seconds *)
+}
+
+val default_config : config
+
+type result = {
+  committed : txn_record list;
+  crashed : bool;
+  log_path : string;
+}
+
+(** [run ~path ~base cfg] drives [cfg.domains] workers over one durable
+    wrap of [base ()] logging to [path]; workers stop at their budget
+    or as soon as the log halts.  Configures (and afterwards disables)
+    {!Fault} when [cfg.crash_point] is set. *)
+val run :
+  path:string ->
+  base:(unit -> (int, int) Proust_structures.Trait.Map.ops) ->
+  config ->
+  result
+
+(** [verify res ~base ~keys] recovers [res.log_path] twice and checks
+    the full criterion; [Error msg] names the first violated clause. *)
+val verify :
+  result ->
+  base:(unit -> (int, int) Proust_structures.Trait.Map.ops) ->
+  keys:int ->
+  (unit, string) Result.t

@@ -352,11 +352,22 @@ let test_seeded_determinism () =
       let a = draw () and b = draw () in
       check cb "same seed, same schedule" true (a = b))
 
+(* Every injection point (the four durability points included) must be
+   enumerable with a distinct, nonempty name — the bench/CI fault
+   matrix keys on these. *)
+let test_point_names () =
+  let names = List.map Fault.point_name Fault.all_points in
+  check ci "ten injection points" 10 (List.length names);
+  List.iter (fun n -> check cb ("nonempty: " ^ n) true (n <> "")) names;
+  check ci "names are distinct" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
 let suite =
   [
     test "fault injection disabled is free" test_disabled_is_free;
     test "fault schedules are seeded and deterministic"
       test_seeded_determinism;
+    test "all injection points are named" test_point_names;
   ]
   @ List.map
       (fun mode ->

@@ -20,4 +20,5 @@ let () =
       ("lin", Test_lin.suite);
       ("obs", Test_obs.suite);
       ("qos", Test_qos.suite);
+      ("durable", Test_durable.suite);
     ]

@@ -290,7 +290,7 @@ let test_metrics_from_stm () =
 let test_stats_to_assoc () =
   let s = Stats.read () in
   let assoc = Stats.to_assoc s in
-  check ci "17 counters exported" 17 (List.length assoc);
+  check ci "23 counters exported" 23 (List.length assoc);
   List.iter
     (fun k ->
       check cb ("counter " ^ k ^ " present") true (List.mem_assoc k assoc))
@@ -299,6 +299,8 @@ let test_stats_to_assoc () =
       "lock_waits"; "extensions"; "killed_aborts"; "explicit_aborts";
       "fallbacks"; "injected_faults"; "timeouts"; "budget_exhausted";
       "shed"; "watchdog_kills"; "degraded_transitions"; "minor_words";
+      "log_appends"; "fsync_batches"; "fsync_batch_size_p50";
+      "fsync_batch_size_p99"; "recoveries"; "torn_tail_truncations";
     ];
   (* diff and to_assoc commute: to_assoc (diff a b) is the pairwise
      difference of the exports. *)
@@ -307,10 +309,15 @@ let test_stats_to_assoc () =
   Stm.atomically (fun txn -> Stm.write txn r 1);
   let b = Stats.read () in
   let d = Stats.to_assoc (Stats.diff a b) in
+  let gauge k = k = "fsync_batch_size_p50" || k = "fsync_batch_size_p99" in
   List.iter2
     (fun (ka, va) ((kb, vb), _) ->
       check cs "same key order" ka kb;
-      check ci ("diff of " ^ ka) (vb - va) (List.assoc ka d))
+      (* counters subtract; the fsync-batch-size gauges carry the later
+         snapshot's value *)
+      check ci ("diff of " ^ ka)
+        (if gauge ka then vb else vb - va)
+        (List.assoc ka d))
     (Stats.to_assoc a)
     (List.combine (Stats.to_assoc b) d);
   check cb "the txn committed" true (List.assoc "commits" d >= 1)
