@@ -807,13 +807,105 @@ let durability () =
     (if quick then [ 0.; 0.001 ] else [ 0.; 0.0002; 0.001; 0.005 ])
 
 (* ------------------------------------------------------------------ *)
+(* PARKING: parked retry vs busy-poll on a blocking channel.           *)
+
+module Y = Proust_sync
+
+(* One producer feeds [consumers] blocking receivers through a small
+   channel, pausing between bursts so the consumers genuinely wait for
+   data rather than streaming it.  The same workload runs once per
+   retry mode: Park should show parks > 0 and retry_polls = 0, Poll
+   the reverse — that contrast is what CI gates on over
+   BENCH_parking.json. *)
+let parking () =
+  let consumers =
+    env_int "PROUST_DOMAINS"
+      (max 2 (min 4 (Domain.recommended_domain_count ())))
+  in
+  let msgs = max 200 (min 2_000 (total_ops / 10)) in
+  W.Report.section
+    (Printf.sprintf "PARKING: blocked retry vs busy-poll (%d msgs, %d consumers)"
+       msgs consumers);
+  Printf.printf "%-6s %8s %10s %8s %8s %9s %12s %9s\n" "mode" "recv"
+    "mean(ms)" "parks" "wakeups" "spurious" "retry_polls" "maxwaitq";
+  Printf.printf "%s\n" (String.make 78 '-');
+  let run_mode mode name =
+    Stm.set_retry_mode mode;
+    let ch = Y.Channel.make ~capacity:8 () in
+    let received = Atomic.make 0 in
+    let enter = W.Runner.barrier (consumers + 1) in
+    let before = Stats.read () in
+    let t0 = ref 0.0 in
+    let cs =
+      List.init consumers (fun _ ->
+          Domain.spawn (fun () ->
+              enter ();
+              let rec loop () =
+                match Stm.atomically (fun txn -> Y.Channel.recv_opt txn ch) with
+                | Some _ ->
+                    Atomic.incr received;
+                    loop ()
+                | None -> ()
+              in
+              loop ()))
+    in
+    let p =
+      Domain.spawn (fun () ->
+          enter ();
+          t0 := Clock.now_mono ();
+          for i = 1 to msgs do
+            Stm.atomically (fun txn -> Y.Channel.send txn ch i);
+            (* Idle gaps let consumers drain the channel and block on
+               empty: the waiting, not the throughput, is under test. *)
+            if i mod 16 = 0 then Unix.sleepf 0.002
+          done;
+          Stm.atomically (fun txn -> Y.Channel.close txn ch))
+    in
+    Domain.join p;
+    List.iter Domain.join cs;
+    let dt_ms = (Clock.now_mono () -. !t0) *. 1000.0 in
+    let st = Stats.diff before (Stats.read ()) in
+    Printf.printf "%-6s %8d %10.2f %8d %8d %9d %12d %9d\n%!" name
+      (Atomic.get received) dt_ms st.Stats.parks st.Stats.wakeups
+      st.Stats.spurious_wakeups st.Stats.retry_polls st.Stats.wait_list_max;
+    if json_file <> None then
+      cells :=
+        Obs.Json.Obj
+          [
+            ("kind", Obs.Json.String "parking");
+            ("retry_mode", Obs.Json.String name);
+            ("threads", Obs.Json.Int consumers);
+            ("msgs", Obs.Json.Int msgs);
+            ("received", Obs.Json.Int (Atomic.get received));
+            ("mean_ms", Obs.Json.Float dt_ms);
+            ("parks", Obs.Json.Int st.Stats.parks);
+            ("wakeups", Obs.Json.Int st.Stats.wakeups);
+            ("spurious_wakeups", Obs.Json.Int st.Stats.spurious_wakeups);
+            ("retry_polls", Obs.Json.Int st.Stats.retry_polls);
+            ("wait_list_max", Obs.Json.Int st.Stats.wait_list_max);
+            ( "stats",
+              Obs.Json.Obj
+                (List.map
+                   (fun (k, v) -> (k, Obs.Json.Int v))
+                   (Stats.to_assoc st)) );
+          ]
+        :: !cells
+  in
+  Fun.protect
+    ~finally:(fun () -> Stm.set_retry_mode Stm.Park)
+    (fun () ->
+      run_mode Stm.Park "park";
+      run_mode Stm.Poll "poll")
+
+(* ------------------------------------------------------------------ *)
 
 let usage () =
   print_endline
     "usage: main.exe \
      [fig1|fig4|fig4-memo|micro|ablation-m|ablation-cm|ablation-mode|\
      ablation-zipf|ablation-combine|pqueue|queue|structures|compose|\
-     overload|durability|obs-overhead|all] [--json FILE] [--trace FILE]"
+     overload|durability|parking|obs-overhead|all] [--json FILE] \
+     [--trace FILE]"
 
 let () =
   (* First non-flag argument is the command; --json/--trace (and their
@@ -844,6 +936,7 @@ let () =
   | "compose" -> compose_bench ()
   | "overload" -> overload ()
   | "durability" -> durability ()
+  | "parking" -> parking ()
   | "obs-overhead" -> obs_overhead ()
   | "all" ->
       fig1 ();
@@ -860,7 +953,8 @@ let () =
       structures_bench ();
       compose_bench ();
       overload ();
-      durability ()
+      durability ();
+      parking ()
   | _ -> usage ());
   Option.iter
     (fun file ->

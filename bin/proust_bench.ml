@@ -92,6 +92,9 @@ let run impls threads_list u o ops key_range trials slots mode cm csv json
             | W.Registry.Pqueue make ->
                 W.Runner.run_pqueue ~config ~label:name ~trials ~warmup:1
                   ~threads ~spec make
+            | W.Registry.Counter make ->
+                W.Runner.run_counter ~config ~label:name ~trials ~warmup:1
+                  ~threads ~spec make
           in
           W.Report.row ~name r;
           Option.iter (fun oc -> W.Report.csv_row oc ~name r) csv_oc;

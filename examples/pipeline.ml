@@ -1,0 +1,127 @@
+(* Blocking coordination: a multi-stage pipeline wired from the
+   transactional sync family.
+
+   Stage 1 (parsers) turn raw strings into ints and send them down a
+   bounded channel; stage 2 (squarers) read that channel and emit to a
+   second one; a single folder sums stage-2 output and fulfils a
+   promise with the total.  A counting semaphore rate-limits how many
+   raw items may be in flight at once, and the folder uses [select] to
+   multiplex the data channel against a quit channel.
+
+   Every wait here — full channel, empty channel, unfulfilled promise,
+   exhausted semaphore — is [Stm.retry] parking the domain on the
+   tvars it read; no stage busy-polls.
+
+   Run with: dune exec examples/pipeline.exe *)
+
+module Y = Proust_sync
+
+let in_flight_limit = 4
+let items = 32
+
+let () =
+  let raw : string Y.Channel.t = Y.Channel.make ~capacity:8 () in
+  let parsed : int Y.Channel.t = Y.Channel.make ~capacity:8 () in
+  let squared : int Y.Channel.t = Y.Channel.make ~capacity:8 () in
+  let quit : unit Y.Channel.t = Y.Channel.make ~capacity:1 () in
+  let tickets = Y.Semaphore.make ~cap:in_flight_limit in_flight_limit in
+  let total : int Y.Promise.t = Y.Promise.make () in
+
+  (* Stage 1: two parsers.  recv_opt returns None once [raw] is closed
+     and drained, which is how the stage learns to shut down. *)
+  let parsers =
+    List.init 2 (fun _ ->
+        Domain.spawn (fun () ->
+            let rec loop () =
+              match
+                Stm.atomically (fun txn ->
+                    match Y.Channel.recv_opt txn raw with
+                    | None -> None
+                    | Some s ->
+                        Y.Channel.send txn parsed (int_of_string s);
+                        Some ())
+              with
+              | Some () -> loop ()
+              | None -> ()
+            in
+            loop ()))
+  in
+
+  (* Stage 2: two squarers.  Each consumed item releases its
+     admission ticket — the semaphore caps pipeline occupancy. *)
+  let squarers =
+    List.init 2 (fun _ ->
+        Domain.spawn (fun () ->
+            let rec loop () =
+              match
+                Stm.atomically (fun txn ->
+                    match Y.Channel.recv_opt txn parsed with
+                    | None -> None
+                    | Some n ->
+                        Y.Channel.send txn squared (n * n);
+                        Y.Semaphore.release txn tickets;
+                        Some ())
+              with
+              | Some () -> loop ()
+              | None -> ()
+            in
+            loop ()))
+  in
+
+  (* Folder: select multiplexes data against the quit signal.  The
+     rotation in [select] keeps a busy data channel from starving the
+     quit case, and when both block the domain parks once on the union
+     of their read sets. *)
+  let folder =
+    Domain.spawn (fun () ->
+        let rec loop acc =
+          match
+            Stm.atomically (fun txn ->
+                Y.Select.select txn
+                  [
+                    Y.Select.recv squared (fun n -> `Item n);
+                    Y.Select.recv quit (fun () -> `Quit);
+                  ])
+          with
+          | `Item n -> loop (acc + n)
+          | `Quit ->
+              (* The rotation means quit can win while squares are
+                 still buffered: drain them non-blockingly first. *)
+              let acc =
+                Stm.atomically (fun txn ->
+                    let rec drain acc =
+                      match Y.Channel.try_recv txn squared with
+                      | Some n -> drain (acc + n)
+                      | None -> acc
+                    in
+                    drain acc)
+              in
+              Stm.atomically (fun txn -> Y.Promise.fulfil txn total acc)
+        in
+        loop 0)
+  in
+
+  (* Feed the pipeline: acquire a ticket per item, so at most
+     [in_flight_limit] items occupy stages 1–2 at once. *)
+  for i = 1 to items do
+    Stm.atomically (fun txn ->
+        Y.Semaphore.acquire txn tickets;
+        Y.Channel.send txn raw (string_of_int i))
+  done;
+  Stm.atomically (fun txn -> Y.Channel.close txn raw);
+  List.iter Domain.join parsers;
+  Stm.atomically (fun txn -> Y.Channel.close txn parsed);
+  List.iter Domain.join squarers;
+
+  (* All squares delivered: tell the folder to wrap up, then block on
+     the promise for the final figure. *)
+  Stm.atomically (fun txn -> Y.Channel.send txn quit ());
+  let sum = Stm.atomically (fun txn -> Y.Promise.await txn total) in
+  Domain.join folder;
+  let expect = items * (items + 1) * ((2 * items) + 1) / 6 in
+  Printf.printf "pipeline sum of squares 1..%d = %d (expected %d)\n%!" items
+    sum expect;
+  Printf.printf "tickets back home: %d/%d, parked waiters: %d\n%!"
+    (Y.Semaphore.peek tickets) in_flight_limit (Stm.parked_waiters ());
+  assert (sum = expect);
+  assert (Y.Semaphore.peek tickets = in_flight_limit)

@@ -79,6 +79,30 @@ let release_quiesce token = ignore (Atomic.compare_and_set quiesce token 0)
 (* ------------------------------------------------------------------ *)
 (* Commit                                                               *)
 
+(* Wake [retry] waiters parked on tvars this commit wrote.  Runs after
+   the plan is published and every lock and gate is released (a woken
+   domain re-reads immediately; waking under the locks would only
+   convoy it), which still satisfies the no-lost-wakeup order: publish
+   strictly precedes the wait-list detach (see Parking).  The fast
+   path — nobody parked anywhere — is one atomic load.
+
+   [Commit_wake] is the broken-waker chaos point: a [Kill]/[Crash]
+   draw drops the wakeup entirely (safety is untouched — the commit is
+   already published — but liveness now rests on waiter deadlines),
+   which is the bug class the lost-wakeup regression suite must
+   catch. *)
+let wake_written t =
+  if Parking.have_waiters () then begin
+    match Fault.check Fault.Commit_wake with
+    | Some (Fault.Kill | Fault.Crash) -> ()
+    | draw ->
+        (match draw with
+        | Some (Fault.Delay n) -> Fault.spin n
+        | Some (Fault.Abort | Fault.Wedge) -> Fault.spin 64
+        | _ -> ());
+        Rwset.Wlog.plan_iter_tv t.wset Parking.wake_tvar
+  end
+
 let do_commit t =
   check_alive t;
   chaos_point t Fault.Pre_commit;
@@ -169,6 +193,7 @@ let do_commit t =
       Rwset.Wlog.publish_plan t.wset ~version:wv;
       release_locks t;
       t.proto.p_release t;
+      if has_writes then wake_written t;
       (match run_hooks after_hooks with
       | () -> ()
       | exception e -> if !locked_failure = None then locked_failure := Some e);
@@ -180,21 +205,12 @@ let do_commit t =
 (* ------------------------------------------------------------------ *)
 (* Retry blocking                                                       *)
 
-let wait_for_change watchers =
-  if watchers = [] then
-    failwith "Stm.retry: transaction read nothing; it would block forever";
-  (* A private backoff: blocking on a retry must not disturb the
-     episode backoff's escalation state (and this path can afford the
-     allocation). *)
-  let b = Backoff.create () in
-  let rec loop () =
-    if List.exists (fun w -> w ()) watchers then ()
-    else begin
-      Backoff.once b;
-      loop ()
-    end
-  in
-  loop ()
+(* Block until a watched tvar changes (or the episode deadline
+   passes): real parking on the read set's wait lists, or the legacy
+   busy-poll under [Parking.Poll].  A retry that read nothing can
+   never be woken, which the ladder turns into [Retry_no_reads] before
+   reaching here. *)
+let wait_for_change ~deadline_ns watch = Parking.await ~deadline_ns watch
 
 (* ------------------------------------------------------------------ *)
 (* The escalation ladder                                                *)
@@ -278,13 +294,13 @@ let run ?(deadline_ns = 0) ?(attempt_budget = 0) cfg f =
       obs_attempt_start t ~n;
       let birth = Some t.tdesc.Txn_desc.birth in
       Domain.DLS.set current_txn (Some t);
-      let retry_after_abort ?watchers reason =
+      let retry_after_abort ?watch reason =
         Domain.DLS.set current_txn None;
         abort_and_scrub t reason;
         let next_priority = t.tdesc.Txn_desc.priority in
         maybe_audit t;
-        (match watchers with
-        | Some ws -> wait_for_change ws
+        (match watch with
+        | Some ws -> wait_for_change ~deadline_ns ws
         | None -> Backoff.once ~until_ns:deadline_ns backoff);
         retire t;
         attempt (n + 1) ~priority:next_priority ~birth
@@ -299,8 +315,17 @@ let run ?(deadline_ns = 0) ?(attempt_budget = 0) cfg f =
           | exception e -> commit_firewall t e)
       | exception Abort_exn reason -> retry_after_abort reason
       | exception Retry_exn ->
-          let watchers = read_watchers t in
-          retry_after_abort ~watchers Explicit
+          let watch = read_watch_entries t in
+          if watch = [] then begin
+            (* An empty read set can never be woken: fail the episode
+               with the typed error, with pool hygiene restored. *)
+            Domain.DLS.set current_txn None;
+            abort_and_scrub t Explicit;
+            maybe_audit t;
+            retire t;
+            raise Retry_no_reads
+          end;
+          retry_after_abort ~watch Explicit
       | exception e ->
           (* A user exception observed in an inconsistent (zombie) state is
              an artifact of late conflict detection, not a real error:
@@ -362,9 +387,9 @@ let run ?(deadline_ns = 0) ?(attempt_budget = 0) cfg f =
           | exception Retry_exn ->
               (* [retry] waits for another transaction to change the
                  read set, which can never happen while we quiesce the
-                 writers: hand the token back, wait, and re-enter the
+                 writers: hand the token back, park, and re-enter the
                  ladder at the boosted rung. *)
-              let watchers = read_watchers t in
+              let watch = read_watch_entries t in
               Domain.DLS.set current_txn None;
               abort_and_scrub t Explicit;
               let next_priority = t.tdesc.Txn_desc.priority in
@@ -373,8 +398,9 @@ let run ?(deadline_ns = 0) ?(attempt_budget = 0) cfg f =
               in
               maybe_audit t;
               retire t;
+              if watch = [] then raise Retry_no_reads;
               release_quiesce token;
-              wait_for_change watchers;
+              wait_for_change ~deadline_ns watch;
               attempt (n + 1) ~priority:next_priority ~birth:fallback_birth
           | exception e ->
               (* Irrevocable reads are consistent by construction, so a

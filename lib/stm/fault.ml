@@ -9,6 +9,9 @@ type point =
   | Durable_post_append
   | Durable_mid_fsync
   | Durable_mid_compaction
+  | Pre_park
+  | Post_unpark
+  | Commit_wake
 
 let point_name = function
   | Pre_commit -> "pre-commit"
@@ -21,6 +24,9 @@ let point_name = function
   | Durable_post_append -> "durable-post-append"
   | Durable_mid_fsync -> "durable-mid-fsync"
   | Durable_mid_compaction -> "durable-mid-compaction"
+  | Pre_park -> "pre-park"
+  | Post_unpark -> "post-unpark"
+  | Commit_wake -> "commit-wake"
 
 let all_points =
   [
@@ -34,6 +40,9 @@ let all_points =
     Durable_post_append;
     Durable_mid_fsync;
     Durable_mid_compaction;
+    Pre_park;
+    Post_unpark;
+    Commit_wake;
   ]
 
 let point_index = function
@@ -47,8 +56,11 @@ let point_index = function
   | Durable_post_append -> 7
   | Durable_mid_fsync -> 8
   | Durable_mid_compaction -> 9
+  | Pre_park -> 10
+  | Post_unpark -> 11
+  | Commit_wake -> 12
 
-let n_points = 10
+let n_points = 13
 
 type action = Delay of int | Abort | Kill | Wedge | Crash
 type site = { prob : float; actions : action list }

@@ -33,6 +33,21 @@ type point =
           here tears the log tail mid-frame *)
   | Durable_mid_compaction
       (** between the steps of snapshot+truncate compaction *)
+  | Pre_park
+      (** in {!Parking}, after a retrying transaction registered on its
+          read-set wait lists and revalidated, just before blocking —
+          a disruptive draw here is served as a forced spurious unpark
+          (the waiter cancels itself and re-attempts), widening the
+          register/park race window *)
+  | Post_unpark
+      (** after a parked waiter wakes, before it deregisters and
+          re-attempts — the wake-to-revalidate window *)
+  | Commit_wake
+      (** in the commit path, before a writing commit scans the wait
+          lists of its written tvars — a [Kill]/[Crash] draw {e drops
+          the wakeup entirely} (the deliberately broken waker of the
+          lost-wakeup regression suite); only deadline-bounded parks
+          survive such a schedule *)
 
 val point_name : point -> string
 val all_points : point list

@@ -22,6 +22,11 @@ type snapshot = {
   fsync_batch_size_p99 : int;
   recoveries : int;
   torn_tail_truncations : int;
+  parks : int;
+  wakeups : int;
+  spurious_wakeups : int;
+  retry_polls : int;
+  wait_list_max : int;
 }
 
 (* Counters are striped across a fixed number of slots to avoid making
@@ -50,6 +55,10 @@ type cell = {
   fsync_batches : int Atomic.t;
   recoveries : int Atomic.t;
   torn_tail_truncations : int Atomic.t;
+  parks : int Atomic.t;
+  wakeups : int Atomic.t;
+  spurious_wakeups : int Atomic.t;
+  retry_polls : int Atomic.t;
 }
 
 let make_cell () =
@@ -75,6 +84,10 @@ let make_cell () =
     fsync_batches = Atomic.make 0;
     recoveries = Atomic.make 0;
     torn_tail_truncations = Atomic.make 0;
+    parks = Atomic.make 0;
+    wakeups = Atomic.make 0;
+    spurious_wakeups = Atomic.make 0;
+    retry_polls = Atomic.make 0;
   }
 
 (* Set-style gauges, not event counters: the redo-log flusher publishes
@@ -82,6 +95,11 @@ let make_cell () =
    the whole story and striping would only blur it. *)
 let fsync_p50 = Atomic.make 0
 let fsync_p99 = Atomic.make 0
+
+(* High-water gauge: the longest per-tvar wait list observed since the
+   last reset.  A max, not a counter — [diff] carries the later
+   reading, like the fsync percentiles. *)
+let wait_list_max_v = Atomic.make 0
 
 let cells = Array.init stripes (fun _ -> make_cell ())
 let my_cell () = cells.((Domain.self () :> int) land (stripes - 1))
@@ -106,6 +124,15 @@ let record_log_append () = bump (fun c -> c.log_appends)
 let record_fsync_batch () = bump (fun c -> c.fsync_batches)
 let record_recovery () = bump (fun c -> c.recoveries)
 let record_torn_tail_truncation () = bump (fun c -> c.torn_tail_truncations)
+let record_park () = bump (fun c -> c.parks)
+let record_wakeup () = bump (fun c -> c.wakeups)
+let record_spurious_wakeup () = bump (fun c -> c.spurious_wakeups)
+let record_retry_poll () = bump (fun c -> c.retry_polls)
+
+let rec note_wait_list_len n =
+  let cur = Atomic.get wait_list_max_v in
+  if n > cur && not (Atomic.compare_and_set wait_list_max_v cur n) then
+    note_wait_list_len n
 
 let set_fsync_batch_percentiles ~p50 ~p99 =
   Atomic.set fsync_p50 p50;
@@ -139,6 +166,10 @@ let fields : (cell -> int Atomic.t) list =
     (fun c -> c.fsync_batches);
     (fun c -> c.recoveries);
     (fun c -> c.torn_tail_truncations);
+    (fun c -> c.parks);
+    (fun c -> c.wakeups);
+    (fun c -> c.spurious_wakeups);
+    (fun c -> c.retry_polls);
   ]
 
 let sum (field : cell -> int Atomic.t) =
@@ -169,6 +200,11 @@ let read () : snapshot =
     fsync_batch_size_p99 = Atomic.get fsync_p99;
     recoveries = sum (fun c -> c.recoveries);
     torn_tail_truncations = sum (fun c -> c.torn_tail_truncations);
+    parks = sum (fun c -> c.parks);
+    wakeups = sum (fun c -> c.wakeups);
+    spurious_wakeups = sum (fun c -> c.spurious_wakeups);
+    retry_polls = sum (fun c -> c.retry_polls);
+    wait_list_max = Atomic.get wait_list_max_v;
   }
 
 let reset () =
@@ -176,7 +212,8 @@ let reset () =
     (fun field -> Array.iter (fun c -> Atomic.set (field c) 0) cells)
     fields;
   Atomic.set fsync_p50 0;
-  Atomic.set fsync_p99 0
+  Atomic.set fsync_p99 0;
+  Atomic.set wait_list_max_v 0
 
 let diff (a : snapshot) (b : snapshot) : snapshot =
   {
@@ -204,6 +241,12 @@ let diff (a : snapshot) (b : snapshot) : snapshot =
     fsync_batch_size_p99 = b.fsync_batch_size_p99;
     recoveries = b.recoveries - a.recoveries;
     torn_tail_truncations = b.torn_tail_truncations - a.torn_tail_truncations;
+    parks = b.parks - a.parks;
+    wakeups = b.wakeups - a.wakeups;
+    spurious_wakeups = b.spurious_wakeups - a.spurious_wakeups;
+    retry_polls = b.retry_polls - a.retry_polls;
+    (* Gauge (high-water mark): the later reading. *)
+    wait_list_max = b.wait_list_max;
   }
 
 let to_assoc (s : snapshot) =
@@ -231,6 +274,11 @@ let to_assoc (s : snapshot) =
     ("fsync_batch_size_p99", s.fsync_batch_size_p99);
     ("recoveries", s.recoveries);
     ("torn_tail_truncations", s.torn_tail_truncations);
+    ("parks", s.parks);
+    ("wakeups", s.wakeups);
+    ("spurious_wakeups", s.spurious_wakeups);
+    ("retry_polls", s.retry_polls);
+    ("wait_list_max", s.wait_list_max);
   ]
 
 let pp fmt (s : snapshot) =
@@ -239,10 +287,12 @@ let pp fmt (s : snapshot) =
      remote=%d waits=%d ext=%d fallbacks=%d injected=%d timeouts=%d \
      budget=%d shed=%d wd_kills=%d degraded=%d minor_words=%d \
      log_appends=%d fsync_batches=%d fsync_p50=%d fsync_p99=%d \
-     recoveries=%d torn_tails=%d"
+     recoveries=%d torn_tails=%d parks=%d wakeups=%d spurious=%d \
+     retry_polls=%d wait_list_max=%d"
     s.starts s.commits s.aborts s.conflicts s.killed_aborts s.explicit_aborts
     s.remote_aborts s.lock_waits s.extensions s.fallbacks s.injected_faults
     s.timeouts s.budget_exhausted s.shed s.watchdog_kills
     s.degraded_transitions s.minor_words s.log_appends s.fsync_batches
     s.fsync_batch_size_p50 s.fsync_batch_size_p99 s.recoveries
-    s.torn_tail_truncations
+    s.torn_tail_truncations s.parks s.wakeups s.spurious_wakeups s.retry_polls
+    s.wait_list_max

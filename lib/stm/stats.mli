@@ -40,6 +40,20 @@ type snapshot = {
   recoveries : int;  (** redo-log recovery scans completed *)
   torn_tail_truncations : int;
       (** recoveries that truncated a torn (partially-written) tail *)
+  parks : int;  (** domains parked by a blocking [retry] *)
+  wakeups : int;
+      (** parked waiters woken by a commit to a watched tvar (or by
+          the deadline timer) *)
+  spurious_wakeups : int;
+      (** OS-level condition wakeups that found the waiter still
+          registered; the waiter re-blocks *)
+  retry_polls : int;
+      (** busy-poll iterations spent in the legacy [Poll] retry mode;
+          ~0 under [Park], which is the point of parking *)
+  wait_list_max : int;
+      (** longest per-tvar wait list observed — a high-water gauge
+          published by waiter registration, so [diff] carries the
+          later reading rather than a difference *)
 }
 
 val record_start : unit -> unit
@@ -62,6 +76,14 @@ val record_log_append : unit -> unit
 val record_fsync_batch : unit -> unit
 val record_recovery : unit -> unit
 val record_torn_tail_truncation : unit -> unit
+val record_park : unit -> unit
+val record_wakeup : unit -> unit
+val record_spurious_wakeup : unit -> unit
+val record_retry_poll : unit -> unit
+
+(** [note_wait_list_len n] raises the wait-list high-water gauge to
+    [n] if it exceeds the current reading. *)
+val note_wait_list_len : int -> unit
 
 (** [set_fsync_batch_percentiles ~p50 ~p99] publishes the redo-log
     flusher's current batch-size percentiles (gauges; see the snapshot

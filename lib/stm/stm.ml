@@ -38,6 +38,7 @@ type txn = Txn_state.t
 
 exception Too_many_attempts = Txn_state.Too_many_attempts
 exception Not_in_transaction = Txn_state.Not_in_transaction
+exception Retry_no_reads = Txn_state.Retry_no_reads
 exception Lock_leak = Txn_state.Lock_leak
 
 let desc = Txn_state.desc
@@ -79,6 +80,12 @@ let write : type a. txn -> a Tvar.t -> a -> unit =
 let retry t =
   Txn_state.check_alive t;
   raise Txn_state.Retry_exn
+
+type retry_mode = Parking.retry_mode = Park | Poll
+
+let set_retry_mode = Parking.set_retry_mode
+let retry_mode = Parking.retry_mode
+let parked_waiters = Parking.live_waiters
 
 let restart t =
   Txn_state.check_alive t;

@@ -75,6 +75,11 @@ exception Too_many_attempts of int
     one when handed a transaction whose attempt already ended. *)
 exception Not_in_transaction
 
+(** Raised by an episode whose body called [retry] with an empty read
+    set: no tvar exists whose change could wake it, so blocking would
+    hang forever. *)
+exception Retry_no_reads
+
 (** [atomically f] runs [f] in a fresh transaction, retrying on
     conflict, and commits its effects atomically.  Nesting is
     flattened: an [atomically] reached while this domain is already
@@ -138,9 +143,23 @@ val deadline : txn -> float option
 val read : txn -> 'a Tvar.t -> 'a
 val write : txn -> 'a Tvar.t -> 'a -> unit
 
-(** Abort the current attempt and block (by backoff-polling the read
-    set) until some location read so far changes, then re-run. *)
+(** Abort the current attempt and block — parking the domain on the
+    read set's per-tvar wait lists until a commit changes some
+    location read so far (see {!Parking}) — then re-run.  Raises
+    {!Retry_no_reads} if nothing was read.  Deadlines set through
+    {!atomic} are honored while parked. *)
 val retry : txn -> 'a
+
+(** The retry blocking strategy: real parking (default) or the legacy
+    busy-poll, kept switchable for comparison benches. *)
+type retry_mode = Parking.retry_mode = Park | Poll
+
+val set_retry_mode : retry_mode -> unit
+val retry_mode : unit -> retry_mode
+
+(** [retry] waiters currently registered and unwoken, process-wide
+    (0 at quiescence — the wait-list orphan audit). *)
+val parked_waiters : unit -> int
 
 (** [or_else txn f g] runs [f]; if [f] calls [retry], rolls back [f]'s
     buffered effects and runs [g] instead.  If [g] also retries, the

@@ -6,6 +6,7 @@ type 'a t = {
   state : 'a versioned Atomic.t;
   owner : Txn_desc.t option Atomic.t;
   readers : Txn_desc.t list Atomic.t;
+  waiters : Waitq.waiter list Atomic.t;
 }
 
 let next_uid = Atomic.make 1
@@ -27,6 +28,7 @@ let make v =
     state = Atomic.make { value = v; version = 0 };
     owner = Atomic.make None;
     readers = Atomic.make [];
+    waiters = Atomic.make [];
   }
 
 let load t = Atomic.get t.state
@@ -74,3 +76,39 @@ let active_readers t ~except =
   List.filter
     (fun d -> d != except && Txn_desc.is_active d)
     (Atomic.get t.readers)
+
+(* Wait lists: CAS-push like the visible readers, pruning entries that
+   already left [Waiting] (woken via another watched tvar, cancelled,
+   expired) once the list grows past the same threshold.  Returns the
+   new list length so registration can feed the wait-list high-water
+   gauge. *)
+let rec add_waiter t w =
+  let cur = Atomic.get t.waiters in
+  let live =
+    if List.length cur >= max_unpruned then List.filter Waitq.is_waiting cur
+    else cur
+  in
+  if Atomic.compare_and_set t.waiters cur (w :: live) then 1 + List.length live
+  else add_waiter t w
+
+(* Explicit deregistration keeps the lists orphan-free: a waiter that
+   leaves (woken, cancelled or expired) removes itself from every list
+   it joined.  Losing the race against a committer's [take_waiters]
+   exchange just means the entry is already gone. *)
+let rec remove_waiter t w =
+  let cur = Atomic.get t.waiters in
+  if List.memq w cur then begin
+    let next = List.filter (fun x -> x != w) cur in
+    if not (Atomic.compare_and_set t.waiters cur next) then remove_waiter t w
+  end
+
+(* Committer side: detach the whole list in one exchange.  The caller
+   must have published the new version first — any waiter that misses
+   this scan registered after the exchange, hence after the publish,
+   and its post-registration revalidation sees the new version and
+   self-cancels instead of parking (the no-lost-wakeup argument; see
+   Parking). *)
+let take_waiters t =
+  if Atomic.get t.waiters == [] then [] else Atomic.exchange t.waiters []
+
+let waiter_count t = List.length (Atomic.get t.waiters)

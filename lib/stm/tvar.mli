@@ -22,6 +22,8 @@ type 'a t = {
   state : 'a versioned Atomic.t;
   owner : Txn_desc.t option Atomic.t;
   readers : Txn_desc.t list Atomic.t;
+  waiters : Waitq.waiter list Atomic.t;
+      (** parked [retry] waiters watching this tvar; see {!Parking} *)
 }
 
 (** [make v] is a fresh tvar holding [v] at version 0. *)
@@ -51,3 +53,20 @@ val register_reader : 'a t -> Txn_desc.t -> unit
 
 (** Active registered readers other than [except]. *)
 val active_readers : 'a t -> except:Txn_desc.t -> Txn_desc.t list
+
+(** Register a [retry] waiter (CAS-push, pruning dead entries past a
+    small threshold).  Returns the new list length, for the wait-list
+    high-water gauge. *)
+val add_waiter : 'a t -> Waitq.waiter -> int
+
+(** Remove a departing waiter; a no-op if a committer's
+    [take_waiters] already detached it. *)
+val remove_waiter : 'a t -> Waitq.waiter -> unit
+
+(** Detach and return the whole wait list (committer side).  The
+    caller must have published the new version first — see the
+    no-lost-wakeup argument in {!Parking}. *)
+val take_waiters : 'a t -> Waitq.waiter list
+
+(** Current wait-list length, dead entries included (tests). *)
+val waiter_count : 'a t -> int

@@ -51,6 +51,11 @@ exception Retry_exn
 exception Too_many_attempts of int
 exception Not_in_transaction
 
+(* A [retry] with an empty read set can never be woken — no tvar
+   exists whose change could unblock it — so the episode fails with a
+   typed error instead of parking (or, formerly, [failwith]-ing). *)
+exception Retry_no_reads
+
 type locked = Locked : 'a Tvar.t -> locked
 
 (* The commit protocol as data: one record of hot-path hooks per
@@ -307,12 +312,12 @@ let release_locks t =
   List.iter (fun (Locked tv) -> Tvar.unlock tv t.tdesc) t.locked;
   t.locked <- []
 
-(* Build watchers before the attempt's logs are torn down, so the
-   ladder can poll for a change after aborting a [retry]. *)
-let read_watchers t =
+(* Snapshot the read set as (tvar, recorded-version) pairs before the
+   attempt's logs are torn down, so the ladder can register on wait
+   lists (or poll) after aborting a [retry]. *)
+let read_watch_entries t : (Rwset.packed_tvar * int) list =
   let ws = ref [] in
-  Rwset.Rlog.iter t.rset (fun tv ver ->
-      ws := (fun () -> (Tvar.load tv).Tvar.version <> ver) :: !ws);
+  Rwset.Rlog.iter t.rset (fun tv ver -> ws := (tv, ver) :: !ws);
   !ws
 
 (* ------------------------------------------------------------------ *)

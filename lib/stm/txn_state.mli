@@ -32,6 +32,10 @@ exception Retry_exn
 exception Too_many_attempts of int
 exception Not_in_transaction
 
+(** A [retry] whose transaction read nothing can never be woken; the
+    episode fails with this instead of blocking forever. *)
+exception Retry_no_reads
+
 type locked = Locked : 'a Tvar.t -> locked
 
 (** One transaction attempt.  With the per-domain pool the same record
@@ -121,8 +125,10 @@ val snapshot_clock : serial:bool -> int
 
 val release_locks : t -> unit
 
-(** Watchers over the read log, built before the logs are torn down. *)
-val read_watchers : t -> (unit -> bool) list
+(** The read log as (tvar, recorded-version) watch pairs, snapshotted
+    before the logs are torn down so the ladder can register them on
+    wait lists (see {!Parking}) after aborting a [retry]. *)
+val read_watch_entries : t -> (Rwset.packed_tvar * int) list
 
 (** {2 Leak auditing} *)
 

@@ -95,3 +95,12 @@ let value t txn =
 
 (** Committed value, non-transactionally. *)
 let peek t = Nn.get t.base
+
+(** The counter-trait view; [value] requires [~observable:true]. *)
+let ops t =
+  {
+    Trait.Counter.meta = Trait.meta_of_alock ~name:"p-counter" t.alock;
+    incr = (fun txn -> incr t txn);
+    decr = (fun txn -> decr t txn);
+    value = (fun txn -> value t txn);
+  }

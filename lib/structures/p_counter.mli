@@ -30,3 +30,7 @@ val value : t -> Stm.txn -> int
 
 (** Committed value, non-transactionally. *)
 val peek : t -> int
+
+(** The {!Trait.Counter} view; [value] requires the counter to have
+    been built with [~observable:true]. *)
+val ops : t -> Trait.Counter.ops

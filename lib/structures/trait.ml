@@ -186,6 +186,19 @@ module Pqueue = struct
               ~stripe intent)
 end
 
+module Counter = struct
+  (** The non-negative counter trait (§3's running example), shared by
+      the Proustian counter and the counting semaphore: [incr] always
+      succeeds, [decr] returns [false] instead of going negative, and
+      [value] is a transactional read of the current count. *)
+  type ops = {
+    meta : meta;
+    incr : Stm.txn -> unit;
+    decr : Stm.txn -> bool;
+    value : Stm.txn -> int;
+  }
+end
+
 (* ------------------------------------------------------------------ *)
 (* Module-style views, for wrappers exposed as modules                 *)
 

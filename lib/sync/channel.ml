@@ -1,0 +1,109 @@
+(** A bounded MPMC channel over plain tvars.
+
+    The buffer is the classic two-list functional queue — [front] in
+    dequeue order, [back] reversed — plus a [credits] tvar counting
+    free slots.  The split is deliberate: steady-state senders touch
+    [back] and [credits] while receivers touch [front] and [credits],
+    so a producer commit and a consumer commit conflict only on the
+    credit count, not on a single buffer cell.  Receivers flip [back]
+    into [front] only when [front] runs dry.
+
+    Blocking is [Stm.retry]: a [send] into a full channel waits on
+    [credits] (parked on its wait list until a receiver's commit frees
+    a slot) and a [recv] from an empty one waits on [front]/[back].
+    Both compose under [or_else]/{!Select}. *)
+
+exception Closed
+
+type 'a t = {
+  capacity : int;
+  front : 'a list Tvar.t;
+  back : 'a list Tvar.t;
+  credits : int Tvar.t;
+  closed : bool Tvar.t;
+}
+
+let make ?(capacity = 64) () =
+  if capacity < 1 then invalid_arg "Channel.make: capacity < 1";
+  {
+    capacity;
+    front = Tvar.make [];
+    back = Tvar.make [];
+    credits = Tvar.make capacity;
+    closed = Tvar.make false;
+  }
+
+let capacity t = t.capacity
+let is_closed txn t = Stm.read txn t.closed
+
+(* Number of buffered elements; derived from the credit count so a
+   size probe does not read (and conflict on) both buffer lists. *)
+let size txn t = t.capacity - Stm.read txn t.credits
+
+let close txn t = Stm.write txn t.closed true
+
+let enqueue txn t v =
+  Stm.write txn t.credits (Stm.read txn t.credits - 1);
+  Stm.write txn t.back (v :: Stm.read txn t.back)
+
+let send txn t v =
+  if Stm.read txn t.closed then raise Closed;
+  Stm.guard txn (Stm.read txn t.credits > 0);
+  enqueue txn t v
+
+let try_send txn t v =
+  if Stm.read txn t.closed then raise Closed;
+  if Stm.read txn t.credits > 0 then begin
+    enqueue txn t v;
+    true
+  end
+  else false
+
+(* Pop the next element, or [None] when the buffer is empty.  Reads
+   [back] only on the empty-front slow path. *)
+let pop txn t =
+  match Stm.read txn t.front with
+  | v :: rest ->
+      Stm.write txn t.front rest;
+      Stm.write txn t.credits (Stm.read txn t.credits + 1);
+      Some v
+  | [] -> (
+      match List.rev (Stm.read txn t.back) with
+      | [] -> None
+      | v :: rest ->
+          Stm.write txn t.back [];
+          Stm.write txn t.front rest;
+          Stm.write txn t.credits (Stm.read txn t.credits + 1);
+          Some v)
+
+let recv txn t =
+  match pop txn t with
+  | Some v -> v
+  | None -> if Stm.read txn t.closed then raise Closed else Stm.retry txn
+
+let recv_opt txn t =
+  match pop txn t with
+  | Some v -> Some v
+  | None -> if Stm.read txn t.closed then None else Stm.retry txn
+
+let try_recv txn t = pop txn t
+
+let peek_opt txn t =
+  match Stm.read txn t.front with
+  | v :: _ -> Some v
+  | [] -> (
+      match List.rev (Stm.read txn t.back) with [] -> None | v :: _ -> Some v)
+
+(* The queue-trait view: non-blocking dequeue/front (trait dequeue
+   returns an option), blocking enqueue.  Registered instances use a
+   capacity far above any workload's live element count, so the
+   enqueue-side [guard] never parks a bench or lin run. *)
+let ops t =
+  let module T = Proust_structures.Trait in
+  {
+    T.Queue.meta = T.meta ~name:"chan" ~strategy:Update_strategy.Lazy ();
+    enqueue = (fun txn v -> send txn t v);
+    dequeue = (fun txn -> try_recv txn t);
+    front = (fun txn -> peek_opt txn t);
+    size = (fun txn -> size txn t);
+  }

@@ -1,0 +1,46 @@
+(** A bounded MPMC channel: the canonical blocking structure over the
+    parking retry path.  [send] blocks (parks) when the channel is
+    full, [recv] when it is empty; both compose under
+    [Stm.or_else]/{!Select} because blocking is [Stm.retry].
+
+    Closing is a committed flag: after [close], sends raise {!Closed}
+    and receives drain the buffer then raise (or return [None]). *)
+
+type 'a t
+
+(** Raised by [send] on a closed channel, and by [recv] on a closed
+    {e and drained} one. *)
+exception Closed
+
+(** [make ~capacity ()] — capacity defaults to 64, must be ≥ 1. *)
+val make : ?capacity:int -> unit -> 'a t
+
+val capacity : 'a t -> int
+
+(** Buffered element count (one tvar read, not a buffer walk). *)
+val size : Stm.txn -> 'a t -> int
+
+val is_closed : Stm.txn -> 'a t -> bool
+val close : Stm.txn -> 'a t -> unit
+
+(** Blocks ([Stm.retry]) while the channel is full. *)
+val send : Stm.txn -> 'a t -> 'a -> unit
+
+(** [false] instead of blocking when full; still raises {!Closed}. *)
+val try_send : Stm.txn -> 'a t -> 'a -> bool
+
+(** Blocks while empty; raises {!Closed} once closed and drained. *)
+val recv : Stm.txn -> 'a t -> 'a
+
+(** Blocks while empty and open; [None] once closed and drained. *)
+val recv_opt : Stm.txn -> 'a t -> 'a option
+
+(** Non-blocking receive: [None] when the buffer is empty. *)
+val try_recv : Stm.txn -> 'a t -> 'a option
+
+(** Non-blocking peek at the next element to be received. *)
+val peek_opt : Stm.txn -> 'a t -> 'a option
+
+(** The queue-trait view (blocking enqueue, non-blocking dequeue), for
+    the workload registry and the lin/serializability harness. *)
+val ops : 'a t -> 'a Proust_structures.Trait.Queue.ops

@@ -1,0 +1,32 @@
+(** A one-shot promise cell: a write-once tvar.
+
+    [fulfil] is first-writer-wins — the single-fulfilment invariant is
+    transactional, so two racing fulfillers serialize and exactly one
+    commits [Some].  [await] is [Stm.retry] on the unfulfilled cell:
+    every waiter parks on the cell's wait list and the winning
+    fulfiller's commit wakes them all (broadcast semantics for free —
+    the cell never reverts to [None]). *)
+
+exception Already_fulfilled
+
+type 'a t = 'a option Tvar.t
+
+let make () = Tvar.make None
+
+let try_fulfil txn p v =
+  match Stm.read txn p with
+  | None ->
+      Stm.write txn p (Some v);
+      true
+  | Some _ -> false
+
+let fulfil txn p v = if not (try_fulfil txn p v) then raise Already_fulfilled
+
+let await txn p =
+  match Stm.read txn p with Some v -> v | None -> Stm.retry txn
+
+let peek txn p = Stm.read txn p
+let is_fulfilled txn p = Stm.read txn p <> None
+
+(** Committed contents, non-transactionally. *)
+let peek_committed p = Tvar.peek p

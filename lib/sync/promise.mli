@@ -1,0 +1,26 @@
+(** One-shot promise cells (write-once tvars) with blocking [await].
+
+    Single fulfilment is a transactional invariant: of any set of
+    racing [fulfil]s exactly one commits; the rest observe [Some] and
+    fail (or return [false] from [try_fulfil]). *)
+
+type 'a t
+
+exception Already_fulfilled
+
+val make : unit -> 'a t
+
+(** First-writer-wins; [false] if the cell already held a value. *)
+val try_fulfil : Stm.txn -> 'a t -> 'a -> bool
+
+(** @raise Already_fulfilled on a fulfilled cell. *)
+val fulfil : Stm.txn -> 'a t -> 'a -> unit
+
+(** Blocks ([Stm.retry], parking) until the cell is fulfilled. *)
+val await : Stm.txn -> 'a t -> 'a
+
+val peek : Stm.txn -> 'a t -> 'a option
+val is_fulfilled : Stm.txn -> 'a t -> bool
+
+(** Committed contents, non-transactionally. *)
+val peek_committed : 'a t -> 'a option

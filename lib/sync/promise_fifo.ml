@@ -1,0 +1,58 @@
+(** A FIFO built from promise cells: an unbounded ticket queue where
+    slot [i] is a one-shot {!Promise} fulfilled by the [i]-th enqueue.
+
+    The point of the structure is coverage: it exercises the promise
+    cell through the queue trait, so the registry's FIFO
+    serializability checks (sequential-witness search over committed
+    histories) apply to promise fulfil/await exactly as they do to the
+    hand-written queues.  Dequeue [await]s the cell it holds a ticket
+    for — always already fulfilled here, since tickets are only issued
+    up to [widx] — so the blocking path degenerates to the read path
+    and the FIFO model stays non-blocking. *)
+
+module M = Map.Make (Int)
+
+type 'v t = {
+  cells : 'v Promise.t M.t Tvar.t;
+  widx : int Tvar.t;
+  ridx : int Tvar.t;
+}
+
+let make () =
+  { cells = Tvar.make M.empty; widx = Tvar.make 0; ridx = Tvar.make 0 }
+
+let enqueue t txn v =
+  let i = Stm.read txn t.widx in
+  let p = Promise.make () in
+  Promise.fulfil txn p v;
+  Stm.write txn t.cells (M.add i p (Stm.read txn t.cells));
+  Stm.write txn t.widx (i + 1)
+
+let dequeue t txn =
+  let r = Stm.read txn t.ridx in
+  if r >= Stm.read txn t.widx then None
+  else begin
+    let m = Stm.read txn t.cells in
+    let v = Promise.await txn (M.find r m) in
+    Stm.write txn t.cells (M.remove r m);
+    Stm.write txn t.ridx (r + 1);
+    Some v
+  end
+
+let front t txn =
+  let r = Stm.read txn t.ridx in
+  if r >= Stm.read txn t.widx then None
+  else Some (Promise.await txn (M.find r (Stm.read txn t.cells)))
+
+let size t txn = Stm.read txn t.widx - Stm.read txn t.ridx
+
+let ops t =
+  let module T = Proust_structures.Trait in
+  {
+    T.Queue.meta =
+      T.meta ~name:"promise-fifo" ~strategy:Update_strategy.Lazy ();
+    enqueue = enqueue t;
+    dequeue = dequeue t;
+    front = front t;
+    size = size t;
+  }

@@ -1,0 +1,11 @@
+(** A ticket FIFO of one-shot promise cells — promise coverage through
+    the queue trait (see the implementation header). *)
+
+type 'v t
+
+val make : unit -> 'v t
+val enqueue : 'v t -> Stm.txn -> 'v -> unit
+val dequeue : 'v t -> Stm.txn -> 'v option
+val front : 'v t -> Stm.txn -> 'v option
+val size : 'v t -> Stm.txn -> int
+val ops : 'v t -> 'v Proust_structures.Trait.Queue.ops

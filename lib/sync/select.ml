@@ -1,0 +1,56 @@
+(** Multi-way blocking choice, STM-Haskell style.
+
+    A case is just a transactional thunk that either completes or
+    calls [Stm.retry]; [select] is [Stm.or_else_list] over the cases.
+    The composition property does all the work: a case that retries
+    rolls back to its watermark and the next case runs in the same
+    transaction, and if {e every} case retries the transaction parks
+    on the {e union} of all cases' read sets — one waiter woken by
+    whichever channel/promise/semaphore changes first.
+
+    [select] rotates the starting case by a global round-robin tick so
+    a persistently-ready early case cannot starve later ones across
+    repeated selects; [select_biased] keeps list order (deterministic,
+    and what model-checking tests want). *)
+
+type 'a case = Stm.txn -> 'a
+
+let recv ch f txn = f (Channel.recv txn ch)
+
+let send ch v f txn =
+  Channel.send txn ch v;
+  f ()
+
+let await p f txn = f (Promise.await txn p)
+
+let acquire ?n s f txn =
+  Semaphore.acquire ?n txn s;
+  f ()
+
+let default f _txn = f ()
+
+let select_biased txn cases =
+  if cases = [] then invalid_arg "Select.select_biased: no cases";
+  Stm.or_else_list txn cases
+
+(* The fairness tick is global and advances once per [select] call
+   (not per attempt), so a conflict-retried select keeps its rotation
+   while successive selects start at successive cases. *)
+let tick = Atomic.make 0
+
+let rotate n l =
+  let rec go n acc = function
+    | rest when n = 0 -> rest @ List.rev acc
+    | [] -> List.rev acc
+    | x :: rest -> go (n - 1) (x :: acc) rest
+  in
+  go n [] l
+
+let select txn cases =
+  match cases with
+  | [] -> invalid_arg "Select.select: no cases"
+  | [ c ] -> c txn
+  | _ ->
+      let len = List.length cases in
+      let r = Atomic.fetch_and_add tick 1 land max_int mod len in
+      Stm.or_else_list txn (rotate r cases)

@@ -1,0 +1,24 @@
+(** Multi-way blocking choice over channels, promises and semaphores.
+
+    Built on [Stm.or_else_list]: if every armed case blocks, the
+    transaction parks once on the union of their read sets. *)
+
+(** A case: completes or retries.  Any [Stm.retry]-based operation can
+    be a case directly — the combinators below are conveniences. *)
+type 'a case = Stm.txn -> 'a
+
+val recv : 'v Channel.t -> ('v -> 'a) -> 'a case
+val send : 'v Channel.t -> 'v -> (unit -> 'a) -> 'a case
+val await : 'v Promise.t -> ('v -> 'a) -> 'a case
+val acquire : ?n:int -> Semaphore.t -> (unit -> 'a) -> 'a case
+
+(** Never blocks: makes the whole select non-blocking when last. *)
+val default : (unit -> 'a) -> 'a case
+
+(** Round-robin-rotated choice: successive [select] calls start at
+    successive cases, so a persistently-ready case cannot starve the
+    others.  @raise Invalid_argument on an empty list. *)
+val select : Stm.txn -> 'a case list -> 'a
+
+(** Deterministic in-order choice (first ready case wins). *)
+val select_biased : Stm.txn -> 'a case list -> 'a

@@ -1,0 +1,50 @@
+(** A counting semaphore: one non-negative tvar of available permits.
+
+    [acquire] is [Stm.guard]-based, so an unavailable acquire parks on
+    the permit tvar and a [release] commit wakes it.  Non-negativity
+    is structural — the only decrement sits behind the guard — and the
+    counter-trait view lets the lin harness check it against the
+    {!Proust_verify.Adt_model.obs_counter} model alongside the paper's
+    Proustian counter. *)
+
+type t = { permits : int Tvar.t; fair_cap : int }
+
+let make ?(cap = max_int) n =
+  if n < 0 then invalid_arg "Semaphore.make: negative permits";
+  if cap < n then invalid_arg "Semaphore.make: cap < initial permits";
+  { permits = Tvar.make n; fair_cap = cap }
+
+let available txn s = Stm.read txn s.permits
+let peek s = Tvar.peek s.permits
+
+let try_acquire ?(n = 1) txn s =
+  if n < 0 then invalid_arg "Semaphore.try_acquire: negative n";
+  let p = Stm.read txn s.permits in
+  if p >= n then begin
+    Stm.write txn s.permits (p - n);
+    true
+  end
+  else false
+
+let acquire ?(n = 1) txn s =
+  if n < 0 then invalid_arg "Semaphore.acquire: negative n";
+  let p = Stm.read txn s.permits in
+  Stm.guard txn (p >= n);
+  Stm.write txn s.permits (p - n)
+
+let release ?(n = 1) txn s =
+  if n < 0 then invalid_arg "Semaphore.release: negative n";
+  let p = Stm.read txn s.permits in
+  if p + n > s.fair_cap then invalid_arg "Semaphore.release: above cap";
+  Stm.write txn s.permits (p + n)
+
+(* The counter-trait view: release/try_acquire/available are exactly
+   incr/decr/value of the §3 non-negative counter. *)
+let ops t =
+  let module T = Proust_structures.Trait in
+  {
+    T.Counter.meta = T.meta ~name:"semaphore" ~strategy:Update_strategy.Lazy ();
+    incr = (fun txn -> release txn t);
+    decr = (fun txn -> try_acquire txn t);
+    value = (fun txn -> available txn t);
+  }

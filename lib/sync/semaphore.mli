@@ -1,0 +1,29 @@
+(** Counting semaphores over one permit tvar.
+
+    Non-negativity is structural: the only decrement is behind an
+    acquire guard, so no committed state ever shows negative permits.
+    An optional [cap] bounds releases (a leak tripwire for
+    acquire/release pairing bugs). *)
+
+type t
+
+(** [make ?cap n] — [n] initial permits ([n ≥ 0]); [release] beyond
+    [cap] raises [Invalid_argument] (default: no cap). *)
+val make : ?cap:int -> int -> t
+
+(** Blocks ([Stm.retry], parking) until [n] permits (default 1) are
+    available, then takes them atomically. *)
+val acquire : ?n:int -> Stm.txn -> t -> unit
+
+(** [false] instead of blocking. *)
+val try_acquire : ?n:int -> Stm.txn -> t -> bool
+
+val release : ?n:int -> Stm.txn -> t -> unit
+val available : Stm.txn -> t -> int
+
+(** Committed permit count, non-transactionally. *)
+val peek : t -> int
+
+(** The counter-trait view (release/try_acquire/available as
+    incr/decr/value) for the registry and lin harness. *)
+val ops : t -> Proust_structures.Trait.Counter.ops

@@ -24,7 +24,7 @@ let of_map (e : Registry.entry) =
         make;
         pessimistic = e.Registry.meta.Proust_structures.Trait.pessimistic;
       }
-  | Registry.Queue _ | Registry.Pqueue _ ->
+  | Registry.Queue _ | Registry.Pqueue _ | Registry.Counter _ ->
       invalid_arg "Impls.of_map: not a map entry"
 
 let all ?slots () = List.map of_map (Registry.maps ?slots ())

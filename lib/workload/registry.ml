@@ -11,12 +11,14 @@
 
 module S = Proust_structures
 module B = Proust_baselines
+module Y = Proust_sync
 module T = S.Trait
 
 type target =
   | Map of (unit -> (int, int) T.Map.ops)
   | Queue of (unit -> int T.Queue.ops)
   | Pqueue of (unit -> int T.Pqueue.ops)
+  | Counter of (unit -> T.Counter.ops)
 
 type entry = {
   name : string;  (** registry key; also the meta/trace label *)
@@ -64,6 +66,14 @@ let pqueue_entry name make =
   let meta = (make ()).T.Pqueue.meta in
   { name; meta; config = config_for meta; target = Pqueue make }
 
+let counter_entry name make =
+  let make () =
+    let o = make () in
+    { o with T.Counter.meta = { o.T.Counter.meta with T.name = name } }
+  in
+  let meta = (make ()).T.Counter.meta in
+  { name; meta; config = config_for meta; target = Counter make }
+
 let all ?(slots = 1024) () =
   [
     (* -- maps: baselines ------------------------------------------ *)
@@ -101,16 +111,34 @@ let all ?(slots = 1024) () =
         S.P_pqueue.ops (S.P_pqueue.make ~cmp:compare ~lap:T.Pessimistic ()));
     pqueue_entry "pq-lazy" (fun () ->
         S.P_lazy_pqueue.ops (S.P_lazy_pqueue.make ~cmp:compare ()));
+    (* -- blocking-coordination structures (lib/sync) ----------------- *)
+    (* The registry channel's capacity is far above any workload's live
+       element count so the blocking enqueue never parks a bench or lin
+       run; bounded blocking semantics are tested separately. *)
+    queue_entry "chan-mpmc" (fun () ->
+        Y.Channel.ops (Y.Channel.make ~capacity:1_000_000 ()));
+    queue_entry "promise-fifo" (fun () ->
+        Y.Promise_fifo.ops (Y.Promise_fifo.make ()));
+    (* -- counters ------------------------------------------------- *)
+    counter_entry "semaphore" (fun () -> Y.Semaphore.ops (Y.Semaphore.make 0));
+    counter_entry "p-counter" (fun () ->
+        S.P_counter.ops (S.P_counter.make ~observable:true ()));
   ]
 
 let is_map e = match e.target with Map _ -> true | _ -> false
 let is_queue e = match e.target with Queue _ -> true | _ -> false
 let is_pqueue e = match e.target with Pqueue _ -> true | _ -> false
+let is_counter e = match e.target with Counter _ -> true | _ -> false
 let maps ?slots () = List.filter is_map (all ?slots ())
 let queues ?slots () = List.filter is_queue (all ?slots ())
 let pqueues ?slots () = List.filter is_pqueue (all ?slots ())
+let counters ?slots () = List.filter is_counter (all ?slots ())
 let find ?slots name = List.find_opt (fun e -> e.name = name) (all ?slots ())
 let names ?slots () = List.map (fun e -> e.name) (all ?slots ())
 
 let kind_name e =
-  match e.target with Map _ -> "map" | Queue _ -> "queue" | Pqueue _ -> "pqueue"
+  match e.target with
+  | Map _ -> "map"
+  | Queue _ -> "queue"
+  | Pqueue _ -> "pqueue"
+  | Counter _ -> "counter"

@@ -11,6 +11,7 @@ type target =
   | Map of (unit -> (int, int) Proust_structures.Trait.Map.ops)
   | Queue of (unit -> int Proust_structures.Trait.Queue.ops)
   | Pqueue of (unit -> int Proust_structures.Trait.Pqueue.ops)
+  | Counter of (unit -> Proust_structures.Trait.Counter.ops)
 
 type entry = {
   name : string;  (** registry key; also the meta/trace label *)
@@ -32,8 +33,9 @@ val all : ?slots:int -> unit -> entry list
 val maps : ?slots:int -> unit -> entry list
 val queues : ?slots:int -> unit -> entry list
 val pqueues : ?slots:int -> unit -> entry list
+val counters : ?slots:int -> unit -> entry list
 val find : ?slots:int -> string -> entry option
 val names : ?slots:int -> unit -> string list
 
-(** ["map"], ["queue"] or ["pqueue"]. *)
+(** ["map"], ["queue"], ["pqueue"] or ["counter"]. *)
 val kind_name : entry -> string

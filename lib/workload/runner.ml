@@ -185,6 +185,23 @@ let run_pqueue ?config ?chaos ?chaos_seed ?trials ?warmup ?label ~threads
       Workload.pqueue_stream ~seed:(i + 1) spec ~count:per_thread)
     ~apply:Workload.apply_pqop make_ops
 
+(** Counter benchmark: prefill increments [key_range / 2] times so
+    early decrements have headroom. *)
+let run_counter ?config ?chaos ?chaos_seed ?trials ?warmup ?label ~threads
+    ~(spec : Workload.spec) make_ops =
+  let prefill config ops =
+    for _ = 1 to spec.Workload.key_range / 2 do
+      Stm.atomically ?config (fun txn ->
+          ops.Proust_structures.Trait.Counter.incr txn)
+    done
+  in
+  let per_thread = spec.Workload.total_ops / threads in
+  run_gen ?config ?chaos ?chaos_seed ?trials ?warmup ?label ~threads ~spec
+    ~prefill
+    ~streams:(fun i ->
+      Workload.counter_stream ~seed:(i + 1) spec ~count:per_thread)
+    ~apply:Workload.apply_cop make_ops
+
 (** Benchmark a {!Registry.entry} under the STM config its trait header
     requires; the metrics scope defaults to the entry's name. *)
 let run_entry ?chaos ?chaos_seed ?dist ?trials ?warmup ?label ~threads ~spec
@@ -199,6 +216,9 @@ let run_entry ?chaos ?chaos_seed ?dist ?trials ?warmup ?label ~threads ~spec
         ~label ~threads ~spec make
   | Registry.Pqueue make ->
       run_pqueue ?config:e.Registry.config ?chaos ?chaos_seed ?trials ?warmup
+        ~label ~threads ~spec make
+  | Registry.Counter make ->
+      run_counter ?config:e.Registry.config ?chaos ?chaos_seed ?trials ?warmup
         ~label ~threads ~spec make
 
 (** Share of transaction attempts that escalated to the

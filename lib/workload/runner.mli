@@ -73,6 +73,20 @@ val run_pqueue :
   (unit -> int Proust_structures.Trait.Pqueue.ops) ->
   result
 
+(** Counter variant: [spec.write_fraction] is the increment share; the
+    rest splits between decrements and value reads. *)
+val run_counter :
+  ?config:Stm.config ->
+  ?chaos:(Fault.point * Fault.site) list ->
+  ?chaos_seed:int ->
+  ?trials:int ->
+  ?warmup:int ->
+  ?label:string ->
+  threads:int ->
+  spec:Workload.spec ->
+  (unit -> Proust_structures.Trait.Counter.ops) ->
+  result
+
 (** Benchmark a registry entry under the STM config its trait header
     requires; the metrics scope defaults to the entry's name. *)
 val run_entry :

@@ -98,3 +98,19 @@ let apply_qop (ops : int Proust_structures.Trait.Queue.ops) txn = function
 let apply_pqop (ops : int Proust_structures.Trait.Pqueue.ops) txn = function
   | Insert v -> ops.insert txn v
   | Remove_min -> ignore (ops.remove_min txn)
+
+(* Counter stream: the [u] share increments; the rest split evenly
+   between (failable) decrements and transactional value reads. *)
+type cop = Cincr | Cdecr | Cvalue
+
+let counter_stream ~seed (spec : spec) ~count =
+  let rng = Random.State.make [| seed; 0xc0de; spec.ops_per_txn |] in
+  Array.init count (fun _ ->
+      if Random.State.float rng 1.0 < spec.write_fraction then Cincr
+      else if Random.State.bool rng then Cdecr
+      else Cvalue)
+
+let apply_cop (ops : Proust_structures.Trait.Counter.ops) txn = function
+  | Cincr -> ops.incr txn
+  | Cdecr -> ignore (ops.decr txn)
+  | Cvalue -> ignore (ops.value txn)

@@ -39,3 +39,10 @@ val apply_qop : int Proust_structures.Trait.Queue.ops -> Stm.txn -> qop -> unit
 
 val apply_pqop :
   int Proust_structures.Trait.Pqueue.ops -> Stm.txn -> pqop -> unit
+
+(** Counter operations: the [write_fraction] share increments, the
+    rest split evenly between decrements and value reads. *)
+type cop = Cincr | Cdecr | Cvalue
+
+val counter_stream : seed:int -> spec -> count:int -> cop array
+val apply_cop : Proust_structures.Trait.Counter.ops -> Stm.txn -> cop -> unit

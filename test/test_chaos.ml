@@ -357,10 +357,86 @@ let test_seeded_determinism () =
    matrix keys on these. *)
 let test_point_names () =
   let names = List.map Fault.point_name Fault.all_points in
-  check ci "ten injection points" 10 (List.length names);
+  check ci "thirteen injection points" 13 (List.length names);
   List.iter (fun n -> check cb ("nonempty: " ^ n) true (n <> "")) names;
   check ci "names are distinct" (List.length names)
     (List.length (List.sort_uniq compare names))
+
+(* -- parking chaos --------------------------------------------------- *)
+
+(* Injection at the three parking points — forced spurious unparks
+   before blocking, delays in the wake-to-revalidate window, and
+   dropped/delayed wakeups at commit — under producer/consumer stress.
+   Deadline-bounded receives absorb the dropped wakeups; afterwards the
+   leak audit must see no orphaned wait-list entries anywhere. *)
+let test_park_unpark_chaos () =
+  with_seed_note (fun () ->
+      let module Y = Proust_sync in
+      let ch = Y.Channel.make ~capacity:4 () in
+      Fault.configure ~seed:(sub_seed 0x9a7)
+        [
+          ( Fault.Pre_park,
+            { Fault.prob = 0.3; actions = [ Fault.Delay 100; Fault.Abort ] } );
+          (Fault.Post_unpark, { Fault.prob = 0.3; actions = [ Fault.Delay 100 ] });
+          ( Fault.Commit_wake,
+            { Fault.prob = 0.25; actions = [ Fault.Kill; Fault.Delay 50 ] } );
+        ];
+      Fun.protect ~finally:Fault.disable (fun () ->
+          let total = 200 in
+          let produced = Atomic.make 0 in
+          let consumed = Atomic.make 0 in
+          let producers =
+            List.init 2 (fun _ ->
+                Domain.spawn (fun () ->
+                    let continue = ref true in
+                    while !continue do
+                      let i = Atomic.fetch_and_add produced 1 in
+                      if i < total then
+                        Stm.atomically (fun txn -> Y.Channel.send txn ch i)
+                      else continue := false
+                    done))
+          in
+          let consumers =
+            List.init 2 (fun _ ->
+                Domain.spawn (fun () ->
+                    let continue = ref true in
+                    while !continue do
+                      if Atomic.get consumed >= total then continue := false
+                      else
+                        match
+                          Stm.atomic
+                            ~deadline:(Clock.now_mono () +. 0.05)
+                            (fun txn -> Y.Channel.recv txn ch)
+                        with
+                        | Stm.Outcome.Committed _ -> Atomic.incr consumed
+                        | _ -> ()
+                    done))
+          in
+          List.iter Domain.join producers;
+          List.iter Domain.join consumers;
+          check ci "every element consumed" total (Atomic.get consumed));
+      check ci "no orphaned waiters" 0 (Stm.parked_waiters ());
+      Stm.descriptor_pool_check ())
+
+(* A woken (or expired) waiter deregisters from every tvar it watched:
+   the per-tvar lists are empty once the waiters drained. *)
+let test_wait_lists_pruned () =
+  let flag = Tvar.make false in
+  let ds =
+    List.init 3 (fun _ ->
+        Domain.spawn (fun () ->
+            Stm.atomically (fun txn ->
+                if not (Stm.read txn flag) then Stm.retry txn)))
+  in
+  let deadline = Clock.now_mono () +. 5.0 in
+  while Stm.parked_waiters () < 3 && Clock.now_mono () < deadline do
+    Domain.cpu_relax ()
+  done;
+  check cb "waiters registered on the tvar" true (Tvar.waiter_count flag >= 3);
+  Stm.atomically (fun txn -> Stm.write txn flag true);
+  List.iter Domain.join ds;
+  check ci "wait list left empty" 0 (Tvar.waiter_count flag);
+  check ci "no orphaned waiters" 0 (Stm.parked_waiters ())
 
 let suite =
   [
@@ -393,4 +469,6 @@ let suite =
       test "descriptor pool resets under chaos" test_pool_reset_after_chaos;
       slow "exception storm leaves no residue" test_exception_storm;
       slow "chaos soak: modes x points, audited" test_chaos_soak;
+      slow "park/unpark chaos leaves no orphans" test_park_unpark_chaos;
+      test "woken waiters prune their wait lists" test_wait_lists_pruned;
     ]

@@ -566,6 +566,18 @@ let map_txn name (make : unit -> (int, int) S.Trait.Map.ops) =
         | M.MPut (k, v) -> M.MVal (ops.S.Trait.Map.put txn k v)
         | M.MRemove k -> M.MVal (ops.S.Trait.Map.remove txn k))
 
+let counter_ops_txn name (make : unit -> S.Trait.Counter.ops) =
+  V.Lin_harness.txn_instance name ~model:(M.obs_counter ~bound:4) ~init:0
+    (fun () ->
+      let o = make () in
+      fun txn op ->
+        match op with
+        | M.CIncr ->
+            o.S.Trait.Counter.incr txn;
+            M.CUnit
+        | M.CDecr -> M.CBool (o.S.Trait.Counter.decr txn)
+        | M.CGet -> M.CInt (o.S.Trait.Counter.value txn))
+
 let omap_txn name make =
   V.Lin_harness.txn_instance name
     ~model:(M.small_omap ~values:[ 0; 1 ] ())
@@ -578,6 +590,123 @@ let omap_txn name make =
         | M.OPut (k, v) -> M.OVal (put txn k v)
         | M.ORemove k -> M.OVal (remove txn k)
         | M.ORange (lo, hi) -> M.OList (range txn lo hi))
+
+(* -- blocking-coordination structures (lib/sync) -------------------- *)
+
+module Y = Proust_sync
+
+(* The bounded face of the channel: try_send reports fullness instead
+   of parking, so a cap-2 channel is checkable against the bounded
+   FIFO model (the registry's chan-mpmc entry covers the unbounded
+   face; blocking semantics live in test_sync). *)
+let chan_bounded_txn () =
+  V.Lin_harness.txn_instance "chan-bounded"
+    ~model:(M.bounded_queue ~cap:2 ())
+    ~init:[]
+    (fun () ->
+      let ch = Y.Channel.make ~capacity:2 () in
+      fun txn op ->
+        match op with
+        | M.BEnq v -> M.BBool (Y.Channel.try_send txn ch v)
+        | M.BDeq -> M.BVal (Y.Channel.try_recv txn ch)
+        | M.BFront -> M.BVal (Y.Channel.peek_opt txn ch)
+        | M.BSize -> M.BInt (Y.Channel.size txn ch))
+
+(* One-shot promise cell: first-writer-wins, write-once. *)
+type pr_op = PrTry of int | PrPeek | PrDone
+type pr_ret = PrBool of bool | PrVal of int option
+
+let promise_model : (int option, pr_op, pr_ret) M.t =
+  {
+    M.name = "promise-cell";
+    states = [ None; Some 0; Some 1 ];
+    ops = [ PrTry 0; PrTry 1; PrPeek; PrDone ];
+    apply =
+      (fun s op ->
+        match op with
+        | PrTry v -> (
+            match s with
+            | None -> (Some v, PrBool true)
+            | Some _ -> (s, PrBool false))
+        | PrPeek -> (s, PrVal s)
+        | PrDone -> (s, PrBool (s <> None)));
+    equal_state = ( = );
+    equal_ret = ( = );
+    show_state =
+      (function None -> "empty" | Some v -> "full(" ^ string_of_int v ^ ")");
+    show_op =
+      (function
+      | PrTry v -> Printf.sprintf "try_fulfil(%d)" v
+      | PrPeek -> "peek"
+      | PrDone -> "is_fulfilled");
+  }
+
+let promise_txn () =
+  V.Lin_harness.txn_instance "promise-cell" ~model:promise_model ~init:None
+    (fun () ->
+      let p = Y.Promise.make () in
+      fun txn op ->
+        match op with
+        | PrTry v -> PrBool (Y.Promise.try_fulfil txn p v)
+        | PrPeek -> PrVal (Y.Promise.peek txn p)
+        | PrDone -> PrBool (Y.Promise.is_fulfilled txn p))
+
+(* Biased select over two channels: the witness must show every pick
+   draining channel 1 before touching channel 2. *)
+type sel_op = SelEnq1 of int | SelEnq2 of int | SelPick
+type sel_ret = SelUnit | SelVal of int option
+
+let select_model : (int list * int list, sel_op, sel_ret) M.t =
+  let lists = M.all_lists ~values:[ 0; 1 ] ~max_len:2 in
+  {
+    M.name = "select-biased";
+    states = List.concat_map (fun a -> List.map (fun b -> (a, b)) lists) lists;
+    ops = [ SelEnq1 0; SelEnq1 1; SelEnq2 0; SelEnq2 1; SelPick ];
+    apply =
+      (fun (a, b) op ->
+        match op with
+        | SelEnq1 v -> ((a @ [ v ], b), SelUnit)
+        | SelEnq2 v -> ((a, b @ [ v ]), SelUnit)
+        | SelPick -> (
+            match (a, b) with
+            | x :: rest, _ -> ((rest, b), SelVal (Some x))
+            | [], x :: rest -> ((a, rest), SelVal (Some x))
+            | [], [] -> ((a, b), SelVal None)));
+    equal_state = ( = );
+    equal_ret = ( = );
+    show_state =
+      (fun (a, b) ->
+        let sh l = String.concat ";" (List.map string_of_int l) in
+        Printf.sprintf "<%s|%s>" (sh a) (sh b));
+    show_op =
+      (function
+      | SelEnq1 v -> Printf.sprintf "enq1(%d)" v
+      | SelEnq2 v -> Printf.sprintf "enq2(%d)" v
+      | SelPick -> "pick");
+  }
+
+let select_txn () =
+  V.Lin_harness.txn_instance "select-biased" ~model:select_model
+    ~init:([], [])
+    (fun () ->
+      let ch1 = Y.Channel.make ~capacity:64 () in
+      let ch2 = Y.Channel.make ~capacity:64 () in
+      fun txn op ->
+        match op with
+        | SelEnq1 v ->
+            Y.Channel.send txn ch1 v;
+            SelUnit
+        | SelEnq2 v ->
+            Y.Channel.send txn ch2 v;
+            SelUnit
+        | SelPick ->
+            SelVal
+              (Y.Select.select_biased txn
+                 [
+                   Y.Select.recv ch1 (fun v -> Some v);
+                   Y.Select.recv ch2 (fun v -> Some v);
+                   Y.Select.default (fun () -> None);
+                 ]))
 
 (* The registry supplies every map/queue/pqueue point of the design
    space (Proustian wrappers and baselines alike); its trait headers
@@ -621,6 +750,8 @@ let registry_ser_case (e : W.Registry.entry) =
                   o.S.Trait.Pqueue.contains ));
           modes;
         }
+  | W.Registry.Counter make ->
+      Ser { s_name = name; instance = counter_ops_txn name make; modes }
 
 let ser_cases =
   List.map registry_ser_case (W.Registry.all ~slots:8 ())
@@ -663,6 +794,18 @@ let ser_cases =
                 fun txn lo hi -> S.P_skipmap.range t txn ~lo ~hi ));
         modes = all_modes;
       };
+    (* The sync family's non-registry faces: bounded-channel capacity,
+       promise single-fulfilment, and biased-select priority. *)
+    Ser
+      {
+        s_name = "chan-bounded";
+        instance = chan_bounded_txn ();
+        modes = all_modes;
+      };
+    Ser
+      { s_name = "promise-cell"; instance = promise_txn (); modes = all_modes };
+    Ser
+      { s_name = "select-biased"; instance = select_txn (); modes = all_modes };
   ]
 
 let ser_tests =

@@ -21,4 +21,5 @@ let () =
       ("obs", Test_obs.suite);
       ("qos", Test_qos.suite);
       ("durable", Test_durable.suite);
+      ("sync", Test_sync.suite);
     ]

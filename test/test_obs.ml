@@ -290,7 +290,7 @@ let test_metrics_from_stm () =
 let test_stats_to_assoc () =
   let s = Stats.read () in
   let assoc = Stats.to_assoc s in
-  check ci "23 counters exported" 23 (List.length assoc);
+  check ci "28 counters exported" 28 (List.length assoc);
   List.iter
     (fun k ->
       check cb ("counter " ^ k ^ " present") true (List.mem_assoc k assoc))
@@ -301,6 +301,8 @@ let test_stats_to_assoc () =
       "shed"; "watchdog_kills"; "degraded_transitions"; "minor_words";
       "log_appends"; "fsync_batches"; "fsync_batch_size_p50";
       "fsync_batch_size_p99"; "recoveries"; "torn_tail_truncations";
+      "parks"; "wakeups"; "spurious_wakeups"; "retry_polls";
+      "wait_list_max";
     ];
   (* diff and to_assoc commute: to_assoc (diff a b) is the pairwise
      difference of the exports. *)
@@ -309,7 +311,10 @@ let test_stats_to_assoc () =
   Stm.atomically (fun txn -> Stm.write txn r 1);
   let b = Stats.read () in
   let d = Stats.to_assoc (Stats.diff a b) in
-  let gauge k = k = "fsync_batch_size_p50" || k = "fsync_batch_size_p99" in
+  let gauge k =
+    k = "fsync_batch_size_p50" || k = "fsync_batch_size_p99"
+    || k = "wait_list_max"
+  in
   List.iter2
     (fun (ka, va) ((kb, vb), _) ->
       check cs "same key order" ka kb;

@@ -120,10 +120,14 @@ let test_retry_wakes_on_change () =
   Stm.atomically (fun txn -> Stm.write txn flag true);
   check cs "retry woke" "woke" (Domain.join d)
 
+(* A retry with nothing read can never be woken; the episode must fail
+   with the typed [Retry_no_reads] (not block, not a bare [Failure]),
+   and the pooled record must come back clean. *)
 let test_retry_empty_read_set_fails () =
-  match Stm.atomically (fun txn -> Stm.retry txn) with
-  | exception Failure _ -> ()
-  | _ -> Alcotest.fail "expected Failure"
+  (match Stm.atomically (fun txn -> Stm.retry txn) with
+  | exception Stm.Retry_no_reads -> ()
+  | _ -> Alcotest.fail "expected Retry_no_reads");
+  Stm.descriptor_pool_check ()
 
 let test_or_else_first_branch () =
   let r = Tvar.make 1 in

@@ -1,0 +1,496 @@
+(** Blocking-coordination suite for the [lib/sync] family and the
+    parking retry path beneath it.
+
+    Functional semantics (channel FIFO/close, promise single
+    fulfilment, semaphore non-negativity, select fairness and bias)
+    run single- and multi-domain; the parking-specific tests pin the
+    tentpole properties — a parked retry consumes no busy-poll
+    iterations, deadlines are honored while parked, an empty-read-set
+    retry fails typed, and a deliberately broken waker (dropped
+    wakeups via {!Fault.Commit_wake}) is caught by deadline-bounded
+    parks instead of hanging the domain.
+
+    Multi-domain width scales with [PROUST_SYNC_DOMAINS] (CI runs the
+    suite at 2 and 8). *)
+
+open Util
+module Y = Proust_sync
+
+let sync_domains =
+  match Sys.getenv_opt "PROUST_SYNC_DOMAINS" with
+  | None -> 4
+  | Some s -> max 2 (int_of_string s)
+
+(* ------------------------------------------------------------------ *)
+(* Channel semantics, single-domain                                     *)
+
+let test_channel_fifo () =
+  let ch = Y.Channel.make ~capacity:8 () in
+  Stm.atomically (fun txn ->
+      for i = 1 to 5 do
+        Y.Channel.send txn ch i
+      done);
+  check ci "size" 5 (Stm.atomically (fun txn -> Y.Channel.size txn ch));
+  check copt_i "peek" (Some 1)
+    (Stm.atomically (fun txn -> Y.Channel.peek_opt txn ch));
+  let out =
+    List.init 5 (fun _ -> Stm.atomically (fun txn -> Y.Channel.recv txn ch))
+  in
+  check clist_i "fifo order" [ 1; 2; 3; 4; 5 ] out;
+  check copt_i "drained" None
+    (Stm.atomically (fun txn -> Y.Channel.try_recv txn ch))
+
+let test_channel_capacity () =
+  let ch = Y.Channel.make ~capacity:2 () in
+  Stm.atomically (fun txn ->
+      check cb "send 1" true (Y.Channel.try_send txn ch 1);
+      check cb "send 2" true (Y.Channel.try_send txn ch 2);
+      check cb "full" false (Y.Channel.try_send txn ch 3));
+  Stm.atomically (fun txn -> ignore (Y.Channel.recv txn ch));
+  check cb "slot freed" true
+    (Stm.atomically (fun txn -> Y.Channel.try_send txn ch 3))
+
+let test_channel_close () =
+  let ch = Y.Channel.make ~capacity:4 () in
+  Stm.atomically (fun txn ->
+      Y.Channel.send txn ch 1;
+      Y.Channel.close txn ch);
+  (* Sends fail immediately; receives drain the buffer first. *)
+  (match Stm.atomically (fun txn -> Y.Channel.send txn ch 2) with
+  | exception Y.Channel.Closed -> ()
+  | () -> Alcotest.fail "send on closed channel succeeded");
+  check ci "drains buffered" 1
+    (Stm.atomically (fun txn -> Y.Channel.recv txn ch));
+  check copt_i "then None" None
+    (Stm.atomically (fun txn -> Y.Channel.recv_opt txn ch));
+  match Stm.atomically (fun txn -> Y.Channel.recv txn ch) with
+  | exception Y.Channel.Closed -> ()
+  | _ -> Alcotest.fail "recv on drained closed channel succeeded"
+
+(* ------------------------------------------------------------------ *)
+(* Producer/consumer pipelines                                          *)
+
+(* A capacity-4 channel forces both park directions under load:
+   producers block on a full buffer, consumers on an empty one. *)
+let test_pipeline_conservation () =
+  with_seed_note (fun () ->
+      let n_prod = sync_domains / 2 and n_cons = sync_domains / 2 in
+      let per_prod = 200 in
+      let ch = Y.Channel.make ~capacity:4 () in
+      let consumed = Atomic.make 0 in
+      let sum = Atomic.make 0 in
+      let total = n_prod * per_prod in
+      let producers =
+        List.init n_prod (fun p ->
+            Domain.spawn (fun () ->
+                for i = 1 to per_prod do
+                  Stm.atomically (fun txn ->
+                      Y.Channel.send txn ch ((p * per_prod) + i))
+                done))
+      in
+      let consumers =
+        List.init n_cons (fun _ ->
+            Domain.spawn (fun () ->
+                let continue = ref true in
+                while !continue do
+                  if Atomic.fetch_and_add consumed 1 < total then
+                    let v =
+                      Stm.atomically (fun txn -> Y.Channel.recv txn ch)
+                    in
+                    ignore (Atomic.fetch_and_add sum v)
+                  else continue := false
+                done))
+      in
+      List.iter Domain.join producers;
+      List.iter Domain.join consumers;
+      check ci "every element received exactly once"
+        (total * (total + 1) / 2)
+        (Atomic.get sum);
+      check ci "channel drained" 0
+        (Stm.atomically (fun txn -> Y.Channel.size txn ch));
+      check ci "no waiters left behind" 0 (Stm.parked_waiters ()))
+
+(* Fan-out then fan-in: one source, [w] workers, one sink channel.
+   Closing the stage channels releases the blocked workers. *)
+let test_fan_out_fan_in () =
+  with_seed_note (fun () ->
+      let w = sync_domains in
+      let jobs = Y.Channel.make ~capacity:4 () in
+      let results = Y.Channel.make ~capacity:4 () in
+      let n = 100 in
+      let workers =
+        List.init w (fun _ ->
+            Domain.spawn (fun () ->
+                let continue = ref true in
+                while !continue do
+                  match
+                    Stm.atomically (fun txn -> Y.Channel.recv_opt txn jobs)
+                  with
+                  | None -> continue := false
+                  | Some v ->
+                      Stm.atomically (fun txn ->
+                          Y.Channel.send txn results (v * 2))
+                done))
+      in
+      let sink =
+        Domain.spawn (fun () ->
+            let acc = ref 0 in
+            for _ = 1 to n do
+              acc :=
+                !acc + Stm.atomically (fun txn -> Y.Channel.recv txn results)
+            done;
+            !acc)
+      in
+      for i = 1 to n do
+        Stm.atomically (fun txn -> Y.Channel.send txn jobs i)
+      done;
+      Stm.atomically (fun txn -> Y.Channel.close txn jobs);
+      List.iter Domain.join workers;
+      check ci "fan-in total" (n * (n + 1)) (Domain.join sink);
+      check ci "no waiters left behind" 0 (Stm.parked_waiters ()))
+
+(* ------------------------------------------------------------------ *)
+(* Select                                                               *)
+
+let test_select_rotates () =
+  let a = Y.Channel.make ~capacity:64 () in
+  let b = Y.Channel.make ~capacity:64 () in
+  Stm.atomically (fun txn ->
+      for i = 1 to 8 do
+        Y.Channel.send txn a i;
+        Y.Channel.send txn b (100 + i)
+      done);
+  (* Both cases stay ready the whole time; the rotation tick must give
+     each side at least one pick across consecutive selects. *)
+  let from_a = ref 0 and from_b = ref 0 in
+  for _ = 1 to 8 do
+    let v =
+      Stm.atomically (fun txn ->
+          Y.Select.select txn
+            [
+              Y.Select.recv a (fun v -> v); Y.Select.recv b (fun v -> v);
+            ])
+    in
+    if v < 100 then incr from_a else incr from_b
+  done;
+  check cb "rotation reaches both sides" true (!from_a > 0 && !from_b > 0)
+
+let test_select_biased_priority () =
+  let a = Y.Channel.make ~capacity:64 () in
+  let b = Y.Channel.make ~capacity:64 () in
+  Stm.atomically (fun txn ->
+      Y.Channel.send txn a 1;
+      Y.Channel.send txn b 2);
+  (* Biased select must drain [a] before touching [b]. *)
+  let first =
+    Stm.atomically (fun txn ->
+        Y.Select.select_biased txn
+          [ Y.Select.recv a (fun v -> v); Y.Select.recv b (fun v -> v) ])
+  in
+  check ci "first pick from channel a" 1 first;
+  let second =
+    Stm.atomically (fun txn ->
+        Y.Select.select_biased txn
+          [ Y.Select.recv a (fun v -> v); Y.Select.recv b (fun v -> v) ])
+  in
+  check ci "then falls through to b" 2 second
+
+let test_select_default () =
+  let a : int Y.Channel.t = Y.Channel.make ~capacity:4 () in
+  let v =
+    Stm.atomically (fun txn ->
+        Y.Select.select_biased txn
+          [ Y.Select.recv a (fun v -> Some v); Y.Select.default (fun () -> None) ])
+  in
+  check copt_i "default taken on empty channel" None v
+
+(* A select whose cases all block parks once on the union of the read
+   sets: a commit on EITHER channel wakes it. *)
+let test_select_wakes_on_either () =
+  let a = Y.Channel.make ~capacity:4 () in
+  let b = Y.Channel.make ~capacity:4 () in
+  let pick side =
+    let d =
+      Domain.spawn (fun () ->
+          Stm.atomically (fun txn ->
+              Y.Select.select txn
+                [ Y.Select.recv a (fun v -> v); Y.Select.recv b (fun v -> v) ]))
+    in
+    Unix.sleepf 0.02;
+    Stm.atomically (fun txn ->
+        Y.Channel.send txn (if side = 0 then a else b) (side + 10));
+    Domain.join d
+  in
+  check ci "woken by a-side commit" 10 (pick 0);
+  check ci "woken by b-side commit" 11 (pick 1)
+
+(* ------------------------------------------------------------------ *)
+(* Promises                                                             *)
+
+let test_promise_single_fulfilment () =
+  with_seed_note (fun () ->
+      let p = Y.Promise.make () in
+      let winners = Atomic.make 0 in
+      (* Racing fulfillers: exactly one CAS-like transactional win. *)
+      spawn_all sync_domains (fun i ->
+          if Stm.atomically (fun txn -> Y.Promise.try_fulfil txn p i) then
+            Atomic.incr winners);
+      check ci "exactly one fulfiller wins" 1 (Atomic.get winners);
+      let v = Stm.atomically (fun txn -> Y.Promise.await txn p) in
+      (* Every awaiter agrees with the committed value. *)
+      spawn_all sync_domains (fun _ ->
+          check ci "await sees the winner" v
+            (Stm.atomically (fun txn -> Y.Promise.await txn p)));
+      match Stm.atomically (fun txn -> Y.Promise.fulfil txn p 999) with
+      | exception Y.Promise.Already_fulfilled -> ()
+      | () -> Alcotest.fail "second fulfil succeeded")
+
+let test_promise_blocks_until_fulfilled () =
+  let p = Y.Promise.make () in
+  let waiters =
+    List.init sync_domains (fun _ ->
+        Domain.spawn (fun () ->
+            Stm.atomically (fun txn -> Y.Promise.await txn p)))
+  in
+  Unix.sleepf 0.02;
+  Stm.atomically (fun txn -> Y.Promise.fulfil txn p 42);
+  (* One fulfilling commit broadcasts to every parked awaiter. *)
+  List.iter (fun d -> check ci "broadcast wake" 42 (Domain.join d)) waiters;
+  check ci "no waiters left behind" 0 (Stm.parked_waiters ())
+
+(* ------------------------------------------------------------------ *)
+(* Semaphores                                                           *)
+
+let test_semaphore_bounds () =
+  with_seed_note (fun () ->
+      let permits = 3 in
+      let s = Y.Semaphore.make permits in
+      let in_section = Atomic.make 0 in
+      let max_seen = Atomic.make 0 in
+      let rec note_max n =
+        let cur = Atomic.get max_seen in
+        if n > cur && not (Atomic.compare_and_set max_seen cur n) then
+          note_max n
+      in
+      spawn_all sync_domains (fun _ ->
+          for _ = 1 to 50 do
+            Stm.atomically (fun txn -> Y.Semaphore.acquire txn s);
+            let n = 1 + Atomic.fetch_and_add in_section 1 in
+            note_max n;
+            Domain.cpu_relax ();
+            ignore (Atomic.fetch_and_add in_section (-1));
+            Stm.atomically (fun txn -> Y.Semaphore.release txn s)
+          done);
+      check cb "occupancy never exceeds permits" true
+        (Atomic.get max_seen <= permits);
+      check cb "some concurrency happened" true (Atomic.get max_seen >= 1);
+      check ci "all permits returned" permits (Y.Semaphore.peek s);
+      check cb "never negative" true (Y.Semaphore.peek s >= 0))
+
+let test_semaphore_multi_permit () =
+  let s = Y.Semaphore.make ~cap:4 2 in
+  Stm.atomically (fun txn ->
+      check cb "bulk acquire beyond permits fails" false
+        (Y.Semaphore.try_acquire ~n:3 txn s));
+  let d =
+    Domain.spawn (fun () ->
+        Stm.atomically (fun txn -> Y.Semaphore.acquire ~n:3 txn s))
+  in
+  Unix.sleepf 0.02;
+  Stm.atomically (fun txn -> Y.Semaphore.release ~n:1 txn s);
+  Domain.join d;
+  check ci "3 of 3 permits taken" 0 (Y.Semaphore.peek s);
+  match Stm.atomically (fun txn -> Y.Semaphore.release ~n:5 txn s) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "release above cap succeeded"
+
+(* ------------------------------------------------------------------ *)
+(* Parking mechanics                                                    *)
+
+(* The tentpole property: a blocked retry PARKS — the stats window
+   around a blocked-then-woken recv shows at least one park and one
+   wakeup, and exactly zero busy-poll iterations. *)
+let test_parked_retry_no_polls () =
+  check cb "park mode is the default" true (Stm.retry_mode () = Stm.Park);
+  let ch = Y.Channel.make ~capacity:4 () in
+  let before = Stats.read () in
+  let d =
+    Domain.spawn (fun () ->
+        Stm.atomically (fun txn -> Y.Channel.recv txn ch))
+  in
+  (* Wait until the consumer is really parked, not merely spawned. *)
+  let deadline = Clock.now_mono () +. 5.0 in
+  while Stm.parked_waiters () = 0 && Clock.now_mono () < deadline do
+    Domain.cpu_relax ()
+  done;
+  check ci "consumer is parked" 1 (Stm.parked_waiters ());
+  Stm.atomically (fun txn -> Y.Channel.send txn ch 7);
+  check ci "woken with the element" 7 (Domain.join d);
+  let s = Stats.diff before (Stats.read ()) in
+  check cb "parked at least once" true (s.Stats.parks >= 1);
+  check cb "woken at least once" true (s.Stats.wakeups >= 1);
+  check ci "zero busy-poll iterations" 0 (s.Stats.retry_polls);
+  check cb "wait-list high-water recorded" true (s.Stats.wait_list_max >= 1);
+  check ci "no waiters left behind" 0 (Stm.parked_waiters ())
+
+(* The legacy poll mode still works and is observable: the same
+   scenario burns poll iterations and never parks. *)
+let test_poll_mode_burns_iterations () =
+  Stm.set_retry_mode Stm.Poll;
+  Fun.protect
+    ~finally:(fun () -> Stm.set_retry_mode Stm.Park)
+    (fun () ->
+      let ch = Y.Channel.make ~capacity:4 () in
+      let before = Stats.read () in
+      let d =
+        Domain.spawn (fun () ->
+            Stm.atomically (fun txn -> Y.Channel.recv txn ch))
+      in
+      Unix.sleepf 0.05;
+      Stm.atomically (fun txn -> Y.Channel.send txn ch 9);
+      check ci "woken with the element" 9 (Domain.join d);
+      let s = Stats.diff before (Stats.read ()) in
+      check cb "poll iterations recorded" true (s.Stats.retry_polls > 0);
+      check ci "never parked" 0 s.Stats.parks)
+
+let test_deadline_while_parked () =
+  let ch : int Y.Channel.t = Y.Channel.make ~capacity:4 () in
+  let t0 = Clock.now_mono () in
+  (* Nobody ever sends: the park must be broken by the deadline timer,
+     not hang. *)
+  (match
+     Stm.atomic
+       ~deadline:(t0 +. 0.1)
+       (fun txn -> Y.Channel.recv txn ch)
+   with
+  | Stm.Outcome.Timed_out -> ()
+  | _ -> Alcotest.fail "expected Timed_out");
+  let dt = Clock.now_mono () -. t0 in
+  check cb "woke near the deadline, not seconds later" true (dt < 2.0);
+  check ci "no waiters left behind" 0 (Stm.parked_waiters ());
+  Stm.descriptor_pool_check ()
+
+let test_retry_no_reads_typed () =
+  (* The old behaviour was an untyped [failwith]; pin the typed error
+     and that guard on a constant read-set still works. *)
+  (match Stm.atomically (fun txn -> Stm.retry txn) with
+  | exception Stm.Retry_no_reads -> ()
+  | _ -> Alcotest.fail "expected Retry_no_reads");
+  match
+    Stm.atomic (fun txn -> Stm.or_else_list txn [ (fun t -> Stm.retry t) ])
+  with
+  | exception Stm.Retry_no_reads -> ()
+  | _ -> Alcotest.fail "expected Retry_no_reads from empty-read or_else"
+
+(* ------------------------------------------------------------------ *)
+(* The lost-wakeup regression                                           *)
+
+(* A broken waker — every writing commit drops its wait-list scan
+   ([Commit_wake] draws [Kill] with probability 1) — must not hang a
+   parked consumer: the deadline-bounded park times out instead.  The
+   healthy control (no injection) wakes promptly and commits. *)
+let test_lost_wakeup_regression () =
+  let run_consumer () =
+    let ch = Y.Channel.make ~capacity:4 () in
+    let d =
+      Domain.spawn (fun () ->
+          Stm.atomic
+            ~deadline:(Clock.now_mono () +. 0.4)
+            (fun txn -> Y.Channel.recv txn ch))
+    in
+    let deadline = Clock.now_mono () +. 5.0 in
+    while Stm.parked_waiters () = 0 && Clock.now_mono () < deadline do
+      Domain.cpu_relax ()
+    done;
+    Stm.atomically (fun txn -> Y.Channel.send txn ch 21);
+    Domain.join d
+  in
+  (* Healthy control first: the wakeup path works. *)
+  (match run_consumer () with
+  | Stm.Outcome.Committed 21 -> ()
+  | o -> Alcotest.fail ("healthy waker: expected Committed, got " ^ Stm.Outcome.name o));
+  (* Broken waker: the producer's commit is real (the element lands)
+     but the wakeup is dropped; only the deadline frees the parked
+     domain.  Without the timer this test would hang forever. *)
+  Fault.configure ~seed:(sub_seed 0xbad)
+    [ (Fault.Commit_wake, { Fault.prob = 1.0; actions = [ Fault.Kill ] }) ];
+  Fun.protect ~finally:Fault.disable (fun () ->
+      match run_consumer () with
+      | Stm.Outcome.Timed_out -> ()
+      | o ->
+          Alcotest.fail
+            ("broken waker: expected Timed_out, got " ^ Stm.Outcome.name o));
+  check ci "no waiters left behind" 0 (Stm.parked_waiters ());
+  Stm.descriptor_pool_check ()
+
+(* ------------------------------------------------------------------ *)
+(* Seeded multi-domain stress over the whole family                     *)
+
+let test_sync_stress () =
+  with_seed_note (fun () ->
+      let ch = Y.Channel.make ~capacity:8 () in
+      let sem = Y.Semaphore.make 2 in
+      let done_p = Y.Promise.make () in
+      let n = 300 in
+      let consumed = Atomic.make 0 in
+      let producers =
+        List.init (sync_domains / 2) (fun p ->
+            Domain.spawn (fun () ->
+                let rng = Random.State.make [| sub_seed (p + 1) |] in
+                for i = 1 to n do
+                  Stm.atomically (fun txn ->
+                      Y.Semaphore.acquire txn sem;
+                      Y.Channel.send txn ch i;
+                      Y.Semaphore.release txn sem);
+                  if Random.State.int rng 16 = 0 then Domain.cpu_relax ()
+                done))
+      in
+      let total = (sync_domains / 2) * n in
+      let consumers =
+        List.init (sync_domains / 2) (fun _ ->
+            Domain.spawn (fun () ->
+                let continue = ref true in
+                while !continue do
+                  if Atomic.fetch_and_add consumed 1 < total then
+                    ignore
+                      (Stm.atomically (fun txn ->
+                           Y.Select.select txn
+                             [
+                               Y.Select.recv ch (fun v -> v);
+                               Y.Select.await done_p (fun v -> v);
+                             ]))
+                  else continue := false
+                done))
+      in
+      List.iter Domain.join producers;
+      List.iter Domain.join consumers;
+      Stm.atomically (fun txn -> Y.Promise.fulfil txn done_p 0);
+      check ci "no waiters left behind" 0 (Stm.parked_waiters ());
+      check ci "all permits returned" 2 (Y.Semaphore.peek sem);
+      Stm.descriptor_pool_check ())
+
+let suite =
+  [
+    test "channel fifo order" test_channel_fifo;
+    test "channel capacity accounting" test_channel_capacity;
+    test "channel close semantics" test_channel_close;
+    slow "pipeline conserves elements" test_pipeline_conservation;
+    slow "fan-out/fan-in over stage channels" test_fan_out_fan_in;
+    test "select rotation reaches all ready cases" test_select_rotates;
+    test "select_biased drains in priority order" test_select_biased_priority;
+    test "select default makes selects non-blocking" test_select_default;
+    test "blocked select woken by either channel" test_select_wakes_on_either;
+    test "promise: exactly one fulfiller wins" test_promise_single_fulfilment;
+    test "promise: fulfil broadcasts to parked awaiters"
+      test_promise_blocks_until_fulfilled;
+    slow "semaphore occupancy stays within permits" test_semaphore_bounds;
+    test "semaphore multi-permit acquire and cap" test_semaphore_multi_permit;
+    test "parked retry burns zero poll iterations" test_parked_retry_no_polls;
+    test "poll mode still works and is observable"
+      test_poll_mode_burns_iterations;
+    test "deadline honored while parked" test_deadline_while_parked;
+    test "retry with no reads fails typed" test_retry_no_reads_typed;
+    slow "lost wakeup caught by deadline-bounded park"
+      test_lost_wakeup_regression;
+    slow "seeded stress across the sync family" test_sync_stress;
+  ]
