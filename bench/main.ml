@@ -181,7 +181,7 @@ let ablation_mode () =
   W.Report.section "ABL-MODE: STM conflict-detection mode x Proust variant";
   W.Report.header ();
   let base = Stm.get_default_config () in
-  let modes = [ Stm.Lazy_lazy; Stm.Eager_lazy; Stm.Eager_eager; Stm.Serial_commit ] in
+  let modes = Stm.Mode.all in
   List.iter
     (fun mode ->
       let config = Some { base with Stm.mode } in
@@ -195,7 +195,7 @@ let ablation_mode () =
         @
         (* eager updates are unsound under a fully lazy STM (Figure 1's
            empty quarter) — skip those cells. *)
-        (if mode = Stm.Lazy_lazy || mode = Stm.Serial_commit then []
+        (if not (S.Trait.mode_ok S.Trait.Encounter_time mode) then []
          else
            [
              ( Printf.sprintf "eager-opt/%s" (Stm.mode_name mode),
@@ -214,6 +214,163 @@ let ablation_mode () =
             (List.filter (fun t -> t > 1) threads_list))
         entries)
     modes
+
+(* ------------------------------------------------------------------ *)
+(* MVCC: read-mostly throughput, Multi_version snapshots vs the TL2
+   lazy baseline.
+
+   Each worker flips a read/write coin per operation: a read scans 8
+   random tvars in one transaction, a write increments 4.  Under
+   [multi-version] the read side goes through [Stm.read_only] — the
+   abort-free snapshot path — while under [tl2-lazy] it is an ordinary
+   update-less transaction that validates (and aborts) like any other.
+   The JSON cells carry both abort counters so CI can gate on
+   (a) zero [ro_aborts] and (b) MVCC >= TL2 throughput at 90%+
+   reads. *)
+let mvcc_bench () =
+  W.Report.section
+    "MVCC: read-ratio sweep, multi-version snapshots vs tl2-lazy";
+  Printf.printf "%-16s %5s %4s %10s %12s %8s %9s %9s\n" "impl" "read%" "t"
+    "mean(ms)" "ops/s" "aborts" "ro_commit" "ro_abort";
+  Printf.printf "%s\n" (String.make 80 '-');
+  let key_range = 256 in
+  (* Read transactions scan 32 tvars: the snapshot path pays a fixed
+     registration cost per transaction, while TL2 pays per read
+     (read-log append + commit-time validation) — a scan this size is
+     the design point where abort-free snapshots earn their keep. *)
+  let reads_per_txn = 32 and writes_per_txn = 4 in
+  let impls =
+    [
+      ("tl2-lazy", Stm.Lazy_lazy, false);
+      ("multi-version", Stm.Multi_version, true);
+    ]
+  in
+  (* Stats snapshots are taken per trial window and summed per impl:
+     the trials below interleave the two impls, so a single
+     before/after diff would mix their counters.  Gauge fields carry
+     readings, not deltas, so they take the max instead of a sum. *)
+  let gauge_fields =
+    [
+      "fsync_batch_size_p50";
+      "fsync_batch_size_p99";
+      "wait_list_max";
+      "version_chain_max";
+    ]
+  in
+  let combine_stats acc st =
+    match acc with
+    | [] -> st
+    | _ ->
+        List.map2
+          (fun (k, va) (_, vb) ->
+            (k, if List.mem k gauge_fields then max va vb else va + vb))
+          acc st
+  in
+  List.iter
+    (fun read_pct ->
+      List.iter
+        (fun workers ->
+          let tvs = Array.init key_range (fun _ -> Tvar.make 0) in
+          let per = max 500 (total_ops / workers) in
+          let run_once ~config ~ro_reads () =
+            let started = Array.make workers 0.0 in
+            let finished = Array.make workers 0.0 in
+            let enter = W.Runner.barrier workers in
+            let body i () =
+              let rng = Random.State.make [| 0x3c5; i |] in
+              let read_scan txn =
+                let acc = ref 0 in
+                for _ = 1 to reads_per_txn do
+                  acc :=
+                    !acc + Stm.read txn tvs.(Random.State.int rng key_range)
+                done;
+                !acc
+              in
+              enter ();
+              started.(i) <- Clock.now_mono ();
+              for _ = 1 to per do
+                if Random.State.float rng 1.0 < read_pct then
+                  if ro_reads then ignore (Stm.read_only ~config read_scan)
+                  else ignore (Stm.atomically ~config read_scan)
+                else
+                  Stm.atomically ~config (fun txn ->
+                      for _ = 1 to writes_per_txn do
+                        let tv = tvs.(Random.State.int rng key_range) in
+                        Stm.write txn tv (Stm.read txn tv + 1)
+                      done)
+              done;
+              finished.(i) <- Clock.now_mono ()
+            in
+            let ds = List.init workers (fun i -> Domain.spawn (body i)) in
+            List.iter Domain.join ds;
+            (Array.fold_left max neg_infinity finished
+            -. Array.fold_left min infinity started)
+            *. 1000.0
+          in
+          (* Same discipline as Runner — one warmup, then best of
+             [trials] — except the trials ALTERNATE between the two
+             impls.  The containers this runs in are noisy on minute
+             scales; running all of one impl's trials before the
+             other's would fold that drift into the comparison. *)
+          let rows =
+            List.map
+              (fun (impl, mode, ro_reads) ->
+                let config = { (Stm.get_default_config ()) with Stm.mode } in
+                ignore (run_once ~config ~ro_reads ());
+                (impl, mode, ro_reads, config, ref infinity, ref []))
+              impls
+          in
+          for _ = 1 to trials do
+            List.iter
+              (fun (_, _, ro_reads, config, best, acc) ->
+                let before = Stats.read () in
+                let dt = run_once ~config ~ro_reads () in
+                let st = Stats.diff before (Stats.read ()) in
+                best := Float.min !best dt;
+                acc := combine_stats !acc (Stats.to_assoc st))
+              rows
+          done;
+          List.iter
+            (fun (impl, mode, _, _, best, acc) ->
+              let dt_ms = !best in
+              let stat k = try List.assoc k !acc with Not_found -> 0 in
+              let total = workers * per in
+              let ops_per_s = float_of_int total /. dt_ms *. 1000.0 in
+              let name =
+                Printf.sprintf "%s/r%.0f" impl (read_pct *. 100.0)
+              in
+              Printf.printf "%-16s %4.0f%% %4d %10.2f %12.0f %8d %9d %9d\n%!"
+                name (read_pct *. 100.0) workers dt_ms ops_per_s
+                (stat "aborts") (stat "ro_commits") (stat "ro_aborts");
+              if json_file <> None then
+                cells :=
+                  Obs.Json.Obj
+                    [
+                      ("kind", Obs.Json.String "mvcc");
+                      ("impl", Obs.Json.String impl);
+                      ("mode", Obs.Json.String (Stm.mode_name mode));
+                      ("read_pct", Obs.Json.Float (read_pct *. 100.0));
+                      ("threads", Obs.Json.Int workers);
+                      ("key_range", Obs.Json.Int key_range);
+                      ("reads_per_txn", Obs.Json.Int reads_per_txn);
+                      ("writes_per_txn", Obs.Json.Int writes_per_txn);
+                      ("ops", Obs.Json.Int total);
+                      ("mean_ms", Obs.Json.Float dt_ms);
+                      ("ops_per_s", Obs.Json.Float ops_per_s);
+                      ("aborts", Obs.Json.Int (stat "aborts"));
+                      ("ro_commits", Obs.Json.Int (stat "ro_commits"));
+                      ("ro_aborts", Obs.Json.Int (stat "ro_aborts"));
+                      ("versions_gced", Obs.Json.Int (stat "versions_gced"));
+                      ( "stats",
+                        Obs.Json.Obj
+                          (List.map
+                             (fun (k, v) -> (k, Obs.Json.Int v))
+                             !acc) );
+                    ]
+                  :: !cells)
+            rows)
+        (List.filter (fun t -> t > 1) threads_list))
+    [ 0.5; 0.9; 0.99 ]
 
 let pqueue_bench () =
   W.Report.section "PQ-BENCH: priority queue, eager vs pessimistic vs lazy";
@@ -903,7 +1060,7 @@ let usage () =
   print_endline
     "usage: main.exe \
      [fig1|fig4|fig4-memo|micro|ablation-m|ablation-cm|ablation-mode|\
-     ablation-zipf|ablation-combine|pqueue|queue|structures|compose|\
+     ablation-zipf|ablation-combine|mvcc|pqueue|queue|structures|compose|\
      overload|durability|parking|obs-overhead|all] [--json FILE] \
      [--trace FILE]"
 
@@ -930,6 +1087,7 @@ let () =
   | "ablation-mode" -> ablation_mode ()
   | "ablation-zipf" -> ablation_zipf ()
   | "ablation-combine" -> ablation_combine ()
+  | "mvcc" -> mvcc_bench ()
   | "pqueue" -> pqueue_bench ()
   | "queue" -> queue_bench ()
   | "structures" -> structures_bench ()
@@ -948,6 +1106,7 @@ let () =
       ablation_mode ();
       ablation_zipf ();
       ablation_combine ();
+      mvcc_bench ();
       pqueue_bench ();
       queue_bench ();
       structures_bench ();

@@ -28,12 +28,7 @@ let canonical = function
   | "lazy-triemap" -> "lazy-snap"
   | other -> other
 
-let mode_of_string = function
-  | "lazy-lazy" -> Stm.Lazy_lazy
-  | "eager-lazy" -> Stm.Eager_lazy
-  | "eager-eager" -> Stm.Eager_eager
-  | "serial-commit" -> Stm.Serial_commit
-  | other -> invalid_arg ("unknown mode: " ^ other)
+let mode_of_string = Stm.Mode.of_string
 
 let cm_of_string = function
   | "passive" -> Proust_stm.Contention.passive ()
@@ -166,7 +161,9 @@ let mode_arg =
     value
     & opt string "lazy-lazy"
     & info [ "mode" ]
-        ~doc:"STM conflict detection: lazy-lazy, eager-lazy, eager-eager, serial-commit")
+        ~doc:
+          (Printf.sprintf "STM conflict detection: %s"
+             (String.concat ", " (Stm.Mode.names ()))))
 
 let cm_arg =
   Arg.(

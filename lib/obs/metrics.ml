@@ -3,6 +3,7 @@ type scope = {
   commit_h : Histogram.t;
   abort_retry_h : Histogram.t;
   lock_wait_h : Histogram.t;
+  wakeup_h : Histogram.t;
 }
 
 let table : (string, scope) Hashtbl.t = Hashtbl.create 8
@@ -20,6 +21,7 @@ let scope_of label =
             commit_h = Histogram.create ();
             abort_retry_h = Histogram.create ();
             lock_wait_h = Histogram.create ();
+            wakeup_h = Histogram.create ();
           }
         in
         Hashtbl.add table label s;
@@ -72,7 +74,8 @@ let reset_scope label =
   | Some s ->
       Histogram.reset s.commit_h;
       Histogram.reset s.abort_retry_h;
-      Histogram.reset s.lock_wait_h
+      Histogram.reset s.lock_wait_h;
+      Histogram.reset s.wakeup_h
   | None -> ());
   Mutex.unlock table_lock
 
@@ -81,6 +84,7 @@ type scope_summary = {
   commit : Histogram.summary;
   abort_to_retry : Histogram.summary;
   lock_wait : Histogram.summary;
+  wakeup : Histogram.summary;
 }
 
 let summarize (s : scope) =
@@ -89,6 +93,7 @@ let summarize (s : scope) =
     commit = Histogram.summarize s.commit_h;
     abort_to_retry = Histogram.summarize s.abort_retry_h;
     lock_wait = Histogram.summarize s.lock_wait_h;
+    wakeup = Histogram.summarize s.wakeup_h;
   }
 
 let read_scope label =
@@ -111,6 +116,7 @@ let scope_summary_to_json (s : scope_summary) =
       ("commit", Histogram.summary_to_json s.commit);
       ("abort_to_retry", Histogram.summary_to_json s.abort_to_retry);
       ("lock_wait", Histogram.summary_to_json s.lock_wait);
+      ("wakeup", Histogram.summary_to_json s.wakeup);
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -179,3 +185,11 @@ let add_lock_wait ns =
   if enabled () then
     let ctx = Domain.DLS.get ctx_key in
     Histogram.record (my_scope ctx).lock_wait_h ns
+
+(* Parking wakeup latency: wake publication (the committer's stamp on
+   the waiter, see Waitq.wake) to the parked domain's resume.  Recorded
+   by the resuming domain, so it lands in that domain's scope. *)
+let add_wakeup_latency ns =
+  if enabled () && ns >= 0 then
+    let ctx = Domain.DLS.get ctx_key in
+    Histogram.record (my_scope ctx).wakeup_h ns

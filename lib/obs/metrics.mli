@@ -8,7 +8,11 @@
       (the backoff/contention-manager stall the paper's §7 abort
       analysis needs);
     - [lock_wait]: time spent inside a single bounded wait on a held
-      version-lock, the serial commit gate, or the quiesce token.
+      version-lock, the serial commit gate, or the quiesce token;
+    - [wakeup]: parking wakeup latency — a committer's wake
+      publication on a parked [retry] waiter to that domain's actual
+      resume (recorded by the resuming domain; timer expiries are not
+      counted).
 
     The calling domain's current scope is domain-local state set with
     {!set_label}; histograms themselves are shared across domains and
@@ -34,6 +38,7 @@ type scope_summary = {
   commit : Histogram.summary;
   abort_to_retry : Histogram.summary;
   lock_wait : Histogram.summary;
+  wakeup : Histogram.summary;
 }
 
 val read_scope : string -> scope_summary option
@@ -60,3 +65,7 @@ val on_attempt_start : unit -> unit
 val on_commit : unit -> unit
 val on_abort : unit -> unit
 val add_lock_wait : int -> unit
+
+(** Record one parking wakeup latency (wake publication → resume),
+    nanoseconds; negative samples are dropped. *)
+val add_wakeup_latency : int -> unit

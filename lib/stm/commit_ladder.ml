@@ -414,3 +414,139 @@ let run ?(deadline_ns = 0) ?(attempt_budget = 0) cfg f =
         go n ~priority)
   in
   attempt 1 ~priority:0 ~birth:None
+
+(* ------------------------------------------------------------------ *)
+(* The read-only snapshot path (Multi_version)                          *)
+
+(* Run a root read-only transaction against a registered consistent
+   snapshot.  Reads dispatch through [Protocol.read_only_proto]
+   straight into the version chains: no read log, no validation, no
+   locks — and, absent user exceptions or an armed watchdog, no
+   aborts, no matter how write-heavy the concurrency.
+
+   Snapshot adoption is the heart of the abort-free guarantee:
+
+   1. Register this domain's snapshot slot with a clock sample BEFORE
+      adopting the final timestamp.  A committing writer trims version
+      chains after ticking the clock; if its floor scan missed our
+      registration, our later sample is >= its commit version, so the
+      head it installed already serves our reads — the trimmed tail
+      was never ours to need.  If the scan saw us, it kept every
+      version at or below our timestamp that we can reach.
+
+   2. Adopt [rv] from a plain clock sample, then drain the serial
+      commit gate once.  In-flight lock-mode commits need no global
+      wait: a commit at or below [rv] still holds every written
+      tvar's version-lock until its publish lands, and [read_ro]
+      waits a held lock out before walking that tvar's chain — while
+      a commit that takes a lock after our sample ticks strictly
+      above [rv] and is invisible to the snapshot either way.
+      Serial-gate commits hold no per-tvar locks, but hold the gate
+      exclusively from before their tick to after their publish, so
+      one free observation of the gate retires every serial commit
+      the snapshot could see.  Hence every version <= rv is reachable
+      and every read is of a committed, complete state: consistent by
+      construction. *)
+let run_read_only ?(deadline_ns = 0) ?(attempt_budget = 0) cfg f =
+  (* Arm chain maintenance even if no read-write block selected
+     Multi_version yet: snapshots need history to exist. *)
+  Snapshots.ensure_armed ();
+  let proto = Protocol.read_only_proto in
+  let ep = begin_episode cfg in
+  Fun.protect ~finally:end_episode @@ fun () ->
+  let backoff = ep.ep_backoff in
+  let check_episode n =
+    if attempt_budget > 0 && n > attempt_budget then raise Out_of_budget;
+    if deadline_ns <> 0 && Clock.now_mono_ns () >= deadline_ns then
+      raise Deadline_exceeded
+  in
+  let settle_rv () =
+    let v = Clock.now Clock.global in
+    while not (Protocol.commit_gate_free ()) do
+      if deadline_ns <> 0 && Clock.now_mono_ns () >= deadline_ns then
+        raise Deadline_exceeded;
+      Domain.cpu_relax ()
+    done;
+    v
+  in
+  let finish_attempt t =
+    Domain.DLS.set current_txn None;
+    maybe_audit t;
+    retire t
+  in
+  let abort_and_scrub t reason =
+    Domain.DLS.set current_txn None;
+    (match do_abort t reason with
+    | () -> ()
+    | exception e ->
+        maybe_audit t;
+        retire t;
+        raise e);
+    maybe_audit t;
+    retire t
+  in
+  let rec attempt n =
+    if n > cfg.max_attempts then raise (Too_many_attempts n);
+    check_episode n;
+    Stats.record_start ();
+    let t = attempt_txn ep cfg ~proto ~priority:0 ~deadline_ns ~ro:true () in
+    obs_attempt_start t ~n;
+    Snapshots.register (Clock.now Clock.global);
+    (* Every branch below deregisters the snapshot slot first thing —
+       spelled out instead of a [Fun.protect] to keep the per-attempt
+       hot path allocation-free.  Deregistering before [do_commit] is
+       fine: a read-only commit touches no version chain. *)
+    let outcome =
+      match
+        t.rv <- settle_rv ();
+        Domain.DLS.set current_txn (Some t);
+        f t
+      with
+      | result -> (
+          Snapshots.deregister ();
+          Stats.add_ro_snapshot_reads t.ro_reads;
+          match do_commit t with
+          | () ->
+              Stats.record_ro_commit ();
+              finish_attempt t;
+              `Done result
+          | exception Abort_exn reason ->
+              (* Unreachable from snapshot reads; only a remote kill
+                 (armed watchdog) can land here.  Counted so the
+                 abort-free gate sees any protocol regression. *)
+              Stats.record_ro_abort ();
+              abort_and_scrub t reason;
+              `Retry
+          | exception e ->
+              Domain.DLS.set current_txn None;
+              if not t.finished then (try do_abort t Explicit with _ -> ());
+              release_locks t;
+              maybe_audit t;
+              retire t;
+              raise e)
+      | exception Abort_exn reason ->
+          Snapshots.deregister ();
+          Stats.record_ro_abort ();
+          abort_and_scrub t reason;
+          `Retry
+      | exception Retry_exn ->
+          (* Snapshot reads record no watch entries, so a [retry] here
+             could never be woken: fail the episode typed, like an
+             empty-read-set retry. *)
+          Snapshots.deregister ();
+          abort_and_scrub t Explicit;
+          raise Retry_no_reads
+      | exception e ->
+          (* Snapshot reads are consistent by construction — there are
+             no zombies to forgive; a user exception is a real error. *)
+          Snapshots.deregister ();
+          abort_and_scrub t Explicit;
+          raise e
+    in
+    match outcome with
+    | `Done r -> r
+    | `Retry ->
+        Backoff.once ~until_ns:deadline_ns backoff;
+        attempt (n + 1)
+  in
+  attempt 1

@@ -30,6 +30,20 @@ val run :
   (Txn_state.t -> 'a) ->
   'a
 
+(** Run one root {e read-only} transaction against a consistent
+    registered snapshot ({!Protocol.read_only_proto}): reads come from
+    the tvar version chains at the snapshot timestamp, nothing is
+    logged, validated or locked, and — absent user exceptions or an
+    armed watchdog — the transaction never aborts regardless of
+    concurrent writers.  Arms {!Snapshots} on entry.  [deadline_ns]
+    and [attempt_budget] as in {!run}. *)
+val run_read_only :
+  ?deadline_ns:int ->
+  ?attempt_budget:int ->
+  Txn_state.config ->
+  (Txn_state.t -> 'a) ->
+  'a
+
 (** Abort the attempt: record stats, run abort hooks (LIFO), release
     per-location locks.  Exposed for the façade's zombie-exception
     handling. *)

@@ -12,6 +12,7 @@ type point =
   | Pre_park
   | Post_unpark
   | Commit_wake
+  | Version_gc
 
 let point_name = function
   | Pre_commit -> "pre-commit"
@@ -27,6 +28,7 @@ let point_name = function
   | Pre_park -> "pre-park"
   | Post_unpark -> "post-unpark"
   | Commit_wake -> "commit-wake"
+  | Version_gc -> "version-gc"
 
 let all_points =
   [
@@ -43,6 +45,7 @@ let all_points =
     Pre_park;
     Post_unpark;
     Commit_wake;
+    Version_gc;
   ]
 
 let point_index = function
@@ -59,8 +62,9 @@ let point_index = function
   | Pre_park -> 10
   | Post_unpark -> 11
   | Commit_wake -> 12
+  | Version_gc -> 13
 
-let n_points = 13
+let n_points = 14
 
 type action = Delay of int | Abort | Kill | Wedge | Crash
 type site = { prob : float; actions : action list }

@@ -48,6 +48,12 @@ type point =
           the wakeup entirely} (the deliberately broken waker of the
           lost-wakeup regression suite); only deadline-bounded parks
           survive such a schedule *)
+  | Version_gc
+      (** in {!Tvar.publish} under the armed [Multi_version] mode,
+          between reading the active-snapshot floor and installing the
+          trimmed version chain — widens the reclamation race against
+          a concurrently registering read-only snapshot (delay-only:
+          the publisher is past its linearization point) *)
 
 val point_name : point -> string
 val all_points : point list

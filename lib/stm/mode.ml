@@ -1,0 +1,43 @@
+(* The single mode authority.  Every consumer — [Txn_state.config],
+   [Protocol.select], the bench CLIs, the test matrices and the
+   [PROUST_MODE] default — enumerates or parses conflict-detection
+   modes through this module, so adding a mode is one variant here
+   plus the compiler-forced match fixes; no hand-maintained list
+   anywhere else can go stale. *)
+
+type t =
+  | Lazy_lazy
+  | Eager_lazy
+  | Eager_eager
+  | Serial_commit
+  | Multi_version
+
+let all = [ Lazy_lazy; Eager_lazy; Eager_eager; Serial_commit; Multi_version ]
+
+let to_string = function
+  | Lazy_lazy -> "lazy-lazy"
+  | Eager_lazy -> "eager-lazy"
+  | Eager_eager -> "eager-eager"
+  | Serial_commit -> "serial-commit"
+  | Multi_version -> "multi-version"
+
+let of_string_opt s =
+  List.find_opt (fun m -> String.equal (to_string m) s) all
+
+let of_string s =
+  match of_string_opt s with
+  | Some m -> m
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown mode: %s (known: %s)" s
+           (String.concat ", " (List.map to_string all)))
+
+let names () = List.map to_string all
+
+(* The process default, consulted once at startup to seed the default
+   config.  An unparsable [PROUST_MODE] fails loudly: silently falling
+   back would run a whole bench sweep under the wrong mode. *)
+let from_env () =
+  match Sys.getenv_opt "PROUST_MODE" with
+  | None | Some "" -> Lazy_lazy
+  | Some s -> of_string s

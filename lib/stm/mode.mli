@@ -1,0 +1,43 @@
+(** The single source of truth for STM conflict-detection modes.
+
+    Everything that enumerates or parses modes — {!Txn_state.config},
+    {!Protocol.select}, the bench CLIs, [test/util.ml]'s mode matrix,
+    the [PROUST_MODE] environment default — goes through this module.
+    Adding a mode is one variant plus the exhaustive matches the
+    compiler then points at; it appears in every test matrix and bench
+    sweep automatically. *)
+
+type t =
+  | Lazy_lazy  (** TL2: commit-time locking, lazy validation *)
+  | Eager_lazy  (** TinySTM/Ennals: encounter-time write locks *)
+  | Eager_eager  (** encounter-time locks + visible readers *)
+  | Serial_commit  (** NOrec-style single global commit gate *)
+  | Multi_version
+      (** MVCC: tvars keep a bounded K-version history so snapshot
+          reads can be served below the newest version; read-only
+          transactions ({!Stm.read_only}) read a consistent snapshot
+          at their start timestamp and never abort.  Read-write
+          transactions behave like [Lazy_lazy] with a stale-read
+          grace: a read overtaken by a concurrent commit is served
+          from the history instead of aborting on the spot (commit
+          validation still rejects the transaction if it also
+          writes). *)
+
+(** Every mode, in declaration order — the one list tests and benches
+    enumerate. *)
+val all : t list
+
+val to_string : t -> string
+
+(** Inverse of {!to_string}; [invalid_arg] on unknown names, listing
+    the known ones. *)
+val of_string : string -> t
+
+val of_string_opt : string -> t option
+
+(** [to_string] of {!all} (CLI help strings). *)
+val names : unit -> string list
+
+(** The [PROUST_MODE] environment default ([Lazy_lazy] when unset;
+    [invalid_arg] on an unknown name). *)
+val from_env : unit -> t

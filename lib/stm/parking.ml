@@ -172,7 +172,16 @@ let park_wait ~deadline_ns entries =
       if deadline_ns <> 0 then Timer.register w ~deadline_ns;
       Stats.record_park ();
       Waitq.park w;
-      if deadline_ns <> 0 then Timer.cancel w
+      if deadline_ns <> 0 then Timer.cancel w;
+      (* Wakeup latency: commit-side publication stamp (see
+         [Waitq.wake]) to this resume.  Timer expiries leave the stamp
+         at 0 and are not samples. *)
+      if Proust_obs.Metrics.enabled () then begin
+        let t0 = Waitq.wake_ns w in
+        if t0 > 0 then
+          Proust_obs.Metrics.add_wakeup_latency
+            (Proust_obs.Trace.now_ns () - t0)
+      end
     end;
     (match chaos Fault.Post_unpark with
     | Some (Fault.Delay n) -> Fault.spin n

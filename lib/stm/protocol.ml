@@ -1,4 +1,4 @@
-(* The four conflict-detection modes as first-class commit protocols.
+(* The five conflict-detection modes as first-class commit protocols.
 
    Each mode of the paper's Figure 1 design space becomes one [proto]
    record (acquire/validate/publish/release plus the encounter-time
@@ -115,6 +115,108 @@ let rec read_slow : type a. t -> a Tvar.t -> attempt:int -> a =
       end
 
 (* ------------------------------------------------------------------ *)
+(* Multi-version reads                                                  *)
+
+(* Read-write read under Multi_version: TL2 discipline with a
+   stale-read grace.  Where TL2 aborts on a committed version newer
+   than the snapshot (and extension is off or fails), this serves the
+   newest chain entry at or below [rv] instead.  The chain keeps a
+   contiguous newest-first prefix (trim only drops tails), so a found
+   entry is the true newest-<=-rv and the whole read set stays a
+   consistent rv-snapshot — opaque while executing.  The stale version
+   is still pushed to the read log, so a transaction that also writes
+   fails commit validation exactly as it must; a pure reader commits
+   without validating.  [None] means the chain was reclaimed below
+   [rv] (possible here — unlike read-only transactions, plain atomics
+   register no snapshot), which falls back to the ordinary conflict
+   abort. *)
+let rec read_mv : type a. t -> a Tvar.t -> attempt:int -> a =
+ fun t tv ~attempt ->
+  match Tvar.current_owner tv with
+  | Some d when d != t.tdesc ->
+      arbitrate t ~other:d ~attempt;
+      read_mv t tv ~attempt:(attempt + 1)
+  | _ ->
+      let s = Tvar.load tv in
+      if s.Tvar.version <= t.rv then begin
+        Rwset.Rlog.push t.rset tv s.Tvar.version;
+        Txn_desc.earn t.tdesc 1;
+        s.Tvar.value
+      end
+      else if t.cfg.extend_reads && try_extend t then read_mv t tv ~attempt
+      else begin
+        match Tvar.read_at tv ~version:t.rv with
+        | Some v ->
+            Rwset.Rlog.push t.rset tv v.Tvar.version;
+            Txn_desc.earn t.tdesc 1;
+            v.Tvar.value
+        | None ->
+            Stats.record_conflict ();
+            raise (Abort_exn Conflict)
+      end
+
+(* Read-only snapshot read: no read log (nothing to validate — the
+   snapshot is consistent by construction, see
+   Commit_ladder.run_read_only), but it must wait out a held
+   version-lock before walking the chain.  A lock-mode commit holds
+   each written tvar's lock from before its clock tick to after its
+   publish, so a held lock may hide an unpublished version at or below
+   our snapshot; once the lock is free, every commit at or below [rv]
+   that touched this tvar is in the chain, and any later lock holder
+   ticks strictly above [rv] (its acquisition follows our [rv]
+   sample).  The wait never arbitrates: read-only transactions neither
+   abort themselves nor kill writers.  Serial-gate commits hold no
+   per-tvar locks and are drained once, at snapshot adoption.
+
+   [None] from the chain walk is unreachable when the snapshot was
+   registered before [rv] was sampled (Snapshots keeps the GC floor at
+   or below every registered timestamp); surfaced as a conflict so a
+   protocol bug aborts loudly instead of reading a torn value. *)
+let rec ro_wait_out : type a. t -> a Tvar.t -> Backoff.t -> unit =
+ fun t tv b ->
+  match Tvar.current_owner tv with
+  | Some d when d != t.tdesc ->
+      Backoff.once b;
+      ro_wait_out t tv b
+  | _ -> ()
+
+let read_ro : type a. t -> a Tvar.t -> a =
+ fun t tv ->
+  (match Tvar.current_owner tv with
+  | Some d when d != t.tdesc ->
+      (* Escalating backoff, not a bare spin: on an oversubscribed
+         host the lock holder may be descheduled, and burning our
+         quantum only delays its publish further.  Escalate to the OS
+         sleep sooner than the configured read-write default — a
+         read-only wait cannot arbitrate, so the holder finishing is
+         the only way forward and it needs the cpu more than we do.
+         The wait loop is a top-level function (not a local closure)
+         so the uncontended read path allocates nothing. *)
+      Stats.record_lock_wait ();
+      ro_wait_out t tv
+        (Backoff.create
+           ~sleep_after:(min 2 t.cfg.backoff_sleep_after)
+           ~sleep:t.cfg.backoff_sleep ())
+  | _ -> ());
+  (* Fast path: the head itself is within the snapshot — no option,
+     no chain walk.  Only overtaken tvars pay for history.  The read
+     count lives in the txn record (plain store) and is flushed to the
+     striped Stats once at commit. *)
+  let s = Tvar.load tv in
+  if s.Tvar.version <= t.rv then begin
+    t.ro_reads <- t.ro_reads + 1;
+    s.Tvar.value
+  end
+  else
+    match Tvar.read_at tv ~version:t.rv with
+    | Some v ->
+        t.ro_reads <- t.ro_reads + 1;
+        v.Tvar.value
+    | None ->
+        Stats.record_conflict ();
+        raise (Abort_exn Conflict)
+
+(* ------------------------------------------------------------------ *)
 (* Commit-time lock acquisition                                         *)
 
 let rec lock_entry t tv ~attempt =
@@ -149,17 +251,28 @@ let acquire_commit_gate t =
 let release_commit_gate t =
   if Atomic.get commit_gate = t.tdesc.Txn_desc.id then Atomic.set commit_gate 0
 
+(* One free observation proves every serial-gate commit that ticked at
+   or below the observer's snapshot has fully published: the gate is
+   held from before the tick until after the publish, exclusively.
+   [Commit_ladder.run_read_only] drains on this once at snapshot
+   adoption (per-tvar locks are instead waited out per read, in
+   [read_ro]). *)
+let commit_gate_free () = Atomic.get commit_gate = 0
+
 (* ------------------------------------------------------------------ *)
-(* The four protocols                                                   *)
+(* The five protocols                                                   *)
 
 let no_pre_read : 'a. Txn_state.t -> 'a Tvar.t -> unit = fun _ _ -> ()
 let no_pre_write : 'a. Txn_state.t -> 'a Tvar.t -> unit = fun _ _ -> ()
 let noop (_ : Txn_state.t) = ()
+let tl2_read : 'a. Txn_state.t -> 'a Tvar.t -> 'a =
+ fun t tv -> read_slow t tv ~attempt:0
 
 (* TL2: both conflict classes detected lazily — writes buffer without
    locking, the write set is locked at commit. *)
 let lazy_lazy =
   {
+    p_read = tl2_read;
     p_pre_read = no_pre_read;
     p_pre_write = no_pre_write;
     p_acquire = acquire_plan_locks;
@@ -170,6 +283,7 @@ let lazy_lazy =
 (* TinySTM/Ennals: encounter-time write locking, lazy read/write. *)
 let eager_lazy =
   {
+    p_read = tl2_read;
     p_pre_read = no_pre_read;
     p_pre_write =
       (fun t tv -> lock_for_write ~visible_readers:false t tv ~attempt:0);
@@ -183,6 +297,7 @@ let eager_lazy =
    objects to be opaque). *)
 let eager_eager =
   {
+    p_read = tl2_read;
     p_pre_read = (fun t tv -> Tvar.register_reader tv t.tdesc);
     p_pre_write =
       (fun t tv -> lock_for_write ~visible_readers:true t tv ~attempt:0);
@@ -197,6 +312,7 @@ let eager_eager =
    only knows about per-location locks). *)
 let serial_commit =
   {
+    p_read = tl2_read;
     p_pre_read = no_pre_read;
     p_pre_write = no_pre_write;
     p_acquire = acquire_commit_gate;
@@ -204,8 +320,40 @@ let serial_commit =
     p_release = release_commit_gate;
   }
 
+(* MVCC read-write: lazy_lazy commit machinery (commit-time plan
+   locks, read-log validation) with the multi-version read path. *)
+let multi_version =
+  {
+    p_read = (fun t tv -> read_mv t tv ~attempt:0);
+    p_pre_read = no_pre_read;
+    p_pre_write = no_pre_write;
+    p_acquire = acquire_plan_locks;
+    p_release_fail = noop;
+    p_release = noop;
+  }
+
+(* The abort-free snapshot protocol for read-only transactions
+   (Commit_ladder.run_read_only installs it directly; it is not a
+   [mode]).  Writes never reach [p_pre_write] — Stm.write raises
+   [Read_only_violation] on the [ro] flag first — and with an empty
+   write set the commit path neither acquires nor validates. *)
+let read_only_proto =
+  {
+    p_read = (fun t tv -> read_ro t tv);
+    p_pre_read = no_pre_read;
+    p_pre_write = no_pre_write;
+    p_acquire = noop;
+    p_release_fail = noop;
+    p_release = noop;
+  }
+
 let select = function
   | Lazy_lazy -> lazy_lazy
   | Eager_lazy -> eager_lazy
   | Eager_eager -> eager_eager
   | Serial_commit -> serial_commit
+  | Multi_version ->
+      (* Sticky: from here on every publish maintains version chains,
+         so snapshots taken later always find history. *)
+      Snapshots.ensure_armed ();
+      multi_version

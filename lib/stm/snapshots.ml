@@ -1,0 +1,65 @@
+(* Active-snapshot registry for the Multi_version mode.
+
+   Read-only transactions register their start timestamp here before
+   sampling it; committers consult [floor] while trimming a tvar's
+   version chain so no version still visible to an active snapshot is
+   reclaimed.  The registry is a lock-free grow-only list of
+   per-domain slots: a domain has at most one active root read-only
+   transaction (nested ones join it), so one slot per domain suffices
+   and [register]/[deregister] are a single atomic store each.
+
+   The ordering contract that makes GC safe (all atomics are SC):
+
+   - [register ts] publishes a timestamp <= the snapshot the RO txn
+     will actually adopt (it re-samples the clock after registering).
+   - A committer trims AFTER ticking the clock to obtain its commit
+     version wv.  If the committer's floor scan missed a concurrent
+     registration, the registration's clock sample happened after the
+     committer's tick, so the RO snapshot rv >= wv and the freshly
+     installed head itself satisfies the read - the trimmed tail was
+     never needed.  If the scan saw it, the floor is <= the registered
+     timestamp and the trim keeps every version the snapshot can
+     reach (see Tvar.publish). *)
+
+(* Sticky flag: set the first time Multi_version is selected, never
+   cleared.  [Tvar.publish] checks it so the four single-version modes
+   keep their original one-store hot path in processes that never arm
+   MVCC. *)
+let armed_flag = Atomic.make false
+let ensure_armed () = if not (Atomic.get armed_flag) then Atomic.set armed_flag true
+let armed () = Atomic.get armed_flag
+
+(* Bounded history depth K: versions beyond the newest K are eligible
+   for reclamation once no active snapshot can reach them. *)
+let max_versions_v = Atomic.make 8
+let set_max_versions k = if k >= 1 then Atomic.set max_versions_v k
+let max_versions () = Atomic.get max_versions_v
+
+type slot = int Atomic.t
+(* 0 = no active snapshot on this domain. *)
+
+(* Grow-only list of all slots ever created (one per domain that ran a
+   read-only transaction); traversed in full by [floor]. *)
+let slots : slot list Atomic.t = Atomic.make []
+
+let rec push_slot s =
+  let cur = Atomic.get slots in
+  if not (Atomic.compare_and_set slots cur (s :: cur)) then push_slot s
+
+let my_slot : slot Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let s = Atomic.make 0 in
+      push_slot s;
+      s)
+
+let register ts = Atomic.set (Domain.DLS.get my_slot) ts
+let deregister () = Atomic.set (Domain.DLS.get my_slot) 0
+
+let active () = Atomic.get (Domain.DLS.get my_slot)
+
+let floor () =
+  List.fold_left
+    (fun acc s ->
+      let ts = Atomic.get s in
+      if ts > 0 && ts < acc then ts else acc)
+    max_int (Atomic.get slots)

@@ -1,0 +1,39 @@
+(** Active-snapshot registry for the [Multi_version] mode.
+
+    Read-only transactions register their start timestamp before
+    adopting it; committers consult {!floor} when trimming a tvar's
+    version chain so garbage collection never reclaims a version still
+    visible to an active snapshot.  One slot per domain: a domain has
+    at most one root read-only transaction (nested ones join it). *)
+
+(** [true] once {!ensure_armed} has run — i.e. once the process has
+    selected [Multi_version] at least once.  Sticky: never cleared.
+    While unarmed, {!Tvar.publish} keeps the single-version one-store
+    hot path and builds no version chains. *)
+val armed : unit -> bool
+
+val ensure_armed : unit -> unit
+
+(** Bounded history depth K (default 8): a tvar keeps its newest K
+    versions unconditionally; older ones survive only while an active
+    snapshot may need them. *)
+val max_versions : unit -> int
+
+(** No-op for [k < 1]. *)
+val set_max_versions : int -> unit
+
+(** Publish this domain's active snapshot timestamp (must run {e
+    before} the transaction samples the clock value it will read at,
+    so a concurrent committer either sees the registration or is
+    provably newer than the snapshot). *)
+val register : int -> unit
+
+val deregister : unit -> unit
+
+(** This domain's registered timestamp, 0 if none (for tests). *)
+val active : unit -> int
+
+(** Minimum registered timestamp across all domains, [max_int] when no
+    snapshot is active — the GC may reclaim versions a reader at this
+    timestamp can no longer need. *)
+val floor : unit -> int

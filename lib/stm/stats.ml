@@ -27,6 +27,12 @@ type snapshot = {
   spurious_wakeups : int;
   retry_polls : int;
   wait_list_max : int;
+  versions_installed : int;
+  versions_gced : int;
+  ro_snapshot_reads : int;
+  ro_commits : int;
+  ro_aborts : int;
+  version_chain_max : int;
 }
 
 (* Counters are striped across a fixed number of slots to avoid making
@@ -59,6 +65,11 @@ type cell = {
   wakeups : int Atomic.t;
   spurious_wakeups : int Atomic.t;
   retry_polls : int Atomic.t;
+  versions_installed : int Atomic.t;
+  versions_gced : int Atomic.t;
+  ro_snapshot_reads : int Atomic.t;
+  ro_commits : int Atomic.t;
+  ro_aborts : int Atomic.t;
 }
 
 let make_cell () =
@@ -88,6 +99,11 @@ let make_cell () =
     wakeups = Atomic.make 0;
     spurious_wakeups = Atomic.make 0;
     retry_polls = Atomic.make 0;
+    versions_installed = Atomic.make 0;
+    versions_gced = Atomic.make 0;
+    ro_snapshot_reads = Atomic.make 0;
+    ro_commits = Atomic.make 0;
+    ro_aborts = Atomic.make 0;
   }
 
 (* Set-style gauges, not event counters: the redo-log flusher publishes
@@ -100,6 +116,10 @@ let fsync_p99 = Atomic.make 0
    last reset.  A max, not a counter — [diff] carries the later
    reading, like the fsync percentiles. *)
 let wait_list_max_v = Atomic.make 0
+
+(* High-water gauge: the longest tvar version chain installed since
+   the last reset (Multi_version mode only; stays 0 otherwise). *)
+let version_chain_max_v = Atomic.make 0
 
 let cells = Array.init stripes (fun _ -> make_cell ())
 let my_cell () = cells.((Domain.self () :> int) land (stripes - 1))
@@ -128,6 +148,26 @@ let record_park () = bump (fun c -> c.parks)
 let record_wakeup () = bump (fun c -> c.wakeups)
 let record_spurious_wakeup () = bump (fun c -> c.spurious_wakeups)
 let record_retry_poll () = bump (fun c -> c.retry_polls)
+let record_version_install () = bump (fun c -> c.versions_installed)
+let record_ro_snapshot_read () = bump (fun c -> c.ro_snapshot_reads)
+let record_ro_commit () = bump (fun c -> c.ro_commits)
+let record_ro_abort () = bump (fun c -> c.ro_aborts)
+
+(* Bulk add, like [add_minor_words]: one publish can reclaim a whole
+   chain tail at once. *)
+let add_versions_gced n =
+  if n > 0 then ignore (Atomic.fetch_and_add (my_cell ()).versions_gced n)
+
+(* Bulk add: read-only attempts count their snapshot reads in the txn
+   record and flush once at commit, keeping the striped RMW off the
+   per-read hot path. *)
+let add_ro_snapshot_reads n =
+  if n > 0 then ignore (Atomic.fetch_and_add (my_cell ()).ro_snapshot_reads n)
+
+let rec note_version_chain_len n =
+  let cur = Atomic.get version_chain_max_v in
+  if n > cur && not (Atomic.compare_and_set version_chain_max_v cur n) then
+    note_version_chain_len n
 
 let rec note_wait_list_len n =
   let cur = Atomic.get wait_list_max_v in
@@ -170,6 +210,11 @@ let fields : (cell -> int Atomic.t) list =
     (fun c -> c.wakeups);
     (fun c -> c.spurious_wakeups);
     (fun c -> c.retry_polls);
+    (fun c -> c.versions_installed);
+    (fun c -> c.versions_gced);
+    (fun c -> c.ro_snapshot_reads);
+    (fun c -> c.ro_commits);
+    (fun c -> c.ro_aborts);
   ]
 
 let sum (field : cell -> int Atomic.t) =
@@ -205,6 +250,12 @@ let read () : snapshot =
     spurious_wakeups = sum (fun c -> c.spurious_wakeups);
     retry_polls = sum (fun c -> c.retry_polls);
     wait_list_max = Atomic.get wait_list_max_v;
+    versions_installed = sum (fun c -> c.versions_installed);
+    versions_gced = sum (fun c -> c.versions_gced);
+    ro_snapshot_reads = sum (fun c -> c.ro_snapshot_reads);
+    ro_commits = sum (fun c -> c.ro_commits);
+    ro_aborts = sum (fun c -> c.ro_aborts);
+    version_chain_max = Atomic.get version_chain_max_v;
   }
 
 let reset () =
@@ -213,7 +264,8 @@ let reset () =
     fields;
   Atomic.set fsync_p50 0;
   Atomic.set fsync_p99 0;
-  Atomic.set wait_list_max_v 0
+  Atomic.set wait_list_max_v 0;
+  Atomic.set version_chain_max_v 0
 
 let diff (a : snapshot) (b : snapshot) : snapshot =
   {
@@ -247,6 +299,13 @@ let diff (a : snapshot) (b : snapshot) : snapshot =
     retry_polls = b.retry_polls - a.retry_polls;
     (* Gauge (high-water mark): the later reading. *)
     wait_list_max = b.wait_list_max;
+    versions_installed = b.versions_installed - a.versions_installed;
+    versions_gced = b.versions_gced - a.versions_gced;
+    ro_snapshot_reads = b.ro_snapshot_reads - a.ro_snapshot_reads;
+    ro_commits = b.ro_commits - a.ro_commits;
+    ro_aborts = b.ro_aborts - a.ro_aborts;
+    (* Gauge (high-water mark): the later reading. *)
+    version_chain_max = b.version_chain_max;
   }
 
 let to_assoc (s : snapshot) =
@@ -279,6 +338,12 @@ let to_assoc (s : snapshot) =
     ("spurious_wakeups", s.spurious_wakeups);
     ("retry_polls", s.retry_polls);
     ("wait_list_max", s.wait_list_max);
+    ("versions_installed", s.versions_installed);
+    ("versions_gced", s.versions_gced);
+    ("ro_snapshot_reads", s.ro_snapshot_reads);
+    ("ro_commits", s.ro_commits);
+    ("ro_aborts", s.ro_aborts);
+    ("version_chain_max", s.version_chain_max);
   ]
 
 let pp fmt (s : snapshot) =
@@ -288,11 +353,13 @@ let pp fmt (s : snapshot) =
      budget=%d shed=%d wd_kills=%d degraded=%d minor_words=%d \
      log_appends=%d fsync_batches=%d fsync_p50=%d fsync_p99=%d \
      recoveries=%d torn_tails=%d parks=%d wakeups=%d spurious=%d \
-     retry_polls=%d wait_list_max=%d"
+     retry_polls=%d wait_list_max=%d versions=%d gced=%d ro_reads=%d \
+     ro_commits=%d ro_aborts=%d chain_max=%d"
     s.starts s.commits s.aborts s.conflicts s.killed_aborts s.explicit_aborts
     s.remote_aborts s.lock_waits s.extensions s.fallbacks s.injected_faults
     s.timeouts s.budget_exhausted s.shed s.watchdog_kills
     s.degraded_transitions s.minor_words s.log_appends s.fsync_batches
     s.fsync_batch_size_p50 s.fsync_batch_size_p99 s.recoveries
     s.torn_tail_truncations s.parks s.wakeups s.spurious_wakeups s.retry_polls
-    s.wait_list_max
+    s.wait_list_max s.versions_installed s.versions_gced s.ro_snapshot_reads
+    s.ro_commits s.ro_aborts s.version_chain_max

@@ -54,6 +54,21 @@ type snapshot = {
       (** longest per-tvar wait list observed — a high-water gauge
           published by waiter registration, so [diff] carries the
           later reading rather than a difference *)
+  versions_installed : int;
+      (** version-chain installs by [Multi_version] publishes (0 while
+          the mode is unarmed) *)
+  versions_gced : int;
+      (** chain entries reclaimed by the bounded version GC *)
+  ro_snapshot_reads : int;
+      (** reads served from a read-only transaction's snapshot *)
+  ro_commits : int;  (** read-only transactions completed *)
+  ro_aborts : int;
+      (** read-only transaction attempts aborted — the abort-free
+          guarantee says this stays 0 absent user exceptions; tests
+          and the CI mvcc gate assert it *)
+  version_chain_max : int;
+      (** longest tvar version chain installed — a high-water gauge
+          like [wait_list_max] *)
 }
 
 val record_start : unit -> unit
@@ -80,6 +95,22 @@ val record_park : unit -> unit
 val record_wakeup : unit -> unit
 val record_spurious_wakeup : unit -> unit
 val record_retry_poll : unit -> unit
+val record_version_install : unit -> unit
+val record_ro_snapshot_read : unit -> unit
+
+(** [add_ro_snapshot_reads n] adds [n] snapshot reads at once — the
+    read-only path batches its count per attempt (no-op for [n <= 0]). *)
+val add_ro_snapshot_reads : int -> unit
+val record_ro_commit : unit -> unit
+val record_ro_abort : unit -> unit
+
+(** [add_versions_gced n] adds [n] reclaimed chain entries (no-op for
+    [n <= 0]; one publish can reclaim a whole tail). *)
+val add_versions_gced : int -> unit
+
+(** [note_version_chain_len n] raises the version-chain high-water
+    gauge to [n] if it exceeds the current reading. *)
+val note_version_chain_len : int -> unit
 
 (** [note_wait_list_len n] raises the wait-list high-water gauge to
     [n] if it exceeds the current reading. *)

@@ -11,11 +11,16 @@
    slow path), [or_else] by log watermarks, transaction-locals over the
    local log, and [atomically]'s nesting flattening. *)
 
-type mode = Txn_state.mode =
+(* The mode authority, re-exported: [Stm.Mode.all] is the one list
+   tests and benches enumerate, [Stm.Mode.of_string] the one parser. *)
+module Mode = Mode
+
+type mode = Mode.t =
   | Lazy_lazy
   | Eager_lazy
   | Eager_eager
   | Serial_commit
+  | Multi_version
 
 let mode_name = Txn_state.mode_name
 
@@ -39,6 +44,7 @@ type txn = Txn_state.t
 exception Too_many_attempts = Txn_state.Too_many_attempts
 exception Not_in_transaction = Txn_state.Not_in_transaction
 exception Retry_no_reads = Txn_state.Retry_no_reads
+exception Read_only_violation = Txn_state.Read_only_violation
 exception Lock_leak = Txn_state.Lock_leak
 
 let desc = Txn_state.desc
@@ -65,11 +71,12 @@ let read : type a. txn -> a Tvar.t -> a =
      never-written tvar falls through in two loads and a [land]. *)
   let i = Rwset.Wlog.find_idx t.Txn_state.wset tv in
   if i >= 0 then Rwset.Wlog.value t.Txn_state.wset i
-  else Protocol.read_slow t tv ~attempt:0
+  else t.Txn_state.proto.Txn_state.p_read t tv
 
 let write : type a. txn -> a Tvar.t -> a -> unit =
  fun t tv v ->
   Txn_state.check_alive t;
+  if t.Txn_state.ro then raise Txn_state.Read_only_violation;
   t.Txn_state.proto.Txn_state.p_pre_write t tv;
   Rwset.Wlog.write t.Txn_state.wset tv v;
   Txn_desc.earn t.Txn_state.tdesc 1
@@ -207,6 +214,23 @@ let atomically ?config:(cfg = get_default_config ()) f =
   | Some outer when not outer.Txn_state.finished -> f outer
   | _ -> Commit_ladder.run cfg f
 
+(* Read-only snapshot transactions.  A root call takes the abort-free
+   snapshot path; a nested call joins the enclosing transaction but
+   holds its [ro] flag up for the duration, so writes anywhere under
+   the read-only scope raise [Read_only_violation] even when the
+   enclosing transaction could write. *)
+let join_read_only outer f =
+  let saved = outer.Txn_state.ro in
+  outer.Txn_state.ro <- true;
+  Fun.protect
+    ~finally:(fun () -> outer.Txn_state.ro <- saved)
+    (fun () -> f outer)
+
+let read_only ?config:(cfg = get_default_config ()) f =
+  match Domain.DLS.get Txn_state.current_txn with
+  | Some outer when not outer.Txn_state.finished -> join_read_only outer f
+  | _ -> Commit_ladder.run_read_only cfg f
+
 (* ------------------------------------------------------------------ *)
 (* The QoS entry: outcomes instead of open-ended retry                  *)
 
@@ -228,12 +252,14 @@ let deadline t =
 
 (* Episode-level QoS counters are recorded here, once per episode —
    the ladder only counts the per-attempt events. *)
-let atomic ?config:(cfg = get_default_config ()) ?deadline ?max_attempts f =
+let atomic ?config:(cfg = get_default_config ()) ?deadline ?max_attempts
+    ?(read_only = false) f =
   match Domain.DLS.get Txn_state.current_txn with
   | Some outer when not outer.Txn_state.finished ->
       (* Nested: join the enclosing transaction.  Its QoS envelope
          (deadline, budget, admission) already covers this body. *)
-      Outcome.Committed (f outer)
+      if read_only then Outcome.Committed (join_read_only outer f)
+      else Outcome.Committed (f outer)
   | _ ->
       if not (Qos.Shedder.admit ()) then begin
         Stats.record_shed ();
@@ -244,7 +270,11 @@ let atomic ?config:(cfg = get_default_config ()) ?deadline ?max_attempts f =
           match deadline with None -> 0 | Some d -> int_of_float (d *. 1e9)
         in
         let attempt_budget = Option.value max_attempts ~default:0 in
-        match Commit_ladder.run ~deadline_ns ~attempt_budget cfg f with
+        let run =
+          if read_only then Commit_ladder.run_read_only ~deadline_ns
+          else Commit_ladder.run ~deadline_ns
+        in
+        match run ~attempt_budget cfg f with
         | v -> Outcome.Committed v
         | exception Commit_ladder.Deadline_exceeded ->
             Stats.record_timeout ();

@@ -26,7 +26,14 @@
     - [on_abort]: runs in reverse registration order on abort
       (operation inverses, then abstract-lock release). *)
 
-type mode =
+(** The single mode authority: enumerate with [Mode.all], print/parse
+    with [Mode.to_string]/[Mode.of_string], read the [PROUST_MODE]
+    environment default with [Mode.from_env].  Every mode list in the
+    tree (bench CLIs, test matrices, the design-space printer) derives
+    from it. *)
+module Mode = Mode
+
+type mode = Mode.t =
   | Lazy_lazy
   | Eager_lazy
   | Eager_eager
@@ -35,6 +42,11 @@ type mode =
           serialize on one global commit lock and readers validate
           against it.  Minimal metadata, zero per-location lock
           traffic, but write commits never overlap. *)
+  | Multi_version
+      (** MVCC: tvars keep a bounded version history; read-write
+          transactions run TL2-style but serve snapshot-stale reads
+          from the history, and {!read_only} transactions read a
+          consistent snapshot abort-free.  See {!Mode.t}. *)
 
 val mode_name : mode -> string
 
@@ -80,6 +92,12 @@ exception Not_in_transaction
     hang forever. *)
 exception Retry_no_reads
 
+(** Raised by {!write} inside a read-only scope ({!read_only}, or
+    [atomic ~read_only:true]).  Not an abort: the episode fails
+    without retrying — the snapshot path cannot honor a write, and the
+    program must hear about it. *)
+exception Read_only_violation
+
 (** [atomically f] runs [f] in a fresh transaction, retrying on
     conflict, and commits its effects atomically.  Nesting is
     flattened: an [atomically] reached while this domain is already
@@ -87,6 +105,27 @@ exception Retry_no_reads
     ignored), and the nested effects commit or abort with the outer
     one. *)
 val atomically : ?config:config -> (txn -> 'a) -> 'a
+
+(** [read_only f] runs [f] as a {e read-only snapshot transaction}:
+    every {!read} is served from the tvar version chains at the
+    transaction's start timestamp (a consistent snapshot — some prefix
+    of the committed transaction order), any {!write} raises
+    {!Read_only_violation}, and the transaction {e never aborts} no
+    matter how write-heavy the concurrency ([Stats] field [ro_aborts]
+    stays 0 absent user exceptions or an armed watchdog).  Version
+    history is maintained once any block has run under [Multi_version]
+    — or once a [read_only] has run; the first call arms it — so
+    snapshots always find the versions they need (the {!Snapshots}
+    registration protocol pins them against GC).
+
+    [retry] inside a read-only transaction raises {!Retry_no_reads}:
+    snapshot reads record no watch entries, so there is nothing to
+    wake on.
+
+    A nested call joins the enclosing transaction (like {!atomically})
+    but raises the read-only flag for its duration, so writes under
+    the scope fail even when the outer transaction could write. *)
+val read_only : ?config:config -> (txn -> 'a) -> 'a
 
 (** {2 QoS: bounded atomic execution}
 
@@ -126,12 +165,19 @@ end
     mid-attempt — nothing may abort them — so the episode can only time
     out between attempts once the fallback engaged.
 
+    [read_only] (default false) routes the episode through the
+    abort-free snapshot path of {!read_only} under the same QoS
+    envelope: the deadline and budget still bound it (a snapshot
+    transaction spends no attempts on conflicts, but the shedder,
+    deadline and watchdog apply unchanged).
+
     Nested calls join the enclosing transaction and always return
     [Committed]: the outer episode's QoS envelope covers them. *)
 val atomic :
   ?config:config ->
   ?deadline:float ->
   ?max_attempts:int ->
+  ?read_only:bool ->
   (txn -> 'a) ->
   'a Outcome.t
 

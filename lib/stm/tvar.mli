@@ -10,9 +10,17 @@
     The [readers] list supports the visible-readers conflict mode
     ([Eager_eager]): registered descriptors of transactions that have
     read this tvar and may still be active.  Entries are pruned lazily;
-    stale (committed/aborted) entries are ignored by writers. *)
+    stale (committed/aborted) entries are ignored by writers.
 
-type 'a versioned = { value : 'a; version : int }
+    Under the [Multi_version] mode (once {!Snapshots.armed}), each
+    publish links the displaced state onto an immutable newest-first
+    history chain via [prev], bounded to the newest
+    {!Snapshots.max_versions} entries plus whatever older versions an
+    active snapshot may still reach; {!read_at} serves consistent
+    snapshot reads from it.  The single-version modes never arm the
+    chain and keep the original one-store publish. *)
+
+type 'a versioned = { value : 'a; version : int; prev : 'a versioned option }
 
 type 'a t = {
   uid : int;
@@ -20,6 +28,10 @@ type 'a t = {
       (** precomputed write-set summary-filter bit, [1 lsl (uid mod 62)];
           see {!Rwset.Wlog} *)
   state : 'a versioned Atomic.t;
+  mutable chain_len : int;
+      (** length of [state]'s version chain, head included; written
+          only under the publish-side exclusion (owner lock or serial
+          gate) so armed publishes stay O(1) — see [publish] *)
   owner : Txn_desc.t option Atomic.t;
   readers : Txn_desc.t list Atomic.t;
   waiters : Waitq.waiter list Atomic.t;
@@ -45,8 +57,25 @@ val try_lock : 'a t -> Txn_desc.t -> [ `Locked | `Mine | `Held of Txn_desc.t ]
 (** Release the owner lock.  Only the owner may call this. *)
 val unlock : 'a t -> Txn_desc.t -> unit
 
-(** Publish a new committed state.  Caller must hold the owner lock. *)
+(** Publish a new committed state.  Caller must hold the owner lock
+    (or the serial commit gate) — publishes to one tvar never race.
+    When {!Snapshots.armed}, the displaced state is linked onto the
+    version chain; once the chain reaches twice {!Snapshots.max_versions}
+    it is trimmed back against {!Snapshots.floor} (amortized, so the
+    common publish allocates one record), and no version visible to an
+    active snapshot is ever reclaimed. *)
 val publish : 'a t -> 'a -> version:int -> unit
+
+(** [read_at t ~version] is the newest committed version of [t] at or
+    below [version], walking the history chain; [None] if the history
+    was reclaimed below [version] (unreachable for snapshots
+    registered per the {!Snapshots} protocol). *)
+val read_at : 'a t -> version:int -> 'a versioned option
+
+(** Length of the version chain including the head (tests; bounded by
+    [2 * max_versions] plus versions pinned by active snapshots, since
+    trimming is amortized — see {!publish}). *)
+val version_chain_len : 'a t -> int
 
 (** Register [desc] as a visible reader (idempotent). *)
 val register_reader : 'a t -> Txn_desc.t -> unit

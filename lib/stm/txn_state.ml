@@ -7,13 +7,18 @@
    polymorphic [proto] dispatch slots; Protocol fills the slots,
    Commit_ladder drives attempts, Stm re-exports the public face. *)
 
-type mode = Lazy_lazy | Eager_lazy | Eager_eager | Serial_commit
+(* The mode type is owned by [Mode] (the single authority for
+   enumeration, parsing and the [PROUST_MODE] default); re-exported
+   here with its constructors so protocol code keeps matching on bare
+   [Lazy_lazy] etc. *)
+type mode = Mode.t =
+  | Lazy_lazy
+  | Eager_lazy
+  | Eager_eager
+  | Serial_commit
+  | Multi_version
 
-let mode_name = function
-  | Lazy_lazy -> "lazy-lazy"
-  | Eager_lazy -> "eager-lazy"
-  | Eager_eager -> "eager-eager"
-  | Serial_commit -> "serial-commit"
+let mode_name = Mode.to_string
 
 type config = {
   mode : mode;
@@ -30,7 +35,7 @@ type config = {
 let default_config_v =
   ref
     {
-      mode = Lazy_lazy;
+      mode = Mode.from_env ();
       cm = Contention.passive ();
       extend_reads = false;
       max_attempts = 100_000;
@@ -55,6 +60,11 @@ exception Not_in_transaction
    exists whose change could unblock it — so the episode fails with a
    typed error instead of parking (or, formerly, [failwith]-ing). *)
 exception Retry_no_reads
+
+(* A write attempted inside a read-only transaction.  Typed (not an
+   abort reason): the transaction is not retried — the program asked
+   for something the snapshot path cannot do, and must hear about it. *)
+exception Read_only_violation
 
 type locked = Locked : 'a Tvar.t -> locked
 
@@ -85,9 +95,19 @@ type t = {
   backoff : Backoff.t;
   gate_backoff : Backoff.t;
   mutable finished : bool;
+  mutable ro : bool;
+      (* read-only (snapshot) attempt: writes raise
+         [Read_only_violation], reads take the proto's snapshot path,
+         chaos may delay but never abort it *)
+  mutable ro_reads : int;
+      (* snapshot reads this attempt, batched into Stats at commit —
+         a per-read striped bump measurably drags the RO hot path *)
 }
 
 and proto = {
+  p_read : 'a. t -> 'a Tvar.t -> 'a;
+      (** committed-state read missing the write set: the slow path
+          (TL2 version check, or an MVCC snapshot lookup) *)
   p_pre_read : 'a. t -> 'a Tvar.t -> unit;
       (** before a committed-state read (visible-reader registration) *)
   p_pre_write : 'a. t -> 'a Tvar.t -> unit;
@@ -103,6 +123,10 @@ and proto = {
 
 let null_proto =
   {
+    (* Never runs: reads reach a proto only inside a live attempt, and
+       every attempt installs a real protocol.  Raising (rather than
+       returning something) makes a dispatch bug loud. *)
+    p_read = (fun _ _ -> raise Not_in_transaction);
     p_pre_read = (fun _ _ -> ());
     p_pre_write = (fun _ _ -> ());
     p_acquire = (fun _ -> ());
@@ -250,7 +274,9 @@ let obs_fallback ~token =
    whole point of the fallback is that nothing can abort it. *)
 let chaos_point t point =
   if Fault.enabled () then
-    if t.tdesc.Txn_desc.irrevocable then Fault.delay_only point
+    (* Read-only snapshot attempts honour only the delay component
+       too: the abort-free guarantee must hold under chaos. *)
+    if t.tdesc.Txn_desc.irrevocable || t.ro then Fault.delay_only point
     else
       match Fault.check point with
       | None -> ()
@@ -464,6 +490,8 @@ let fresh () =
     backoff = Backoff.create ();
     gate_backoff = Backoff.create ();
     finished = true;
+    ro = false;
+    ro_reads = 0;
   }
 
 let pool : slot Domain.DLS.key =
@@ -512,7 +540,7 @@ let end_episode () =
    prove the reset discipline first: the record must be exactly as
    [retire] left it. *)
 let attempt_txn ep cfg ~proto ~priority ?birth ?(irrevocable = false)
-    ?(deadline_ns = 0) () =
+    ?(deadline_ns = 0) ?(ro = false) () =
   let t =
     match ep.ep_txn with
     | Some t ->
@@ -528,6 +556,8 @@ let attempt_txn ep cfg ~proto ~priority ?birth ?(irrevocable = false)
   t.tdesc <- Txn_desc.create ~priority ~irrevocable ~deadline_ns ~birth ();
   t.cfg <- cfg;
   t.proto <- proto;
+  t.ro <- ro;
+  t.ro_reads <- 0;
   Backoff.reconfigure t.backoff ~sleep_after:cfg.backoff_sleep_after
     ~sleep:cfg.backoff_sleep;
   t.finished <- false;
@@ -559,6 +589,8 @@ let retire t =
   t.abort_hooks <- [];
   t.durable_hooks <- [];
   t.proto <- null_proto;
+  t.ro <- false;
+  t.ro_reads <- 0;
   (* Unpublish from the watchdog even if it was disarmed mid-attempt:
      keyed on the slot's own contents, not [watchdog_on]. *)
   let s = Domain.DLS.get pool in

@@ -6,7 +6,14 @@
     layers above are the record's implementation, merely split by
     concern; user code never sees it ([Stm.txn] is abstract). *)
 
-type mode = Lazy_lazy | Eager_lazy | Eager_eager | Serial_commit
+(** Re-export of {!Mode.t} with its constructors — {!Mode} is the
+    single authority for enumerating, printing and parsing modes. *)
+type mode = Mode.t =
+  | Lazy_lazy
+  | Eager_lazy
+  | Eager_eager
+  | Serial_commit
+  | Multi_version
 
 val mode_name : mode -> string
 
@@ -36,6 +43,10 @@ exception Not_in_transaction
     episode fails with this instead of blocking forever. *)
 exception Retry_no_reads
 
+(** A write attempted inside a read-only (snapshot) transaction.  Not
+    an abort reason: the episode fails without retrying. *)
+exception Read_only_violation
+
 type locked = Locked : 'a Tvar.t -> locked
 
 (** One transaction attempt.  With the per-domain pool the same record
@@ -58,12 +69,18 @@ type t = {
   backoff : Backoff.t;
   gate_backoff : Backoff.t;
   mutable finished : bool;
+  mutable ro : bool;
+      (** read-only (snapshot) attempt: writes raise
+          {!Read_only_violation}, chaos never aborts it *)
+  mutable ro_reads : int;
+      (** snapshot reads this attempt, flushed to {!Stats} at commit *)
 }
 
 (** The commit protocol as data: per-mode hot-path hooks, selected once
     at [atomically] entry ({!Protocol.select}) instead of branching on
     [cfg.mode] per operation. *)
 and proto = {
+  p_read : 'a. t -> 'a Tvar.t -> 'a;
   p_pre_read : 'a. t -> 'a Tvar.t -> unit;
   p_pre_write : 'a. t -> 'a Tvar.t -> unit;
   p_acquire : t -> unit;
@@ -190,6 +207,7 @@ val attempt_txn :
   ?birth:int ->
   ?irrevocable:bool ->
   ?deadline_ns:int ->
+  ?ro:bool ->
   unit ->
   t
 

@@ -8,7 +8,16 @@ type state = Waiting | Woken | Cancelled
 
 type lot = { mu : Mutex.t; cv : Condition.t }
 
-type waiter = { w_lot : lot; w_state : state Atomic.t }
+type waiter = {
+  w_lot : lot;
+  w_state : state Atomic.t;
+  w_wake_ns : int Atomic.t;
+      (* commit-side wake-publication timestamp (0 = none): stamped by
+         [wake] just before its transition attempt when metrics are on,
+         so the resuming domain can histogram publication -> resume
+         latency.  [expire] never stamps — timer wakes are episode
+         timeouts, not wakeup-latency samples. *)
+}
 
 (* One lot per domain, reused across parks: a domain blocks on at most
    one waiter at a time (parks happen between ladder attempts, never
@@ -27,7 +36,11 @@ let live = Atomic.make 0
 let live_waiters () = Atomic.get live
 
 let make () =
-  { w_lot = Domain.DLS.get lot_key; w_state = Atomic.make Waiting }
+  {
+    w_lot = Domain.DLS.get lot_key;
+    w_state = Atomic.make Waiting;
+    w_wake_ns = Atomic.make 0;
+  }
 
 let is_waiting w = Atomic.get w.w_state = Waiting
 
@@ -57,12 +70,21 @@ let signal w =
   Mutex.unlock w.w_lot.mu
 
 let wake w =
+  (* Stamp before the transition attempt: a winning wake's timestamp
+     is ordered (SC) before the state flip the parker resumes on; a
+     losing stamp is harmless (the parker only reads it after a Woken
+     observation, and a raced [expire] win just yields one spurious
+     sample). *)
+  if Proust_obs.Metrics.enabled () then
+    Atomic.set w.w_wake_ns (Proust_obs.Trace.now_ns ());
   if finish w Woken then begin
     Stats.record_wakeup ();
     signal w;
     true
   end
   else false
+
+let wake_ns w = Atomic.get w.w_wake_ns
 
 (* The deadline timer's wake: same transition, but not counted as a
    commit wakeup — the episode surfaces it as a QoS timeout instead. *)

@@ -13,7 +13,12 @@ type state = Waiting | Woken | Cancelled
 
 type lot = { mu : Mutex.t; cv : Condition.t }
 
-type waiter = { w_lot : lot; w_state : state Atomic.t }
+type waiter = {
+  w_lot : lot;
+  w_state : state Atomic.t;
+  w_wake_ns : int Atomic.t;
+      (** commit-wake publication timestamp, 0 = none (see {!wake_ns}) *)
+}
 
 (** Fresh waiter bound to the calling domain's parking lot. *)
 val make : unit -> waiter
@@ -31,8 +36,15 @@ val enlist : waiter -> unit
 val live_waiters : unit -> int
 
 (** Commit-side wake: [true] if this call won the transition (stat
-    counted, parked domain signalled). *)
+    counted, parked domain signalled).  With metrics enabled, stamps
+    the waiter's wake-publication timestamp first. *)
 val wake : waiter -> bool
+
+(** The commit-wake publication timestamp ({!Proust_obs.Trace.now_ns}
+    base), 0 if no commit-side wake stamped this waiter — the resuming
+    domain subtracts it from its own clock for the wakeup-latency
+    histogram.  Timer expiries leave it 0. *)
+val wake_ns : waiter -> int
 
 (** Deadline-timer wake: like [wake] but not counted as a commit
     wakeup — the episode reports it as a QoS timeout. *)

@@ -29,7 +29,8 @@ let mode_ok req (m : Stm.mode) =
   match (req, m) with
   | Any_mode, _ -> true
   | Encounter_time, (Stm.Eager_lazy | Stm.Eager_eager) -> true
-  | Encounter_time, (Stm.Lazy_lazy | Stm.Serial_commit) -> false
+  | Encounter_time, (Stm.Lazy_lazy | Stm.Serial_commit | Stm.Multi_version) ->
+      false
 
 (** The shared trait header. *)
 type meta = {

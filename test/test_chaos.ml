@@ -8,7 +8,7 @@
     per-domain operation streams (increments commute, so the final map
     contents are schedule-independent); (c) the escalation ladder makes
     [Too_many_attempts] unreachable: a hostile single-key 100% RMW
-    workload completes in all four modes, with a nonzero fallback count
+    workload completes in all five modes, with a nonzero fallback count
     under forced contention.  The per-domain descriptor pool is audited
     throughout: every worker checks {!Stm.descriptor_pool_check} after
     its faulty schedule and that {!Stm.pool_reuses} shows the pooled
@@ -17,8 +17,7 @@
 open Util
 module S = Proust_structures
 
-let all_modes =
-  [ Stm.Lazy_lazy; Stm.Eager_lazy; Stm.Eager_eager; Stm.Serial_commit ]
+let all_modes = Stm.Mode.all
 
 let eager_modes = [ Stm.Eager_lazy; Stm.Eager_eager ]
 
@@ -357,7 +356,7 @@ let test_seeded_determinism () =
    matrix keys on these. *)
 let test_point_names () =
   let names = List.map Fault.point_name Fault.all_points in
-  check ci "thirteen injection points" 13 (List.length names);
+  check ci "fourteen injection points" 14 (List.length names);
   List.iter (fun n -> check cb ("nonempty: " ^ n) true (n <> "")) names;
   check ci "names are distinct" (List.length names)
     (List.length (List.sort_uniq compare names))

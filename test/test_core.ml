@@ -425,7 +425,7 @@ let test_design_space () =
       then
         List.iter
           (fun m -> check cb (point_name p) true (compatible p m))
-          [ Stm.Lazy_lazy; Stm.Eager_lazy; Stm.Eager_eager; Stm.Serial_commit ])
+          Stm.Mode.all)
     all_points;
   let eager_opt =
     { lap = Lock_allocator.Optimistic; strategy = Update_strategy.Eager }
@@ -433,6 +433,8 @@ let test_design_space () =
   check cb "empty quarter" false (compatible eager_opt Stm.Lazy_lazy);
   check cb "empty quarter (serial)" false
     (compatible eager_opt Stm.Serial_commit);
+  check cb "empty quarter (multi-version)" false
+    (compatible eager_opt Stm.Multi_version);
   check cb "sound with eager detection" true
     (compatible eager_opt Stm.Eager_lazy);
   check cb "verdict strings differ" true

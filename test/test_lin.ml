@@ -5,7 +5,7 @@
     for {e every} module in [lib/concurrent] — and the
     {!Lin_harness.run_serializable} variant drives {e every} Proustian
     wrapper in [lib/structures] through {!History}/{!Serializability}
-    under all four STM modes.
+    under all five STM modes.
 
     A deliberately fenceless counter serves as the negative fixture:
     the checker must reject its lost-update histories. *)

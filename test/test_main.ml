@@ -22,4 +22,5 @@ let () =
       ("qos", Test_qos.suite);
       ("durable", Test_durable.suite);
       ("sync", Test_sync.suite);
+      ("mvcc", Test_mvcc.suite);
     ]

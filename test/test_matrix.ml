@@ -8,8 +8,7 @@ open Util
 module S = Proust_structures
 module P = Proust_core.Proust
 
-let modes =
-  [ Stm.Lazy_lazy; Stm.Eager_lazy; Stm.Eager_eager; Stm.Serial_commit ]
+let modes = Stm.Mode.all
 
 (* Instantiations of each design point over the hash-map wrapper. *)
 let points :

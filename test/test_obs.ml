@@ -290,7 +290,7 @@ let test_metrics_from_stm () =
 let test_stats_to_assoc () =
   let s = Stats.read () in
   let assoc = Stats.to_assoc s in
-  check ci "28 counters exported" 28 (List.length assoc);
+  check ci "34 counters exported" 34 (List.length assoc);
   List.iter
     (fun k ->
       check cb ("counter " ^ k ^ " present") true (List.mem_assoc k assoc))
@@ -302,7 +302,8 @@ let test_stats_to_assoc () =
       "log_appends"; "fsync_batches"; "fsync_batch_size_p50";
       "fsync_batch_size_p99"; "recoveries"; "torn_tail_truncations";
       "parks"; "wakeups"; "spurious_wakeups"; "retry_polls";
-      "wait_list_max";
+      "wait_list_max"; "versions_installed"; "versions_gced";
+      "ro_snapshot_reads"; "ro_commits"; "ro_aborts"; "version_chain_max";
     ];
   (* diff and to_assoc commute: to_assoc (diff a b) is the pairwise
      difference of the exports. *)
@@ -313,7 +314,7 @@ let test_stats_to_assoc () =
   let d = Stats.to_assoc (Stats.diff a b) in
   let gauge k =
     k = "fsync_batch_size_p50" || k = "fsync_batch_size_p99"
-    || k = "wait_list_max"
+    || k = "wait_list_max" || k = "version_chain_max"
   in
   List.iter2
     (fun (ka, va) ((kb, vb), _) ->

@@ -167,6 +167,15 @@ let atomicity_cases =
       fun () ->
         Proust_baselines.Predication_map.ops (Proust_baselines.Predication_map.make ())
     );
+    (* Update transactions under the MVCC mode still validate their
+       read sets at commit — snapshots only exempt read-only txns. *)
+    ( "lazy-memo / multi-version",
+      Some mvcc_cfg,
+      fun () -> S.P_lazy_hashmap.ops (S.P_lazy_hashmap.make ()) );
+    ( "eager-pess / multi-version",
+      Some mvcc_cfg,
+      fun () -> S.P_hashmap.ops (S.P_hashmap.make ~lap:S.Trait.Pessimistic ())
+    );
   ]
 
 (* ------------------------------------------------------------------ *)

@@ -333,6 +333,34 @@ let test_parked_retry_no_polls () =
   check cb "wait-list high-water recorded" true (s.Stats.wait_list_max >= 1);
   check ci "no waiters left behind" 0 (Stm.parked_waiters ())
 
+(* A parked-then-woken recv with metrics on must land at least one
+   sample in the wakeup-latency histogram: [Waitq.wake] stamps the
+   publication time, the resuming domain records the delta.  Timer
+   expiries must not contribute (checked implicitly: the send is the
+   only wake here). *)
+let test_wakeup_latency_histogram () =
+  let module Obs = Proust_obs in
+  Obs.Metrics.enable ();
+  Obs.Metrics.reset ();
+  Fun.protect ~finally:Obs.Metrics.disable @@ fun () ->
+  let ch = Y.Channel.make ~capacity:4 () in
+  let d =
+    Domain.spawn (fun () ->
+        Stm.atomically (fun txn -> Y.Channel.recv txn ch))
+  in
+  let deadline = Clock.now_mono () +. 5.0 in
+  while Stm.parked_waiters () = 0 && Clock.now_mono () < deadline do
+    Domain.cpu_relax ()
+  done;
+  Stm.atomically (fun txn -> Y.Channel.send txn ch 7);
+  check ci "woken with the element" 7 (Domain.join d);
+  let samples =
+    List.fold_left
+      (fun acc s -> acc + s.Obs.Metrics.wakeup.Obs.Histogram.count)
+      0 (Obs.Metrics.scopes ())
+  in
+  check cb "wakeup latency sampled" true (samples >= 1)
+
 (* The legacy poll mode still works and is observable: the same
    scenario burns poll iterations and never parks. *)
 let test_poll_mode_burns_iterations () =
@@ -486,6 +514,7 @@ let suite =
     slow "semaphore occupancy stays within permits" test_semaphore_bounds;
     test "semaphore multi-permit acquire and cap" test_semaphore_multi_permit;
     test "parked retry burns zero poll iterations" test_parked_retry_no_polls;
+    test "wakeup latency histogram gets samples" test_wakeup_latency_histogram;
     test "poll mode still works and is observable"
       test_poll_mode_burns_iterations;
     test "deadline honored while parked" test_deadline_while_parked;

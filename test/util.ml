@@ -40,18 +40,20 @@ let with_seed_note f =
     streams. *)
 let sub_seed salt = proust_seed lxor (salt * 0x9E3779B9)
 
-let lazy_cfg = (Stm.get_default_config ())
-let eager_cfg = { (Stm.get_default_config ()) with Stm.mode = Stm.Eager_lazy }
-let eager_eager_cfg = { (Stm.get_default_config ()) with Stm.mode = Stm.Eager_eager }
-let serial_cfg = { (Stm.get_default_config ()) with Stm.mode = Stm.Serial_commit }
+(** Pin the mode explicitly: the process-wide default follows
+    [PROUST_MODE], and suites must not drift with the environment. *)
+let cfg_of_mode mode = { (Stm.get_default_config ()) with Stm.mode }
 
+let lazy_cfg = cfg_of_mode Stm.Lazy_lazy
+let eager_cfg = cfg_of_mode Stm.Eager_lazy
+let eager_eager_cfg = cfg_of_mode Stm.Eager_eager
+let serial_cfg = cfg_of_mode Stm.Serial_commit
+let mvcc_cfg = cfg_of_mode Stm.Multi_version
+
+(** Every STM mode, named, straight from the single authority —
+    extending [Stm.Mode.all] extends each suite that sweeps this. *)
 let all_modes =
-  [
-    ("lazy-lazy", lazy_cfg);
-    ("eager-lazy", eager_cfg);
-    ("eager-eager", eager_eager_cfg);
-    ("serial-commit", serial_cfg);
-  ]
+  List.map (fun m -> (Stm.Mode.to_string m, cfg_of_mode m)) Stm.Mode.all
 
 (** Config suitable for eager-update Proustian structures with an
     optimistic LAP (needs encounter-time detection). *)
