@@ -1055,13 +1055,164 @@ let parking () =
       run_mode Stm.Poll "poll")
 
 (* ------------------------------------------------------------------ *)
+(* COMBINING: flat-combining group commit vs inline publication.       *)
+
+(* Write-heavy durable cells under Serial_commit: every commit appends
+   to the redo log and waits for its fsync, so the device round-trip —
+   not the sub-microsecond gate hold — is the cost the publisher can
+   amortize.  The grouped side's combiner drains the whole publication
+   list in one gate acquisition and lands the batch's appends as one
+   burst, which the flusher serves in one cycle; inline commits trickle
+   appends through the gate one by one and fragment across cycles.
+   Ratios are medians over paired A/B trials because real fsync cost on
+   a shared filesystem drifts run to run; the publication economy
+   (gate acquisitions per commit) is scheduling-independent. *)
+let combining () =
+  let domains = env_int "PROUST_DOMAINS" 8 in
+  let iters = if quick then 200 else env_int "PROUST_COMBINE_ITERS" 500 in
+  let pairs = if quick then 3 else env_int "PROUST_COMBINE_TRIALS" 5 in
+  let linger = 1.5e-3 in
+  let fsync_delay =
+    match Sys.getenv_opt "PROUST_FSYNC_DELAY" with
+    | Some s -> (match float_of_string_opt s with Some f -> f | None -> 0.)
+    | None -> 0.
+  in
+  W.Report.section
+    (Printf.sprintf
+       "COMBINING: grouped vs inline publication (%d domains x %d durable \
+        puts, %d paired trials)"
+       domains iters pairs);
+  let side grouped =
+    D.Temp.with_file (fun path ->
+        let log = D.Redo_log.create ~fsync_delay ~path () in
+        let base = S.P_lazy_hashmap.ops (S.P_lazy_hashmap.make ()) in
+        let m =
+          D.Durable_map.ops (D.Durable_map.wrap ~fmt:D.Frame.Value ~log base)
+        in
+        Stm.set_combining grouped;
+        Stm.set_combine_linger (if grouped then linger else 0.);
+        let cfg =
+          { (Stm.get_default_config ()) with Stm.mode = Stm.Serial_commit }
+        in
+        let before = Stats.read () in
+        let t0 = Clock.now_mono () in
+        let ds =
+          List.init domains (fun d ->
+              Domain.spawn (fun () ->
+                  let rng = Random.State.make [| 11; d |] in
+                  for _ = 1 to iters do
+                    Stm.atomically ~config:cfg (fun txn ->
+                        let k = (d * 1000) + Random.State.int rng 64 in
+                        ignore (m.S.Trait.Map.put txn k d))
+                  done))
+        in
+        List.iter Domain.join ds;
+        let dt = Clock.now_mono () -. t0 in
+        let st = Stats.diff before (Stats.read ()) in
+        D.Redo_log.close log;
+        let commits = domains * iters in
+        (* Inline publication takes the gate once per commit; a grouped
+           session takes it once per election. *)
+        let acq = if grouped then st.Stats.combiner_elections else commits in
+        (float_of_int commits /. dt, acq, st))
+  in
+  let median l =
+    let a = List.sort compare l in
+    List.nth a (List.length l / 2)
+  in
+  Printf.printf "%-6s %12s %12s %7s %7s %8s %8s\n" "trial" "inline/s"
+    "grouped/s" "ratio" "batch" "acq_in" "acq_gr";
+  Printf.printf "%s\n" (String.make 66 '-');
+  let saved_combining = Stm.combining () in
+  let ratios = ref [] and batches = ref [] in
+  let ti_all = ref [] and tg_all = ref [] in
+  let acq_in = ref 0 and acq_gr = ref 0 in
+  let elections = ref 0 and combined = ref 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      Stm.set_combine_linger 0.;
+      Stm.set_combining saved_combining)
+    (fun () ->
+      for trial = 1 to pairs do
+        let ti, ai, _ = side false in
+        let tg, ag, stg = side true in
+        let batch =
+          if stg.Stats.combiner_elections = 0 then 1.0
+          else
+            float_of_int stg.Stats.combined_commits
+            /. float_of_int stg.Stats.combiner_elections
+        in
+        ratios := (tg /. ti) :: !ratios;
+        batches := batch :: !batches;
+        ti_all := ti :: !ti_all;
+        tg_all := tg :: !tg_all;
+        acq_in := !acq_in + ai;
+        acq_gr := !acq_gr + ag;
+        elections := !elections + stg.Stats.combiner_elections;
+        combined := !combined + stg.Stats.combined_commits;
+        Printf.printf "%-6d %12.0f %12.0f %7.2f %7.2f %8d %8d\n%!" trial ti tg
+          (tg /. ti) batch ai ag;
+        if json_file <> None then
+          cells :=
+            Obs.Json.Obj
+              [
+                ("kind", Obs.Json.String "combining-trial");
+                ("trial", Obs.Json.Int trial);
+                ("threads", Obs.Json.Int domains);
+                ("txns", Obs.Json.Int (domains * iters));
+                ("inline_commits_per_s", Obs.Json.Float ti);
+                ("grouped_commits_per_s", Obs.Json.Float tg);
+                ("throughput_ratio", Obs.Json.Float (tg /. ti));
+                ("mean_batch", Obs.Json.Float batch);
+                ( "stats",
+                  Obs.Json.Obj
+                    (List.map
+                       (fun (k, v) -> (k, Obs.Json.Int v))
+                       (Stats.to_assoc stg)) );
+              ]
+            :: !cells
+      done);
+  let commits_total = pairs * domains * iters in
+  let mean_batch =
+    if !elections = 0 then 1.0
+    else float_of_int !combined /. float_of_int !elections
+  in
+  let acq_per_commit_grouped =
+    float_of_int !acq_gr /. float_of_int commits_total
+  in
+  let economy = float_of_int !acq_in /. float_of_int (max 1 !acq_gr) in
+  Printf.printf
+    "median: ratio=%.2f batch=%.2f | gate acquisitions/commit: inline=1.00 \
+     grouped=%.3f (%.1fx fewer)\n%!"
+    (median !ratios) mean_batch acq_per_commit_grouped economy;
+  if json_file <> None then
+    cells :=
+      Obs.Json.Obj
+        [
+          ("kind", Obs.Json.String "combining");
+          ("threads", Obs.Json.Int domains);
+          ("txns_per_trial", Obs.Json.Int (domains * iters));
+          ("pairs", Obs.Json.Int pairs);
+          ("fsync_delay_s", Obs.Json.Float fsync_delay);
+          ("linger_s", Obs.Json.Float linger);
+          ("inline_commits_per_s", Obs.Json.Float (median !ti_all));
+          ("grouped_commits_per_s", Obs.Json.Float (median !tg_all));
+          ("throughput_ratio", Obs.Json.Float (median !ratios));
+          ("mean_batch", Obs.Json.Float mean_batch);
+          ("gate_acq_per_commit_inline", Obs.Json.Float 1.0);
+          ("gate_acq_per_commit_grouped", Obs.Json.Float acq_per_commit_grouped);
+          ("gate_economy", Obs.Json.Float economy);
+        ]
+      :: !cells
+
+(* ------------------------------------------------------------------ *)
 
 let usage () =
   print_endline
     "usage: main.exe \
      [fig1|fig4|fig4-memo|micro|ablation-m|ablation-cm|ablation-mode|\
      ablation-zipf|ablation-combine|mvcc|pqueue|queue|structures|compose|\
-     overload|durability|parking|obs-overhead|all] [--json FILE] \
+     overload|durability|parking|combining|obs-overhead|all] [--json FILE] \
      [--trace FILE]"
 
 let () =
@@ -1095,6 +1246,7 @@ let () =
   | "overload" -> overload ()
   | "durability" -> durability ()
   | "parking" -> parking ()
+  | "combining" -> combining ()
   | "obs-overhead" -> obs_overhead ()
   | "all" ->
       fig1 ();
@@ -1113,7 +1265,8 @@ let () =
       compose_bench ();
       overload ();
       durability ();
-      parking ()
+      parking ();
+      combining ()
   | _ -> usage ());
   Option.iter
     (fun file ->

@@ -8,6 +8,28 @@ let obs_replay ops =
       ~txn:0
       (Proust_obs.Trace.Replay_apply { ops })
 
+(* Cross-transaction log combining (both modules below): when a replay
+   finds itself running inside a combiner drain ([Stm.Combine.session]
+   returns the drain's generation), it does not touch the base
+   structure at all.  Instead it folds its net effect into a [shared]
+   accumulator attached to the structure and registers — once per
+   session — a flush with [Stm.Combine.defer_flush].  The combiner runs
+   the flush after draining every entry and before releasing the serial
+   gate, so one base pass publishes the whole batch's effects in
+   linearization order.
+
+   Soundness leans on the gate and on STM validation, not on the
+   structure: the shared accumulator is only ever touched gate-held
+   (replay hooks run in the commit locked phase, and a combine session
+   exists only while the combiner owns the gate), and an
+   acked-but-unflushed effect is invisible to later transactions
+   because every conflict-abstraction stripe the effect covered was
+   published with a version above any gate-free read snapshot — a later
+   reader of the same stripe aborts at read or validation time before
+   it could observe the stale base.  That argument needs the validated
+   optimistic LAP; wrappers over pessimistic (or unvalidated) LAPs must
+   not pass [shared] (see e.g. {!Memo_map.make}). *)
+
 module Memo = struct
   type ('k, 'v) base = {
     base_get : 'k -> 'v option;
@@ -17,23 +39,43 @@ module Memo = struct
 
   type ('k, 'v) op = Put of 'k * 'v | Remove of 'k
 
+  (* Net effect on one key accumulated across a combine session:
+     [p_rem] — some transaction removed the key before the (current)
+     final binding was written, so the flush must replay the removal
+     even when a binding follows; [p_put] — the last-write-wins final
+     binding, [None] when the key ends the session absent. *)
+  type 'v pending = { mutable p_rem : bool; mutable p_put : 'v option }
+
+  type ('k, 'v) shared = {
+    mutable sh_gen : int;  (* combine session the pending set belongs to *)
+    sh_pending : ('k, 'v pending) Hashtbl.t;
+  }
+
+  let make_shared () = { sh_gen = 0; sh_pending = Hashtbl.create 32 }
+
   type ('k, 'v) t = {
     base : ('k, 'v) base;
     combine : bool;
+    shared : ('k, 'v) shared option;
     (* Transaction-local view: for every key consulted or written, the
        value this transaction would observe.  Doubles as the synthetic
        final state when [combine] is set. *)
     view : ('k, 'v option) Hashtbl.t;
-    dirty : ('k, unit) Hashtbl.t;
+    (* Dirty keys, flagged [true] when a remove preceded the key's
+       final put in this transaction — combined replay must then
+       replay [base_remove; base_put] instead of an overwrite, for
+       bases where removal is not subsumed by insertion. *)
+    dirty : ('k, bool) Hashtbl.t;
     mutable ops : ('k, 'v) op list;  (* newest first *)
     mutable op_count : int;
     mutable registered : bool;
   }
 
-  let create ?(combine = true) ~base _txn =
+  let create ?(combine = true) ?shared ~base _txn =
     {
       base;
       combine;
+      shared = (if combine then shared else None);
       view = Hashtbl.create 16;
       dirty = Hashtbl.create 16;
       ops = [];
@@ -49,24 +91,76 @@ module Memo = struct
         Hashtbl.replace t.view k v;
         v
 
+  (* Apply one dirty key's final state straight to the base. *)
+  let apply_key t k rem_before_put =
+    match Hashtbl.find_opt t.view k with
+    | Some (Some v) ->
+        if rem_before_put then t.base.base_remove k;
+        t.base.base_put k v
+    | Some None -> t.base.base_remove k
+    | None -> ()
+
+  let flush_shared t sh () =
+    Hashtbl.iter
+      (fun k p ->
+        if p.p_rem then t.base.base_remove k;
+        Option.iter (t.base.base_put k) p.p_put)
+      sh.sh_pending;
+    Hashtbl.reset sh.sh_pending
+
+  (* Compose this transaction's per-key finals onto the session's
+     pending set.  Last write wins on the binding; [p_rem] is sticky —
+     once any transaction in the session removed the key, the flush
+     replays the removal before whatever binding ends the session. *)
+  let merge_into t sh =
+    Hashtbl.iter
+      (fun k rem_before_put ->
+        let p =
+          match Hashtbl.find_opt sh.sh_pending k with
+          | Some p -> p
+          | None ->
+              let p = { p_rem = false; p_put = None } in
+              Hashtbl.add sh.sh_pending k p;
+              p
+        in
+        match Hashtbl.find_opt t.view k with
+        | Some (Some v) ->
+            p.p_put <- Some v;
+            p.p_rem <- p.p_rem || rem_before_put
+        | Some None ->
+            p.p_rem <- true;
+            p.p_put <- None
+        | None -> ())
+      t.dirty
+
   let replay t () =
     (* Chaos hook: replay runs post-linearization, so only delays. *)
     Fault.delay_only Fault.Replay_apply;
     obs_replay (if t.combine then Hashtbl.length t.dirty else t.op_count);
-    if t.combine then
-      Hashtbl.iter
-        (fun k () ->
-          match Hashtbl.find_opt t.view k with
-          | Some (Some v) -> t.base.base_put k v
-          | Some None -> t.base.base_remove k
-          | None -> ())
-        t.dirty
-    else
-      List.iter
-        (function
-          | Put (k, v) -> t.base.base_put k v
-          | Remove k -> t.base.base_remove k)
-        (List.rev t.ops)
+    let merged =
+      match t.shared with
+      | Some sh -> (
+          match Stm.Combine.session () with
+          | Some gen ->
+              if sh.sh_gen <> gen then begin
+                sh.sh_gen <- gen;
+                (* Defensive: a failed flush may have left residue. *)
+                Hashtbl.reset sh.sh_pending;
+                Stm.Combine.defer_flush (flush_shared t sh)
+              end;
+              merge_into t sh;
+              true
+          | None -> false)
+      | None -> false
+    in
+    if not merged then
+      if t.combine then Hashtbl.iter (apply_key t) t.dirty
+      else
+        List.iter
+          (function
+            | Put (k, v) -> t.base.base_put k v
+            | Remove k -> t.base.base_remove k)
+          (List.rev t.ops)
 
   let ensure_registered t txn =
     if not t.registered then begin
@@ -74,9 +168,8 @@ module Memo = struct
       Stm.on_commit_locked txn (replay t)
     end
 
-  let log t txn op k =
+  let log t txn op =
     ensure_registered t txn;
-    Hashtbl.replace t.dirty k ();
     if not t.combine then begin
       t.ops <- op :: t.ops;
       t.op_count <- t.op_count + 1
@@ -85,20 +178,24 @@ module Memo = struct
   let put t txn k v =
     let old = get t k in
     Hashtbl.replace t.view k (Some v);
-    log t txn (Put (k, v)) k;
+    (* Preserve an existing remove-before-put flag; first touch is a
+       plain overwrite. *)
+    if not (Hashtbl.mem t.dirty k) then Hashtbl.replace t.dirty k false;
+    log t txn (Put (k, v));
     old
 
   let remove t txn k =
     let old = get t k in
     if old <> None then begin
       Hashtbl.replace t.view k None;
-      log t txn (Remove k) k
+      Hashtbl.replace t.dirty k true;
+      log t txn (Remove k)
     end;
     old
 
   let size_delta t =
     Hashtbl.fold
-      (fun k () acc ->
+      (fun k _flag acc ->
         let now = Option.join (Hashtbl.find_opt t.view k) in
         let before = t.base.base_get k in
         match (before, now) with
@@ -112,29 +209,77 @@ module Memo = struct
 end
 
 module Snapshot = struct
+  (* Merge thunks accumulated across a combine session, oldest last
+     (newest first, like every log in this file); the flush reverses
+     into batch linearization order. *)
+  type 's shared = {
+    mutable sn_gen : int;
+    mutable sn_merges : ('s -> 's) list;
+  }
+
+  let make_shared () = { sn_gen = 0; sn_merges = [] }
+
   type 's t = {
     snapshot : unit -> 's;
     install : (expected:'s -> desired:'s -> bool) option;
+    shared : 's shared option;
     mutable base_snapshot : 's option;  (* the state the shadow grew from *)
     mutable shadow : 's option;
     mutable replays : (unit -> unit) list;  (* newest first *)
+    mutable merges : ('s -> 's) list;  (* newest first *)
     mutable op_count : int;
+    mutable merge_count : int;
     mutable registered : bool;
   }
 
-  let create ~snapshot ?install _txn =
+  let create ~snapshot ?install ?shared _txn =
     {
       snapshot;
       install;
+      (* Session merging flushes through the install CAS; without one
+         the log can never be batch-merged. *)
+      shared = (match install with None -> None | Some _ -> shared);
       base_snapshot = None;
       shadow = None;
       replays = [];
+      merges = [];
       op_count = 0;
+      merge_count = 0;
       registered = false;
     }
 
   let read_only t ~shadow ~direct =
     match t.shadow with Some s -> shadow s | None -> direct ()
+
+  (* An entry can join the session merge only when every one of its
+     operations supplied a merge thunk: one state-independent op
+     without one (a dequeue, say) pins the whole entry to the direct
+     path, because its return value was computed against this
+     transaction's own shadow and cannot be recomputed on the batch
+     state. *)
+  let mergeable t =
+    (match t.install with Some _ -> true | None -> false)
+    && t.op_count > 0
+    && t.merge_count = t.op_count
+
+  let flush_shared t sh () =
+    match sh.sn_merges with
+    | [] -> ()
+    | ms -> (
+        sh.sn_merges <- [];
+        let ms = List.rev ms in
+        match t.install with
+        | None -> ()
+        | Some install ->
+            (* Under the serial gate no other committer mutates the
+               base, so the CAS loop is one iteration in practice; the
+               loop guards hypothetical non-transactional writers. *)
+            let rec apply () =
+              let expected = t.snapshot () in
+              let desired = List.fold_left (fun s m -> m s) expected ms in
+              if not (install ~expected ~desired) then apply ()
+            in
+            apply ())
 
   (* Log combining for snapshot replays (§9 future work): if the shared
      structure has not changed since the shadow was taken, install the
@@ -144,15 +289,43 @@ module Snapshot = struct
   let replay t () =
     Fault.delay_only Fault.Replay_apply;
     obs_replay t.op_count;
-    let combined =
-      match (t.install, t.base_snapshot, t.shadow) with
-      | Some install, Some expected, Some desired ->
-          install ~expected ~desired
-      | _ -> false
+    let parked =
+      match t.shared with
+      | Some sh -> (
+          match Stm.Combine.session () with
+          | Some gen ->
+              if mergeable t then begin
+                if sh.sn_gen <> gen then begin
+                  sh.sn_gen <- gen;
+                  sh.sn_merges <- [];
+                  Stm.Combine.defer_flush (flush_shared t sh)
+                end;
+                sh.sn_merges <- t.merges @ sh.sn_merges;
+                true
+              end
+              else begin
+                (* A non-mergeable entry linearizes after the parked
+                   merges of the same session: land them first, then
+                   replay directly (the wholesale CAS below then fails
+                   against the freshly-flushed base and the entry falls
+                   back to its per-operation log, which is correct). *)
+                if sh.sn_gen = gen then flush_shared t sh ();
+                false
+              end
+          | None -> false)
+      | None -> false
     in
-    if not combined then List.iter (fun f -> f ()) (List.rev t.replays)
+    if not parked then begin
+      let combined =
+        match (t.install, t.base_snapshot, t.shadow) with
+        | Some install, Some expected, Some desired ->
+            install ~expected ~desired
+        | _ -> false
+      in
+      if not combined then List.iter (fun f -> f ()) (List.rev t.replays)
+    end
 
-  let update txn t f ~replay:r =
+  let update txn t ?merge f ~replay:r =
     let s =
       match t.shadow with
       | Some s -> s
@@ -164,6 +337,11 @@ module Snapshot = struct
     let s', z = f s in
     t.shadow <- Some s';
     t.replays <- r :: t.replays;
+    (match merge with
+    | Some m ->
+        t.merges <- m :: t.merges;
+        t.merge_count <- t.merge_count + 1
+    | None -> ());
     t.op_count <- t.op_count + 1;
     if not t.registered then begin
       t.registered <- true;

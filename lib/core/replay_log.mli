@@ -16,7 +16,21 @@
       of each abstract-state element instead of every logged operation.
     - {!Snapshot}: snapshot shadow copies, for structures offering
       fast point-in-time snapshots (the Ctrie, the COW priority
-      queue). *)
+      queue).
+
+    {2 Cross-transaction combining}
+
+    Both flavours additionally support {e cross-transaction} log
+    combining under the flat-combining group commit
+    ([Stm.Combine]): a structure-level [shared] accumulator, created
+    once with [make_shared] and passed to every per-transaction log,
+    lets replays running inside one combiner drain merge their net
+    effects and publish them in a single base pass just before the
+    serial gate releases.  This is only sound for wrappers over the
+    {e validated optimistic} LAP — deferred effects stay invisible
+    because every covered conflict-abstraction stripe was published
+    with a version no concurrent snapshot can validate against;
+    pessimistic wrappers must not pass [shared]. *)
 
 module Memo : sig
   (** Accessors onto the shared base structure.  [base_get] is used to
@@ -30,12 +44,27 @@ module Memo : sig
 
   type ('k, 'v) t
 
+  (** Structure-level accumulator for cross-transaction combining: the
+      per-key last-write-wins net effect of every transaction drained
+      so far in the current combine session. *)
+  type ('k, 'v) shared
+
+  val make_shared : unit -> ('k, 'v) shared
+
   (** One log per transaction; create inside an [Stm.Local] key
       initializer.  [combine = false] replays every logged operation in
       order; [true] (the default) replays one synthetic update per
       dirty key — the optimisation evaluated at the bottom of the
-      paper's Figure 4. *)
-  val create : ?combine:bool -> base:('k, 'v) base -> Stm.txn -> ('k, 'v) t
+      paper's Figure 4.  [shared] (only honoured with [combine])
+      additionally merges the per-key finals across the transactions of
+      one combiner drain; see the module preamble for the LAP
+      soundness requirement. *)
+  val create :
+    ?combine:bool ->
+    ?shared:('k, 'v) shared ->
+    base:('k, 'v) base ->
+    Stm.txn ->
+    ('k, 'v) t
 
   (** Current value of [k] as seen by this transaction (pending
       operations included), faulting from the base on a miss. *)
@@ -45,6 +74,10 @@ module Memo : sig
       as seen by this transaction. *)
   val put : ('k, 'v) t -> Stm.txn -> 'k -> 'v -> 'v option
 
+  (** [remove t txn k] logs the removal.  Combined replay preserves
+      remove-then-put ordering per key: when a remove preceded the
+      final put, the replay is [base_remove] followed by [base_put],
+      not a bare overwrite. *)
   val remove : ('k, 'v) t -> Stm.txn -> 'k -> 'v option
 
   (** Net change to the structure's cardinality from pending ops. *)
@@ -61,14 +94,26 @@ module Snapshot : sig
       a replay is actually necessary", Fig. 2b). *)
   type 's t
 
+  (** Structure-level accumulator for cross-transaction combining: the
+      merge thunks of every fully-mergeable transaction drained so far
+      in the current combine session, flushed in linearization order
+      through one install CAS. *)
+  type 's shared
+
+  val make_shared : unit -> 's shared
+
   (** [install] enables log combining for snapshot replays (§9 future
       work): at commit, if the shared structure still equals the state
       the shadow was taken from, the shadow is installed wholesale
       (e.g. one root CAS); otherwise the per-operation log replays on
-      top of the commuting updates that landed in between. *)
+      top of the commuting updates that landed in between.  [shared]
+      (requires [install]) extends the combining across the
+      transactions of one combiner drain; see the module preamble for
+      the LAP soundness requirement. *)
   val create :
     snapshot:(unit -> 's) ->
     ?install:(expected:'s -> desired:'s -> bool) ->
+    ?shared:'s shared ->
     Stm.txn ->
     's t
 
@@ -76,10 +121,21 @@ module Snapshot : sig
       copy when one exists, else straight from the base structure. *)
   val read_only : 's t -> shadow:('s -> 'z) -> direct:(unit -> 'z) -> 'z
 
-  (** [update txn t f ~replay] applies [f] to the shadow copy, logs
-      [replay] for commit-time application to the base, and returns
-      [f]'s result. *)
-  val update : Stm.txn -> 's t -> ('s -> 's * 'z) -> replay:(unit -> unit) -> 'z
+  (** [update txn t f ?merge ~replay] applies [f] to the shadow copy,
+      logs [replay] for commit-time application to the base, and
+      returns [f]'s result.  [merge], when given, re-expresses the
+      operation as a state transformer applicable to {e any} base
+      state (an insert, say — not a dequeue, whose result depends on
+      the state it ran against); an entry whose every operation carries
+      one can be folded into the session's batch flush instead of
+      replaying directly. *)
+  val update :
+    Stm.txn ->
+    's t ->
+    ?merge:('s -> 's) ->
+    ('s -> 's * 'z) ->
+    replay:(unit -> unit) ->
+    'z
 
   val pending_ops : 's t -> int
 end

@@ -11,6 +11,7 @@ let snap_header = "PROUST-SNAP1"
 type t = {
   log_path : string;
   batch_delay : float;
+  fsync_delay : float;
   buf_lock : Mutex.t;
   cond : Condition.t;
   mutable pending : (int * Bytes.t * int) list;  (* ticket, frame, lsn; LIFO *)
@@ -102,6 +103,10 @@ let rec flusher_loop t =
         end
         else begin
           write_all t.fd image 0 (Bytes.length image);
+          (* Simulated device latency: spent inside the flush cycle, so
+             appends arriving mid-sync wait for the next batch — the
+             dynamic that makes real storage reward bigger batches. *)
+          if t.fsync_delay > 0. then Unix.sleepf t.fsync_delay;
           Unix.fsync t.fd;
           Mutex.unlock t.io_lock;
           (* Publish after the fsync: a ticket is durable only once its
@@ -121,7 +126,7 @@ let rec flusher_loop t =
     flusher_loop t
   end
 
-let create ?(batch_delay = 0.) ~path:log_path () =
+let create ?(batch_delay = 0.) ?(fsync_delay = 0.) ~path:log_path () =
   let fd =
     Unix.openfile log_path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644
   in
@@ -144,6 +149,7 @@ let create ?(batch_delay = 0.) ~path:log_path () =
     {
       log_path;
       batch_delay;
+      fsync_delay;
       buf_lock = Mutex.create ();
       cond = Condition.create ();
       pending = [];

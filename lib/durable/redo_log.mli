@@ -26,8 +26,15 @@ type t
     or writing the file header, and starts the flusher domain.
     [batch_delay] seconds (default 0) makes the flusher linger after
     waking so concurrent committers accumulate into one fsync — the
-    group-commit knob the durability bench sweeps. *)
-val create : ?batch_delay:float -> path:string -> unit -> t
+    group-commit knob the durability bench sweeps.  [fsync_delay]
+    seconds (default 0) simulates device latency: the flusher sleeps
+    that long inside each flush cycle, after taking the buffer, so
+    appends arriving mid-sync wait for the next batch — the dynamic
+    that makes real storage reward bigger batches.  The combining
+    bench uses it to model a disk whose sync round-trip dwarfs the
+    in-memory commit path. *)
+val create :
+  ?batch_delay:float -> ?fsync_delay:float -> path:string -> unit -> t
 
 val path : t -> string
 

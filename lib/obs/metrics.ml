@@ -4,6 +4,7 @@ type scope = {
   abort_retry_h : Histogram.t;
   lock_wait_h : Histogram.t;
   wakeup_h : Histogram.t;
+  combine_h : Histogram.t;
 }
 
 let table : (string, scope) Hashtbl.t = Hashtbl.create 8
@@ -22,6 +23,7 @@ let scope_of label =
             abort_retry_h = Histogram.create ();
             lock_wait_h = Histogram.create ();
             wakeup_h = Histogram.create ();
+            combine_h = Histogram.create ();
           }
         in
         Hashtbl.add table label s;
@@ -75,7 +77,8 @@ let reset_scope label =
       Histogram.reset s.commit_h;
       Histogram.reset s.abort_retry_h;
       Histogram.reset s.lock_wait_h;
-      Histogram.reset s.wakeup_h
+      Histogram.reset s.wakeup_h;
+      Histogram.reset s.combine_h
   | None -> ());
   Mutex.unlock table_lock
 
@@ -85,6 +88,7 @@ type scope_summary = {
   abort_to_retry : Histogram.summary;
   lock_wait : Histogram.summary;
   wakeup : Histogram.summary;
+  combine_batch : Histogram.summary;
 }
 
 let summarize (s : scope) =
@@ -94,6 +98,7 @@ let summarize (s : scope) =
     abort_to_retry = Histogram.summarize s.abort_retry_h;
     lock_wait = Histogram.summarize s.lock_wait_h;
     wakeup = Histogram.summarize s.wakeup_h;
+    combine_batch = Histogram.summarize s.combine_h;
   }
 
 let read_scope label =
@@ -117,6 +122,7 @@ let scope_summary_to_json (s : scope_summary) =
       ("abort_to_retry", Histogram.summary_to_json s.abort_to_retry);
       ("lock_wait", Histogram.summary_to_json s.lock_wait);
       ("wakeup", Histogram.summary_to_json s.wakeup);
+      ("combine_batch", Histogram.summary_to_json s.combine_batch);
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -193,3 +199,12 @@ let add_wakeup_latency ns =
   if enabled () && ns >= 0 then
     let ctx = Domain.DLS.get ctx_key in
     Histogram.record (my_scope ctx).wakeup_h ns
+
+(* Flat-combining batch size: commits published per combiner drain,
+   recorded by the combiner in its own scope.  A count, not a latency,
+   but the log-bucketed histogram serves both; mean batch size is the
+   summary's [mean]. *)
+let add_combiner_batch n =
+  if enabled () && n >= 1 then
+    let ctx = Domain.DLS.get ctx_key in
+    Histogram.record (my_scope ctx).combine_h n

@@ -12,7 +12,10 @@
     - [wakeup]: parking wakeup latency — a committer's wake
       publication on a parked [retry] waiter to that domain's actual
       resume (recorded by the resuming domain; timer expiries are not
-      counted).
+      counted);
+    - [combine_batch]: commits published per flat-combining drain (a
+      count, not a latency — mean batch size is the summary's
+      [mean]).
 
     The calling domain's current scope is domain-local state set with
     {!set_label}; histograms themselves are shared across domains and
@@ -39,6 +42,7 @@ type scope_summary = {
   abort_to_retry : Histogram.summary;
   lock_wait : Histogram.summary;
   wakeup : Histogram.summary;
+  combine_batch : Histogram.summary;
 }
 
 val read_scope : string -> scope_summary option
@@ -69,3 +73,6 @@ val add_lock_wait : int -> unit
 (** Record one parking wakeup latency (wake publication → resume),
     nanoseconds; negative samples are dropped. *)
 val add_wakeup_latency : int -> unit
+
+(** Record one flat-combining drain of [n] commits ([n < 1] dropped). *)
+val add_combiner_batch : int -> unit

@@ -4,16 +4,7 @@
 
 open Txn_state
 
-let run_hooks hooks =
-  (* Run every hook even if one raises; re-raise the first failure once
-     lock hygiene is restored by the caller. *)
-  if hooks <> [] then begin
-    let first_exn = ref None in
-    List.iter
-      (fun f -> try f () with e -> if !first_exn = None then first_exn := Some e)
-      hooks;
-    match !first_exn with None -> () | Some e -> raise e
-  end
+let run_hooks = Publisher.run_hooks
 
 let do_abort t reason =
   ignore (Txn_desc.try_abort t.tdesc);
@@ -109,8 +100,11 @@ let do_commit t =
   let has_writes = not (Rwset.Wlog.is_empty t.wset) in
   (* Phase 0: writing commits announce themselves so a concurrent
      serial-irrevocable fallback can drain or turn them away; this must
-     precede the clock tick below so that once the fallback has
-     quiesced, no other transaction can advance the clock. *)
+     precede any clock tick so that once the fallback has quiesced, no
+     other transaction can advance the clock.  Grouped publications
+     keep [writers_in_flight] held while parked on the publication
+     list — the quiesce drain waits for them, and they always make
+     progress (the combiner serves them, or they elect themselves). *)
   if has_writes then begin
     Rwset.Wlog.build_plan t.wset;
     enter_writer_commit t
@@ -118,89 +112,23 @@ let do_commit t =
   Fun.protect
     ~finally:(fun () -> if has_writes then exit_writer_commit ())
     (fun () ->
-      (* Phase 1: the protocol takes its commit locks — the plan in uid
-         order, or the one global gate (Serial_commit). *)
-      if has_writes then t.proto.p_acquire t;
-      let fail reason =
-        t.proto.p_release_fail t;
-        raise (Abort_exn reason)
-      in
-      (match chaos_point t Fault.Pre_validate with
+      (* Acquisition, validation, linearization and publication now
+         live in the publication layer (inline or flat-combining group
+         commit, per [proto.p_stage]); what comes back is the
+         owner-side tail: the wake scan, the after-commit hooks, the
+         durable flush waits, and any captured locked-phase hook
+         failure — earliest failure wins and re-raises once hygiene is
+         restored. *)
+      let d = Publisher.publish t ~has_writes in
+      if d.Publisher.pd_wrote then wake_written t;
+      let failure = ref d.Publisher.pd_failure in
+      (match run_hooks d.Publisher.pd_after with
       | () -> ()
-      | exception Abort_exn reason -> fail reason);
-      (* Deadline check at the head of validation: a commit that locked
-         its plan but whose deadline passed releases everything here
-         rather than paying for validation it no longer wants.
-         [check_deadline] is a no-op for irrevocable attempts. *)
-      (match check_deadline t with
+      | exception e -> if !failure = None then failure := Some e);
+      (match run_hooks d.Publisher.pd_waits with
       | () -> ()
-      | exception Abort_exn reason -> fail reason);
-      (* Phase 2: validate the read set against the snapshot timestamp.
-         A transaction whose writes immediately follow its snapshot
-         (rv+1 = wv) cannot have missed a concurrent commit, per TL2.
-         Durable transactions tick even without tvar writes: their
-         redo-log records need distinct LSNs (a pessimistic lazy-map op
-         can commit with an empty tvar write set yet still log). *)
-      let has_durable = t.durable_hooks <> [] in
-      let wv =
-        if has_writes || has_durable then Clock.tick Clock.global else t.rv
-      in
-      if has_writes && wv > t.rv + 1 then begin
-        let ok = Protocol.reads_valid t in
-        obs_validate t ~ok;
-        if not ok then fail Conflict
-      end;
-      (* Phase 3: linearize. *)
-      if not (Txn_desc.try_commit t.tdesc) then fail Killed;
-      Stats.record_commit ();
-      obs_commit t;
-      (* Phase 4: locked-phase handlers (replay logs), then publish. *)
-      t.finished <- true;
-      let locked_hooks = List.rev t.commit_locked_hooks in
-      let after_hooks = List.rev t.after_commit_hooks in
-      let durable_hooks = List.rev t.durable_hooks in
-      t.commit_locked_hooks <- [];
-      t.after_commit_hooks <- [];
-      t.durable_hooks <- [];
-      (* The attempt has linearized: whatever the locked-phase hooks
-         do, the write set publishes, the locks release, and the
-         after-commit hooks still run — structure residue cleanup
-         (e.g. pessimistic abstract-lock release) rides on the latter,
-         so a raising locked hook must not starve them.  The earliest
-         hook failure wins and re-raises once hygiene is restored. *)
-      let locked_failure =
-        match run_hooks locked_hooks with
-        | () -> None
-        | exception e -> Some e
-      in
-      (* Durable hooks run while the write locks are still held: the
-         redo-log append for a conflicting successor cannot be ordered
-         before ours, so append order agrees with conflict order.  Each
-         hook gets the commit version as its LSN and may hand back a
-         flush-wait thunk, deferred until every lock and gate is
-         released — group commit means the wait spans other domains'
-         appends and must not extend the locked window. *)
-      let locked_failure = ref locked_failure in
-      let waits = ref [] in
-      List.iter
-        (fun h ->
-          match h wv with
-          | None -> ()
-          | Some wait -> waits := wait :: !waits
-          | exception e ->
-              if !locked_failure = None then locked_failure := Some e)
-        durable_hooks;
-      Rwset.Wlog.publish_plan t.wset ~version:wv;
-      release_locks t;
-      t.proto.p_release t;
-      if has_writes then wake_written t;
-      (match run_hooks after_hooks with
-      | () -> ()
-      | exception e -> if !locked_failure = None then locked_failure := Some e);
-      (match run_hooks (List.rev !waits) with
-      | () -> ()
-      | exception e -> if !locked_failure = None then locked_failure := Some e);
-      match !locked_failure with None -> () | Some e -> raise e)
+      | exception e -> if !failure = None then failure := Some e);
+      match !failure with None -> () | Some e -> raise e)
 
 (* ------------------------------------------------------------------ *)
 (* Retry blocking                                                       *)

@@ -13,6 +13,7 @@ type point =
   | Post_unpark
   | Commit_wake
   | Version_gc
+  | Combine_handoff
 
 let point_name = function
   | Pre_commit -> "pre-commit"
@@ -29,6 +30,7 @@ let point_name = function
   | Post_unpark -> "post-unpark"
   | Commit_wake -> "commit-wake"
   | Version_gc -> "version-gc"
+  | Combine_handoff -> "combine-handoff"
 
 let all_points =
   [
@@ -46,6 +48,7 @@ let all_points =
     Post_unpark;
     Commit_wake;
     Version_gc;
+    Combine_handoff;
   ]
 
 let point_index = function
@@ -63,8 +66,9 @@ let point_index = function
   | Post_unpark -> 11
   | Commit_wake -> 12
   | Version_gc -> 13
+  | Combine_handoff -> 14
 
-let n_points = 14
+let n_points = 15
 
 type action = Delay of int | Abort | Kill | Wedge | Crash
 type site = { prob : float; actions : action list }

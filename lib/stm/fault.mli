@@ -54,6 +54,15 @@ type point =
           trimmed version chain — widens the reclamation race against
           a concurrently registering read-only snapshot (delay-only:
           the publisher is past its linearization point) *)
+  | Combine_handoff
+      (** in {!Publisher}'s flat-combining drain, drawn per batch entry
+          just before the combiner claims the entry's slot — the window
+          where a combiner failure could lose another domain's commit.
+          [Kill]/[Crash] draws make the combiner abandon the rest of the
+          batch (undrained entries are pushed back on the publication
+          list and picked up by a self-electing waiter); already-claimed
+          entries are always driven to a terminal outcome, so no acked
+          commit is lost and no waiter is stranded *)
 
 val point_name : point -> string
 val all_points : point list

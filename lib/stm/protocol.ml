@@ -278,6 +278,7 @@ let lazy_lazy =
     p_acquire = acquire_plan_locks;
     p_release_fail = noop;
     p_release = noop;
+    p_stage = Inline_publish;
   }
 
 (* TinySTM/Ennals: encounter-time write locking, lazy read/write. *)
@@ -290,6 +291,7 @@ let eager_lazy =
     p_acquire = acquire_plan_locks;
     p_release_fail = noop;
     p_release = noop;
+    p_stage = Inline_publish;
   }
 
 (* Eager on both axes: encounter-time write locks plus visible readers
@@ -304,6 +306,7 @@ let eager_eager =
     p_acquire = acquire_plan_locks;
     p_release_fail = noop;
     p_release = noop;
+    p_stage = Inline_publish;
   }
 
 (* NOrec: no per-location commit locking at all; writing commits
@@ -318,6 +321,9 @@ let serial_commit =
     p_acquire = acquire_commit_gate;
     p_release_fail = release_commit_gate;
     p_release = release_commit_gate;
+    (* The serial gate is the natural combiner election: see
+       {!Publisher}. *)
+    p_stage = Group_commit;
   }
 
 (* MVCC read-write: lazy_lazy commit machinery (commit-time plan
@@ -330,6 +336,7 @@ let multi_version =
     p_acquire = acquire_plan_locks;
     p_release_fail = noop;
     p_release = noop;
+    p_stage = Inline_publish;
   }
 
 (* The abort-free snapshot protocol for read-only transactions
@@ -345,6 +352,7 @@ let read_only_proto =
     p_acquire = noop;
     p_release_fail = noop;
     p_release = noop;
+    p_stage = Inline_publish;
   }
 
 let select = function

@@ -33,6 +33,8 @@ type snapshot = {
   ro_commits : int;
   ro_aborts : int;
   version_chain_max : int;
+  combined_commits : int;
+  combiner_elections : int;
 }
 
 (* Counters are striped across a fixed number of slots to avoid making
@@ -70,6 +72,8 @@ type cell = {
   ro_snapshot_reads : int Atomic.t;
   ro_commits : int Atomic.t;
   ro_aborts : int Atomic.t;
+  combined_commits : int Atomic.t;
+  combiner_elections : int Atomic.t;
 }
 
 let make_cell () =
@@ -104,6 +108,8 @@ let make_cell () =
     ro_snapshot_reads = Atomic.make 0;
     ro_commits = Atomic.make 0;
     ro_aborts = Atomic.make 0;
+    combined_commits = Atomic.make 0;
+    combiner_elections = Atomic.make 0;
   }
 
 (* Set-style gauges, not event counters: the redo-log flusher publishes
@@ -152,6 +158,12 @@ let record_version_install () = bump (fun c -> c.versions_installed)
 let record_ro_snapshot_read () = bump (fun c -> c.ro_snapshot_reads)
 let record_ro_commit () = bump (fun c -> c.ro_commits)
 let record_ro_abort () = bump (fun c -> c.ro_aborts)
+let record_combiner_election () = bump (fun c -> c.combiner_elections)
+
+(* Bulk add: the combiner reports one count per drained batch, including
+   its own commit. *)
+let add_combined_commits n =
+  if n > 0 then ignore (Atomic.fetch_and_add (my_cell ()).combined_commits n)
 
 (* Bulk add, like [add_minor_words]: one publish can reclaim a whole
    chain tail at once. *)
@@ -215,6 +227,8 @@ let fields : (cell -> int Atomic.t) list =
     (fun c -> c.ro_snapshot_reads);
     (fun c -> c.ro_commits);
     (fun c -> c.ro_aborts);
+    (fun c -> c.combined_commits);
+    (fun c -> c.combiner_elections);
   ]
 
 let sum (field : cell -> int Atomic.t) =
@@ -256,6 +270,8 @@ let read () : snapshot =
     ro_commits = sum (fun c -> c.ro_commits);
     ro_aborts = sum (fun c -> c.ro_aborts);
     version_chain_max = Atomic.get version_chain_max_v;
+    combined_commits = sum (fun c -> c.combined_commits);
+    combiner_elections = sum (fun c -> c.combiner_elections);
   }
 
 let reset () =
@@ -306,6 +322,8 @@ let diff (a : snapshot) (b : snapshot) : snapshot =
     ro_aborts = b.ro_aborts - a.ro_aborts;
     (* Gauge (high-water mark): the later reading. *)
     version_chain_max = b.version_chain_max;
+    combined_commits = b.combined_commits - a.combined_commits;
+    combiner_elections = b.combiner_elections - a.combiner_elections;
   }
 
 let to_assoc (s : snapshot) =
@@ -344,6 +362,8 @@ let to_assoc (s : snapshot) =
     ("ro_commits", s.ro_commits);
     ("ro_aborts", s.ro_aborts);
     ("version_chain_max", s.version_chain_max);
+    ("combined_commits", s.combined_commits);
+    ("combiner_elections", s.combiner_elections);
   ]
 
 let pp fmt (s : snapshot) =
@@ -354,7 +374,7 @@ let pp fmt (s : snapshot) =
      log_appends=%d fsync_batches=%d fsync_p50=%d fsync_p99=%d \
      recoveries=%d torn_tails=%d parks=%d wakeups=%d spurious=%d \
      retry_polls=%d wait_list_max=%d versions=%d gced=%d ro_reads=%d \
-     ro_commits=%d ro_aborts=%d chain_max=%d"
+     ro_commits=%d ro_aborts=%d chain_max=%d combined=%d elections=%d"
     s.starts s.commits s.aborts s.conflicts s.killed_aborts s.explicit_aborts
     s.remote_aborts s.lock_waits s.extensions s.fallbacks s.injected_faults
     s.timeouts s.budget_exhausted s.shed s.watchdog_kills
@@ -362,4 +382,5 @@ let pp fmt (s : snapshot) =
     s.fsync_batch_size_p50 s.fsync_batch_size_p99 s.recoveries
     s.torn_tail_truncations s.parks s.wakeups s.spurious_wakeups s.retry_polls
     s.wait_list_max s.versions_installed s.versions_gced s.ro_snapshot_reads
-    s.ro_commits s.ro_aborts s.version_chain_max
+    s.ro_commits s.ro_aborts s.version_chain_max s.combined_commits
+    s.combiner_elections

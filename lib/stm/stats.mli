@@ -69,6 +69,13 @@ type snapshot = {
   version_chain_max : int;
       (** longest tvar version chain installed — a high-water gauge
           like [wait_list_max] *)
+  combined_commits : int;
+      (** commits published by a flat-combining batch drain (the
+          combiner's own commit included); [combined_commits /
+          combiner_elections] is the mean batch size *)
+  combiner_elections : int;
+      (** gate acquisitions that became a combining drain — one per
+          batch *)
 }
 
 val record_start : unit -> unit
@@ -124,6 +131,12 @@ val set_fsync_batch_percentiles : p50:int -> p99:int -> unit
 (** [add_minor_words n] adds [n] words to the allocation counter
     (no-op for [n <= 0]). *)
 val add_minor_words : int -> unit
+
+val record_combiner_election : unit -> unit
+
+(** [add_combined_commits n] counts a drained batch of [n] commits
+    (no-op for [n <= 0]). *)
+val add_combined_commits : int -> unit
 
 (** Current totals since program start or the last [reset]. *)
 val read : unit -> snapshot

@@ -94,6 +94,24 @@ let set_retry_mode = Parking.set_retry_mode
 let retry_mode = Parking.retry_mode
 let parked_waiters = Parking.live_waiters
 
+(* ------------------------------------------------------------------ *)
+(* Publication pipeline knobs                                           *)
+
+let set_combining = Publisher.set_combining
+let combining = Publisher.combining
+let set_combine_linger = Publisher.set_combine_linger
+let combine_linger = Publisher.combine_linger
+let pending_publications = Publisher.pending_publications
+
+(* The combine-session face the replay logs (lib/core) build their
+   cross-transaction merging on: [session] identifies the combiner's
+   current drain, [defer_flush] parks a merged-state writeback until
+   just before the gate releases. *)
+module Combine = struct
+  let session = Publisher.session
+  let defer_flush = Publisher.defer_flush
+end
+
 let restart t =
   Txn_state.check_alive t;
   raise (Txn_state.Abort_exn Txn_state.Explicit)
@@ -213,6 +231,11 @@ let atomically ?config:(cfg = get_default_config ()) f =
   match Domain.DLS.get Txn_state.current_txn with
   | Some outer when not outer.Txn_state.finished -> f outer
   | _ -> Commit_ladder.run cfg f
+
+let in_transaction () =
+  match Domain.DLS.get Txn_state.current_txn with
+  | Some t -> not t.Txn_state.finished
+  | None -> false
 
 (* Read-only snapshot transactions.  A root call takes the abort-free
    snapshot path; a nested call joins the enclosing transaction but

@@ -106,6 +106,13 @@ exception Read_only_violation
     one. *)
 val atomically : ?config:config -> (txn -> 'a) -> 'a
 
+(** Whether this domain is currently inside an [atomically] body —
+    i.e. a nested [atomically] here would join rather than start a
+    transaction.  For operations that are deliberately
+    non-compositional (multi-transaction protocols such as
+    [Semaphore.acquire_fair]) and must refuse to be flattened. *)
+val in_transaction : unit -> bool
+
 (** [read_only f] runs [f] as a {e read-only snapshot transaction}:
     every {!read} is served from the tvar version chains at the
     transaction's start timestamp (a consistent snapshot — some prefix
@@ -206,6 +213,50 @@ val retry_mode : unit -> retry_mode
 (** [retry] waiters currently registered and unwoken, process-wide
     (0 at quiescence — the wait-list orphan audit). *)
 val parked_waiters : unit -> int
+
+(** {2 Publication pipeline}
+
+    Writing commits in [Serial_commit] mode route through the
+    flat-combining group-commit publisher by default (see {!Publisher}):
+    the domain that wins the serial gate drains the whole publication
+    list — every pending commit, with its own validation, durable hooks
+    and outcome hand-back — in one gate acquisition.
+    [PROUST_COMBINE=0] (or [off]/[false]/[inline]) selects the legacy
+    inline publisher at startup; [set_combining] flips it at runtime
+    for A/B benching, mirroring the [PROUST_RETRY]/{!set_retry_mode}
+    pattern.  Other modes always publish inline. *)
+
+val set_combining : bool -> unit
+val combining : unit -> bool
+
+(** Combiner linger (seconds): after its own commit the gate winner
+    keeps polling the publication list — yielding between polls —
+    before releasing, so commits still in flight can join the batch.
+    The budget bounds the idle gap between arrivals (it resets after
+    every drain), so it only needs to cover scheduling jitter: a
+    stream of arrivals keeps the combiner serving, a gap longer than
+    the budget releases the gate.  The classic flat-combining dwell
+    knob; essential for batching when domains outnumber cores, where
+    an arrival otherwise only lands in the drain window if the
+    combiner was preempted mid-gate.  Default [0.] (no linger);
+    [PROUST_COMBINE_LINGER] (seconds) sets it at startup. *)
+val set_combine_linger : float -> unit
+
+val combine_linger : unit -> float
+
+(** Publication-list entries currently waiting for a combiner,
+    process-wide (0 at quiescence — the batch orphan audit). *)
+val pending_publications : unit -> int
+
+(** The combine-session face replay logs build cross-transaction
+    merging on: inside a combiner's drain, [session ()] is [Some gen]
+    (a generation unique to that drain) and [defer_flush f] parks [f]
+    until just before the gate releases — outside, [session ()] is
+    [None] and [defer_flush] runs [f] immediately. *)
+module Combine : sig
+  val session : unit -> int option
+  val defer_flush : (unit -> unit) -> unit
+end
 
 (** [or_else txn f g] runs [f]; if [f] calls [retry], rolls back [f]'s
     buffered effects and runs [g] instead.  If [g] also retries, the

@@ -68,6 +68,15 @@ exception Read_only_violation
 
 type locked = Locked : 'a Tvar.t -> locked
 
+(* How a committed intent reaches the shared store.  [Inline_publish]
+   is the classic path: the committing transaction acquires, validates
+   and publishes by itself.  [Group_commit] routes the intent through
+   {!Publisher}'s flat-combining layer: the domain that wins the serial
+   gate drains every pending publication in one gate acquisition.  A
+   protocol field (not a config flag) so each mode states its
+   publication discipline next to its locking discipline. *)
+type publish_stage = Inline_publish | Group_commit
+
 (* The commit protocol as data: one record of hot-path hooks per
    conflict-detection mode, selected once when an atomic block starts
    instead of branching on [cfg.mode] at every read/write/commit.  The
@@ -119,6 +128,9 @@ and proto = {
           will not (the serial gate; per-location locks are on
           [t.locked] and released by the abort path) *)
   p_release : t -> unit;  (** after publish: release the gate *)
+  p_stage : publish_stage;
+      (** which publication pipeline carries this mode's committed
+          intents (see {!publish_stage}) *)
 }
 
 let null_proto =
@@ -132,6 +144,7 @@ let null_proto =
     p_acquire = (fun _ -> ());
     p_release_fail = (fun _ -> ());
     p_release = (fun _ -> ());
+    p_stage = Inline_publish;
   }
 
 let desc t = t.tdesc
@@ -321,12 +334,25 @@ let commit_gate = Atomic.make 0
    at which point every serial tick <= the sample has fully published.
    (Non-serial writers publish under per-location version-locks, which
    the read path and read-log validation already detect.) *)
+(* Refinement for the flat-combining publisher: the unsafe window is
+   active *publication*, not gate tenure.  A lingering combiner (see
+   {!Publisher}) holds the gate between drains while every tick it has
+   taken is fully published; it advertises those quiescent stretches
+   here so transaction starts need not serialize behind the linger.
+   Soundness is the same seqlock argument: the flag is set with a
+   release store after the drain's stores, so a sample [v] that
+   observes it (acquire) sees every publication of every tick <= [v],
+   and any drain starting after the observation ticks strictly later
+   than [v].  Inline gate holders never touch the flag, so for them
+   the original gate-free rule applies unchanged. *)
+let gate_quiescent = Atomic.make false
+
 let snapshot_clock ~serial =
   if not serial then Clock.now Clock.global
   else
     let rec go () =
       let v = Clock.now Clock.global in
-      if Atomic.get commit_gate = 0 then v
+      if Atomic.get commit_gate = 0 || Atomic.get gate_quiescent then v
       else begin
         Domain.cpu_relax ();
         go ()

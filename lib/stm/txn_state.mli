@@ -49,6 +49,14 @@ exception Read_only_violation
 
 type locked = Locked : 'a Tvar.t -> locked
 
+(** How a committed intent reaches the shared store: the classic
+    one-txn-one-acquisition inline path, or {!Publisher}'s
+    flat-combining group commit (the serial gate's winner drains every
+    pending publication in one acquisition).  A protocol field so each
+    mode states its publication discipline next to its locking
+    discipline. *)
+type publish_stage = Inline_publish | Group_commit
+
 (** One transaction attempt.  With the per-domain pool the same record
     (and its log buffers and backoffs) is reset and reused across
     attempts; only [tdesc] is freshly allocated per attempt, because
@@ -86,6 +94,7 @@ and proto = {
   p_acquire : t -> unit;
   p_release_fail : t -> unit;
   p_release : t -> unit;
+  p_stage : publish_stage;
 }
 
 val null_proto : proto
@@ -135,6 +144,13 @@ val chaos_point : t -> Fault.point -> unit
     descriptor id).  Owned here because snapshot sampling seqlocks
     against it; acquire/release live in {!Protocol}. *)
 val commit_gate : int Atomic.t
+
+(** Set by a lingering combiner while it holds the gate with every
+    taken tick fully published: snapshot sampling may proceed during
+    such stretches (see the soundness note in the implementation).
+    Must be false whenever a publication is in flight under the gate;
+    inline holders never set it. *)
+val gate_quiescent : bool Atomic.t
 
 (** A clock sample valid as a snapshot: seqlocked against
     [commit_gate] when [serial]. *)

@@ -10,6 +10,7 @@ type ('k, 'v) t = {
   base : ('k, 'v) Eager_map.base;
   alock : 'k Abstract_lock.t;
   csize : Committed_size.t;
+  mergeable : bool;
   log_key : ('k, 'v) Replay_log.Memo.t Stm.Local.key;
 }
 
@@ -22,12 +23,30 @@ let make ~base ~lap ?(combine = true) ?(size_mode = `Counter)
       base_remove = (fun k -> ignore (base.Eager_map.bremove k));
     }
   in
+  (* Cross-transaction combining is only sound over the validated
+     optimistic LAP: a deferred base flush stays invisible because
+     every stripe the effect covers sits in the committer's read set
+     and was published under the combiner's gate with a version no
+     concurrent snapshot validates against.  Pessimistic locks release
+     entry-by-entry with no commit-time validation, and the
+     unvalidated optimistic LAP keeps write stripes out of the read
+     set, so neither may defer. *)
+  let shared =
+    if
+      combine
+      && lap.Lock_allocator.kind = Lock_allocator.Optimistic
+      && lap.Lock_allocator.name = "optimistic"
+    then Some (Replay_log.Memo.make_shared ())
+    else None
+  in
   {
     name;
     base;
     alock = Abstract_lock.make ~lap ~strategy:Update_strategy.Lazy;
     csize = Committed_size.create size_mode;
-    log_key = Stm.Local.key (Replay_log.Memo.create ~combine ~base:memo_base);
+    mergeable = Option.is_some shared;
+    log_key =
+      Stm.Local.key (Replay_log.Memo.create ~combine ?shared ~base:memo_base);
   }
 
 let log t txn = Stm.Local.get txn t.log_key
@@ -55,7 +74,7 @@ let committed_size t = Committed_size.peek t.csize
 
 let ops t : ('k, 'v) Trait.Map.ops =
   {
-    meta = Trait.meta_of_alock ~name:t.name t.alock;
+    meta = Trait.meta_of_alock ~mergeable:t.mergeable ~name:t.name t.alock;
     get = get t;
     put = put t;
     remove = remove t;

@@ -9,6 +9,7 @@ type 'v t = {
   base : 'v Cq.t;
   alock : state Abstract_lock.t;
   csize : Committed_size.t;
+  mergeable : bool;
   log_key : 'v Cq.snapshot Replay_log.Snapshot.t Stm.Local.key;
 }
 
@@ -20,15 +21,23 @@ let make ?(lap = Trait.Optimistic) ?(size_mode = `Counter)
       Some (fun ~expected ~desired -> Cq.commit base ~expected ~desired)
     else None
   in
+  (* Cross-transaction merging needs the validated optimistic LAP —
+     see {!Memo_map.make} for the soundness argument. *)
+  let shared =
+    if combine && lap = Trait.Optimistic then
+      Some (Replay_log.Snapshot.make_shared ())
+    else None
+  in
   {
     base;
     alock =
       Abstract_lock.make ~lap:(Trait.make_lap lap ~ca:(ca ()))
         ~strategy:Update_strategy.Lazy;
     csize = Committed_size.create size_mode;
+    mergeable = Option.is_some shared;
     log_key =
       Stm.Local.key
-        (Replay_log.Snapshot.create ?install
+        (Replay_log.Snapshot.create ?install ?shared
            ~snapshot:(fun () -> Cq.snapshot base));
   }
 
@@ -45,6 +54,7 @@ let enqueue t txn v =
   Abstract_lock.apply t.alock txn [] (fun () ->
       Replay_log.Snapshot.update txn (log t txn)
         (fun s -> (Cq.Snapshot.enqueue s v, ()))
+        ~merge:(fun s -> Cq.Snapshot.enqueue s v)
         ~replay:(fun () -> Cq.enqueue t.base v);
       Committed_size.add t.csize txn 1)
 
@@ -78,7 +88,7 @@ let to_list t = Cq.to_list t.base
 
 let ops t : 'v Trait.Queue.ops =
   {
-    meta = Trait.meta_of_alock ~name:"p-lazy-fifo" t.alock;
+    meta = Trait.meta_of_alock ~mergeable:t.mergeable ~name:"p-lazy-fifo" t.alock;
     enqueue = enqueue t;
     dequeue = dequeue t;
     front = front t;

@@ -15,6 +15,7 @@ type 'v t = {
   alock : state Abstract_lock.t;
   csize : Committed_size.t;
   cmp : 'v -> 'v -> int;
+  mergeable : bool;
   log_key : 'v Cq.snapshot Replay_log.Snapshot.t Stm.Local.key;
 }
 
@@ -26,6 +27,16 @@ let make ~cmp ?(stripes = 8) ?(lap = Trait.Optimistic)
       Some (fun ~expected ~desired -> Cq.commit base ~expected ~desired)
     else None
   in
+  (* Cross-transaction merging needs the validated optimistic LAP —
+     see {!Memo_map.make} for the soundness argument.  The striped
+     [Multiset] band makes this the paying case: inserts from distinct
+     transactions commute, so a write-heavy batch can merge several
+     insert-only entries into one heap CAS. *)
+  let shared =
+    if combine && lap = Trait.Optimistic then
+      Some (Replay_log.Snapshot.make_shared ())
+    else None
+  in
   {
     base;
     alock =
@@ -34,9 +45,10 @@ let make ~cmp ?(stripes = 8) ?(lap = Trait.Optimistic)
         ~strategy:Update_strategy.Lazy;
     csize = Committed_size.create size_mode;
     cmp;
+    mergeable = Option.is_some shared;
     log_key =
       Stm.Local.key
-        (Replay_log.Snapshot.create ?install
+        (Replay_log.Snapshot.create ?install ?shared
            ~snapshot:(fun () -> Cq.snapshot base));
   }
 
@@ -59,6 +71,7 @@ let insert t txn v =
     (fun () ->
       Replay_log.Snapshot.update txn (log t txn)
         (fun s -> (Cq.Snapshot.add s v, ()))
+        ~merge:(fun s -> Cq.Snapshot.add s v)
         ~replay:(fun () -> Cq.add t.base v);
       Committed_size.add t.csize txn 1)
 
@@ -95,7 +108,8 @@ let committed_size t = Committed_size.peek t.csize
 
 let ops t : 'v Trait.Pqueue.ops =
   {
-    meta = Trait.meta_of_alock ~name:"p-lazy-pqueue" t.alock;
+    meta =
+      Trait.meta_of_alock ~mergeable:t.mergeable ~name:"p-lazy-pqueue" t.alock;
     insert = insert t;
     remove_min = remove_min t;
     min = min t;

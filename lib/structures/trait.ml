@@ -38,20 +38,23 @@ type meta = {
   strategy : Update_strategy.t;
   mode_req : mode_req;
   pessimistic : bool;  (** lock-allocation policy is pessimistic *)
+  mergeable : bool;
+      (** this instance's replay logs batch-merge across transactions
+          under the flat-combining group commit ({!Replay_log}) *)
 }
 
-let meta ?(pessimistic = false) ~name ~strategy () =
+let meta ?(pessimistic = false) ?(mergeable = false) ~name ~strategy () =
   let mode_req =
     match strategy with
     | Update_strategy.Eager when not pessimistic -> Encounter_time
     | Update_strategy.Eager | Update_strategy.Lazy -> Any_mode
   in
-  { name; strategy; mode_req; pessimistic }
+  { name; strategy; mode_req; pessimistic; mergeable }
 
 (** Derive the header from the wrapper's own abstract lock, so a
     structure cannot drift from the strategy/LAP it actually uses. *)
-let meta_of_alock ~name al =
-  meta ~name
+let meta_of_alock ?mergeable ~name al =
+  meta ~name ?mergeable
     ~pessimistic:(Abstract_lock.lap_kind al = Lock_allocator.Pessimistic)
     ~strategy:(Abstract_lock.strategy al) ()
 

@@ -5,14 +5,34 @@
     is structural — the only decrement sits behind the guard — and the
     counter-trait view lets the lin harness check it against the
     {!Proust_verify.Adt_model.obs_counter} model alongside the paper's
-    Proustian counter. *)
+    Proustian counter.
 
-type t = { permits : int Tvar.t; fair_cap : int }
+    {!acquire_fair} adds FIFO handoff: each blocked fair acquirer
+    enqueues a one-shot grant cell on a transactional wait queue, and
+    [release] hands permits straight to the queue head(s) inside its
+    own transaction instead of topping up the free pool.  A granted
+    permit is therefore reserved at release time — later acquirers
+    (fair or not) cannot overtake it.  The price is compositionality:
+    the enrol and the wait are two separate transactions (a single
+    transaction that both published its cell and guarded on it would
+    park on an effect nobody can see), so [acquire_fair] refuses to
+    run inside an enclosing [atomically]. *)
+
+type waiter = { w_n : int; w_grant : bool Tvar.t }
+
+type t = {
+  permits : int Tvar.t;
+  fair_cap : int;
+  (* FIFO of parked fair acquirers as a two-list functional queue:
+     enqueue conses on [back], handoff pops [front], refilling from
+     [List.rev back] when it runs dry. *)
+  waiters : (waiter list * waiter list) Tvar.t;
+}
 
 let make ?(cap = max_int) n =
   if n < 0 then invalid_arg "Semaphore.make: negative permits";
   if cap < n then invalid_arg "Semaphore.make: cap < initial permits";
-  { permits = Tvar.make n; fair_cap = cap }
+  { permits = Tvar.make n; fair_cap = cap; waiters = Tvar.make ([], []) }
 
 let available txn s = Stm.read txn s.permits
 let peek s = Tvar.peek s.permits
@@ -32,11 +52,95 @@ let acquire ?(n = 1) txn s =
   Stm.guard txn (p >= n);
   Stm.write txn s.permits (p - n)
 
+(* Pop the queue head, refilling the front from the back. *)
+let dequeue_waiter txn s =
+  match Stm.read txn s.waiters with
+  | [], [] -> None
+  | w :: front, back ->
+      Stm.write txn s.waiters (front, back);
+      Some w
+  | [], back -> (
+      match List.rev back with
+      | w :: front -> Stm.write txn s.waiters (front, []); Some w
+      | [] -> None)
+
+let peek_waiter txn s =
+  match Stm.read txn s.waiters with
+  | w :: _, _ -> Some w
+  | [], back -> (
+      match List.rev back with w :: _ -> Some w | [] -> None)
+
+(* Grant free permits to queued fair acquirers, strictly in FIFO
+   order: a head that needs more than is available blocks the queue
+   (no smaller request behind it may jump ahead), letting permits
+   accumulate across releases until it is satisfied. *)
+let rec hand_off txn s =
+  match peek_waiter txn s with
+  | Some w when w.w_n <= Stm.read txn s.permits ->
+      ignore (dequeue_waiter txn s);
+      Stm.write txn s.permits (Stm.read txn s.permits - w.w_n);
+      Stm.write txn w.w_grant true;
+      hand_off txn s
+  | _ -> ()
+
+(* Return permits to the pool without the cap tripwire — the
+   compensation path below gives back permits it legitimately held, and
+   must not be failed by releases that raced in meanwhile. *)
+let give_back txn s n =
+  Stm.write txn s.permits (Stm.read txn s.permits + n);
+  hand_off txn s
+
 let release ?(n = 1) txn s =
   if n < 0 then invalid_arg "Semaphore.release: negative n";
   let p = Stm.read txn s.permits in
   if p + n > s.fair_cap then invalid_arg "Semaphore.release: above cap";
-  Stm.write txn s.permits (p + n)
+  Stm.write txn s.permits (p + n);
+  hand_off txn s
+
+let remove_waiter txn s w =
+  let drop = List.filter (fun x -> not (x.w_grant == w.w_grant)) in
+  let front, back = Stm.read txn s.waiters in
+  Stm.write txn s.waiters (drop front, drop back)
+
+let fair_waiters txn s =
+  let front, back = Stm.read txn s.waiters in
+  List.length front + List.length back
+
+let acquire_fair ?(n = 1) s =
+  if n < 0 then invalid_arg "Semaphore.acquire_fair: negative n";
+  if Stm.in_transaction () then
+    invalid_arg "Semaphore.acquire_fair: runs its own transactions";
+  let enrolled =
+    Stm.atomically (fun txn ->
+        let p = Stm.read txn s.permits in
+        let empty =
+          match Stm.read txn s.waiters with [], [] -> true | _ -> false
+        in
+        if empty && p >= n then begin
+          (* Nobody queued ahead: the direct path cannot overtake. *)
+          Stm.write txn s.permits (p - n);
+          None
+        end
+        else begin
+          let w = { w_n = n; w_grant = Tvar.make false } in
+          let front, back = Stm.read txn s.waiters in
+          Stm.write txn s.waiters (front, w :: back);
+          Some w
+        end)
+  in
+  match enrolled with
+  | None -> ()
+  | Some w -> (
+      try Stm.atomically (fun txn -> Stm.guard txn (Stm.read txn w.w_grant))
+      with e ->
+        (* The waiting episode died (kill, timeout, …).  Withdraw the
+           cell — or, if a release granted it before we got here, put
+           the permits back through the normal handoff path so the
+           next waiter inherits them. *)
+        Stm.atomically (fun txn ->
+            if Stm.read txn w.w_grant then give_back txn s n
+            else remove_waiter txn s w);
+        raise e)
 
 (* The counter-trait view: release/try_acquire/available are exactly
    incr/decr/value of the §3 non-negative counter. *)

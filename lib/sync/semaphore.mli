@@ -12,8 +12,27 @@ type t
 val make : ?cap:int -> int -> t
 
 (** Blocks ([Stm.retry], parking) until [n] permits (default 1) are
-    available, then takes them atomically. *)
+    available, then takes them atomically.  No ordering guarantee:
+    whichever blocked acquirer revalidates first after a release wins
+    (barging). *)
 val acquire : ?n:int -> Stm.txn -> t -> unit
+
+(** FIFO acquire: blocked fair acquirers are granted permits strictly
+    in arrival order — [release] hands permits to the queue head
+    inside its own transaction, so no later acquirer can overtake an
+    earlier fair one.  A queue head needing [n > 1] permits blocks the
+    queue until enough accumulate.
+
+    Non-compositional: enrolment and waiting are two separate
+    transactions, so this must be called {e outside} [Stm.atomically]
+    ([Invalid_argument] otherwise).  On kill/timeout while waiting,
+    the enrolment is rolled back (or, if the grant already landed, the
+    permits are passed on to the next waiter) before the exception is
+    re-raised. *)
+val acquire_fair : ?n:int -> t -> unit
+
+(** Fair acquirers currently enqueued (diagnostics/tests). *)
+val fair_waiters : Stm.txn -> t -> int
 
 (** [false] instead of blocking. *)
 val try_acquire : ?n:int -> Stm.txn -> t -> bool

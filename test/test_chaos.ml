@@ -356,10 +356,129 @@ let test_seeded_determinism () =
    matrix keys on these. *)
 let test_point_names () =
   let names = List.map Fault.point_name Fault.all_points in
-  check ci "fourteen injection points" 14 (List.length names);
+  check ci "fifteen injection points" 15 (List.length names);
   List.iter (fun n -> check cb ("nonempty: " ^ n) true (n <> "")) names;
   check ci "names are distinct" (List.length names)
     (List.length (List.sort_uniq compare names))
+
+(* -- combiner chaos -------------------------------------------------- *)
+
+(* Crash-safety at the combiner hand-off: [Kill]/[Crash] draws inside
+   the flat-combining drain abandon the batch mid-flight, [Abort]
+   spuriously rejects entries, [Wedge]/[Delay] stretch the window where
+   waiters decide between spinning and self-electing.  Under all of it,
+   conservation must hold — every [atomically] that returned left its
+   increment in the committed state (no acked commit lost to an
+   abandoned drain) — and quiescence must leave no publication-list
+   entry stranded in [Waiting].  The counters then prove the schedule
+   actually exercised grouping rather than degenerating to inline. *)
+let test_combine_handoff_chaos () =
+  with_seed_note @@ fun () ->
+  check cb "combining is on by default" true (Stm.combining ());
+  let cfg = chaos_cfg Stm.Serial_commit in
+  Fault.configure ~seed:(sub_seed 0xc0b)
+    [
+      ( Fault.Combine_handoff,
+        {
+          Fault.prob = 0.3;
+          actions =
+            [
+              Fault.Kill; Fault.Crash; Fault.Wedge; Fault.Abort;
+              Fault.Delay 150;
+            ];
+        } );
+    ];
+  Stm.set_leak_audit true;
+  (* Batches need arrivals in the combiner's window.  New Serial_commit
+     transactions seqlock their snapshot against the gate, so only
+     transactions already past their snapshot can join — on a box with
+     fewer cores than domains that never happens by luck.  So each
+     round holds [domains] transactions open on a barrier until the
+     whole round is in flight, then releases them into the publisher
+     together, with the combiner lingering long enough to drain the
+     stragglers. *)
+  Stm.set_combine_linger 2e-3;
+  let domains = 4 in
+  let cells = Array.init domains (fun _ -> Tvar.make 0) in
+  let before = Stats.read () in
+  let batched d = d.Stats.combined_commits - d.Stats.combiner_elections in
+  let enough () =
+    let d = Stats.diff before (Stats.read ()) in
+    d.Stats.injected_faults > 0 && batched d > 0
+  in
+  let rounds = ref 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.disable ();
+      Stm.set_combine_linger 0.;
+      Stm.set_leak_audit false)
+    (fun () ->
+      while !rounds < 200 && not (!rounds >= 30 && enough ()) do
+        incr rounds;
+        let arrived = Atomic.make 0 in
+        spawn_all domains (fun d ->
+            let announced = ref false in
+            Stm.atomically ~config:cfg (fun txn ->
+                Stm.write txn cells.(d) (Stm.read txn cells.(d) + 1);
+                if not !announced then begin
+                  (* Latched across retries: a killed entry's re-run
+                     must not block a barrier everyone already left. *)
+                  announced := true;
+                  Atomic.incr arrived
+                end;
+                while Atomic.get arrived < domains do
+                  Domain.cpu_relax ()
+                done);
+            Stm.descriptor_pool_check ())
+      done);
+  (* Every [atomically] that returned left exactly one increment in the
+     committed state: no acked commit was lost to an abandoned drain,
+     no kill/crash draw double-applied one through a retry. *)
+  Array.iteri
+    (fun d tv ->
+      check ci
+        (Printf.sprintf "conservation: domain %d acked increments" d)
+        !rounds (Tvar.peek tv))
+    cells;
+  check ci "no stranded publication entry" 0 (Stm.pending_publications ());
+  let d = Stats.diff before (Stats.read ()) in
+  check cb "faults were injected at the hand-off" true
+    (d.Stats.injected_faults > 0);
+  check cb "combiner elections under fire" true
+    (d.Stats.combiner_elections > 0);
+  check cb "entries committed by another domain's combiner" true
+    (batched d > 0)
+
+(* The same hand-off schedule with combining switched off: the knob
+   must route every Serial_commit publication through the inline path,
+   where the hand-off point is never drawn — conservation for free and
+   zero combiner activity prove the toggle isolates the new machinery. *)
+let test_combine_off_bypasses_handoff () =
+  with_seed_note @@ fun () ->
+  let saved = Stm.combining () in
+  Stm.set_combining false;
+  let cfg = chaos_cfg Stm.Serial_commit in
+  Fault.configure ~seed:(sub_seed 0xc0c)
+    [
+      ( Fault.Combine_handoff,
+        { Fault.prob = 1.0; actions = [ Fault.Kill; Fault.Crash ] } );
+    ];
+  let r = Tvar.make 0 in
+  let before = Stats.read () in
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.disable ();
+      Stm.set_combining saved)
+    (fun () ->
+      spawn_all 4 (fun _ ->
+          for _ = 1 to 100 do
+            Stm.atomically ~config:cfg (fun txn ->
+                Stm.write txn r (Stm.read txn r + 1))
+          done));
+  check ci "inline path conserves" 400 (Tvar.peek r);
+  let d = Stats.diff before (Stats.read ()) in
+  check ci "no elections with combining off" 0 d.Stats.combiner_elections;
+  check ci "no hand-off draws with combining off" 0 d.Stats.injected_faults
 
 (* -- parking chaos --------------------------------------------------- *)
 
@@ -468,6 +587,10 @@ let suite =
       test "descriptor pool resets under chaos" test_pool_reset_after_chaos;
       slow "exception storm leaves no residue" test_exception_storm;
       slow "chaos soak: modes x points, audited" test_chaos_soak;
+      slow "combiner hand-off chaos conserves acked commits"
+        test_combine_handoff_chaos;
+      test "combining off bypasses the hand-off point"
+        test_combine_off_bypasses_handoff;
       slow "park/unpark chaos leaves no orphans" test_park_unpark_chaos;
       test "woken waiters prune their wait lists" test_wait_lists_pruned;
     ]

@@ -350,6 +350,105 @@ let test_memo_log_no_combining () =
   check ci "replayed each op" 10 !puts;
   check copt_i "same final state" (Some 10) (Hashtbl.find_opt tbl 7)
 
+(* Regression: combined replay must preserve per-key remove-then-put
+   ordering.  For bases where insertion is not a plain overwrite
+   (slab-allocating maps, secondary indexes), collapsing
+   [remove k; put k v] into a bare [put k v] changes the base's
+   behaviour — the combined log keeps the removal when one preceded
+   the final put. *)
+let test_memo_remove_then_put () =
+  let tbl = Hashtbl.create 8 in
+  Hashtbl.replace tbl 1 100;
+  Hashtbl.replace tbl 2 200;
+  Hashtbl.replace tbl 3 300;
+  let trace = ref [] in
+  let base =
+    {
+      Replay_log.Memo.base_get = Hashtbl.find_opt tbl;
+      base_put =
+        (fun k v ->
+          trace := `Put (k, v) :: !trace;
+          Hashtbl.replace tbl k v);
+      base_remove =
+        (fun k ->
+          trace := `Remove k :: !trace;
+          Hashtbl.remove tbl k);
+    }
+  in
+  Stm.atomically (fun txn ->
+      let log = Replay_log.Memo.create ~combine:true ~base txn in
+      (* key 1: remove then put — replay must be remove;put *)
+      ignore (Replay_log.Memo.remove log txn 1);
+      ignore (Replay_log.Memo.put log txn 1 111);
+      (* key 2: plain overwrite — replay must be a bare put *)
+      ignore (Replay_log.Memo.put log txn 2 222);
+      (* key 3: ends absent — replay must be a bare remove *)
+      ignore (Replay_log.Memo.remove log txn 3));
+  let per_key k =
+    List.filter
+      (function `Put (k', _) -> k' = k | `Remove k' -> k' = k)
+      (List.rev !trace)
+  in
+  (match per_key 1 with
+  | [ `Remove 1; `Put (1, 111) ] -> ()
+  | _ -> Alcotest.fail "key 1: expected remove;put");
+  (match per_key 2 with
+  | [ `Put (2, 222) ] -> ()
+  | _ -> Alcotest.fail "key 2: expected bare put");
+  (match per_key 3 with
+  | [ `Remove 3 ] -> ()
+  | _ -> Alcotest.fail "key 3: expected bare remove");
+  check copt_i "key 1 final" (Some 111) (Hashtbl.find_opt tbl 1);
+  check copt_i "key 3 gone" None (Hashtbl.find_opt tbl 3)
+
+(* Combined and uncombined replay agree with the Adt_model map on any
+   operation sequence. *)
+let prop_memo_matches_model script =
+  let module M = Proust_verify.Adt_model in
+  let model = M.small_map () in
+  let seed = [ (0, 100); (1, 101); (2, 102) ] in
+  let ops =
+    List.map
+      (fun (k, v) ->
+        match v with Some v -> M.MPut (k, v) | None -> M.MRemove k)
+      script
+  in
+  (* Reference run: fold the model. *)
+  let final_model, model_rets =
+    List.fold_left
+      (fun (s, rets) op ->
+        let s', r = model.M.apply s op in
+        (s', r :: rets))
+      (seed, []) ops
+  in
+  let run_memo ~combine =
+    let tbl = Hashtbl.create 8 in
+    List.iter (fun (k, v) -> Hashtbl.replace tbl k v) seed;
+    let rets = ref [] in
+    Stm.atomically (fun txn ->
+        let log = Replay_log.Memo.create ~combine ~base:(memo_base tbl) txn in
+        List.iter
+          (fun op ->
+            let old =
+              match op with
+              | M.MPut (k, v) -> Replay_log.Memo.put log txn k v
+              | M.MRemove k -> Replay_log.Memo.remove log txn k
+              | M.MGet k -> Replay_log.Memo.get log k
+            in
+            rets := M.MVal old :: !rets)
+          ops);
+    let state =
+      List.sort compare (Hashtbl.fold (fun k v l -> (k, v) :: l) tbl [])
+    in
+    (state, !rets)
+  in
+  let s_comb, r_comb = run_memo ~combine:true in
+  let s_plain, r_plain = run_memo ~combine:false in
+  model.M.equal_state s_comb final_model
+  && model.M.equal_state s_plain final_model
+  && List.for_all2 model.M.equal_ret r_comb model_rets
+  && List.for_all2 model.M.equal_ret r_plain model_rets
+
 let test_snapshot_log () =
   let base = ref [ 1; 2; 3 ] in
   Stm.atomically (fun txn ->
@@ -469,6 +568,11 @@ let suite =
     test "memo log abort drops" test_memo_log_abort_drops;
     test "memo log combining" test_memo_log_combining;
     test "memo log no combining" test_memo_log_no_combining;
+    test "memo combined replay keeps remove-then-put"
+      test_memo_remove_then_put;
+    qcheck ~count:100 "memo replay (both modes) matches the map model"
+      QCheck2.Gen.(list_size (0 -- 30) (pair (0 -- 4) (option (0 -- 9))))
+      prop_memo_matches_model;
     test "snapshot log" test_snapshot_log;
     test "snapshot log abort" test_snapshot_log_abort;
     test "committed size counter" (committed_size_roundtrip `Counter);

@@ -290,7 +290,7 @@ let test_metrics_from_stm () =
 let test_stats_to_assoc () =
   let s = Stats.read () in
   let assoc = Stats.to_assoc s in
-  check ci "34 counters exported" 34 (List.length assoc);
+  check ci "36 counters exported" 36 (List.length assoc);
   List.iter
     (fun k ->
       check cb ("counter " ^ k ^ " present") true (List.mem_assoc k assoc))
@@ -304,6 +304,7 @@ let test_stats_to_assoc () =
       "parks"; "wakeups"; "spurious_wakeups"; "retry_polls";
       "wait_list_max"; "versions_installed"; "versions_gced";
       "ro_snapshot_reads"; "ro_commits"; "ro_aborts"; "version_chain_max";
+      "combined_commits"; "combiner_elections";
     ];
   (* diff and to_assoc commute: to_assoc (diff a b) is the pairwise
      difference of the exports. *)

@@ -238,9 +238,11 @@ let test_shedder_never_blocks_atomically () =
 let wd_config =
   {
     Qos.Watchdog.interval = 2e-3;
-    p99_multiple = 1e6;
-    (* absurdly high multiple: the [min_age] floor is the threshold, so
-       the test does not depend on histogram state left by other suites *)
+    p99_multiple = 1e-6;
+    (* vanishingly small multiple: the [min_age] floor is the whole
+       threshold, so the test does not depend on histogram state left
+       by other suites (the threshold is [max floor (p99 * multiple)],
+       so a *large* multiple would couple it to leftover samples) *)
     min_age = 15e-3;
     breaker_multiple = 4.0;
   }

@@ -305,6 +305,81 @@ let test_semaphore_multi_permit () =
   | () -> Alcotest.fail "release above cap succeeded"
 
 (* ------------------------------------------------------------------ *)
+(* Fair (FIFO) semaphore handoff                                        *)
+
+let test_semaphore_fair_basics () =
+  let s = Y.Semaphore.make 2 in
+  (* Empty queue + permits available: the direct path. *)
+  Y.Semaphore.acquire_fair s;
+  check ci "fast path took a permit" 1 (Y.Semaphore.peek s);
+  Y.Semaphore.acquire_fair s;
+  check ci "pool drained" 0 (Y.Semaphore.peek s);
+  Stm.atomically (fun txn -> Y.Semaphore.release ~n:2 txn s);
+  check ci "permits back" 2 (Y.Semaphore.peek s);
+  check ci "no waiters" 0
+    (Stm.atomically (fun txn -> Y.Semaphore.fair_waiters txn s));
+  (* Two-transaction protocol: refuses to be flattened into an
+     enclosing transaction. *)
+  match Stm.atomically (fun _txn -> Y.Semaphore.acquire_fair s) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "acquire_fair ran nested"
+
+(* The no-overtaking property: enrol waiters in a known FIFO order
+   (each spawn is held until the previous waiter's grant cell is
+   queued), then hand permits out one release at a time — only the
+   queue head may ever leave, even when it needs several permits and
+   smaller requests wait right behind it. *)
+let prop_fair_no_overtaking demands =
+  let k = List.length demands in
+  let total = List.fold_left ( + ) 0 demands in
+  let demands = Array.of_list demands in
+  let s = Y.Semaphore.make 0 in
+  let completed = Array.init k (fun _ -> Atomic.make false) in
+  let doms = Array.make k None in
+  let deadline = Unix.gettimeofday () +. 30.0 in
+  let ok = ref true in
+  let wait_for cond =
+    while !ok && not (cond ()) do
+      if Unix.gettimeofday () > deadline then ok := false
+      else Domain.cpu_relax ()
+    done
+  in
+  let queued () = Stm.atomically (fun txn -> Y.Semaphore.fair_waiters txn s) in
+  Array.iteri
+    (fun i n ->
+      if !ok then begin
+        doms.(i) <-
+          Some
+            (Domain.spawn (fun () ->
+                 Y.Semaphore.acquire_fair ~n s;
+                 Atomic.set completed.(i) true));
+        wait_for (fun () -> queued () = i + 1)
+      end)
+    demands;
+  Array.iteri
+    (fun j n ->
+      if !ok then begin
+        (* Drip the head's demand in one-permit releases: a multi-permit
+           head must accumulate, never be bypassed. *)
+        for _ = 1 to n do
+          Stm.atomically (fun txn -> Y.Semaphore.release txn s)
+        done;
+        wait_for (fun () -> Atomic.get completed.(j));
+        for m = j + 1 to k - 1 do
+          if Atomic.get completed.(m) then ok := false
+        done
+      end)
+    demands;
+  (* Failure paths may leave waiters parked: flood them out before
+     joining so the test fails instead of hanging. *)
+  if not !ok then
+    Stm.atomically (fun txn -> Y.Semaphore.release ~n:(total * 2) txn s);
+  Array.iter (function Some d -> Domain.join d | None -> ()) doms;
+  !ok
+  && Y.Semaphore.peek s = 0
+  && Stm.atomically (fun txn -> Y.Semaphore.fair_waiters txn s) = 0
+
+(* ------------------------------------------------------------------ *)
 (* Parking mechanics                                                    *)
 
 (* The tentpole property: a blocked retry PARKS — the stats window
@@ -513,6 +588,11 @@ let suite =
       test_promise_blocks_until_fulfilled;
     slow "semaphore occupancy stays within permits" test_semaphore_bounds;
     test "semaphore multi-permit acquire and cap" test_semaphore_multi_permit;
+    test "fair semaphore: fast path and nesting guard"
+      test_semaphore_fair_basics;
+    qcheck ~count:20 "fair semaphore: FIFO handoff never overtakes"
+      QCheck2.Gen.(list_size (2 -- 5) (1 -- 3))
+      prop_fair_no_overtaking;
     test "parked retry burns zero poll iterations" test_parked_retry_no_polls;
     test "wakeup latency histogram gets samples" test_wakeup_latency_histogram;
     test "poll mode still works and is observable"
