@@ -1206,14 +1206,299 @@ let combining () =
       :: !cells
 
 (* ------------------------------------------------------------------ *)
+(* Open-system overload: Poisson/bursty tenants issuing at fixed
+   intended arrival times (coordinated-omission-correct latency),
+   per-tenant QoS classes, brownout on/off A/B per structure, and the
+   gold-isolation gate the CI opensystem-smoke job enforces. *)
+
+let env_float name default =
+  match Sys.getenv_opt name with Some s -> float_of_string s | None -> default
+
+(* Set when PROUST_OS_GATE=1 and the isolation gate fails; main exits
+   nonzero after the JSON report is written. *)
+let gate_failed = ref false
+
+let opensystem () =
+  let duration = env_float "PROUST_OS_DURATION" (if quick then 1.2 else 2.5) in
+  let warmup = env_float "PROUST_OS_WARMUP" (min 0.6 (duration /. 4.0)) in
+  (* Pool size defaults to the machine: oversubscribing domains on a
+     small box turns scheduler timeslices into a double-digit-ms
+     latency floor that no admission controller can see past. *)
+  let os_workers =
+    env_int "PROUST_OS_WORKERS"
+      (max 1 (min 4 (Domain.recommended_domain_count () - 1)))
+  in
+  let deadline = env_float "PROUST_OS_DEADLINE_MS" 50.0 *. 1e-3 in
+  let keys = env_int "PROUST_OS_KEYS" 1_000_000 in
+  let hot = env_int "PROUST_OS_HOT" 8 in
+  (* Offered intensity as a fraction of calibrated capacity.  Above
+     1.0 on purpose: bursty duty-cycle variance over a short window
+     realizes below the configured figure, and the gate's claim needs
+     sustained >= 80% realized utilization with bursts well past
+     capacity. *)
+  let util = env_float "PROUST_OS_UTIL" 1.1 in
+  let bound_ns =
+    int_of_float (env_float "PROUST_OS_P999_BOUND_MS" 25.0 *. 1e6)
+  in
+  let entry_names =
+    String.split_on_char ','
+      (Option.value
+         (Sys.getenv_opt "PROUST_OS_ENTRIES")
+         ~default:
+           (if quick then "omap-snap,eager-opt-hotgate"
+            else "omap-snap,stm-map,eager-opt,eager-opt-hotgate"))
+  in
+  let gate_entry =
+    Option.value (Sys.getenv_opt "PROUST_OS_GATE_ENTRY") ~default:"omap-snap"
+  in
+  let mvcc_config =
+    { (Stm.get_default_config ()) with mode = Stm.Multi_version }
+  in
+  (* Encounter-time entries keep their derived eager config (RO routing
+     is then a no-op and the hot gate is the mitigation story);
+     any-mode entries run under MVCC so brownout can route reads onto
+     the abort-free snapshot path. *)
+  let config_for (e : W.Registry.entry) =
+    match e.W.Registry.config with Some c -> c | None -> mvcc_config
+  in
+  let gold_dist = W.Arrivals.Zipf { s = 0.9; scramble = true } in
+  let bronze_dist = W.Arrivals.Hotset { hot; fraction = 0.9 } in
+  (* Closed-loop capacity of the contended mix (half the domains on the
+     gold profile, half on the antagonist's): open-system rates scale
+     off this, so utilization is machine-independent. *)
+  let calibrate (e : W.Registry.entry) ~config =
+    let make =
+      match e.W.Registry.target with
+      | W.Registry.Map m -> m
+      | _ -> invalid_arg "opensystem: map entries only"
+    in
+    let ops = make () in
+    let config = Some config in
+    for k = 0 to 9_999 do
+      Stm.atomically ?config (fun txn ->
+          ignore (ops.Proust_structures.Trait.Map.put txn k k))
+    done;
+    let stop = Atomic.make false in
+    let counts = Array.init os_workers (fun _ -> Atomic.make 0) in
+    let seconds = env_float "PROUST_OS_CAL_S" 0.4 in
+    let ds =
+      List.init os_workers (fun i ->
+          Domain.spawn (fun () ->
+              let rng = W.Arrivals.rng ~salt:[ 0x05; i ] () in
+              let goldish = i < os_workers / 2 in
+              let kg =
+                W.Arrivals.keygen
+                  (if goldish then gold_dist else bronze_dist)
+                  ~keys
+              in
+              let wf = if goldish then 0.0 else 0.8 in
+              while not (Atomic.get stop) do
+                let arr = W.Arrivals.ops rng kg ~write_fraction:wf ~count:2 in
+                match
+                  Stm.atomic ?config
+                    ~deadline:(Clock.now_mono () +. deadline)
+                    (fun txn -> Array.iter (W.Workload.apply_op ops txn) arr)
+                with
+                | Stm.Outcome.Committed () -> Atomic.incr counts.(i)
+                | _ -> ()
+              done))
+    in
+    Unix.sleepf seconds;
+    Atomic.set stop true;
+    List.iter Domain.join ds;
+    let total = Array.fold_left (fun a c -> a + Atomic.get c) 0 counts in
+    float_of_int total /. seconds
+  in
+  let gold_of (r : W.Open_runner.result) =
+    List.find
+      (fun tr -> tr.W.Open_runner.tr_name = "gold")
+      r.W.Open_runner.o_tenants
+  in
+  let bronze_of (r : W.Open_runner.result) =
+    List.find
+      (fun tr -> tr.W.Open_runner.tr_name = "bronze")
+      r.W.Open_runner.o_tenants
+  in
+  let p999_intended (tr : W.Open_runner.tenant_result) =
+    match tr.W.Open_runner.tr_latency with
+    | Some s -> s.Obs.Metrics.intended.Obs.Histogram.p999
+    | None -> 0
+  in
+  let run_cell (e : W.Registry.entry) ~config ~capacity ~brownout_on =
+    let gold =
+      W.Open_runner.tenant_spec ~name:"gold" ~klass:Qos.Tenant.Gold
+        ~dist:gold_dist ~keys ~write_fraction:0.0 ~ops_per_txn:2 ~deadline
+        (W.Arrivals.Poisson { rate = 0.4 *. util *. capacity })
+    in
+    (* Bronze gets a tight retry budget: a thrashing antagonist fails
+       fast instead of occupying a pool worker for its whole deadline
+       (which is what gold would otherwise queue behind). *)
+    let bronze =
+      W.Open_runner.tenant_spec ~name:"bronze" ~klass:Qos.Tenant.Bronze
+        ~dist:bronze_dist ~keys ~write_fraction:0.8 ~ops_per_txn:2 ~deadline
+        ~max_attempts:(env_int "PROUST_OS_BRONZE_ATTEMPTS" 2)
+        (W.Arrivals.Bursty
+           {
+             rate_on = 1.1 *. util *. capacity;
+             rate_off = 0.1 *. util *. capacity;
+             (* Short dwells: many on/off cycles per run window, so
+                the realized duty cycle concentrates near 50% instead
+                of riding one seed's coin-flip, and every run
+                exercises several burst onsets. *)
+             mean_on = 0.1;
+             mean_off = 0.1;
+           })
+    in
+    (* Fast controller cadence for short bench windows; escalation is
+       capped at [Shed_bronze]: gold admission is contractual. *)
+    let brownout =
+      if brownout_on then
+        Some
+          (Qos.Brownout.make
+             ~config:
+               {
+                 (* Clamp bursts fast: at 27% excess rate the fluid
+                    transient is (detection + ladder) * excess, so a
+                    2 ms lag budget, a fast EWMA and a 1-sample dwell
+                    keep the gold tail to a few ms of spike while the
+                    probe waves the short dwell re-admits fail fast
+                    under the bronze retry budget. *)
+                 sample_window = 0.005;
+                 lag_budget = 0.002;
+                 alpha = 0.35;
+                 ladder =
+                   {
+                     Qos.Brownout.Ladder.default_config with
+                     dwell = 1;
+                     max_level = Qos.Brownout.Shed_bronze;
+                   };
+               }
+             ())
+      else None
+    in
+    (* The brownout-off comparison runs the naive alternative — the
+       class-blind global shedder — which is exactly what the gate
+       shows failing: it sheds gold. *)
+    if not brownout_on then
+      Qos.Shedder.enable
+        ~config:{ Qos.Shedder.default_config with sample_window = 0.02 }
+        ();
+    Fun.protect
+      ~finally:(fun () -> if not brownout_on then Qos.Shedder.disable ())
+      (fun () ->
+        W.Open_runner.run ?brownout ~config ~workers:os_workers ~warmup
+          ~duration ~entry:e [ gold; bronze ])
+  in
+  W.Report.section
+    (Printf.sprintf
+       "OPENSYSTEM: open-loop tenants at %.0f%% utilization, %.1fs/cell \
+        (deadline %.0f ms, gate entry %s)"
+       (util *. 100.0) duration (deadline *. 1000.0) gate_entry);
+  Printf.printf "%-18s %-4s %9s %6s %11s %11s %8s %8s %-11s\n" "impl" "brn"
+    "cap/s" "util" "gold-p999" "gold-shed" "gold/s" "brz-shed" "peak";
+  Printf.printf "%s\n" (String.make 94 '-');
+  let gate_cells = ref [] in
+  List.iter
+    (fun name ->
+      match W.Registry.find name with
+      | None -> Printf.printf "%-18s (unknown entry, skipped)\n%!" name
+      | Some e ->
+          let config = config_for e in
+          let capacity = calibrate e ~config in
+          List.iter
+            (fun brownout_on ->
+              let r = run_cell e ~config ~capacity ~brownout_on in
+              let g = gold_of r and b = bronze_of r in
+              let gp999 = p999_intended g in
+              Printf.printf
+                "%-18s %-4s %9.0f %6.2f %9.2fms %11d %8.0f %8d %-11s\n%!"
+                name
+                (if brownout_on then "on" else "off")
+                capacity
+                (r.W.Open_runner.o_offered /. capacity)
+                (float_of_int gp999 /. 1e6)
+                g.W.Open_runner.tr_stats.Qos.Tenant.s_shed
+                g.W.Open_runner.tr_goodput
+                b.W.Open_runner.tr_stats.Qos.Tenant.s_shed
+                (match r.W.Open_runner.o_brownout_peak with
+                | Some l -> Qos.Brownout.level_name l
+                | None -> "-");
+              if name = gate_entry then
+                gate_cells := (brownout_on, r) :: !gate_cells;
+              if json_file <> None then
+                cells :=
+                  Obs.Json.Obj
+                    [
+                      ("kind", Obs.Json.String "opensystem");
+                      ("entry", Obs.Json.String name);
+                      ("stm_mode", Obs.Json.String (Stm.mode_name config.Stm.mode));
+                      ("brownout", Obs.Json.Bool brownout_on);
+                      ("capacity_tps", Obs.Json.Float capacity);
+                      ( "utilization",
+                        Obs.Json.Float (r.W.Open_runner.o_offered /. capacity)
+                      );
+                      ("gold_p999_intended_ns", Obs.Json.Int gp999);
+                      ("report", W.Open_runner.to_json r);
+                    ]
+                  :: !cells)
+            [ true; false ])
+    entry_names;
+  (* The isolation gate: with brownout on, gold p999 stays under the
+     bound and gold sheds are zero; the brownout-off cell must violate
+     at least one of the two. *)
+  (match
+     ( List.assoc_opt true !gate_cells,
+       List.assoc_opt false !gate_cells )
+   with
+  | Some on, Some off ->
+      let g_on = gold_of on and g_off = gold_of off in
+      let on_p999 = p999_intended g_on and off_p999 = p999_intended g_off in
+      let on_sheds = g_on.W.Open_runner.tr_stats.Qos.Tenant.s_shed in
+      let off_sheds = g_off.W.Open_runner.tr_stats.Qos.Tenant.s_shed in
+      let on_ok = on_p999 <= bound_ns && on_sheds = 0 in
+      let off_violates = off_p999 > bound_ns || off_sheds > 0 in
+      let pass = on_ok && off_violates in
+      Printf.printf
+        "gate[%s]: on(p999=%.2fms sheds=%d) off(p999=%.2fms sheds=%d) \
+         bound=%.0fms -> %s\n%!"
+        gate_entry
+        (float_of_int on_p999 /. 1e6)
+        on_sheds
+        (float_of_int off_p999 /. 1e6)
+        off_sheds
+        (float_of_int bound_ns /. 1e6)
+        (if pass then "PASS" else "FAIL");
+      if json_file <> None then
+        cells :=
+          Obs.Json.Obj
+            [
+              ("kind", Obs.Json.String "opensystem-gate");
+              ("entry", Obs.Json.String gate_entry);
+              ("bound_ns", Obs.Json.Int bound_ns);
+              ("gold_p999_on_ns", Obs.Json.Int on_p999);
+              ("gold_p999_off_ns", Obs.Json.Int off_p999);
+              ("gold_sheds_on", Obs.Json.Int on_sheds);
+              ("gold_sheds_off", Obs.Json.Int off_sheds);
+              ("brownout_on_ok", Obs.Json.Bool on_ok);
+              ("brownout_off_violates", Obs.Json.Bool off_violates);
+              ("pass", Obs.Json.Bool pass);
+            ]
+          :: !cells;
+      if (not pass) && Sys.getenv_opt "PROUST_OS_GATE" = Some "1" then
+        gate_failed := true
+  | _ ->
+      Printf.printf "gate[%s]: entry not in PROUST_OS_ENTRIES, skipped\n%!"
+        gate_entry)
+
+(* ------------------------------------------------------------------ *)
 
 let usage () =
   print_endline
     "usage: main.exe \
      [fig1|fig4|fig4-memo|micro|ablation-m|ablation-cm|ablation-mode|\
      ablation-zipf|ablation-combine|mvcc|pqueue|queue|structures|compose|\
-     overload|durability|parking|combining|obs-overhead|all] [--json FILE] \
-     [--trace FILE]"
+     overload|opensystem|durability|parking|combining|obs-overhead|all] \
+     [--json FILE] [--trace FILE]"
 
 let () =
   (* First non-flag argument is the command; --json/--trace (and their
@@ -1244,6 +1529,7 @@ let () =
   | "structures" -> structures_bench ()
   | "compose" -> compose_bench ()
   | "overload" -> overload ()
+  | "opensystem" -> opensystem ()
   | "durability" -> durability ()
   | "parking" -> parking ()
   | "combining" -> combining ()
@@ -1264,6 +1550,7 @@ let () =
       structures_bench ();
       compose_bench ();
       overload ();
+      opensystem ();
       durability ();
       parking ();
       combining ()
@@ -1294,4 +1581,5 @@ let () =
       Obs.Trace.dump_chrome_file file;
       Printf.printf "wrote Chrome trace: %s (%d events, %d dropped)\n%!" file
         (Obs.Trace.emitted ()) (Obs.Trace.dropped ()))
-    trace_file
+    trace_file;
+  if !gate_failed then exit 1

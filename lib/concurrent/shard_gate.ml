@@ -1,0 +1,77 @@
+(* Key-sharded best-effort serial gates for hot-key mitigation.
+
+   A gate is an array of single-owner slots; a transaction about to
+   mutate a hot key tries to take the key's shard so that conflicting
+   transactions serialize *before* burning optimistic attempts against
+   each other.  Acquisition is strictly best effort: a bounded spin,
+   then bypass — the caller proceeds without the shard and the STM's
+   own conflict detection remains the sole correctness mechanism, so
+   the gate can never deadlock or add a blocking edge.  Contended
+   acquisitions bump a per-shard heat counter, which is both the
+   observability story and the A/B evidence that a workload actually
+   has hot shards. *)
+
+type t = {
+  slots : bool Atomic.t array;  (* true = held *)
+  heat : int Atomic.t array;  (* failed-first-try count per shard *)
+  bypasses : int Atomic.t;
+  mask : int;
+  spin : int;
+}
+
+let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (k * 2)
+
+let create ?(shards = 64) ?(spin = 512) () =
+  let n = pow2_at_least (max 1 shards) 1 in
+  {
+    slots = Array.init n (fun _ -> Atomic.make false);
+    heat = Array.init n (fun _ -> Atomic.make 0);
+    bypasses = Atomic.make 0;
+    mask = n - 1;
+    spin;
+  }
+
+let shards t = t.mask + 1
+let shard_of t hash = hash land t.mask
+
+(* [true] = acquired (caller must [release]); [false] = bypassed after
+   the spin budget.  One heat tick per contended call, not per spin. *)
+let try_acquire t shard =
+  let slot = t.slots.(shard) in
+  if Atomic.compare_and_set slot false true then true
+  else begin
+    Atomic.incr t.heat.(shard);
+    let rec spin budget =
+      if budget = 0 then begin
+        Atomic.incr t.bypasses;
+        false
+      end
+      else if
+        (not (Atomic.get slot)) && Atomic.compare_and_set slot false true
+      then true
+      else begin
+        Domain.cpu_relax ();
+        spin (budget - 1)
+      end
+    in
+    spin t.spin
+  end
+
+let release t shard = Atomic.set t.slots.(shard) false
+let heat t shard = Atomic.get t.heat.(shard)
+let bypasses t = Atomic.get t.bypasses
+
+let total_heat t =
+  Array.fold_left (fun acc c -> acc + Atomic.get c) 0 t.heat
+
+let hottest t =
+  let best = ref 0 and best_heat = ref (-1) in
+  Array.iteri
+    (fun i c ->
+      let h = Atomic.get c in
+      if h > !best_heat then begin
+        best := i;
+        best_heat := h
+      end)
+    t.heat;
+  (!best, max 0 !best_heat)

@@ -1,0 +1,37 @@
+(** Key-sharded best-effort serial gates for hot-key mitigation.
+
+    Transactions about to mutate a hot key serialize through the key's
+    shard instead of burning optimistic attempts against each other.
+    Strictly best effort: bounded spin, then bypass — the STM's own
+    conflict detection remains the sole correctness mechanism, so a
+    gate can never deadlock.  Contended acquisitions are counted per
+    shard ({!heat}), exhausted spins globally ({!bypasses}). *)
+
+type t
+
+(** [shards] is rounded up to a power of two; [spin] is the bounded
+    spin budget (iterations) before a contended acquire bypasses. *)
+val create : ?shards:int -> ?spin:int -> unit -> t
+
+val shards : t -> int
+
+(** Shard index for a key hash. *)
+val shard_of : t -> int -> int
+
+(** [true] = acquired (caller must {!release}); [false] = bypassed.
+    Not reentrant — callers track what they already hold. *)
+val try_acquire : t -> int -> bool
+
+val release : t -> int -> unit
+
+(** Contended-acquisition count for one shard / across all shards. *)
+val heat : t -> int -> int
+
+val total_heat : t -> int
+
+(** [(shard, heat)] of the hottest shard. *)
+val hottest : t -> int * int
+
+(** Acquisitions that exhausted their spin budget and proceeded
+    gateless. *)
+val bypasses : t -> int

@@ -119,6 +119,7 @@ type summary = {
   p50 : int;
   p90 : int;
   p99 : int;
+  p999 : int;
   max : int;
   mean : float;
 }
@@ -129,6 +130,7 @@ let summarize t =
     p50 = percentile t 50.0;
     p90 = percentile t 90.0;
     p99 = percentile t 99.0;
+    p999 = percentile t 99.9;
     max = max_value t;
     mean = mean t;
   }
@@ -140,6 +142,7 @@ let summary_to_json (s : summary) =
       ("p50", Json.Int s.p50);
       ("p90", Json.Int s.p90);
       ("p99", Json.Int s.p99);
+      ("p999", Json.Int s.p999);
       ("max", Json.Int s.max);
       ("mean", Json.Float s.mean);
     ]

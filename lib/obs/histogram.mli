@@ -40,6 +40,7 @@ type summary = {
   p50 : int;
   p90 : int;
   p99 : int;
+  p999 : int;
   max : int;
   mean : float;
 }

@@ -5,6 +5,8 @@ type scope = {
   lock_wait_h : Histogram.t;
   wakeup_h : Histogram.t;
   combine_h : Histogram.t;
+  intended_h : Histogram.t;
+  service_h : Histogram.t;
 }
 
 let table : (string, scope) Hashtbl.t = Hashtbl.create 8
@@ -24,6 +26,8 @@ let scope_of label =
             lock_wait_h = Histogram.create ();
             wakeup_h = Histogram.create ();
             combine_h = Histogram.create ();
+            intended_h = Histogram.create ();
+            service_h = Histogram.create ();
           }
         in
         Hashtbl.add table label s;
@@ -78,7 +82,9 @@ let reset_scope label =
       Histogram.reset s.abort_retry_h;
       Histogram.reset s.lock_wait_h;
       Histogram.reset s.wakeup_h;
-      Histogram.reset s.combine_h
+      Histogram.reset s.combine_h;
+      Histogram.reset s.intended_h;
+      Histogram.reset s.service_h
   | None -> ());
   Mutex.unlock table_lock
 
@@ -89,6 +95,8 @@ type scope_summary = {
   lock_wait : Histogram.summary;
   wakeup : Histogram.summary;
   combine_batch : Histogram.summary;
+  intended : Histogram.summary;
+  service : Histogram.summary;
 }
 
 let summarize (s : scope) =
@@ -99,6 +107,8 @@ let summarize (s : scope) =
     lock_wait = Histogram.summarize s.lock_wait_h;
     wakeup = Histogram.summarize s.wakeup_h;
     combine_batch = Histogram.summarize s.combine_h;
+    intended = Histogram.summarize s.intended_h;
+    service = Histogram.summarize s.service_h;
   }
 
 let read_scope label =
@@ -123,6 +133,8 @@ let scope_summary_to_json (s : scope_summary) =
       ("lock_wait", Histogram.summary_to_json s.lock_wait);
       ("wakeup", Histogram.summary_to_json s.wakeup);
       ("combine_batch", Histogram.summary_to_json s.combine_batch);
+      ("intended", Histogram.summary_to_json s.intended);
+      ("service", Histogram.summary_to_json s.service);
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -208,3 +220,19 @@ let add_combiner_batch n =
   if enabled () && n >= 1 then
     let ctx = Domain.DLS.get ctx_key in
     Histogram.record (my_scope ctx).combine_h n
+
+(* Open-system (coordinated-omission-correct) latency pair, recorded by
+   the open runner once per completed request.  [intended] measures
+   from the request's scheduled arrival time — queueing delay a
+   closed-loop harness would silently swallow stays in the number —
+   while [service] measures from actual admission, so their divergence
+   *is* the backlog.  Negative samples (clock skew) are dropped. *)
+let add_intended_latency ns =
+  if enabled () && ns >= 0 then
+    let ctx = Domain.DLS.get ctx_key in
+    Histogram.record (my_scope ctx).intended_h ns
+
+let add_service_latency ns =
+  if enabled () && ns >= 0 then
+    let ctx = Domain.DLS.get ctx_key in
+    Histogram.record (my_scope ctx).service_h ns

@@ -15,7 +15,11 @@
       counted);
     - [combine_batch]: commits published per flat-combining drain (a
       count, not a latency — mean batch size is the summary's
-      [mean]).
+      [mean]);
+    - [intended]/[service]: open-system request latency from the
+      request's {e intended} arrival time vs from actual admission —
+      the coordinated-omission-correct pair fed by the open runner
+      (one scope per tenant), not by the STM.
 
     The calling domain's current scope is domain-local state set with
     {!set_label}; histograms themselves are shared across domains and
@@ -43,6 +47,12 @@ type scope_summary = {
   lock_wait : Histogram.summary;
   wakeup : Histogram.summary;
   combine_batch : Histogram.summary;
+  intended : Histogram.summary;
+      (** open-system request latency from {e intended} arrival time
+          (coordinated-omission-correct: queueing delay included) *)
+  service : Histogram.summary;
+      (** open-system request latency from actual admission; the gap
+          to [intended] is the backlog under overload *)
 }
 
 val read_scope : string -> scope_summary option
@@ -76,3 +86,12 @@ val add_wakeup_latency : int -> unit
 
 (** Record one flat-combining drain of [n] commits ([n < 1] dropped). *)
 val add_combiner_batch : int -> unit
+
+(** Record one open-system request latency measured from its intended
+    arrival time, nanoseconds (negative samples dropped).  Recorded by
+    the open runner, not the STM. *)
+val add_intended_latency : int -> unit
+
+(** Record one open-system request latency measured from actual
+    admission (service start), nanoseconds. *)
+val add_service_latency : int -> unit

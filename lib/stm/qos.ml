@@ -204,6 +204,396 @@ module Shedder = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Per-tenant QoS classes                                               *)
+
+(* The shedder above is class-blind: one process-wide EWMA, one token
+   bucket, every caller equal at the door.  Multi-tenant service needs
+   the opposite: each tenant carries its own admission bucket and its
+   own abort/read-mix EWMAs, so an antagonist's thrashing is charged
+   to the antagonist — the primitive the brownout controller's
+   class-aware degradation is built from. *)
+module Tenant = struct
+  type klass = Gold | Bronze
+
+  let klass_name = function Gold -> "gold" | Bronze -> "bronze"
+
+  type config = {
+    rate : float;
+        (* sustained admissions per second; <= 0 means uncapped *)
+    burst : float;  (* token-bucket capacity *)
+    alpha : float;  (* EWMA weight for the abort-rate/read-mix samples *)
+    read_dominated_above : float;
+        (* read-mix EWMA at or above which the tenant counts as
+           read-dominated (eligible for RO routing under brownout) *)
+  }
+
+  let default_config =
+    { rate = 0.0; burst = 32.0; alpha = 0.05; read_dominated_above = 0.75 }
+
+  (* Monotonically increasing event counters, one cell each: tenants
+     are few and their counters are bumped once per request, so the
+     16-way striping Stats uses would be overkill here. *)
+  type counters = {
+    arrivals : int Atomic.t;
+    admitted : int Atomic.t;
+    committed : int Atomic.t;
+    shed : int Atomic.t;
+    timed_out : int Atomic.t;
+    budget_exhausted : int Atomic.t;
+    ro_routed : int Atomic.t;
+    aborts : int Atomic.t;
+  }
+
+  type t = {
+    name : string;
+    klass : klass;
+    cfg : config;
+    c : counters;
+    mu : Mutex.t;
+    mutable tokens : float;
+    mutable last_refill_ns : int;
+    mutable abort_ewma : float;
+    mutable read_ewma : float;
+    mutable have_sample : bool;
+  }
+
+  let make ?(config = default_config) ~name ~klass () =
+    {
+      name;
+      klass;
+      cfg = config;
+      c =
+        {
+          arrivals = Atomic.make 0;
+          admitted = Atomic.make 0;
+          committed = Atomic.make 0;
+          shed = Atomic.make 0;
+          timed_out = Atomic.make 0;
+          budget_exhausted = Atomic.make 0;
+          ro_routed = Atomic.make 0;
+          aborts = Atomic.make 0;
+        };
+      mu = Mutex.create ();
+      tokens = config.burst;
+      last_refill_ns = Clock.now_mono_ns ();
+      abort_ewma = 0.0;
+      read_ewma = 0.0;
+      have_sample = false;
+    }
+
+  let name t = t.name
+  let klass t = t.klass
+
+  (* Token-bucket admission; one call per arriving request.  A refusal
+     is the caller's cue to count a shed — the bucket itself stays
+     outcome-agnostic. *)
+  let admit t =
+    Atomic.incr t.c.arrivals;
+    if t.cfg.rate <= 0.0 then begin
+      Atomic.incr t.c.admitted;
+      true
+    end
+    else begin
+      Mutex.lock t.mu;
+      let now = Clock.now_mono_ns () in
+      let dt = float_of_int (now - t.last_refill_ns) *. 1e-9 in
+      t.last_refill_ns <- now;
+      t.tokens <-
+        Float.min t.cfg.burst
+          (t.tokens +. (Float.max 0.0 dt *. t.cfg.rate));
+      let ok = t.tokens >= 1.0 in
+      if ok then t.tokens <- t.tokens -. 1.0;
+      Mutex.unlock t.mu;
+      if ok then Atomic.incr t.c.admitted;
+      ok
+    end
+
+  (* One finished episode's observations: the abort-rate sample is the
+     episode's wasted-attempt share (a clean first-attempt commit is
+     0.0; a deadline/budget failure is 1.0 — everything it did was
+     waste), the read-mix sample is 1.0 for a pure-read episode. *)
+  type outcome_kind = Committed | Shed | Timed_out | Budget_exhausted
+
+  let ewma_update t ~abort_sample ~read_sample =
+    Mutex.lock t.mu;
+    if t.have_sample then begin
+      t.abort_ewma <-
+        (t.cfg.alpha *. abort_sample)
+        +. ((1.0 -. t.cfg.alpha) *. t.abort_ewma);
+      t.read_ewma <-
+        (t.cfg.alpha *. read_sample) +. ((1.0 -. t.cfg.alpha) *. t.read_ewma)
+    end
+    else begin
+      t.abort_ewma <- abort_sample;
+      t.read_ewma <- read_sample;
+      t.have_sample <- true
+    end;
+    Mutex.unlock t.mu
+
+  let note_outcome t kind ~read ~aborts =
+    if aborts > 0 then ignore (Atomic.fetch_and_add t.c.aborts aborts);
+    let read_sample = if read then 1.0 else 0.0 in
+    match kind with
+    | Committed ->
+        Atomic.incr t.c.committed;
+        ewma_update t
+          ~abort_sample:
+            (float_of_int aborts /. float_of_int (aborts + 1))
+          ~read_sample
+    | Shed -> Atomic.incr t.c.shed
+    | Timed_out ->
+        Atomic.incr t.c.timed_out;
+        ewma_update t ~abort_sample:1.0 ~read_sample
+    | Budget_exhausted ->
+        Atomic.incr t.c.budget_exhausted;
+        ewma_update t ~abort_sample:1.0 ~read_sample
+
+  let note_ro_routed t = Atomic.incr t.c.ro_routed
+
+  let abort_ewma t = if t.have_sample then Some t.abort_ewma else None
+  let read_fraction t = if t.have_sample then Some t.read_ewma else None
+
+  let read_dominated t =
+    t.have_sample && t.read_ewma >= t.cfg.read_dominated_above
+
+  type stats = {
+    s_arrivals : int;
+    s_admitted : int;
+    s_committed : int;
+    s_shed : int;
+    s_timed_out : int;
+    s_budget_exhausted : int;
+    s_ro_routed : int;
+    s_aborts : int;
+    s_abort_ewma : float;
+    s_read_fraction : float;
+  }
+
+  let stats t =
+    {
+      s_arrivals = Atomic.get t.c.arrivals;
+      s_admitted = Atomic.get t.c.admitted;
+      s_committed = Atomic.get t.c.committed;
+      s_shed = Atomic.get t.c.shed;
+      s_timed_out = Atomic.get t.c.timed_out;
+      s_budget_exhausted = Atomic.get t.c.budget_exhausted;
+      s_ro_routed = Atomic.get t.c.ro_routed;
+      s_aborts = Atomic.get t.c.aborts;
+      s_abort_ewma = t.abort_ewma;
+      s_read_fraction = t.read_ewma;
+    }
+end
+
+(* ------------------------------------------------------------------ *)
+(* The brownout controller                                              *)
+
+(* Stepwise graceful degradation under sustained overload.  The ladder
+   is a pure state machine (qcheck drives it like Hysteresis): pressure
+   above [enter_above] for [dwell] consecutive samples climbs one
+   level, below [exit_below] for [dwell] samples descends one level,
+   and the dead band between them holds — so recovery is stable and
+   the system never jumps levels.
+
+   The levels, in escalation order:
+
+   - [Normal]: no interference;
+   - [Route_ro]: read-dominated tenants' pure-read requests are routed
+     onto the abort-free [Stm.read_only] MVCC path — they stop
+     competing for write locks entirely, at zero shed cost;
+   - [Shed_bronze]: bronze tenants are turned away at the door; gold
+     keeps its full service (and its RO routing);
+   - [Shed_gold]: everything is turned away — the last-resort level.
+     Deployments that treat gold admission as contractual cap the
+     ladder at [Shed_bronze] via [max_level] (the opensystem bench
+     does), which is exactly "shed bronze before gold, never gold".
+
+   Pressure is fed by the open runner as admission lag — how far
+   behind its *intended* arrival time a request started — normalized
+   by [lag_budget].  Lag is the honest open-system overload signal:
+   abort storms, convoys and parked queues all surface as lag, and it
+   goes to zero as soon as degradation actually relieves the system. *)
+module Brownout = struct
+  type level = Normal | Route_ro | Shed_bronze | Shed_gold
+
+  let level_index = function
+    | Normal -> 0
+    | Route_ro -> 1
+    | Shed_bronze -> 2
+    | Shed_gold -> 3
+
+  let level_of_index = function
+    | 0 -> Normal
+    | 1 -> Route_ro
+    | 2 -> Shed_bronze
+    | _ -> Shed_gold
+
+  let level_name = function
+    | Normal -> "normal"
+    | Route_ro -> "route-ro"
+    | Shed_bronze -> "shed-bronze"
+    | Shed_gold -> "shed-gold"
+
+  module Ladder = struct
+    type config = {
+      enter_above : float;  (* pressure climbing one level *)
+      exit_below : float;  (* pressure descending one level *)
+      dwell : int;  (* consecutive samples before a move *)
+      max_level : level;  (* escalation ceiling *)
+    }
+
+    let default_config =
+      { enter_above = 1.0; exit_below = 0.4; dwell = 3; max_level = Shed_gold }
+
+    type t = { level : level; up_streak : int; down_streak : int }
+
+    let initial = { level = Normal; up_streak = 0; down_streak = 0 }
+
+    (* One pressure observation.  Streaks reset whenever the sample
+       falls outside their side of the band, so [dwell] means [dwell]
+       *consecutive* samples — a flapping signal never moves the
+       ladder.  Returns the successor and whether a level changed. *)
+    let step cfg st ~pressure =
+      if pressure > cfg.enter_above then begin
+        let streak = st.up_streak + 1 in
+        if
+          streak >= cfg.dwell
+          && level_index st.level < level_index cfg.max_level
+        then
+          ( {
+              level = level_of_index (level_index st.level + 1);
+              up_streak = 0;
+              down_streak = 0;
+            },
+            true )
+        else ({ st with up_streak = streak; down_streak = 0 }, false)
+      end
+      else if pressure < cfg.exit_below then begin
+        let streak = st.down_streak + 1 in
+        if streak >= cfg.dwell && level_index st.level > 0 then
+          ( {
+              level = level_of_index (level_index st.level - 1);
+              up_streak = 0;
+              down_streak = 0;
+            },
+            true )
+        else ({ st with down_streak = streak; up_streak = 0 }, false)
+      end
+      else ({ st with up_streak = 0; down_streak = 0 }, false)
+  end
+
+  type config = {
+    ladder : Ladder.config;
+    alpha : float;  (* EWMA weight of the newest lag observation *)
+    sample_window : float;  (* min seconds between ladder steps *)
+    lag_budget : float;
+        (* seconds of admission lag that count as pressure 1.0 *)
+  }
+
+  let default_config =
+    {
+      ladder = Ladder.default_config;
+      alpha = 0.2;
+      sample_window = 0.01;
+      lag_budget = 0.005;
+    }
+
+  type t = {
+    cfg : config;
+    mu : Mutex.t;
+    mutable ladder : Ladder.t;
+    mutable ewma : float;
+    mutable have : bool;
+    mutable transitions : int;
+    mutable peak : int;
+    next_step_ns : int Atomic.t;
+    level_v : int Atomic.t;  (* fast-path mirror of [ladder.level] *)
+  }
+
+  let make ?(config = default_config) () =
+    {
+      cfg = config;
+      mu = Mutex.create ();
+      ladder = Ladder.initial;
+      ewma = 0.0;
+      have = false;
+      transitions = 0;
+      peak = 0;
+      next_step_ns = Atomic.make 0;
+      level_v = Atomic.make 0;
+    }
+
+  let level t = level_of_index (Atomic.get t.level_v)
+  let transitions t = t.transitions
+  let peak_level t = level_of_index t.peak
+  let pressure t = if t.have then Some t.ewma else None
+
+  (* Apply one ladder observation; caller holds [mu]. *)
+  let step_locked t =
+    let ladder', changed = Ladder.step t.cfg.ladder t.ladder ~pressure:t.ewma in
+    t.ladder <- ladder';
+    if changed then begin
+      let idx = level_index ladder'.Ladder.level in
+      Atomic.set t.level_v idx;
+      t.transitions <- t.transitions + 1;
+      if idx > t.peak then t.peak <- idx;
+      Proust_obs.Metrics.set_gauge "brownout_level" idx
+    end
+
+  (* One admission-lag observation (seconds), typically once per
+     request.  The EWMA updates every call; the ladder only steps once
+     per [sample_window], claimed by CAS so one caller pays. *)
+  let note_lag t ~lag =
+    Mutex.lock t.mu;
+    let p = Float.max 0.0 lag /. t.cfg.lag_budget in
+    t.ewma <-
+      (if t.have then (t.cfg.alpha *. p) +. ((1.0 -. t.cfg.alpha) *. t.ewma)
+       else p);
+    t.have <- true;
+    Mutex.unlock t.mu;
+    let due = Atomic.get t.next_step_ns in
+    let now = Clock.now_mono_ns () in
+    if
+      now >= due
+      && Atomic.compare_and_set t.next_step_ns due
+           (now + int_of_float (t.cfg.sample_window *. 1e9))
+    then begin
+      Mutex.lock t.mu;
+      step_locked t;
+      Mutex.unlock t.mu
+    end
+
+  (* Test hook: one pressure observation straight into the ladder,
+     bypassing the EWMA and the time gate. *)
+  let inject_pressure t p =
+    Mutex.lock t.mu;
+    t.ewma <- p;
+    t.have <- true;
+    step_locked t;
+    Mutex.unlock t.mu
+
+  type decision = Admit | Admit_ro | Shed
+
+  let decision_name = function
+    | Admit -> "admit"
+    | Admit_ro -> "admit-ro"
+    | Shed -> "shed"
+
+  (* Class-aware routing for one admitted request.  [read_txn] says the
+     request's transaction body is pure reads (the only shape the
+     abort-free RO path can run). *)
+  let plan t tenant ~read_txn =
+    let route_ro () =
+      if read_txn && Tenant.read_dominated tenant then Admit_ro else Admit
+    in
+    match level t with
+    | Normal -> Admit
+    | Route_ro -> route_ro ()
+    | Shed_bronze ->
+        if Tenant.klass tenant = Tenant.Bronze then Shed else route_ro ()
+    | Shed_gold -> Shed
+end
+
+(* ------------------------------------------------------------------ *)
 (* The stuck-transaction watchdog                                       *)
 
 module Watchdog = struct

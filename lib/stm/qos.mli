@@ -62,6 +62,148 @@ module Shedder : sig
   val inject_sample : float -> unit
 end
 
+(** Per-tenant QoS state: a token-bucket admission gate plus abort-rate
+    and read-mix EWMAs per tenant, so an antagonist's thrashing is
+    charged to the antagonist.  The class ([Gold]/[Bronze]) is what the
+    {!Brownout} controller degrades by. *)
+module Tenant : sig
+  type klass = Gold | Bronze
+
+  val klass_name : klass -> string
+
+  type config = {
+    rate : float;  (** sustained admissions/s; [<= 0] means uncapped *)
+    burst : float;  (** token-bucket capacity *)
+    alpha : float;  (** EWMA weight of the newest episode sample *)
+    read_dominated_above : float;
+        (** read-mix EWMA at or above which the tenant is
+            read-dominated (eligible for brownout RO routing) *)
+  }
+
+  val default_config : config
+
+  type t
+
+  val make : ?config:config -> name:string -> klass:klass -> unit -> t
+  val name : t -> string
+  val klass : t -> klass
+
+  (** Token-bucket admission for one arriving request; also counts the
+      arrival.  A refusal is the caller's cue to shed. *)
+  val admit : t -> bool
+
+  (** One finished episode: [aborts] is its wasted attempt count,
+      [read] whether the body was pure reads.  Feeds the EWMAs and the
+      per-tenant counters. *)
+  type outcome_kind = Committed | Shed | Timed_out | Budget_exhausted
+
+  val note_outcome : t -> outcome_kind -> read:bool -> aborts:int -> unit
+
+  (** Count one request routed onto the abort-free RO path. *)
+  val note_ro_routed : t -> unit
+
+  val abort_ewma : t -> float option
+  val read_fraction : t -> float option
+  val read_dominated : t -> bool
+
+  type stats = {
+    s_arrivals : int;
+    s_admitted : int;
+    s_committed : int;
+    s_shed : int;
+    s_timed_out : int;
+    s_budget_exhausted : int;
+    s_ro_routed : int;
+    s_aborts : int;
+    s_abort_ewma : float;
+    s_read_fraction : float;
+  }
+
+  val stats : t -> stats
+end
+
+(** Stepwise graceful degradation under sustained overload, driven by
+    admission lag (how far behind its {e intended} arrival a request
+    started).  Escalation order: [Normal] → [Route_ro] (read-dominated
+    tenants' pure-read requests take the abort-free [Stm.read_only]
+    path) → [Shed_bronze] → [Shed_gold]; the pure {!Ladder} state
+    machine moves one level at a time with a hysteresis dead band and a
+    dwell requirement, so recovery is stable and flapping signals never
+    move it.  The current level is published as the
+    ["brownout_level"] metrics gauge. *)
+module Brownout : sig
+  type level = Normal | Route_ro | Shed_bronze | Shed_gold
+
+  val level_index : level -> int
+  val level_of_index : int -> level
+  val level_name : level -> string
+
+  (** The pure escalation state machine (qcheck-able like
+      {!Hysteresis}). *)
+  module Ladder : sig
+    type config = {
+      enter_above : float;  (** pressure climbing one level *)
+      exit_below : float;  (** pressure descending one level *)
+      dwell : int;  (** consecutive samples required for a move *)
+      max_level : level;  (** escalation ceiling; deployments with
+          contractual gold admission cap at [Shed_bronze] *)
+    }
+
+    val default_config : config
+
+    type t = { level : level; up_streak : int; down_streak : int }
+
+    val initial : t
+
+    (** One pressure observation: the successor state and whether the
+        level changed.  Samples inside the dead band
+        [(exit_below, enter_above)] reset both streaks and never move
+        the ladder. *)
+    val step : config -> t -> pressure:float -> t * bool
+  end
+
+  type config = {
+    ladder : Ladder.config;
+    alpha : float;  (** EWMA weight of the newest lag observation *)
+    sample_window : float;  (** min seconds between ladder steps *)
+    lag_budget : float;
+        (** seconds of admission lag counting as pressure 1.0 *)
+  }
+
+  val default_config : config
+
+  type t
+
+  val make : ?config:config -> unit -> t
+  val level : t -> level
+
+  (** Level changes since creation. *)
+  val transitions : t -> int
+
+  (** Highest level reached since creation. *)
+  val peak_level : t -> level
+
+  (** Current pressure EWMA; [None] before the first observation. *)
+  val pressure : t -> float option
+
+  (** One admission-lag observation in seconds (typically once per
+      request): updates the EWMA always, steps the ladder at most once
+      per [sample_window]. *)
+  val note_lag : t -> lag:float -> unit
+
+  (** Test hook: one pressure observation straight into the ladder,
+      bypassing the EWMA and the time gate. *)
+  val inject_pressure : t -> float -> unit
+
+  type decision = Admit | Admit_ro | Shed
+
+  val decision_name : decision -> string
+
+  (** Routing for one admitted request of [tenant]; [read_txn] marks a
+      pure-read transaction body (the only shape the RO path runs). *)
+  val plan : t -> Tenant.t -> read_txn:bool -> decision
+end
+
 (** Supervisor domain that scans {!Txn_state.watch_list} for attempts
     running far longer than the observed p99 commit latency and kills
     them via {!Txn_desc.try_kill} (which refuses irrevocable attempts,

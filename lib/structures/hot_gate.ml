@@ -1,0 +1,58 @@
+(** Hot-key mitigation decorator: wraps any map trait so mutations of a
+    key first take the key's shard in a {!Proust_concurrent.Shard_gate}
+    and hold it to the end of the transaction.  Conflicting writers of
+    a hot key then serialize {e before} burning optimistic attempts
+    against each other, turning an abort storm into a short queue.
+
+    The gate is strictly best effort (bounded spin, then bypass) and
+    readers never touch it, so correctness stays entirely with the
+    wrapped structure and the STM: the decorator preserves the inner
+    trait's semantics under every mode the inner structure supports.
+    Shards held by a transaction are tracked in a transaction-local and
+    released by [after_commit]/[on_abort] hooks. *)
+
+module G = Proust_concurrent.Shard_gate
+
+type 'k t = {
+  gate : G.t;
+  hash : 'k -> int;
+  held_key : int list ref Stm.Local.key;
+}
+
+let make ?shards ?spin ?(hash = Hashtbl.hash) () =
+  let gate = G.create ?shards ?spin () in
+  let held_key =
+    Stm.Local.key (fun txn ->
+        let held = ref [] in
+        let free () =
+          List.iter (G.release gate) !held;
+          held := []
+        in
+        Stm.after_commit txn free;
+        Stm.on_abort txn free;
+        held)
+  in
+  { gate; hash; held_key }
+
+let gate t = t.gate
+
+(* Take the key's shard unless this transaction already holds it; a
+   bypass leaves no trace — the op proceeds gateless. *)
+let enter t txn k =
+  let shard = G.shard_of t.gate (t.hash k) in
+  let held = Stm.Local.get txn t.held_key in
+  if (not (List.mem shard !held)) && G.try_acquire t.gate shard then
+    held := shard :: !held
+
+let wrap t (ops : ('k, 'v) Trait.Map.ops) : ('k, 'v) Trait.Map.ops =
+  {
+    ops with
+    Trait.Map.put =
+      (fun txn k v ->
+        enter t txn k;
+        ops.Trait.Map.put txn k v);
+    remove =
+      (fun txn k ->
+        enter t txn k;
+        ops.Trait.Map.remove txn k);
+  }

@@ -1,0 +1,19 @@
+(** Hot-key mitigation decorator over any map trait: mutations take the
+    key's shard in a best-effort {!Proust_concurrent.Shard_gate} (held
+    to transaction end, released by commit/abort hooks), serializing
+    hot-key writers before they burn optimistic attempts against each
+    other.  Readers and bypassed writers proceed gateless; correctness
+    stays entirely with the wrapped structure and the STM. *)
+
+type 'k t
+
+(** [hash] maps keys to shard hashes (default [Hashtbl.hash]); [shards]
+    and [spin] as in {!Proust_concurrent.Shard_gate.create}. *)
+val make : ?shards:int -> ?spin:int -> ?hash:('k -> int) -> unit -> 'k t
+
+(** The underlying gate, for heat/bypass observability. *)
+val gate : _ t -> Proust_concurrent.Shard_gate.t
+
+(** Decorate a map trait: [put]/[remove] gate on the key's shard,
+    everything else passes through untouched. *)
+val wrap : 'k t -> ('k, 'v) Trait.Map.ops -> ('k, 'v) Trait.Map.ops

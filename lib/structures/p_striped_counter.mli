@@ -1,0 +1,24 @@
+(** Striped transactional counter: the count spread over per-stripe
+    tvars so concurrent increments from different domains never
+    conflict; [decr] borrows from sibling stripes near empty; [value]
+    reads the whole band.  Plain STM state — serializable under any
+    mode — and the A/B escape-hatch baseline against {!P_counter}'s
+    conflict-abstraction design. *)
+
+type t
+
+(** [stripes] is rounded up to a power of two. *)
+val make : ?stripes:int -> ?init:int -> unit -> t
+
+val stripes : t -> int
+val incr : t -> Stm.txn -> unit
+
+(** [false] when the counter was 0 (never goes negative). *)
+val decr : t -> Stm.txn -> bool
+
+val value : t -> Stm.txn -> int
+
+(** Committed total, non-transactionally. *)
+val peek : t -> int
+
+val ops : t -> Trait.Counter.ops

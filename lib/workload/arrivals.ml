@@ -1,0 +1,203 @@
+(** Open-system traffic generation: arrival processes and skewed key
+    distributions.
+
+    The closed-loop runner issues the next operation the moment the
+    previous one returns, which silently re-times the schedule around
+    the system's own slowness (coordinated omission).  An open-system
+    run instead fixes the {e intended} arrival times up front — this
+    module generates them — and the runner measures every request from
+    its intended time, so queueing delay stays in the latency numbers.
+
+    Everything here is deterministic from an explicit integer seed
+    (callers derive it from [PROUST_SEED]): the same seed yields the
+    same schedule and the same key stream, so an open-system cell is
+    reproducible modulo actual service timing. *)
+
+(* ------------------------------------------------------------------ *)
+(* Seeding                                                             *)
+
+(* One shared convention for deriving an RNG from the master seed plus
+   a salt path (tenant index, purpose tag), so two generators never
+   alias unless asked to. *)
+let default_seed () =
+  match Sys.getenv_opt "PROUST_SEED" with
+  | Some s -> ( match int_of_string_opt s with Some n -> n | None -> 0xC0FFEE)
+  | None -> 0xC0FFEE
+
+let rng ?seed ~salt () =
+  let seed = match seed with Some s -> s | None -> default_seed () in
+  Random.State.make (Array.of_list (seed :: salt))
+
+(* ------------------------------------------------------------------ *)
+(* Arrival processes                                                   *)
+
+(** [Poisson] is the classic open-system model: exponential
+    inter-arrival gaps at [rate] per second.  [Bursty] is a two-state
+    Markov-modulated Poisson process (on/off): arrivals at [rate_on]
+    during bursts, [rate_off] between them, with exponentially
+    distributed state dwell times ([mean_on]/[mean_off] seconds) — the
+    antagonist shape that defeats admission controllers tuned to mean
+    load. *)
+type process =
+  | Poisson of { rate : float }
+  | Bursty of {
+      rate_on : float;
+      rate_off : float;
+      mean_on : float;
+      mean_off : float;
+    }
+
+let mean_rate = function
+  | Poisson { rate } -> rate
+  | Bursty { rate_on; rate_off; mean_on; mean_off } ->
+      ((rate_on *. mean_on) +. (rate_off *. mean_off))
+      /. (mean_on +. mean_off)
+
+(* Exponential sample by inversion; [1.0 -. u] keeps log's argument in
+   (0, 1] (Random.State.float may return 0.0). *)
+let exponential st ~rate =
+  if rate <= 0.0 then invalid_arg "Arrivals.exponential: rate <= 0";
+  -.log (1.0 -. Random.State.float st 1.0) /. rate
+
+(** [schedule st process ~count] — [count] intended arrival offsets in
+    seconds from the run's start, nondecreasing.  For [Bursty], state
+    switches are resolved by thinning: time advances through off/on
+    dwell periods and arrivals are drawn at the current state's rate. *)
+let schedule st process ~count =
+  if count < 0 then invalid_arg "Arrivals.schedule: count < 0";
+  let out = Array.make count 0.0 in
+  (match process with
+  | Poisson { rate } ->
+      let t = ref 0.0 in
+      for i = 0 to count - 1 do
+        t := !t +. exponential st ~rate;
+        out.(i) <- !t
+      done
+  | Bursty { rate_on; rate_off; mean_on; mean_off } ->
+      if mean_on <= 0.0 || mean_off <= 0.0 then
+        invalid_arg "Arrivals.schedule: bursty dwell times must be positive";
+      (* [state_end] is when the current dwell period expires; an
+         arrival drawn past it is discarded and time jumps to the
+         switch instead (memorylessness makes the re-draw sound). *)
+      let t = ref 0.0 in
+      let on = ref false in
+      let state_end = ref (exponential st ~rate:(1.0 /. mean_off)) in
+      let i = ref 0 in
+      while !i < count do
+        let rate = if !on then rate_on else rate_off in
+        let next =
+          if rate <= 0.0 then infinity else !t +. exponential st ~rate
+        in
+        if next < !state_end then begin
+          t := next;
+          out.(!i) <- next;
+          incr i
+        end
+        else begin
+          t := !state_end;
+          on := not !on;
+          let mean = if !on then mean_on else mean_off in
+          state_end := !t +. exponential st ~rate:(1.0 /. mean)
+        end
+      done);
+  out
+
+(* ------------------------------------------------------------------ *)
+(* Key distributions                                                   *)
+
+(** Key popularity over a keyspace of [keys] keys.  [Zipf] uses Gray's
+    O(1) approximate inverse transform (the YCSB generator), so 10^6+
+    keyspaces cost one O(n) zeta pass at construction and constant
+    work per sample — the existing {!Workload.zipf_sampler} builds a
+    full CDF table and stays for small closed-loop ranges.  [scramble]
+    hashes ranks onto keys so popularity is spread across the
+    keyspace; unscrambled, rank [i] {e is} key [i], which is what a
+    hot-key antagonist wants (the hot set is a known prefix).
+    [Hotset] sends a [fraction] of accesses to the first [hot] keys
+    and the rest uniformly everywhere — the crudest possible flood. *)
+type key_dist =
+  | Uniform
+  | Zipf of { s : float; scramble : bool }
+  | Hotset of { hot : int; fraction : float }
+
+type keygen = { kg_keys : int; kg_sample : Random.State.t -> int }
+
+(* Xorshift-multiply mix for rank scrambling (constants fit OCaml's
+   63-bit int; the exact mix only needs to be a fixed bijection-ish
+   spreader, not a standard hash). *)
+let scramble_hash x =
+  let x = x lxor (x lsr 33) in
+  let x = x * 0x2545F4914F6CDD1D in
+  let x = x lxor (x lsr 29) in
+  let x = x * 0x100000001B3 in
+  (x lxor (x lsr 32)) land max_int
+
+(* Gray's approximation (as used by YCSB's ZipfianGenerator): valid
+   for exponent 0 < s < 1.  zeta(n) is computed once — a single O(n)
+   float loop, ~4ms for 10^6 — then each sample is O(1). *)
+let zipf_gen ~s ~n =
+  if not (s > 0.0 && s < 1.0) then
+    invalid_arg "Arrivals.keygen: Zipf exponent must be in (0, 1)";
+  if n < 2 then invalid_arg "Arrivals.keygen: Zipf needs >= 2 keys";
+  let zetan = ref 0.0 in
+  for i = 1 to n do
+    zetan := !zetan +. (1.0 /. (float_of_int i ** s))
+  done;
+  let zetan = !zetan in
+  let theta = s in
+  let alpha = 1.0 /. (1.0 -. theta) in
+  let zeta2 = 1.0 +. (0.5 ** theta) in
+  let eta =
+    (1.0 -. ((2.0 /. float_of_int n) ** (1.0 -. theta)))
+    /. (1.0 -. (zeta2 /. zetan))
+  in
+  fun st ->
+    let u = Random.State.float st 1.0 in
+    let uz = u *. zetan in
+    if uz < 1.0 then 0
+    else if uz < zeta2 then 1
+    else
+      let r =
+        int_of_float
+          (float_of_int n *. (((eta *. u) -. eta +. 1.0) ** alpha))
+      in
+      if r < 0 then 0 else if r >= n then n - 1 else r
+
+let keygen dist ~keys =
+  if keys <= 0 then invalid_arg "Arrivals.keygen: keys <= 0";
+  let sample =
+    match dist with
+    | Uniform -> fun st -> Random.State.int st keys
+    | Zipf { s; scramble } ->
+        let rank = zipf_gen ~s ~n:keys in
+        if scramble then fun st -> scramble_hash (rank st) mod keys
+        else fun st -> rank st
+    | Hotset { hot; fraction } ->
+        if hot <= 0 || hot > keys then
+          invalid_arg "Arrivals.keygen: hot set outside keyspace";
+        if not (fraction >= 0.0 && fraction <= 1.0) then
+          invalid_arg "Arrivals.keygen: hot fraction outside [0, 1]";
+        fun st ->
+          if Random.State.float st 1.0 < fraction then
+            Random.State.int st hot
+          else Random.State.int st keys
+  in
+  { kg_keys = keys; kg_sample = sample }
+
+let next_key g st = g.kg_sample st
+let keyspace g = g.kg_keys
+
+(* ------------------------------------------------------------------ *)
+(* Operation streams over a keygen                                     *)
+
+(** [ops st g ~write_fraction ~count] — a pre-generated operation
+    stream drawing keys from [g]: the {!Workload.op} shape, so the
+    open runner reuses {!Workload.apply_op}. *)
+let ops st g ~write_fraction ~count =
+  Array.init count (fun _ ->
+      let k = next_key g st in
+      if Random.State.float st 1.0 < write_fraction then
+        if Random.State.bool st then
+          Workload.Put (k, Random.State.int st 1_000_000)
+        else Workload.Remove k
+      else Workload.Get k)

@@ -1,0 +1,62 @@
+(** Open-system traffic generation: seeded arrival processes (Poisson
+    and bursty/on-off) and skewed key distributions scaling to 10^6+
+    keyspaces.  Deterministic from an explicit seed derived from
+    [PROUST_SEED], so intended-arrival schedules are reproducible. *)
+
+(** The [PROUST_SEED] environment value, or the repo-wide default. *)
+val default_seed : unit -> int
+
+(** [rng ?seed ~salt ()] — an RNG from the master seed (default
+    {!default_seed}) and a salt path, e.g. [[tenant_index; purpose]];
+    distinct salts give independent streams. *)
+val rng : ?seed:int -> salt:int list -> unit -> Random.State.t
+
+(** Arrival processes: [Poisson] at a fixed rate, or [Bursty] — a
+    two-state on/off modulated Poisson process with exponential dwell
+    times, the antagonist shape for admission-control testing. *)
+type process =
+  | Poisson of { rate : float }
+  | Bursty of {
+      rate_on : float;  (** arrivals/s during a burst *)
+      rate_off : float;  (** arrivals/s between bursts *)
+      mean_on : float;  (** mean burst length, seconds *)
+      mean_off : float;  (** mean gap length, seconds *)
+    }
+
+(** Long-run mean arrival rate of a process, per second. *)
+val mean_rate : process -> float
+
+(** One exponential inter-arrival sample at [rate] per second. *)
+val exponential : Random.State.t -> rate:float -> float
+
+(** [schedule st p ~count] — [count] intended arrival offsets in
+    seconds from run start, nondecreasing. *)
+val schedule : Random.State.t -> process -> count:int -> float array
+
+(** Key popularity.  [Zipf] requires exponent [0 < s < 1] (Gray's O(1)
+    approximate sampler, as in YCSB — one O(n) zeta pass at
+    construction); with [scramble] the rank→key map is hashed so hot
+    ranks spread across the keyspace, without it rank [i] is key [i].
+    [Hotset] sends [fraction] of accesses to keys [0, hot) and the
+    rest uniformly over the whole keyspace. *)
+type key_dist =
+  | Uniform
+  | Zipf of { s : float; scramble : bool }
+  | Hotset of { hot : int; fraction : float }
+
+type keygen
+
+(** [keygen dist ~keys] over keyspace [0, keys). *)
+val keygen : key_dist -> keys:int -> keygen
+
+val next_key : keygen -> Random.State.t -> int
+val keyspace : keygen -> int
+
+(** Pre-generated {!Workload.op} stream drawing keys from the
+    generator, [write_fraction] split evenly between put and remove. *)
+val ops :
+  Random.State.t ->
+  keygen ->
+  write_fraction:float ->
+  count:int ->
+  Workload.op array

@@ -1,0 +1,89 @@
+(** The open-system runner: a shared pool of service domains works a
+    merged stream of per-tenant requests issued at {e intended} arrival
+    times fixed before the run, and latency is measured from the
+    intended time, not from when a worker got around to sending — the
+    coordinated-omission-correct discipline the closed-loop {!Runner}
+    cannot provide.  The pool is shared across tenants (the real
+    overload topology: one tenant's backlog delays everyone
+    head-of-line); per-tenant QoS admission ({!Qos.Tenant}) and an
+    optional {!Qos.Brownout} controller sit on the admission path. *)
+
+type tenant_spec = {
+  ts_name : string;
+  ts_klass : Qos.Tenant.klass;
+  ts_process : Arrivals.process;
+  ts_dist : Arrivals.key_dist;
+  ts_keys : int;
+  ts_write_fraction : float;
+  ts_ops_per_txn : int;
+  ts_deadline : float;  (** per-request deadline, seconds *)
+  ts_max_attempts : int option;
+      (** per-request retry budget; [None] = deadline only *)
+  ts_qos : Qos.Tenant.config;
+}
+
+(** Constructor with the defaults benches use: uniform keys over 10^6,
+    20% writes, 2 ops/txn, 50 ms deadline, uncapped QoS. *)
+val tenant_spec :
+  ?dist:Arrivals.key_dist ->
+  ?keys:int ->
+  ?write_fraction:float ->
+  ?ops_per_txn:int ->
+  ?deadline:float ->
+  ?max_attempts:int ->
+  ?qos:Qos.Tenant.config ->
+  name:string ->
+  klass:Qos.Tenant.klass ->
+  Arrivals.process ->
+  tenant_spec
+
+type tenant_result = {
+  tr_name : string;
+  tr_klass : Qos.Tenant.klass;
+  tr_stats : Qos.Tenant.stats;
+  tr_goodput : float;  (** committed requests per second *)
+  tr_offered : float;  (** scheduled arrivals per second *)
+  tr_latency : Proust_obs.Metrics.scope_summary option;
+      (** per-tenant scope; [intended]/[service] histograms carry the
+          open-system latency pair (nanoseconds, with p999) *)
+  tr_max_lag_s : float;  (** worst admission lag observed, seconds *)
+}
+
+type result = {
+  o_duration : float;
+  o_offered : float;  (** total scheduled arrivals per second *)
+  o_brownout_peak : Qos.Brownout.level option;
+  o_brownout_transitions : int;
+  o_tenants : tenant_result list;
+  o_stats : Stats.snapshot;  (** STM activity during the run *)
+}
+
+(** [run ?seed ?config ?brownout ?prefill ~duration ~entry tenants] —
+    one open-system run against a map registry entry.  Schedules and
+    op streams are deterministic from [seed] (default [PROUST_SEED]).
+    [config] overrides the entry's derived STM config; RO routing from
+    the brownout controller is honoured only under [Multi_version].
+    Every scheduled arrival inside the window is accounted:
+    [committed + shed + timed_out + budget_exhausted = arrivals].
+    Latency is recorded for every {e executed} episode — timeouts
+    included, at their full cost — never for sheds.  [warmup] > 0
+    zeroes the latency scopes that many seconds in (counters stay
+    whole-run); past run end plus [drain] seconds, remaining backlog is
+    shed at the harness so overloaded cells terminate.  [workers]
+    defaults to the machine's core count less one, capped at 4 —
+    oversubscribing domains puts scheduler timeslices in the tail. *)
+val run :
+  ?seed:int ->
+  ?config:Stm.config ->
+  ?brownout:Qos.Brownout.t ->
+  ?workers:int ->
+  ?prefill:int ->
+  ?warmup:float ->
+  ?drain:float ->
+  duration:float ->
+  entry:Registry.entry ->
+  tenant_spec list ->
+  result
+
+val tenant_to_json : tenant_result -> Proust_obs.Json.t
+val to_json : result -> Proust_obs.Json.t

@@ -99,6 +99,13 @@ let all ?(slots = 1024) () =
         S.P_omap.map_ops (S.P_omap.make ~slots ~index:(fun k -> k / 16) ()));
     map_entry "skipmap" (fun () ->
         S.P_skipmap.map_ops (S.P_skipmap.make ~slots ~index:(fun k -> k / 16) ()));
+    map_entry "omap-snap" (fun () -> S.P_snap_omap.map_ops (S.P_snap_omap.make ()));
+    (* -- hot-key mitigation A/B points ----------------------------- *)
+    (* Same structure as "eager-opt" with writes serialized through a
+       best-effort shard gate; benched against it under skew. *)
+    map_entry "eager-opt-hotgate" (fun () ->
+        let hg = S.Hot_gate.make ~shards:64 () in
+        S.Hot_gate.wrap hg (S.P_hashmap.ops (S.P_hashmap.make ~slots ())));
     (* -- FIFO queues ---------------------------------------------- *)
     queue_entry "fifo-eager" (fun () -> S.P_fifo.ops (S.P_fifo.make ()));
     queue_entry "fifo-pess" (fun () ->
@@ -123,6 +130,9 @@ let all ?(slots = 1024) () =
     counter_entry "semaphore" (fun () -> Y.Semaphore.ops (Y.Semaphore.make 0));
     counter_entry "p-counter" (fun () ->
         S.P_counter.ops (S.P_counter.make ~observable:true ()));
+    (* The striped escape hatch, A/B against "p-counter". *)
+    counter_entry "p-counter-striped" (fun () ->
+        S.P_striped_counter.ops (S.P_striped_counter.make ()));
   ]
 
 let is_map e = match e.target with Map _ -> true | _ -> false

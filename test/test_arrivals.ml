@@ -1,0 +1,226 @@
+(* Open-system traffic generation: arrival processes, skewed key
+   distributions, and the seed-determinism contract the open runner
+   leans on.
+
+   Statistical assertions use wide tolerances and fixed sub-seeds: the
+   point is catching inverted logic (a Zipf that is secretly uniform, a
+   Poisson off by 10x), not certifying the generators to three
+   decimals. *)
+
+open Util
+module W = Proust_workload
+module A = W.Arrivals
+
+let mean arr = Array.fold_left ( +. ) 0.0 arr /. float_of_int (Array.length arr)
+
+let gaps sched =
+  Array.init
+    (Array.length sched - 1)
+    (fun i -> sched.(i + 1) -. sched.(i))
+
+(* -- Schedules ------------------------------------------------------- *)
+
+let test_poisson_interarrival () =
+  let st = A.rng ~seed:(sub_seed 1) ~salt:[ 0; 1 ] () in
+  let rate = 10_000.0 in
+  let sched = A.schedule st (A.Poisson { rate }) ~count:50_000 in
+  Array.iteri
+    (fun i t ->
+      if i > 0 && t < sched.(i - 1) then
+        Alcotest.failf "schedule not nondecreasing at %d" i)
+    sched;
+  let g = gaps sched in
+  let m = mean g in
+  (* Mean inter-arrival = 1/rate within 5% over 50k samples. *)
+  if Float.abs ((m *. rate) -. 1.0) > 0.05 then
+    Alcotest.failf "Poisson mean gap %.3g, expected %.3g" m (1.0 /. rate);
+  (* Exponential gaps: P(gap > mean) = 1/e ~ 0.368. *)
+  let above = Array.fold_left (fun n x -> if x > m then n + 1 else n) 0 g in
+  let frac = float_of_int above /. float_of_int (Array.length g) in
+  if Float.abs (frac -. 0.368) > 0.03 then
+    Alcotest.failf "P(gap > mean) = %.3f, expected ~0.368" frac
+
+let test_bursty_rate_between () =
+  let p =
+    A.Bursty
+      { rate_on = 50_000.0; rate_off = 5_000.0; mean_on = 0.1; mean_off = 0.1 }
+  in
+  check (Alcotest.float 1.0) "mean_rate" 27_500.0 (A.mean_rate p);
+  (* Averaged over many independent windows the realized rate must
+     straddle the analytic mean; any single window may not (duty-cycle
+     variance is the point of the process). *)
+  let total = ref 0 in
+  let runs = 20 in
+  let span = 1.0 in
+  for s = 1 to runs do
+    let st = A.rng ~seed:(sub_seed 2) ~salt:[ s; 1 ] () in
+    let sched = A.schedule st p ~count:60_000 in
+    Array.iteri
+      (fun i t ->
+        if i > 0 && t < sched.(i - 1) then
+          Alcotest.failf "bursty schedule not nondecreasing at %d" i)
+      sched;
+    total :=
+      !total
+      + Array.fold_left (fun n t -> if t <= span then n + 1 else n) 0 sched
+  done;
+  let realized = float_of_int !total /. (float_of_int runs *. span) in
+  if Float.abs ((realized /. A.mean_rate p) -. 1.0) > 0.15 then
+    Alcotest.failf "bursty realized rate %.0f vs mean %.0f" realized
+      (A.mean_rate p)
+
+(* -- Key distributions ----------------------------------------------- *)
+
+let sample_hist g st ~n ~keys =
+  let h = Array.make keys 0 in
+  for _ = 1 to n do
+    let k = A.next_key g st in
+    if k < 0 || k >= keys then Alcotest.failf "key %d outside keyspace" k;
+    h.(k) <- h.(k) + 1
+  done;
+  h
+
+let test_zipf_rank_frequency () =
+  let keys = 100_000 in
+  let g = A.keygen (A.Zipf { s = 0.8; scramble = false }) ~keys in
+  let st = A.rng ~seed:(sub_seed 3) ~salt:[ 0; 2 ] () in
+  let n = 200_000 in
+  let h = sample_hist g st ~n ~keys in
+  (* Unscrambled: rank i is key i.  Rank-frequency must decay — each
+     decade of rank cuts frequency by roughly 10^-s, so adjacent
+     decades must at least be ordered with real separation. *)
+  let mass lo hi =
+    let t = ref 0 in
+    for i = lo to hi do
+      t := !t + h.(i)
+    done;
+    !t
+  in
+  let top1 = mass 0 0 in
+  let d10 = mass 0 9 in
+  let d100 = mass 10 99 in
+  let d1000 = mass 100 999 in
+  if not (top1 > 0 && d10 > d100 / 5 && d100 > d1000 / 5) then
+    Alcotest.failf "Zipf decades not decaying: %d / %d / %d" d10 d100 d1000;
+  (* The head must be far above the uniform share n/keys = 2. *)
+  if top1 < 100 * (n / keys) then
+    Alcotest.failf "Zipf head %d barely above uniform share %d" top1 (n / keys);
+  (* And the tail must still be populated (not a degenerate hot-only
+     generator). *)
+  if mass 1000 (keys - 1) = 0 then Alcotest.fail "Zipf tail empty"
+
+let test_zipf_scramble_spreads () =
+  let keys = 65_536 in
+  let g = A.keygen (A.Zipf { s = 0.9; scramble = true }) ~keys in
+  let st = A.rng ~seed:(sub_seed 4) ~salt:[ 0; 3 ] () in
+  let n = 50_000 in
+  let h = sample_hist g st ~n ~keys in
+  (* Scrambling moves popularity off the rank prefix: the first 16
+     keys must NOT hold the head mass they would unscrambled (~40%). *)
+  let prefix = ref 0 in
+  for i = 0 to 15 do
+    prefix := !prefix + h.(i)
+  done;
+  if float_of_int !prefix /. float_of_int n > 0.2 then
+    Alcotest.failf "scrambled Zipf still has %d/%d in the rank prefix" !prefix n;
+  (* But the distribution is still skewed: some key is far above the
+     uniform share. *)
+  let hottest = Array.fold_left max 0 h in
+  if hottest < 20 * max 1 (n / keys) then
+    Alcotest.failf "scrambled Zipf hottest key only %d samples" hottest
+
+let test_hotset_fraction () =
+  let keys = 100_000 and hot = 8 in
+  let fraction = 0.9 in
+  let g = A.keygen (A.Hotset { hot; fraction }) ~keys in
+  let st = A.rng ~seed:(sub_seed 5) ~salt:[ 0; 4 ] () in
+  let n = 100_000 in
+  let h = sample_hist g st ~n ~keys in
+  let in_hot = ref 0 in
+  for i = 0 to hot - 1 do
+    in_hot := !in_hot + h.(i)
+  done;
+  (* Expected hot mass = fraction + (1-fraction) * hot/keys. *)
+  let expect = fraction +. ((1.0 -. fraction) *. float_of_int hot /. float_of_int keys) in
+  let got = float_of_int !in_hot /. float_of_int n in
+  if Float.abs (got -. expect) > 0.02 then
+    Alcotest.failf "hotset mass %.3f, expected %.3f" got expect
+
+(* -- Determinism ----------------------------------------------------- *)
+
+let test_seed_determinism () =
+  let mk seed salt =
+    let st = A.rng ~seed ~salt () in
+    A.schedule st (A.Poisson { rate = 1000.0 }) ~count:2_000
+  in
+  let a = mk 42 [ 0; 1 ] and b = mk 42 [ 0; 1 ] in
+  check cb "same seed+salt: identical schedules" true (a = b);
+  let c = mk 42 [ 1; 1 ] in
+  check cb "different salt: different schedule" false (a = c);
+  let d = mk 43 [ 0; 1 ] in
+  check cb "different seed: different schedule" false (a = d);
+  (* Ops streams too: same inputs, same array. *)
+  let ops seed =
+    let st = A.rng ~seed ~salt:[ 0; 2 ] () in
+    let g = A.keygen (A.Zipf { s = 0.7; scramble = true }) ~keys:10_000 in
+    A.ops st g ~write_fraction:0.3 ~count:5_000
+  in
+  check cb "same seed: identical op stream" true (ops 7 = ops 7);
+  check cb "different seed: different op stream" false (ops 7 = ops 8)
+
+let test_ops_write_fraction () =
+  let st = A.rng ~seed:(sub_seed 6) ~salt:[ 0; 5 ] () in
+  let g = A.keygen A.Uniform ~keys:1_000 in
+  let reads =
+    A.ops st g ~write_fraction:0.0 ~count:2_000
+    |> Array.for_all (function W.Workload.Get _ -> true | _ -> false)
+  in
+  check cb "write_fraction 0: all reads" true reads;
+  let writes =
+    A.ops st g ~write_fraction:1.0 ~count:2_000
+    |> Array.for_all (function W.Workload.Get _ -> false | _ -> true)
+  in
+  check cb "write_fraction 1: no reads" true writes
+
+(* qcheck: schedules are nondecreasing and start past zero for any
+   rate and count in a sane range. *)
+let qcheck_schedule_monotone =
+  qcheck ~count:100 "any Poisson schedule is nondecreasing and positive"
+    QCheck2.Gen.(pair (int_range 1 2_000) (float_range 10.0 100_000.0))
+    (fun (count, rate) ->
+      let st = A.rng ~seed:(sub_seed 7) ~salt:[ count; 6 ] () in
+      let sched = A.schedule st (A.Poisson { rate }) ~count in
+      let ok = ref (Array.length sched = count) in
+      Array.iteri
+        (fun i t ->
+          if t <= 0.0 then ok := false;
+          if i > 0 && t < sched.(i - 1) then ok := false)
+        sched;
+      !ok)
+
+let qcheck_zipf_in_range =
+  qcheck ~count:100 "Zipf samples stay inside the keyspace"
+    QCheck2.Gen.(pair (int_range 2 1_000_000) (float_range 0.05 0.95))
+    (fun (keys, s) ->
+      let g = A.keygen (A.Zipf { s; scramble = (keys land 1 = 0) }) ~keys in
+      let st = A.rng ~seed:(sub_seed 8) ~salt:[ keys; 7 ] () in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let k = A.next_key g st in
+        if k < 0 || k >= keys then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    test "Poisson inter-arrival mean and shape" test_poisson_interarrival;
+    test "bursty rate brackets and monotonicity" test_bursty_rate_between;
+    test "Zipf rank-frequency decays" test_zipf_rank_frequency;
+    test "Zipf scramble spreads the head" test_zipf_scramble_spreads;
+    test "hotset mass matches the fraction" test_hotset_fraction;
+    test "schedules and op streams are seed-deterministic"
+      test_seed_determinism;
+    test "op streams honour write_fraction" test_ops_write_fraction;
+    qcheck_schedule_monotone;
+    qcheck_zipf_in_range;
+  ]

@@ -23,4 +23,6 @@ let () =
       ("durable", Test_durable.suite);
       ("sync", Test_sync.suite);
       ("mvcc", Test_mvcc.suite);
+      ("arrivals", Test_arrivals.suite);
+      ("opensystem", Test_opensystem.suite);
     ]

@@ -167,6 +167,202 @@ let hysteresis_tests =
         | Qos.Hysteresis.Normal -> transitions mod 2 = 0);
   ]
 
+(* -- Brownout ladder: pure state-machine properties ------------------- *)
+
+let ladder_cfg =
+  {
+    Qos.Brownout.Ladder.enter_above = 1.0;
+    exit_below = 0.4;
+    dwell = 2;
+    max_level = Qos.Brownout.Shed_gold;
+  }
+
+let run_ladder cfg samples =
+  List.fold_left
+    (fun (st, trace) p ->
+      let st', changed = Qos.Brownout.Ladder.step cfg st ~pressure:p in
+      (st', (st'.Qos.Brownout.Ladder.level, changed) :: trace))
+    (Qos.Brownout.Ladder.initial, [])
+    samples
+
+let ladder_tests =
+  let open Qos.Brownout in
+  [
+    qcheck ~count:500 "dead-band pressure never moves the ladder"
+      QCheck2.Gen.(
+        list_size (int_range 1 50)
+          (float_range ladder_cfg.Ladder.exit_below
+             ladder_cfg.Ladder.enter_above))
+      (fun samples ->
+        let final, trace = run_ladder ladder_cfg samples in
+        final.Ladder.level = Normal
+        && List.for_all (fun (_, changed) -> not changed) trace);
+    qcheck ~count:500 "the ladder moves one level at a time"
+      QCheck2.Gen.(list_size (int_range 1 80) (float_range 0.0 3.0))
+      (fun samples ->
+        let _, trace = run_ladder ladder_cfg samples in
+        let levels = Normal :: List.rev_map fst trace in
+        let rec ok = function
+          | a :: (b :: _ as rest) ->
+              abs (level_index a - level_index b) <= 1 && ok rest
+          | _ -> true
+        in
+        ok levels);
+    qcheck ~count:500 "max_level caps escalation"
+      QCheck2.Gen.(
+        pair (int_range 0 3) (list_size (int_range 1 80) (float_range 0.0 3.0)))
+      (fun (cap, samples) ->
+        let cfg = { ladder_cfg with Ladder.max_level = level_of_index cap } in
+        let _, trace = run_ladder cfg samples in
+        List.for_all (fun (l, _) -> level_index l <= cap) trace);
+    qcheck ~count:500 "fewer than dwell high samples never escalate"
+      QCheck2.Gen.(int_range 2 6)
+      (fun dwell ->
+        let cfg = { ladder_cfg with Ladder.dwell } in
+        (* dwell-1 high samples, a dead-band reset, repeated: the
+           streak can never complete. *)
+        let burst = List.init (dwell - 1) (fun _ -> 2.0) @ [ 0.7 ] in
+        let samples = List.concat (List.init 10 (fun _ -> burst)) in
+        let final, trace = run_ladder cfg samples in
+        final.Ladder.level = Normal
+        && List.for_all (fun (_, changed) -> not changed) trace);
+    qcheck ~count:200 "sustained calm always walks back to Normal"
+      QCheck2.Gen.(list_size (int_range 1 40) (float_range 0.0 3.0))
+      (fun noise ->
+        let calm = List.init (4 * 2 * 5) (fun _ -> 0.1) in
+        let final, _ = run_ladder ladder_cfg (noise @ calm) in
+        final.Ladder.level = Normal);
+  ]
+
+(* -- Per-tenant QoS: token bucket and EWMAs --------------------------- *)
+
+let test_tenant_token_bucket () =
+  (* Microscopic refill: over the test's lifetime the bucket earns no
+     meaningful tokens back, so admission is exactly the burst. *)
+  let t =
+    Qos.Tenant.make
+      ~config:
+        { Qos.Tenant.default_config with rate = 1e-6; burst = 8.0 }
+      ~name:"capped" ~klass:Qos.Tenant.Bronze ()
+  in
+  let admitted = ref 0 in
+  for _ = 1 to 20 do
+    if Qos.Tenant.admit t then incr admitted
+  done;
+  check ci "admits exactly the burst" 8 !admitted;
+  let s = Qos.Tenant.stats t in
+  check ci "every arrival counted" 20 s.Qos.Tenant.s_arrivals;
+  check ci "admitted counter agrees" 8 s.Qos.Tenant.s_admitted;
+  (* Uncapped config: admission never refuses. *)
+  let u =
+    Qos.Tenant.make
+      ~config:{ Qos.Tenant.default_config with rate = 0.0 }
+      ~name:"uncapped" ~klass:Qos.Tenant.Gold ()
+  in
+  for _ = 1 to 100 do
+    check cb "uncapped admits" true (Qos.Tenant.admit u)
+  done
+
+let test_tenant_ewmas () =
+  let t =
+    Qos.Tenant.make
+      ~config:{ Qos.Tenant.default_config with alpha = 0.5 }
+      ~name:"ewma" ~klass:Qos.Tenant.Gold ()
+  in
+  check cb "no sample yet" true (Qos.Tenant.abort_ewma t = None);
+  check cb "not read-dominated before any sample" false
+    (Qos.Tenant.read_dominated t);
+  (* Clean read-only commits: abort EWMA at zero, read fraction at
+     one, tenant read-dominated. *)
+  for _ = 1 to 10 do
+    Qos.Tenant.note_outcome t Qos.Tenant.Committed ~read:true ~aborts:0
+  done;
+  check cb "clean commits keep abort EWMA at zero" true
+    (Qos.Tenant.abort_ewma t = Some 0.0);
+  check cb "pure reads read-dominate" true (Qos.Tenant.read_dominated t);
+  (* A thrashing streak drags the abort EWMA up and the write mix
+     breaks read domination. *)
+  for _ = 1 to 10 do
+    Qos.Tenant.note_outcome t Qos.Tenant.Timed_out ~read:false ~aborts:3
+  done;
+  (match Qos.Tenant.abort_ewma t with
+  | Some e when e > 0.9 -> ()
+  | e ->
+      Alcotest.failf "abort EWMA %.3f after a thrash streak"
+        (Option.value e ~default:(-1.0)));
+  check cb "write thrash ends read domination" false
+    (Qos.Tenant.read_dominated t);
+  let s = Qos.Tenant.stats t in
+  check ci "commits counted" 10 s.Qos.Tenant.s_committed;
+  check ci "timeouts counted" 10 s.Qos.Tenant.s_timed_out;
+  check ci "aborts accumulated" 30 s.Qos.Tenant.s_aborts
+
+(* -- Brownout controller: escalation, recovery, routing --------------- *)
+
+let pinned_brownout ?(max_level = Qos.Brownout.Shed_gold) () =
+  Qos.Brownout.make
+    ~config:
+      {
+        Qos.Brownout.default_config with
+        ladder =
+          { Qos.Brownout.Ladder.default_config with dwell = 1; max_level };
+      }
+    ()
+
+let test_brownout_escalation_and_peak () =
+  let open Qos.Brownout in
+  let b = pinned_brownout () in
+  check cb "starts Normal" true (level b = Normal);
+  check cb "no pressure yet" true (pressure b = None);
+  inject_pressure b 2.0;
+  check cb "one high sample: Route_ro" true (level b = Route_ro);
+  inject_pressure b 2.0;
+  inject_pressure b 2.0;
+  check cb "escalated to Shed_gold" true (level b = Shed_gold);
+  check ci "three transitions" 3 (transitions b);
+  inject_pressure b 0.1;
+  inject_pressure b 0.1;
+  inject_pressure b 0.1;
+  check cb "calm walks back to Normal" true (level b = Normal);
+  check cb "peak remembers the worst" true (peak_level b = Shed_gold);
+  check ci "six transitions total" 6 (transitions b)
+
+let test_brownout_plan_routing () =
+  let open Qos.Brownout in
+  let b = pinned_brownout ~max_level:Shed_bronze () in
+  let mk klass name =
+    Qos.Tenant.make ~name ~klass
+      ~config:{ Qos.Tenant.default_config with alpha = 0.5 }
+      ()
+  in
+  let gold = mk Qos.Tenant.Gold "g" and bronze = mk Qos.Tenant.Bronze "b" in
+  (* Make gold read-dominated, bronze write-heavy. *)
+  for _ = 1 to 8 do
+    Qos.Tenant.note_outcome gold Qos.Tenant.Committed ~read:true ~aborts:0;
+    Qos.Tenant.note_outcome bronze Qos.Tenant.Committed ~read:false ~aborts:0
+  done;
+  check cb "Normal admits everyone" true
+    (plan b gold ~read_txn:true = Admit && plan b bronze ~read_txn:false = Admit);
+  inject_pressure b 2.0;
+  check cb "Route_ro sends read-dominated reads to the RO path" true
+    (plan b gold ~read_txn:true = Admit_ro);
+  check cb "Route_ro: gold writes keep the normal path" true
+    (plan b gold ~read_txn:false = Admit);
+  check cb "Route_ro: write-heavy bronze unrouted" true
+    (plan b bronze ~read_txn:false = Admit);
+  inject_pressure b 2.0;
+  check cb "Shed_bronze sheds bronze" true (plan b bronze ~read_txn:false = Shed);
+  check cb "Shed_bronze keeps serving gold (RO)" true
+    (plan b gold ~read_txn:true = Admit_ro);
+  check cb "Shed_bronze keeps serving gold (writes)" true
+    (plan b gold ~read_txn:false = Admit);
+  (* Capped at Shed_bronze: more pressure cannot reach Shed_gold. *)
+  inject_pressure b 2.0;
+  inject_pressure b 2.0;
+  check cb "max_level holds at Shed_bronze" true (level b = Shed_bronze);
+  check cb "gold still served at the cap" true
+    (plan b gold ~read_txn:false = Admit)
+
 (* -- Shedding: admission behaviour ----------------------------------- *)
 
 let test_shed_outcome () =
@@ -345,5 +541,11 @@ let suite =
     slow "watchdog kills a wedged transaction" test_watchdog_kills_wedged;
     slow "watchdog spares irrevocable attempts" test_watchdog_spares_irrevocable;
     slow "watchdog breaks a stuck serial gate" test_watchdog_breaks_stuck_gate;
+    test "tenant token bucket admits the burst" test_tenant_token_bucket;
+    test "tenant EWMAs track aborts and read mix" test_tenant_ewmas;
+    test "brownout escalates, recovers, remembers the peak"
+      test_brownout_escalation_and_peak;
+    test "brownout plan routes by class and read mix"
+      test_brownout_plan_routing;
   ]
-  @ hysteresis_tests
+  @ hysteresis_tests @ ladder_tests

@@ -379,6 +379,45 @@ let prop_fair_no_overtaking demands =
   && Y.Semaphore.peek s = 0
   && Stm.atomically (fun txn -> Y.Semaphore.fair_waiters txn s) = 0
 
+(* The starvation regression: one permit, barging plain-acquire loops
+   hammering it, one fair acquirer.  Plain [acquire] gives no ordering
+   guarantee — a barger that revalidates first can win every race
+   forever — but [release] grants queued fair acquirers {e inside} its
+   own transaction, so the moment the fair waiter is enqueued, the
+   next release is its permit and no barger can take it back. *)
+let test_semaphore_fair_no_starvation () =
+  let s = Y.Semaphore.make 1 in
+  let stop = Atomic.make false in
+  let fair_done = Atomic.make false in
+  let bargers =
+    List.init 2 (fun _ ->
+        Domain.spawn (fun () ->
+            while not (Atomic.get stop) do
+              Stm.atomically (fun txn -> Y.Semaphore.acquire txn s);
+              Stm.atomically (fun txn -> Y.Semaphore.release txn s)
+            done))
+  in
+  let fair =
+    Domain.spawn (fun () ->
+        Y.Semaphore.acquire_fair s;
+        Atomic.set fair_done true;
+        Stm.atomically (fun txn -> Y.Semaphore.release txn s))
+  in
+  let deadline = Clock.now_mono () +. 20.0 in
+  while (not (Atomic.get fair_done)) && Clock.now_mono () < deadline do
+    Domain.cpu_relax ()
+  done;
+  let starved = not (Atomic.get fair_done) in
+  Atomic.set stop true;
+  (* On failure the fair waiter may still be parked: feed it a permit
+     so the joins terminate and the test fails instead of hanging. *)
+  if starved then Stm.atomically (fun txn -> Y.Semaphore.release txn s);
+  Domain.join fair;
+  List.iter Domain.join bargers;
+  check cb "fair acquirer completed despite barging loops" true (not starved);
+  check ci "no waiters left enqueued" 0
+    (Stm.atomically (fun txn -> Y.Semaphore.fair_waiters txn s))
+
 (* ------------------------------------------------------------------ *)
 (* Parking mechanics                                                    *)
 
@@ -593,6 +632,8 @@ let suite =
     qcheck ~count:20 "fair semaphore: FIFO handoff never overtakes"
       QCheck2.Gen.(list_size (2 -- 5) (1 -- 3))
       prop_fair_no_overtaking;
+    slow "fair semaphore: no starvation under barging loops"
+      test_semaphore_fair_no_starvation;
     test "parked retry burns zero poll iterations" test_parked_retry_no_polls;
     test "wakeup latency histogram gets samples" test_wakeup_latency_histogram;
     test "poll mode still works and is observable"
